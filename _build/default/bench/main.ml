@@ -1,0 +1,446 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) plus the ablations DESIGN.md calls out.
+
+     dune exec bench/main.exe                 -- everything, default scale
+     dune exec bench/main.exe -- table1 table2 --scale 2
+     dune exec bench/main.exe -- fig1 fig3 apt ablations micro
+
+   Absolute numbers depend on this machine; the shapes (who wins, by what
+   order of magnitude) are the reproduction target. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fmt_s t = if t < 0.001 then Printf.sprintf "%.2fms" (t *. 1000.0) else Printf.sprintf "%.3fs" t
+
+let load_profile ~scale (p : Netgen.profile) =
+  let net = p.p_make scale in
+  let texts = net.Netgen.n_configs in
+  let snap, parse_t = time (fun () -> Batfish.Snapshot.of_texts texts) in
+  (net, snap, parse_t)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the networks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ~scale () =
+  print_endline "== Table 1: benchmark networks (synthetic stand-ins for the paper's 11) ==";
+  let rows =
+    List.map
+      (fun (p : Netgen.profile) ->
+        let net, snap, _ = load_profile ~scale p in
+        let bf = Batfish.init ~env:net.Netgen.n_env snap in
+        let dp = Batfish.dataplane bf in
+        [ p.p_name; net.Netgen.n_type;
+          string_of_int (Netgen.device_count net);
+          string_of_int (Netgen.config_lines net);
+          string_of_int (Dataplane.total_routes dp);
+          p.p_protocols; p.p_vendors ])
+      Netgen.profiles
+  in
+  Table.print
+    ~header:[ "network"; "type"; "devices"; "LoC"; "routes"; "protocols"; "vendors" ]
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: performance of current Batfish                            *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ~scale () =
+  print_endline "== Table 2: current-engine performance per network ==";
+  let rows =
+    List.map
+      (fun (p : Netgen.profile) ->
+        let net, snap, parse_t = load_profile ~scale p in
+        let bf = Batfish.init ~env:net.Netgen.n_env snap in
+        let dp, dp_t = time (fun () -> Batfish.dataplane bf) in
+        let q, graph_t = time (fun () -> Batfish.forwarding bf) in
+        (* destination reachability: one backward pass toward the first host
+           subnet (§4.2.3 backward propagation) *)
+        let e = Fquery.env q in
+        let dst = Prefix.make (Ipv4.of_octets 172 16 0 0) 24 in
+        let _, dest_t =
+          time (fun () -> Fquery.to_delivered q ~hdr:(Pktset.dst_prefix e dst) ())
+        in
+        let _, mpc_t = time (fun () -> Fquery.multipath_consistency q ()) in
+        ignore dp;
+        [ p.p_name; string_of_int (Netgen.device_count net); fmt_s parse_t; fmt_s dp_t;
+          fmt_s graph_t; fmt_s dest_t; fmt_s mpc_t ])
+      Netgen.profiles
+  in
+  Table.print
+    ~header:
+      [ "network"; "devices"; "parse"; "DP gen"; "graph build"; "dest reach";
+        "multipath cons." ]
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: current vs original engines                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_one ~leaves () =
+  let net = Netgen.clos ~name:"net1o" ~spines:4 ~leaves () in
+  let texts = net.Netgen.n_configs in
+  let snap, parse_t = time (fun () -> Batfish.Snapshot.of_texts texts) in
+  let configs = Batfish.Snapshot.configs snap in
+  let dp, imp_t = time (fun () -> Dataplane.compute ~env:net.Netgen.n_env configs) in
+  let dl, dl_t = time (fun () -> Datalog_cp.run ~configs ~env:net.Netgen.n_env) in
+  let find name = Batfish.Snapshot.find snap name in
+  let q, _ = time (fun () -> Fquery.make ~configs:find ~dp ()) in
+  let _, bdd_t = time (fun () -> Fquery.multipath_consistency q ()) in
+  let hsa, _ = time (fun () -> Hsa_engine.build ~configs:find ~dp) in
+  let _, hsa_t = time (fun () -> Hsa_engine.multipath_consistency hsa) in
+  [ [ Printf.sprintf "%d devices: parsing" (Netgen.device_count net);
+      fmt_s parse_t; fmt_s parse_t; "1x" ];
+    [ "  data plane generation"; fmt_s dl_t; fmt_s imp_t;
+      Printf.sprintf "%.0fx" (dl_t /. imp_t) ];
+    [ Printf.sprintf "  data plane verification (%d facts retained)"
+        dl.Datalog_cp.derived_facts;
+      fmt_s hsa_t; fmt_s bdd_t; Printf.sprintf "%.0fx" (hsa_t /. bdd_t) ] ]
+
+let fig3 ~scale () =
+  print_endline "== Figure 3: current vs original Batfish (NET1-class networks) ==";
+  print_endline "   (original = Datalog control plane + difference-of-cubes verification;";
+  print_endline "    the gap grows super-linearly: at the paper's network sizes it reaches";
+  print_endline "    three orders of magnitude for generation)";
+  let sizes =
+    List.map (fun l -> max 2 (int_of_float (float_of_int l *. scale))) [ 10; 20; 30 ]
+  in
+  let rows = List.concat_map (fun leaves -> fig3_one ~leaves ()) sizes in
+  Table.print ~header:[ "stage"; "original"; "current"; "speedup" ] rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: convergence patterns                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  print_endline "== Figure 1(b): mutual-export pattern under different schedules ==";
+  let net = Netgen.fig1b () in
+  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+  let configs = Batfish.Snapshot.configs snap in
+  let run schedule clocks =
+    let options =
+      { Dataplane.default_options with schedule; use_logical_clocks = clocks;
+        max_rounds = 60 }
+    in
+    Dataplane.compute ~options ~env:net.Netgen.n_env configs
+  in
+  let rows =
+    List.map
+      (fun (label, schedule, clocks) ->
+        let dp = run schedule clocks in
+        [ label;
+          (if dp.Dataplane.converged then "converged" else "did NOT converge");
+          (if dp.Dataplane.oscillated then "oscillation detected" else "-");
+          string_of_int dp.Dataplane.rounds ])
+      [ ("lockstep (naive parallelism)", Dataplane.Lockstep, true);
+        ("colored schedule + logical clocks", Dataplane.Colored, true);
+        ("colored, no logical clocks", Dataplane.Colored, false) ]
+  in
+  Table.print ~header:[ "schedule"; "outcome"; "pathology"; "BGP rounds" ] rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* §6.2: comparison with Atomic Predicates                            *)
+(* ------------------------------------------------------------------ *)
+
+let apt ~scale () =
+  print_endline "== APT comparison (§6.2): 92-node network, dest reachability ==";
+  (* A WAN, like APT's largest published network (Internet2-class, dst-only
+     forwarding predicates). *)
+  let pops = max 8 (int_of_float (92.0 *. scale)) in
+  let net = Netgen.wan ~name:"apt" ~pops () in
+  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+  Printf.printf "   network: %d devices\n" (Netgen.device_count net);
+  let bf = Batfish.init ~env:net.Netgen.n_env snap in
+  let dp = Batfish.dataplane bf in
+  let find = Batfish.Snapshot.find snap in
+  (* Batfish: graph build + one destination-reachability query *)
+  let q, bf_graph_t = time (fun () -> Fquery.make ~configs:find ~dp ()) in
+  let e = Fquery.env q in
+  let dst = Prefix.make (Ipv4.of_octets 172 16 0 0) 24 in
+  let _, bf_query_t =
+    time (fun () -> Fquery.to_delivered q ~hdr:(Pktset.dst_prefix e dst) ())
+  in
+  (* APT: the same graph, plus atom computation, then the query *)
+  let apt_t0 = Unix.gettimeofday () in
+  let g2 = Fgraph.build ~env:e ~configs:find ~dp () in
+  let atoms = Apt.build g2 in
+  let apt_build_t = Unix.gettimeofday () -. apt_t0 in
+  let targets =
+    Fgraph.locs_where g2 (function
+      | Fgraph.Dst _ | Fgraph.Accept _ -> true
+      | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dropped _ -> false)
+  in
+  let src =
+    Option.get
+      (Fgraph.loc_id g2
+         (Fgraph.Src ("apt-p0", "Loopback0")))
+  in
+  let _, apt_query_t = time (fun () -> Apt.reach atoms g2 ~src ~targets) in
+  Table.print
+    ~header:[ "engine"; "build (graph+atoms)"; "dest-reach query"; "total" ]
+    [ [ "Batfish BDD dataflow"; fmt_s bf_graph_t; fmt_s bf_query_t;
+        fmt_s (bf_graph_t +. bf_query_t) ];
+      [ Printf.sprintf "Atomic Predicates (%d atoms)" (Apt.atom_count atoms);
+        fmt_s apt_build_t; fmt_s apt_query_t; fmt_s (apt_build_t +. apt_query_t) ] ];
+  Printf.printf "   advantage: %.0fx\n\n"
+    ((apt_build_t +. apt_query_t) /. (bf_graph_t +. bf_query_t))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ablations ~scale () =
+  print_endline "== Ablations of the design choices ==";
+  (* 1. attribute interning (§4.1.3) *)
+  let p8 = List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = "NET8") Netgen.profiles in
+  let net = p8.p_make scale in
+  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+  let configs = Batfish.Snapshot.configs snap in
+  let run_dp () = Dataplane.compute ~env:net.Netgen.n_env configs in
+  Attrs.clear_pools ();
+  Attrs.interning_enabled := true;
+  let dp_on, t_on = time run_dp in
+  let distinct, requests = Attrs.pool_stats () in
+  let words_on = Dataplane.rib_words dp_on in
+  Attrs.interning_enabled := false;
+  let dp_off, t_off = time run_dp in
+  let words_off = Dataplane.rib_words dp_off in
+  Attrs.interning_enabled := true;
+  print_endline "-- route-attribute interning (NET8) --";
+  Table.print
+    ~header:[ "variant"; "DP gen"; "RIB heap (words)"; "sharing" ]
+    [ [ "interned"; fmt_s t_on; string_of_int words_on;
+        Printf.sprintf "%d distinct / %d uses" distinct requests ];
+      [ "no interning"; fmt_s t_off; string_of_int words_off; "-" ] ];
+  Printf.printf "   memory saved: %.0f%%\n\n"
+    (100.0 *. (1.0 -. (float_of_int words_on /. float_of_int (max 1 words_off))));
+
+  (* 2. full-RIB-compare convergence detection vs deltas (§4.1.3) *)
+  let _, t_delta = time run_dp in
+  let _, t_full =
+    time (fun () ->
+        Dataplane.compute
+          ~options:{ Dataplane.default_options with full_rib_compare = true }
+          ~env:net.Netgen.n_env configs)
+  in
+  print_endline "-- convergence detection (NET8) --";
+  Table.print
+    ~header:[ "method"; "DP gen" ]
+    [ [ "RIB deltas (production)"; fmt_s t_delta ];
+      [ "full RIB snapshot+compare"; fmt_s t_full ] ];
+  print_newline ();
+
+  (* 3. BDD variable order (§4.2.2): encode a large multi-field ACL (with
+     port ranges, where bit order matters most) under each order *)
+  print_endline "-- BDD variable order (400-line ACL with prefixes + port ranges) --";
+  let synth_acl =
+    let rng = Rng.create 7 in
+    let lines =
+      List.init 400 (fun i ->
+          { Vi.acl_line_default with
+            l_seq = (i + 1) * 10;
+            l_action = (if Rng.int rng 4 = 0 then Vi.Deny else Vi.Permit);
+            l_proto = Some (if Rng.bool rng then 6 else 17);
+            l_src = Prefix.make (Rng.int rng 0x4000_0000 * 4) (8 + Rng.int rng 17);
+            l_dst = Prefix.make (Rng.int rng 0x4000_0000 * 4) (8 + Rng.int rng 17);
+            l_dst_ports = [ (let lo = Rng.int rng 60000 in (lo, lo + 1 + Rng.int rng 5000)) ];
+            l_src_ports = (if Rng.bool rng then [ (1024, 65535) ] else []) })
+    in
+    { Vi.acl_name = "SYNTH"; acl_lines = lines }
+  in
+  let order_row label order =
+    let env = Pktset.create ~order () in
+    let bdd, build_t = time (fun () -> Acl_bdd.permits env synth_acl) in
+    let nodes, _, _ = Bdd.stats (Pktset.man env) in
+    [ label; fmt_s build_t; string_of_int (Bdd.size (Pktset.man env) bdd);
+      string_of_int nodes ]
+  in
+  Table.print
+    ~header:[ "variable order"; "build"; "ACL BDD size"; "manager nodes" ]
+    [ order_row "paper heuristic (dst first, MSB first)" Pktset.Paper_order;
+      order_row "reversed fields" Pktset.Reversed_fields;
+      order_row "LSB first" Pktset.Lsb_first ];
+  print_newline ();
+  let p5 = List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = "NET5") Netgen.profiles in
+  let net5 = p5.p_make scale in
+  let snap5 = Batfish.Snapshot.of_texts net5.Netgen.n_configs in
+  let dp5 = Dataplane.compute ~env:net5.Netgen.n_env (Batfish.Snapshot.configs snap5) in
+  let find5 = Batfish.Snapshot.find snap5 in
+
+  (* 4. graph compression (§4.2.3) *)
+  print_endline "-- forwarding-graph compression (NET5) --";
+  let comp_row label compress =
+    let env = Pktset.create () in
+    let (q : Fquery.t), build_t =
+      time (fun () ->
+          { Fquery.g = Fgraph.build ~env ~compress ~configs:find5 ~dp:dp5 ();
+            dp = dp5; configs = find5 })
+    in
+    let _, t = time (fun () -> Fquery.to_delivered q ()) in
+    [ label; string_of_int (Fgraph.n_edges q.Fquery.g); fmt_s build_t; fmt_s t ]
+  in
+  Table.print
+    ~header:[ "variant"; "edges"; "build"; "dest reach" ]
+    [ comp_row "compressed" true; comp_row "uncompressed" false ];
+  print_newline ();
+
+  (* 5. fused NAT transform (§4.2.3) *)
+  print_endline "-- fused vs unfused NAT transform (1000 applications) --";
+  let env = Pktset.create () in
+  let man = Pktset.man env in
+  let rel =
+    Pktset.rel env
+      ~guard:(Pktset.src_prefix env (Prefix.make (Ipv4.of_octets 10 0 0 0) 8))
+      [ (Field.Src_ip, Pktset.Set_prefix (Prefix.make (Ipv4.of_octets 198 51 100 0) 24));
+        (Field.Src_port, Pktset.Set_range (1024, 65535)) ]
+  in
+  let sets =
+    List.init 50 (fun i ->
+        Bdd.band man
+          (Pktset.dst_prefix env (Prefix.make (Ipv4.of_octets 10 i 0 0) 16))
+          (Pktset.range env Field.Dst_port 0 (80 + i)))
+  in
+  let _, t_fused =
+    time (fun () ->
+        for _ = 1 to 20 do
+          List.iter (fun s -> ignore (Pktset.apply_rel env rel s)) sets
+        done)
+  in
+  let _, t_unfused =
+    time (fun () ->
+        for _ = 1 to 20 do
+          List.iter (fun s -> ignore (Pktset.apply_rel_unfused env rel s)) sets
+        done)
+  in
+  Table.print
+    ~header:[ "variant"; "time"; "relative" ]
+    [ [ "fused and-exists-rename"; fmt_s t_fused; "1.0x" ];
+      [ "three separate BDD ops"; fmt_s t_unfused;
+        Printf.sprintf "%.2fx" (t_unfused /. t_fused) ] ];
+  print_newline ();
+
+  (* 6. backward vs forward propagation for a single destination (§4.2.3):
+     a fabric with many sources, one destination subnet *)
+  print_endline "-- single-destination query: backward vs forward (Clos fabric) --";
+  let net6n = Netgen.clos ~name:"bvf" ~spines:4 ~leaves:(max 4 (int_of_float (24.0 *. scale))) () in
+  let snap6 = Batfish.Snapshot.of_texts net6n.Netgen.n_configs in
+  let dp5 = Dataplane.compute ~env:net6n.Netgen.n_env (Batfish.Snapshot.configs snap6) in
+  let find5 = Batfish.Snapshot.find snap6 in
+  let env6 = Pktset.create () in
+  let q6 =
+    { Fquery.g = Fgraph.build ~env:env6 ~configs:find5 ~dp:dp5 (); dp = dp5;
+      configs = find5 }
+  in
+  let dst = Pktset.dst_prefix env6 (Prefix.make (Ipv4.of_octets 172 16 0 0) 24) in
+  let _, t_back = time (fun () -> Fquery.to_delivered q6 ~hdr:dst ()) in
+  let back_apps = Freach.last_edge_applications () in
+  let starts =
+    List.map (fun (n, i) -> (n, Some i)) (Fgraph.edge_interfaces q6.Fquery.g ~dp:dp5)
+  in
+  let _, t_fwd = time (fun () -> Fquery.forward_from q6 ~hdr:dst starts) in
+  let fwd_apps = Freach.last_edge_applications () in
+  Table.print
+    ~header:[ "direction"; "time"; "edge applications" ]
+    [ [ "backward from destination"; fmt_s t_back; string_of_int back_apps ];
+      [ "forward from all sources"; fmt_s t_fwd; string_of_int fwd_apps ] ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "== Micro-benchmarks (Bechamel, ns/op) ==";
+  let open Bechamel in
+  let open Toolkit in
+  let env = Pktset.create () in
+  let man = Pktset.man env in
+  let a = Pktset.dst_prefix env (Prefix.make (Ipv4.of_octets 10 0 0 0) 8) in
+  let b = Pktset.src_prefix env (Prefix.make (Ipv4.of_octets 172 16 0 0) 12) in
+  let t_band = Test.make ~name:"bdd.band" (Staged.stage (fun () -> ignore (Bdd.band man a b))) in
+  let acl_cfg, _ =
+    Parse.parse_config
+      (String.concat "\n"
+         [ "hostname m"; "ip access-list extended T";
+           " 10 permit tcp 10.0.0.0 0.255.255.255 any eq 443";
+           " 20 deny udp any any"; " 30 permit ip any 172.16.0.0 0.15.255.255" ])
+  in
+  let acl = Option.get (Vi.find_acl acl_cfg "T") in
+  let pkt = Packet.tcp ~src:(Ipv4.of_octets 10 1 2 3) ~dst:(Ipv4.of_octets 172 16 9 9) 443 in
+  let t_acl =
+    Test.make ~name:"acl.eval" (Staged.stage (fun () -> ignore (Acl_eval.action acl pkt)))
+  in
+  let trie =
+    List.fold_left
+      (fun t i -> Prefix_trie.add (Prefix.make (Ipv4.of_octets 10 i 0 0) 16) i t)
+      Prefix_trie.empty
+      (List.init 200 Fun.id)
+  in
+  let t_lpm =
+    Test.make ~name:"trie.lpm"
+      (Staged.stage (fun () ->
+           ignore (Prefix_trie.longest_match (Ipv4.of_octets 10 77 1 1) trie)))
+  in
+  let rib =
+    Rib.create ~prefer:Cmp.main_prefer ~multipath_equal:Cmp.main_multipath_equal
+      ~max_paths:4 ()
+  in
+  let route =
+    Route.static ~net:(Prefix.make (Ipv4.of_octets 10 9 0 0) 16)
+      ~nh:(Route.Nh_ip (Ipv4.of_octets 10 0 0 1)) ~ad:1 ~tag:0
+  in
+  let t_rib =
+    Test.make ~name:"rib.merge"
+      (Staged.stage (fun () ->
+           Rib.merge rib route;
+           ignore (Rib.take_delta rib)))
+  in
+  let tests = Test.make_grouped ~name:"micro" [ t_band; t_acl; t_lpm; t_rib ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name r ->
+      match Bechamel.Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "  %-24s %10.1f ns/op\n" name est
+      | Some _ | None -> Printf.printf "  %-24s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale =
+    let rec find = function
+      | "--scale" :: v :: _ -> float_of_string v
+      | "--full" :: _ -> 4.0
+      | _ :: rest -> find rest
+      | [] -> 1.0
+    in
+    find args
+  in
+  let selected =
+    List.filter
+      (fun a ->
+        String.length a > 0 && a.[0] <> '-' && float_of_string_opt a = None)
+      args
+  in
+  let all = selected = [] in
+  let want name = all || List.mem name selected in
+  Printf.printf "batfish-caml benchmark harness (scale %.2g)\n\n" scale;
+  if want "table1" then table1 ~scale ();
+  if want "table2" then table2 ~scale ();
+  if want "fig1" then fig1 ();
+  if want "fig3" then fig3 ~scale ();
+  if want "apt" then apt ~scale:(min scale 1.0) ();
+  if want "ablations" then ablations ~scale ();
+  if want "micro" then micro ()

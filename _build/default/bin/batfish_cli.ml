@@ -1,0 +1,163 @@
+(* Command-line front end: the manual proactive-validation workflow (§5.1.2)
+   over a directory of configuration files. *)
+
+open Cmdliner
+
+let dir_arg =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"CONFIG_DIR" ~doc:"Directory of configuration files")
+
+let load dir = Batfish.init (Batfish.Snapshot.of_dir dir)
+
+let print_answers answers =
+  List.iter
+    (fun a ->
+      Questions.print_answer a;
+      print_newline ())
+    answers
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let run dir =
+    let bf = load dir in
+    print_answers
+      [ Questions.node_properties (Batfish.Snapshot.configs (Batfish.snapshot bf));
+        Batfish.answer_init_issues bf ]
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse configurations and report issues")
+    Term.(const run $ dir_arg)
+
+(* --- dataplane --- *)
+
+let dataplane_cmd =
+  let run dir =
+    let bf = load dir in
+    let t0 = Unix.gettimeofday () in
+    let dp = Batfish.dataplane bf in
+    Printf.printf "data plane: %d nodes, %d routes, converged=%b, %d BGP rounds (%.2fs)\n\n"
+      (List.length dp.Dataplane.node_order)
+      (Dataplane.total_routes dp) dp.Dataplane.converged dp.Dataplane.rounds
+      (Unix.gettimeofday () -. t0);
+    print_answers [ Batfish.answer_bgp_status bf ]
+  in
+  Cmd.v (Cmd.info "dataplane" ~doc:"Generate the data plane and show session status")
+    Term.(const run $ dir_arg)
+
+(* --- routes --- *)
+
+let routes_cmd =
+  let node = Arg.(value & opt (some string) None & info [ "node" ] ~doc:"Limit to one node") in
+  let proto = Arg.(value & opt (some string) None & info [ "protocol" ] ~doc:"Limit to a protocol") in
+  let run dir node protocol =
+    print_answers [ Batfish.answer_routes ?node ?protocol (load dir) ]
+  in
+  Cmd.v (Cmd.info "routes" ~doc:"Show main-RIB routes")
+    Term.(const run $ dir_arg $ node $ proto)
+
+(* --- checks --- *)
+
+let check_cmd =
+  let run dir = print_answers (Batfish.check_all (load dir)) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the configuration-hygiene battery (references, duplicate IPs, BGP compatibility, consistency)")
+    Term.(const run $ dir_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let start = Arg.(required & opt (some string) None & info [ "start" ] ~doc:"Start node") in
+  let ingress = Arg.(value & opt (some string) None & info [ "ingress" ] ~doc:"Ingress interface") in
+  let src = Arg.(required & opt (some string) None & info [ "src" ] ~doc:"Source IP") in
+  let dst = Arg.(required & opt (some string) None & info [ "dst" ] ~doc:"Destination IP") in
+  let dport = Arg.(value & opt int 80 & info [ "dport" ] ~doc:"Destination port") in
+  let proto = Arg.(value & opt string "tcp" & info [ "proto" ] ~doc:"tcp | udp | icmp") in
+  let run dir start ingress src dst dport proto =
+    let bf = load dir in
+    let src = Ipv4.of_string src and dst = Ipv4.of_string dst in
+    let pkt =
+      match proto with
+      | "udp" -> Packet.udp ~src ~dst dport
+      | "icmp" -> Packet.icmp ~src ~dst ()
+      | _ -> Packet.tcp ~src ~dst dport
+    in
+    Printf.printf "traceroute %s from %s:\n" (Packet.to_string pkt) start;
+    List.iter
+      (fun tr -> print_endline (Traceroute.trace_to_string tr))
+      (Batfish.traceroute bf ~start ?ingress pkt)
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Concrete traceroute through the computed data plane")
+    Term.(const run $ dir_arg $ start $ ingress $ src $ dst $ dport $ proto)
+
+(* --- reach --- *)
+
+let reach_cmd =
+  let src = Arg.(required & opt (some string) None & info [ "src" ] ~doc:"Start as NODE or NODE/IFACE") in
+  let dst = Arg.(required & opt (some string) None & info [ "dst-prefix" ] ~doc:"Destination prefix") in
+  let run dir src dst =
+    let bf = load dir in
+    let src =
+      match String.index_opt src '/' with
+      | Some i ->
+        (String.sub src 0 i, Some (String.sub src (i + 1) (String.length src - i - 1)))
+      | None -> (src, None)
+    in
+    print_answers
+      [ Batfish.answer_reachability bf ~src ~dst_ip:(Prefix.of_string dst) () ]
+  in
+  Cmd.v (Cmd.info "reach" ~doc:"Symbolic reachability with examples")
+    Term.(const run $ dir_arg $ src $ dst)
+
+(* --- verify (multipath + loops) --- *)
+
+let verify_cmd =
+  let run dir =
+    let bf = load dir in
+    print_answers [ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
+    Term.(const run $ dir_arg)
+
+(* --- netgen --- *)
+
+let netgen_cmd =
+  let profile =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE"
+           ~doc:"NET1..NET11, or clos/enterprise/wan/campus")
+  in
+  let out = Arg.(required & opt (some string) None & info [ "out" ] ~doc:"Output directory") in
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Size multiplier") in
+  let run profile out scale =
+    let net =
+      match List.find_opt (fun (p : Netgen.profile) -> p.Netgen.p_name = profile) Netgen.profiles with
+      | Some p -> p.p_make scale
+      | None -> (
+        match profile with
+        | "clos" -> Netgen.clos ~name:"clos" ~spines:4 ~leaves:(int_of_float (8.0 *. scale)) ()
+        | "enterprise" -> Netgen.enterprise ~name:"ent" ~sites:(int_of_float (8.0 *. scale)) ()
+        | "wan" -> Netgen.wan ~name:"wan" ~pops:(int_of_float (16.0 *. scale)) ()
+        | "campus" -> Netgen.campus ~name:"campus" ~buildings:(int_of_float (8.0 *. scale)) ()
+        | p -> failwith ("unknown profile " ^ p))
+    in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iter
+      (fun (name, text) ->
+        let oc = open_out (Filename.concat out name) in
+        output_string oc text;
+        close_out oc)
+      net.Netgen.n_configs;
+    Printf.printf "wrote %d configs (%d lines) to %s\n" (Netgen.device_count net)
+      (Netgen.config_lines net) out
+  in
+  Cmd.v (Cmd.info "netgen" ~doc:"Generate a synthetic network's configurations")
+    Term.(const run $ profile $ out $ scale)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "batfish_cli" ~version:"1.0"
+             ~doc:"Configuration analysis: parse, simulate, verify")
+          [ parse_cmd; dataplane_cmd; routes_cmd; check_cmd; trace_cmd; reach_cmd;
+            verify_cmd; netgen_cmd ]))

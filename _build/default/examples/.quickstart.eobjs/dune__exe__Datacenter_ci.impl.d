@@ -1,0 +1,1 @@
+examples/datacenter_ci.ml: Batfish Bdd Dataplane Fquery Ipv4 List Netgen Pktset Prefix Printf Questions Re String

@@ -1,0 +1,1 @@
+examples/design_validation.ml: Batfish Bdd Dataplane Dp_env Fquery List Netgen Prefix Printf

@@ -1,0 +1,1 @@
+examples/enterprise_audit.ml: Batfish Bdd Field Fquery Ipv4 List Netgen Packet Pktset Prefix Printf Questions Traceroute

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Batfish Dataplane Fgraph Fib Field Fquery Ipv4 List Packet Pktset Prefix Printf Questions String Traceroute

@@ -1,0 +1,76 @@
+(* Continuous validation (§5.2): run the configuration-hygiene battery on an
+   enterprise snapshot, check the firewall posture, and demonstrate
+   bidirectional (stateful) reachability through the DMZ.
+
+   Run with: dune exec examples/enterprise_audit.exe *)
+
+let () =
+  let net = Netgen.enterprise ~name:"corp" ~sites:6 () in
+  let bf = Batfish.init ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts net.Netgen.n_configs) in
+  Printf.printf "=== %d-device enterprise snapshot ===\n\n" (Netgen.device_count net);
+
+  (* the continuous-validation battery *)
+  List.iter
+    (fun answer ->
+      Questions.print_answer answer;
+      print_newline ())
+    (Batfish.check_all bf);
+
+  (* firewall posture: nothing from the ISPs may open connections into the
+     DMZ except web traffic *)
+  let q = Batfish.forwarding bf in
+  let e = Fquery.env q in
+  let man = Pktset.man e in
+  let dmz = Prefix.of_string "172.31.1.0/24" in
+  let delivered =
+    Fquery.reachable q ~src:("corp-fw1", Some "Ethernet1") ~dst_ip:dmz
+      ~hdr:(Pktset.value e Field.Protocol Packet.Proto.tcp) ()
+  in
+  let web =
+    Bdd.bor man
+      (Pktset.range e Field.Dst_port 80 80)
+      (Pktset.range e Field.Dst_port 443 443)
+  in
+  let non_web = Bdd.bdiff man delivered web in
+  (* First attempt: the naive query flags a violation... *)
+  (match Pktset.to_packet e non_web with
+   | Some p ->
+     Printf.printf "naive posture query: VIOLATION e.g. %s\n" (Packet.to_string p);
+     print_endline
+       "  ...but that is traffic to the firewall's own interface address — an\n\
+       \  uninteresting violation (Lesson 4). Scoping the destination space:"
+   | None -> print_endline "naive posture query: clean");
+  (* Scoped query (§4.4.2): exclude the firewall's own address *)
+  let scoped =
+    Bdd.bdiff man non_web (Pktset.value e Field.Dst_ip (Ipv4.of_string "172.31.1.1"))
+  in
+  Printf.printf "scoped posture query: TCP into DMZ beyond 80/443: %s\n"
+    (if Bdd.is_bot scoped then "NONE (policy holds)"
+     else
+       match Pktset.to_packet e scoped with
+       | Some p -> "VIOLATION e.g. " ^ Packet.to_string p
+       | None -> "VIOLATION");
+
+  (* stateful return traffic: DMZ servers answering web clients *)
+  let out_hdr =
+    Bdd.conj man
+      [ Pktset.value e Field.Protocol Packet.Proto.tcp;
+        Pktset.dst_prefix e dmz;
+        Pktset.range e Field.Dst_port 80 80 ]
+  in
+  let fwd, round_trip =
+    Fquery.bidirectional q ~src:("corp-core1", None) ~dst:("corp-fw1", "Ethernet2")
+      ~hdr:out_hdr ()
+  in
+  Printf.printf "bidirectional web sessions to DMZ: forward=%s round-trip=%s\n"
+    (if Bdd.is_bot fwd then "blocked" else "ok")
+    (if Bdd.is_bot round_trip then "return blocked" else "ok (session fast path)");
+
+  (* a concrete trace for the audit report *)
+  let pkt =
+    Packet.tcp ~src:(Ipv4.of_string "172.16.0.20") ~dst:(Prefix.first_host dmz) 80
+  in
+  Printf.printf "\ntraceroute %s from corp-dist1:\n" (Packet.to_string pkt);
+  List.iter
+    (fun tr -> print_endline (Traceroute.trace_to_string tr))
+    (Batfish.traceroute bf ~start:"corp-dist1" ~ingress:"Vlan10" pkt)

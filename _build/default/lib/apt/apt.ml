@@ -1,0 +1,137 @@
+type t = {
+  env : Pktset.t;
+  atoms : Bdd.t array;
+  (* per (from, to, index in out_edges) the atom bitset of its predicate *)
+  edge_atoms : (int * int * int, Bytes.t) Hashtbl.t;
+}
+
+let rec filter_of g fn =
+  let man = Pktset.man g.Fgraph.env in
+  match fn with
+  | Fgraph.Filter f -> f
+  | Fgraph.Seq fns -> List.fold_left (fun acc fn -> Bdd.band man acc (filter_of g fn)) Bdd.top fns
+  | Fgraph.Set_extra _ | Fgraph.Erase_extra _ ->
+    Bdd.top (* extra bits are outside the APT header space *)
+  | Fgraph.Transform _ -> failwith "Apt: transformation edges are not supported"
+
+let bitset_empty n = Bytes.make ((n + 7) / 8) '\000'
+
+let bitset_set b i =
+  Bytes.set b (i / 8) (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8))))
+
+let bitset_mem b i = Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bitset_union a b =
+  let out = Bytes.copy a in
+  for i = 0 to Bytes.length a - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get a i) lor Char.code (Bytes.get b i)))
+  done;
+  out
+
+let bitset_inter a b =
+  let out = Bytes.copy a in
+  for i = 0 to Bytes.length a - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get a i) land Char.code (Bytes.get b i)))
+  done;
+  out
+
+let bitset_equal = Bytes.equal
+
+let build g =
+  let env = g.Fgraph.env in
+  let man = Pktset.man env in
+  (* all distinct predicates *)
+  let predicates = Hashtbl.create 64 in
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (e : Fgraph.edge) -> Hashtbl.replace predicates (filter_of g e.e_fn) ())
+        edges)
+    g.Fgraph.out_edges;
+  (* refine the partition of header space *)
+  let atoms = ref [ Bdd.top ] in
+  Hashtbl.iter
+    (fun p () ->
+      if not (Bdd.is_top p || Bdd.is_bot p) then
+        atoms :=
+          List.concat_map
+            (fun a ->
+              let inside = Bdd.band man a p in
+              let outside = Bdd.bdiff man a p in
+              List.filter (fun x -> not (Bdd.is_bot x)) [ inside; outside ])
+            !atoms)
+    predicates;
+  let atoms = Array.of_list !atoms in
+  let n = Array.length atoms in
+  (* per-edge atom bitsets: atom i is in predicate p iff atom ∧ p = atom *)
+  let pred_sets = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun p () ->
+      let b = bitset_empty n in
+      Array.iteri
+        (fun i a -> if Bdd.equal (Bdd.band man a p) a then bitset_set b i)
+        atoms;
+      Hashtbl.add pred_sets p b)
+    predicates;
+  let edge_atoms = Hashtbl.create 256 in
+  Array.iteri
+    (fun v edges ->
+      List.iteri
+        (fun k (e : Fgraph.edge) ->
+          Hashtbl.replace edge_atoms (v, e.e_to, k) (Hashtbl.find pred_sets (filter_of g e.e_fn)))
+        edges)
+    g.Fgraph.out_edges;
+  { env; atoms; edge_atoms }
+
+let atom_count t = Array.length t.atoms
+
+let atoms_to_bdd t b =
+  let man = Pktset.man t.env in
+  let acc = ref Bdd.bot in
+  Array.iteri (fun i a -> if bitset_mem b i then acc := Bdd.bor man !acc a) t.atoms;
+  !acc
+
+let reach t g ~src ~targets =
+  let n = Fgraph.n_locs g in
+  let atoms_n = Array.length t.atoms in
+  let full = bitset_empty atoms_n in
+  for i = 0 to atoms_n - 1 do
+    bitset_set full i
+  done;
+  let sets = Array.make n (bitset_empty atoms_n) in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue v =
+    if not queued.(v) then begin
+      queued.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter
+    (fun v ->
+      sets.(v) <- full;
+      enqueue v)
+    targets;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    queued.(v) <- false;
+    List.iter
+      (fun (e : Fgraph.edge) ->
+        (* position of e in out_edges of its source *)
+        let k =
+          let rec find i = function
+            | [] -> -1
+            | x :: rest -> if x == e then i else find (i + 1) rest
+          in
+          find 0 g.Fgraph.out_edges.(e.e_from)
+        in
+        let pred = Hashtbl.find t.edge_atoms (e.e_from, e.e_to, k) in
+        let contribution = bitset_inter pred sets.(v) in
+        let united = bitset_union sets.(e.e_from) contribution in
+        if not (bitset_equal united sets.(e.e_from)) then begin
+          sets.(e.e_from) <- united;
+          enqueue e.e_from
+        end)
+      g.Fgraph.in_edges.(v)
+  done;
+  atoms_to_bdd t sets.(src)

@@ -1,0 +1,24 @@
+(** Atomic Predicates verifier (Yang & Lam), the §6.2 comparison baseline.
+
+    Computes the coarsest partition of header space such that every edge
+    predicate of the forwarding graph is a union of atoms; packet sets then
+    become integer sets and propagation is set arithmetic. The atom
+    computation is the up-front cost the paper's direct BDD dataflow
+    avoids. Only filter edges are supported (as in the original tool —
+    adding transformations required a new theory, §3 Lesson 2). *)
+
+type t
+
+(** Builds atoms from every distinct filter predicate in the graph.
+    @raise Failure if the graph contains transformation edges. *)
+val build : Fgraph.t -> t
+
+val atom_count : t -> int
+
+(** The set of packets (as a BDD over the graph's environment) that can
+    reach any location in [targets] from [src], computed by propagating atom
+    sets backward. *)
+val reach : t -> Fgraph.t -> src:int -> targets:int list -> Bdd.t
+
+(** Convert an atom set at a location back to a BDD (for cross-checking). *)
+val atoms_to_bdd : t -> Bytes.t -> Bdd.t

@@ -1,0 +1,432 @@
+(* Nodes live in parallel int arrays indexed by node id; ids 0 and 1 are the
+   terminals. The unique table is an open-addressing array of (id + 1) values
+   keyed by (var, lo, hi), so BDDs are canonical and equality is integer
+   equality. A single direct-mapped cache serves all operations, keyed by an
+   operation code that embeds auxiliary ids (variable sets, renamings). *)
+
+type t = int
+
+type varset = { vs_id : int; vs_mem : bool array }
+type perm = { pm_id : int; pm_map : int array }
+
+type man = {
+  mutable var : int array;
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable n : int;
+  mutable buckets : int array;
+  mutable bmask : int;
+  nvars : int;
+  ck_op : int array;
+  ck_a : int array;
+  ck_b : int array;
+  cv : int array;
+  cmask : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable next_aux : int;
+  mutable identity : perm option;
+}
+
+let bot = 0
+let top = 1
+let equal (a : t) (b : t) = a = b
+let is_bot a = a = 0
+let is_top a = a = 1
+let nvars m = m.nvars
+let node_count m = m.n
+let stats m = (m.n, m.hits, m.misses)
+
+let create ?(cache_bits = 18) ~nvars () =
+  let cap = 1024 in
+  let m =
+    { var = Array.make cap 0; lo = Array.make cap 0; hi = Array.make cap 0;
+      n = 2;
+      buckets = Array.make 4096 0; bmask = 4095;
+      nvars;
+      ck_op = Array.make (1 lsl cache_bits) (-1);
+      ck_a = Array.make (1 lsl cache_bits) 0;
+      ck_b = Array.make (1 lsl cache_bits) 0;
+      cv = Array.make (1 lsl cache_bits) 0;
+      cmask = (1 lsl cache_bits) - 1;
+      hits = 0; misses = 0; next_aux = 0; identity = None }
+  in
+  (* Terminals sit below every real variable. *)
+  m.var.(0) <- nvars;
+  m.var.(1) <- nvars;
+  m
+
+let uhash v l h mask =
+  let x = (v * 0x9E3779B1) lxor (l * 0x85EBCA77) lxor (h * 0xC2B2AE3F) in
+  (x lxor (x lsr 16)) land mask
+
+let rehash m =
+  let nmask = (m.bmask * 2) + 1 in
+  let nb = Array.make (nmask + 1) 0 in
+  for id = 2 to m.n - 1 do
+    let j = ref (uhash m.var.(id) m.lo.(id) m.hi.(id) nmask) in
+    while nb.(!j) <> 0 do
+      j := (!j + 1) land nmask
+    done;
+    nb.(!j) <- id + 1
+  done;
+  m.buckets <- nb;
+  m.bmask <- nmask
+
+let grow m =
+  let cap = Array.length m.var in
+  let ncap = cap * 2 in
+  let extend a = Array.append a (Array.make cap 0) in
+  m.var <- extend m.var;
+  m.lo <- extend m.lo;
+  m.hi <- extend m.hi;
+  ignore ncap
+
+let mk m v l h =
+  if l = h then l
+  else begin
+    if m.n * 4 > (m.bmask + 1) * 3 then rehash m;
+    let j = ref (uhash v l h m.bmask) in
+    let result = ref (-1) in
+    while !result < 0 do
+      let b = m.buckets.(!j) in
+      if b = 0 then begin
+        if m.n >= Array.length m.var then grow m;
+        let id = m.n in
+        m.n <- id + 1;
+        m.var.(id) <- v;
+        m.lo.(id) <- l;
+        m.hi.(id) <- h;
+        m.buckets.(!j) <- id + 1;
+        result := id
+      end
+      else begin
+        let id = b - 1 in
+        if m.var.(id) = v && m.lo.(id) = l && m.hi.(id) = h then result := id
+        else j := (!j + 1) land m.bmask
+      end
+    done;
+    !result
+  end
+
+let var m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Bdd.var";
+  mk m v 0 1
+
+let nvar m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Bdd.nvar";
+  mk m v 1 0
+
+let ite_raw m v l h =
+  assert (v < m.var.(l) && v < m.var.(h));
+  mk m v l h
+
+(* Operation codes for the shared cache. Auxiliary ids (varsets, perms) are
+   packed into high bits so distinct quantifications never collide. *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_diff = 3
+let op_not = 4
+let op_exists = 5
+let op_replace = 6
+let op_andex = 7
+let op_transform = 8
+let op_restrict = 9
+let op_compose = 10
+
+let cache_find m op a b =
+  let i = uhash op a b m.cmask in
+  if m.ck_op.(i) = op && m.ck_a.(i) = a && m.ck_b.(i) = b then begin
+    m.hits <- m.hits + 1;
+    m.cv.(i)
+  end
+  else begin
+    m.misses <- m.misses + 1;
+    -1
+  end
+
+let cache_store m op a b r =
+  let i = uhash op a b m.cmask in
+  m.ck_op.(i) <- op;
+  m.ck_a.(i) <- a;
+  m.ck_b.(i) <- b;
+  m.cv.(i) <- r
+
+let rec bnot m a =
+  if a = 0 then 1
+  else if a = 1 then 0
+  else
+    let r = cache_find m op_not a 0 in
+    if r >= 0 then r
+    else begin
+      let res = mk m m.var.(a) (bnot m m.lo.(a)) (bnot m m.hi.(a)) in
+      cache_store m op_not a 0 res;
+      res
+    end
+
+(* Generic binary apply for and/or/xor/diff. Commutative ops normalize the
+   operand order to improve cache hit rates. *)
+let rec apply m op a b =
+  let shortcut =
+    if op = op_and then
+      if a = 0 || b = 0 then 0
+      else if a = 1 then b
+      else if b = 1 then a
+      else if a = b then a
+      else -1
+    else if op = op_or then
+      if a = 1 || b = 1 then 1
+      else if a = 0 then b
+      else if b = 0 then a
+      else if a = b then a
+      else -1
+    else if op = op_xor then
+      if a = b then 0
+      else if a = 0 then b
+      else if b = 0 then a
+      else if a = 1 then bnot m b
+      else if b = 1 then bnot m a
+      else -1
+    else if a = 0 || b = 1 || a = b then 0 (* diff *)
+    else if b = 0 then a
+    else if a = 1 then bnot m b
+    else -1
+  in
+  if shortcut >= 0 then shortcut
+  else begin
+    let a, b = if op <> op_diff && a > b then (b, a) else (a, b) in
+    let r = cache_find m op a b in
+    if r >= 0 then r
+    else begin
+      let va = m.var.(a) and vb = m.var.(b) in
+      let v = if va < vb then va else vb in
+      let a0, a1 = if va = v then (m.lo.(a), m.hi.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.lo.(b), m.hi.(b)) else (b, b) in
+      let r0 = apply m op a0 b0 in
+      let r1 = apply m op a1 b1 in
+      let res = mk m v r0 r1 in
+      cache_store m op a b res;
+      res
+    end
+  end
+
+let band m a b = apply m op_and a b
+let bor m a b = apply m op_or a b
+let bxor m a b = apply m op_xor a b
+let bdiff m a b = apply m op_diff a b
+let bimplies m a b = bor m (bnot m a) b
+let ite m f g h = bor m (band m f g) (band m (bnot m f) h)
+let conj m l = List.fold_left (band m) top l
+let disj m l = List.fold_left (bor m) bot l
+
+let fresh_aux m =
+  let id = m.next_aux in
+  m.next_aux <- id + 1;
+  id
+
+let varset m levels =
+  let vs_mem = Array.make m.nvars false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= m.nvars then invalid_arg "Bdd.varset";
+      vs_mem.(v) <- true)
+    levels;
+  { vs_id = fresh_aux m; vs_mem }
+
+let varset_mem vs v = vs.vs_mem.(v)
+
+let perm m pairs =
+  let pm_map = Array.init m.nvars (fun i -> i) in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= m.nvars || b < 0 || b >= m.nvars then invalid_arg "Bdd.perm";
+      pm_map.(a) <- b)
+    pairs;
+  { pm_id = fresh_aux m; pm_map }
+
+let rec exists_rec m code vs a =
+  if a <= 1 then a
+  else begin
+    let r = cache_find m code a 0 in
+    if r >= 0 then r
+    else begin
+      let v = m.var.(a) in
+      let r0 = exists_rec m code vs m.lo.(a) in
+      let res =
+        if vs.vs_mem.(v) && r0 = 1 then 1
+        else
+          let r1 = exists_rec m code vs m.hi.(a) in
+          if vs.vs_mem.(v) then bor m r0 r1 else mk m v r0 r1
+      in
+      cache_store m code a 0 res;
+      res
+    end
+  end
+
+let exists m vs a = exists_rec m (op_exists lor (vs.vs_id lsl 4)) vs a
+
+let rec replace_rec m code pm a =
+  if a <= 1 then a
+  else begin
+    let r = cache_find m code a 0 in
+    if r >= 0 then r
+    else begin
+      let res =
+        mk m pm.pm_map.(m.var.(a)) (replace_rec m code pm m.lo.(a))
+          (replace_rec m code pm m.hi.(a))
+      in
+      cache_store m code a 0 res;
+      res
+    end
+  end
+
+let replace m pm a = replace_rec m (op_replace lor (pm.pm_id lsl 4)) pm a
+
+(* Relational product with an optional fused renaming: computes
+   rename(exists vs (a ∧ b)) in one traversal. [pm] may be the identity. *)
+let rec andex_rec m code vs pm a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 && b = 1 then 1
+  else begin
+    let a, b = if a > b then (b, a) else (a, b) in
+    let r = cache_find m code a b in
+    if r >= 0 then r
+    else begin
+      let va = m.var.(a) and vb = m.var.(b) in
+      let v = if va < vb then va else vb in
+      let a0, a1 = if va = v then (m.lo.(a), m.hi.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.lo.(b), m.hi.(b)) else (b, b) in
+      let r0 = andex_rec m code vs pm a0 b0 in
+      let res =
+        if vs.vs_mem.(v) then
+          if r0 = 1 then 1 else bor m r0 (andex_rec m code vs pm a1 b1)
+        else mk m pm.pm_map.(v) r0 (andex_rec m code vs pm a1 b1)
+      in
+      cache_store m code a b res;
+      res
+    end
+  end
+
+let identity_perm m =
+  match m.identity with
+  | Some pm -> pm
+  | None ->
+    let pm = { pm_id = -1; pm_map = Array.init m.nvars (fun i -> i) } in
+    m.identity <- Some pm;
+    pm
+
+let and_exists m vs a b =
+  andex_rec m (op_andex lor (vs.vs_id lsl 4)) vs (identity_perm m) a b
+
+let transform m ~rel ~quant ~rename a =
+  let code = op_transform lor (quant.vs_id lsl 4) lor (rename.pm_id lsl 20) in
+  andex_rec m code quant rename a rel
+
+let transform_unfused m ~rel ~quant ~rename a =
+  replace m rename (exists m quant (band m a rel))
+
+(* Variable substitution valid for ARBITRARY permutations (including
+   order-violating ones like src/dst swaps): rebuild bottom-up with full ite
+   instead of mk. Slower than [replace], but correct regardless of order. *)
+let rec compose_rec m code pm a =
+  if a <= 1 then a
+  else begin
+    let r = cache_find m code a 0 in
+    if r >= 0 then r
+    else begin
+      let v' = pm.pm_map.(m.var.(a)) in
+      let lo = compose_rec m code pm m.lo.(a) in
+      let hi = compose_rec m code pm m.hi.(a) in
+      let x = mk m v' 0 1 in
+      (* ite x hi lo *)
+      let res = apply m op_or (apply m op_and x hi) (apply m op_diff lo x) in
+      cache_store m code a 0 res;
+      res
+    end
+  end
+
+let compose_perm m pm a = compose_rec m (op_compose lor (pm.pm_id lsl 4)) pm a
+
+let rec restrict_rec m code v b a =
+  if a <= 1 then a
+  else if m.var.(a) > v then a
+  else begin
+    let r = cache_find m code a 0 in
+    if r >= 0 then r
+    else begin
+      let res =
+        if m.var.(a) = v then if b then m.hi.(a) else m.lo.(a)
+        else mk m m.var.(a) (restrict_rec m code v b m.lo.(a)) (restrict_rec m code v b m.hi.(a))
+      in
+      cache_store m code a 0 res;
+      res
+    end
+  end
+
+let restrict m v b a =
+  restrict_rec m (op_restrict lor (((v * 2) + Bool.to_int b) lsl 4)) v b a
+
+let iter_nodes m root f =
+  let seen = Hashtbl.create 64 in
+  let rec go a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      f a;
+      if a > 1 then begin
+        go m.lo.(a);
+        go m.hi.(a)
+      end
+    end
+  in
+  go root
+
+let support m a =
+  let levels = Hashtbl.create 16 in
+  iter_nodes m a (fun n -> if n > 1 then Hashtbl.replace levels m.var.(n) ());
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) levels [])
+
+let size m a =
+  let c = ref 0 in
+  iter_nodes m a (fun _ -> incr c);
+  !c
+
+let sat_count m a =
+  (* Satisfaction probability under uniform assignment; level skips cancel
+     because both cofactors are weighted 1/2. *)
+  let memo = Hashtbl.create 64 in
+  let rec prob a =
+    if a = 0 then 0.0
+    else if a = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo a with
+      | Some p -> p
+      | None ->
+        let p = 0.5 *. (prob m.lo.(a) +. prob m.hi.(a)) in
+        Hashtbl.add memo a p;
+        p
+  in
+  prob a *. (2.0 ** float_of_int m.nvars)
+
+let any_sat m a =
+  if a = 0 then None
+  else
+    let rec go a acc =
+      if a = 1 then List.rev acc
+      else
+        let v = m.var.(a) in
+        if m.lo.(a) <> 0 then go m.lo.(a) ((v, false) :: acc)
+        else go m.hi.(a) ((v, true) :: acc)
+    in
+    Some (go a [])
+
+let eval m a assign =
+  let rec go a = if a <= 1 then a = 1 else go (if assign m.var.(a) then m.hi.(a) else m.lo.(a)) in
+  go a
+
+let pick_preferred m a prefs =
+  List.fold_left
+    (fun acc p ->
+      let refined = band m acc p in
+      if refined = 0 then acc else refined)
+    a prefs

@@ -1,0 +1,119 @@
+(** Reduced ordered binary decision diagrams.
+
+    This is the symbolic backend of the data-plane verification engine
+    (paper §4.2). Nodes are hash-consed into a manager, so BDDs are canonical:
+    two BDDs over the same manager represent the same boolean function iff
+    they are physically equal ({!equal} is [==] on node ids). The manager owns
+    a unique table and direct-mapped operation caches; identity-based cache
+    hits short-circuit full traversals, as the paper notes.
+
+    Variables are identified by their level in the (fixed) variable order:
+    level 0 is tested first. *)
+
+type man
+type t = int
+
+(** [create ~nvars ()] makes a manager for variables [0 .. nvars-1].
+    [cache_bits] sizes the operation caches at [2^cache_bits] entries. *)
+val create : ?cache_bits:int -> nvars:int -> unit -> man
+
+val nvars : man -> int
+
+(** Number of live nodes in the manager (grows monotonically; there is no
+    garbage collection — analyses use a fresh manager per snapshot). *)
+val node_count : man -> int
+
+val bot : t
+val top : t
+
+(** [var man v] is the function "variable v is true". *)
+val var : man -> int -> t
+
+(** [nvar man v] is the function "variable v is false". *)
+val nvar : man -> int -> t
+
+(** [ite_raw man v lo hi] builds the node testing level [v] directly; [v]
+    must be strictly less than the root levels of [lo] and [hi]. *)
+val ite_raw : man -> int -> t -> t -> t
+
+val equal : t -> t -> bool
+val is_bot : t -> bool
+val is_top : t -> bool
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+
+(** [bdiff man a b] is [a ∧ ¬b]. *)
+val bdiff : man -> t -> t -> t
+
+val bnot : man -> t -> t
+val bimplies : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+val conj : man -> t list -> t
+val disj : man -> t list -> t
+
+(** Variable sets for quantification. Registered against a manager so
+    operations can be cached. *)
+type varset
+
+val varset : man -> int list -> varset
+val varset_mem : varset -> int -> bool
+
+(** Order-compatible variable renamings. [perm man pairs] renames level
+    [a] to level [b] for each [(a, b)]. The mapping must preserve relative
+    order on the variables that actually occur in the argument BDD, and no
+    target variable may occur in it. *)
+type perm
+
+val perm : man -> (int * int) list -> perm
+
+val exists : man -> varset -> t -> t
+val replace : man -> perm -> t -> t
+
+(** Variable substitution valid for arbitrary permutations (e.g. swapping
+    source and destination fields). Correct where {!replace} would require
+    order compatibility; potentially slower. *)
+val compose_perm : man -> perm -> t -> t
+
+(** [and_exists man vs a b] = [exists man vs (band man a b)], computed in one
+    pass (relational product). *)
+val and_exists : man -> varset -> t -> t -> t
+
+(** [transform man ~rel ~quant ~rename a] applies a packet-transformation
+    relation: [replace rename (exists quant (band a rel))], fused into a
+    single traversal. This is the optimized NAT operation of §4.2.3. *)
+val transform : man -> rel:t -> quant:varset -> rename:perm -> t -> t
+
+(** The same three steps executed separately (baseline for the ablation). *)
+val transform_unfused : man -> rel:t -> quant:varset -> rename:perm -> t -> t
+
+(** Restrict a variable to a constant. *)
+val restrict : man -> int -> bool -> t -> t
+
+(** Levels occurring in the BDD, ascending. *)
+val support : man -> t -> int list
+
+(** Number of nodes reachable from the root (including terminals). *)
+val size : man -> t -> int
+
+(** Number of satisfying assignments over [nvars] variables. *)
+val sat_count : man -> t -> float
+
+(** A satisfying assignment as [(level, value)] pairs for the levels tested
+    on the chosen path; unmentioned levels are unconstrained.
+    Returns [None] for [bot]. Prefers [false] branches, so unconstrained-
+    looking (all-zero) witnesses come out when possible. *)
+val any_sat : man -> t -> (int * bool) list option
+
+(** [eval man t assign] evaluates under a total assignment. *)
+val eval : man -> t -> (int -> bool) -> bool
+
+(** [pick_preferred man t prefs] intersects [t] with each preference in order,
+    keeping only intersections that remain satisfiable (§4.4.3 example
+    selection). The result is a non-empty subset of [t] when [t] is
+    non-empty. *)
+val pick_preferred : man -> t -> t list -> t
+
+(** Cache/unique-table statistics for benchmarks: (nodes, cache_hits,
+    cache_misses). *)
+val stats : man -> int * int * int

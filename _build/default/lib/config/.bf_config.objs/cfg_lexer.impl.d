@@ -1,0 +1,1 @@
+lib/config/cfg_lexer.ml: List String

@@ -1,0 +1,1 @@
+lib/config/ios_parser.ml: Array Cfg_lexer Hashtbl Int Ipv4 List Option Packet Prefix String Vi Warning

@@ -1,0 +1,1 @@
+lib/config/ios_parser.mli: Vi Warning

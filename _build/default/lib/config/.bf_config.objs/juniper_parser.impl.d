@@ -1,0 +1,1 @@
+lib/config/juniper_parser.ml: Cfg_lexer Hashtbl Ipv4 List Option Packet Prefix Printf String Vi Warning

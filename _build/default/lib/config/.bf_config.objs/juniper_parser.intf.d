@@ -1,0 +1,1 @@
+lib/config/juniper_parser.mli: Vi Warning

@@ -1,0 +1,1 @@
+lib/config/parse.ml: Cfg_lexer Ios_parser Ipv4 Juniper_parser List Option Prefix Printf Re Vi

@@ -1,0 +1,1 @@
+lib/config/parse.mli: Vi Warning

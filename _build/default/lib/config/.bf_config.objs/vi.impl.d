@@ -1,0 +1,1 @@
+lib/config/vi.ml: Ipv4 List Option Prefix Printf String

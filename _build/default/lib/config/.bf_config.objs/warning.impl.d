@@ -1,0 +1,1 @@
+lib/config/warning.ml: Printf

@@ -1,0 +1,27 @@
+(* Line-oriented tokenization shared by the vendor parsers. *)
+
+type line = {
+  num : int;  (* 1-based line number in the source *)
+  indent : int;
+  tokens : string list;
+  raw : string;
+}
+
+let tokenize s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let indent_of s =
+  let n = String.length s in
+  let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
+  go 0
+
+(* Comment lines ('!' in IOS, '#' in Juniper) and blank lines are dropped. *)
+let lines_of_string text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw -> (i + 1, raw))
+  |> List.filter_map (fun (num, raw) ->
+         let trimmed = String.trim raw in
+         if trimmed = "" || trimmed.[0] = '!' || trimmed.[0] = '#' then None
+         else Some { num; indent = indent_of raw; tokens = tokenize trimmed; raw })

@@ -1,0 +1,782 @@
+(* Recursive-descent, line-oriented parser for the IOS configuration family.
+
+   The parser walks top-level lines and consumes indented blocks for mode
+   commands (interface, router bgp/ospf, route-map, ip access-list). It never
+   fails on unknown input: unrecognized lines become warnings, matching how
+   Batfish must cope with the long tail of vendor syntax. *)
+
+open Cfg_lexer
+
+type state = {
+  mutable hostname : string;
+  vendor : string;
+  mutable interfaces : Vi.interface list;  (* reversed *)
+  mutable acls : Vi.acl list;
+  mutable prefix_lists : (string, Vi.prefix_list_entry list) Hashtbl.t;
+  mutable pl_order : string list;
+  mutable community_lists : (string, (Vi.action * int) list) Hashtbl.t;
+  mutable cl_order : string list;
+  mutable as_path_lists : (string, (Vi.action * string) list) Hashtbl.t;
+  mutable apl_order : string list;
+  mutable route_maps : (string, Vi.rm_clause list) Hashtbl.t;
+  mutable rm_order : string list;
+  mutable static_routes : Vi.static_route list;
+  mutable ospf : Vi.ospf_proc option;
+  mutable bgp : Vi.bgp_proc option;
+  mutable nat_pools : (string * Prefix.t) list;
+  mutable nat_rules : Vi.nat_rule list;
+  mutable zones : Vi.zone list;
+  mutable zone_policies : Vi.zone_policy list;
+  mutable ntp : string list;
+  mutable dns : string list;
+  mutable logging : string list;
+  mutable snmp : string option;
+  mutable warnings : Warning.t list;
+}
+
+let warn st (line : line) kind =
+  st.warnings <-
+    Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw) kind
+    :: st.warnings
+
+let mask_to_len mask =
+  let rec go len =
+    if len > 32 then None
+    else if Prefix.mask (Prefix.make 0 len) = mask then Some len
+    else go (len + 1)
+  in
+  go 0
+
+let wildcard_to_len w = mask_to_len (0xFFFF_FFFF lxor w land 0xFFFF_FFFF)
+
+(* [a.b.c.d mask] or [a.b.c.d/len] *)
+let addr_mask_prefix ip mask =
+  Option.bind (Ipv4.of_string_opt ip) (fun ip ->
+      Option.bind (Ipv4.of_string_opt mask) (fun m ->
+          Option.map (fun len -> Prefix.make ip len) (mask_to_len m)))
+
+(* ACL address spec: any | host IP | IP WILDCARD. Returns (prefix, rest). *)
+let parse_acl_addr tokens =
+  match tokens with
+  | "any" :: rest -> Some (Prefix.everything, rest)
+  | "host" :: ip :: rest ->
+    Option.map (fun ip -> (Prefix.host ip, rest)) (Ipv4.of_string_opt ip)
+  | ip :: wc :: rest -> (
+    match (Ipv4.of_string_opt ip, Ipv4.of_string_opt wc) with
+    | Some ip, Some wc -> (
+      match wildcard_to_len wc with
+      | Some len -> Some (Prefix.make ip len, rest)
+      | None -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Port spec: eq N | range A B | gt N | lt N; absent = any. *)
+let parse_ports tokens =
+  match tokens with
+  | "eq" :: p :: rest ->
+    Option.map (fun p -> ([ (p, p) ], rest)) (int_of_string_opt p)
+  | "range" :: a :: b :: rest -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some a, Some b -> Some ([ (a, b) ], rest)
+    | _ -> None)
+  | "gt" :: p :: rest ->
+    Option.map (fun p -> ([ (p + 1, 65535) ], rest)) (int_of_string_opt p)
+  | "lt" :: p :: rest ->
+    Option.map (fun p -> ([ (0, p - 1) ], rest)) (int_of_string_opt p)
+  | _ -> Some ([], tokens)
+
+let proto_of_string = function
+  | "ip" -> Some None
+  | "tcp" -> Some (Some Packet.Proto.tcp)
+  | "udp" -> Some (Some Packet.Proto.udp)
+  | "icmp" -> Some (Some Packet.Proto.icmp)
+  | "ospf" -> Some (Some Packet.Proto.ospf)
+  | s -> Option.map (fun p -> Some p) (int_of_string_opt s)
+
+let parse_acl_line st (line : line) seq_counter =
+  let tokens, seq =
+    match line.tokens with
+    | s :: rest when int_of_string_opt s <> None ->
+      (rest, int_of_string (List.hd line.tokens))
+    | toks -> (toks, !seq_counter)
+  in
+  seq_counter := seq + 10;
+  let fail () =
+    warn st line Warning.Unrecognized_syntax;
+    None
+  in
+  match tokens with
+  | action :: proto :: rest -> (
+    let action =
+      match action with
+      | "permit" -> Some Vi.Permit
+      | "deny" -> Some Vi.Deny
+      | _ -> None
+    in
+    match (action, proto_of_string proto) with
+    | Some action, Some proto -> (
+      match parse_acl_addr rest with
+      | None -> fail ()
+      | Some (src, rest) -> (
+        match parse_ports rest with
+        | None -> fail ()
+        | Some (src_ports, rest) -> (
+          match parse_acl_addr rest with
+          | None -> fail ()
+          | Some (dst, rest) -> (
+            match parse_ports rest with
+            | None -> fail ()
+            | Some (dst_ports, rest) ->
+              let established = List.mem "established" rest in
+              let icmp_type =
+                match rest with
+                | t :: _ when proto = Some Packet.Proto.icmp -> (
+                  match t with
+                  | "echo" -> Some 8
+                  | "echo-reply" -> Some 0
+                  | "ttl-exceeded" -> Some 11
+                  | "unreachable" -> Some 3
+                  | t -> int_of_string_opt t)
+                | _ -> None
+              in
+              let leftover =
+                List.filter
+                  (fun t ->
+                    t <> "established" && t <> "log"
+                    && (icmp_type = None
+                       || not
+                            (List.mem t
+                               [ "echo"; "echo-reply"; "ttl-exceeded"; "unreachable";
+                                 (match icmp_type with
+                                  | Some i -> string_of_int i
+                                  | None -> "") ])))
+                  rest
+              in
+              if leftover <> [] then warn st line Warning.Unrecognized_syntax;
+              Some
+                { Vi.l_seq = seq; l_action = action; l_proto = proto; l_src = src;
+                  l_dst = dst; l_src_ports = src_ports; l_dst_ports = dst_ports;
+                  l_established = established; l_icmp_type = icmp_type;
+                  l_text = String.trim line.raw }))))
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_interface_block st name children =
+  let i = ref (Vi.interface_default name) in
+  List.iter
+    (fun (line : line) ->
+      match line.tokens with
+      | "description" :: rest -> i := { !i with if_description = Some (String.concat " " rest) }
+      | [ "ip"; "address"; a; m ] -> (
+        match addr_mask_prefix a m with
+        | Some p ->
+          i := { !i with if_address = Some (Ipv4.of_string a, Prefix.length p) }
+        | None -> warn st line Warning.Bad_value)
+      | [ "ip"; "address"; a; m; "secondary" ] -> (
+        match addr_mask_prefix a m with
+        | Some p ->
+          i :=
+            { !i with
+              if_secondary = (Ipv4.of_string a, Prefix.length p) :: !i.if_secondary }
+        | None -> warn st line Warning.Bad_value)
+      | [ "ip"; "access-group"; acl; "in" ] -> i := { !i with if_in_acl = Some acl }
+      | [ "ip"; "access-group"; acl; "out" ] -> i := { !i with if_out_acl = Some acl }
+      | [ "ip"; "ospf"; "cost"; c ] -> (
+        match int_of_string_opt c with
+        | Some c ->
+          let oi =
+            match !i.if_ospf with
+            | Some oi -> oi
+            | None -> { Vi.oi_area = 0; oi_cost = None; oi_passive = false }
+          in
+          i := { !i with if_ospf = Some { oi with oi_cost = Some c } }
+        | None -> warn st line Warning.Bad_value)
+      | [ "ip"; "ospf"; _; "area"; a ] | [ "ip"; "ospf"; "area"; a ] -> (
+        match int_of_string_opt a with
+        | Some a ->
+          let oi =
+            match !i.if_ospf with
+            | Some oi -> oi
+            | None -> { Vi.oi_area = 0; oi_cost = None; oi_passive = false }
+          in
+          i := { !i with if_ospf = Some { oi with oi_area = a } }
+        | None -> warn st line Warning.Bad_value)
+      | [ "bandwidth"; b ] -> (
+        match int_of_string_opt b with
+        | Some kbps -> i := { !i with if_bandwidth = max 1 (kbps / 1000) }
+        | None -> warn st line Warning.Bad_value)
+      | [ "shutdown" ] -> i := { !i with if_enabled = false }
+      | [ "no"; "shutdown" ] -> i := { !i with if_enabled = true }
+      | [ "zone-member"; "security"; z ] ->
+        st.zones <-
+          (match List.partition (fun (zz : Vi.zone) -> zz.z_name = z) st.zones with
+           | [ zz ], others -> { zz with z_interfaces = name :: zz.z_interfaces } :: others
+           | _, others -> { Vi.z_name = z; z_interfaces = [ name ] } :: others)
+      | [ "switchport" ] | "switchport" :: _ | [ "no"; "switchport" ]
+      | "mtu" :: _ | "speed" :: _ | "duplex" :: _ | "negotiation" :: _
+      | "ip" :: "nat" :: _ | "cdp" :: _ | "spanning-tree" :: _ ->
+        () (* accepted but irrelevant to the model *)
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    children;
+  st.interfaces <- !i :: st.interfaces
+
+let parse_route_map_block st name action seq children =
+  let matches = ref [] and sets = ref [] in
+  List.iter
+    (fun (line : line) ->
+      match line.tokens with
+      | [ "match"; "ip"; "address"; "prefix-list"; pl ] ->
+        matches := Vi.Match_prefix_list pl :: !matches
+      | [ "match"; "community"; c ] -> matches := Vi.Match_community c :: !matches
+      | [ "match"; "as-path"; a ] -> matches := Vi.Match_as_path a :: !matches
+      | [ "match"; "metric"; m ] -> (
+        match int_of_string_opt m with
+        | Some m -> matches := Vi.Match_metric m :: !matches
+        | None -> warn st line Warning.Bad_value)
+      | [ "match"; "tag"; t ] -> (
+        match int_of_string_opt t with
+        | Some t -> matches := Vi.Match_tag t :: !matches
+        | None -> warn st line Warning.Bad_value)
+      | [ "match"; "source-protocol"; p ] -> matches := Vi.Match_protocol p :: !matches
+      | [ "set"; "local-preference"; v ] -> (
+        match int_of_string_opt v with
+        | Some v -> sets := Vi.Set_local_pref v :: !sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "set"; "metric"; v ] -> (
+        match int_of_string_opt v with
+        | Some v -> sets := Vi.Set_metric v :: !sets
+        | None -> warn st line Warning.Bad_value)
+      | "set" :: "community" :: rest ->
+        let additive = List.mem "additive" rest in
+        let comms =
+          List.filter_map Vi.community_of_string
+            (List.filter (fun t -> t <> "additive") rest)
+        in
+        sets := Vi.Set_communities (comms, additive) :: !sets
+      | [ "set"; "ip"; "next-hop"; ip ] -> (
+        match Ipv4.of_string_opt ip with
+        | Some ip -> sets := Vi.Set_next_hop ip :: !sets
+        | None -> warn st line Warning.Bad_value)
+      | "set" :: "as-path" :: "prepend" :: asns ->
+        sets := Vi.Set_as_path_prepend (List.filter_map int_of_string_opt asns) :: !sets
+      | [ "set"; "weight"; w ] -> (
+        match int_of_string_opt w with
+        | Some w -> sets := Vi.Set_weight w :: !sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "set"; "tag"; t ] -> (
+        match int_of_string_opt t with
+        | Some t -> sets := Vi.Set_tag t :: !sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "set"; "origin"; o ] -> (
+        match o with
+        | "igp" -> sets := Vi.Set_origin Vi.Origin_igp :: !sets
+        | "egp" -> sets := Vi.Set_origin Vi.Origin_egp :: !sets
+        | "incomplete" -> sets := Vi.Set_origin Vi.Origin_incomplete :: !sets
+        | _ -> warn st line Warning.Bad_value)
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    children;
+  let clause =
+    { Vi.rc_seq = seq; rc_action = action; rc_matches = List.rev !matches;
+      rc_sets = List.rev !sets }
+  in
+  (match Hashtbl.find_opt st.route_maps name with
+   | Some clauses -> Hashtbl.replace st.route_maps name (clause :: clauses)
+   | None ->
+     Hashtbl.add st.route_maps name [ clause ];
+     st.rm_order <- name :: st.rm_order)
+
+let parse_redistribute tokens =
+  (* redistribute <proto> [metric N] [metric-type 1|2] [route-map RM] [subnets] *)
+  match tokens with
+  | proto :: rest ->
+    let rec scan rest (rd : Vi.redistribution) =
+      match rest with
+      | [] -> Some rd
+      | "metric" :: m :: rest -> (
+        match int_of_string_opt m with
+        | Some m -> scan rest { rd with rd_metric = Some m }
+        | None -> None)
+      | "metric-type" :: t :: rest -> (
+        match t with
+        | "1" -> scan rest { rd with rd_metric_type = Vi.E1 }
+        | "2" -> scan rest { rd with rd_metric_type = Vi.E2 }
+        | _ -> None)
+      | "route-map" :: rm :: rest -> scan rest { rd with rd_route_map = Some rm }
+      | "subnets" :: rest -> scan rest rd
+      | _ -> None
+    in
+    scan rest
+      { Vi.rd_protocol = proto; rd_metric = None; rd_metric_type = Vi.E2;
+        rd_route_map = None }
+  | [] -> None
+
+let parse_ospf_block st children =
+  let p = ref Vi.ospf_proc_default in
+  List.iter
+    (fun (line : line) ->
+      match line.tokens with
+      | [ "router-id"; ip ] -> (
+        match Ipv4.of_string_opt ip with
+        | Some ip -> p := { !p with op_router_id = Some ip }
+        | None -> warn st line Warning.Bad_value)
+      | [ "network"; a; w; "area"; area ] -> (
+        match (Ipv4.of_string_opt a, Ipv4.of_string_opt w, int_of_string_opt area) with
+        | Some a, Some w, Some area -> (
+          match wildcard_to_len w with
+          | Some len ->
+            p := { !p with op_networks = (Prefix.make a len, area) :: !p.op_networks }
+          | None -> warn st line Warning.Bad_value)
+        | _ -> warn st line Warning.Bad_value)
+      | [ "passive-interface"; "default" ] -> p := { !p with op_default_passive = true }
+      | [ "passive-interface"; i ] ->
+        p := { !p with op_passive_interfaces = i :: !p.op_passive_interfaces }
+      | [ "no"; "passive-interface"; i ] ->
+        p := { !p with op_active_interfaces = i :: !p.op_active_interfaces }
+      | "redistribute" :: rest -> (
+        match parse_redistribute rest with
+        | Some rd -> p := { !p with op_redistribute = rd :: !p.op_redistribute }
+        | None -> warn st line Warning.Unrecognized_syntax)
+      | [ "maximum-paths"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> p := { !p with op_max_paths = n }
+        | None -> warn st line Warning.Bad_value)
+      | [ "auto-cost"; "reference-bandwidth"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> p := { !p with op_reference_bandwidth = n }
+        | None -> warn st line Warning.Bad_value)
+      | "log-adjacency-changes" :: _ | "area" :: _ -> ()
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    children;
+  st.ospf <-
+    Some
+      { !p with
+        op_networks = List.rev !p.op_networks;
+        op_redistribute = List.rev !p.op_redistribute }
+
+let parse_bgp_block st asn children =
+  (* Repeated `router bgp` blocks (common in generated/merged configs)
+     accumulate into one process. *)
+  let p =
+    ref
+      (match st.bgp with
+       | Some existing when existing.Vi.bp_as = asn -> existing
+       | Some _ | None -> Vi.bgp_proc_default asn)
+  in
+  let neighbors : (Ipv4.t, Vi.bgp_neighbor) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (n : Vi.bgp_neighbor) ->
+      Hashtbl.replace neighbors n.bn_peer n;
+      order := n.bn_peer :: !order)
+    !p.bp_neighbors;
+  p := { !p with bp_neighbors = []; bp_networks = List.rev !p.bp_networks;
+         bp_redistribute = List.rev !p.bp_redistribute };
+  let with_neighbor st line ip f =
+    match Ipv4.of_string_opt ip with
+    | None -> warn st line Warning.Bad_value
+    | Some peer -> (
+      match Hashtbl.find_opt neighbors peer with
+      | Some n -> Hashtbl.replace neighbors peer (f n)
+      | None ->
+        (* IOS requires remote-as first; tolerate other orders with AS 0,
+           flagged later by the session-compatibility question. *)
+        Hashtbl.add neighbors peer (f (Vi.bgp_neighbor_default peer 0));
+        order := peer :: !order)
+  in
+  List.iter
+    (fun (line : line) ->
+      match line.tokens with
+      | [ "bgp"; "router-id"; ip ] -> (
+        match Ipv4.of_string_opt ip with
+        | Some ip -> p := { !p with bp_router_id = Some ip }
+        | None -> warn st line Warning.Bad_value)
+      | [ "bgp"; "cluster-id"; ip ] -> (
+        match Ipv4.of_string_opt ip with
+        | Some ip -> p := { !p with bp_cluster_id = Some ip }
+        | None -> warn st line Warning.Bad_value)
+      | "bgp" :: "log-neighbor-changes" :: _ -> ()
+      | [ "neighbor"; ip; "remote-as"; ras ] -> (
+        match int_of_string_opt ras with
+        | Some ras -> with_neighbor st line ip (fun n -> { n with bn_remote_as = ras })
+        | None -> warn st line Warning.Bad_value)
+      | "neighbor" :: ip :: "description" :: rest ->
+        with_neighbor st line ip (fun n ->
+            { n with bn_description = Some (String.concat " " rest) })
+      | [ "neighbor"; ip; "update-source"; i ] ->
+        with_neighbor st line ip (fun n -> { n with bn_update_source = Some i })
+      | [ "neighbor"; ip; "next-hop-self" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_next_hop_self = true })
+      | [ "neighbor"; ip; "route-reflector-client" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_route_reflector_client = true })
+      | [ "neighbor"; ip; "send-community" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_send_community = true })
+      | [ "neighbor"; ip; "route-map"; rm; "in" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_import_policy = Some rm })
+      | [ "neighbor"; ip; "route-map"; rm; "out" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_export_policy = Some rm })
+      | [ "neighbor"; ip; "prefix-list"; pl; "in" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_prefix_list_in = Some pl })
+      | [ "neighbor"; ip; "prefix-list"; pl; "out" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_prefix_list_out = Some pl })
+      | [ "neighbor"; ip; "ebgp-multihop" ] | [ "neighbor"; ip; "ebgp-multihop"; _ ] ->
+        with_neighbor st line ip (fun n -> { n with bn_ebgp_multihop = true })
+      | [ "neighbor"; ip; "allowas-in" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_allowas_in = 1 })
+      | [ "neighbor"; ip; "allowas-in"; k ] -> (
+        match int_of_string_opt k with
+        | Some k -> with_neighbor st line ip (fun n -> { n with bn_allowas_in = k })
+        | None -> warn st line Warning.Bad_value)
+      | [ "neighbor"; ip; "local-as"; las ] -> (
+        match int_of_string_opt las with
+        | Some las -> with_neighbor st line ip (fun n -> { n with bn_local_as = Some las })
+        | None -> warn st line Warning.Bad_value)
+      | [ "neighbor"; ip; "shutdown" ] ->
+        with_neighbor st line ip (fun n -> { n with bn_shutdown = true })
+      | [ "network"; a; "mask"; m ] -> (
+        match addr_mask_prefix a m with
+        | Some pre -> p := { !p with bp_networks = (pre, None) :: !p.bp_networks }
+        | None -> warn st line Warning.Bad_value)
+      | [ "network"; a; "mask"; m; "route-map"; rm ] -> (
+        match addr_mask_prefix a m with
+        | Some pre -> p := { !p with bp_networks = (pre, Some rm) :: !p.bp_networks }
+        | None -> warn st line Warning.Bad_value)
+      | "redistribute" :: rest -> (
+        match parse_redistribute rest with
+        | Some rd -> p := { !p with bp_redistribute = rd :: !p.bp_redistribute }
+        | None -> warn st line Warning.Unrecognized_syntax)
+      | [ "maximum-paths"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> p := { !p with bp_max_paths = n }
+        | None -> warn st line Warning.Bad_value)
+      | [ "maximum-paths"; "ibgp"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> p := { !p with bp_max_paths_ibgp = n }
+        | None -> warn st line Warning.Bad_value)
+      | [ "address-family"; "ipv4" ] | [ "exit-address-family" ]
+      | [ "address-family"; "ipv4"; "unicast" ] -> ()
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    children;
+  let bn =
+    List.rev_map (fun peer -> Hashtbl.find neighbors peer) !order
+  in
+  st.bgp <-
+    Some
+      { !p with
+        bp_neighbors = bn;
+        bp_networks = List.rev !p.bp_networks;
+        bp_redistribute = List.rev !p.bp_redistribute }
+
+let parse_static_route st (line : line) tokens =
+  (* ip route A MASK (IP | Null0 | IFNAME [IP]) [AD] [tag T] *)
+  match tokens with
+  | a :: m :: rest -> (
+    match addr_mask_prefix a m with
+    | None -> warn st line Warning.Bad_value
+    | Some prefix -> (
+      let nh, rest =
+        match rest with
+        | "Null0" :: rest -> (Some Vi.Nh_discard, rest)
+        | g :: rest when Ipv4.of_string_opt g <> None ->
+          (Some (Vi.Nh_ip (Ipv4.of_string g)), rest)
+        | ifname :: g :: rest when Ipv4.of_string_opt g <> None ->
+          ignore ifname;
+          (Some (Vi.Nh_ip (Ipv4.of_string g)), rest)
+        | ifname :: rest -> (Some (Vi.Nh_interface ifname), rest)
+        | [] -> (None, [])
+      in
+      match nh with
+      | None -> warn st line Warning.Bad_value
+      | Some nh ->
+        let ad, rest =
+          match rest with
+          | d :: rest' when int_of_string_opt d <> None -> (int_of_string d, rest')
+          | _ -> (1, rest)
+        in
+        let tag =
+          match rest with
+          | [ "tag"; t ] -> Option.value ~default:0 (int_of_string_opt t)
+          | [] -> 0
+          | _ ->
+            warn st line Warning.Unrecognized_syntax;
+            0
+        in
+        st.static_routes <-
+          { Vi.sr_prefix = prefix; sr_next_hop = nh; sr_ad = ad; sr_tag = tag }
+          :: st.static_routes))
+  | _ -> warn st line Warning.Bad_value
+
+let parse_nat st (line : line) tokens =
+  match tokens with
+  | [ "pool"; name; start_ip; _end_ip; "prefix-length"; len ] -> (
+    match (Ipv4.of_string_opt start_ip, int_of_string_opt len) with
+    | Some ip, Some len -> st.nat_pools <- (name, Prefix.make ip len) :: st.nat_pools
+    | _ -> warn st line Warning.Bad_value)
+  | "inside" :: "source" :: "list" :: acl :: "pool" :: pool :: _ -> (
+    match List.assoc_opt pool st.nat_pools with
+    | Some p ->
+      st.nat_rules <-
+        { Vi.nr_kind = `Source; nr_match_acl = Some acl; nr_match_src = None;
+          nr_match_dst = None; nr_pool = Vi.Nat_prefix p }
+        :: st.nat_rules
+    | None ->
+      st.warnings <-
+        Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
+          (Warning.Undefined_reference ("nat pool", pool))
+        :: st.warnings)
+  | "inside" :: "source" :: "list" :: acl :: "interface" :: _ ->
+    st.nat_rules <-
+      { Vi.nr_kind = `Source; nr_match_acl = Some acl; nr_match_src = None;
+        nr_match_dst = None; nr_pool = Vi.Nat_interface }
+      :: st.nat_rules
+  | [ "inside"; "source"; "static"; local; global ] -> (
+    match (Ipv4.of_string_opt local, Ipv4.of_string_opt global) with
+    | Some l, Some g ->
+      st.nat_rules <-
+        { Vi.nr_kind = `Source; nr_match_acl = None;
+          nr_match_src = Some (Prefix.host l); nr_match_dst = None;
+          nr_pool = Vi.Nat_ip g }
+        :: st.nat_rules;
+      (* Static NAT is bidirectional: inbound traffic to the global address
+         is translated back to the local address. *)
+      st.nat_rules <-
+        { Vi.nr_kind = `Destination; nr_match_acl = None; nr_match_src = None;
+          nr_match_dst = Some (Prefix.host g); nr_pool = Vi.Nat_ip l }
+        :: st.nat_rules
+    | _ -> warn st line Warning.Bad_value)
+  | _ -> warn st line Warning.Unrecognized_syntax
+
+let parse ?(vendor = "cisco-ios") text =
+  let lines = Array.of_list (lines_of_string text) in
+  let n = Array.length lines in
+  let st =
+    { hostname = "unknown"; vendor; interfaces = []; acls = [];
+      prefix_lists = Hashtbl.create 16; pl_order = [];
+      community_lists = Hashtbl.create 16; cl_order = [];
+      as_path_lists = Hashtbl.create 16; apl_order = [];
+      route_maps = Hashtbl.create 16; rm_order = [];
+      static_routes = []; ospf = None; bgp = None; nat_pools = [];
+      nat_rules = []; zones = []; zone_policies = []; ntp = []; dns = [];
+      logging = []; snmp = None; warnings = [] }
+  in
+  let block i =
+    (* children: following lines with indent > 0 *)
+    let rec go j acc =
+      if j < n && lines.(j).indent > 0 then go (j + 1) (lines.(j) :: acc)
+      else (List.rev acc, j)
+    in
+    go (i + 1) []
+  in
+  let rec top i =
+    if i >= n then ()
+    else
+      let line = lines.(i) in
+      let next = ref (i + 1) in
+      (match line.tokens with
+       | [ "hostname"; h ] -> st.hostname <- h
+       | [ "ntp"; "server"; s ] -> st.ntp <- s :: st.ntp
+       | "ip" :: "name-server" :: servers -> st.dns <- List.rev servers @ st.dns
+       | [ "logging"; "host"; s ] | [ "logging"; s ] -> st.logging <- s :: st.logging
+       | "snmp-server" :: "community" :: c :: _ -> st.snmp <- Some c
+       | "version" :: _ | "boot" :: _ | "service" :: _ | "aaa" :: _ | "line" :: _
+       | "banner" :: _ | "enable" :: _ | "clock" :: _ | "end" :: _
+       | "spanning-tree" :: _ | "vlan" :: _ | "username" :: _ ->
+         (* boilerplate irrelevant to the model; skip with any children *)
+         let _, j = block i in
+         next := j
+       | "interface" :: rest ->
+         let name = String.concat "" rest in
+         let children, j = block i in
+         parse_interface_block st name children;
+         next := j
+       | [ "ip"; "access-list"; "extended"; name ] | [ "ip"; "access-list"; name ] ->
+         let children, j = block i in
+         let seq_counter = ref 10 in
+         let acl_lines = List.filter_map (fun l -> parse_acl_line st l seq_counter) children in
+         st.acls <- { Vi.acl_name = name; acl_lines } :: st.acls;
+         next := j
+       | "access-list" :: num :: rest when int_of_string_opt num <> None -> (
+         (* classic numbered ACLs: 1-99 standard (source match only),
+            100-199 extended *)
+         let n = int_of_string num in
+         let seq_counter =
+           ref
+             (10
+             * (1
+               + List.length
+                   (match List.find_opt (fun (a : Vi.acl) -> a.acl_name = num) st.acls with
+                    | Some a -> a.acl_lines
+                    | None -> [])))
+         in
+         let parsed =
+           if n < 100 then
+             (* standard: [permit|deny] <src-spec> *)
+             match rest with
+             | action :: addr ->
+               let action =
+                 match action with
+                 | "permit" -> Some Vi.Permit
+                 | "deny" -> Some Vi.Deny
+                 | _ -> None
+               in
+               (match (action, parse_acl_addr addr) with
+                | Some action, Some (src, leftover) when leftover = [] || leftover = [ "log" ] ->
+                  Some
+                    { Vi.l_seq = !seq_counter; l_action = action; l_proto = None;
+                      l_src = src; l_dst = Prefix.everything; l_src_ports = [];
+                      l_dst_ports = []; l_established = false; l_icmp_type = None;
+                      l_text = String.trim line.raw }
+                | _ -> None)
+             | [] -> None
+           else parse_acl_line st { line with tokens = rest } seq_counter
+         in
+         match parsed with
+         | None -> warn st line Warning.Unrecognized_syntax
+         | Some acl_line ->
+           st.acls <-
+             (match List.partition (fun (a : Vi.acl) -> a.acl_name = num) st.acls with
+              | [ a ], others ->
+                { a with Vi.acl_lines = a.acl_lines @ [ acl_line ] } :: others
+              | _, others -> { Vi.acl_name = num; acl_lines = [ acl_line ] } :: others))
+       | "ip" :: "prefix-list" :: name :: rest -> (
+         let seq, rest =
+           match rest with
+           | "seq" :: s :: rest' when int_of_string_opt s <> None ->
+             (int_of_string s, rest')
+           | _ ->
+             ( (match Hashtbl.find_opt st.prefix_lists name with
+                | Some es -> (List.length es + 1) * 10
+                | None -> 10),
+               rest )
+         in
+         match rest with
+         | action :: pfx :: modifiers -> (
+           let action =
+             match action with
+             | "permit" -> Some Vi.Permit
+             | "deny" -> Some Vi.Deny
+             | _ -> None
+           in
+           match (action, Prefix.of_string_opt pfx) with
+           | Some action, Some prefix ->
+             let rec mods ge le = function
+               | "ge" :: v :: rest -> (
+                 match int_of_string_opt v with
+                 | Some v -> mods (Some v) le rest
+                 | None -> (ge, le, false))
+               | "le" :: v :: rest -> (
+                 match int_of_string_opt v with
+                 | Some v -> mods ge (Some v) rest
+                 | None -> (ge, le, false))
+               | [] -> (ge, le, true)
+               | _ -> (ge, le, false)
+             in
+             let ge, le, ok = mods None None modifiers in
+             if not ok then warn st line Warning.Unrecognized_syntax;
+             let entry =
+               { Vi.ple_seq = seq; ple_action = action; ple_prefix = prefix;
+                 ple_ge = ge; ple_le = le }
+             in
+             (match Hashtbl.find_opt st.prefix_lists name with
+              | Some es -> Hashtbl.replace st.prefix_lists name (entry :: es)
+              | None ->
+                Hashtbl.add st.prefix_lists name [ entry ];
+                st.pl_order <- name :: st.pl_order)
+           | _ -> warn st line Warning.Bad_value)
+         | _ -> warn st line Warning.Unrecognized_syntax)
+       | "ip" :: "community-list" :: rest -> (
+         let rest =
+           match rest with
+           | "standard" :: r -> r
+           | r -> r
+         in
+         match rest with
+         | name :: action :: comms ->
+           let action = if action = "deny" then Vi.Deny else Vi.Permit in
+           let entries = List.filter_map Vi.community_of_string comms in
+           let entries = List.map (fun c -> (action, c)) entries in
+           (match Hashtbl.find_opt st.community_lists name with
+            | Some es -> Hashtbl.replace st.community_lists name (List.rev entries @ es)
+            | None ->
+              Hashtbl.add st.community_lists name (List.rev entries);
+              st.cl_order <- name :: st.cl_order)
+         | _ -> warn st line Warning.Unrecognized_syntax)
+       | "ip" :: "as-path" :: "access-list" :: name :: action :: regex -> (
+         let action = if action = "deny" then Vi.Deny else Vi.Permit in
+         let entry = (action, String.concat " " regex) in
+         match Hashtbl.find_opt st.as_path_lists name with
+         | Some es -> Hashtbl.replace st.as_path_lists name (entry :: es)
+         | None ->
+           Hashtbl.add st.as_path_lists name [ entry ];
+           st.apl_order <- name :: st.apl_order)
+       | [ "route-map"; name; action; seq ] -> (
+         match
+           ( (match action with
+              | "permit" -> Some Vi.Permit
+              | "deny" -> Some Vi.Deny
+              | _ -> None),
+             int_of_string_opt seq )
+         with
+         | Some action, Some seq ->
+           let children, j = block i in
+           parse_route_map_block st name action seq children;
+           next := j
+         | _ -> warn st line Warning.Unrecognized_syntax)
+       | "router" :: "ospf" :: _ ->
+         let children, j = block i in
+         parse_ospf_block st children;
+         next := j
+       | [ "router"; "bgp"; asn ] -> (
+         match int_of_string_opt asn with
+         | Some asn ->
+           let children, j = block i in
+           parse_bgp_block st asn children;
+           next := j
+         | None -> warn st line Warning.Bad_value)
+       | "ip" :: "route" :: rest -> parse_static_route st line rest
+       | "ip" :: "nat" :: rest -> parse_nat st line rest
+       | [ "zone"; "security"; name ] ->
+         if not (List.exists (fun (z : Vi.zone) -> z.z_name = name) st.zones) then
+           st.zones <- { Vi.z_name = name; z_interfaces = [] } :: st.zones
+       | [ "zone-pair"; "security"; _; "source"; src; "destination"; dst; "acl"; acl ]
+       | [ "zone-pair"; "security"; "source"; src; "destination"; dst; "acl"; acl ] ->
+         st.zone_policies <- { Vi.zp_from = src; zp_to = dst; zp_acl = acl } :: st.zone_policies
+       | _ -> warn st line Warning.Unrecognized_syntax);
+      top !next
+  in
+  top 0;
+  let assemble order tbl f =
+    List.rev_map (fun name -> f name (List.rev (Hashtbl.find tbl name))) order
+  in
+  let cfg =
+    { (Vi.empty st.hostname st.vendor) with
+      interfaces = List.rev st.interfaces;
+      acls = List.rev st.acls;
+      prefix_lists =
+        assemble st.pl_order st.prefix_lists (fun pl_name pl_entries ->
+            { Vi.pl_name; pl_entries });
+      community_lists =
+        assemble st.cl_order st.community_lists (fun cl_name cl_entries ->
+            { Vi.cl_name; cl_entries });
+      as_path_lists =
+        assemble st.apl_order st.as_path_lists (fun apl_name apl_entries ->
+            { Vi.apl_name; apl_entries });
+      route_maps =
+        assemble st.rm_order st.route_maps (fun rm_name clauses ->
+            { Vi.rm_name;
+              rm_clauses =
+                List.sort (fun a b -> Int.compare a.Vi.rc_seq b.Vi.rc_seq) clauses });
+      static_routes = List.rev st.static_routes;
+      ospf = st.ospf;
+      bgp = st.bgp;
+      nat_rules = List.rev st.nat_rules;
+      zones =
+        List.rev_map
+          (fun (z : Vi.zone) -> { z with z_interfaces = List.rev z.z_interfaces })
+          st.zones;
+      zone_policies = List.rev st.zone_policies;
+      ntp_servers = List.rev st.ntp;
+      dns_servers = List.rev st.dns;
+      logging_servers = List.rev st.logging;
+      snmp_community = st.snmp }
+  in
+  (cfg, List.rev st.warnings)

@@ -1,0 +1,9 @@
+(** Parser for Cisco-IOS-style configuration text (also used for the
+    Arista-EOS flavour, which shares most syntax).
+
+    Unrecognized lines produce warnings instead of failures, mirroring
+    Batfish's tolerance of the configuration long tail (Lesson 3). *)
+
+(** [parse ~vendor text] returns the vendor-independent model and parse
+    warnings. [vendor] should be ["cisco-ios"] or ["arista-eos"]. *)
+val parse : ?vendor:string -> string -> Vi.t * Warning.t list

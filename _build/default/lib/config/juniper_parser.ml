@@ -1,0 +1,698 @@
+(* Juniper "set"-statement parser. Every line is independent; structures are
+   accumulated keyed by name and assembled at the end in first-seen order. *)
+
+open Cfg_lexer
+
+type fw_term = {
+  mutable ft_srcs : Prefix.t list;
+  mutable ft_dsts : Prefix.t list;
+  mutable ft_proto : int option;
+  mutable ft_src_ports : (int * int) list;
+  mutable ft_dst_ports : (int * int) list;
+  mutable ft_established : bool;
+  mutable ft_icmp_type : int option;
+  mutable ft_action : Vi.action option;
+}
+
+type ps_term = {
+  mutable pt_matches : Vi.match_cond list;  (* reversed *)
+  mutable pt_route_filters : Vi.prefix_list_entry list;  (* reversed *)
+  mutable pt_sets : Vi.set_action list;  (* reversed *)
+  mutable pt_action : Vi.action option;
+}
+
+type bgp_group = {
+  mutable bg_internal : bool;
+  mutable bg_peer_as : int option;
+  mutable bg_import : string option;
+  mutable bg_export : string option;
+  mutable bg_cluster : Ipv4.t option;
+  mutable bg_multipath : bool;
+  mutable bg_neighbors : (Ipv4.t * int option * string option) list;
+  (* peer, per-neighbor peer-as, description; reversed *)
+}
+
+type st = {
+  mutable hostname : string;
+  mutable warnings : Warning.t list;
+  mutable interfaces : (string, Vi.interface) Hashtbl.t;
+  mutable if_order : string list;
+  filters : (string, (string, fw_term) Hashtbl.t * string list ref) Hashtbl.t;
+  mutable filter_order : string list;
+  policies : (string, (string, ps_term) Hashtbl.t * string list ref) Hashtbl.t;
+  mutable policy_order : string list;
+  mutable prefix_lists : (string, Prefix.t list) Hashtbl.t;
+  mutable pl_order : string list;
+  mutable communities : (string, int list) Hashtbl.t;
+  mutable comm_order : string list;
+  mutable as_paths : (string, string) Hashtbl.t;
+  mutable apl_order : string list;
+  mutable statics : Vi.static_route list;
+  mutable asn : int option;
+  mutable router_id : Ipv4.t option;
+  mutable ospf_ref_bw : int;
+  mutable ospf_ifaces : (string * int * int option * bool) list;  (* if, area, metric, passive *)
+  mutable ospf_exports : string list;
+  bgp_groups : (string, bgp_group) Hashtbl.t;
+  mutable bg_order : string list;
+  mutable zones : (string * string list ref) list;
+  mutable zone_policies : Vi.zone_policy list;
+  mutable nat_pools : (string, Prefix.t) Hashtbl.t;
+  mutable nat_rules : Vi.nat_rule list;
+  mutable ntp : string list;
+  mutable dns : string list;
+  mutable syslog : string list;
+  mutable snmp : string option;
+}
+
+let warn st (line : line) kind =
+  st.warnings <-
+    Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw) kind
+    :: st.warnings
+
+let get_interface st name =
+  match Hashtbl.find_opt st.interfaces name with
+  | Some i -> i
+  | None ->
+    let i = Vi.interface_default name in
+    Hashtbl.add st.interfaces name i;
+    st.if_order <- name :: st.if_order;
+    i
+
+let set_interface st name i = Hashtbl.replace st.interfaces name i
+
+let get_named tbl order name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Hashtbl.add tbl name v;
+    order := name :: !order;
+    v
+
+let get_fw_term st fname tname =
+  let order_ref = ref st.filter_order in
+  let terms, torder =
+    get_named st.filters order_ref fname (fun () -> (Hashtbl.create 8, ref []))
+  in
+  st.filter_order <- !order_ref;
+  match Hashtbl.find_opt terms tname with
+  | Some t -> t
+  | None ->
+    let t =
+      { ft_srcs = []; ft_dsts = []; ft_proto = None; ft_src_ports = [];
+        ft_dst_ports = []; ft_established = false; ft_icmp_type = None;
+        ft_action = None }
+    in
+    Hashtbl.add terms tname t;
+    torder := tname :: !torder;
+    t
+
+let get_ps_term st pname tname =
+  let order_ref = ref st.policy_order in
+  let terms, torder =
+    get_named st.policies order_ref pname (fun () -> (Hashtbl.create 8, ref []))
+  in
+  st.policy_order <- !order_ref;
+  match Hashtbl.find_opt terms tname with
+  | Some t -> t
+  | None ->
+    let t = { pt_matches = []; pt_route_filters = []; pt_sets = []; pt_action = None } in
+    Hashtbl.add terms tname t;
+    torder := tname :: !torder;
+    t
+
+let get_bgp_group st gname =
+  let order_ref = ref st.bg_order in
+  let g =
+    get_named st.bgp_groups order_ref gname (fun () ->
+        { bg_internal = false; bg_peer_as = None; bg_import = None;
+          bg_export = None; bg_cluster = None; bg_multipath = false;
+          bg_neighbors = [] })
+  in
+  st.bg_order <- !order_ref;
+  g
+
+let port_range s =
+  match String.index_opt s '-' with
+  | Some i -> (
+    match
+      ( int_of_string_opt (String.sub s 0 i),
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    with
+    | Some a, Some b -> Some (a, b)
+    | _ -> None)
+  | None -> Option.map (fun p -> (p, p)) (int_of_string_opt s)
+
+let proto_num = function
+  | "tcp" -> Some Packet.Proto.tcp
+  | "udp" -> Some Packet.Proto.udp
+  | "icmp" -> Some Packet.Proto.icmp
+  | "ospf" -> Some Packet.Proto.ospf
+  | s -> int_of_string_opt s
+
+let handle st (line : line) =
+  match line.tokens with
+  | "set" :: rest -> (
+    match rest with
+    | [ "system"; "host-name"; h ] -> st.hostname <- h
+    | [ "system"; "ntp"; "server"; s ] -> st.ntp <- s :: st.ntp
+    | [ "system"; "name-server"; s ] -> st.dns <- s :: st.dns
+    | "system" :: "syslog" :: "host" :: s :: _ -> st.syslog <- s :: st.syslog
+    | "system" :: _ -> () (* other system config is irrelevant to the model *)
+    | [ "snmp"; "community"; c ] -> st.snmp <- Some c
+    | [ "interfaces"; ifname; "unit"; "0"; "family"; "inet"; "address"; addr ] -> (
+      match Prefix.of_string_opt addr with
+      | Some _ -> (
+        match String.index_opt addr '/' with
+        | Some k ->
+          let ip = Ipv4.of_string (String.sub addr 0 k) in
+          let len = int_of_string (String.sub addr (k + 1) (String.length addr - k - 1)) in
+          let i = get_interface st ifname in
+          if i.if_address = None then
+            set_interface st ifname { i with if_address = Some (ip, len) }
+          else
+            set_interface st ifname { i with if_secondary = (ip, len) :: i.if_secondary }
+        | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Warning.Bad_value)
+    | [ "interfaces"; ifname; "disable" ] ->
+      set_interface st ifname { (get_interface st ifname) with if_enabled = false }
+    | "interfaces" :: ifname :: "description" :: d ->
+      set_interface st ifname
+        { (get_interface st ifname) with if_description = Some (String.concat " " d) }
+    | [ "interfaces"; ifname; "unit"; "0"; "family"; "inet"; "filter"; "input"; f ] ->
+      set_interface st ifname { (get_interface st ifname) with if_in_acl = Some f }
+    | [ "interfaces"; ifname; "unit"; "0"; "family"; "inet"; "filter"; "output"; f ] ->
+      set_interface st ifname { (get_interface st ifname) with if_out_acl = Some f }
+    | [ "interfaces"; ifname; "speed"; _ ] | [ "interfaces"; ifname; "mtu"; _ ] ->
+      ignore ifname
+    | [ "routing-options"; "autonomous-system"; a ] -> (
+      match int_of_string_opt a with
+      | Some a -> st.asn <- Some a
+      | None -> warn st line Warning.Bad_value)
+    | [ "routing-options"; "router-id"; r ] -> (
+      match Ipv4.of_string_opt r with
+      | Some r -> st.router_id <- Some r
+      | None -> warn st line Warning.Bad_value)
+    | [ "routing-options"; "static"; "route"; p; "next-hop"; nh ] -> (
+      match (Prefix.of_string_opt p, Ipv4.of_string_opt nh) with
+      | Some p, Some nh ->
+        st.statics <-
+          { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_ip nh; sr_ad = 5; sr_tag = 0 }
+          :: st.statics
+      | _ -> warn st line Warning.Bad_value)
+    | [ "routing-options"; "static"; "route"; p; "discard" ] -> (
+      match Prefix.of_string_opt p with
+      | Some p ->
+        st.statics <-
+          { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_discard; sr_ad = 5; sr_tag = 0 }
+          :: st.statics
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "ospf"; "reference-bandwidth"; b ] -> (
+      match int_of_string_opt b with
+      | Some b -> st.ospf_ref_bw <- b
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "ospf"; "area"; a; "interface"; i ] -> (
+      match int_of_string_opt a with
+      | Some a -> st.ospf_ifaces <- (i, a, None, false) :: st.ospf_ifaces
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "ospf"; "area"; a; "interface"; i; "metric"; m ] -> (
+      match (int_of_string_opt a, int_of_string_opt m) with
+      | Some a, Some m -> st.ospf_ifaces <- (i, a, Some m, false) :: st.ospf_ifaces
+      | _ -> warn st line Warning.Bad_value)
+    | [ "protocols"; "ospf"; "area"; a; "interface"; i; "passive" ] -> (
+      match int_of_string_opt a with
+      | Some a -> st.ospf_ifaces <- (i, a, None, true) :: st.ospf_ifaces
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "ospf"; "export"; p ] -> st.ospf_exports <- p :: st.ospf_exports
+    | [ "protocols"; "bgp"; "group"; g; "type"; ty ] ->
+      (get_bgp_group st g).bg_internal <- ty = "internal"
+    | [ "protocols"; "bgp"; "group"; g; "peer-as"; pas ] -> (
+      match int_of_string_opt pas with
+      | Some pas -> (get_bgp_group st g).bg_peer_as <- Some pas
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "bgp"; "group"; g; "import"; p ] ->
+      (get_bgp_group st g).bg_import <- Some p
+    | [ "protocols"; "bgp"; "group"; g; "export"; p ] ->
+      (get_bgp_group st g).bg_export <- Some p
+    | [ "protocols"; "bgp"; "group"; g; "cluster"; c ] -> (
+      match Ipv4.of_string_opt c with
+      | Some c -> (get_bgp_group st g).bg_cluster <- Some c
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "bgp"; "group"; g; "multipath" ]
+    | [ "protocols"; "bgp"; "group"; g; "multipath"; "multiple-as" ] ->
+      (get_bgp_group st g).bg_multipath <- true
+    | [ "protocols"; "bgp"; "group"; g; "neighbor"; p ] -> (
+      match Ipv4.of_string_opt p with
+      | Some p ->
+        let grp = get_bgp_group st g in
+        grp.bg_neighbors <- (p, None, None) :: grp.bg_neighbors
+      | None -> warn st line Warning.Bad_value)
+    | [ "protocols"; "bgp"; "group"; g; "neighbor"; p; "peer-as"; pas ] -> (
+      match (Ipv4.of_string_opt p, int_of_string_opt pas) with
+      | Some p, Some pas ->
+        let grp = get_bgp_group st g in
+        grp.bg_neighbors <- (p, Some pas, None) :: grp.bg_neighbors
+      | _ -> warn st line Warning.Bad_value)
+    | "protocols" :: "bgp" :: "group" :: g :: "neighbor" :: p :: "description" :: d -> (
+      match Ipv4.of_string_opt p with
+      | Some p ->
+        let grp = get_bgp_group st g in
+        grp.bg_neighbors <- (p, None, Some (String.concat " " d)) :: grp.bg_neighbors
+      | None -> warn st line Warning.Bad_value)
+    | [ "policy-options"; "prefix-list"; name; p ] -> (
+      match Prefix.of_string_opt p with
+      | Some p -> (
+        match Hashtbl.find_opt st.prefix_lists name with
+        | Some ps -> Hashtbl.replace st.prefix_lists name (p :: ps)
+        | None ->
+          Hashtbl.add st.prefix_lists name [ p ];
+          st.pl_order <- name :: st.pl_order)
+      | None -> warn st line Warning.Bad_value)
+    | [ "policy-options"; "community"; name; "members"; c ] -> (
+      match Vi.community_of_string c with
+      | Some c -> (
+        match Hashtbl.find_opt st.communities name with
+        | Some cs -> Hashtbl.replace st.communities name (c :: cs)
+        | None ->
+          Hashtbl.add st.communities name [ c ];
+          st.comm_order <- name :: st.comm_order)
+      | None -> warn st line Warning.Bad_value)
+    | "policy-options" :: "as-path" :: name :: regex ->
+      if not (Hashtbl.mem st.as_paths name) then begin
+        Hashtbl.add st.as_paths name
+          (String.concat " " regex |> fun s -> String.trim (String.map (fun c -> if c = '"' then ' ' else c) s));
+        st.apl_order <- name :: st.apl_order
+      end
+    | "policy-options" :: "policy-statement" :: pname :: "term" :: tname :: rest -> (
+      let t = get_ps_term st pname tname in
+      match rest with
+      | [ "from"; "prefix-list"; pl ] -> t.pt_matches <- Vi.Match_prefix_list pl :: t.pt_matches
+      | [ "from"; "protocol"; p ] ->
+        let p = if p = "direct" then "connected" else p in
+        t.pt_matches <- Vi.Match_protocol p :: t.pt_matches
+      | [ "from"; "community"; c ] -> t.pt_matches <- Vi.Match_community c :: t.pt_matches
+      | [ "from"; "as-path"; a ] -> t.pt_matches <- Vi.Match_as_path a :: t.pt_matches
+      | [ "from"; "metric"; m ] -> (
+        match int_of_string_opt m with
+        | Some m -> t.pt_matches <- Vi.Match_metric m :: t.pt_matches
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "tag"; tag ] -> (
+        match int_of_string_opt tag with
+        | Some tag -> t.pt_matches <- Vi.Match_tag tag :: t.pt_matches
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "route-filter"; p; modifier ] -> (
+        match Prefix.of_string_opt p with
+        | Some p ->
+          let seq = (List.length t.pt_route_filters + 1) * 10 in
+          let entry =
+            match modifier with
+            | "exact" ->
+              Some
+                { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
+                  ple_ge = None; ple_le = None }
+            | "orlonger" ->
+              Some
+                { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
+                  ple_ge = Some (Prefix.length p); ple_le = Some 32 }
+            | _ -> None
+          in
+          (match entry with
+           | Some e -> t.pt_route_filters <- e :: t.pt_route_filters
+           | None -> warn st line Warning.Unrecognized_syntax)
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "route-filter"; p; "upto"; upto ] -> (
+        match (Prefix.of_string_opt p, int_of_string_opt (String.map (fun c -> if c = '/' then ' ' else c) upto |> String.trim)) with
+        | Some p, Some le ->
+          let seq = (List.length t.pt_route_filters + 1) * 10 in
+          t.pt_route_filters <-
+            { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
+              ple_ge = None; ple_le = Some le }
+            :: t.pt_route_filters
+        | _ -> warn st line Warning.Bad_value)
+      | [ "then"; "local-preference"; v ] -> (
+        match int_of_string_opt v with
+        | Some v -> t.pt_sets <- Vi.Set_local_pref v :: t.pt_sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "then"; "metric"; v ] -> (
+        match int_of_string_opt v with
+        | Some v -> t.pt_sets <- Vi.Set_metric v :: t.pt_sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "then"; "community"; "add"; c ] -> (
+        match Hashtbl.find_opt st.communities c with
+        | Some cs -> t.pt_sets <- Vi.Set_communities (cs, true) :: t.pt_sets
+        | None ->
+          st.warnings <-
+            Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
+              (Warning.Undefined_reference ("community", c))
+            :: st.warnings)
+      | [ "then"; "community"; "set"; c ] -> (
+        match Hashtbl.find_opt st.communities c with
+        | Some cs -> t.pt_sets <- Vi.Set_communities (cs, false) :: t.pt_sets
+        | None ->
+          st.warnings <-
+            Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
+              (Warning.Undefined_reference ("community", c))
+            :: st.warnings)
+      | "then" :: "as-path-prepend" :: asns ->
+        let asns =
+          List.filter_map
+            (fun s -> int_of_string_opt (String.trim (String.map (fun c -> if c = '"' then ' ' else c) s)))
+            asns
+        in
+        t.pt_sets <- Vi.Set_as_path_prepend asns :: t.pt_sets
+      | [ "then"; "next-hop"; "self" ] -> t.pt_sets <- Vi.Set_next_hop_self :: t.pt_sets
+      | [ "then"; "next-hop"; nh ] -> (
+        match Ipv4.of_string_opt nh with
+        | Some nh -> t.pt_sets <- Vi.Set_next_hop nh :: t.pt_sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "then"; "tag"; tag ] -> (
+        match int_of_string_opt tag with
+        | Some tag -> t.pt_sets <- Vi.Set_tag tag :: t.pt_sets
+        | None -> warn st line Warning.Bad_value)
+      | [ "then"; "accept" ] -> t.pt_action <- Some Vi.Permit
+      | [ "then"; "reject" ] -> t.pt_action <- Some Vi.Deny
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    | "firewall" :: "family" :: "inet" :: "filter" :: fname :: "term" :: tname :: rest -> (
+      let t = get_fw_term st fname tname in
+      match rest with
+      | [ "from"; "source-address"; p ] -> (
+        match Prefix.of_string_opt p with
+        | Some p -> t.ft_srcs <- p :: t.ft_srcs
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "destination-address"; p ] -> (
+        match Prefix.of_string_opt p with
+        | Some p -> t.ft_dsts <- p :: t.ft_dsts
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "protocol"; p ] -> (
+        match proto_num p with
+        | Some p -> t.ft_proto <- Some p
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "destination-port"; p ] -> (
+        match port_range p with
+        | Some r -> t.ft_dst_ports <- r :: t.ft_dst_ports
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "source-port"; p ] -> (
+        match port_range p with
+        | Some r -> t.ft_src_ports <- r :: t.ft_src_ports
+        | None -> warn st line Warning.Bad_value)
+      | [ "from"; "tcp-established" ] -> t.ft_established <- true
+      | [ "from"; "icmp-type"; it ] -> (
+        match int_of_string_opt it with
+        | Some it -> t.ft_icmp_type <- Some it
+        | None -> warn st line Warning.Bad_value)
+      | [ "then"; "accept" ] -> t.ft_action <- Some Vi.Permit
+      | [ "then"; "discard" ] | [ "then"; "reject" ] -> t.ft_action <- Some Vi.Deny
+      | [ "then"; "count"; _ ] | [ "then"; "log" ] -> ()
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    | [ "security"; "zones"; "security-zone"; z; "interfaces"; i ] -> (
+      match List.assoc_opt z st.zones with
+      | Some ifs -> ifs := i :: !ifs
+      | None -> st.zones <- (z, ref [ i ]) :: st.zones)
+    | [ "security"; "policies"; "from-zone"; a; "to-zone"; b; "filter"; f ] ->
+      st.zone_policies <- { Vi.zp_from = a; zp_to = b; zp_acl = f } :: st.zone_policies
+    | [ "security"; "nat"; "source"; "pool"; p; "address"; addr ] -> (
+      match Prefix.of_string_opt addr with
+      | Some pre -> Hashtbl.replace st.nat_pools p pre
+      | None -> warn st line Warning.Bad_value)
+    | [ "security"; "nat"; "source"; "rule-set"; _; "rule"; _; "match"; "source-address"; p ] -> (
+      match Prefix.of_string_opt p with
+      | Some pre ->
+        st.nat_rules <-
+          { Vi.nr_kind = `Source; nr_match_acl = None; nr_match_src = Some pre;
+            nr_match_dst = None; nr_pool = Vi.Nat_interface }
+          :: st.nat_rules
+      | None -> warn st line Warning.Bad_value)
+    | [ "security"; "nat"; "source"; "rule-set"; _; "rule"; _; "then"; "source-nat"; "pool"; p ] -> (
+      (* Attach the pool to the most recent source rule. *)
+      match (st.nat_rules, Hashtbl.find_opt st.nat_pools p) with
+      | r :: rest, Some pre when r.Vi.nr_kind = `Source ->
+        st.nat_rules <- { r with Vi.nr_pool = Vi.Nat_prefix pre } :: rest
+      | _, None ->
+        st.warnings <-
+          Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
+            (Warning.Undefined_reference ("nat pool", p))
+          :: st.warnings
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    | [ "security"; "nat"; "source"; "rule-set"; _; "rule"; _; "then"; "source-nat"; "interface" ] ->
+      ()
+    | [ "security"; "nat"; "static"; "rule-set"; _; "rule"; _; "match"; "destination-address"; g ] -> (
+      match Prefix.of_string_opt g with
+      | Some g ->
+        st.nat_rules <-
+          { Vi.nr_kind = `Destination; nr_match_acl = None; nr_match_src = None;
+            nr_match_dst = Some g; nr_pool = Vi.Nat_interface }
+          :: st.nat_rules
+      | None -> warn st line Warning.Bad_value)
+    | [ "security"; "nat"; "static"; "rule-set"; _; "rule"; _; "then"; "static-nat"; "prefix"; l ] -> (
+      match (st.nat_rules, Prefix.of_string_opt l) with
+      | r :: rest, Some pre when r.Vi.nr_kind = `Destination ->
+        st.nat_rules <- { r with Vi.nr_pool = Vi.Nat_prefix pre } :: rest
+      | _ -> warn st line Warning.Unrecognized_syntax)
+    | _ -> warn st line Warning.Unrecognized_syntax)
+  | "delete" :: _ | "deactivate" :: _ ->
+    warn st line Warning.Unsupported_feature
+  | _ -> warn st line Warning.Unrecognized_syntax
+
+(* Convert accumulated firewall terms into VI ACL lines. Multiple addresses
+   within a term are OR'd in Junos, so a term expands to the cross product of
+   its source and destination address lists. *)
+let acl_of_filter name (terms : (string, fw_term) Hashtbl.t) order =
+  let seq = ref 0 in
+  let lines =
+    List.concat_map
+      (fun tname ->
+        let t = Hashtbl.find terms tname in
+        let action = Option.value ~default:Vi.Permit t.ft_action in
+        let srcs = if t.ft_srcs = [] then [ Prefix.everything ] else List.rev t.ft_srcs in
+        let dsts = if t.ft_dsts = [] then [ Prefix.everything ] else List.rev t.ft_dsts in
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun d ->
+                seq := !seq + 10;
+                { Vi.l_seq = !seq; l_action = action; l_proto = t.ft_proto;
+                  l_src = s; l_dst = d; l_src_ports = List.rev t.ft_src_ports;
+                  l_dst_ports = List.rev t.ft_dst_ports;
+                  l_established = t.ft_established; l_icmp_type = t.ft_icmp_type;
+                  l_text = Printf.sprintf "filter %s term %s" name tname })
+              dsts)
+          srcs)
+      (List.rev !order)
+  in
+  { Vi.acl_name = name; acl_lines = lines }
+
+let route_map_of_policy st name (terms : (string, ps_term) Hashtbl.t) order extra_pls =
+  let clauses =
+    List.mapi
+      (fun idx tname ->
+        let t = Hashtbl.find terms tname in
+        let matches =
+          if t.pt_route_filters = [] then List.rev t.pt_matches
+          else begin
+            let pl_name = Printf.sprintf "__rf_%s_%s" name tname in
+            extra_pls :=
+              { Vi.pl_name; pl_entries = List.rev t.pt_route_filters } :: !extra_pls;
+            Vi.Match_prefix_list pl_name :: List.rev t.pt_matches
+          end
+        in
+        let action =
+          match t.pt_action with
+          | Some a -> a
+          | None ->
+            st.warnings <-
+              Warning.make ~node:st.hostname ~line:0
+                ~text:(Printf.sprintf "policy-statement %s term %s has no terminal action" name tname)
+                Warning.Unsupported_feature
+              :: st.warnings;
+            Vi.Permit
+        in
+        { Vi.rc_seq = (idx + 1) * 10; rc_action = action; rc_matches = matches;
+          rc_sets = List.rev t.pt_sets })
+      (List.rev !order)
+  in
+  { Vi.rm_name = name; rm_clauses = clauses }
+
+let parse text =
+  let lines = lines_of_string text in
+  let st =
+    { hostname = "unknown"; warnings = []; interfaces = Hashtbl.create 16;
+      if_order = []; filters = Hashtbl.create 8; filter_order = [];
+      policies = Hashtbl.create 8; policy_order = [];
+      prefix_lists = Hashtbl.create 8; pl_order = [];
+      communities = Hashtbl.create 8; comm_order = [];
+      as_paths = Hashtbl.create 8; apl_order = []; statics = []; asn = None;
+      router_id = None; ospf_ref_bw = 100_000; ospf_ifaces = [];
+      ospf_exports = []; bgp_groups = Hashtbl.create 8; bg_order = [];
+      zones = []; zone_policies = []; nat_pools = Hashtbl.create 4;
+      nat_rules = []; ntp = []; dns = []; syslog = []; snmp = None }
+  in
+  List.iter (fun l -> handle st l) lines;
+  (* Interfaces with OSPF settings. *)
+  List.iter
+    (fun (ifname, area, metric, passive) ->
+      let i = get_interface st ifname in
+      let merged =
+        match i.if_ospf with
+        | Some prev ->
+          { Vi.oi_area = area;
+            oi_cost = (if metric <> None then metric else prev.oi_cost);
+            oi_passive = passive || prev.oi_passive }
+        | None -> { Vi.oi_area = area; oi_cost = metric; oi_passive = passive }
+      in
+      set_interface st ifname { i with if_ospf = Some merged })
+    (List.rev st.ospf_ifaces);
+  let extra_pls = ref [] in
+  let route_maps =
+    List.rev_map
+      (fun name ->
+        let terms, order = Hashtbl.find st.policies name in
+        route_map_of_policy st name terms order extra_pls)
+      st.policy_order
+  in
+  (* OSPF export policies decompose into per-protocol redistributions keyed by
+     the policy's Match_protocol conditions. *)
+  let redistributions =
+    List.concat_map
+      (fun pol ->
+        match List.find_opt (fun (rm : Vi.route_map) -> rm.rm_name = pol) route_maps with
+        | None ->
+          st.warnings <-
+            Warning.make ~node:st.hostname ~line:0 ~text:("ospf export " ^ pol)
+              (Warning.Undefined_reference ("policy-statement", pol))
+            :: st.warnings;
+          []
+        | Some rm ->
+          rm.Vi.rm_clauses
+          |> List.concat_map (fun (c : Vi.rm_clause) ->
+                 List.filter_map
+                   (function
+                     | Vi.Match_protocol p when c.rc_action = Vi.Permit ->
+                       Some
+                         { Vi.rd_protocol = p; rd_metric = None;
+                           rd_metric_type = Vi.E2; rd_route_map = Some pol }
+                     | _ -> None)
+                   c.rc_matches))
+      (List.rev st.ospf_exports)
+  in
+  let ospf =
+    if st.ospf_ifaces = [] && st.ospf_exports = [] then None
+    else
+      Some
+        { Vi.ospf_proc_default with
+          op_router_id = st.router_id;
+          op_reference_bandwidth = st.ospf_ref_bw;
+          op_redistribute = redistributions }
+  in
+  let bgp =
+    if Hashtbl.length st.bgp_groups = 0 then None
+    else
+      match st.asn with
+      | None ->
+        st.warnings <-
+          Warning.make ~node:st.hostname ~line:0
+            ~text:"bgp configured without routing-options autonomous-system"
+            Warning.Bad_value
+          :: st.warnings;
+        None
+      | Some asn ->
+        let neighbors =
+          List.concat_map
+            (fun gname ->
+              let g = Hashtbl.find st.bgp_groups gname in
+              (* Deduplicate per-peer statements, preserving first-seen order. *)
+              let peers = ref [] in
+              List.iter
+                (fun (p, _, _) -> if not (List.mem p !peers) then peers := p :: !peers)
+                (List.rev g.bg_neighbors);
+              List.rev_map
+                (fun p ->
+                  let per_peer_as =
+                    List.fold_left
+                      (fun acc (q, pas, _) -> if q = p && pas <> None then pas else acc)
+                      None g.bg_neighbors
+                  and descr =
+                    List.fold_left
+                      (fun acc (q, _, d) -> if q = p && d <> None then d else acc)
+                      None g.bg_neighbors
+                  in
+                  let remote_as =
+                    if g.bg_internal then asn
+                    else
+                      match (per_peer_as, g.bg_peer_as) with
+                      | Some a, _ -> a
+                      | None, Some a -> a
+                      | None, None -> 0
+                  in
+                  { (Vi.bgp_neighbor_default p remote_as) with
+                    bn_description = descr;
+                    bn_import_policy = g.bg_import;
+                    bn_export_policy = g.bg_export;
+                    bn_route_reflector_client = g.bg_cluster <> None;
+                    bn_send_community = true (* Junos sends communities by default *) })
+                !peers)
+            (List.rev st.bg_order)
+        in
+        let multipath =
+          Hashtbl.fold (fun _ g acc -> acc || g.bg_multipath) st.bgp_groups false
+        in
+        let cluster_id =
+          Hashtbl.fold
+            (fun _ g acc -> if g.bg_cluster <> None then g.bg_cluster else acc)
+            st.bgp_groups None
+        in
+        Some
+          { (Vi.bgp_proc_default asn) with
+            bp_router_id = st.router_id;
+            bp_neighbors = neighbors;
+            bp_max_paths = (if multipath then 16 else 1);
+            bp_max_paths_ibgp = (if multipath then 16 else 1);
+            bp_cluster_id = cluster_id }
+  in
+  let cfg =
+    { (Vi.empty st.hostname "juniper") with
+      interfaces = List.rev_map (fun n -> Hashtbl.find st.interfaces n) st.if_order;
+      acls =
+        List.rev_map
+          (fun name ->
+            let terms, order = Hashtbl.find st.filters name in
+            acl_of_filter name terms order)
+          st.filter_order;
+      prefix_lists =
+        List.rev_map
+          (fun name ->
+            let ps = List.rev (Hashtbl.find st.prefix_lists name) in
+            { Vi.pl_name = name;
+              pl_entries =
+                List.mapi
+                  (fun i p ->
+                    { Vi.ple_seq = (i + 1) * 10; ple_action = Vi.Permit;
+                      ple_prefix = p; ple_ge = None; ple_le = None })
+                  ps })
+          st.pl_order
+        @ List.rev !extra_pls;
+      community_lists =
+        List.rev_map
+          (fun name ->
+            { Vi.cl_name = name;
+              cl_entries =
+                List.rev_map (fun c -> (Vi.Permit, c)) (Hashtbl.find st.communities name) })
+          st.comm_order;
+      as_path_lists =
+        List.rev_map
+          (fun name ->
+            { Vi.apl_name = name; apl_entries = [ (Vi.Permit, Hashtbl.find st.as_paths name) ] })
+          st.apl_order;
+      route_maps;
+      static_routes = List.rev st.statics;
+      ospf; bgp;
+      nat_rules = List.rev st.nat_rules;
+      zones =
+        List.rev_map (fun (z, ifs) -> { Vi.z_name = z; z_interfaces = List.rev !ifs }) st.zones;
+      zone_policies = List.rev st.zone_policies;
+      ntp_servers = List.rev st.ntp;
+      dns_servers = List.rev st.dns;
+      logging_servers = List.rev st.syslog;
+      snmp_community = st.snmp }
+  in
+  (cfg, List.rev st.warnings)

@@ -1,0 +1,8 @@
+(** Parser for Juniper-style flat "set" configuration statements.
+
+    Firewall filters become ACLs, policy-statements become route maps,
+    route-filters become anonymous prefix lists, and OSPF export policies are
+    decomposed into per-protocol redistributions, mirroring how Batfish
+    normalizes Junos into its vendor-independent model. *)
+
+val parse : string -> Vi.t * Warning.t list

@@ -1,0 +1,100 @@
+let detect_vendor text =
+  let lines = Cfg_lexer.lines_of_string text in
+  let is_set (l : Cfg_lexer.line) =
+    match l.tokens with
+    | "set" :: _ | "delete" :: _ -> true
+    | _ -> false
+  in
+  let set_count = List.length (List.filter is_set lines) in
+  if set_count * 2 > List.length lines then "juniper"
+  else if
+    List.exists
+      (fun (l : Cfg_lexer.line) ->
+        match l.tokens with
+        | [ "!"; "device:"; _; "(EOS)" ] -> true
+        | _ -> false)
+      lines
+    || Re.execp (Re.compile (Re.str "! Arista")) text
+  then "arista-eos"
+  else "cisco-ios"
+
+let parse_config text =
+  match detect_vendor text with
+  | "juniper" -> Juniper_parser.parse text
+  | vendor -> Ios_parser.parse ~vendor text
+
+let undefined_references (cfg : Vi.t) =
+  let refs = ref [] in
+  let need ty name where defined =
+    if not defined then refs := (ty, name, where) :: !refs
+  in
+  let has_rm n = Vi.find_route_map cfg n <> None in
+  let has_acl n = Vi.find_acl cfg n <> None in
+  let has_pl n = Vi.find_prefix_list cfg n <> None in
+  let has_cl n = Vi.find_community_list cfg n <> None in
+  let has_apl n = Vi.find_as_path_list cfg n <> None in
+  List.iter
+    (fun (i : Vi.interface) ->
+      let where = "interface " ^ i.if_name in
+      Option.iter (fun a -> need "acl" a where (has_acl a)) i.if_in_acl;
+      Option.iter (fun a -> need "acl" a where (has_acl a)) i.if_out_acl)
+    cfg.interfaces;
+  Option.iter
+    (fun (bgp : Vi.bgp_proc) ->
+      List.iter
+        (fun (n : Vi.bgp_neighbor) ->
+          let where = "bgp neighbor " ^ Ipv4.to_string n.bn_peer in
+          Option.iter (fun r -> need "route-map" r where (has_rm r)) n.bn_import_policy;
+          Option.iter (fun r -> need "route-map" r where (has_rm r)) n.bn_export_policy;
+          Option.iter (fun p -> need "prefix-list" p where (has_pl p)) n.bn_prefix_list_in;
+          Option.iter (fun p -> need "prefix-list" p where (has_pl p)) n.bn_prefix_list_out)
+        bgp.bp_neighbors;
+      List.iter
+        (fun ((_, rm) : Prefix.t * string option) ->
+          Option.iter (fun r -> need "route-map" r "bgp network" (has_rm r)) rm)
+        bgp.bp_networks;
+      List.iter
+        (fun (rd : Vi.redistribution) ->
+          Option.iter
+            (fun r -> need "route-map" r ("bgp redistribute " ^ rd.rd_protocol) (has_rm r))
+            rd.rd_route_map)
+        bgp.bp_redistribute)
+    cfg.bgp;
+  Option.iter
+    (fun (ospf : Vi.ospf_proc) ->
+      List.iter
+        (fun (rd : Vi.redistribution) ->
+          Option.iter
+            (fun r -> need "route-map" r ("ospf redistribute " ^ rd.rd_protocol) (has_rm r))
+            rd.rd_route_map)
+        ospf.op_redistribute)
+    cfg.ospf;
+  List.iter
+    (fun (rm : Vi.route_map) ->
+      List.iter
+        (fun (c : Vi.rm_clause) ->
+          let where = Printf.sprintf "route-map %s %d" rm.rm_name c.rc_seq in
+          List.iter
+            (function
+              | Vi.Match_prefix_list p -> need "prefix-list" p where (has_pl p)
+              | Vi.Match_community cl -> need "community-list" cl where (has_cl cl)
+              | Vi.Match_as_path a -> need "as-path-list" a where (has_apl a)
+              | Vi.Match_prefix _ | Vi.Match_metric _ | Vi.Match_tag _
+              | Vi.Match_protocol _ -> ())
+            c.rc_matches)
+        rm.rm_clauses)
+    cfg.route_maps;
+  List.iter
+    (fun (r : Vi.nat_rule) ->
+      Option.iter (fun a -> need "acl" a "nat rule" (has_acl a)) r.nr_match_acl)
+    cfg.nat_rules;
+  List.iter
+    (fun (zp : Vi.zone_policy) ->
+      let where = Printf.sprintf "zone-pair %s->%s" zp.zp_from zp.zp_to in
+      need "acl" zp.zp_acl where (has_acl zp.zp_acl);
+      need "zone" zp.zp_from where
+        (List.exists (fun (z : Vi.zone) -> z.z_name = zp.zp_from) cfg.zones);
+      need "zone" zp.zp_to where
+        (List.exists (fun (z : Vi.zone) -> z.z_name = zp.zp_to) cfg.zones))
+    cfg.zone_policies;
+  List.rev !refs

@@ -1,0 +1,13 @@
+(** Vendor detection and parser dispatch (pipeline stage 1). *)
+
+(** Best-effort vendor identification from the configuration text. *)
+val detect_vendor : string -> string
+
+(** [parse_config text] detects the vendor and parses to the VI model. *)
+val parse_config : string -> Vi.t * Warning.t list
+
+(** Post-parse reference checking: undefined route maps, ACLs, prefix lists,
+    etc. referenced from the configuration (the Lesson 5 "are all referenced
+    structures defined" analysis feeds on this). *)
+val undefined_references : Vi.t -> (string * string * string) list
+(** Returns (structure type, name, referenced from). *)

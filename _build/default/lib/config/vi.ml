@@ -1,0 +1,313 @@
+(* The vendor-independent (VI) configuration model (paper stage 1).
+
+   Vendor parsers translate configuration text into this representation; all
+   downstream analyses (data-plane generation, forwarding analysis, the
+   question engine) consume only this model. *)
+
+type action = Permit | Deny
+
+let action_to_string = function
+  | Permit -> "permit"
+  | Deny -> "deny"
+
+(* --- Packet filters (ACLs / firewall filters) --- *)
+
+type acl_line = {
+  l_seq : int;
+  l_action : action;
+  l_proto : int option;  (* None = any IP protocol *)
+  l_src : Prefix.t;
+  l_dst : Prefix.t;
+  l_src_ports : (int * int) list;  (* [] = any *)
+  l_dst_ports : (int * int) list;
+  l_established : bool;  (* TCP established: ACK or RST set *)
+  l_icmp_type : int option;
+  l_text : string;  (* original text, for annotating flow traces *)
+}
+
+type acl = { acl_name : string; acl_lines : acl_line list }
+
+let acl_line_default =
+  { l_seq = 0; l_action = Permit; l_proto = None;
+    l_src = Prefix.everything; l_dst = Prefix.everything;
+    l_src_ports = []; l_dst_ports = []; l_established = false;
+    l_icmp_type = None; l_text = "" }
+
+(* --- Routing policy structures --- *)
+
+type prefix_list_entry = {
+  ple_seq : int;
+  ple_action : action;
+  ple_prefix : Prefix.t;
+  ple_ge : int option;
+  ple_le : int option;
+}
+
+type prefix_list = { pl_name : string; pl_entries : prefix_list_entry list }
+
+type community_list = {
+  cl_name : string;
+  cl_entries : (action * int) list;  (* communities as 32-bit asn:value *)
+}
+
+type as_path_list = {
+  apl_name : string;
+  apl_entries : (action * string) list;  (* POSIX-ish regex over "65001 65002" *)
+}
+
+type origin = Origin_igp | Origin_egp | Origin_incomplete
+
+type match_cond =
+  | Match_prefix_list of string
+  | Match_prefix of Prefix.t
+  | Match_community of string
+  | Match_as_path of string
+  | Match_metric of int
+  | Match_tag of int
+  | Match_protocol of string  (* "static" | "connected" | "ospf" | "bgp" *)
+
+type set_action =
+  | Set_local_pref of int
+  | Set_metric of int
+  | Set_communities of int list * bool  (* values, additive *)
+  | Set_next_hop of Ipv4.t
+  | Set_next_hop_self
+  | Set_as_path_prepend of int list
+  | Set_weight of int
+  | Set_tag of int
+  | Set_origin of origin
+
+type rm_clause = {
+  rc_seq : int;
+  rc_action : action;
+  rc_matches : match_cond list;
+  rc_sets : set_action list;
+}
+
+type route_map = { rm_name : string; rm_clauses : rm_clause list }
+
+(* --- OSPF --- *)
+
+type ospf_interface = {
+  oi_area : int;
+  oi_cost : int option;  (* None = derive from bandwidth *)
+  oi_passive : bool;
+}
+
+type metric_type = E1 | E2
+
+type redistribution = {
+  rd_protocol : string;  (* "static" | "connected" | "ospf" | "bgp" *)
+  rd_metric : int option;
+  rd_metric_type : metric_type;
+  rd_route_map : string option;
+}
+
+type ospf_proc = {
+  op_router_id : Ipv4.t option;
+  op_reference_bandwidth : int;  (* Mbps *)
+  op_redistribute : redistribution list;
+  op_max_paths : int;
+  op_networks : (Prefix.t * int) list;  (* network statements: prefix, area *)
+  op_passive_interfaces : string list;
+  op_active_interfaces : string list;  (* "no passive-interface X" *)
+  op_default_passive : bool;
+}
+
+let ospf_proc_default =
+  { op_router_id = None; op_reference_bandwidth = 100_000;
+    op_redistribute = []; op_max_paths = 1; op_networks = [];
+    op_passive_interfaces = []; op_active_interfaces = [];
+    op_default_passive = false }
+
+(* --- BGP --- *)
+
+type bgp_neighbor = {
+  bn_peer : Ipv4.t;
+  bn_remote_as : int;
+  bn_description : string option;
+  bn_update_source : string option;  (* interface whose address sources the session *)
+  bn_next_hop_self : bool;
+  bn_route_reflector_client : bool;
+  bn_send_community : bool;
+  bn_import_policy : string option;
+  bn_export_policy : string option;
+  bn_prefix_list_in : string option;
+  bn_prefix_list_out : string option;
+  bn_ebgp_multihop : bool;
+  bn_allowas_in : int;
+  bn_local_as : int option;
+  bn_shutdown : bool;
+}
+
+let bgp_neighbor_default peer remote_as =
+  { bn_peer = peer; bn_remote_as = remote_as; bn_description = None;
+    bn_update_source = None; bn_next_hop_self = false;
+    bn_route_reflector_client = false; bn_send_community = false;
+    bn_import_policy = None; bn_export_policy = None; bn_prefix_list_in = None;
+    bn_prefix_list_out = None; bn_ebgp_multihop = false;
+    bn_allowas_in = 0; bn_local_as = None; bn_shutdown = false }
+
+type bgp_proc = {
+  bp_as : int;
+  bp_router_id : Ipv4.t option;
+  bp_networks : (Prefix.t * string option) list;  (* prefix, optional route-map *)
+  bp_neighbors : bgp_neighbor list;
+  bp_redistribute : redistribution list;
+  bp_max_paths : int;
+  bp_max_paths_ibgp : int;
+  bp_cluster_id : Ipv4.t option;
+}
+
+let bgp_proc_default asn =
+  { bp_as = asn; bp_router_id = None; bp_networks = []; bp_neighbors = [];
+    bp_redistribute = []; bp_max_paths = 1; bp_max_paths_ibgp = 1;
+    bp_cluster_id = None }
+
+(* --- NAT --- *)
+
+type nat_pool =
+  | Nat_ip of Ipv4.t
+  | Nat_prefix of Prefix.t
+  | Nat_interface  (* the egress interface's address *)
+
+type nat_rule = {
+  nr_kind : [ `Source | `Destination ];
+  nr_match_acl : string option;
+  nr_match_src : Prefix.t option;  (* for static source NAT: local address *)
+  nr_match_dst : Prefix.t option;  (* for destination NAT: global address *)
+  nr_pool : nat_pool;
+}
+
+(* --- Zones (stateful firewalls) --- *)
+
+type zone = { z_name : string; z_interfaces : string list }
+
+type zone_policy = {
+  zp_from : string;
+  zp_to : string;
+  zp_acl : string;  (* filter applied to inter-zone traffic *)
+}
+
+(* --- Interfaces --- *)
+
+type interface = {
+  if_name : string;
+  if_address : (Ipv4.t * int) option;
+  if_secondary : (Ipv4.t * int) list;
+  if_enabled : bool;
+  if_bandwidth : int;  (* Mbps *)
+  if_in_acl : string option;
+  if_out_acl : string option;
+  if_ospf : ospf_interface option;
+  if_description : string option;
+}
+
+let interface_default name =
+  { if_name = name; if_address = None; if_secondary = []; if_enabled = true;
+    if_bandwidth = 1000; if_in_acl = None; if_out_acl = None; if_ospf = None;
+    if_description = None }
+
+(* --- Static routes --- *)
+
+type static_next_hop = Nh_ip of Ipv4.t | Nh_interface of string | Nh_discard
+
+type static_route = {
+  sr_prefix : Prefix.t;
+  sr_next_hop : static_next_hop;
+  sr_ad : int;
+  sr_tag : int;
+}
+
+(* --- Whole-device configuration --- *)
+
+type t = {
+  hostname : string;
+  vendor : string;  (* "cisco-ios" | "arista-eos" | "juniper" *)
+  interfaces : interface list;
+  acls : acl list;
+  prefix_lists : prefix_list list;
+  community_lists : community_list list;
+  as_path_lists : as_path_list list;
+  route_maps : route_map list;
+  static_routes : static_route list;
+  ospf : ospf_proc option;
+  bgp : bgp_proc option;
+  nat_rules : nat_rule list;
+  zones : zone list;
+  zone_policies : zone_policy list;
+  ntp_servers : string list;
+  dns_servers : string list;
+  logging_servers : string list;
+  snmp_community : string option;
+}
+
+let empty hostname vendor =
+  { hostname; vendor; interfaces = []; acls = []; prefix_lists = [];
+    community_lists = []; as_path_lists = []; route_maps = [];
+    static_routes = []; ospf = None; bgp = None; nat_rules = []; zones = [];
+    zone_policies = []; ntp_servers = []; dns_servers = [];
+    logging_servers = []; snmp_community = None }
+
+(* --- Lookups --- *)
+
+let find_interface cfg name = List.find_opt (fun i -> i.if_name = name) cfg.interfaces
+let find_acl cfg name = List.find_opt (fun a -> a.acl_name = name) cfg.acls
+let find_prefix_list cfg name = List.find_opt (fun p -> p.pl_name = name) cfg.prefix_lists
+
+let find_community_list cfg name =
+  List.find_opt (fun c -> c.cl_name = name) cfg.community_lists
+
+let find_as_path_list cfg name =
+  List.find_opt (fun a -> a.apl_name = name) cfg.as_path_lists
+
+let find_route_map cfg name = List.find_opt (fun r -> r.rm_name = name) cfg.route_maps
+
+let find_zone_of_interface cfg ifname =
+  List.find_opt (fun z -> List.mem ifname z.z_interfaces) cfg.zones
+
+(* Prefixes owned by a device's interfaces (used for topology inference and
+   connected routes). *)
+let interface_prefixes cfg =
+  List.concat_map
+    (fun i ->
+      if not i.if_enabled then []
+      else
+        List.filter_map
+          (fun addr ->
+            match addr with
+            | Some (ip, len) -> Some (i.if_name, ip, Prefix.make ip len)
+            | None -> None)
+          (i.if_address :: List.map Option.some i.if_secondary))
+    cfg.interfaces
+
+(* Community helpers: communities are 32-bit ints "asn:value". *)
+let community asn value = (asn lsl 16) lor (value land 0xFFFF)
+
+(* Well-known communities (RFC 1997). *)
+let no_export = 0xFFFF_FF01
+let no_advertise = 0xFFFF_FF02
+let local_as_comm = 0xFFFF_FF03
+
+let community_to_string c =
+  if c = no_export then "no-export"
+  else if c = no_advertise then "no-advertise"
+  else if c = local_as_comm then "local-AS"
+  else Printf.sprintf "%d:%d" (c lsr 16) (c land 0xFFFF)
+
+let community_of_string s =
+  match s with
+  | "no-export" -> Some no_export
+  | "no-advertise" -> Some no_advertise
+  | "local-AS" | "local-as" -> Some local_as_comm
+  | s ->
+    (match String.index_opt s ':' with
+     | Some i -> (
+       match
+         ( int_of_string_opt (String.sub s 0 i),
+           int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+       with
+       | Some a, Some v when a >= 0 && a <= 0xFFFF && v >= 0 && v <= 0xFFFF ->
+         Some (community a v)
+       | _ -> None)
+     | None -> None)

@@ -1,0 +1,22 @@
+(* Parse and conversion warnings. Batfish surfaces unrecognized syntax and
+   undefined references rather than failing; the questions library turns
+   these into user-facing answers. *)
+
+type kind =
+  | Unrecognized_syntax
+  | Undefined_reference of string * string  (* structure type, name *)
+  | Bad_value
+  | Unsupported_feature
+
+type t = { w_node : string; w_line : int; w_text : string; w_kind : kind }
+
+let make ~node ~line ~text kind = { w_node = node; w_line = line; w_text = text; w_kind = kind }
+
+let kind_to_string = function
+  | Unrecognized_syntax -> "unrecognized syntax"
+  | Undefined_reference (ty, name) -> Printf.sprintf "undefined %s '%s'" ty name
+  | Bad_value -> "bad value"
+  | Unsupported_feature -> "unsupported feature"
+
+let to_string w =
+  Printf.sprintf "%s:%d: %s: %s" w.w_node w.w_line (kind_to_string w.w_kind) w.w_text

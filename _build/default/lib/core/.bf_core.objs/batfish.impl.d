@@ -1,0 +1,1 @@
+lib/core/batfish.ml: Array Bdd Dataplane Dp_env Fgraph Field Filename Fquery Hashtbl List Netgen Packet Parse Pktset Printf Questions Sys Traceroute Vi Warning

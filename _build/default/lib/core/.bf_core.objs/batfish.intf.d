@@ -1,0 +1,1 @@
+lib/core/batfish.mli: Bdd Dataplane Dp_env Fquery Netgen Packet Prefix Questions Traceroute Vi Warning

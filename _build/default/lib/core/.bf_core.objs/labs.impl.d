@@ -1,0 +1,1 @@
+lib/core/labs.ml: Batfish Dataplane Dp_env Ipv4 List Option Packet Prefix Printf Rib Route Route_proto String Traceroute

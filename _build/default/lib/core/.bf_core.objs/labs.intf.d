@@ -1,0 +1,1 @@
+lib/core/labs.mli: Dp_env Packet

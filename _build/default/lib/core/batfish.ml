@@ -1,0 +1,162 @@
+module Snapshot = struct
+  type t = {
+    files : (string * string) list;
+    parsed : (Vi.t * Warning.t list) list;
+    by_name : (string, Vi.t) Hashtbl.t;
+  }
+
+  let of_texts files =
+    let parsed = List.map (fun (_, text) -> Parse.parse_config text) files in
+    let by_name = Hashtbl.create 64 in
+    List.iter (fun ((cfg : Vi.t), _) -> Hashtbl.replace by_name cfg.hostname cfg) parsed;
+    { files; parsed; by_name }
+
+  let of_dir dir =
+    let entries = Sys.readdir dir in
+    Array.sort compare entries;
+    let files =
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             let path = Filename.concat dir name in
+             if Sys.is_directory path then None
+             else begin
+               let ic = open_in_bin path in
+               let len = in_channel_length ic in
+               let text = really_input_string ic len in
+               close_in ic;
+               Some (name, text)
+             end)
+    in
+    of_texts files
+
+  let of_network (n : Netgen.network) = of_texts n.n_configs
+  let configs t = List.map fst t.parsed
+  let parse_warnings t = t.parsed
+  let find t name = Hashtbl.find_opt t.by_name name
+  let node_names t = List.map (fun (c : Vi.t) -> c.Vi.hostname) (configs t)
+end
+
+type t = {
+  snap : Snapshot.t;
+  env : Dp_env.t;
+  options : Dataplane.options;
+  mutable dp : Dataplane.t option;
+  mutable fq : Fquery.t option;
+}
+
+let init ?(options = Dataplane.default_options) ?(env = Dp_env.empty) snap =
+  { snap; env; options; dp = None; fq = None }
+
+let snapshot t = t.snap
+
+let dataplane t =
+  match t.dp with
+  | Some dp -> dp
+  | None ->
+    let dp = Dataplane.compute ~options:t.options ~env:t.env (Snapshot.configs t.snap) in
+    t.dp <- Some dp;
+    dp
+
+let forwarding t =
+  match t.fq with
+  | Some fq -> fq
+  | None ->
+    let fq = Fquery.make ~configs:(Snapshot.find t.snap) ~dp:(dataplane t) () in
+    t.fq <- Some fq;
+    fq
+
+let traceroute t ~start ?ingress pkt =
+  Traceroute.run ~configs:(Snapshot.find t.snap) ~dp:(dataplane t) ~start ?ingress pkt
+
+let answer_init_issues t = Questions.init_issues (Snapshot.parse_warnings t.snap)
+let answer_undefined_references t = Questions.undefined_references (Snapshot.configs t.snap)
+let answer_unused_structures t = Questions.unused_structures (Snapshot.configs t.snap)
+let answer_duplicate_ips t = Questions.duplicate_ips (Snapshot.configs t.snap)
+let answer_bgp_compatibility t = Questions.bgp_session_compatibility (Snapshot.configs t.snap)
+let answer_bgp_status t = Questions.bgp_session_status (dataplane t)
+let answer_property_consistency t = Questions.property_consistency (Snapshot.configs t.snap)
+let answer_routes ?node ?protocol t = Questions.routes ?node ?protocol (dataplane t)
+let answer_multipath_consistency t = Questions.multipath_consistency (forwarding t)
+let answer_loops t = Questions.detect_loops (forwarding t)
+
+let answer_reachability t ~src ~dst_ip ?hdr () =
+  Questions.reachability (forwarding t) ~src ~dst_ip ?hdr ()
+
+let check_all t =
+  [ answer_init_issues t; answer_undefined_references t; answer_unused_structures t;
+    answer_duplicate_ips t; answer_bgp_compatibility t; answer_property_consistency t;
+    answer_bgp_status t ]
+
+let differential ~base ~candidate ?srcs () =
+  let env = Pktset.create () in
+  let qb =
+    Fquery.make ~env ~configs:(Snapshot.find base.snap) ~dp:(dataplane base) ()
+  in
+  let qc =
+    Fquery.make ~env ~configs:(Snapshot.find candidate.snap) ~dp:(dataplane candidate) ()
+  in
+  let srcs =
+    match srcs with
+    | Some s -> s
+    | None ->
+      List.map (fun (n, i) -> (n, Some i)) (Fgraph.edge_interfaces qb.Fquery.g ~dp:(dataplane base))
+  in
+  Questions.differential_reachability qb qc ~srcs
+
+(* §4.3.2: cross-validate the two forwarding engines on this snapshot. *)
+let differential_engine_test ?(flows_per_location = 4) t =
+  let q = forwarding t in
+  let e = Fquery.env q in
+  let man = Pktset.man e in
+  let dp = dataplane t in
+  let deliver = Fquery.to_delivered q () in
+  let drop = Fquery.to_dropped q () in
+  let checked = ref 0 in
+  let slices =
+    (* distinct header slices so the representatives differ *)
+    [ Bdd.top;
+      Pktset.value e Field.Protocol Packet.Proto.tcp;
+      Pktset.value e Field.Protocol Packet.Proto.udp;
+      Pktset.value e Field.Protocol Packet.Proto.icmp;
+      Pktset.range e Field.Dst_port 0 1023 ]
+  in
+  let starts = Fgraph.edge_interfaces q.Fquery.g ~dp in
+  List.iter
+    (fun (node, iface) ->
+      match Fgraph.loc_id q.Fquery.g (Fgraph.Src (node, iface)) with
+      | None -> ()
+      | Some id ->
+        let verify set expect_delivered =
+          match Pktset.to_packet e ~prefs:(Pktset.standard_prefs e ()) set with
+          | None -> ()
+          | Some pkt ->
+            incr checked;
+            let traces =
+              Traceroute.run ~configs:(Snapshot.find t.snap) ~dp ~start:node ~ingress:iface pkt
+            in
+            let delivered =
+              List.exists
+                (fun (tr : Traceroute.trace) -> Traceroute.is_delivered tr.disposition)
+                traces
+            in
+            if delivered <> expect_delivered then
+              failwith
+                (Printf.sprintf
+                   "engine disagreement at %s[%s] for %s: symbolic=%s traceroute=%s" node
+                   iface (Packet.to_string pkt)
+                   (if expect_delivered then "delivered" else "dropped")
+                   (if delivered then "delivered" else "dropped"))
+        in
+        let rec take k = function
+          | [] -> ()
+          | slice :: rest ->
+            if k > 0 then begin
+              let base = Bdd.band man (Fquery.clean q) slice in
+              verify (Bdd.band man base (Bdd.bdiff man deliver.(id) drop.(id))) true;
+              verify (Bdd.band man base (Bdd.bdiff man drop.(id) deliver.(id))) false;
+              take (k - 1) rest
+            end
+        in
+        take (max 1 (flows_per_location / 2)) slices)
+    starts;
+  !checked

@@ -1,0 +1,73 @@
+(** The public entry point: snapshots and the four-stage pipeline.
+
+    {[
+      let snapshot = Batfish.Snapshot.of_dir "configs/" in
+      let bf = Batfish.init snapshot in
+      let dp = Batfish.dataplane bf in            (* stage 2 *)
+      let q = Batfish.forwarding bf in            (* stage 3 engine *)
+      Questions.print_answer (Batfish.answer_reachability bf ...)
+    ]} *)
+
+module Snapshot : sig
+  type t
+
+  (** [(filename, config text)] pairs; vendors are auto-detected. *)
+  val of_texts : (string * string) list -> t
+
+  (** Reads every regular file in a directory as a configuration. *)
+  val of_dir : string -> t
+
+  val of_network : Netgen.network -> t
+  val configs : t -> Vi.t list
+  val parse_warnings : t -> (Vi.t * Warning.t list) list
+  val find : t -> string -> Vi.t option
+  val node_names : t -> string list
+end
+
+type t
+
+val init : ?options:Dataplane.options -> ?env:Dp_env.t -> Snapshot.t -> t
+val snapshot : t -> Snapshot.t
+
+(** Stage 2, computed once and cached. *)
+val dataplane : t -> Dataplane.t
+
+(** Stage 3 engine (forwarding graph), computed once and cached. *)
+val forwarding : t -> Fquery.t
+
+(** Concrete traceroute through the computed data plane. *)
+val traceroute : t -> start:string -> ?ingress:string -> Packet.t -> Traceroute.trace list
+
+(** {2 Question shortcuts} *)
+
+val answer_init_issues : t -> Questions.answer
+val answer_undefined_references : t -> Questions.answer
+val answer_unused_structures : t -> Questions.answer
+val answer_duplicate_ips : t -> Questions.answer
+val answer_bgp_compatibility : t -> Questions.answer
+val answer_bgp_status : t -> Questions.answer
+val answer_property_consistency : t -> Questions.answer
+val answer_routes : ?node:string -> ?protocol:string -> t -> Questions.answer
+val answer_multipath_consistency : t -> Questions.answer
+val answer_loops : t -> Questions.answer
+
+val answer_reachability :
+  t -> src:Fquery.start -> dst_ip:Prefix.t -> ?hdr:Bdd.t -> unit -> Questions.answer
+
+(** Every configuration-hygiene check at once (the continuous-validation
+    bundle of §5.2). *)
+val check_all : t -> Questions.answer list
+
+(** Differential reachability between two snapshots (proactive validation of
+    a change, §5.1). Builds both forwarding graphs over one shared variable
+    environment. *)
+val differential :
+  base:t -> candidate:t -> ?srcs:Fquery.start list -> unit -> Questions.answer
+
+(** {2 The §4.3.2 differential engine testing harness} *)
+
+(** Cross-validate the BDD engine against traceroute on this snapshot:
+    for every edge interface, check representative packets in both
+    directions. Returns the number of flows checked; raises [Failure] with a
+    description on any disagreement. *)
+val differential_engine_test : ?flows_per_location:int -> t -> int

@@ -1,0 +1,40 @@
+(** The §4.3.1 validation framework, offline edition.
+
+    The paper's workflow: (1) network experts build small labs exercising a
+    feature and its deviations, (2) runtime state is collected from real
+    devices (show commands, pings, traceroutes), (3) the Batfish model is
+    validated against that collected state, daily, to catch regressions.
+
+    We cannot run vendor device images here, so the "collected state" is a
+    checked-in expectation list per lab — the same regression protection with
+    a curated oracle. Labs deliberately include {e deviations} from standard
+    configuration (Lesson 3): undefined references, one-sided sessions,
+    shadowed ACL lines. *)
+
+type expectation =
+  | Route_present of string * string * string
+      (** node, prefix, protocol name as shown by `routes` *)
+  | Route_absent of string * string  (** node, prefix *)
+  | Flow_delivered of string * string option * Packet.t  (** start, ingress *)
+  | Flow_dropped of string * string option * Packet.t
+  | Session_established of string * string  (** node, peer ip *)
+  | Session_down of string * string
+
+type lab = {
+  lab_name : string;
+  lab_doc : string;
+  lab_configs : (string * string) list;
+  lab_env : Dp_env.t;
+  lab_expectations : expectation list;
+}
+
+type outcome = { ok_expectation : string; ok_pass : bool; ok_detail : string }
+
+(** Validate the model against the lab's expected runtime state. *)
+val run : lab -> outcome list
+
+val all_pass : outcome list -> bool
+
+(** The checked-in lab repository ("data from labs ... goes into a
+    repository, and step 3 is run daily"). *)
+val builtin : lab list

@@ -1,0 +1,1 @@
+lib/datalog/datalog_cp.ml: Array Datalog Dp_env L3 List Option Ospf_engine Prefix Vi

@@ -1,0 +1,1 @@
+lib/datalog/datalog_cp.mli: Datalog Dp_env Prefix Vi

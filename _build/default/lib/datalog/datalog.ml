@@ -1,0 +1,256 @@
+type term = V of int | C of int
+
+type rule = {
+  r_head : string * term array;
+  r_body : (string * term array) list;
+  r_guards : (int array -> bool) list;
+  r_computes : (int * (int array -> int)) list;
+  r_nvars : int;
+}
+
+type aggregation = {
+  a_head : string * term array;
+  a_source : string * term array;
+  a_value : int;
+  a_nvars : int;
+}
+
+module Tuples = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+type relation = {
+  mutable all : unit Tuples.t;
+  mutable delta : int array list;  (* new tuples from the last iteration *)
+  mutable index : (int, int array list) Hashtbl.t;  (* by first argument *)
+}
+
+type db = {
+  relations : (string, relation) Hashtbl.t;
+  mutable strata : (rule list * aggregation list) list;  (* reversed *)
+  mutable cur_rules : rule list;
+  mutable cur_aggs : aggregation list;
+  symbols : (string, int) Hashtbl.t;
+  names : (int, string) Hashtbl.t;
+  mutable next_sym : int;
+}
+
+let create () =
+  { relations = Hashtbl.create 64; strata = []; cur_rules = []; cur_aggs = [];
+    symbols = Hashtbl.create 64; names = Hashtbl.create 64;
+    next_sym = 0x4000_0000 (* symbols live far from small ints *) }
+
+let sym db name =
+  match Hashtbl.find_opt db.symbols name with
+  | Some i -> i
+  | None ->
+    let i = db.next_sym in
+    db.next_sym <- i + 1;
+    Hashtbl.add db.symbols name i;
+    Hashtbl.add db.names i name;
+    i
+
+let sym_name db i = Option.value (Hashtbl.find_opt db.names i) ~default:(string_of_int i)
+
+let relation db name =
+  match Hashtbl.find_opt db.relations name with
+  | Some r -> r
+  | None ->
+    let r = { all = Tuples.create 64; delta = []; index = Hashtbl.create 64 } in
+    Hashtbl.add db.relations name r;
+    r
+
+let insert db name tuple =
+  let r = relation db name in
+  if not (Tuples.mem r.all tuple) then begin
+    Tuples.add r.all tuple ();
+    r.delta <- tuple :: r.delta;
+    let k = if Array.length tuple > 0 then tuple.(0) else 0 in
+    Hashtbl.replace r.index k
+      (tuple :: Option.value (Hashtbl.find_opt r.index k) ~default:[]);
+    true
+  end
+  else false
+
+let fact db name tuple = ignore (insert db name tuple)
+
+let max_var terms acc =
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | V v -> max acc (v + 1)
+      | C _ -> acc)
+    acc terms
+
+let rule db ~head ~body ?(guards = []) ?(computes = []) () =
+  let nvars =
+    List.fold_left (fun acc (_, ts) -> max_var ts acc) (max_var (snd head) 0) body
+  in
+  let nvars = List.fold_left (fun acc (v, _) -> max acc (v + 1)) nvars computes in
+  db.cur_rules <-
+    { r_head = head; r_body = body; r_guards = guards; r_computes = computes;
+      r_nvars = nvars }
+    :: db.cur_rules
+
+let agg_min db ~head ~source ~value =
+  let nvars = max_var (snd head) (max_var (snd source) (value + 1)) in
+  db.cur_aggs <- { a_head = head; a_source = source; a_value = value; a_nvars = nvars } :: db.cur_aggs
+
+let stratum db =
+  db.strata <- (List.rev db.cur_rules, List.rev db.cur_aggs) :: db.strata;
+  db.cur_rules <- [];
+  db.cur_aggs <- []
+
+(* Match a tuple against an atom's terms under the current binding. *)
+let match_atom binding terms tuple =
+  let n = Array.length terms in
+  if Array.length tuple <> n then false
+  else begin
+    let ok = ref true in
+    let undo = ref [] in
+    let i = ref 0 in
+    while !ok && !i < n do
+      (match terms.(!i) with
+       | C c -> if tuple.(!i) <> c then ok := false
+       | V v ->
+         if binding.(v) = min_int then begin
+           binding.(v) <- tuple.(!i);
+           undo := v :: !undo
+         end
+         else if binding.(v) <> tuple.(!i) then ok := false);
+      incr i
+    done;
+    if not !ok then List.iter (fun v -> binding.(v) <- min_int) !undo;
+    !ok
+  end
+
+(* Candidate tuples for an atom given the binding: use the first-argument
+   index when that argument is bound. *)
+let candidates db binding (name, terms) ~delta_only =
+  let r = relation db name in
+  if delta_only then r.delta
+  else
+    let key =
+      if Array.length terms = 0 then None
+      else
+        match terms.(0) with
+        | C c -> Some c
+        | V v -> if binding.(v) <> min_int then Some binding.(v) else None
+    in
+    match key with
+    | Some k -> Option.value (Hashtbl.find_opt r.index k) ~default:[]
+    | None -> Tuples.fold (fun t () acc -> t :: acc) r.all []
+
+let eval_rule db rule ~delta_rel out =
+  (* semi-naive: one designated body atom reads only the delta *)
+  let binding = Array.make (max 1 rule.r_nvars) min_int in
+  let rec go atoms idx =
+    match atoms with
+    | [] ->
+      List.iter (fun (v, f) -> binding.(v) <- f binding) rule.r_computes;
+      if List.for_all (fun g -> g binding) rule.r_guards then begin
+        let hname, hterms = rule.r_head in
+        let tuple =
+          Array.map
+            (function
+              | C c -> c
+              | V v -> binding.(v))
+            hterms
+        in
+        out := (hname, tuple) :: !out
+      end;
+      List.iter (fun (v, _) -> binding.(v) <- min_int) rule.r_computes
+    | atom :: rest ->
+      let saved = Array.copy binding in
+      List.iter
+        (fun tuple ->
+          if match_atom binding (snd atom) tuple then begin
+            go rest (idx + 1);
+            Array.blit saved 0 binding 0 (Array.length binding)
+          end)
+        (candidates db binding atom ~delta_only:(idx = delta_rel))
+  in
+  go rule.r_body 0
+
+let run_aggregation db agg =
+  let sname, sterms = agg.a_source in
+  let r = relation db sname in
+  let best : (int array, int) Hashtbl.t = Hashtbl.create 64 in
+  let binding = Array.make (max 1 agg.a_nvars) min_int in
+  Tuples.iter
+    (fun tuple () ->
+      Array.fill binding 0 (Array.length binding) min_int;
+      if match_atom binding sterms tuple then begin
+        let hname, hterms = agg.a_head in
+        ignore hname;
+        let key =
+          Array.map
+            (function
+              | C c -> c
+              | V v -> if v = agg.a_value then min_int else binding.(v))
+            hterms
+        in
+        let v = binding.(agg.a_value) in
+        match Hashtbl.find_opt best key with
+        | Some cur when cur <= v -> ()
+        | Some _ | None -> Hashtbl.replace best key v
+      end)
+    r.all;
+  let hname, hterms = agg.a_head in
+  Hashtbl.iter
+    (fun key v ->
+      let tuple =
+        Array.mapi
+          (fun i _ ->
+            match hterms.(i) with
+            | V var when var = agg.a_value -> v
+            | _ -> key.(i))
+          hterms
+      in
+      ignore (insert db hname tuple))
+    best
+
+let solve db =
+  if db.cur_rules <> [] || db.cur_aggs <> [] then stratum db;
+  let strata = List.rev db.strata in
+  List.iter
+    (fun (rules, aggs) ->
+      (* Iterate to fixpoint. The first round must consider all facts (new
+         strata see prior state whose deltas were consumed). *)
+      let first = ref true in
+      let continue_ = ref true in
+      while !continue_ do
+        let out = ref [] in
+        List.iter
+          (fun rule ->
+            if !first then eval_rule db rule ~delta_rel:(-1) out
+            else
+              (* once per body position, reading delta there *)
+              List.iteri (fun i _ -> eval_rule db rule ~delta_rel:i out) rule.r_body)
+          rules;
+        (* clear deltas, then insert new facts to form the next delta *)
+        Hashtbl.iter (fun _ r -> r.delta <- []) db.relations;
+        let changed = ref false in
+        List.iter (fun (name, tuple) -> if insert db name tuple then changed := true) !out;
+        first := false;
+        if not !changed then continue_ := false
+      done;
+      List.iter (fun agg -> run_aggregation db agg) aggs;
+      Hashtbl.iter (fun _ r -> r.delta <- []) db.relations)
+    strata
+
+let tuples db name =
+  match Hashtbl.find_opt db.relations name with
+  | Some r -> Tuples.fold (fun t () acc -> t :: acc) r.all []
+  | None -> []
+
+let relation_size db name =
+  match Hashtbl.find_opt db.relations name with
+  | Some r -> Tuples.length r.all
+  | None -> 0
+
+let fact_count db =
+  Hashtbl.fold (fun _ r acc -> acc + Tuples.length r.all) db.relations 0

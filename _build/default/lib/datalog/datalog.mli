@@ -1,0 +1,57 @@
+(** A stratified, semi-naive Datalog engine.
+
+    This reproduces the architecture of the {e original} Batfish stage 2
+    (§2): the control plane is a set of recursive rules evaluated to a fixed
+    point by a general solver. Its two production-killing properties are
+    faithfully present (Lesson 1): no control over evaluation order, and
+    retention of {e all} derived facts — including routes later discarded —
+    whose count {!fact_count} exposes for the memory comparison.
+
+    Tuples are arrays of ints; intern symbols with {!sym}. *)
+
+type db
+type term = V of int  (** variable, numbered from 0 *) | C of int  (** constant *)
+
+val create : unit -> db
+
+(** Intern a string as a constant. *)
+val sym : db -> string -> int
+
+val sym_name : db -> int -> string
+
+(** Assert a base fact. *)
+val fact : db -> string -> int array -> unit
+
+(** [rule db ~head ~body] adds a rule to the current stratum. Body atoms are
+    joined left to right. [guards] run once all body variables are bound
+    (argument = variable valuation). [computes] bind additional variables
+    from bound ones — the escape hatch LogicBlox-style arithmetic needs. *)
+val rule :
+  db ->
+  head:string * term array ->
+  body:(string * term array) list ->
+  ?guards:(int array -> bool) list ->
+  ?computes:(int * (int array -> int)) list ->
+  unit ->
+  unit
+
+(** [agg_min db ~head ~source ~group ~value] adds a minimum aggregation over
+    [source]: for each valuation of the [group] variables, the head is
+    derived with [value] bound to the minimum. Aggregations evaluate at the
+    end of their stratum. *)
+val agg_min :
+  db -> head:string * term array -> source:string * term array -> value:int -> unit
+
+(** Close the current stratum; later rules see the fixpoint of earlier
+    strata. *)
+val stratum : db -> unit
+
+(** Evaluate all strata to fixed points (semi-naive). *)
+val solve : db -> unit
+
+val tuples : db -> string -> int array list
+val relation_size : db -> string -> int
+
+(** Total facts derived across all relations (the retained intermediate
+    state the paper calls out). *)
+val fact_count : db -> int

@@ -1,0 +1,180 @@
+type result = {
+  db : Datalog.db;
+  routes : (string * Prefix.t * int) list;
+  derived_facts : int;
+}
+
+open Datalog
+
+(* Variable numbering convention: small ints per rule. *)
+
+let load_facts db ~configs ~env =
+  let topo = L3.infer configs in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      let n = sym db cfg.hostname in
+      (* connected prefixes *)
+      List.iter
+        (fun (iface, ip, prefix) ->
+          ignore ip;
+          ignore iface;
+          fact db "iface" [| n; Prefix.network prefix; Prefix.length prefix |])
+        (Vi.interface_prefixes cfg);
+      (* static routes (next-hop resolution elided, as in the simple model) *)
+      List.iter
+        (fun (sr : Vi.static_route) ->
+          match sr.sr_next_hop with
+          | Vi.Nh_ip nh ->
+            fact db "staticRoute"
+              [| n; Prefix.network sr.sr_prefix; Prefix.length sr.sr_prefix; nh |]
+          | Vi.Nh_interface _ | Vi.Nh_discard ->
+            fact db "staticRoute"
+              [| n; Prefix.network sr.sr_prefix; Prefix.length sr.sr_prefix; 0 |])
+        cfg.static_routes;
+      (* OSPF adjacency and advertised prefixes *)
+      let settings = Ospf_engine.interface_settings env cfg in
+      List.iter
+        (fun (s : Ospf_engine.iface_settings) ->
+          fact db "ospfPrefix"
+            [| n; Prefix.network s.os_prefix; Prefix.length s.os_prefix; s.os_cost |];
+          if not s.os_passive then
+            List.iter
+              (fun (ep : L3.endpoint) ->
+                if ep.ep_node <> cfg.hostname then
+                  fact db "ospfLink" [| n; sym db ep.ep_node; s.os_cost; ep.ep_ip |])
+              (L3.neighbors topo ~node:cfg.hostname ~iface:s.os_iface))
+        settings;
+      (* BGP *)
+      Option.iter
+        (fun (bgp : Vi.bgp_proc) ->
+          List.iter
+            (fun ((p, _) : Prefix.t * string option) ->
+              fact db "bgpNetwork" [| n; Prefix.network p; Prefix.length p |])
+            bgp.bp_networks;
+          List.iter
+            (fun (nbr : Vi.bgp_neighbor) ->
+              match L3.owner_of_ip topo nbr.bn_peer with
+              | Some ep ->
+                let m = sym db ep.L3.ep_node in
+                let ibgp = if nbr.bn_remote_as = bgp.bp_as then 1 else 0 in
+                (* receiving side n learns from m with next hop = peer ip *)
+                fact db "session" [| n; m; nbr.bn_peer; ibgp |]
+              | None -> (
+                match Dp_env.find_peer env nbr.bn_peer with
+                | Some xp ->
+                  List.iter
+                    (fun (xa : Dp_env.external_announcement) ->
+                      fact db "extAnn"
+                        [| n; Prefix.network xa.xa_prefix; Prefix.length xa.xa_prefix;
+                           nbr.bn_peer;
+                           List.length xa.xa_as_path |])
+                    xp.Dp_env.xp_announcements
+                | None -> ()))
+            bgp.bp_neighbors)
+        cfg.bgp)
+    configs
+
+let load_rules db =
+  let v i = V i in
+  let c x = C x in
+  (* stratum 1: connected + static + OSPF path exploration.
+     The recursive dist rule retains EVERY discovered path cost — the
+     memory-hungry intermediate state Lesson 1 describes. *)
+  rule db ~head:("connected", [| v 0; v 1; v 2 |]) ~body:[ ("iface", [| v 0; v 1; v 2 |]) ] ();
+  rule db
+    ~head:("dist", [| v 0; v 1; v 2; v 3 |])
+    ~body:[ ("ospfLink", [| v 0; v 1; v 2; v 3 |]) ]
+    ();
+  rule db
+    ~head:("dist", [| v 0; v 1; v 6; v 3 |])
+    ~body:
+      [ ("dist", [| v 0; v 4; v 5; v 3 |]); ("ospfLink", [| v 4; v 1; v 7; v 8 |]) ]
+    ~guards:[ (fun b -> b.(5) + b.(7) <= 1024); (fun b -> b.(0) <> b.(1)) ]
+    ~computes:[ (6, fun b -> b.(5) + b.(7)) ]
+    ();
+  stratum db;
+  (* stratum 2: best OSPF distances *)
+  agg_min db
+    ~head:("bestDist", [| v 0; v 1; v 2 |])
+    ~source:("dist", [| v 0; v 1; v 2; v 3 |])
+    ~value:2;
+  stratum db;
+  (* stratum 3: OSPF routes via the best distance *)
+  rule db
+    ~head:("ospfRoute", [| v 0; v 4; v 5; v 3; v 7 |])
+    ~body:
+      [ ("bestDist", [| v 0; v 1; v 2 |]); ("dist", [| v 0; v 1; v 2; v 3 |]);
+        ("ospfPrefix", [| v 1; v 4; v 5; v 6 |]) ]
+    ~computes:[ (7, fun b -> b.(2) + b.(6)) ]
+    ();
+  (* BGP: policy-free propagation; iBGP-learned routes do not re-advertise
+     over iBGP (full-mesh semantics). Every (pathlen, nexthop) variant is
+     retained. *)
+  rule db
+    ~head:("bgpRoute", [| v 0; v 1; v 2; c 0; c 0; c 0 |])
+    ~body:[ ("bgpNetwork", [| v 0; v 1; v 2 |]) ]
+    ();
+  rule db
+    ~head:("bgpRoute", [| v 0; v 1; v 2; v 3; v 4; c 0 |])
+    ~body:[ ("extAnn", [| v 0; v 1; v 2; v 3; v 4 |]) ]
+    ();
+  rule db
+    ~head:("bgpRoute", [| v 0; v 1; v 2; v 6; v 8; v 7 |])
+    ~body:
+      [ ("session", [| v 0; v 5; v 6; v 7 |]);
+        ("bgpRoute", [| v 5; v 1; v 2; v 3; v 4; v 9 |]) ]
+    ~guards:
+      [ (fun b -> not (b.(7) = 1 && b.(9) = 1)) (* no iBGP re-advertisement *);
+        (fun b -> b.(4) <= 32) ]
+    ~computes:[ (8, fun b -> b.(4) + (1 - b.(7))) ]
+    ();
+  stratum db;
+  agg_min db
+    ~head:("bestPlen", [| v 0; v 1; v 2; v 3 |])
+    ~source:("bgpRoute", [| v 0; v 1; v 2; v 4; v 3; v 5 |])
+    ~value:3;
+  stratum db;
+  rule db
+    ~head:("bgpBest", [| v 0; v 1; v 2; v 4 |])
+    ~body:
+      [ ("bestPlen", [| v 0; v 1; v 2; v 3 |]);
+        ("bgpRoute", [| v 0; v 1; v 2; v 4; v 3; v 5 |]) ]
+    ();
+  (* main RIB: admin-distance ranks *)
+  rule db
+    ~head:("candidate", [| v 0; v 1; v 2; c 0 |])
+    ~body:[ ("connected", [| v 0; v 1; v 2 |]) ]
+    ();
+  rule db
+    ~head:("candidate", [| v 0; v 1; v 2; c 1 |])
+    ~body:[ ("staticRoute", [| v 0; v 1; v 2; v 3 |]) ]
+    ();
+  rule db
+    ~head:("candidate", [| v 0; v 1; v 2; c 2 |])
+    ~body:[ ("ospfRoute", [| v 0; v 1; v 2; v 3; v 4 |]) ]
+    ();
+  rule db
+    ~head:("candidate", [| v 0; v 1; v 2; c 3 |])
+    ~body:[ ("bgpBest", [| v 0; v 1; v 2; v 3 |]) ]
+    ();
+  stratum db;
+  agg_min db
+    ~head:("bestRank", [| v 0; v 1; v 2; v 3 |])
+    ~source:("candidate", [| v 0; v 1; v 2; v 3 |])
+    ~value:3;
+  stratum db
+
+let run ~configs ~env =
+  let db = create () in
+  load_facts db ~configs ~env;
+  load_rules db;
+  solve db;
+  let routes =
+    List.map
+      (fun t -> (sym_name db t.(0), Prefix.make t.(1) t.(2), t.(3)))
+      (tuples db "bestRank")
+  in
+  { db; routes; derived_facts = fact_count db }
+
+let coverage r =
+  List.sort_uniq compare (List.map (fun (n, p, _) -> (n, p)) r.routes)

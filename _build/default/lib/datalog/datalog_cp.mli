@@ -1,0 +1,22 @@
+(** The original Batfish stage 2, reconstructed: a control-plane model
+    written as Datalog rules (§2), used as the Figure 3 baseline.
+
+    Feature scope matches the class of network the original tool supported
+    (the paper benchmarks it only on NET1): connected routes, static routes,
+    OSPF with costs, and policy-free BGP with full-mesh iBGP semantics.
+    Route maps, reflectors, and session checks are beyond it — which is
+    Lesson 1's point. *)
+
+type result = {
+  db : Datalog.db;
+  (* best routes per node as (node, prefix, protocol-rank) *)
+  routes : (string * Prefix.t * int) list;
+  derived_facts : int;  (** everything the solver retained *)
+}
+
+(** Build facts from the VI configs/environment, load the rules, and solve. *)
+val run : configs:Vi.t list -> env:Dp_env.t -> result
+
+(** (node, prefix) pairs with a best route — for cross-checking against the
+    imperative engine. *)
+val coverage : result -> (string * Prefix.t) list

@@ -1,0 +1,1 @@
+lib/dataplane/dataplane.ml: Acl_eval Array Attrs Cmp Coloring Dp_env Fib Hashtbl Int Ipv4 L3 List Obj Option Ospf_engine Packet Par Policy_eval Prefix Printf Rib Route Route_proto Semantics String Vi

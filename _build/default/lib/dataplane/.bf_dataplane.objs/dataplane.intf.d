@@ -1,0 +1,1 @@
+lib/dataplane/dataplane.mli: Dp_env Fib Hashtbl Ipv4 L3 Rib Vi

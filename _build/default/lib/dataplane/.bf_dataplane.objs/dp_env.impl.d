@@ -1,0 +1,1 @@
+lib/dataplane/dp_env.ml: Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/dp_env.mli: Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/fib.ml: Ipv4 L3 List Prefix Prefix_trie Printf Rib Route Route_proto

@@ -1,0 +1,1 @@
+lib/dataplane/fib.mli: Ipv4 L3 Prefix Rib Route

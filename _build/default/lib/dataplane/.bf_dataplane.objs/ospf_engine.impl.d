@@ -1,0 +1,1 @@
+lib/dataplane/ospf_engine.ml: Array Cmp Dp_env Hashtbl Int Ipv4 L3 List Option Par Policy_eval Prefix Rib Route Route_proto Set Vi

@@ -1,0 +1,1 @@
+lib/dataplane/ospf_engine.mli: Dp_env Hashtbl Ipv4 L3 Prefix Rib Route Vi

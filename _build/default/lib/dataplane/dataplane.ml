@@ -1,0 +1,935 @@
+type schedule = Colored | Lockstep
+
+type options = {
+  schedule : schedule;
+  use_logical_clocks : bool;
+  domains : int;
+  max_rounds : int;
+  full_rib_compare : bool;
+}
+
+let default_options =
+  { schedule = Colored; use_logical_clocks = true; domains = 1; max_rounds = 500;
+    full_rib_compare = false }
+
+type session_report = {
+  sr_node : string;
+  sr_peer : Ipv4.t;
+  sr_remote_node : string option;
+  sr_is_ibgp : bool;
+  sr_established : bool;
+  sr_reason : string option;
+}
+
+type node_result = {
+  nr_node : string;
+  nr_main : Rib.t;
+  nr_bgp : Rib.t;
+  nr_ospf : Rib.t option;
+  nr_fib : Fib.t;
+}
+
+type t = {
+  topo : L3.t;
+  nodes : (string, node_result) Hashtbl.t;
+  node_order : string list;
+  converged : bool;
+  oscillated : bool;
+  rounds : int;
+  outer_iterations : int;
+  sessions : session_report list;
+}
+
+(* --- internal simulation state --- *)
+
+type remote = Internal of int | External of Dp_env.external_peer
+
+type session = {
+  ss_local_ip : Ipv4.t;
+  ss_peer_ip : Ipv4.t;
+  ss_neighbor : Vi.bgp_neighbor;  (* our side's neighbor stanza *)
+  ss_reverse : Vi.bgp_neighbor option;  (* the peer's stanza pointing back *)
+  ss_is_ibgp : bool;
+  ss_remote : remote;
+  mutable ss_consumed : int;
+}
+
+type publication = { pub_version : int; pub_round : int; pub_adds : Route.t list; pub_dels : Route.t list }
+
+type node = {
+  idx : int;
+  cfg : Vi.t;
+  router_id : Ipv4.t;
+  mutable sessions : session list;
+  mutable down_sessions : (Vi.bgp_neighbor * string) list;  (* reason *)
+  static_configured : Vi.static_route list;
+  static_rib : Rib.t;
+  mutable ospf_rib : Rib.t option;
+  bgp_rib : Rib.t;
+  main_rib : Rib.t;
+  mutable clock : int;
+  mutable version : int;
+  mutable published : publication list;  (* newest first; pruned *)
+  mutable local_bgp : Route.t list;
+  mutable published_this_round : bool;
+}
+
+let local_as (node : node) =
+  match node.cfg.Vi.bgp with
+  | Some b -> b.bp_as
+  | None -> 0
+
+let find_router_id (cfg : Vi.t) =
+  let candidates =
+    (match cfg.bgp with
+     | Some b -> Option.to_list b.bp_router_id
+     | None -> [])
+    @ (match cfg.ospf with
+       | Some o -> Option.to_list o.op_router_id
+       | None -> [])
+  in
+  match candidates with
+  | rid :: _ -> rid
+  | [] ->
+    (* Highest loopback address, else highest interface address. *)
+    let ips which =
+      List.filter_map
+        (fun (i : Vi.interface) ->
+          match i.if_address with
+          | Some (ip, _)
+            when which = (String.length i.if_name >= 4
+                         && String.lowercase_ascii (String.sub i.if_name 0 4) = "loop") ->
+            Some ip
+          | _ -> None)
+        cfg.interfaces
+    in
+    (match List.sort (fun a b -> Int.compare b a) (ips true) with
+     | ip :: _ -> ip
+     | [] -> (
+       match List.sort (fun a b -> Int.compare b a) (ips false) with
+       | ip :: _ -> ip
+       | [] -> 0))
+
+let igp_cost node ip =
+  match Rib.lookup node.main_rib ip with
+  | Some (_, r :: _) ->
+    if Route_proto.is_bgp r.Route.protocol then Some (1_000_000 + r.Route.metric)
+    else Some r.Route.metric
+  | Some (_, []) | None -> None
+
+let make_node idx (cfg : Vi.t) =
+  let main_rib =
+    Rib.create ~prefer:Cmp.main_prefer ~multipath_equal:Cmp.main_multipath_equal
+      ~max_paths:16 ()
+  in
+  let node_ref = ref None in
+  let cost ip =
+    match !node_ref with
+    | Some n -> igp_cost n ip
+    | None -> None
+  in
+  let max_paths =
+    match cfg.bgp with
+    | Some b -> max b.bp_max_paths b.bp_max_paths_ibgp
+    | None -> 1
+  in
+  let bgp_rib =
+    Rib.create
+      ~prefer:(fun a b -> Cmp.bgp_prefer ~igp_cost:cost a b)
+      ~multipath_equal:(fun a b -> Cmp.bgp_multipath_equal ~igp_cost:cost a b)
+      ~max_paths ()
+  in
+  let node =
+    { idx; cfg; router_id = find_router_id cfg; sessions = []; down_sessions = [];
+      static_configured = cfg.static_routes;
+      static_rib =
+        Rib.create ~prefer:Cmp.main_prefer ~multipath_equal:Cmp.main_multipath_equal
+          ~max_paths:4 ();
+      ospf_rib = None; bgp_rib; main_rib; clock = 0; version = 0; published = [];
+      local_bgp = []; published_this_round = false }
+  in
+  node_ref := Some node;
+  node
+
+(* When clocks are disabled (Figure 1 ablation) the comparator must not see
+   arrival times; we zero them at import. *)
+
+(* --- connected & static phases --- *)
+
+let connected_routes env (cfg : Vi.t) =
+  List.concat_map
+    (fun (i : Vi.interface) ->
+      if (not i.if_enabled) || Dp_env.link_down env ~node:cfg.hostname ~iface:i.if_name
+      then []
+      else
+        List.concat_map
+          (fun addr ->
+            match addr with
+            | Some (ip, len) ->
+              [ Route.connected ~net:(Prefix.make ip len) ~iface:i.if_name;
+                Route.local ~ip ~iface:i.if_name ]
+            | None -> [])
+          (i.if_address :: List.map Option.some i.if_secondary))
+    cfg.interfaces
+
+let iface_up env (cfg : Vi.t) name =
+  match Vi.find_interface cfg name with
+  | Some i -> i.if_enabled && not (Dp_env.link_down env ~node:cfg.hostname ~iface:name)
+  | None -> false
+
+(* Activate statics against the current main RIB; returns true if anything
+   changed. Recursive statics resolve through previously activated routes. *)
+let activate_statics env node =
+  let changed = ref false in
+  List.iter
+    (fun (sr : Vi.static_route) ->
+      let nh, active =
+        match sr.sr_next_hop with
+        | Vi.Nh_discard -> (Route.Nh_discard, true)
+        | Vi.Nh_interface i -> (Route.Nh_iface i, iface_up env node.cfg i)
+        | Vi.Nh_ip ip -> (
+          (Route.Nh_ip ip,
+           match Rib.lookup node.main_rib ip with
+           | Some (p, _) ->
+             (* A static may not resolve through itself. *)
+             not (Prefix.equal p sr.sr_prefix)
+           | None -> false))
+      in
+      let route = Route.static ~net:sr.sr_prefix ~nh ~ad:sr.sr_ad ~tag:sr.sr_tag in
+      let present =
+        List.exists (Route.same route) (Rib.best node.static_rib sr.sr_prefix)
+      in
+      if active && not present then begin
+        Rib.merge node.static_rib route;
+        Rib.merge node.main_rib route;
+        changed := true
+      end
+      else if (not active) && present then begin
+        Rib.withdraw node.static_rib route;
+        Rib.withdraw node.main_rib route;
+        changed := true
+      end)
+    node.static_configured;
+  !changed
+
+(* --- BGP session establishment --- *)
+
+let interface_ip_on_subnet topo nodename ip =
+  List.find_opt
+    (fun (ep : L3.endpoint) -> Prefix.contains ep.ep_prefix ip)
+    (L3.endpoints topo nodename)
+
+let session_local_ip topo node (nbr : Vi.bgp_neighbor) =
+  match nbr.bn_update_source with
+  | Some ifname -> (
+    match Vi.find_interface node.cfg ifname with
+    | Some { Vi.if_address = Some (ip, _); _ } -> Some ip
+    | Some _ | None -> None)
+  | None -> (
+    match interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer with
+    | Some ep -> Some ep.L3.ep_ip
+    | None ->
+      (* fall back to the router id's interface, as routers fall back to a
+         loopback source *)
+      if node.router_id <> 0 then Some node.router_id else None)
+
+(* §4.1.1: session viability depends on a successful TCP connection, which
+   interface ACLs can break. For directly connected sessions we check the
+   four ACL points of each connection attempt (initiator egress, responder
+   ingress, responder egress, initiator ingress); the session is down only
+   when BOTH connection directions are blocked, since either speaker may
+   initiate. *)
+let tcp_blocked_by_acls topo node (remote_node : node option) local_ip peer_ip =
+  let cfg_of ip =
+    if ip = local_ip then Some node.cfg
+    else Option.map (fun n -> n.cfg) remote_node
+  in
+  let acl_denies (cfg : Vi.t) ~inbound ~facing pkt =
+    match interface_ip_on_subnet topo cfg.Vi.hostname facing with
+    | None -> false
+    | Some ep -> (
+      match Vi.find_interface cfg ep.L3.ep_iface with
+      | None -> false
+      | Some i -> (
+        match (if inbound then i.Vi.if_in_acl else i.Vi.if_out_acl) with
+        | None -> false
+        | Some name -> (
+          match Vi.find_acl cfg name with
+          | Some acl -> not (Acl_eval.permits acl pkt)
+          | None ->
+            not (Semantics.for_vendor cfg.Vi.vendor).Semantics.undefined_acl_permits)))
+  in
+  let pkt_blocked (pkt : Packet.t) =
+    let out_blocked =
+      match cfg_of pkt.src_ip with
+      | Some cfg -> acl_denies cfg ~inbound:false ~facing:pkt.dst_ip pkt
+      | None -> false
+    and in_blocked =
+      match cfg_of pkt.dst_ip with
+      | Some cfg -> acl_denies cfg ~inbound:true ~facing:pkt.src_ip pkt
+      | None -> false
+    in
+    out_blocked || in_blocked
+  in
+  let connection_blocked src dst =
+    let syn = Packet.tcp ~src ~dst 179 in
+    let syn_ack =
+      Packet.tcp
+        ~flags:(Packet.Tcp_flags.syn lor Packet.Tcp_flags.ack)
+        ~src_port:179 ~src:dst ~dst:src 49152
+    in
+    pkt_blocked syn || pkt_blocked syn_ack
+  in
+  connection_blocked local_ip peer_ip && connection_blocked peer_ip local_ip
+
+let establish_sessions env topo nodes node_index node =
+  match node.cfg.Vi.bgp with
+  | None ->
+    node.sessions <- [];
+    node.down_sessions <- []
+  | Some bgp ->
+    let sessions = ref [] and down = ref [] in
+    List.iter
+      (fun (nbr : Vi.bgp_neighbor) ->
+        let fail reason = down := (nbr, reason) :: !down in
+        if nbr.bn_shutdown then fail "administratively shut down"
+        else
+          match session_local_ip topo node nbr with
+          | None -> fail "no source address for session"
+          | Some local_ip -> (
+            let my_as = Option.value nbr.bn_local_as ~default:bgp.bp_as in
+            match L3.owner_of_ip topo nbr.bn_peer with
+            | Some ep -> (
+              match Hashtbl.find_opt node_index ep.L3.ep_node with
+              | None -> fail "peer node unknown"
+              | Some ridx -> (
+                let rnode = nodes.(ridx) in
+                match rnode.cfg.Vi.bgp with
+                | None -> fail "peer has no bgp process"
+                | Some rbgp -> (
+                  let reverse =
+                    List.find_opt
+                      (fun (rn : Vi.bgp_neighbor) -> rn.bn_peer = local_ip)
+                      rbgp.bp_neighbors
+                  in
+                  match reverse with
+                  | None -> fail "peer has no matching neighbor statement"
+                  | Some rn ->
+                    let their_as = Option.value rn.bn_local_as ~default:rbgp.bp_as in
+                    if rn.bn_shutdown then fail "peer side shut down"
+                    else if nbr.bn_remote_as <> their_as then
+                      fail
+                        (Printf.sprintf "remote-as mismatch (configured %d, peer is %d)"
+                           nbr.bn_remote_as their_as)
+                    else if rn.bn_remote_as <> my_as then
+                      fail "peer's remote-as does not match our AS"
+                    else begin
+                      let is_ibgp = my_as = their_as in
+                      let directly_connected =
+                        interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer <> None
+                      in
+                      let reachable =
+                        if directly_connected then true
+                        else if is_ibgp || nbr.bn_ebgp_multihop then
+                          Rib.lookup node.main_rib nbr.bn_peer <> None
+                          && Rib.lookup rnode.main_rib local_ip <> None
+                        else false
+                      in
+                      if not reachable then
+                        fail
+                          (if is_ibgp || nbr.bn_ebgp_multihop then "peer unreachable"
+                           else "eBGP peer not directly connected (no ebgp-multihop)")
+                      else if
+                        directly_connected
+                        && tcp_blocked_by_acls topo node (Some rnode) local_ip nbr.bn_peer
+                      then fail "BGP TCP session blocked by ACL"
+                      else
+                        sessions :=
+                          { ss_local_ip = local_ip; ss_peer_ip = nbr.bn_peer;
+                            ss_neighbor = nbr; ss_reverse = Some rn;
+                            ss_is_ibgp = is_ibgp; ss_remote = Internal ridx;
+                            ss_consumed = 0 }
+                          :: !sessions
+                    end)))
+            | None -> (
+              match Dp_env.find_peer env nbr.bn_peer with
+              | None -> fail "peer address unknown (no device or environment entry)"
+              | Some xp ->
+                if nbr.bn_remote_as <> xp.Dp_env.xp_as then
+                  fail
+                    (Printf.sprintf "remote-as mismatch (configured %d, peer is %d)"
+                       nbr.bn_remote_as xp.Dp_env.xp_as)
+                else
+                  let directly_connected =
+                    interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer <> None
+                  in
+                  if not (directly_connected || nbr.bn_ebgp_multihop) then
+                    fail "external peer not on a connected subnet"
+                  else if
+                    directly_connected
+                    && tcp_blocked_by_acls topo node None local_ip nbr.bn_peer
+                  then fail "BGP TCP session blocked by ACL"
+                  else
+                    sessions :=
+                      { ss_local_ip = local_ip; ss_peer_ip = nbr.bn_peer;
+                        ss_neighbor = nbr; ss_reverse = None; ss_is_ibgp = false;
+                        ss_remote = External xp; ss_consumed = 0 }
+                      :: !sessions)))
+      bgp.bp_neighbors;
+    node.sessions <- List.rev !sessions;
+    node.down_sessions <- List.rev !down
+
+(* --- BGP route processing --- *)
+
+let next_arrival options node =
+  if options.use_logical_clocks then begin
+    node.clock <- node.clock + 1;
+    node.clock
+  end
+  else 0
+
+(* Export r from [sender] toward the peer described by [rev] (the sender's
+   neighbor stanza for the receiver). [sender_ip] is the sender's session
+   address. Returns the route as it appears on the wire. *)
+let export_route sender (rev : Vi.bgp_neighbor) ~sender_ip ~receiver_ip ~is_ibgp r =
+  let open Route in
+  if r.from_peer = receiver_ip then None (* don't echo back to the sender *)
+  else
+    let attrs = Route.get_attrs r in
+    if List.mem Vi.no_advertise attrs.Attrs.communities then None
+    else if (not is_ibgp) && List.mem Vi.no_export attrs.Attrs.communities then None
+    else
+    (* Reflection rules for iBGP-learned routes toward iBGP peers. *)
+    let reflection =
+      if r.protocol = Route_proto.Ibgp && is_ibgp then begin
+        let cluster_id =
+          match sender.cfg.Vi.bgp with
+          | Some b -> (
+            match b.bp_cluster_id with
+            | Some c -> Some c
+            | None -> if rev.bn_route_reflector_client then Some sender.router_id else None)
+          | None -> None
+        in
+        let from_client =
+          match sender.cfg.Vi.bgp with
+          | Some b ->
+            List.exists
+              (fun (n : Vi.bgp_neighbor) ->
+                n.bn_peer = r.from_peer && n.bn_route_reflector_client)
+              b.bp_neighbors
+          | None -> false
+        in
+        match cluster_id with
+        | Some cid when rev.bn_route_reflector_client || from_client ->
+          let originator =
+            if attrs.Attrs.originator_id = 0 then r.from_rid
+            else attrs.Attrs.originator_id
+          in
+          Some
+            (Attrs.update ~originator_id:originator
+               ~cluster_list:(cid :: attrs.Attrs.cluster_list) attrs)
+        | Some _ | None -> None (* not reflected *)
+      end
+      else Some attrs
+    in
+    match reflection with
+    | None -> None
+    | Some attrs -> (
+      let r = { r with attrs = Some attrs } in
+      (* Sender-side policy, in the sender's configuration context. *)
+      let ctx = Policy_eval.make_ctx ~self_ip:sender_ip sender.cfg in
+      let pl_ok =
+        match rev.bn_prefix_list_out with
+        | Some pl -> Policy_eval.run_prefix_list_named ctx pl r.net
+        | None -> true
+      in
+      if not pl_ok then None
+      else
+        match Policy_eval.run_optional ctx rev.bn_export_policy r with
+        | Policy_eval.Denied -> None
+        | Policy_eval.Accepted r ->
+          let attrs = Route.get_attrs r in
+          let attrs = Attrs.update ~weight:0 attrs in
+          let attrs =
+            if rev.bn_send_community then attrs else Attrs.update ~communities:[] attrs
+          in
+          let sender_as =
+            Option.value rev.bn_local_as
+              ~default:
+                (match sender.cfg.Vi.bgp with
+                 | Some b -> b.bp_as
+                 | None -> 0)
+          in
+          let r =
+            if not is_ibgp then
+              (* eBGP: prepend our AS, set next hop to our address, reset
+                 local preference for the receiver. *)
+              { r with
+                attrs =
+                  Some
+                    (Attrs.update ~as_path:(sender_as :: attrs.Attrs.as_path)
+                       ~local_pref:100 ~originator_id:0 ~cluster_list:[] attrs);
+                next_hop = Nh_ip sender_ip }
+            else
+              let nh =
+                if rev.bn_next_hop_self || r.from_peer = 0 then Nh_ip sender_ip
+                else r.next_hop
+              in
+              { r with attrs = Some attrs; next_hop = nh }
+          in
+          Some { r with from_peer = 0; from_rid = sender.router_id })
+
+(* Import r at [receiver] over [s]; returns the route to merge. *)
+let import_route options receiver (s : session) ~sender_rid r =
+  let open Route in
+  let my_as = local_as receiver in
+  let attrs = Route.get_attrs r in
+  let loop_count = List.length (List.filter (( = ) my_as) attrs.Attrs.as_path) in
+  if (not s.ss_is_ibgp) && loop_count > s.ss_neighbor.Vi.bn_allowas_in then None
+  else if s.ss_is_ibgp && attrs.Attrs.originator_id = receiver.router_id then None
+  else if
+    s.ss_is_ibgp
+    &&
+    let my_cluster =
+      match receiver.cfg.Vi.bgp with
+      | Some b -> Option.value b.bp_cluster_id ~default:receiver.router_id
+      | None -> receiver.router_id
+    in
+    List.mem my_cluster attrs.Attrs.cluster_list
+  then None
+  else
+    let ctx = Policy_eval.make_ctx ~self_ip:s.ss_local_ip receiver.cfg in
+    let pl_ok =
+      match s.ss_neighbor.Vi.bn_prefix_list_in with
+      | Some pl -> Policy_eval.run_prefix_list_named ctx pl r.net
+      | None -> true
+    in
+    if not pl_ok then None
+    else
+      match Policy_eval.run_optional ctx s.ss_neighbor.Vi.bn_import_policy r with
+      | Policy_eval.Denied -> None
+      | Policy_eval.Accepted r ->
+        let proto = if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp in
+        Some
+          { r with
+            protocol = proto;
+            admin = Route_proto.admin_distance proto;
+            arrival = next_arrival options receiver;
+            from_peer = s.ss_peer_ip;
+            from_rid = sender_rid }
+
+(* Locally originated BGP routes: network statements and redistribution. *)
+let compute_local_bgp node =
+  match node.cfg.Vi.bgp with
+  | None -> []
+  | Some bgp ->
+    let ctx = Policy_eval.make_ctx node.cfg in
+    let from_networks =
+      List.filter_map
+        (fun ((p, rm) : Prefix.t * string option) ->
+          let best = Rib.best node.main_rib p in
+          let igp =
+            List.find_opt
+              (fun (r : Route.t) -> not (Route_proto.is_bgp r.Route.protocol))
+              best
+          in
+          Option.bind igp (fun (src : Route.t) ->
+              let candidate =
+                { (Route.bgp ~proto:Route_proto.Ibgp ~net:p ~nh:src.Route.next_hop
+                     ~attrs:(Attrs.make ~weight:32768 ~origin:Vi.Origin_igp ())
+                     ~arrival:0 ~from_peer:0 ~from_rid:node.router_id)
+                  with Route.admin = 200 }
+              in
+              match Policy_eval.run_optional ctx rm candidate with
+              | Policy_eval.Denied -> None
+              | Policy_eval.Accepted r -> Some r))
+        bgp.bp_networks
+    in
+    let from_redistribution =
+      List.concat_map
+        (fun (rd : Vi.redistribution) ->
+          Rib.best_routes node.main_rib
+          |> List.filter (fun (r : Route.t) ->
+                 Route_proto.matches_source r.Route.protocol rd.rd_protocol)
+          |> List.filter_map (fun (src : Route.t) ->
+                 let candidate =
+                   { (Route.bgp ~proto:Route_proto.Ibgp ~net:src.Route.net
+                        ~nh:src.Route.next_hop
+                        ~attrs:
+                          (Attrs.make ~weight:32768 ~origin:Vi.Origin_incomplete
+                             ~med:(Option.value rd.rd_metric ~default:src.Route.metric)
+                             ())
+                        ~arrival:0 ~from_peer:0 ~from_rid:node.router_id)
+                     with Route.admin = 200; Route.tag = src.Route.tag }
+                 in
+                 match Policy_eval.run_optional ctx rd.rd_route_map candidate with
+                 | Policy_eval.Denied -> None
+                 | Policy_eval.Accepted r -> Some r))
+        bgp.bp_redistribute
+    in
+    from_networks @ from_redistribution
+
+let refresh_local_bgp node =
+  let fresh = compute_local_bgp node in
+  let gone =
+    List.filter (fun old -> not (List.exists (Route.same old) fresh)) node.local_bgp
+  in
+  let added =
+    List.filter (fun nw -> not (List.exists (Route.same nw) node.local_bgp)) fresh
+  in
+  List.iter (fun r -> Rib.withdraw node.bgp_rib r) gone;
+  List.iter (fun r -> Rib.merge node.bgp_rib r) added;
+  node.local_bgp <- fresh
+
+(* Merge this node's BGP best-route delta into its main RIB (locally
+   originated candidates stay out: the IGP source is already there). *)
+let apply_bgp_delta_to_main node (adds, dels) =
+  List.iter
+    (fun (r : Route.t) -> if r.Route.from_peer <> 0 then Rib.withdraw node.main_rib r)
+    dels;
+  List.iter
+    (fun (r : Route.t) -> if r.Route.from_peer <> 0 then Rib.merge node.main_rib r)
+    adds
+
+let publish options node ~round =
+  if Rib.dirty node.bgp_rib then begin
+    ignore options;
+    let adds, dels = Rib.take_delta node.bgp_rib in
+    if adds <> [] || dels <> [] then begin
+      apply_bgp_delta_to_main node (adds, dels);
+      node.version <- node.version + 1;
+      let pub =
+        { pub_version = node.version; pub_round = round; pub_adds = adds;
+          pub_dels = dels }
+      in
+      node.published <-
+        pub :: (if List.length node.published >= 6 then List.filteri (fun i _ -> i < 5) node.published
+                else node.published);
+      node.published_this_round <- true
+    end
+  end
+
+(* One processing turn for a node: pull deltas from every established
+   session, run export+import+merge (the queue-free hybrid of §4.1.3),
+   refresh local originations, publish this node's own delta. *)
+let process_node options nodes ~round ~visible node =
+  node.published_this_round <- false;
+  refresh_local_bgp node;
+  List.iter
+    (fun s ->
+      match s.ss_remote with
+      | External _ -> () (* external announcements injected at session setup *)
+      | Internal ridx ->
+        let sender = nodes.(ridx) in
+        let rev =
+          match s.ss_reverse with
+          | Some rn -> rn
+          | None -> Vi.bgp_neighbor_default s.ss_local_ip 0
+        in
+        (* Oldest unconsumed publication first. *)
+        let pubs =
+          List.filter (fun p -> p.pub_version > s.ss_consumed && visible p)
+            (List.rev sender.published)
+        in
+        List.iter
+          (fun pub ->
+            List.iter
+              (fun (r : Route.t) ->
+                (* A withdrawal removes whatever we hold from this peer. *)
+                let dummy =
+                  { r with Route.from_peer = s.ss_peer_ip;
+                    protocol =
+                      (if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp) }
+                in
+                Rib.withdraw node.bgp_rib dummy)
+              pub.pub_dels;
+            List.iter
+              (fun (r : Route.t) ->
+                match
+                  export_route sender rev ~sender_ip:s.ss_peer_ip
+                    ~receiver_ip:s.ss_local_ip ~is_ibgp:s.ss_is_ibgp r
+                with
+                | None ->
+                  (* Export denied: make sure nothing stale remains. *)
+                  let dummy =
+                    { r with Route.from_peer = s.ss_peer_ip;
+                      protocol =
+                        (if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp) }
+                  in
+                  Rib.withdraw node.bgp_rib dummy
+                | Some wire -> (
+                  match import_route options node s ~sender_rid:sender.router_id wire with
+                  | None ->
+                    let dummy =
+                      { r with Route.from_peer = s.ss_peer_ip;
+                        protocol =
+                          (if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp) }
+                    in
+                    Rib.withdraw node.bgp_rib dummy
+                  | Some imported -> Rib.merge node.bgp_rib imported))
+              pub.pub_adds;
+            s.ss_consumed <- pub.pub_version)
+          pubs)
+    node.sessions;
+  publish options node ~round
+
+(* Inject external announcements through the import pipeline. *)
+let inject_external options node =
+  List.iter
+    (fun s ->
+      match s.ss_remote with
+      | Internal _ -> ()
+      | External xp ->
+        List.iter
+          (fun (xa : Dp_env.external_announcement) ->
+            let wire =
+              Route.bgp ~proto:Route_proto.Ebgp ~net:xa.xa_prefix
+                ~nh:(Route.Nh_ip s.ss_peer_ip)
+                ~attrs:
+                  (Attrs.make ~as_path:xa.xa_as_path ~med:xa.xa_med
+                     ~communities:xa.xa_communities ~origin:Vi.Origin_igp ())
+                ~arrival:0 ~from_peer:s.ss_peer_ip ~from_rid:s.ss_peer_ip
+            in
+            match import_route options node s ~sender_rid:s.ss_peer_ip wire with
+            | None -> ()
+            | Some imported -> Rib.merge node.bgp_rib imported)
+          xp.Dp_env.xp_announcements)
+    node.sessions
+
+(* A fingerprint of global BGP state (arrival clocks ignored), used to detect
+   oscillation: a repeated state with pending changes means a cycle. *)
+let fingerprint nodes =
+  let h = ref 0 in
+  Array.iter
+    (fun node ->
+      Rib.fold_best
+        (fun p best () ->
+          List.iter
+            (fun (r : Route.t) ->
+              h := !h lxor Hashtbl.hash (p, { r with Route.arrival = 0 }))
+            best)
+        node.bgp_rib ())
+    nodes;
+  !h
+
+let snapshot_ribs nodes =
+  Array.map
+    (fun node ->
+      List.map (fun (r : Route.t) -> { r with Route.arrival = 0 })
+        (Rib.best_routes node.main_rib))
+    nodes
+
+(* Run the BGP exchange to a fixed point. Returns (rounds, converged,
+   oscillated). *)
+let run_bgp options nodes node_index =
+  ignore node_index;
+  let n = Array.length nodes in
+  (* Schedule: color the internal-session graph so that no two adjacent nodes
+     are in the same class (Colored), or put everyone in one class
+     (Lockstep). *)
+  let edges =
+    Array.to_list nodes
+    |> List.concat_map (fun node ->
+           List.filter_map
+             (fun s ->
+               match s.ss_remote with
+               | Internal r -> Some (node.idx, r)
+               | External _ -> None)
+             node.sessions)
+  in
+  let classes =
+    match options.schedule with
+    | Colored -> Coloring.classes (Coloring.greedy ~n edges)
+    | Lockstep -> [| List.init n (fun i -> i) |]
+  in
+  (* Initial state: local originations + external announcements, then a first
+     publication from everyone. *)
+  Array.iter (fun node -> refresh_local_bgp node) nodes;
+  Array.iter (fun node -> inject_external options node) nodes;
+  Array.iter (fun node -> publish options node ~round:0) nodes;
+  let seen_states = Hashtbl.create 64 in
+  let rounds = ref 0 and converged = ref false and oscillated = ref false in
+  while (not !converged) && (not !oscillated) && !rounds < options.max_rounds do
+    incr rounds;
+    let round = !rounds in
+    let visible =
+      match options.schedule with
+      | Colored -> fun _ -> true
+      | Lockstep -> fun p -> p.pub_round < round
+    in
+    let snapshot = if options.full_rib_compare then Some (snapshot_ribs nodes) else None in
+    Array.iter
+      (fun cls ->
+        let members = Array.of_list cls in
+        (* Same-color nodes share no session, so they can proceed in
+           parallel; results are deterministic because each node only
+           mutates its own state. *)
+        ignore
+          (Par.map ~domains:options.domains
+             (fun i ->
+               process_node options nodes ~round ~visible nodes.(i);
+               0)
+             members))
+      classes;
+    let any_published =
+      Array.exists (fun node -> node.published_this_round) nodes
+    in
+    (match snapshot with
+     | Some before ->
+       (* The classic convergence check: deep-compare previous and current
+          RIB state. Used only by the ablation benchmark. *)
+       let after = snapshot_ribs nodes in
+       ignore (before = after)
+     | None -> ());
+    if not any_published then converged := true
+    else begin
+      (* The fingerprint omits in-flight publications, so a single repeat is
+         not conclusive; require the same state three times past a warmup
+         before declaring an oscillation. *)
+      let fp = fingerprint nodes in
+      let count = 1 + Option.value (Hashtbl.find_opt seen_states fp) ~default:0 in
+      Hashtbl.replace seen_states fp count;
+      if count >= 3 && round > 8 then oscillated := true
+    end
+  done;
+  if !rounds >= options.max_rounds && not !converged then oscillated := true;
+  (!rounds, !converged, !oscillated)
+
+(* --- orchestration --- *)
+
+let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
+  let topo = L3.infer configs in
+  let nodes = Array.of_list (List.mapi make_node configs) in
+  let node_index = Hashtbl.create 64 in
+  Array.iter (fun node -> Hashtbl.replace node_index node.cfg.Vi.hostname node.idx) nodes;
+  (* Phase 1: connected and local routes. *)
+  Array.iter
+    (fun node ->
+      List.iter (fun r -> Rib.merge node.main_rib r) (connected_routes env node.cfg))
+    nodes;
+  (* Phase 2: static routes (recursive resolution to a fixed point). *)
+  let rec statics_fixpoint guard =
+    let changed = Array.exists (fun node -> activate_statics env node) nodes in
+    if changed && guard > 0 then statics_fixpoint (guard - 1)
+  in
+  statics_fixpoint 16;
+  (* Phase 3: OSPF converges before BGP begins (the IGP-first ordering). *)
+  let run_ospf () =
+    let redistributable name =
+      match Hashtbl.find_opt node_index name with
+      | None -> []
+      | Some i ->
+        let node = nodes.(i) in
+        Rib.best_routes node.static_rib @ connected_routes env node.cfg
+    in
+    let ribs =
+      Ospf_engine.compute ~env ~topo ~configs ~redistributable ~domains:options.domains
+    in
+    Array.iter
+      (fun node ->
+        match Hashtbl.find_opt ribs node.cfg.Vi.hostname with
+        | None -> ()
+        | Some rib ->
+          Rib.withdraw_where node.main_rib (fun r ->
+              Route_proto.is_ospf r.Route.protocol);
+          node.ospf_rib <- Some rib;
+          List.iter (fun r -> Rib.merge node.main_rib r) (Rib.best_routes rib))
+      nodes
+  in
+  run_ospf ();
+  (* Statics may resolve through OSPF; if that changes the redistributable
+     set, recompute OSPF once more. *)
+  let statics_changed = Array.exists (fun node -> activate_statics env node) nodes in
+  if statics_changed then begin
+    statics_fixpoint 16;
+    run_ospf ()
+  end;
+  (* Phase 4: BGP, with session re-evaluation at key points (§4.1.1). *)
+  let session_signature () =
+    Array.to_list nodes
+    |> List.concat_map (fun node ->
+           List.map (fun s -> (node.cfg.Vi.hostname, s.ss_peer_ip)) node.sessions)
+  in
+  let rounds_total = ref 0 and converged = ref true and oscillated = ref false in
+  let outer = ref 0 in
+  let continue_outer = ref true in
+  while !continue_outer && !outer < 5 do
+    incr outer;
+    let before = if !outer = 1 then [] else session_signature () in
+    Array.iter (fun node -> establish_sessions env topo nodes node_index node) nodes;
+    let after = session_signature () in
+    if !outer > 1 && before = after then continue_outer := false
+    else begin
+      (* Drop state learned over sessions that no longer exist. *)
+      Array.iter
+        (fun node ->
+          let live = List.map (fun s -> s.ss_peer_ip) node.sessions in
+          Rib.withdraw_where node.bgp_rib (fun r ->
+              r.Route.from_peer <> 0 && not (List.mem r.Route.from_peer live));
+          Rib.withdraw_where node.main_rib (fun r ->
+              Route_proto.is_bgp r.Route.protocol
+              && r.Route.from_peer <> 0
+              && not (List.mem r.Route.from_peer live));
+          ignore (Rib.take_delta node.bgp_rib))
+        nodes;
+      let rounds, conv, osc = run_bgp options nodes node_index in
+      rounds_total := !rounds_total + rounds;
+      converged := conv;
+      oscillated := osc;
+      if osc then continue_outer := false
+    end
+  done;
+  (* Phase 5: FIBs. *)
+  let results = Hashtbl.create 64 in
+  Array.iter
+    (fun node ->
+      let fib = Fib.of_rib ~node:node.cfg.Vi.hostname ~topo node.main_rib in
+      Hashtbl.replace results node.cfg.Vi.hostname
+        { nr_node = node.cfg.Vi.hostname; nr_main = node.main_rib;
+          nr_bgp = node.bgp_rib; nr_ospf = node.ospf_rib; nr_fib = fib })
+    nodes;
+  let sessions =
+    Array.to_list nodes
+    |> List.concat_map (fun node ->
+           List.map
+             (fun s ->
+               { sr_node = node.cfg.Vi.hostname; sr_peer = s.ss_peer_ip;
+                 sr_remote_node =
+                   (match s.ss_remote with
+                    | Internal i -> Some nodes.(i).cfg.Vi.hostname
+                    | External _ -> None);
+                 sr_is_ibgp = s.ss_is_ibgp; sr_established = true;
+                 sr_reason = None })
+             node.sessions
+           @ List.map
+               (fun ((nbr : Vi.bgp_neighbor), reason) ->
+                 { sr_node = node.cfg.Vi.hostname; sr_peer = nbr.bn_peer;
+                   sr_remote_node = None; sr_is_ibgp = false;
+                   sr_established = false; sr_reason = Some reason })
+               node.down_sessions)
+  in
+  { topo;
+    nodes = results;
+    node_order = List.map (fun (c : Vi.t) -> c.hostname) configs;
+    converged = !converged;
+    oscillated = !oscillated;
+    rounds = !rounds_total;
+    outer_iterations = !outer;
+    sessions }
+
+let node t name =
+  match Hashtbl.find_opt t.nodes name with
+  | Some nr -> nr
+  | None -> invalid_arg (Printf.sprintf "Dataplane.node: unknown node %s" name)
+
+let total_routes t =
+  Hashtbl.fold (fun _ nr acc -> acc + Rib.best_count nr.nr_main) t.nodes 0
+
+let rib_words t =
+  (* One traversal over every RIB at once, so structure shared across nodes
+     (interned attributes) is counted a single time — the sharing is the
+     point of the measurement. *)
+  let all =
+    Hashtbl.fold (fun _ nr acc -> nr.nr_main :: nr.nr_bgp :: acc) t.nodes []
+  in
+  Obj.reachable_words (Obj.repr all)

@@ -1,0 +1,66 @@
+(** Data-plane generation: the imperative fixed-point control-plane
+    simulation of §4.1.
+
+    The engine computes, in order: connected/local routes, recursive static
+    routes, OSPF (to convergence, before BGP starts — the IGP-first ordering
+    Datalog could not express), then BGP to a fixed point. BGP scheduling
+    uses protocol-graph coloring so adjacent routers never exchange in the
+    same step, and routes carry logical clocks used as a best-path tiebreak;
+    together these give deterministic convergence (§4.1.2). RIB deltas are
+    pulled by receivers (no per-neighbor queues, §4.1.3). Non-convergence is
+    detected and reported rather than forced. *)
+
+type schedule =
+  | Colored  (** production scheduling: color classes exchange in turn *)
+  | Lockstep  (** naive: everyone exchanges simultaneously (Figure 1 mode) *)
+
+type options = {
+  schedule : schedule;
+  use_logical_clocks : bool;
+  domains : int;  (** worker domains for parallel phases *)
+  max_rounds : int;
+  full_rib_compare : bool;
+      (** ablation: also detect convergence by snapshotting and comparing
+          full RIBs each round (the classic, memory-hungry method) *)
+}
+
+val default_options : options
+
+type session_report = {
+  sr_node : string;
+  sr_peer : Ipv4.t;
+  sr_remote_node : string option;  (** None for external peers *)
+  sr_is_ibgp : bool;
+  sr_established : bool;
+  sr_reason : string option;  (** why the session is down *)
+}
+
+type node_result = {
+  nr_node : string;
+  nr_main : Rib.t;
+  nr_bgp : Rib.t;
+  nr_ospf : Rib.t option;
+  nr_fib : Fib.t;
+}
+
+type t = {
+  topo : L3.t;
+  nodes : (string, node_result) Hashtbl.t;
+  node_order : string list;
+  converged : bool;
+  oscillated : bool;
+  rounds : int;  (** BGP rounds until convergence (or cutoff) *)
+  outer_iterations : int;  (** session re-evaluation passes (§4.1.1) *)
+  sessions : session_report list;
+}
+
+val compute : ?options:options -> ?env:Dp_env.t -> Vi.t list -> t
+val node : t -> string -> node_result
+
+(** Total best routes in main RIBs across nodes (the paper's Table 1
+    "routes" column). *)
+val total_routes : t -> int
+
+(** Approximate heap footprint of all RIB state, in machine words (for the
+    memory ablations). *)
+val rib_words : t -> int

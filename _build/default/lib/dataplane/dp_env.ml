@@ -1,0 +1,34 @@
+type external_announcement = {
+  xa_prefix : Prefix.t;
+  xa_as_path : int list;
+  xa_med : int;
+  xa_communities : int list;
+}
+
+type external_peer = {
+  xp_ip : Ipv4.t;
+  xp_as : int;
+  xp_announcements : external_announcement list;
+}
+
+type t = {
+  external_peers : external_peer list;
+  down_links : (string * string) list;
+}
+
+let empty = { external_peers = []; down_links = [] }
+
+let announce ?(med = 0) ?(communities = []) ?(path = []) prefix =
+  { xa_prefix = prefix; xa_as_path = path; xa_med = med; xa_communities = communities }
+
+let peer ~ip ~asn announcements =
+  let announcements =
+    List.map
+      (fun a -> if a.xa_as_path = [] then { a with xa_as_path = [ asn ] } else a)
+      announcements
+  in
+  { xp_ip = ip; xp_as = asn; xp_announcements = announcements }
+
+let make ?(down_links = []) external_peers = { external_peers; down_links }
+let find_peer t ip = List.find_opt (fun p -> p.xp_ip = ip) t.external_peers
+let link_down t ~node ~iface = List.mem (node, iface) t.down_links

@@ -1,0 +1,33 @@
+(** Simulation environment: the user-provided inputs beyond configurations
+    (paper stage 2) — link states and routing announcements from external
+    neighbors. *)
+
+type external_announcement = {
+  xa_prefix : Prefix.t;
+  xa_as_path : int list;  (** path as seen from the peer, its own AS first *)
+  xa_med : int;
+  xa_communities : int list;
+}
+
+(** An external BGP speaker. Any internal node with a neighbor statement for
+    [xp_ip] peers with it (subject to session checks). *)
+type external_peer = {
+  xp_ip : Ipv4.t;
+  xp_as : int;
+  xp_announcements : external_announcement list;
+}
+
+type t = {
+  external_peers : external_peer list;
+  down_links : (string * string) list;  (** (node, interface) forced down *)
+}
+
+val empty : t
+
+val announce :
+  ?med:int -> ?communities:int list -> ?path:int list -> Prefix.t -> external_announcement
+
+val peer : ip:Ipv4.t -> asn:int -> external_announcement list -> external_peer
+val make : ?down_links:(string * string) list -> external_peer list -> t
+val find_peer : t -> Ipv4.t -> external_peer option
+val link_down : t -> node:string -> iface:string -> bool

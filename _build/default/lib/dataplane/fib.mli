@@ -1,0 +1,26 @@
+(** Forwarding tables derived from the main RIB, with recursive next-hop
+    resolution. *)
+
+type action =
+  | Forward of { out_iface : string; gateway : Ipv4.t option }
+      (** [gateway = None] means the destination is directly attached. *)
+  | Drop_null  (** null-routed *)
+  | Receive  (** destined to this device *)
+
+type entry = { fe_prefix : Prefix.t; fe_actions : action list; fe_route : Route.t list }
+type t
+
+(** [of_rib ~node ~topo main_rib] resolves every best route. Routes whose
+    next hop cannot be resolved are dropped from the FIB. *)
+val of_rib : node:string -> topo:L3.t -> Rib.t -> t
+
+(** Longest-prefix-match lookup; [] means no route (drop). *)
+val lookup : t -> Ipv4.t -> action list
+
+(** The matched entry, for trace annotation. *)
+val lookup_entry : t -> Ipv4.t -> entry option
+
+val entries : t -> entry list
+val entry_count : t -> int
+
+val action_to_string : action -> string

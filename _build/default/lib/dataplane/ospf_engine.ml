@@ -1,0 +1,244 @@
+type iface_settings = {
+  os_iface : string;
+  os_area : int;
+  os_cost : int;
+  os_passive : bool;
+  os_prefix : Prefix.t;
+  os_ip : Ipv4.t;
+}
+
+let interface_settings env (cfg : Vi.t) =
+  match cfg.ospf with
+  | None -> []
+  | Some proc ->
+    List.filter_map
+      (fun (i : Vi.interface) ->
+        if (not i.if_enabled) || Dp_env.link_down env ~node:cfg.hostname ~iface:i.if_name
+        then None
+        else
+          match i.if_address with
+          | None -> None
+          | Some (ip, len) ->
+            let area_from_network =
+              List.fold_left
+                (fun acc (net, area) -> if Prefix.contains net ip then Some area else acc)
+                None proc.op_networks
+            in
+            let enabled_area =
+              match (i.if_ospf, area_from_network) with
+              | Some oi, _ -> Some oi.Vi.oi_area
+              | None, Some a -> Some a
+              | None, None -> None
+            in
+            Option.map
+              (fun area ->
+                let cost =
+                  match i.if_ospf with
+                  | Some { Vi.oi_cost = Some c; _ } -> c
+                  | Some _ | None ->
+                    max 1 (proc.op_reference_bandwidth / max 1 i.if_bandwidth)
+                in
+                let passive =
+                  (match i.if_ospf with
+                   | Some oi -> oi.Vi.oi_passive
+                   | None -> false)
+                  || List.mem i.if_name proc.op_passive_interfaces
+                  || (proc.op_default_passive
+                     && not (List.mem i.if_name proc.op_active_interfaces))
+                in
+                { os_iface = i.if_name; os_area = area; os_cost = cost;
+                  os_passive = passive; os_prefix = Prefix.make ip len; os_ip = ip })
+              enabled_area)
+      cfg.interfaces
+
+type link = { to_node : int; via_iface : string; via_nh : Ipv4.t; cost : int }
+
+type graph = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+  links : link list array;  (* outgoing, per node *)
+  settings : iface_settings list array;
+  configs : Vi.t array;
+}
+
+let build_graph env topo configs =
+  let with_ospf = List.filter (fun (c : Vi.t) -> c.ospf <> None) configs in
+  let names = Array.of_list (List.map (fun (c : Vi.t) -> c.hostname) with_ospf) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.add index n i) names;
+  let configs_arr = Array.of_list with_ospf in
+  let settings = Array.map (fun c -> interface_settings env c) configs_arr in
+  let links =
+    Array.mapi
+      (fun i cfg ->
+        ignore cfg;
+        List.concat_map
+          (fun s ->
+            if s.os_passive then []
+            else
+              L3.neighbors topo ~node:names.(i) ~iface:s.os_iface
+              |> List.filter_map (fun (ep : L3.endpoint) ->
+                     match Hashtbl.find_opt index ep.ep_node with
+                     | None -> None
+                     | Some j ->
+                       (* Adjacency requires the remote interface to run OSPF
+                          in the same area and not be passive. *)
+                       let remote_ok =
+                         List.exists
+                           (fun rs ->
+                             rs.os_iface = ep.ep_iface && rs.os_area = s.os_area
+                             && not rs.os_passive)
+                           settings.(j)
+                       in
+                       if remote_ok then
+                         Some { to_node = j; via_iface = s.os_iface; via_nh = ep.ep_ip;
+                                cost = s.os_cost }
+                       else None))
+          settings.(i))
+      configs_arr
+  in
+  { names; index; links; settings; configs = configs_arr }
+
+let adjacency ~env ~topo ~configs =
+  let g = build_graph env topo configs in
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun i links ->
+      List.iter
+        (fun l ->
+          let a = g.names.(i) and b = g.names.(l.to_node) in
+          let key = if a < b then (a, b) else (b, a) in
+          Hashtbl.replace seen key ())
+        links)
+    g.links;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+(* Multipath Dijkstra from one source. Returns per-node distance and the set
+   of first hops (egress interface, next hop ip). *)
+let spf g src =
+  let n = Array.length g.names in
+  let dist = Array.make n max_int in
+  let first_hops : (string * Ipv4.t) list array = Array.make n [] in
+  let visited = Array.make n false in
+  dist.(src) <- 0;
+  let module Pq = Set.Make (struct
+    type t = int * int (* dist, node *)
+
+    let compare = compare
+  end) in
+  let pq = ref (Pq.singleton (0, src)) in
+  while not (Pq.is_empty !pq) do
+    let (d, u) as el = Pq.min_elt !pq in
+    pq := Pq.remove el !pq;
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      List.iter
+        (fun l ->
+          let nd = d + l.cost in
+          let v = l.to_node in
+          let hops =
+            if u = src then [ (l.via_iface, l.via_nh) ] else first_hops.(u)
+          in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            first_hops.(v) <- hops;
+            pq := Pq.add (nd, v) !pq
+          end
+          else if nd = dist.(v) && not visited.(v) then
+            first_hops.(v) <-
+              List.sort_uniq compare (hops @ first_hops.(v)))
+        g.links.(u)
+    end
+  done;
+  (dist, first_hops)
+
+let compute ~env ~topo ~configs ~redistributable ~domains =
+  let g = build_graph env topo configs in
+  let n = Array.length g.names in
+  let result = Hashtbl.create (max 16 n) in
+  if n = 0 then result
+  else begin
+    (* Announcements per router: interface prefixes with their area/cost, and
+       filtered redistributed externals. *)
+    let intra = Array.map (fun ss -> List.map (fun s -> (s.os_prefix, s.os_cost, s.os_area)) ss) g.settings in
+    let externals =
+      Array.mapi
+        (fun i (cfg : Vi.t) ->
+          match cfg.ospf with
+          | None -> []
+          | Some proc ->
+            List.concat_map
+              (fun (rd : Vi.redistribution) ->
+                let ctx = Policy_eval.make_ctx cfg in
+                redistributable g.names.(i)
+                |> List.filter (fun (r : Route.t) ->
+                       Route_proto.matches_source r.protocol rd.rd_protocol)
+                |> List.filter_map (fun (r : Route.t) ->
+                       match Policy_eval.run_optional ctx rd.rd_route_map r with
+                       | Policy_eval.Denied -> None
+                       | Policy_eval.Accepted r' ->
+                         let metric = Option.value rd.rd_metric ~default:20 in
+                         let metric =
+                           (* "set metric" in the filtering map overrides *)
+                           if r'.Route.metric <> r.Route.metric then r'.Route.metric
+                           else metric
+                         in
+                         Some (r'.Route.net, metric, rd.rd_metric_type, r'.Route.tag)))
+              proc.op_redistribute)
+        g.configs
+    in
+    let areas_of = Array.map (fun ss -> List.sort_uniq Int.compare (List.map (fun s -> s.os_area) ss)) g.settings in
+    let max_paths i =
+      match g.configs.(i).Vi.ospf with
+      | Some p -> max 1 p.Vi.op_max_paths
+      | None -> 1
+    in
+    let compute_node src =
+      let dist, first_hops = spf g src in
+      let rib =
+        Rib.create ~prefer:Cmp.ospf_prefer ~multipath_equal:Cmp.ospf_multipath_equal
+          ~max_paths:(max_paths src) ()
+      in
+      let my_areas = areas_of.(src) in
+      for r = 0 to n - 1 do
+        if r <> src && dist.(r) < max_int then begin
+          (* Intra/inter-area prefixes advertised by router r. *)
+          List.iter
+            (fun (prefix, ifcost, area) ->
+              let proto =
+                if List.mem area my_areas then Route_proto.Ospf else Route_proto.Ospf_ia
+              in
+              List.iter
+                (fun (_iface, nh) ->
+                  Rib.merge rib
+                    (Route.ospf ~proto ~net:prefix ~nh:(Route.Nh_ip nh)
+                       ~metric:(dist.(r) + ifcost) ~area))
+                first_hops.(r))
+            intra.(r);
+          (* External routes redistributed at router r. *)
+          List.iter
+            (fun (prefix, metric, mtype, tag) ->
+              let proto, metric =
+                match mtype with
+                | Vi.E1 -> (Route_proto.Ospf_e1, metric + dist.(r))
+                | Vi.E2 -> (Route_proto.Ospf_e2, metric)
+              in
+              List.iter
+                (fun (iface, nh) ->
+                  ignore iface;
+                  Rib.merge rib
+                    { (Route.ospf ~proto ~net:prefix ~nh:(Route.Nh_ip nh) ~metric
+                         ~area:0)
+                      with Route.tag })
+                first_hops.(r))
+            externals.(r)
+        end
+      done;
+      (* Clear construction deltas: the OSPF RIB is presented as converged. *)
+      ignore (Rib.take_delta rib);
+      rib
+    in
+    let ribs = Par.map ~domains compute_node (Array.init n (fun i -> i)) in
+    Array.iteri (fun i rib -> Hashtbl.add result g.names.(i) rib) ribs;
+    result
+  end

@@ -1,0 +1,36 @@
+(** OSPF route computation.
+
+    Link-state protocols converge to the global shortest-path solution, so
+    the engine computes it directly: per-source multipath Dijkstra over the
+    OSPF adjacency graph (adjacencies require matching areas), intra/inter
+    area classification, and E1/E2 external routes from redistribution.
+    Per-source SPF runs are independent and parallelized over domains
+    (§4.1.1). *)
+
+type iface_settings = {
+  os_iface : string;
+  os_area : int;
+  os_cost : int;
+  os_passive : bool;
+  os_prefix : Prefix.t;
+  os_ip : Ipv4.t;
+}
+
+(** OSPF-enabled interfaces of one config (interface stanzas plus network
+    statements), with effective costs. *)
+val interface_settings : Dp_env.t -> Vi.t -> iface_settings list
+
+(** [compute ~env ~topo ~configs ~redistributable ~domains] returns a
+    per-node OSPF RIB. [redistributable node] supplies the active
+    static/connected routes available for redistribution at [node]. *)
+val compute :
+  env:Dp_env.t ->
+  topo:L3.t ->
+  configs:Vi.t list ->
+  redistributable:(string -> Route.t list) ->
+  domains:int ->
+  (string, Rib.t) Hashtbl.t
+
+(** Adjacent node pairs (for convergence scheduling diagnostics/tests). *)
+val adjacency :
+  env:Dp_env.t -> topo:L3.t -> configs:Vi.t list -> (string * string) list

@@ -1,0 +1,1 @@
+lib/forwarding/acl_bdd.ml: Bdd Field List Packet Pktset Semantics Vi

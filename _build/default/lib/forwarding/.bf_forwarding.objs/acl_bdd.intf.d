@@ -1,0 +1,1 @@
+lib/forwarding/acl_bdd.mli: Bdd Pktset Vi

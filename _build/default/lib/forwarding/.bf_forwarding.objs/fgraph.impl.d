@@ -1,0 +1,1 @@
+lib/forwarding/fgraph.ml: Acl_bdd Array Bdd Dataplane Fib Field Fun Hashtbl Int Ipv4 L3 List Option Pktset Prefix Printf Vi Zone_eval

@@ -1,0 +1,1 @@
+lib/forwarding/fgraph.mli: Bdd Dataplane Hashtbl Ipv4 Pktset Vi

@@ -1,0 +1,1 @@
+lib/forwarding/fquery.ml: Array Bdd Dataplane Fgraph Field Freach List Option Packet Pktset Scc Vi

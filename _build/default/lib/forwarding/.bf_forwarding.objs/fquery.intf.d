@@ -1,0 +1,1 @@
+lib/forwarding/fquery.mli: Bdd Dataplane Fgraph Packet Pktset Prefix Vi

@@ -1,0 +1,1 @@
+lib/forwarding/freach.ml: Array Bdd Fgraph List Pktset Queue

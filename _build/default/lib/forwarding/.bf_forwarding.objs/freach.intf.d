@@ -1,0 +1,1 @@
+lib/forwarding/freach.mli: Bdd Fgraph

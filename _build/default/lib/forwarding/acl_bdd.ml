@@ -1,0 +1,65 @@
+let ports env field ranges =
+  match ranges with
+  | [] -> Bdd.top
+  | _ ->
+    (* Port matches only constrain TCP/UDP packets, as in the concrete
+       evaluator. *)
+    let man = Pktset.man env in
+    let tcp_udp =
+      Bdd.bor man
+        (Pktset.value env Field.Protocol Packet.Proto.tcp)
+        (Pktset.value env Field.Protocol Packet.Proto.udp)
+    in
+    let any =
+      Bdd.disj man (List.map (fun (lo, hi) -> Pktset.range env field lo hi) ranges)
+    in
+    Bdd.band man tcp_udp any
+
+let line env (l : Vi.acl_line) =
+  let man = Pktset.man env in
+  let proto =
+    match l.l_proto with
+    | Some p -> Pktset.value env Field.Protocol p
+    | None -> Bdd.top
+  in
+  let established =
+    if l.l_established then
+      Bdd.band man
+        (Pktset.value env Field.Protocol Packet.Proto.tcp)
+        (Bdd.bor man
+           (Pktset.tcp_flag env Packet.Tcp_flags.ack)
+           (Pktset.tcp_flag env Packet.Tcp_flags.rst))
+    else Bdd.top
+  in
+  let icmp =
+    match l.l_icmp_type with
+    | Some t ->
+      Bdd.band man
+        (Pktset.value env Field.Protocol Packet.Proto.icmp)
+        (Pktset.value env Field.Icmp_type t)
+    | None -> Bdd.top
+  in
+  Bdd.conj man
+    [ proto;
+      Pktset.src_prefix env l.l_src;
+      Pktset.dst_prefix env l.l_dst;
+      ports env Field.Src_port l.l_src_ports;
+      ports env Field.Dst_port l.l_dst_ports;
+      established; icmp ]
+
+let permits env (acl : Vi.acl) =
+  let man = Pktset.man env in
+  List.fold_right
+    (fun (l : Vi.acl_line) rest ->
+      let m = line env l in
+      match l.l_action with
+      | Vi.Permit -> Bdd.bor man m rest
+      | Vi.Deny -> Bdd.bdiff man rest m)
+    acl.acl_lines Bdd.bot
+
+let permits_named env (cfg : Vi.t) name =
+  match Vi.find_acl cfg name with
+  | Some acl -> permits env acl
+  | None ->
+    if (Semantics.for_vendor cfg.vendor).Semantics.undefined_acl_permits then Bdd.top
+    else Bdd.bot

@@ -1,0 +1,13 @@
+(** Symbolic (BDD) encoding of packet filters.
+
+    Encodes first-match-with-implicit-deny semantics; must stay equivalent to
+    {!Acl_eval} — the differential tests enforce this. *)
+
+(** Set of packets the line's match conditions cover (ignoring action). *)
+val line : Pktset.t -> Vi.acl_line -> Bdd.t
+
+(** Set of packets the ACL permits. *)
+val permits : Pktset.t -> Vi.acl -> Bdd.t
+
+(** Permit set for a named ACL; undefined names follow vendor semantics. *)
+val permits_named : Pktset.t -> Vi.t -> string -> Bdd.t

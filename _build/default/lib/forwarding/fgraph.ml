@@ -1,0 +1,481 @@
+type loc =
+  | Src of string * string
+  | Fwd of string
+  | Pre_out of string * string * Ipv4.t option
+  | Dst of string * string
+  | Accept of string
+  | Dropped of string
+
+let loc_to_string = function
+  | Src (n, i) -> Printf.sprintf "src(%s[%s])" n i
+  | Fwd n -> Printf.sprintf "fwd(%s)" n
+  | Pre_out (n, i, Some g) -> Printf.sprintf "out(%s[%s] via %s)" n i (Ipv4.to_string g)
+  | Pre_out (n, i, None) -> Printf.sprintf "out(%s[%s] attached)" n i
+  | Dst (n, i) -> Printf.sprintf "dst(%s[%s])" n i
+  | Accept n -> Printf.sprintf "accept(%s)" n
+  | Dropped n -> Printf.sprintf "dropped(%s)" n
+
+type func =
+  | Filter of Bdd.t
+  | Transform of Bdd.t
+  | Set_extra of (int * bool) list
+  | Erase_extra of int list
+  | Seq of func list
+
+type edge = { e_from : int; e_to : int; e_fn : func }
+
+type t = {
+  env : Pktset.t;
+  locs : loc array;
+  loc_index : (loc, int) Hashtbl.t;
+  mutable out_edges : edge list array;
+  mutable in_edges : edge list array;
+  varsets : (int list, Bdd.varset) Hashtbl.t;
+    (* memoized extra-bit varsets: keeps operation-cache codes stable *)
+}
+
+let zone_bits = 4
+
+let loc_id t l = Hashtbl.find_opt t.loc_index l
+let n_locs t = Array.length t.locs
+let n_edges t = Array.fold_left (fun acc es -> acc + List.length es) 0 t.out_edges
+
+let locs_where t pred =
+  let acc = ref [] in
+  Array.iteri (fun i l -> if pred l then acc := i :: !acc) t.locs;
+  List.rev !acc
+
+(* --- edge function application --- *)
+
+let varset_of t bits =
+  let levels = List.map (Pktset.extra_level t.env) bits in
+  match Hashtbl.find_opt t.varsets levels with
+  | Some vs -> vs
+  | None ->
+    let vs = Bdd.varset (Pktset.man t.env) levels in
+    Hashtbl.add t.varsets levels vs;
+    vs
+
+let rec apply t fn set =
+  let man = Pktset.man t.env in
+  match fn with
+  | Filter f -> Bdd.band man set f
+  | Transform rel -> Pktset.apply_rel t.env rel set
+  | Set_extra bits ->
+    let vs = varset_of t (List.map fst bits) in
+    let freed = Bdd.exists man vs set in
+    List.fold_left
+      (fun acc (b, v) ->
+        let lvl = Pktset.extra_level t.env b in
+        Bdd.band man acc (if v then Bdd.var man lvl else Bdd.nvar man lvl))
+      freed bits
+  | Erase_extra bits -> Bdd.exists man (varset_of t bits) set
+  | Seq fns -> List.fold_left (fun acc fn -> apply t fn acc) set fns
+
+let rec apply_reverse t fn target =
+  let man = Pktset.man t.env in
+  match fn with
+  | Filter f -> Bdd.band man target f
+  | Transform rel -> Pktset.apply_rel_reverse t.env rel target
+  | Set_extra bits ->
+    (* forward sets bits to fixed values; a packet maps into [target] iff
+       [target] holds with those values, with the original bits free *)
+    let constrained =
+      List.fold_left
+        (fun acc (b, v) ->
+          let lvl = Pktset.extra_level t.env b in
+          Bdd.band man acc (if v then Bdd.var man lvl else Bdd.nvar man lvl))
+        target bits
+    in
+    Bdd.exists man (varset_of t (List.map fst bits)) constrained
+  | Erase_extra bits -> Bdd.exists man (varset_of t bits) target
+  | Seq fns -> List.fold_right (fun fn acc -> apply_reverse t fn acc) fns target
+
+(* --- construction helpers --- *)
+
+let zone_code_filter env code =
+  (* zone bits 0..zone_bits-1 encode the ingress zone id *)
+  let man = Pktset.man env in
+  let rec go b acc =
+    if b >= zone_bits then acc
+    else
+      let lvl = Pktset.extra_level env b in
+      let lit = if (code lsr b) land 1 = 1 then Bdd.var man lvl else Bdd.nvar man lvl in
+      go (b + 1) (Bdd.band man acc lit)
+  in
+  go 0 Bdd.top
+
+let zone_code_set code =
+  Set_extra (List.init zone_bits (fun b -> (b, (code lsr b) land 1 = 1)))
+
+(* NAT rule chains: first matching rule applies; unmatched packets pass
+   unchanged. Destination NAT matches on destination prefixes; source NAT on
+   an ACL or source prefix, with the egress interface address available for
+   interface pools. *)
+let dst_nat_rel env (cfg : Vi.t) =
+  let man = Pktset.man env in
+  let rules = List.filter (fun (r : Vi.nat_rule) -> r.nr_kind = `Destination) cfg.nat_rules in
+  if rules = [] then None
+  else begin
+    let covered = ref Bdd.bot in
+    let rel = ref Bdd.bot in
+    List.iter
+      (fun (r : Vi.nat_rule) ->
+        let guard =
+          match r.Vi.nr_match_dst with
+          | Some pre -> Pktset.dst_prefix env pre
+          | None -> Bdd.bot
+        in
+        let guard = Bdd.bdiff man guard !covered in
+        let rewrite =
+          match r.Vi.nr_pool with
+          | Vi.Nat_ip ip -> Some (Pktset.Set_value ip)
+          | Vi.Nat_prefix p -> Some (Pktset.Set_value (Prefix.first_host p))
+          | Vi.Nat_interface -> None
+        in
+        (match rewrite with
+         | Some rw ->
+           rel := Bdd.bor man !rel (Pktset.rel env ~guard [ (Field.Dst_ip, rw) ]);
+           covered := Bdd.bor man !covered guard
+         | None -> ()))
+      rules;
+    let identity = Pktset.rel env ~guard:(Bdd.bnot man !covered) [] in
+    Some (Bdd.bor man !rel identity)
+  end
+
+let src_nat_rel env (cfg : Vi.t) ~egress_ip =
+  let man = Pktset.man env in
+  let rules = List.filter (fun (r : Vi.nat_rule) -> r.nr_kind = `Source) cfg.nat_rules in
+  if rules = [] then None
+  else begin
+    let covered = ref Bdd.bot in
+    let rel = ref Bdd.bot in
+    List.iter
+      (fun (r : Vi.nat_rule) ->
+        let guard =
+          match (r.Vi.nr_match_acl, r.Vi.nr_match_src) with
+          | Some name, _ -> Acl_bdd.permits_named env cfg name
+          | None, Some pre -> Pktset.src_prefix env pre
+          | None, None -> Bdd.bot
+        in
+        let guard = Bdd.bdiff man guard !covered in
+        let rewrite =
+          match r.Vi.nr_pool with
+          | Vi.Nat_ip ip -> Some (Pktset.Set_value ip)
+          | Vi.Nat_prefix p -> Some (Pktset.Set_value (Prefix.first_host p))
+          | Vi.Nat_interface -> Option.map (fun ip -> Pktset.Set_value ip) egress_ip
+        in
+        match rewrite with
+        | Some rw ->
+          rel := Bdd.bor man !rel (Pktset.rel env ~guard [ (Field.Src_ip, rw) ]);
+          covered := Bdd.bor man !covered guard
+        | None -> ())
+      rules;
+    let identity = Pktset.rel env ~guard:(Bdd.bnot man !covered) [] in
+    Some (Bdd.bor man !rel identity)
+  end
+
+(* --- graph construction --- *)
+
+type builder = {
+  b_env : Pktset.t;
+  mutable b_locs : loc list;  (* reversed *)
+  b_index : (loc, int) Hashtbl.t;
+  mutable b_count : int;
+  mutable b_edges : edge list;  (* reversed *)
+}
+
+let bnode b l =
+  match Hashtbl.find_opt b.b_index l with
+  | Some i -> i
+  | None ->
+    let i = b.b_count in
+    b.b_count <- i + 1;
+    Hashtbl.add b.b_index l i;
+    b.b_locs <- l :: b.b_locs;
+    i
+
+let bedge b from_ to_ fn = b.b_edges <- { e_from = from_; e_to = to_; e_fn = fn } :: b.b_edges
+
+let simplify_fn env fn =
+  (* flatten Seq, drop identity filters *)
+  let rec flat fn =
+    match fn with
+    | Seq fns -> List.concat_map flat fns
+    | Filter f when Bdd.is_top f -> []
+    | Filter _ | Transform _ | Set_extra _ | Erase_extra _ -> [ fn ]
+  in
+  ignore env;
+  match flat fn with
+  | [] -> Filter Bdd.top
+  | [ f ] -> f
+  | fns -> Seq fns
+
+let build ?env ?(compress = true) ?sessions ~configs ~dp () =
+  let env =
+    match env with
+    | Some e -> e
+    | None -> Pktset.create ()
+  in
+  let session_fastpath name =
+    match sessions with
+    | Some f -> f name
+    | None -> Bdd.bot
+  in
+  let man = Pktset.man env in
+  let topo = dp.Dataplane.topo in
+  let b =
+    { b_env = env; b_locs = []; b_index = Hashtbl.create 1024; b_count = 0;
+      b_edges = [] }
+  in
+  let node_names = dp.Dataplane.node_order in
+  List.iter
+    (fun name ->
+      match configs name with
+      | None -> ()
+      | Some (cfg : Vi.t) ->
+        let fwd = bnode b (Fwd name) in
+        let dropped = bnode b (Dropped name) in
+        let accept = bnode b (Accept name) in
+        let zoned = cfg.zones <> [] in
+        let zone_ids =
+          (* 0 = originated, 1..k = zones, k+1 = unzoned interface *)
+          List.mapi (fun i (z : Vi.zone) -> (z.z_name, i + 1)) cfg.zones
+        in
+        let null_zone = List.length zone_ids + 1 in
+        let zone_code_of_iface iface =
+          match Zone_eval.zone_of cfg iface with
+          | Some z -> (
+            match List.assoc_opt z zone_ids with
+            | Some c -> c
+            | None -> null_zone)
+          | None -> null_zone
+        in
+        let dnat = dst_nat_rel env cfg in
+        (* ingress: Src(n,i) -> Fwd(n) *)
+        List.iter
+          (fun (ep : L3.endpoint) ->
+            let src = bnode b (Src (name, ep.ep_iface)) in
+            let in_acl =
+              match Vi.find_interface cfg ep.ep_iface with
+              | Some { Vi.if_in_acl = Some acl; _ } -> Acl_bdd.permits_named env cfg acl
+              | Some _ | None -> Bdd.top
+            in
+            (* denied at ingress *)
+            if not (Bdd.is_top in_acl) then
+              bedge b src dropped (Filter (Bdd.bnot man in_acl));
+            let steps =
+              [ Filter in_acl ]
+              @ (if zoned then [ zone_code_set (zone_code_of_iface ep.ep_iface) ] else [])
+              @ (match dnat with
+                 | Some rel -> [ Transform rel ]
+                 | None -> [])
+            in
+            bedge b src fwd (simplify_fn env (Seq steps)))
+          (L3.endpoints topo name);
+        (* FIB: Fwd(n) -> Pre_out / Accept / Dropped, longest prefix first *)
+        let fib = (Dataplane.node dp name).Dataplane.nr_fib in
+        let entries =
+          List.sort
+            (fun (a : Fib.entry) (c : Fib.entry) ->
+              Int.compare (Prefix.length c.fe_prefix) (Prefix.length a.fe_prefix))
+            (Fib.entries fib)
+        in
+        let covered = ref Bdd.bot in
+        let accept_set = ref Bdd.bot in
+        let drop_set = ref Bdd.bot in
+        let out_sets : (string * Ipv4.t option, Bdd.t ref) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (e : Fib.entry) ->
+            let pfx = Pktset.dst_prefix env e.fe_prefix in
+            let cell = Bdd.bdiff man pfx !covered in
+            covered := Bdd.bor man !covered pfx;
+            if not (Bdd.is_bot cell) then
+              List.iter
+                (fun action ->
+                  match action with
+                  | Fib.Receive -> accept_set := Bdd.bor man !accept_set cell
+                  | Fib.Drop_null -> drop_set := Bdd.bor man !drop_set cell
+                  | Fib.Forward { out_iface; gateway } ->
+                    let key = (out_iface, gateway) in
+                    let r =
+                      match Hashtbl.find_opt out_sets key with
+                      | Some r -> r
+                      | None ->
+                        let r = ref Bdd.bot in
+                        Hashtbl.add out_sets key r;
+                        r
+                    in
+                    r := Bdd.bor man !r cell)
+                e.fe_actions)
+          entries;
+        (* no route at all *)
+        drop_set := Bdd.bor man !drop_set (Bdd.bnot man !covered);
+        if not (Bdd.is_bot !accept_set) then bedge b fwd accept (Filter !accept_set);
+        bedge b fwd dropped (Filter !drop_set);
+        let out_list =
+          List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) out_sets [])
+        in
+        List.iter
+          (fun (((out_iface, gateway) as _key), cell) ->
+            let pre = bnode b (Pre_out (name, out_iface, gateway)) in
+            bedge b fwd pre (Filter cell);
+            (* zone policy for this egress interface *)
+            let zone_fns =
+              if not zoned then []
+              else begin
+                let out_zone = Zone_eval.zone_of cfg out_iface in
+                let allowed_for code from_iface_zone =
+                  (* from zone code to out_zone *)
+                  match (from_iface_zone, out_zone) with
+                  | None, _ when code = 0 -> Bdd.top (* originated *)
+                  | fz, oz ->
+                    if fz = oz then Bdd.top
+                    else (
+                      match (fz, oz) with
+                      | Some a, Some o -> (
+                        match
+                          List.find_opt
+                            (fun (p : Vi.zone_policy) -> p.zp_from = a && p.zp_to = o)
+                            cfg.zone_policies
+                        with
+                        | Some p -> Acl_bdd.permits_named env cfg p.zp_acl
+                        | None -> Bdd.bot)
+                      | _ -> Bdd.bot)
+                in
+                (* originated traffic (code 0) always passes *)
+                let pass = ref (zone_code_filter env 0) in
+                List.iter
+                  (fun (z, code) ->
+                    let ok = allowed_for code (Some z) in
+                    pass :=
+                      Bdd.bor man !pass (Bdd.band man (zone_code_filter env code) ok))
+                  zone_ids;
+                (* unzoned ingress ifaces *)
+                let null_ok =
+                  match out_zone with
+                  | None -> Bdd.top
+                  | Some _ -> Bdd.bot
+                in
+                pass :=
+                  Bdd.bor man !pass
+                    (Bdd.band man (zone_code_filter env null_zone) null_ok);
+                (* stateful fast path: return traffic of established sessions
+                   bypasses the zone policy (§4.2.3) *)
+                pass := Bdd.bor man !pass (session_fastpath name);
+                [ Filter !pass; Erase_extra (List.init zone_bits Fun.id) ]
+              end
+            in
+            let out_acl =
+              match Vi.find_interface cfg out_iface with
+              | Some { Vi.if_out_acl = Some acl; _ } -> Acl_bdd.permits_named env cfg acl
+              | Some _ | None -> Bdd.top
+            in
+            let egress_ip =
+              Option.map (fun (ep : L3.endpoint) -> ep.ep_ip)
+                (L3.endpoint topo ~node:name ~iface:out_iface)
+            in
+            let snat = src_nat_rel env cfg ~egress_ip in
+            let egress_steps =
+              zone_fns
+              @ [ Filter out_acl ]
+              @ (match snat with
+                 | Some rel -> [ Transform rel ]
+                 | None -> [])
+            in
+            (* drops at egress (zone deny or ACL deny) *)
+            let pass_filter =
+              List.fold_left
+                (fun acc fn ->
+                  match fn with
+                  | Filter f -> Bdd.band man acc f
+                  | Transform _ | Set_extra _ | Erase_extra _ | Seq _ -> acc)
+                Bdd.top zone_fns
+            in
+            let denied =
+              Bdd.bnot man (Bdd.band man pass_filter out_acl)
+            in
+            if not (Bdd.is_bot denied) then bedge b pre dropped (Filter denied);
+            (* wire delivery *)
+            (match gateway with
+             | Some gw -> (
+               match L3.owner_of_ip topo gw with
+               | Some ep when ep.L3.ep_node <> name ->
+                 let tgt = bnode b (Src (ep.L3.ep_node, ep.L3.ep_iface)) in
+                 bedge b pre tgt (simplify_fn env (Seq egress_steps))
+               | Some _ | None ->
+                 (* unknown gateway: leaves the modeled network *)
+                 let tgt = bnode b (Dst (name, out_iface)) in
+                 bedge b pre tgt (simplify_fn env (Seq egress_steps)))
+             | None -> (
+               (* directly attached: split per neighbor device, remainder is
+                  delivered to the subnet *)
+               match L3.endpoint topo ~node:name ~iface:out_iface with
+               | None ->
+                 let tgt = bnode b (Dst (name, out_iface)) in
+                 bedge b pre tgt (simplify_fn env (Seq egress_steps))
+               | Some my_ep ->
+                 let neighbors = L3.neighbors topo ~node:name ~iface:out_iface in
+                 let neighbor_dsts = ref Bdd.bot in
+                 List.iter
+                   (fun (nep : L3.endpoint) ->
+                     let d = Pktset.value env Field.Dst_ip nep.ep_ip in
+                     neighbor_dsts := Bdd.bor man !neighbor_dsts d;
+                     let tgt = bnode b (Src (nep.ep_node, nep.ep_iface)) in
+                     bedge b pre tgt (simplify_fn env (Seq (egress_steps @ [ Filter d ]))))
+                   neighbors;
+                 let rest =
+                   Bdd.bdiff man (Pktset.dst_prefix env my_ep.ep_prefix) !neighbor_dsts
+                 in
+                 let tgt = bnode b (Dst (name, out_iface)) in
+                 bedge b pre tgt (simplify_fn env (Seq (egress_steps @ [ Filter rest ])))))
+            )
+          out_list)
+    node_names;
+  let locs = Array.of_list (List.rev b.b_locs) in
+  let n = Array.length locs in
+  let out_edges = Array.make n [] and in_edges = Array.make n [] in
+  List.iter
+    (fun e ->
+      out_edges.(e.e_from) <- e :: out_edges.(e.e_from);
+      in_edges.(e.e_to) <- e :: in_edges.(e.e_to))
+    b.b_edges;
+  let t = { env; locs; loc_index = b.b_index; out_edges; in_edges;
+            varsets = Hashtbl.create 8 } in
+  if compress then begin
+    (* Chain contraction: a Pre_out with exactly one incoming and one
+       outgoing edge is folded into a single edge. *)
+    Array.iteri
+      (fun v l ->
+        match l with
+        | Pre_out _ -> (
+          match (t.in_edges.(v), t.out_edges.(v)) with
+          | [ ein ], [ eout ] when ein.e_from <> v && eout.e_to <> v ->
+            let merged =
+              { e_from = ein.e_from; e_to = eout.e_to;
+                e_fn = simplify_fn env (Seq [ ein.e_fn; eout.e_fn ]) }
+            in
+            t.out_edges.(ein.e_from) <-
+              merged :: List.filter (fun e -> e != ein) t.out_edges.(ein.e_from);
+            t.in_edges.(eout.e_to) <-
+              merged :: List.filter (fun e -> e != eout) t.in_edges.(eout.e_to);
+            t.in_edges.(v) <- [];
+            t.out_edges.(v) <- []
+          | _ -> ())
+        | Src _ | Fwd _ | Dst _ | Accept _ | Dropped _ -> ())
+      t.locs
+  end;
+  t
+
+let edge_interfaces t ~dp =
+  let topo = dp.Dataplane.topo in
+  ignore t;
+  List.concat_map
+    (fun name ->
+      List.filter_map
+        (fun (ep : L3.endpoint) ->
+          if L3.neighbors topo ~node:name ~iface:ep.ep_iface = [] then
+            Some (name, ep.ep_iface)
+          else None)
+        (L3.endpoints topo name))
+    dp.Dataplane.node_order

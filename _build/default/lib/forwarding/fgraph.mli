@@ -1,0 +1,77 @@
+(** The forwarding dataflow graph (§4.2.1).
+
+    Locations are graph nodes; edges carry packet-set functions (filters,
+    NAT transformations, zone-bit manipulations). The engine propagates
+    BDD-encoded packet sets over this graph, forward or backward. *)
+
+type loc =
+  | Src of string * string
+      (** packets entering the network (or arriving off the wire) at
+          (node, interface) *)
+  | Fwd of string  (** the node's FIB lookup *)
+  | Pre_out of string * string * Ipv4.t option
+      (** chosen egress (node, interface, gateway) *)
+  | Dst of string * string
+      (** packets delivered into the attached subnet or leaving the modeled
+          network via (node, interface) *)
+  | Accept of string  (** delivered to the device itself *)
+  | Dropped of string  (** denied/no-route/null-routed at the node *)
+
+val loc_to_string : loc -> string
+
+(** Edge functions. [Set_extra]/[Erase_extra] manipulate the query-local
+    extra bits used for zones and waypoints. *)
+type func =
+  | Filter of Bdd.t
+  | Transform of Bdd.t  (** NAT relation over primed variables *)
+  | Set_extra of (int * bool) list
+  | Erase_extra of int list
+  | Seq of func list
+
+type edge = { e_from : int; e_to : int; e_fn : func }
+
+type t = {
+  env : Pktset.t;
+  locs : loc array;
+  loc_index : (loc, int) Hashtbl.t;
+  mutable out_edges : edge list array;
+  mutable in_edges : edge list array;
+  varsets : (int list, Bdd.varset) Hashtbl.t;
+      (** memoized extra-bit varsets (stable operation-cache codes) *)
+}
+
+(** Zone bits occupy extra bits 0..3; waypoint instrumentation should use
+    bits >= [zone_bits]. *)
+val zone_bits : int
+
+(** [build ~configs ~dp ()] constructs the graph for a computed data plane.
+    [compress] enables the chain-contraction optimization (§4.2.3); the
+    result is semantically equivalent. *)
+val build :
+  ?env:Pktset.t ->
+  ?compress:bool ->
+  ?sessions:(string -> Bdd.t) ->
+  configs:(string -> Vi.t option) ->
+  dp:Dataplane.t ->
+  unit ->
+  t
+(** [sessions] supplies, per stateful (zoned) device, the set of return
+    packets whose forward sessions were established — those bypass the zone
+    policy (the session "fast path" of §4.2.3's bidirectional analysis). *)
+
+val loc_id : t -> loc -> int option
+val n_locs : t -> int
+val n_edges : t -> int
+
+(** Apply an edge function to a packet set, forward direction. *)
+val apply : t -> func -> Bdd.t -> Bdd.t
+
+(** Preimage of a packet set under an edge function. *)
+val apply_reverse : t -> func -> Bdd.t -> Bdd.t
+
+(** All locations satisfying a predicate. *)
+val locs_where : t -> (loc -> bool) -> int list
+
+(** Host-facing source locations: enabled, addressed interfaces that face no
+    modeled device (heuristic default scoping, §4.4.2). *)
+val edge_interfaces : t -> dp:Dataplane.t -> (string * string) list

@@ -1,0 +1,271 @@
+type t = {
+  g : Fgraph.t;
+  dp : Dataplane.t;
+  configs : string -> Vi.t option;
+}
+
+type start = string * string option
+
+let make ?env ?compress ~configs ~dp () =
+  { g = Fgraph.build ?env ?compress ~configs ~dp (); dp; configs }
+
+let env t = t.g.Fgraph.env
+
+let clean t =
+  let e = env t in
+  let man = Pktset.man e in
+  let acc = ref Bdd.top in
+  for b = 0 to Pktset.extra_count e - 1 do
+    acc := Bdd.band man !acc (Bdd.nvar man (Pktset.extra_level e b))
+  done;
+  !acc
+
+let start_loc t (node, iface) =
+  match iface with
+  | Some i -> Fgraph.loc_id t.g (Fgraph.Src (node, i))
+  | None -> Fgraph.loc_id t.g (Fgraph.Fwd node)
+
+let seeds_of t ?hdr starts =
+  let man = Pktset.man (env t) in
+  let hdr = Option.value hdr ~default:Bdd.top in
+  let seed = Bdd.band man hdr (clean t) in
+  List.filter_map (fun s -> Option.map (fun id -> (id, seed)) (start_loc t s)) starts
+
+let forward_from t ?hdr starts = Freach.forward t.g (seeds_of t ?hdr starts)
+
+let delivered_pred ?at loc =
+  match loc with
+  | Fgraph.Accept n | Fgraph.Dst (n, _) -> (
+    match at with
+    | Some node -> n = node
+    | None -> true)
+  | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dropped _ -> false
+
+let sink_seeds t pred ?hdr () =
+  ignore (env t);
+  let hdr = Option.value hdr ~default:Bdd.top in
+  List.map (fun id -> (id, hdr)) (Fgraph.locs_where t.g pred)
+
+let to_delivered t ?at ?hdr () = Freach.backward t.g (sink_seeds t (delivered_pred ?at) ?hdr ())
+
+let to_dropped t ?hdr () =
+  let pred = function
+    | Fgraph.Dropped _ -> true
+    | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dst _ | Fgraph.Accept _ ->
+      false
+  in
+  Freach.backward t.g (sink_seeds t pred ?hdr ())
+
+let delivered_union t ?at sets =
+  let man = Pktset.man (env t) in
+  List.fold_left
+    (fun acc id -> Bdd.bor man acc sets.(id))
+    Bdd.bot
+    (Fgraph.locs_where t.g (delivered_pred ?at))
+
+let reachable t ~src ?hdr ?dst_ip () =
+  let man = Pktset.man (env t) in
+  let hdr =
+    match dst_ip with
+    | Some p ->
+      Bdd.band man (Option.value hdr ~default:Bdd.top) (Pktset.dst_prefix (env t) p)
+    | None -> Option.value hdr ~default:Bdd.top
+  in
+  (* Backward from delivered sinks is cheaper than a full forward pass for a
+     single start location. *)
+  let back = to_delivered t ~hdr () in
+  match start_loc t src with
+  | Some id -> Bdd.band man (Bdd.band man back.(id) hdr) (clean t)
+  | None -> Bdd.bot
+
+let default_starts t =
+  List.map (fun (n, i) -> (n, Some i)) (Fgraph.edge_interfaces t.g ~dp:t.dp)
+
+let multipath_consistency t ?starts () =
+  let man = Pktset.man (env t) in
+  (* Scoping defaults (§4.4.2): start locations default to edge-facing
+     interfaces. *)
+  let starts =
+    match starts with
+    | Some s -> s
+    | None -> default_starts t
+  in
+  let deliver = to_delivered t () in
+  let drop = to_dropped t () in
+  List.filter_map
+    (fun s ->
+      match start_loc t s with
+      | None -> None
+      | Some id ->
+        let v = Bdd.band man (Bdd.band man deliver.(id) drop.(id)) (clean t) in
+        if Bdd.is_bot v then None else Some (s, v))
+    starts
+
+(* Waypointing: instrument a copy of the graph so that traversing the
+   waypoint node's FIB sets an extra bit, then test the bit at delivery. *)
+let waypoint t ~src ~dst_node ~waypoint ~mode ?hdr () =
+  let man = Pktset.man (env t) in
+  let bit = Fgraph.zone_bits in
+  let g = t.g in
+  let instrumented =
+    { g with
+      Fgraph.out_edges =
+        Array.map
+          (List.map (fun (e : Fgraph.edge) ->
+               match g.Fgraph.locs.(e.e_from) with
+               | Fgraph.Fwd n when n = waypoint ->
+                 { e with e_fn = Fgraph.Seq [ e.e_fn; Fgraph.Set_extra [ (bit, true) ] ] }
+               | _ -> e))
+          g.Fgraph.out_edges }
+  in
+  let seeds = seeds_of t ?hdr [ src ] in
+  let sets = Freach.forward instrumented seeds in
+  let delivered =
+    List.fold_left
+      (fun acc id -> Bdd.bor man acc sets.(id))
+      Bdd.bot
+      (Fgraph.locs_where g (delivered_pred ~at:dst_node))
+  in
+  let through =
+    Bdd.band man delivered (Bdd.var man (Pktset.extra_level (env t) bit))
+  in
+  let avoided = Bdd.bdiff man delivered through in
+  let strip s = Bdd.exists man (Bdd.varset man [ Pktset.extra_level (env t) bit ]) s in
+  match mode with
+  | `Through -> (strip through, strip avoided)
+  | `Avoid -> (strip avoided, strip through)
+
+let bidirectional t ~src ~dst ?hdr () =
+  let e = env t in
+  let man = Pktset.man e in
+  let dst_node, dst_iface = dst in
+  (* forward pass: establishes sessions at stateful devices *)
+  let fwd = forward_from t ?hdr [ src ] in
+  let delivered =
+    List.fold_left
+      (fun acc id -> Bdd.bor man acc fwd.(id))
+      Bdd.bot
+      (Fgraph.locs_where t.g (fun l ->
+           match l with
+           | Fgraph.Dst (n, i) -> n = dst_node && i = dst_iface
+           | Fgraph.Accept n -> n = dst_node
+           | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dropped _ -> false))
+  in
+  let strip_extra s =
+    let levels = List.init (Pktset.extra_count e) (Pktset.extra_level e) in
+    Bdd.exists man (Bdd.varset man levels) s
+  in
+  let delivered = strip_extra delivered in
+  (* session fast-path sets: return flows of everything that traversed each
+     stateful device *)
+  let sessions name =
+    match Fgraph.loc_id t.g (Fgraph.Fwd name) with
+    | Some id -> Pktset.swap_src_dst e (strip_extra fwd.(id))
+    | None -> Bdd.bot
+  in
+  let g' = Fgraph.build ~env:e ~sessions ~configs:t.configs ~dp:t.dp () in
+  let t' = { t with g = g' } in
+  (* return direction: swapped delivered flows, re-entering at dst *)
+  let return_seed = Bdd.band man (Pktset.swap_src_dst e delivered) (clean t') in
+  let seeds =
+    match Fgraph.loc_id g' (Fgraph.Src (dst_node, dst_iface)) with
+    | Some id -> [ (id, return_seed) ]
+    | None -> []
+  in
+  let back = Freach.forward g' seeds in
+  let src_node = fst src in
+  let returned =
+    List.fold_left
+      (fun acc id -> Bdd.bor man acc back.(id))
+      Bdd.bot
+      (Fgraph.locs_where g' (delivered_pred ~at:src_node))
+  in
+  (* round trip: forward-delivered flows whose swapped counterpart returned *)
+  let round_trip =
+    Bdd.band man delivered (Pktset.swap_src_dst e (strip_extra returned))
+  in
+  (delivered, round_trip)
+
+(* Loop detection: find a non-trivial SCC among transit locations, extract a
+   cycle, and compose edge functions around it; survivors loop forever. *)
+let find_loops t =
+  let g = t.g in
+  let man = Pktset.man (env t) in
+  let n = Fgraph.n_locs g in
+  let adj =
+    Array.init n (fun v -> List.map (fun (e : Fgraph.edge) -> e.Fgraph.e_to) g.Fgraph.out_edges.(v))
+  in
+  let comp = Scc.compute ~n adj in
+  let groups = Scc.groups comp in
+  let results = ref [] in
+  Array.iter
+    (fun members ->
+      if List.length members > 1 then begin
+        (* find one cycle through the component with DFS *)
+        let inside v = List.mem v members in
+        let start = List.hd members in
+        let rec dfs path v =
+          if v = start && path <> [] then Some (List.rev path)
+          else if List.exists (fun (w, _) -> w = v) path && v <> start then None
+          else
+            List.fold_left
+              (fun acc (e : Fgraph.edge) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  if inside e.e_to then dfs ((v, e) :: path) e.e_to else None)
+              None g.Fgraph.out_edges.(v)
+        in
+        match dfs [] start with
+        | None -> ()
+        | Some cycle_edges ->
+          let survive =
+            List.fold_left
+              (fun acc (_, (e : Fgraph.edge)) -> Fgraph.apply g e.e_fn acc)
+              Bdd.top cycle_edges
+          in
+          (* iterate composition to a fixed point: packets that keep cycling *)
+          let rec fixpoint s guard =
+            if guard = 0 then s
+            else
+              let s' =
+                List.fold_left
+                  (fun acc (_, (e : Fgraph.edge)) -> Fgraph.apply g e.e_fn acc)
+                  s cycle_edges
+              in
+              let s'' = Bdd.band man s s' in
+              if Bdd.equal s'' s then s else fixpoint s'' (guard - 1)
+          in
+          let looping = fixpoint survive 16 in
+          if not (Bdd.is_bot looping) then begin
+            let nodes =
+              List.filter_map
+                (fun (v, _) ->
+                  match g.Fgraph.locs.(v) with
+                  | Fgraph.Fwd n -> Some n
+                  | _ -> None)
+                cycle_edges
+            in
+            results := (nodes, looping) :: !results
+          end
+      end)
+    groups;
+  List.rev !results
+
+let pick_examples t ?src_prefix ?dst_prefix ~violating ~holding () =
+  let e = env t in
+  let prefs = Pktset.standard_prefs e ?src_prefix ?dst_prefix () in
+  let neg = Pktset.to_packet e ~prefs violating in
+  (* Contrast: prefer a positive example close to the negative one (same
+     protocol and destination), so the difference highlights the cause. *)
+  let man = Pktset.man e in
+  let close =
+    match neg with
+    | Some p ->
+      [ Pktset.value e Field.Dst_ip p.Packet.dst_ip;
+        Pktset.value e Field.Protocol p.Packet.protocol;
+        Pktset.value e Field.Src_ip p.Packet.src_ip ]
+    | None -> []
+  in
+  let pos = Pktset.to_packet e ~prefs:(close @ prefs) (Bdd.bdiff man holding violating) in
+  (neg, pos)

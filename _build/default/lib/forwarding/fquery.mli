@@ -1,0 +1,84 @@
+(** Data-plane verification queries over the forwarding graph, with the
+    usability machinery of §4.4: scoped defaults and positive/negative
+    example selection. *)
+
+type t = {
+  g : Fgraph.t;
+  dp : Dataplane.t;
+  configs : string -> Vi.t option;
+}
+
+(** A flow start location: [(node, Some iface)] for packets entering at an
+    interface, [(node, None)] for packets originated by the device. *)
+type start = string * string option
+
+val make :
+  ?env:Pktset.t ->
+  ?compress:bool ->
+  configs:(string -> Vi.t option) ->
+  dp:Dataplane.t ->
+  unit ->
+  t
+
+val env : t -> Pktset.t
+
+(** The set with all query-local extra bits zero (seeds must use it). *)
+val clean : t -> Bdd.t
+
+(** Forward propagation from start locations; [hdr] scopes the headers. *)
+val forward_from : t -> ?hdr:Bdd.t -> start list -> Bdd.t array
+
+(** Per-location sets that can still reach a delivered disposition
+    ([Accept]/[Dst]), optionally at a specific node, computed backward. *)
+val to_delivered : t -> ?at:string -> ?hdr:Bdd.t -> unit -> Bdd.t array
+
+(** Per-location sets that can still reach a drop. *)
+val to_dropped : t -> ?hdr:Bdd.t -> unit -> Bdd.t array
+
+(** Union of a set array over delivered locations (optionally at a node). *)
+val delivered_union : t -> ?at:string -> Bdd.t array -> Bdd.t
+
+(** [reachable t ~src ~dst_ip ()] is the set of packets entering at [src]
+    that are delivered somewhere, constrained to destination [dst_ip]. *)
+val reachable : t -> src:start -> ?hdr:Bdd.t -> ?dst_ip:Prefix.t -> unit -> Bdd.t
+
+(** Multipath consistency (the Figure 3 benchmark query): for every start
+    location, flows that are delivered along some paths and dropped along
+    others. Uses two backward passes. *)
+val multipath_consistency :
+  t -> ?starts:start list -> unit -> (start * Bdd.t) list
+
+(** Waypoint query (§4.2.3): packets from [src] delivered at [dst_node]
+    whose paths traversed ([`Through]) or avoided ([`Avoid]) [waypoint].
+    Returns (compliant, violating). *)
+val waypoint :
+  t ->
+  src:start ->
+  dst_node:string ->
+  waypoint:string ->
+  mode:[ `Through | `Avoid ] ->
+  ?hdr:Bdd.t ->
+  unit ->
+  Bdd.t * Bdd.t
+
+(** Bidirectional reachability (§4.2.3): flows from [src] delivered at
+    [dst] whose return traffic (src/dst swapped) also makes it back,
+    given the firewall sessions established by the forward direction.
+    Returns (delivered_forward, round_trip). *)
+val bidirectional :
+  t -> src:start -> dst:string * string -> ?hdr:Bdd.t -> unit -> Bdd.t * Bdd.t
+
+(** Forwarding loops: cycles in the graph that some packet set can traverse
+    fully. Returns (nodes on the cycle, looping set). *)
+val find_loops : t -> (string list * Bdd.t) list
+
+(** §4.4.3: pick a violating example and a contrasting positive example from
+    the two sets, biased toward realistic packets. *)
+val pick_examples :
+  t ->
+  ?src_prefix:Prefix.t ->
+  ?dst_prefix:Prefix.t ->
+  violating:Bdd.t ->
+  holding:Bdd.t ->
+  unit ->
+  Packet.t option * Packet.t option

@@ -1,0 +1,49 @@
+let edge_apps = ref 0
+let last_edge_applications () = !edge_apps
+
+let propagate g seeds ~edges_of ~endpoint ~apply_fn =
+  edge_apps := 0;
+  let man = Pktset.man g.Fgraph.env in
+  let n = Fgraph.n_locs g in
+  let sets = Array.make n Bdd.bot in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue v =
+    if not queued.(v) then begin
+      queued.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter
+    (fun (v, s) ->
+      sets.(v) <- Bdd.bor man sets.(v) s;
+      enqueue v)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    queued.(v) <- false;
+    List.iter
+      (fun (e : Fgraph.edge) ->
+        incr edge_apps;
+        let contribution = apply_fn e sets.(v) in
+        let w = endpoint e in
+        let united = Bdd.bor man sets.(w) contribution in
+        if not (Bdd.equal united sets.(w)) then begin
+          sets.(w) <- united;
+          enqueue w
+        end)
+      (edges_of v)
+  done;
+  sets
+
+let forward g seeds =
+  propagate g seeds
+    ~edges_of:(fun v -> g.Fgraph.out_edges.(v))
+    ~endpoint:(fun e -> e.Fgraph.e_to)
+    ~apply_fn:(fun e s -> Fgraph.apply g e.Fgraph.e_fn s)
+
+let backward g seeds =
+  propagate g seeds
+    ~edges_of:(fun v -> g.Fgraph.in_edges.(v))
+    ~endpoint:(fun e -> e.Fgraph.e_from)
+    ~apply_fn:(fun e s -> Fgraph.apply_reverse g e.Fgraph.e_fn s)

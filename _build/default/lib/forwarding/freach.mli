@@ -1,0 +1,19 @@
+(** Fixed-point packet-set propagation over the forwarding graph (§4.2.1).
+
+    Forward propagation answers "what can reach each location from these
+    sources"; backward propagation answers "what, at each location, can
+    still reach these targets" — the §4.2.3 optimization for
+    single-destination queries that avoids walking edges off the
+    destination's forwarding tree. *)
+
+(** [forward g seeds] seeds each location with the given set and iterates to
+    a fixed point. Returns the set reaching each location. *)
+val forward : Fgraph.t -> (int * Bdd.t) list -> Bdd.t array
+
+(** [backward g seeds] propagates against the edges, applying preimages. The
+    result at a location is the set of packets there that eventually reach a
+    seeded location. *)
+val backward : Fgraph.t -> (int * Bdd.t) list -> Bdd.t array
+
+(** Statistics of the last call: number of edge applications. *)
+val last_edge_applications : unit -> int

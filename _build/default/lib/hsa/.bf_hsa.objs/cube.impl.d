@@ -1,0 +1,1 @@
+lib/hsa/cube.ml: Bytes Ipv4 List Packet Prefix

@@ -1,0 +1,1 @@
+lib/hsa/cube.mli: Packet Prefix

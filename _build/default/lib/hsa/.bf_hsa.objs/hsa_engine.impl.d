@@ -1,0 +1,1 @@
+lib/hsa/hsa_engine.ml: Array Cube Dataplane Fib Fun Hashtbl Int L3 List Packet Prefix Queue Semantics Vi

@@ -1,0 +1,1 @@
+lib/hsa/hsa_engine.mli: Cube Dataplane Vi

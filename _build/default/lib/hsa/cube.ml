@@ -1,0 +1,147 @@
+(* A cube is a Bytes of width entries: '0', '1' or '*'. Clear over fast;
+   this is the baseline the BDD engine is measured against. *)
+
+type t = Bytes.t
+
+let width = 112
+let dst_ip_off = 0
+let src_ip_off = 32
+let proto_off = 64
+let src_port_off = 72
+let dst_port_off = 88
+let tcp_flags_off = 104
+
+let star = Bytes.make width '*'
+
+let set_field c off bits v =
+  let c = Bytes.copy c in
+  for i = 0 to bits - 1 do
+    Bytes.set c (off + i) (if (v lsr (bits - 1 - i)) land 1 = 1 then '1' else '0')
+  done;
+  c
+
+let packet_bits (p : Packet.t) =
+  let b = Bytes.make width '0' in
+  let put off bits v =
+    for i = 0 to bits - 1 do
+      Bytes.set b (off + i) (if (v lsr (bits - 1 - i)) land 1 = 1 then '1' else '0')
+    done
+  in
+  put dst_ip_off 32 p.dst_ip;
+  put src_ip_off 32 p.src_ip;
+  put proto_off 8 p.protocol;
+  put src_port_off 16 p.src_port;
+  put dst_port_off 16 p.dst_port;
+  put tcp_flags_off 8 p.tcp_flags;
+  b
+
+let of_packet p = packet_bits p
+
+let matches c p =
+  let bits = packet_bits p in
+  let rec go i =
+    i >= width
+    || ((Bytes.get c i = '*' || Bytes.get c i = Bytes.get bits i) && go (i + 1))
+  in
+  go 0
+
+let intersect a b =
+  let out = Bytes.make width '*' in
+  let rec go i =
+    if i >= width then Some out
+    else
+      let x = Bytes.get a i and y = Bytes.get b i in
+      if x = '*' then begin
+        Bytes.set out i y;
+        go (i + 1)
+      end
+      else if y = '*' || x = y then begin
+        Bytes.set out i x;
+        go (i + 1)
+      end
+      else None
+  in
+  go 0
+
+let subtract a b =
+  match intersect a b with
+  | None -> [ a ]
+  | Some _ ->
+    (* carve a \ b: for each constrained position of b where a is looser,
+       emit a copy of a with that bit flipped, fixing previous positions. *)
+    let acc = ref [] in
+    let prefix = Bytes.copy a in
+    for i = 0 to width - 1 do
+      let bi = Bytes.get b i in
+      if bi <> '*' && Bytes.get a i = '*' then begin
+        let piece = Bytes.copy prefix in
+        Bytes.set piece i (if bi = '1' then '0' else '1');
+        acc := piece :: !acc;
+        Bytes.set prefix i bi
+      end
+    done;
+    !acc
+
+type set = t list
+
+let empty = []
+let full = [ star ]
+let is_empty s = s = []
+let member s p = List.exists (fun c -> matches c p) s
+
+let inter s1 s2 =
+  List.concat_map (fun a -> List.filter_map (fun b -> intersect a b) s2) s1
+
+let union s1 s2 = s1 @ s2
+let diff s1 s2 = List.fold_left (fun acc b -> List.concat_map (fun a -> subtract a b) acc) s1 s2
+let size s = List.length s
+
+let ip_prefix off p =
+  let c = Bytes.make width '*' in
+  for i = 0 to Prefix.length p - 1 do
+    Bytes.set c (off + i) (if Ipv4.bit (Prefix.network p) i then '1' else '0')
+  done;
+  c
+
+(* A range decomposes into O(bits) cubes, standard interval-to-ternary. *)
+let port_range off lo hi =
+  let rec go lo hi acc =
+    if lo > hi then acc
+    else begin
+      (* largest aligned block starting at lo that fits *)
+      let rec block size =
+        let bigger = size * 2 in
+        if lo mod bigger = 0 && lo + bigger - 1 <= hi && bigger <= 65536 then block bigger
+        else size
+      in
+      let size = block 1 in
+      let bits_free =
+        let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+        log2 size 0
+      in
+      let c = Bytes.make width '*' in
+      for i = 0 to 15 - bits_free do
+        Bytes.set c (off + i) (if (lo lsr (15 - i)) land 1 = 1 then '1' else '0')
+      done;
+      go (lo + size) hi (c :: acc)
+    end
+  in
+  go lo hi []
+
+let subsumes a b =
+  (* a covers b *)
+  let rec go i =
+    i >= width
+    || ((Bytes.get a i = '*' || Bytes.get a i = Bytes.get b i) && go (i + 1))
+  in
+  go 0
+
+let compact s =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      if List.exists (fun k -> subsumes k c) kept || List.exists (fun k -> subsumes k c) rest
+      then go kept rest
+      else go (c :: kept) rest
+  in
+  go [] s

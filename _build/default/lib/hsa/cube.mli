@@ -1,0 +1,56 @@
+(** Ternary cubes over packet-header bits: the "custom data structure"
+    family of representations (HSA's difference-of-cubes, NoD's ternary
+    vectors) that the paper's BDD engine replaced (§4.2, Lesson 2).
+
+    A set of packets is a list of cubes (a union). Negation and subtraction
+    multiply cube counts — the blow-up that motivates canonical BDDs. *)
+
+type t
+
+(** Header layout: dstIp(32) srcIp(32) proto(8) srcPort(16) dstPort(16)
+    tcpFlags(8) — 112 bits. *)
+val width : int
+
+val star : t
+
+(** [set_field cube offset bits value] constrains a field. *)
+val set_field : t -> int -> int -> int -> t
+
+val dst_ip_off : int
+val src_ip_off : int
+val proto_off : int
+val src_port_off : int
+val dst_port_off : int
+val tcp_flags_off : int
+
+val of_packet : Packet.t -> t
+val matches : t -> Packet.t -> bool
+val intersect : t -> t -> t option
+
+(** [subtract a b] = a \ b as a union of disjoint cubes. *)
+val subtract : t -> t -> t list
+
+(** {2 Sets as cube lists} *)
+
+type set = t list
+
+val empty : set
+val full : set
+val is_empty : set -> bool
+val member : set -> Packet.t -> bool
+val inter : set -> set -> set
+val union : set -> set -> set
+val diff : set -> set -> set
+
+(** Number of cubes (the size metric the benchmark reports). *)
+val size : set -> int
+
+(** Prefix constraint on an IP field. *)
+val ip_prefix : int -> Prefix.t -> t
+
+(** Port range at a field offset, as a union of cubes. *)
+val port_range : int -> int -> int -> set
+
+(** Drop cubes subsumed by another cube in the set (quadratic; keeps
+    fixpoints finite). *)
+val compact : set -> set

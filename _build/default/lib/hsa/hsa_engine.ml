@@ -1,0 +1,271 @@
+type loc =
+  | Src of string * string
+  | Fwd of string
+  | Deliver of string
+  | Drop of string
+
+type edge = { e_from : int; e_to : int; e_filter : Cube.set }
+
+type t = {
+  locs : loc array;
+  index : (loc, int) Hashtbl.t;
+  out_edges : edge list array;
+  in_edges : edge list array;
+  starts : (string * string) list;
+  mutable peak : int;
+}
+
+let peak_cubes t = t.peak
+let start_locations t = t.starts
+
+let acl_set (acl : Vi.acl) =
+  let line_set (l : Vi.acl_line) =
+    let base = Cube.star in
+    let base =
+      match l.l_proto with
+      | Some p -> Cube.set_field base Cube.proto_off 8 p
+      | None -> base
+    in
+    let with_ips =
+      Cube.intersect
+        (Cube.ip_prefix Cube.src_ip_off l.l_src)
+        (Cube.ip_prefix Cube.dst_ip_off l.l_dst)
+    in
+    let base =
+      match with_ips with
+      | Some ips -> Cube.intersect base ips
+      | None -> None
+    in
+    match base with
+    | None -> Cube.empty
+    | Some base ->
+      let tcp_udp =
+        [ Cube.set_field Cube.star Cube.proto_off 8 Packet.Proto.tcp;
+          Cube.set_field Cube.star Cube.proto_off 8 Packet.Proto.udp ]
+      in
+      let ports off ranges set =
+        if ranges = [] then set
+        else
+          Cube.inter (Cube.inter set tcp_udp)
+            (List.concat_map (fun (lo, hi) -> Cube.port_range off lo hi) ranges)
+      in
+      let set = [ base ] in
+      let set = ports Cube.src_port_off l.l_src_ports set in
+      let set = ports Cube.dst_port_off l.l_dst_ports set in
+      let set =
+        if l.l_established then
+          (* TCP with ACK or RST set *)
+          Cube.inter
+            (Cube.inter set
+               [ Cube.set_field Cube.star Cube.proto_off 8 Packet.Proto.tcp ])
+            [ Cube.set_field Cube.star (Cube.tcp_flags_off + 3) 1 1 (* ACK *);
+              Cube.set_field Cube.star (Cube.tcp_flags_off + 5) 1 1 (* RST *) ]
+        else set
+      in
+      set
+  in
+  let earlier = ref Cube.empty in
+  let permit = ref Cube.empty in
+  List.iter
+    (fun (l : Vi.acl_line) ->
+      let eff = Cube.diff (line_set l) !earlier in
+      if l.l_action = Vi.Permit then permit := Cube.union !permit eff;
+      earlier := Cube.union !earlier (line_set l))
+    acl.acl_lines;
+  Cube.compact !permit
+
+let acl_set_named (cfg : Vi.t) name =
+  match Vi.find_acl cfg name with
+  | Some acl -> acl_set acl
+  | None ->
+    if (Semantics.for_vendor cfg.vendor).Semantics.undefined_acl_permits then Cube.full
+    else Cube.empty
+
+let build ~configs ~dp =
+  let topo = dp.Dataplane.topo in
+  let locs = ref [] and count = ref 0 in
+  let index = Hashtbl.create 256 in
+  let node_of l =
+    match Hashtbl.find_opt index l with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Hashtbl.add index l i;
+      locs := l :: !locs;
+      i
+  in
+  let edges = ref [] in
+  let add_edge f t filter = edges := { e_from = f; e_to = t; e_filter = filter } :: !edges in
+  let starts = ref [] in
+  List.iter
+    (fun name ->
+      match configs name with
+      | None -> ()
+      | Some (cfg : Vi.t) ->
+        let fwd = node_of (Fwd name) in
+        let deliver = node_of (Deliver name) in
+        let drop = node_of (Drop name) in
+        List.iter
+          (fun (ep : L3.endpoint) ->
+            let src = node_of (Src (name, ep.ep_iface)) in
+            if L3.neighbors topo ~node:name ~iface:ep.ep_iface = [] then
+              starts := (name, ep.ep_iface) :: !starts;
+            let in_set =
+              match Vi.find_interface cfg ep.ep_iface with
+              | Some { Vi.if_in_acl = Some acl; _ } -> acl_set_named cfg acl
+              | Some _ | None -> Cube.full
+            in
+            add_edge src fwd in_set;
+            add_edge src drop (Cube.diff Cube.full in_set))
+          (L3.endpoints topo name);
+        (* FIB cells, longest prefix first *)
+        let fib = (Dataplane.node dp name).Dataplane.nr_fib in
+        let entries =
+          List.sort
+            (fun (a : Fib.entry) (b : Fib.entry) ->
+              Int.compare (Prefix.length b.fe_prefix) (Prefix.length a.fe_prefix))
+            (Fib.entries fib)
+        in
+        let covered = ref Cube.empty in
+        List.iter
+          (fun (e : Fib.entry) ->
+            let cell =
+              Cube.diff [ Cube.ip_prefix Cube.dst_ip_off e.fe_prefix ] !covered
+            in
+            covered := Cube.union !covered [ Cube.ip_prefix Cube.dst_ip_off e.fe_prefix ];
+            if not (Cube.is_empty cell) then
+              List.iter
+                (fun action ->
+                  match action with
+                  | Fib.Receive -> add_edge fwd deliver cell
+                  | Fib.Drop_null -> add_edge fwd drop cell
+                  | Fib.Forward { out_iface; gateway } -> (
+                    let out_set =
+                      match Vi.find_interface cfg out_iface with
+                      | Some { Vi.if_out_acl = Some acl; _ } ->
+                        Cube.inter cell (acl_set_named cfg acl)
+                      | Some _ | None -> cell
+                    in
+                    add_edge fwd drop (Cube.diff cell out_set);
+                    match gateway with
+                    | Some gw -> (
+                      match L3.owner_of_ip topo gw with
+                      | Some ep when ep.L3.ep_node <> name ->
+                        add_edge fwd (node_of (Src (ep.L3.ep_node, ep.L3.ep_iface))) out_set
+                      | Some _ | None -> add_edge fwd deliver out_set)
+                    | None -> (
+                      match L3.endpoint topo ~node:name ~iface:out_iface with
+                      | Some my_ep ->
+                        List.iter
+                          (fun (nep : L3.endpoint) ->
+                            let d =
+                              Cube.set_field Cube.star Cube.dst_ip_off 32 nep.ep_ip
+                            in
+                            add_edge fwd (node_of (Src (nep.ep_node, nep.ep_iface)))
+                              (Cube.inter out_set [ d ]))
+                          (L3.neighbors topo ~node:name ~iface:out_iface);
+                        let neighbor_dsts =
+                          List.map
+                            (fun (nep : L3.endpoint) ->
+                              Cube.set_field Cube.star Cube.dst_ip_off 32 nep.ep_ip)
+                            (L3.neighbors topo ~node:name ~iface:out_iface)
+                        in
+                        add_edge fwd deliver
+                          (Cube.diff
+                             (Cube.inter out_set
+                                [ Cube.ip_prefix Cube.dst_ip_off my_ep.ep_prefix ])
+                             neighbor_dsts)
+                      | None -> add_edge fwd deliver out_set)))
+                e.fe_actions)
+          entries;
+        (* no route *)
+        add_edge fwd drop (Cube.diff Cube.full !covered))
+      dp.Dataplane.node_order;
+  let locs = Array.of_list (List.rev !locs) in
+  let out_edges = Array.make (Array.length locs) [] in
+  let in_edges = Array.make (Array.length locs) [] in
+  List.iter
+    (fun e ->
+      out_edges.(e.e_from) <- e :: out_edges.(e.e_from);
+      in_edges.(e.e_to) <- e :: in_edges.(e.e_to))
+    !edges;
+  { locs; index; out_edges; in_edges; starts = List.rev !starts; peak = 0 }
+
+(* Backward propagation: filters are their own preimage. *)
+let backward t seeds =
+  let n = Array.length t.locs in
+  let sets = Array.make n Cube.empty in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue v =
+    if not queued.(v) then begin
+      queued.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter
+    (fun (v, s) ->
+      sets.(v) <- Cube.union sets.(v) s;
+      enqueue v)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    queued.(v) <- false;
+    List.iter
+      (fun e ->
+        let contribution = Cube.inter e.e_filter sets.(v) in
+        let fresh = Cube.diff contribution sets.(e.e_from) in
+        if not (Cube.is_empty fresh) then begin
+          sets.(e.e_from) <- Cube.compact (Cube.union sets.(e.e_from) fresh);
+          t.peak <- max t.peak (Cube.size sets.(e.e_from));
+          enqueue e.e_from
+        end)
+      t.in_edges.(v)
+  done;
+  sets
+
+let starts_with_sets t sets =
+  List.map
+    (fun (node, iface) ->
+      let id = Hashtbl.find t.index (Src (node, iface)) in
+      ((node, iface), sets.(id)))
+    t.starts
+
+let to_delivered t =
+  let seeds =
+    Array.to_list
+      (Array.mapi
+         (fun i l ->
+           match l with
+           | Deliver _ -> Some (i, Cube.full)
+           | Src _ | Fwd _ | Drop _ -> None)
+         t.locs)
+    |> List.filter_map Fun.id
+  in
+  starts_with_sets t (backward t seeds)
+
+let to_dropped t =
+  let seeds =
+    Array.to_list
+      (Array.mapi
+         (fun i l ->
+           match l with
+           | Drop _ -> Some (i, Cube.full)
+           | Src _ | Fwd _ | Deliver _ -> None)
+         t.locs)
+    |> List.filter_map Fun.id
+  in
+  starts_with_sets t (backward t seeds)
+
+let multipath_consistency t =
+  let deliver = to_delivered t in
+  let drop = to_dropped t in
+  List.filter_map
+    (fun (start, d) ->
+      match List.assoc_opt start drop with
+      | Some dr ->
+        let v = Cube.inter d dr in
+        if Cube.is_empty v then None else Some (start, v)
+      | None -> None)
+    deliver

@@ -1,0 +1,23 @@
+(** Header-space-analysis-style data-plane verification over cube lists
+    (the custom-encoding baseline of Figure 3 / Lesson 2).
+
+    Covers the FIB + ACL pipeline (no NAT/zones, like the original HSA);
+    the benchmark networks for the comparison are chosen accordingly. *)
+
+type t
+
+val build : configs:(string -> Vi.t option) -> dp:Dataplane.t -> t
+
+(** Per-start-location sets that can reach a delivered disposition. *)
+val to_delivered : t -> ((string * string) * Cube.set) list
+
+(** Per-start-location sets that can reach a drop. *)
+val to_dropped : t -> ((string * string) * Cube.set) list
+
+(** Multipath-consistency violations per start location. *)
+val multipath_consistency : t -> ((string * string) * Cube.set) list
+
+(** Peak cube count observed during propagation (the blow-up metric). *)
+val peak_cubes : t -> int
+
+val start_locations : t -> (string * string) list

@@ -1,0 +1,1 @@
+lib/policy/acl_eval.ml: List Packet Prefix Vi

@@ -1,0 +1,1 @@
+lib/policy/acl_eval.mli: Packet Vi

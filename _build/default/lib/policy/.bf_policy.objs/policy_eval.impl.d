@@ -1,0 +1,1 @@
+lib/policy/policy_eval.ml: Attrs Buffer Hashtbl Ipv4 List Prefix Re Route Route_proto Semantics String Vi

@@ -1,0 +1,1 @@
+lib/policy/policy_eval.mli: Ipv4 Prefix Route Semantics Vi

@@ -1,0 +1,1 @@
+lib/policy/zone_eval.ml: List Option Semantics Vi

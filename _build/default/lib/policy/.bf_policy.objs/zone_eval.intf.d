@@ -1,0 +1,1 @@
+lib/policy/zone_eval.mli: Vi

@@ -1,0 +1,25 @@
+let port_in ranges p = ranges = [] || List.exists (fun (lo, hi) -> p >= lo && p <= hi) ranges
+
+let matches_line (l : Vi.acl_line) (p : Packet.t) =
+  (match l.l_proto with
+   | Some proto -> p.protocol = proto
+   | None -> true)
+  && Prefix.contains l.l_src p.src_ip
+  && Prefix.contains l.l_dst p.dst_ip
+  && (l.l_src_ports = [] || ((p.protocol = Packet.Proto.tcp || p.protocol = Packet.Proto.udp) && port_in l.l_src_ports p.src_port))
+  && (l.l_dst_ports = [] || ((p.protocol = Packet.Proto.tcp || p.protocol = Packet.Proto.udp) && port_in l.l_dst_ports p.dst_port))
+  && (not l.l_established
+     || (p.protocol = Packet.Proto.tcp
+        && p.tcp_flags land (Packet.Tcp_flags.ack lor Packet.Tcp_flags.rst) <> 0))
+  && (match l.l_icmp_type with
+      | Some t -> p.protocol = Packet.Proto.icmp && p.icmp_type = t
+      | None -> true)
+
+let action (acl : Vi.acl) p =
+  let rec go = function
+    | [] -> (Vi.Deny, None)
+    | l :: rest -> if matches_line l p then (l.Vi.l_action, Some l) else go rest
+  in
+  go acl.acl_lines
+
+let permits acl p = fst (action acl p) = Vi.Permit

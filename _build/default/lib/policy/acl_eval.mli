@@ -1,0 +1,13 @@
+(** Concrete ACL evaluation: does a packet match a filter?
+
+    Used by the traceroute engine and by BGP session-establishment checks
+    (the symbolic engine encodes the same semantics as BDDs — differential
+    testing keeps the two aligned). *)
+
+val matches_line : Vi.acl_line -> Packet.t -> bool
+
+(** First-match semantics with implicit deny; returns the verdict and the
+    matching line (None for the implicit deny). *)
+val action : Vi.acl -> Packet.t -> Vi.action * Vi.acl_line option
+
+val permits : Vi.acl -> Packet.t -> bool

@@ -1,0 +1,34 @@
+(** Routing-policy (route-map) evaluation.
+
+    This is the concrete policy engine the simulator uses at import/export
+    points. Evaluation is first-matching-clause with an implicit deny, as in
+    IOS; Junos policy-statements are normalized to the same shape by the
+    parser. *)
+
+type ctx = {
+  cfg : Vi.t;
+  semantics : Semantics.t;
+  self_ip : Ipv4.t option;  (** address used for [Set_next_hop_self] *)
+}
+
+val make_ctx : ?self_ip:Ipv4.t -> Vi.t -> ctx
+
+type result = Accepted of Route.t | Denied
+
+val run_route_map : ctx -> Vi.route_map -> Route.t -> result
+
+(** Resolve the route map by name; an undefined name follows the vendor's
+    undefined-policy semantics (Lesson 3). *)
+val run_named : ctx -> string -> Route.t -> result
+
+(** [None] policy means "no filtering": accept unchanged. *)
+val run_optional : ctx -> string option -> Route.t -> result
+
+(** Does the prefix list permit this prefix (first-match, implicit deny)? *)
+val prefix_list_permits : Vi.prefix_list -> Prefix.t -> bool
+
+val run_prefix_list_named : ctx -> string -> Prefix.t -> bool
+
+(** Cisco AS-path regex over the printed path ("_"-aware). Exposed for
+    testing. *)
+val as_path_regex_matches : string -> int list -> bool

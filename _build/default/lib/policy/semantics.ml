@@ -1,0 +1,32 @@
+(* Vendor-dependent behaviours for situations router documentation does not
+   cover (Lesson 3): chiefly, what happens when a referenced structure is not
+   defined. These defaults were the kind of thing Batfish had to learn by
+   testing real device software in emulators (§4.3.1). *)
+
+type t = {
+  undefined_route_map_permits : bool;
+  undefined_prefix_list_permits : bool;
+  undefined_acl_permits : bool;
+}
+
+let for_vendor = function
+  | "cisco-ios" ->
+    (* IOS treats a BGP policy referencing a missing route-map as deny-all. *)
+    { undefined_route_map_permits = false;
+      undefined_prefix_list_permits = true;
+      undefined_acl_permits = true }
+  | "arista-eos" ->
+    (* EOS permits routes when the referenced map is missing. *)
+    { undefined_route_map_permits = true;
+      undefined_prefix_list_permits = true;
+      undefined_acl_permits = true }
+  | "juniper" ->
+    (* Junos rejects commits with dangling references; if one sneaks through
+       a snapshot, treat it as reject. *)
+    { undefined_route_map_permits = false;
+      undefined_prefix_list_permits = false;
+      undefined_acl_permits = false }
+  | _ ->
+    { undefined_route_map_permits = false;
+      undefined_prefix_list_permits = true;
+      undefined_acl_permits = true }

@@ -1,0 +1,30 @@
+type verdict = Zone_permit | Zone_deny | Zone_filter of Vi.acl
+
+let zone_of cfg iface =
+  Option.map (fun (z : Vi.zone) -> z.z_name) (Vi.find_zone_of_interface cfg iface)
+
+let verdict (cfg : Vi.t) ~from_iface ~to_iface =
+  if cfg.zones = [] then Zone_permit
+  else
+    match from_iface with
+    | None -> Zone_permit (* router-originated traffic bypasses zones *)
+    | Some from_iface -> (
+      let z_in = zone_of cfg from_iface and z_out = zone_of cfg to_iface in
+      if z_in = z_out then Zone_permit
+      else
+        match (z_in, z_out) with
+        | Some a, Some b -> (
+          match
+            List.find_opt
+              (fun (p : Vi.zone_policy) -> p.zp_from = a && p.zp_to = b)
+              cfg.zone_policies
+          with
+          | None -> Zone_deny
+          | Some p -> (
+            match Vi.find_acl cfg p.zp_acl with
+            | Some acl -> Zone_filter acl
+            | None ->
+              if (Semantics.for_vendor cfg.vendor).Semantics.undefined_acl_permits
+              then Zone_permit
+              else Zone_deny))
+        | None, _ | _, None -> Zone_deny)

@@ -1,0 +1,12 @@
+(** Zone-based firewall semantics shared by the concrete and symbolic
+    engines: traffic between different zones requires an explicit policy;
+    unzoned-to-zoned traffic is dropped on zoned devices; intra-zone traffic
+    and router-originated traffic pass. *)
+
+type verdict = Zone_permit | Zone_deny | Zone_filter of Vi.acl
+
+val zone_of : Vi.t -> string -> string option
+
+(** [verdict cfg ~from_iface ~to_iface]; [from_iface = None] means the
+    packet originated at the device. *)
+val verdict : Vi.t -> from_iface:string option -> to_iface:string -> verdict

@@ -1,0 +1,1 @@
+lib/prim/ipv4.mli: Format

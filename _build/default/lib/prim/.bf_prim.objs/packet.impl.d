@@ -1,0 +1,1 @@
+lib/prim/packet.ml: Format Ipv4 List Printf Stdlib String

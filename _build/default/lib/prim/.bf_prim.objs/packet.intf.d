@@ -1,0 +1,1 @@
+lib/prim/packet.mli: Format Ipv4

@@ -1,0 +1,1 @@
+lib/prim/par.ml: Array Domain List

@@ -1,0 +1,1 @@
+lib/prim/prefix.ml: Format Int Ipv4 Option Printf String

@@ -1,0 +1,1 @@
+lib/prim/prefix.mli: Format Ipv4

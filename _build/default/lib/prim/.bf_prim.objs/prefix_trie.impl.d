@@ -1,0 +1,1 @@
+lib/prim/prefix_trie.ml: Ipv4 List Prefix

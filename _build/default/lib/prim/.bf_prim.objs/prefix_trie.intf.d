@@ -1,0 +1,1 @@
+lib/prim/prefix_trie.mli: Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/prim/table.ml: Array Buffer List String

@@ -1,0 +1,22 @@
+module Make (H : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (H)
+
+  type t = { table : H.t T.t; mutable requests : int }
+
+  let create ?(size = 1024) () = { table = T.create size; requests = 0 }
+
+  let intern pool v =
+    pool.requests <- pool.requests + 1;
+    match T.find_opt pool.table v with
+    | Some canonical -> canonical
+    | None ->
+      T.add pool.table v v;
+      v
+
+  let distinct pool = T.length pool.table
+  let requests pool = pool.requests
+
+  let clear pool =
+    T.clear pool.table;
+    pool.requests <- 0
+end

@@ -1,0 +1,23 @@
+(** Hash-consing pools for interning routing attributes (§4.1.3 of the paper).
+
+    Interning returns a canonical representative for each distinct value so
+    that routes sharing attributes share memory, and equality checks can be
+    physical. Pools track hit statistics so the memory ablation can report
+    sharing factors. *)
+
+module Make (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+
+  (** [intern pool v] returns the canonical value equal to [v]. *)
+  val intern : t -> H.t -> H.t
+
+  (** Number of distinct values in the pool. *)
+  val distinct : t -> int
+
+  (** Total interning requests served. *)
+  val requests : t -> int
+
+  val clear : t -> unit
+end

@@ -1,0 +1,83 @@
+module Tcp_flags = struct
+  let fin = 1
+  let syn = 2
+  let rst = 4
+  let psh = 8
+  let ack = 16
+  let urg = 32
+  let ece = 64
+  let cwr = 128
+
+  let names =
+    [ (fin, "FIN"); (syn, "SYN"); (rst, "RST"); (psh, "PSH"); (ack, "ACK");
+      (urg, "URG"); (ece, "ECE"); (cwr, "CWR") ]
+
+  let to_string flags =
+    let set = List.filter_map (fun (b, n) -> if flags land b <> 0 then Some n else None) names in
+    if set = [] then "-" else String.concat "|" set
+end
+
+module Proto = struct
+  let icmp = 1
+  let tcp = 6
+  let udp = 17
+  let ospf = 89
+
+  let to_string = function
+    | 1 -> "icmp"
+    | 6 -> "tcp"
+    | 17 -> "udp"
+    | 89 -> "ospf"
+    | p -> string_of_int p
+end
+
+type t = {
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  protocol : int;
+  src_port : int;
+  dst_port : int;
+  icmp_type : int;
+  icmp_code : int;
+  tcp_flags : int;
+  dscp : int;
+  ecn : int;
+  fragment_offset : int;
+  packet_length : int;
+}
+
+let default =
+  { src_ip = Ipv4.of_octets 10 0 0 1; dst_ip = Ipv4.of_octets 10 0 0 2;
+    protocol = Proto.tcp; src_port = 49152; dst_port = 80;
+    icmp_type = 0; icmp_code = 0; tcp_flags = Tcp_flags.syn;
+    dscp = 0; ecn = 0; fragment_offset = 0; packet_length = 512 }
+
+let tcp ?(flags = Tcp_flags.syn) ?(src_port = 49152) ~src ~dst dst_port =
+  { default with src_ip = src; dst_ip = dst; protocol = Proto.tcp;
+    src_port; dst_port; tcp_flags = flags }
+
+let udp ?(src_port = 49152) ~src ~dst dst_port =
+  { default with src_ip = src; dst_ip = dst; protocol = Proto.udp;
+    src_port; dst_port; tcp_flags = 0 }
+
+let icmp ?(ty = 8) ?(code = 0) ~src ~dst () =
+  { default with src_ip = src; dst_ip = dst; protocol = Proto.icmp;
+    src_port = 0; dst_port = 0; icmp_type = ty; icmp_code = code; tcp_flags = 0 }
+
+let to_string p =
+  let base =
+    Printf.sprintf "%s %s -> %s" (Proto.to_string p.protocol)
+      (Ipv4.to_string p.src_ip) (Ipv4.to_string p.dst_ip)
+  in
+  if p.protocol = Proto.tcp then
+    Printf.sprintf "%s sport=%d dport=%d flags=%s" base p.src_port p.dst_port
+      (Tcp_flags.to_string p.tcp_flags)
+  else if p.protocol = Proto.udp then
+    Printf.sprintf "%s sport=%d dport=%d" base p.src_port p.dst_port
+  else if p.protocol = Proto.icmp then
+    Printf.sprintf "%s type=%d code=%d" base p.icmp_type p.icmp_code
+  else base
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+let equal = ( = )
+let compare = Stdlib.compare

@@ -1,0 +1,50 @@
+(** Concrete IPv4 packet headers, as used by the traceroute engine and by
+    example extraction from the symbolic engine. *)
+
+module Tcp_flags : sig
+  val fin : int
+  val syn : int
+  val rst : int
+  val psh : int
+  val ack : int
+  val urg : int
+  val ece : int
+  val cwr : int
+
+  (** e.g. "SYN|ACK"; "-" when no flag is set. *)
+  val to_string : int -> string
+end
+
+module Proto : sig
+  val icmp : int
+  val tcp : int
+  val udp : int
+  val ospf : int
+  val to_string : int -> string
+end
+
+type t = {
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  protocol : int;
+  src_port : int;  (** meaningful for TCP/UDP only *)
+  dst_port : int;
+  icmp_type : int;  (** meaningful for ICMP only *)
+  icmp_code : int;
+  tcp_flags : int;  (** bitmask; see {!Tcp_flags} *)
+  dscp : int;
+  ecn : int;
+  fragment_offset : int;
+  packet_length : int;
+}
+
+(** Default header: TCP, ephemeral source port, port 80, length 512. *)
+val default : t
+
+val tcp : ?flags:int -> ?src_port:int -> src:Ipv4.t -> dst:Ipv4.t -> int -> t
+val udp : ?src_port:int -> src:Ipv4.t -> dst:Ipv4.t -> int -> t
+val icmp : ?ty:int -> ?code:int -> src:Ipv4.t -> dst:Ipv4.t -> unit -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

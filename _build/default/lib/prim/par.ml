@@ -1,0 +1,25 @@
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let map ~domains f arr =
+  let n = Array.length arr in
+  if domains <= 1 || n < 2 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    let workers = min domains n in
+    let chunk = (n + workers - 1) / workers in
+    let run w =
+      let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+      (* Disjoint index ranges: no two domains write the same cell. *)
+      for i = lo to hi - 1 do
+        out.(i) <- Some (f arr.(i))
+      done
+    in
+    let spawned = List.init (workers - 1) (fun w -> Domain.spawn (fun () -> run (w + 1))) in
+    run 0;
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false)
+      out
+  end

@@ -1,0 +1,13 @@
+(** Deterministic parallel map over domains.
+
+    Used to parallelize route exchange within a color class (§4.1.1: "we can
+    also speed up the computation by introducing high levels of parallelism").
+    Results are assembled in index order, so output is identical to the
+    sequential map. *)
+
+(** [map ~domains f arr] applies [f] to every element, using up to [domains]
+    worker domains ([domains <= 1] runs sequentially). *)
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Recommended worker count for this machine. *)
+val default_domains : unit -> int

@@ -1,0 +1,43 @@
+(** IPv4 prefixes in CIDR notation, canonicalized (host bits zeroed). *)
+
+type t = private { network : Ipv4.t; len : int }
+
+(** [make ip len] canonicalizes [ip] to its network address for [len].
+    @raise Invalid_argument if [len] is outside [0, 32]. *)
+val make : Ipv4.t -> int -> t
+
+(** [host ip] is the /32 prefix for [ip]. *)
+val host : Ipv4.t -> t
+
+(** Parses ["10.0.0.0/8"]. A bare address parses as a /32. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val network : t -> Ipv4.t
+val length : t -> int
+
+(** Subnet mask as an address, e.g. 255.255.255.0 for /24. *)
+val mask : t -> Ipv4.t
+
+(** Last address of the prefix. *)
+val broadcast : t -> Ipv4.t
+
+(** [contains p ip] is true if [ip] falls within [p]. *)
+val contains : t -> Ipv4.t -> bool
+
+(** [contains_prefix p q] is true if [q] is a (non-strict) subset of [p]. *)
+val contains_prefix : t -> t -> bool
+
+(** First usable host address: network + 1 for len <= 30, else the network
+    address itself (point-to-point /31 and host /32 conventions). *)
+val first_host : t -> Ipv4.t
+
+(** The two halves of a prefix with [len < 32]. *)
+val split : t -> t * t
+
+val everything : t

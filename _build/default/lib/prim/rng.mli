@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Used by the workload generator and property tests so that every run of the
+    benchmarks sees the same networks. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [pick t arr] selects a uniform element. [arr] must be non-empty. *)
+val pick : t -> 'a array -> 'a
+
+val pick_list : t -> 'a list -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Derive an independent stream (for per-component determinism). *)
+val split : t -> t

@@ -1,0 +1,5 @@
+(** Plain-text column-aligned tables, used by question answers and the
+    benchmark harness to print the paper's tables. *)
+
+val to_string : header:string list -> string list list -> string
+val print : header:string list -> string list list -> unit

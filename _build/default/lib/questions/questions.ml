@@ -1,0 +1,502 @@
+type answer = {
+  a_title : string;
+  a_header : string list;
+  a_rows : string list list;
+}
+
+let answer_to_string a =
+  Printf.sprintf "%s (%d rows)\n%s" a.a_title (List.length a.a_rows)
+    (Table.to_string ~header:a.a_header a.a_rows)
+
+let print_answer a = print_string (answer_to_string a)
+
+(* --- configuration questions --- *)
+
+let init_issues parsed =
+  let rows =
+    List.concat_map
+      (fun ((cfg : Vi.t), warnings) ->
+        List.map
+          (fun (w : Warning.t) ->
+            [ cfg.hostname; string_of_int w.w_line; Warning.kind_to_string w.w_kind;
+              w.w_text ])
+          warnings)
+      parsed
+  in
+  { a_title = "initIssues"; a_header = [ "node"; "line"; "issue"; "text" ]; a_rows = rows }
+
+let undefined_references configs =
+  let rows =
+    List.concat_map
+      (fun (cfg : Vi.t) ->
+        List.map
+          (fun (ty, name, where) -> [ cfg.hostname; ty; name; where ])
+          (Parse.undefined_references cfg))
+      configs
+  in
+  { a_title = "undefinedReferences"; a_header = [ "node"; "type"; "name"; "context" ];
+    a_rows = rows }
+
+(* A structure is unused if nothing in the config mentions it. *)
+let unused_structures configs =
+  let rows =
+    List.concat_map
+      (fun (cfg : Vi.t) ->
+        let used_acls =
+          List.concat_map
+            (fun (i : Vi.interface) ->
+              Option.to_list i.if_in_acl @ Option.to_list i.if_out_acl)
+            cfg.interfaces
+          @ List.filter_map (fun (r : Vi.nat_rule) -> r.nr_match_acl) cfg.nat_rules
+          @ List.map (fun (zp : Vi.zone_policy) -> zp.zp_acl) cfg.zone_policies
+        in
+        let neighbor_policies =
+          match cfg.bgp with
+          | Some b ->
+            List.concat_map
+              (fun (n : Vi.bgp_neighbor) ->
+                Option.to_list n.bn_import_policy @ Option.to_list n.bn_export_policy)
+              b.bp_neighbors
+            @ List.filter_map snd b.bp_networks
+            @ List.filter_map (fun (r : Vi.redistribution) -> r.rd_route_map) b.bp_redistribute
+          | None -> []
+        in
+        let ospf_policies =
+          match cfg.ospf with
+          | Some o ->
+            List.filter_map (fun (r : Vi.redistribution) -> r.rd_route_map) o.op_redistribute
+          | None -> []
+        in
+        let used_rms = neighbor_policies @ ospf_policies in
+        let used_pls =
+          List.concat_map
+            (fun (rm : Vi.route_map) ->
+              List.concat_map
+                (fun (c : Vi.rm_clause) ->
+                  List.filter_map
+                    (function
+                      | Vi.Match_prefix_list p -> Some p
+                      | _ -> None)
+                    c.rc_matches)
+                rm.rm_clauses)
+            cfg.route_maps
+          @ (match cfg.bgp with
+             | Some b ->
+               List.concat_map
+                 (fun (n : Vi.bgp_neighbor) ->
+                   Option.to_list n.bn_prefix_list_in @ Option.to_list n.bn_prefix_list_out)
+                 b.bp_neighbors
+             | None -> [])
+        in
+        let unused kind names used =
+          List.filter_map
+            (fun name -> if List.mem name used then None else Some [ cfg.hostname; kind; name ])
+            names
+        in
+        unused "acl" (List.map (fun (a : Vi.acl) -> a.acl_name) cfg.acls) used_acls
+        @ unused "route-map" (List.map (fun (r : Vi.route_map) -> r.rm_name) cfg.route_maps) used_rms
+        @ unused "prefix-list"
+            (List.filter_map
+               (fun (p : Vi.prefix_list) ->
+                 (* anonymous route-filter lists are internal *)
+                 if String.length p.pl_name >= 4 && String.sub p.pl_name 0 4 = "__rf" then None
+                 else Some p.pl_name)
+               cfg.prefix_lists)
+            used_pls)
+      configs
+  in
+  { a_title = "unusedStructures"; a_header = [ "node"; "type"; "name" ]; a_rows = rows }
+
+let duplicate_ips configs =
+  let owners : (Ipv4.t, (string * string) list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      List.iter
+        (fun (iface, ip, _) ->
+          Hashtbl.replace owners ip
+            ((cfg.hostname, iface)
+            :: Option.value (Hashtbl.find_opt owners ip) ~default:[]))
+        (Vi.interface_prefixes cfg))
+    configs;
+  let rows =
+    Hashtbl.fold
+      (fun ip users acc ->
+        if List.length users > 1 then
+          [ Ipv4.to_string ip;
+            String.concat ", "
+              (List.map (fun (n, i) -> Printf.sprintf "%s[%s]" n i) (List.rev users)) ]
+          :: acc
+        else acc)
+      owners []
+  in
+  { a_title = "duplicateIps"; a_header = [ "ip"; "owners" ];
+    a_rows = List.sort compare rows }
+
+let bgp_session_compatibility configs =
+  let by_ip : (Ipv4.t, string * Vi.bgp_proc) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      Option.iter
+        (fun bgp ->
+          List.iter
+            (fun (iface, ip, _) ->
+              ignore iface;
+              Hashtbl.replace by_ip ip (cfg.hostname, bgp))
+            (Vi.interface_prefixes cfg))
+        cfg.bgp)
+    configs;
+  let rows = ref [] in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      Option.iter
+        (fun (bgp : Vi.bgp_proc) ->
+          List.iter
+            (fun (n : Vi.bgp_neighbor) ->
+              let issue text =
+                rows :=
+                  [ cfg.hostname; Ipv4.to_string n.bn_peer; text ] :: !rows
+              in
+              match Hashtbl.find_opt by_ip n.bn_peer with
+              | None -> () (* external or unknown: covered by session status *)
+              | Some (peer_node, peer_bgp) ->
+                let local_as =
+                  Option.value n.bn_local_as ~default:bgp.bp_as
+                in
+                if n.bn_remote_as <> peer_bgp.bp_as then
+                  issue
+                    (Printf.sprintf "remote-as %d but %s is AS %d" n.bn_remote_as
+                       peer_node peer_bgp.bp_as)
+                else begin
+                  (* does the peer point back at any of our addresses? *)
+                  let our_ips =
+                    List.map (fun (_, ip, _) -> ip) (Vi.interface_prefixes cfg)
+                  in
+                  match
+                    List.find_opt
+                      (fun (rn : Vi.bgp_neighbor) -> List.mem rn.bn_peer our_ips)
+                      peer_bgp.bp_neighbors
+                  with
+                  | None -> issue (Printf.sprintf "%s has no neighbor statement back" peer_node)
+                  | Some rn ->
+                    if rn.bn_remote_as <> local_as then
+                      issue
+                        (Printf.sprintf "%s expects AS %d but we are AS %d" peer_node
+                           rn.bn_remote_as local_as)
+                end)
+            bgp.bp_neighbors)
+        cfg.bgp)
+    configs;
+  { a_title = "bgpSessionCompatibility"; a_header = [ "node"; "peer"; "issue" ];
+    a_rows = List.rev !rows }
+
+let property_consistency configs =
+  let properties =
+    [ ("ntp-servers", fun (c : Vi.t) -> c.ntp_servers);
+      ("dns-servers", fun (c : Vi.t) -> c.dns_servers);
+      ("logging-hosts", fun (c : Vi.t) -> c.logging_servers);
+      ("snmp-community", fun (c : Vi.t) -> Option.to_list c.snmp_community) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (prop, get) ->
+        let values =
+          List.map (fun c -> (c.Vi.hostname, String.concat "," (List.sort compare (get c)))) configs
+        in
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun (_, v) ->
+            Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+          values;
+        let majority, _ =
+          Hashtbl.fold
+            (fun v c ((_, best) as acc) -> if c > best then (v, c) else acc)
+            counts ("", 0)
+        in
+        List.filter_map
+          (fun (node, v) ->
+            if v <> majority then
+              Some [ node; prop; (if v = "" then "(unset)" else v);
+                     (if majority = "" then "(unset)" else majority) ]
+            else None)
+          values)
+      properties
+  in
+  { a_title = "propertyConsistency (outliers)";
+    a_header = [ "node"; "property"; "value"; "majority" ]; a_rows = rows }
+
+let interface_properties configs =
+  let rows =
+    List.concat_map
+      (fun (cfg : Vi.t) ->
+        List.map
+          (fun (i : Vi.interface) ->
+            [ cfg.hostname; i.if_name;
+              (match i.if_address with
+               | Some (ip, len) -> Printf.sprintf "%s/%d" (Ipv4.to_string ip) len
+               | None -> "-");
+              (if i.if_enabled then "up" else "admin-down");
+              Option.value i.if_in_acl ~default:"-";
+              Option.value i.if_out_acl ~default:"-";
+              (match i.if_ospf with
+               | Some o -> Printf.sprintf "area %d" o.oi_area
+               | None -> "-") ])
+          cfg.interfaces)
+      configs
+  in
+  { a_title = "interfaceProperties";
+    a_header = [ "node"; "interface"; "address"; "state"; "inAcl"; "outAcl"; "ospf" ];
+    a_rows = rows }
+
+let node_properties configs =
+  let rows =
+    List.map
+      (fun (cfg : Vi.t) ->
+        [ cfg.hostname; cfg.vendor;
+          string_of_int (List.length cfg.interfaces);
+          (match cfg.bgp with
+           | Some b -> string_of_int b.bp_as
+           | None -> "-");
+          (if cfg.ospf <> None then "yes" else "no");
+          string_of_int (List.length cfg.acls);
+          string_of_int (List.length cfg.route_maps) ])
+      configs
+  in
+  { a_title = "nodeProperties";
+    a_header = [ "node"; "vendor"; "interfaces"; "bgpAs"; "ospf"; "acls"; "routeMaps" ];
+    a_rows = rows }
+
+(* --- data-plane questions --- *)
+
+let bgp_session_status (dp : Dataplane.t) =
+  let rows =
+    List.map
+      (fun (s : Dataplane.session_report) ->
+        [ s.sr_node; Ipv4.to_string s.sr_peer;
+          Option.value s.sr_remote_node ~default:"(external)";
+          (if s.sr_is_ibgp then "ibgp" else "ebgp");
+          (if s.sr_established then "ESTABLISHED" else "DOWN");
+          Option.value s.sr_reason ~default:"-" ])
+      dp.sessions
+  in
+  { a_title = "bgpSessionStatus";
+    a_header = [ "node"; "peer"; "remoteNode"; "type"; "state"; "reason" ];
+    a_rows = rows }
+
+let routes ?node ?protocol (dp : Dataplane.t) =
+  let rows =
+    List.concat_map
+      (fun name ->
+        if node <> None && node <> Some name then []
+        else
+          let nr = Dataplane.node dp name in
+          Rib.fold_best
+            (fun _ best acc ->
+              List.filter_map
+                (fun (r : Route.t) ->
+                  let proto = Route_proto.to_string r.protocol in
+                  if protocol <> None && protocol <> Some proto then None
+                  else
+                    Some
+                      [ name; Prefix.to_string r.net; proto;
+                        (match r.next_hop with
+                         | Route.Nh_ip ip -> Ipv4.to_string ip
+                         | Route.Nh_iface i -> i
+                         | Route.Nh_discard -> "discard");
+                        string_of_int r.admin; string_of_int r.metric ])
+                best
+              @ acc)
+            nr.Dataplane.nr_main [])
+      dp.node_order
+  in
+  { a_title = "routes";
+    a_header = [ "node"; "network"; "protocol"; "nextHop"; "admin"; "metric" ];
+    a_rows = rows }
+
+let test_filters (cfg : Vi.t) ~acl pkt =
+  let rows =
+    match Vi.find_acl cfg acl with
+    | None -> [ [ cfg.hostname; acl; "UNDEFINED"; "-" ] ]
+    | Some a ->
+      let action, line = Acl_eval.action a pkt in
+      [ [ cfg.hostname; acl;
+          (match action with
+           | Vi.Permit -> "PERMIT"
+           | Vi.Deny -> "DENY");
+          (match line with
+           | Some l -> l.l_text
+           | None -> "(implicit deny)") ] ]
+  in
+  { a_title = Printf.sprintf "testFilters %s" (Packet.to_string pkt);
+    a_header = [ "node"; "filter"; "action"; "matchedLine" ]; a_rows = rows }
+
+let search_filters env (cfg : Vi.t) ~acl ~action =
+  let man = Pktset.man env in
+  let rows =
+    match Vi.find_acl cfg acl with
+    | None -> [ [ cfg.hostname; acl; "UNDEFINED"; "-" ] ]
+    | Some a ->
+      (* per-line reachable match space: line space minus earlier lines *)
+      let earlier = ref Bdd.bot in
+      List.filter_map
+        (fun (l : Vi.acl_line) ->
+          let space = Bdd.bdiff man (Acl_bdd.line env l) !earlier in
+          earlier := Bdd.bor man !earlier (Acl_bdd.line env l);
+          if l.l_action <> action then None
+          else if Bdd.is_bot space then
+            Some [ cfg.hostname; l.l_text; "UNMATCHABLE"; "-" ]
+          else
+            let pkt = Pktset.to_packet env ~prefs:(Pktset.standard_prefs env ()) space in
+            Some
+              [ cfg.hostname; l.l_text; "example";
+                (match pkt with
+                 | Some p -> Packet.to_string p
+                 | None -> "-") ])
+        a.acl_lines
+  in
+  { a_title = Printf.sprintf "searchFilters action=%s" (Vi.action_to_string action);
+    a_header = [ "node"; "line"; "kind"; "packet" ]; a_rows = rows }
+
+(* testRoutePolicies: run a candidate route through a named policy and show
+   the verdict plus every attribute the policy changed. *)
+let test_route_policy (cfg : Vi.t) ~policy (r : Route.t) =
+  let ctx = Policy_eval.make_ctx cfg in
+  let rows =
+    match Policy_eval.run_named ctx policy r with
+    | Policy_eval.Denied -> [ [ cfg.hostname; policy; "DENY"; "-" ] ]
+    | Policy_eval.Accepted r' ->
+      let a = Route.get_attrs r and a' = Route.get_attrs r' in
+      let changes =
+        List.filter_map Fun.id
+          [ (if a.Attrs.local_pref <> a'.Attrs.local_pref then
+               Some (Printf.sprintf "localPref %d->%d" a.Attrs.local_pref a'.Attrs.local_pref)
+             else None);
+            (if a.Attrs.med <> a'.Attrs.med then
+               Some (Printf.sprintf "med %d->%d" a.Attrs.med a'.Attrs.med)
+             else None);
+            (if a.Attrs.communities <> a'.Attrs.communities then
+               Some
+                 (Printf.sprintf "communities [%s]"
+                    (String.concat " " (List.map Vi.community_to_string a'.Attrs.communities)))
+             else None);
+            (if a.Attrs.as_path <> a'.Attrs.as_path then
+               Some (Printf.sprintf "asPath [%s]" (Attrs.as_path_to_string a'.Attrs.as_path))
+             else None);
+            (if r.Route.next_hop <> r'.Route.next_hop then Some "nextHop changed" else None);
+            (if r.Route.tag <> r'.Route.tag then
+               Some (Printf.sprintf "tag %d->%d" r.Route.tag r'.Route.tag)
+             else None) ]
+      in
+      [ [ cfg.hostname; policy; "PERMIT";
+          (if changes = [] then "(unchanged)" else String.concat ", " changes) ] ]
+  in
+  { a_title = Printf.sprintf "testRoutePolicies %s" (Route.to_string r);
+    a_header = [ "node"; "policy"; "action"; "changes" ]; a_rows = rows }
+
+let traceroute ~configs ~dp ~start ?ingress pkt =
+  let traces = Traceroute.run ~configs ~dp ~start ?ingress pkt in
+  let rows =
+    List.mapi
+      (fun i (tr : Traceroute.trace) ->
+        [ string_of_int (i + 1);
+          String.concat " -> " (List.map (fun (h : Traceroute.hop) -> h.h_node) tr.hops);
+          Traceroute.disposition_to_string tr.disposition ])
+      traces
+  in
+  { a_title = Printf.sprintf "traceroute %s from %s" (Packet.to_string pkt) start;
+    a_header = [ "path"; "hops"; "disposition" ]; a_rows = rows }
+
+let reachability q ~src ~dst_ip ?hdr () =
+  let env = Fquery.env q in
+  let man = Pktset.man env in
+  let hdr = Option.value hdr ~default:Bdd.top in
+  let delivered = Fquery.reachable q ~src ~hdr ~dst_ip () in
+  let want = Bdd.conj man [ hdr; Pktset.dst_prefix env dst_ip; Fquery.clean q ] in
+  let violating = Bdd.bdiff man want delivered in
+  let neg, pos =
+    Fquery.pick_examples q ~dst_prefix:dst_ip ~violating ~holding:want ()
+  in
+  let node, iface = src in
+  let rows =
+    [ [ "verdict";
+        (if Bdd.is_bot violating then "ALL FLOWS DELIVERED"
+         else if Bdd.is_bot delivered then "NO FLOW DELIVERED"
+         else "PARTIAL") ];
+      [ "counterexample";
+        (match neg with
+         | Some p -> Packet.to_string p
+         | None -> "-") ];
+      [ "positive example";
+        (match pos with
+         | Some p -> Packet.to_string p
+         | None -> "-") ] ]
+  in
+  { a_title =
+      Printf.sprintf "reachability %s[%s] -> %s" node
+        (Option.value iface ~default:"originated")
+        (Prefix.to_string dst_ip);
+    a_header = [ "field"; "value" ]; a_rows = rows }
+
+let multipath_consistency q =
+  let env = Fquery.env q in
+  let violations = Fquery.multipath_consistency q () in
+  let rows =
+    List.map
+      (fun (((node, iface) : Fquery.start), v) ->
+        [ node; Option.value iface ~default:"-";
+          (match Pktset.to_packet env ~prefs:(Pktset.standard_prefs env ()) v with
+           | Some p -> Packet.to_string p
+           | None -> "-") ])
+      violations
+  in
+  { a_title = "multipathConsistency";
+    a_header = [ "node"; "interface"; "exampleFlow" ]; a_rows = rows }
+
+let detect_loops q =
+  let env = Fquery.env q in
+  let rows =
+    List.map
+      (fun (nodes, set) ->
+        [ String.concat " -> " nodes;
+          (match Pktset.to_packet env set with
+           | Some p -> Packet.to_string p
+           | None -> "-") ])
+      (Fquery.find_loops q)
+  in
+  { a_title = "detectLoops"; a_header = [ "cycle"; "examplePacket" ]; a_rows = rows }
+
+let differential_reachability q_base q_new ~srcs =
+  let env = Fquery.env q_base in
+  let man = Pktset.man env in
+  let base = Fquery.to_delivered q_base () in
+  let fresh = Fquery.to_delivered q_new () in
+  let rows =
+    List.concat_map
+      (fun ((node, iface) as s) ->
+        let set q sets =
+          match
+            (match iface with
+             | Some i -> Fgraph.loc_id q.Fquery.g (Fgraph.Src (node, i))
+             | None -> Fgraph.loc_id q.Fquery.g (Fgraph.Fwd node))
+          with
+          | Some id -> Bdd.band man sets.(id) (Fquery.clean q)
+          | None -> Bdd.bot
+        in
+        let b = set q_base base and n = set q_new fresh in
+        let lost = Bdd.bdiff man b n and gained = Bdd.bdiff man n b in
+        let describe kind v =
+          if Bdd.is_bot v then None
+          else
+            Some
+              [ node; Option.value iface ~default:"-"; kind;
+                (match Pktset.to_packet env ~prefs:(Pktset.standard_prefs env ()) v with
+                 | Some p -> Packet.to_string p
+                 | None -> "-") ]
+        in
+        List.filter_map Fun.id [ describe "LOST" lost; describe "GAINED" gained ]
+        |> fun r ->
+        ignore s;
+        r)
+      srcs
+  in
+  { a_title = "differentialReachability";
+    a_header = [ "node"; "interface"; "change"; "exampleFlow" ]; a_rows = rows }

@@ -1,0 +1,1 @@
+lib/route/attrs.ml: Hashtbl Int Intern Ipv4 List Option String Vi

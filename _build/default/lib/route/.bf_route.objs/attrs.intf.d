@@ -1,0 +1,1 @@
+lib/route/attrs.mli: Ipv4 Vi

@@ -1,0 +1,1 @@
+lib/route/cmp.ml: Attrs Int List Option Route Route_proto Stdlib

@@ -1,0 +1,1 @@
+lib/route/cmp.mli: Ipv4 Route

@@ -1,0 +1,1 @@
+lib/route/rib.ml: Hashtbl List Option Prefix_trie Route

@@ -1,0 +1,1 @@
+lib/route/rib.mli: Ipv4 Prefix Route

@@ -1,0 +1,1 @@
+lib/route/route.ml: Attrs Format Hashtbl Ipv4 Option Prefix Printf Route_proto

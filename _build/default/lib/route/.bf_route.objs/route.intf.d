@@ -1,0 +1,1 @@
+lib/route/route.mli: Attrs Format Ipv4 Prefix Route_proto

@@ -1,0 +1,1 @@
+lib/route/route_proto.mli:

@@ -1,0 +1,79 @@
+type t = {
+  as_path : int list;
+  communities : int list;
+  local_pref : int;
+  med : int;
+  origin : Vi.origin;
+  originator_id : Ipv4.t;
+  cluster_list : Ipv4.t list;
+  weight : int;
+}
+
+let interning_enabled = ref true
+
+module Pool = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+module List_pool = Intern.Make (struct
+  type t = int list
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let pool = Pool.create ()
+let list_pool = List_pool.create ()
+
+let intern_attrs a =
+  if !interning_enabled then
+    Pool.intern pool
+      { a with
+        as_path = List_pool.intern list_pool a.as_path;
+        communities = List_pool.intern list_pool a.communities }
+  else a
+
+let default =
+  { as_path = []; communities = []; local_pref = 100; med = 0;
+    origin = Vi.Origin_igp; originator_id = 0; cluster_list = []; weight = 0 }
+
+let make ?(as_path = []) ?(communities = []) ?(local_pref = 100) ?(med = 0)
+    ?(origin = Vi.Origin_igp) ?(originator_id = 0) ?(cluster_list = [])
+    ?(weight = 0) () =
+  intern_attrs
+    { as_path; communities = List.sort_uniq Int.compare communities; local_pref;
+      med; origin; originator_id; cluster_list; weight }
+
+let update ?as_path ?communities ?local_pref ?med ?origin ?originator_id
+    ?cluster_list ?weight a =
+  let v opt dflt = Option.value opt ~default:dflt in
+  intern_attrs
+    { as_path = v as_path a.as_path;
+      communities =
+        (match communities with
+         | Some c -> List.sort_uniq Int.compare c
+         | None -> a.communities);
+      local_pref = v local_pref a.local_pref;
+      med = v med a.med;
+      origin = v origin a.origin;
+      originator_id = v originator_id a.originator_id;
+      cluster_list = v cluster_list a.cluster_list;
+      weight = v weight a.weight }
+
+let equal a b = if !interning_enabled then a == b else a = b
+
+let origin_rank = function
+  | Vi.Origin_igp -> 0
+  | Vi.Origin_egp -> 1
+  | Vi.Origin_incomplete -> 2
+
+let pool_stats () = (Pool.distinct pool, Pool.requests pool)
+
+let clear_pools () =
+  Pool.clear pool;
+  List_pool.clear list_pool
+
+let as_path_to_string path = String.concat " " (List.map string_of_int path)

@@ -1,0 +1,56 @@
+(** BGP route attributes, interned (§4.1.3).
+
+    The paper moves 13 properties of a BGP route into a single interned
+    object; here the attribute record is the interned unit, and AS paths and
+    community sets are additionally interned on their own. Interning can be
+    disabled globally for the memory ablation benchmark. *)
+
+type t = private {
+  as_path : int list;
+  communities : int list;  (** sorted, deduplicated *)
+  local_pref : int;
+  med : int;
+  origin : Vi.origin;
+  originator_id : Ipv4.t;  (** router id of the route's originator *)
+  cluster_list : Ipv4.t list;
+  weight : int;
+}
+
+(** Global switch for the interning ablation; default on. *)
+val interning_enabled : bool ref
+
+val make :
+  ?as_path:int list ->
+  ?communities:int list ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?origin:Vi.origin ->
+  ?originator_id:Ipv4.t ->
+  ?cluster_list:Ipv4.t list ->
+  ?weight:int ->
+  unit ->
+  t
+
+(** Functional update, re-interned. *)
+val update :
+  ?as_path:int list ->
+  ?communities:int list ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?origin:Vi.origin ->
+  ?originator_id:Ipv4.t ->
+  ?cluster_list:Ipv4.t list ->
+  ?weight:int ->
+  t ->
+  t
+
+val default : t
+val equal : t -> t -> bool
+val origin_rank : Vi.origin -> int
+
+(** (distinct values, total requests) for the attribute pool — the sharing
+    factor reported by the interning ablation. *)
+val pool_stats : unit -> int * int
+
+val clear_pools : unit -> unit
+val as_path_to_string : int list -> string

@@ -1,0 +1,66 @@
+let chain c next = if c <> 0 then c else next ()
+
+let structural_tiebreak (a : Route.t) (b : Route.t) =
+  Stdlib.compare
+    (a.net, a.next_hop, a.from_peer, a.from_rid, a.tag)
+    (b.net, b.next_hop, b.from_peer, b.from_rid, b.tag)
+
+let ospf_prefer (a : Route.t) (b : Route.t) =
+  chain (Int.compare (Route_proto.ospf_rank a.protocol) (Route_proto.ospf_rank b.protocol))
+  @@ fun () ->
+  chain (Int.compare a.metric b.metric) @@ fun () -> structural_tiebreak a b
+
+let ospf_multipath_equal (a : Route.t) (b : Route.t) =
+  Route_proto.ospf_rank a.protocol = Route_proto.ospf_rank b.protocol
+  && a.metric = b.metric
+
+let bgp_prefer ?(use_arrival = true) ~igp_cost (a : Route.t) (b : Route.t) =
+  let aa = Route.get_attrs a and ba = Route.get_attrs b in
+  let cost r =
+    match r.Route.next_hop with
+    | Route.Nh_ip ip -> Option.value (igp_cost ip) ~default:max_int
+    | Route.Nh_iface _ -> 0
+    | Route.Nh_discard -> max_int
+  in
+  let local r = if r.Route.from_peer = 0 then 0 else 1 in
+  chain (Int.compare ba.Attrs.weight aa.Attrs.weight) @@ fun () ->
+  chain (Int.compare ba.Attrs.local_pref aa.Attrs.local_pref) @@ fun () ->
+  chain (Int.compare (local a) (local b)) @@ fun () ->
+  chain (Int.compare (List.length aa.Attrs.as_path) (List.length ba.Attrs.as_path))
+  @@ fun () ->
+  chain (Int.compare (Attrs.origin_rank aa.Attrs.origin) (Attrs.origin_rank ba.Attrs.origin))
+  @@ fun () ->
+  chain (Int.compare aa.Attrs.med ba.Attrs.med) @@ fun () ->
+  let proto_rank r = if r.Route.protocol = Route_proto.Ebgp then 0 else 1 in
+  chain (Int.compare (proto_rank a) (proto_rank b)) @@ fun () ->
+  chain (Int.compare (cost a) (cost b)) @@ fun () ->
+  chain (if use_arrival then Int.compare a.arrival b.arrival else 0) @@ fun () ->
+  chain (Int.compare a.from_rid b.from_rid) @@ fun () ->
+  chain (Int.compare a.from_peer b.from_peer) @@ fun () -> structural_tiebreak a b
+
+let bgp_multipath_equal ~igp_cost (a : Route.t) (b : Route.t) =
+  let aa = Route.get_attrs a and ba = Route.get_attrs b in
+  let cost r =
+    match r.Route.next_hop with
+    | Route.Nh_ip ip -> Option.value (igp_cost ip) ~default:max_int
+    | Route.Nh_iface _ -> 0
+    | Route.Nh_discard -> max_int
+  in
+  aa.Attrs.weight = ba.Attrs.weight
+  && aa.Attrs.local_pref = ba.Attrs.local_pref
+  && List.length aa.Attrs.as_path = List.length ba.Attrs.as_path
+  && Attrs.origin_rank aa.Attrs.origin = Attrs.origin_rank ba.Attrs.origin
+  && aa.Attrs.med = ba.Attrs.med
+  && a.protocol = b.protocol
+  && cost a = cost b
+
+let main_prefer (a : Route.t) (b : Route.t) =
+  chain (Int.compare a.admin b.admin) @@ fun () ->
+  chain (Int.compare (Route_proto.ospf_rank a.protocol) (Route_proto.ospf_rank b.protocol))
+  @@ fun () ->
+  chain (Int.compare a.metric b.metric) @@ fun () -> structural_tiebreak a b
+
+let main_multipath_equal (a : Route.t) (b : Route.t) =
+  a.admin = b.admin
+  && Route_proto.ospf_rank a.protocol = Route_proto.ospf_rank b.protocol
+  && a.metric = b.metric

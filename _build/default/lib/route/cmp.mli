@@ -1,0 +1,29 @@
+(** Route preference orders: the BGP decision process, OSPF preference, and
+    the cross-protocol main-RIB order.
+
+    All orders are strict and deterministic: every comparison chain ends with
+    structural tiebreaks so that simulation results are stable across runs
+    (§4.1.2). The BGP order includes the logical-clock step ("older route
+    wins") that removes re-advertisement oscillations. *)
+
+(** Preference for the main RIB: lower administrative distance first, then
+    protocol-specific preference. *)
+val main_prefer : Route.t -> Route.t -> int
+
+val main_multipath_equal : Route.t -> Route.t -> bool
+
+(** OSPF preference: intra < inter < E1 < E2, then metric. *)
+val ospf_prefer : Route.t -> Route.t -> int
+
+val ospf_multipath_equal : Route.t -> Route.t -> bool
+
+(** The BGP decision process: weight, local preference, local origination,
+    AS-path length, origin, MED, eBGP-over-iBGP, IGP cost to next hop,
+    arrival time (logical clock), originator router id, peer address.
+    [use_arrival:false] disables the logical-clock step (Figure 1
+    ablation). *)
+val bgp_prefer :
+  ?use_arrival:bool -> igp_cost:(Ipv4.t -> int option) -> Route.t -> Route.t -> int
+
+val bgp_multipath_equal :
+  igp_cost:(Ipv4.t -> int option) -> Route.t -> Route.t -> bool

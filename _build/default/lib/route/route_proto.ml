@@ -1,0 +1,53 @@
+type t =
+  | Connected
+  | Local
+  | Static
+  | Ospf
+  | Ospf_ia
+  | Ospf_e1
+  | Ospf_e2
+  | Ebgp
+  | Ibgp
+
+let to_string = function
+  | Connected -> "connected"
+  | Local -> "local"
+  | Static -> "static"
+  | Ospf -> "ospf"
+  | Ospf_ia -> "ospfIA"
+  | Ospf_e1 -> "ospfE1"
+  | Ospf_e2 -> "ospfE2"
+  | Ebgp -> "bgp"
+  | Ibgp -> "ibgp"
+
+let admin_distance = function
+  | Connected -> 0
+  | Local -> 0
+  | Static -> 1
+  | Ebgp -> 20
+  | Ospf | Ospf_ia -> 110
+  | Ospf_e1 | Ospf_e2 -> 110
+  | Ibgp -> 200
+
+let ospf_rank = function
+  | Ospf -> 0
+  | Ospf_ia -> 1
+  | Ospf_e1 -> 2
+  | Ospf_e2 -> 3
+  | Connected | Local | Static | Ebgp | Ibgp -> 4
+
+let is_bgp = function
+  | Ebgp | Ibgp -> true
+  | Connected | Local | Static | Ospf | Ospf_ia | Ospf_e1 | Ospf_e2 -> false
+
+let is_ospf = function
+  | Ospf | Ospf_ia | Ospf_e1 | Ospf_e2 -> true
+  | Connected | Local | Static | Ebgp | Ibgp -> false
+
+let matches_source t src =
+  match (t, src) with
+  | (Connected | Local), ("connected" | "direct") -> true
+  | Static, "static" -> true
+  | (Ospf | Ospf_ia | Ospf_e1 | Ospf_e2), "ospf" -> true
+  | (Ebgp | Ibgp), "bgp" -> true
+  | _ -> false

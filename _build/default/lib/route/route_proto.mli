@@ -1,0 +1,27 @@
+(** Routing protocols and their administrative distances. *)
+
+type t =
+  | Connected
+  | Local  (** host route for an interface's own address *)
+  | Static
+  | Ospf  (** intra-area *)
+  | Ospf_ia  (** inter-area *)
+  | Ospf_e1
+  | Ospf_e2
+  | Ebgp
+  | Ibgp
+
+val to_string : t -> string
+
+(** Cisco-style default administrative distance. *)
+val admin_distance : t -> int
+
+(** Preference rank among OSPF route types (intra < inter < E1 < E2). *)
+val ospf_rank : t -> int
+
+val is_bgp : t -> bool
+val is_ospf : t -> bool
+
+(** Match against a redistribution source keyword ("static", "connected",
+    "ospf", "bgp", "direct"). *)
+val matches_source : t -> string -> bool

@@ -1,0 +1,1 @@
+lib/symbolic/field.ml: Array Hashtbl List Packet

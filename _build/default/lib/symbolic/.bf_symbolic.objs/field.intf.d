@@ -1,0 +1,1 @@
+lib/symbolic/field.mli: Packet

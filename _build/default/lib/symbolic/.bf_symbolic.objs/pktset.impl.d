@@ -1,0 +1,1 @@
+lib/symbolic/pktset.ml: Array Bdd Field Hashtbl Ipv4 List Packet Prefix

@@ -1,0 +1,1 @@
+lib/symbolic/pktset.mli: Bdd Field Packet Prefix

@@ -1,0 +1,1 @@
+lib/topology/l3.ml: Hashtbl Ipv4 List Prefix Vi

@@ -1,0 +1,1 @@
+lib/topology/l3.mli: Ipv4 Prefix Vi

@@ -1,0 +1,43 @@
+let adjacency n edges =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a <> b then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    edges;
+  adj
+
+let greedy ~n edges =
+  let adj = adjacency n edges in
+  let degree = Array.map List.length adj in
+  let order = Array.init n (fun i -> i) in
+  (* Highest degree first; ties broken by vertex id for determinism. *)
+  Array.sort
+    (fun a b ->
+      let c = Int.compare degree.(b) degree.(a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let color = Array.make n (-1) in
+  Array.iter
+    (fun v ->
+      let used = List.filter_map (fun w -> if color.(w) >= 0 then Some color.(w) else None) adj.(v) in
+      let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+      color.(v) <- first_free 0)
+    order;
+  color
+
+let count coloring = Array.fold_left (fun m c -> max m (c + 1)) 0 coloring
+
+let classes coloring =
+  let k = count coloring in
+  let cls = Array.make k [] in
+  for v = Array.length coloring - 1 downto 0 do
+    cls.(coloring.(v)) <- v :: cls.(coloring.(v))
+  done;
+  cls
+
+let valid ~n edges coloring =
+  ignore n;
+  List.for_all (fun (a, b) -> a = b || coloring.(a) <> coloring.(b)) edges

@@ -1,0 +1,16 @@
+(** Greedy graph coloring (Welsh-Powell), used to schedule route exchange so
+    that adjacent nodes never process in the same step (§4.1.2). *)
+
+(** [greedy ~n edges] colors vertices [0..n-1]; adjacent vertices get
+    different colors. Returns the color of each vertex; colors are
+    [0..num_colors-1]. Deterministic for a given input. *)
+val greedy : n:int -> (int * int) list -> int array
+
+(** Number of colors used. *)
+val count : int array -> int
+
+(** [classes coloring] groups vertex ids by color, ascending color. *)
+val classes : int array -> int list array
+
+(** [valid ~n edges coloring] checks that no edge is monochromatic. *)
+val valid : n:int -> (int * int) list -> int array -> bool

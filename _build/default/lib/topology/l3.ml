@@ -1,0 +1,88 @@
+type endpoint = {
+  ep_node : string;
+  ep_iface : string;
+  ep_ip : Ipv4.t;
+  ep_prefix : Prefix.t;
+}
+
+type t = {
+  all_nodes : string list;
+  by_node : (string, endpoint list) Hashtbl.t;
+  by_subnet : (Prefix.t, endpoint list) Hashtbl.t;
+  by_ip : (Ipv4.t, endpoint) Hashtbl.t;
+}
+
+let infer configs =
+  let by_node = Hashtbl.create 64 in
+  let by_subnet = Hashtbl.create 64 in
+  let by_ip = Hashtbl.create 64 in
+  let push tbl key v =
+    Hashtbl.replace tbl key
+      (v
+      ::
+      (match Hashtbl.find_opt tbl key with
+       | Some l -> l
+       | None -> []))
+  in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      List.iter
+        (fun (iface, ip, prefix) ->
+          let ep = { ep_node = cfg.hostname; ep_iface = iface; ep_ip = ip; ep_prefix = prefix } in
+          push by_node cfg.hostname ep;
+          push by_subnet prefix ep;
+          if not (Hashtbl.mem by_ip ip) then Hashtbl.add by_ip ip ep)
+        (Vi.interface_prefixes cfg))
+    configs;
+  (* Preserve input order of endpoints within each node. *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace by_node k (List.rev v)) (Hashtbl.copy by_node);
+  { all_nodes = List.map (fun (c : Vi.t) -> c.hostname) configs; by_node; by_subnet; by_ip }
+
+let nodes t = t.all_nodes
+
+let endpoints t node =
+  match Hashtbl.find_opt t.by_node node with
+  | Some eps -> eps
+  | None -> []
+
+let endpoint t ~node ~iface =
+  List.find_opt (fun ep -> ep.ep_iface = iface) (endpoints t node)
+
+let neighbors t ~node ~iface =
+  match endpoint t ~node ~iface with
+  | None -> []
+  | Some ep -> (
+    match Hashtbl.find_opt t.by_subnet ep.ep_prefix with
+    | None -> []
+    | Some eps ->
+      List.filter (fun other -> not (other.ep_node = node && other.ep_iface = iface)) eps)
+
+let node_edges t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.fold
+    (fun _ eps acc ->
+      let rec pairs acc = function
+        | [] -> acc
+        | ep :: rest ->
+          let acc =
+            List.fold_left
+              (fun acc other ->
+                if ep.ep_node = other.ep_node then acc
+                else
+                  let key =
+                    if ep.ep_node < other.ep_node then (ep.ep_node, other.ep_node)
+                    else (other.ep_node, ep.ep_node)
+                  in
+                  if Hashtbl.mem seen key then acc
+                  else begin
+                    Hashtbl.add seen key ();
+                    key :: acc
+                  end)
+              acc rest
+          in
+          pairs acc rest
+      in
+      pairs acc eps)
+    t.by_subnet []
+
+let owner_of_ip t ip = Hashtbl.find_opt t.by_ip ip

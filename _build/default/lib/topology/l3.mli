@@ -1,0 +1,32 @@
+(** Layer-3 topology inference from interface addressing.
+
+    Two enabled interfaces are adjacent when their addresses fall in the same
+    subnet (with matching prefix length), the standard Batfish inference when
+    no explicit layer-1 topology is supplied. *)
+
+type endpoint = {
+  ep_node : string;
+  ep_iface : string;
+  ep_ip : Ipv4.t;
+  ep_prefix : Prefix.t;
+}
+
+type t
+
+val infer : Vi.t list -> t
+val nodes : t -> string list
+
+(** All interface endpoints of a node. *)
+val endpoints : t -> string -> endpoint list
+
+(** Endpoints adjacent to [(node, iface)] — the other ends of the link. *)
+val neighbors : t -> node:string -> iface:string -> endpoint list
+
+(** All adjacent node pairs (unordered, deduplicated). *)
+val node_edges : t -> (string * string) list
+
+(** The endpoint owning the address, if any. *)
+val owner_of_ip : t -> Ipv4.t -> endpoint option
+
+(** Endpoint record for a specific interface. *)
+val endpoint : t -> node:string -> iface:string -> endpoint option

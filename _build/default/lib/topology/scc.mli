@@ -1,0 +1,9 @@
+(** Strongly connected components (Tarjan), used by forwarding-loop
+    detection. *)
+
+(** [compute ~n adj] returns the component id of each vertex; ids are in
+    reverse topological order of the condensation. *)
+val compute : n:int -> int list array -> int array
+
+(** Vertices grouped by component. *)
+val groups : int array -> int list array

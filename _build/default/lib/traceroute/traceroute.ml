@@ -1,0 +1,216 @@
+type disposition =
+  | Accepted of string
+  | Delivered_to_subnet of string * string
+  | Exits_network of string * string
+  | Denied_in of string * string * string
+  | Denied_out of string * string * string
+  | Denied_zone of string * string
+  | No_route of string
+  | Null_routed of string
+  | Loop of string
+
+type hop = {
+  h_node : string;
+  h_in_iface : string option;
+  h_route : string option;
+  h_out_iface : string option;
+  h_gateway : Ipv4.t option;
+  h_packet : Packet.t;
+}
+
+type trace = { hops : hop list; disposition : disposition; final_packet : Packet.t }
+
+let disposition_to_string = function
+  | Accepted n -> Printf.sprintf "ACCEPTED at %s" n
+  | Delivered_to_subnet (n, i) -> Printf.sprintf "DELIVERED_TO_SUBNET at %s[%s]" n i
+  | Exits_network (n, i) -> Printf.sprintf "EXITS_NETWORK at %s[%s]" n i
+  | Denied_in (n, i, acl) -> Printf.sprintf "DENIED_IN at %s[%s] by acl %s" n i acl
+  | Denied_out (n, i, acl) -> Printf.sprintf "DENIED_OUT at %s[%s] by acl %s" n i acl
+  | Denied_zone (n, i) -> Printf.sprintf "DENIED by zone policy at %s[%s]" n i
+  | No_route n -> Printf.sprintf "NO_ROUTE at %s" n
+  | Null_routed n -> Printf.sprintf "NULL_ROUTED at %s" n
+  | Loop n -> Printf.sprintf "LOOP detected at %s" n
+
+let is_delivered = function
+  | Accepted _ | Delivered_to_subnet _ | Exits_network _ -> true
+  | Denied_in _ | Denied_out _ | Denied_zone _ | No_route _ | Null_routed _ | Loop _ ->
+    false
+
+let trace_to_string t =
+  let hop_str h =
+    Printf.sprintf "  %s%s%s%s" h.h_node
+      (match h.h_in_iface with
+       | Some i -> " in=" ^ i
+       | None -> "")
+      (match h.h_route with
+       | Some r -> " route=" ^ r
+       | None -> "")
+      (match h.h_out_iface with
+       | Some i -> " out=" ^ i
+       | None -> "")
+  in
+  String.concat "\n" (List.map hop_str t.hops @ [ "  => " ^ disposition_to_string t.disposition ])
+
+(* --- NAT --- *)
+
+let nat_pool_ip egress_ip = function
+  | Vi.Nat_ip ip -> Some ip
+  | Vi.Nat_prefix p -> Some (Prefix.first_host p)
+  | Vi.Nat_interface -> egress_ip
+
+let src_nat (cfg : Vi.t) ~egress_ip (p : Packet.t) =
+  let rule_matches (r : Vi.nat_rule) =
+    r.nr_kind = `Source
+    && (match r.nr_match_acl with
+        | Some name -> (
+          match Vi.find_acl cfg name with
+          | Some acl -> Acl_eval.permits acl p
+          | None -> false)
+        | None -> true)
+    && (match r.nr_match_src with
+        | Some pre -> Prefix.contains pre p.src_ip
+        | None -> r.nr_match_acl <> None)
+  in
+  match List.find_opt rule_matches cfg.nat_rules with
+  | None -> p
+  | Some r -> (
+    match nat_pool_ip egress_ip r.nr_pool with
+    | Some ip -> { p with Packet.src_ip = ip }
+    | None -> p)
+
+let dst_nat (cfg : Vi.t) (p : Packet.t) =
+  let rule_matches (r : Vi.nat_rule) =
+    r.nr_kind = `Destination
+    && (match r.nr_match_dst with
+        | Some pre -> Prefix.contains pre p.dst_ip
+        | None -> false)
+  in
+  match List.find_opt rule_matches cfg.nat_rules with
+  | None -> p
+  | Some r -> (
+    match nat_pool_ip None r.nr_pool with
+    | Some ip -> { p with Packet.dst_ip = ip }
+    | None -> p)
+
+(* --- the walk --- *)
+
+let run ~configs ~dp ?(max_hops = 32) ~start ?ingress pkt =
+  let topo = dp.Dataplane.topo in
+  let acl_check (cfg : Vi.t) name pkt =
+    match Vi.find_acl cfg name with
+    | Some acl -> Acl_eval.permits acl pkt
+    | None -> (Semantics.for_vendor cfg.vendor).Semantics.undefined_acl_permits
+  in
+  let rec visit node ingress pkt hops visited depth =
+    if depth > max_hops then [ { hops = List.rev hops; disposition = Loop node; final_packet = pkt } ]
+    else if List.mem (node, pkt) visited then
+      [ { hops = List.rev hops; disposition = Loop node; final_packet = pkt } ]
+    else
+      let visited = (node, pkt) :: visited in
+      match configs node with
+      | None ->
+        [ { hops = List.rev hops; disposition = Exits_network (node, "?"); final_packet = pkt } ]
+      | Some cfg -> (
+        let stop disposition hop =
+          [ { hops = List.rev (hop :: hops); disposition; final_packet = pkt } ]
+        in
+        let base_hop =
+          { h_node = node; h_in_iface = ingress; h_route = None; h_out_iface = None;
+            h_gateway = None; h_packet = pkt }
+        in
+        (* ingress filter *)
+        let in_denied =
+          match ingress with
+          | Some iface -> (
+            match Vi.find_interface cfg iface with
+            | Some { Vi.if_in_acl = Some acl; _ } when not (acl_check cfg acl pkt) ->
+              Some acl
+            | Some _ | None -> None)
+          | None -> None
+        in
+        match in_denied with
+        | Some acl ->
+          stop (Denied_in (node, Option.value ingress ~default:"?", acl)) base_hop
+        | None -> (
+          (* destination NAT before routing *)
+          let pkt = dst_nat cfg pkt in
+          let fib = (Dataplane.node dp node).Dataplane.nr_fib in
+          match Fib.lookup_entry fib pkt.Packet.dst_ip with
+          | None -> stop (No_route node) { base_hop with h_packet = pkt }
+          | Some entry ->
+            let route_str = Prefix.to_string entry.Fib.fe_prefix in
+            let hop = { base_hop with h_route = Some route_str; h_packet = pkt } in
+            List.concat_map
+              (fun action ->
+                match action with
+                | Fib.Receive -> stop (Accepted node) hop
+                | Fib.Drop_null -> stop (Null_routed node) hop
+                | Fib.Forward { out_iface; gateway } -> (
+                  (* zone policy *)
+                  let zone_ok =
+                    match Zone_eval.verdict cfg ~from_iface:ingress ~to_iface:out_iface with
+                    | Zone_eval.Zone_permit -> true
+                    | Zone_eval.Zone_deny -> false
+                    | Zone_eval.Zone_filter acl -> Acl_eval.permits acl pkt
+                  in
+                  if not zone_ok then
+                    stop (Denied_zone (node, out_iface)) { hop with h_out_iface = Some out_iface }
+                  else
+                    (* egress filter *)
+                    let out_denied =
+                      match Vi.find_interface cfg out_iface with
+                      | Some { Vi.if_out_acl = Some acl; _ } when not (acl_check cfg acl pkt) ->
+                        Some acl
+                      | Some _ | None -> None
+                    in
+                    match out_denied with
+                    | Some acl ->
+                      stop (Denied_out (node, out_iface, acl))
+                        { hop with h_out_iface = Some out_iface }
+                    | None -> (
+                      (* source NAT on egress *)
+                      let egress_ip =
+                        Option.map
+                          (fun (ep : L3.endpoint) -> ep.ep_ip)
+                          (L3.endpoint topo ~node ~iface:out_iface)
+                      in
+                      let pkt' = src_nat cfg ~egress_ip pkt in
+                      let hop =
+                        { hop with h_out_iface = Some out_iface; h_gateway = gateway;
+                          h_packet = pkt' }
+                      in
+                      let target_ip = Option.value gateway ~default:pkt'.Packet.dst_ip in
+                      let next =
+                        List.find_opt
+                          (fun (ep : L3.endpoint) -> ep.ep_ip = target_ip)
+                          (L3.neighbors topo ~node ~iface:out_iface)
+                      in
+                      match next with
+                      | Some ep ->
+                        let sub =
+                          visit ep.ep_node (Some ep.ep_iface) pkt' (hop :: hops) visited
+                            (depth + 1)
+                        in
+                        sub
+                      | None -> (
+                        match gateway with
+                        | None -> (
+                          (* directly attached destination: host or off-net *)
+                          match L3.endpoint topo ~node ~iface:out_iface with
+                          | Some ep when Prefix.contains ep.ep_prefix pkt'.Packet.dst_ip ->
+                            [ { hops = List.rev (hop :: hops);
+                                disposition = Delivered_to_subnet (node, out_iface);
+                                final_packet = pkt' } ]
+                          | Some _ | None ->
+                            [ { hops = List.rev (hop :: hops);
+                                disposition = Exits_network (node, out_iface);
+                                final_packet = pkt' } ])
+                        | Some _ ->
+                          (* gateway is not a known device (e.g. external
+                             peer): traffic leaves the modeled network *)
+                          [ { hops = List.rev (hop :: hops);
+                              disposition = Exits_network (node, out_iface);
+                              final_packet = pkt' } ]))))
+              entry.Fib.fe_actions))
+  in
+  visit start ingress pkt [] [] 0

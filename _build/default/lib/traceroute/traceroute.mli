@@ -1,0 +1,46 @@
+(** The concrete traceroute engine (§4.3.2).
+
+    Walks one packet through FIBs, ACLs, zone policies and NATs, producing
+    every multipath branch as a separate trace. This is the second,
+    independent forwarding engine used to cross-validate the BDD engine
+    (differential engine testing). *)
+
+type disposition =
+  | Accepted of string  (** delivered to the device itself *)
+  | Delivered_to_subnet of string * string  (** node, interface *)
+  | Exits_network of string * string  (** leaves via an interface with no known device behind it *)
+  | Denied_in of string * string * string  (** node, interface, acl *)
+  | Denied_out of string * string * string
+  | Denied_zone of string * string  (** node, out interface *)
+  | No_route of string
+  | Null_routed of string
+  | Loop of string
+
+type hop = {
+  h_node : string;
+  h_in_iface : string option;
+  h_route : string option;  (** matched FIB prefix, for annotation *)
+  h_out_iface : string option;
+  h_gateway : Ipv4.t option;
+  h_packet : Packet.t;  (** the packet leaving this hop (after NAT) *)
+}
+
+type trace = { hops : hop list; disposition : disposition; final_packet : Packet.t }
+
+val disposition_to_string : disposition -> string
+val trace_to_string : trace -> string
+
+(** Did the flow reach its destination on this trace? *)
+val is_delivered : disposition -> bool
+
+(** [run ~configs ~dp ~start ?ingress pkt] traces [pkt] injected at node
+    [start] (entering via [ingress], or originated at the device when
+    absent). Returns one trace per multipath branch. *)
+val run :
+  configs:(string -> Vi.t option) ->
+  dp:Dataplane.t ->
+  ?max_hops:int ->
+  start:string ->
+  ?ingress:string ->
+  Packet.t ->
+  trace list

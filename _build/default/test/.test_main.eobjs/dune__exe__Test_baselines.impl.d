@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Apt Array Bdd Cube Datalog Datalog_cp Dataplane Fgraph Fquery Hsa_engine Ipv4 List Netgen Packet Parse Pktset Prefix Printf QCheck QCheck_alcotest Rib String Vi

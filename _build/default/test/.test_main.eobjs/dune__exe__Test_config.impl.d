@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Ipv4 List Option Parse Prefix QCheck QCheck_alcotest String Vi Warning

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Attrs Dataplane Dp_env Fib Ipv4 List Parse Prefix Printf Rib Route Route_proto String

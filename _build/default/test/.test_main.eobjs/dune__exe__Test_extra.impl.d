@@ -1,0 +1,1 @@
+test/test_extra.ml: Acl_eval Alcotest Attrs Batfish Dataplane Fib Ipv4 Labs List Netgen Option Packet Parse Pktset Prefix Questions Re Rib Route Route_proto String Traceroute Vi

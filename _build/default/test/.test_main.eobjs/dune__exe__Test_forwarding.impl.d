@@ -1,0 +1,1 @@
+test/test_forwarding.ml: Alcotest Array Bdd Dataplane Fgraph Field Fquery Ipv4 List Packet Parse Pktset Prefix QCheck QCheck_alcotest String Traceroute Vi

@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Array Fun Hashtbl Int Intern Ipv4 List Packet Par Prefix Prefix_trie QCheck QCheck_alcotest Rng String Table

@@ -1,0 +1,1 @@
+test/test_routing.ml: Acl_eval Alcotest Array Attrs Cmp Coloring Ipv4 L3 List Option Packet Parse Policy_eval Prefix QCheck QCheck_alcotest Rib Route Route_proto Scc String Vi

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Bdd Field Ipv4 List Packet Pktset Prefix QCheck QCheck_alcotest

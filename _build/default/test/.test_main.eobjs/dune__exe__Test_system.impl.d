@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Batfish Bdd Dataplane Field Fquery Ipv4 List Netgen Option Packet Pktset Prefix Printf Questions Re String Vi Warning

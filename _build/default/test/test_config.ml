@@ -1,0 +1,391 @@
+(* Parser tests: IOS and Juniper samples through the full stage-1 pipeline. *)
+
+let check = Alcotest.check
+
+let ios_sample =
+  String.concat "\n"
+    [ "!";
+      "version 15.2";
+      "hostname border1";
+      "!";
+      "ntp server 10.0.0.10";
+      "ntp server 10.0.0.11";
+      "ip name-server 10.0.0.53";
+      "logging host 10.0.0.99";
+      "snmp-server community s3cret RO";
+      "!";
+      "interface Loopback0";
+      " ip address 1.1.1.1 255.255.255.255";
+      "!";
+      "interface Ethernet1";
+      " description to core1";
+      " ip address 10.0.12.1 255.255.255.252";
+      " ip ospf cost 10";
+      " ip ospf 1 area 0";
+      " no shutdown";
+      "!";
+      "interface Ethernet2";
+      " description to isp";
+      " ip address 203.0.113.2 255.255.255.252";
+      " ip access-group FROM_ISP in";
+      " bandwidth 10000";
+      "!";
+      "interface Ethernet3";
+      " shutdown";
+      "!";
+      "ip access-list extended FROM_ISP";
+      " 10 permit tcp any host 203.0.113.2 eq 179";
+      " 20 permit tcp any 10.1.0.0 0.0.255.255 eq 80";
+      " 30 permit tcp any any established";
+      " 40 permit icmp any any echo";
+      " 50 deny ip any any";
+      "!";
+      "ip prefix-list OUR_NETS seq 5 permit 10.1.0.0/16 le 24";
+      "ip prefix-list OUR_NETS seq 10 permit 1.1.1.1/32";
+      "ip community-list standard NO_EXPORT_TARGETS permit 65001:100 65001:200";
+      "ip as-path access-list FROM_PEER permit ^65002_";
+      "!";
+      "route-map EXPORT permit 10";
+      " match ip address prefix-list OUR_NETS";
+      " set metric 100";
+      " set community 65001:300 additive";
+      "!";
+      "route-map EXPORT deny 20";
+      "!";
+      "route-map IMPORT permit 10";
+      " match as-path FROM_PEER";
+      " set local-preference 200";
+      "!";
+      "router ospf 1";
+      " router-id 1.1.1.1";
+      " network 10.0.12.0 0.0.0.3 area 0";
+      " passive-interface Loopback0";
+      " redistribute static metric 20 metric-type 1 subnets";
+      " maximum-paths 4";
+      "!";
+      "router bgp 65001";
+      " bgp router-id 1.1.1.1";
+      " neighbor 203.0.113.1 remote-as 65002";
+      " neighbor 203.0.113.1 description upstream";
+      " neighbor 203.0.113.1 route-map IMPORT in";
+      " neighbor 203.0.113.1 route-map EXPORT out";
+      " neighbor 10.255.0.2 remote-as 65001";
+      " neighbor 10.255.0.2 update-source Loopback0";
+      " neighbor 10.255.0.2 next-hop-self";
+      " neighbor 10.255.0.2 send-community";
+      " neighbor 10.255.0.2 route-reflector-client";
+      " network 10.1.0.0 mask 255.255.0.0";
+      " redistribute connected route-map EXPORT";
+      " maximum-paths 4";
+      " maximum-paths ibgp 4";
+      "!";
+      "ip route 0.0.0.0 0.0.0.0 203.0.113.1";
+      "ip route 10.99.0.0 255.255.0.0 Null0 250";
+      "ip route 10.50.0.0 255.255.0.0 10.0.12.2 tag 77";
+      "!";
+      "ip nat pool POOL1 198.51.100.1 198.51.100.254 prefix-length 24";
+      "ip nat inside source list NATACL pool POOL1 overload";
+      "ip nat inside source static 10.1.5.5 198.51.100.55";
+      "!";
+      "zone security INSIDE";
+      "zone security OUTSIDE";
+      "zone-pair security source INSIDE destination OUTSIDE acl FROM_ISP";
+      "!";
+      "this is gibberish that should warn";
+      "end" ]
+
+let parse_ios () = Parse.parse_config ios_sample
+
+let ios_basics () =
+  let cfg, warnings = parse_ios () in
+  check Alcotest.string "hostname" "border1" cfg.Vi.hostname;
+  check Alcotest.string "vendor" "cisco-ios" cfg.Vi.vendor;
+  check Alcotest.int "interfaces" 4 (List.length cfg.Vi.interfaces);
+  check Alcotest.(list string) "ntp" [ "10.0.0.10"; "10.0.0.11" ] cfg.Vi.ntp_servers;
+  check Alcotest.(list string) "dns" [ "10.0.0.53" ] cfg.Vi.dns_servers;
+  check Alcotest.bool "snmp" true (cfg.Vi.snmp_community = Some "s3cret");
+  (* exactly the gibberish line should be an unrecognized-syntax warning,
+     plus the undefined NATACL is not checked at parse time *)
+  let unrecognized =
+    List.filter (fun w -> w.Warning.w_kind = Warning.Unrecognized_syntax) warnings
+  in
+  check Alcotest.int "one unrecognized line" 1 (List.length unrecognized)
+
+let ios_interfaces () =
+  let cfg, _ = parse_ios () in
+  let e1 = Option.get (Vi.find_interface cfg "Ethernet1") in
+  check Alcotest.bool "address" true
+    (e1.Vi.if_address = Some (Ipv4.of_string "10.0.12.1", 30));
+  (match e1.Vi.if_ospf with
+   | Some oi ->
+     check Alcotest.int "ospf area" 0 oi.Vi.oi_area;
+     check Alcotest.bool "ospf cost" true (oi.Vi.oi_cost = Some 10)
+   | None -> Alcotest.fail "expected ospf settings");
+  let e2 = Option.get (Vi.find_interface cfg "Ethernet2") in
+  check Alcotest.bool "in acl" true (e2.Vi.if_in_acl = Some "FROM_ISP");
+  check Alcotest.int "bandwidth Mbps" 10 e2.Vi.if_bandwidth;
+  let e3 = Option.get (Vi.find_interface cfg "Ethernet3") in
+  check Alcotest.bool "shutdown" false e3.Vi.if_enabled;
+  let lo = Option.get (Vi.find_interface cfg "Loopback0") in
+  check Alcotest.bool "loopback /32" true (lo.Vi.if_address = Some (Ipv4.of_string "1.1.1.1", 32))
+
+let ios_acl () =
+  let cfg, _ = parse_ios () in
+  let acl = Option.get (Vi.find_acl cfg "FROM_ISP") in
+  check Alcotest.int "lines" 5 (List.length acl.Vi.acl_lines);
+  let l10 = List.nth acl.Vi.acl_lines 0 in
+  check Alcotest.bool "proto tcp" true (l10.Vi.l_proto = Some 6);
+  check Alcotest.bool "dst host" true (Prefix.equal l10.Vi.l_dst (Prefix.of_string "203.0.113.2/32"));
+  check Alcotest.(list (pair int int)) "bgp port" [ (179, 179) ] l10.Vi.l_dst_ports;
+  let l30 = List.nth acl.Vi.acl_lines 2 in
+  check Alcotest.bool "established" true l30.Vi.l_established;
+  let l40 = List.nth acl.Vi.acl_lines 3 in
+  check Alcotest.bool "icmp echo" true (l40.Vi.l_icmp_type = Some 8);
+  let l50 = List.nth acl.Vi.acl_lines 4 in
+  check Alcotest.bool "deny" true (l50.Vi.l_action = Vi.Deny)
+
+let ios_policy () =
+  let cfg, _ = parse_ios () in
+  let pl = Option.get (Vi.find_prefix_list cfg "OUR_NETS") in
+  check Alcotest.int "pl entries" 2 (List.length pl.Vi.pl_entries);
+  let e5 = List.hd pl.Vi.pl_entries in
+  check Alcotest.bool "le 24" true (e5.Vi.ple_le = Some 24);
+  let rm = Option.get (Vi.find_route_map cfg "EXPORT") in
+  check Alcotest.int "clauses" 2 (List.length rm.Vi.rm_clauses);
+  let c10 = List.hd rm.Vi.rm_clauses in
+  check Alcotest.bool "clause 10 permit" true (c10.Vi.rc_action = Vi.Permit);
+  check Alcotest.int "sets" 2 (List.length c10.Vi.rc_sets);
+  (match List.nth c10.Vi.rc_sets 1 with
+   | Vi.Set_communities ([ c ], true) ->
+     check Alcotest.string "community" "65001:300" (Vi.community_to_string c)
+   | _ -> Alcotest.fail "expected additive community set");
+  let cl = Option.get (Vi.find_community_list cfg "NO_EXPORT_TARGETS") in
+  check Alcotest.int "cl entries" 2 (List.length cl.Vi.cl_entries)
+
+let ios_routing () =
+  let cfg, _ = parse_ios () in
+  let ospf = Option.get cfg.Vi.ospf in
+  check Alcotest.bool "router id" true (ospf.Vi.op_router_id = Some (Ipv4.of_string "1.1.1.1"));
+  check Alcotest.int "max paths" 4 ospf.Vi.op_max_paths;
+  check Alcotest.int "networks" 1 (List.length ospf.Vi.op_networks);
+  (match ospf.Vi.op_redistribute with
+   | [ rd ] ->
+     check Alcotest.string "redist proto" "static" rd.Vi.rd_protocol;
+     check Alcotest.bool "metric" true (rd.Vi.rd_metric = Some 20);
+     check Alcotest.bool "type E1" true (rd.Vi.rd_metric_type = Vi.E1)
+   | _ -> Alcotest.fail "expected one redistribution");
+  let bgp = Option.get cfg.Vi.bgp in
+  check Alcotest.int "asn" 65001 bgp.Vi.bp_as;
+  check Alcotest.int "neighbors" 2 (List.length bgp.Vi.bp_neighbors);
+  let ext = List.hd bgp.Vi.bp_neighbors in
+  check Alcotest.int "remote as" 65002 ext.Vi.bn_remote_as;
+  check Alcotest.bool "import" true (ext.Vi.bn_import_policy = Some "IMPORT");
+  let rr = List.nth bgp.Vi.bp_neighbors 1 in
+  check Alcotest.bool "rr client" true rr.Vi.bn_route_reflector_client;
+  check Alcotest.bool "update source" true (rr.Vi.bn_update_source = Some "Loopback0");
+  check Alcotest.int "statics" 3 (List.length cfg.Vi.static_routes);
+  let s2 = List.nth cfg.Vi.static_routes 1 in
+  check Alcotest.bool "null route" true (s2.Vi.sr_next_hop = Vi.Nh_discard);
+  check Alcotest.int "ad" 250 s2.Vi.sr_ad;
+  let s3 = List.nth cfg.Vi.static_routes 2 in
+  check Alcotest.int "tag" 77 s3.Vi.sr_tag
+
+let ios_nat_zones () =
+  let cfg, _ = parse_ios () in
+  (* pool rule + static source + static dest *)
+  check Alcotest.int "nat rules" 3 (List.length cfg.Vi.nat_rules);
+  let pool_rule = List.hd cfg.Vi.nat_rules in
+  check Alcotest.bool "match acl" true (pool_rule.Vi.nr_match_acl = Some "NATACL");
+  (match pool_rule.Vi.nr_pool with
+   | Vi.Nat_prefix p -> check Alcotest.string "pool" "198.51.100.0/24" (Prefix.to_string p)
+   | _ -> Alcotest.fail "expected prefix pool");
+  check Alcotest.int "zones" 2 (List.length cfg.Vi.zones);
+  check Alcotest.int "zone policies" 1 (List.length cfg.Vi.zone_policies)
+
+let juniper_sample =
+  String.concat "\n"
+    [ "# juniper core router";
+      "set system host-name core1";
+      "set system ntp server 10.0.0.10";
+      "set system name-server 10.0.0.53";
+      "set snmp community public";
+      "set interfaces ge-0/0/0 unit 0 family inet address 10.0.12.2/30";
+      "set interfaces ge-0/0/1 unit 0 family inet address 10.0.23.1/30";
+      "set interfaces ge-0/0/1 unit 0 family inet filter input PROTECT";
+      "set interfaces ge-0/0/2 disable";
+      "set interfaces lo0 unit 0 family inet address 2.2.2.2/32";
+      "set routing-options autonomous-system 65001";
+      "set routing-options router-id 2.2.2.2";
+      "set routing-options static route 10.99.0.0/16 next-hop 10.0.23.2";
+      "set routing-options static route 10.98.0.0/16 discard";
+      "set protocols ospf reference-bandwidth 100000";
+      "set protocols ospf area 0 interface ge-0/0/0 metric 10";
+      "set protocols ospf area 0 interface ge-0/0/1";
+      "set protocols ospf area 0 interface lo0 passive";
+      "set protocols ospf export REDIST_STATIC";
+      "set protocols bgp group ibgp type internal";
+      "set protocols bgp group ibgp cluster 2.2.2.2";
+      "set protocols bgp group ibgp neighbor 1.1.1.1";
+      "set protocols bgp group ibgp neighbor 3.3.3.3";
+      "set protocols bgp group ebgp neighbor 192.0.2.1 peer-as 65010";
+      "set protocols bgp group ebgp import FROM_PEER";
+      "set protocols bgp group ebgp export TO_PEER";
+      "set protocols bgp group ebgp multipath";
+      "set policy-options prefix-list OUR_NETS 10.1.0.0/16";
+      "set policy-options prefix-list OUR_NETS 10.2.0.0/16";
+      "set policy-options community PEER_COMM members 65010:1";
+      "set policy-options policy-statement FROM_PEER term accept-peer from prefix-list OUR_NETS";
+      "set policy-options policy-statement FROM_PEER term accept-peer then local-preference 150";
+      "set policy-options policy-statement FROM_PEER term accept-peer then community add PEER_COMM";
+      "set policy-options policy-statement FROM_PEER term accept-peer then accept";
+      "set policy-options policy-statement FROM_PEER term reject-rest then reject";
+      "set policy-options policy-statement TO_PEER term nets from route-filter 10.1.0.0/16 orlonger";
+      "set policy-options policy-statement TO_PEER term nets then accept";
+      "set policy-options policy-statement TO_PEER term rest then reject";
+      "set policy-options policy-statement REDIST_STATIC term st from protocol static";
+      "set policy-options policy-statement REDIST_STATIC term st then accept";
+      "set firewall family inet filter PROTECT term web from destination-address 10.1.0.0/16";
+      "set firewall family inet filter PROTECT term web from protocol tcp";
+      "set firewall family inet filter PROTECT term web from destination-port 80";
+      "set firewall family inet filter PROTECT term web then accept";
+      "set firewall family inet filter PROTECT term drop then discard";
+      "set security zones security-zone trust interfaces ge-0/0/1";
+      "set security zones security-zone untrust interfaces ge-0/0/0";
+      "set security policies from-zone trust to-zone untrust filter PROTECT";
+      "set bogus statement here" ]
+
+let parse_jnp () = Parse.parse_config juniper_sample
+
+let juniper_basics () =
+  let cfg, warnings = parse_jnp () in
+  check Alcotest.string "hostname" "core1" cfg.Vi.hostname;
+  check Alcotest.string "vendor" "juniper" cfg.Vi.vendor;
+  check Alcotest.int "interfaces" 4 (List.length cfg.Vi.interfaces);
+  let unrecognized =
+    List.filter (fun w -> w.Warning.w_kind = Warning.Unrecognized_syntax) warnings
+  in
+  check Alcotest.int "one unrecognized" 1 (List.length unrecognized)
+
+let juniper_interfaces () =
+  let cfg, _ = parse_jnp () in
+  let ge0 = Option.get (Vi.find_interface cfg "ge-0/0/0") in
+  check Alcotest.bool "address" true (ge0.Vi.if_address = Some (Ipv4.of_string "10.0.12.2", 30));
+  (match ge0.Vi.if_ospf with
+   | Some oi -> check Alcotest.bool "metric" true (oi.Vi.oi_cost = Some 10)
+   | None -> Alcotest.fail "ospf expected");
+  let ge1 = Option.get (Vi.find_interface cfg "ge-0/0/1") in
+  check Alcotest.bool "filter input" true (ge1.Vi.if_in_acl = Some "PROTECT");
+  let lo = Option.get (Vi.find_interface cfg "lo0") in
+  (match lo.Vi.if_ospf with
+   | Some oi -> check Alcotest.bool "passive" true oi.Vi.oi_passive
+   | None -> Alcotest.fail "ospf expected on lo0");
+  let ge2 = Option.get (Vi.find_interface cfg "ge-0/0/2") in
+  check Alcotest.bool "disabled" false ge2.Vi.if_enabled
+
+let juniper_policy () =
+  let cfg, _ = parse_jnp () in
+  let rm = Option.get (Vi.find_route_map cfg "FROM_PEER") in
+  check Alcotest.int "two terms" 2 (List.length rm.Vi.rm_clauses);
+  let t1 = List.hd rm.Vi.rm_clauses in
+  check Alcotest.bool "match pl" true (t1.Vi.rc_matches = [ Vi.Match_prefix_list "OUR_NETS" ]);
+  check Alcotest.int "two sets" 2 (List.length t1.Vi.rc_sets);
+  let t2 = List.nth rm.Vi.rm_clauses 1 in
+  check Alcotest.bool "reject term" true (t2.Vi.rc_action = Vi.Deny);
+  (* route-filter becomes an anonymous prefix list *)
+  let to_peer = Option.get (Vi.find_route_map cfg "TO_PEER") in
+  (match (List.hd to_peer.Vi.rm_clauses).Vi.rc_matches with
+   | [ Vi.Match_prefix_list anon ] -> (
+     match Vi.find_prefix_list cfg anon with
+     | Some pl ->
+       let e = List.hd pl.Vi.pl_entries in
+       check Alcotest.bool "orlonger ge" true (e.Vi.ple_ge = Some 16)
+     | None -> Alcotest.fail "anonymous prefix list not registered")
+   | _ -> Alcotest.fail "expected prefix-list match");
+  (* ospf export decomposed into a redistribution *)
+  let ospf = Option.get cfg.Vi.ospf in
+  (match ospf.Vi.op_redistribute with
+   | [ rd ] ->
+     check Alcotest.string "proto" "static" rd.Vi.rd_protocol;
+     check Alcotest.bool "policy attached" true (rd.Vi.rd_route_map = Some "REDIST_STATIC")
+   | _ -> Alcotest.fail "expected one redistribution")
+
+let juniper_bgp () =
+  let cfg, _ = parse_jnp () in
+  let bgp = Option.get cfg.Vi.bgp in
+  check Alcotest.int "asn" 65001 bgp.Vi.bp_as;
+  check Alcotest.int "neighbors" 3 (List.length bgp.Vi.bp_neighbors);
+  let ibgp1 = List.hd bgp.Vi.bp_neighbors in
+  check Alcotest.int "ibgp remote as" 65001 ibgp1.Vi.bn_remote_as;
+  check Alcotest.bool "rr client" true ibgp1.Vi.bn_route_reflector_client;
+  let ebgp = List.nth bgp.Vi.bp_neighbors 2 in
+  check Alcotest.int "ebgp peer" 65010 ebgp.Vi.bn_remote_as;
+  check Alcotest.bool "import" true (ebgp.Vi.bn_import_policy = Some "FROM_PEER");
+  check Alcotest.bool "multipath" true (bgp.Vi.bp_max_paths > 1);
+  check Alcotest.bool "cluster id" true (bgp.Vi.bp_cluster_id = Some (Ipv4.of_string "2.2.2.2"))
+
+let juniper_firewall () =
+  let cfg, _ = parse_jnp () in
+  let acl = Option.get (Vi.find_acl cfg "PROTECT") in
+  check Alcotest.int "two lines" 2 (List.length acl.Vi.acl_lines);
+  let web = List.hd acl.Vi.acl_lines in
+  check Alcotest.bool "tcp" true (web.Vi.l_proto = Some 6);
+  check Alcotest.(list (pair int int)) "port 80" [ (80, 80) ] web.Vi.l_dst_ports;
+  check Alcotest.int "zones" 2 (List.length cfg.Vi.zones);
+  check Alcotest.int "zone policy" 1 (List.length cfg.Vi.zone_policies)
+
+let vendor_detection () =
+  check Alcotest.string "juniper" "juniper" (Parse.detect_vendor juniper_sample);
+  check Alcotest.string "ios" "cisco-ios" (Parse.detect_vendor ios_sample);
+  check Alcotest.string "arista" "arista-eos"
+    (Parse.detect_vendor "! Arista vEOS\nhostname sw1\n")
+
+let undefined_refs () =
+  let cfg, _ = parse_ios () in
+  let refs = Parse.undefined_references cfg in
+  (* NATACL is referenced by the NAT rule but never defined. *)
+  check Alcotest.bool "NATACL undefined" true
+    (List.exists (fun (ty, name, _) -> ty = "acl" && name = "NATACL") refs);
+  (* EXPORT and IMPORT are defined, so no route-map refs. *)
+  check Alcotest.bool "no undefined route-maps" true
+    (not (List.exists (fun (ty, _, _) -> ty = "route-map") refs))
+
+let undefined_route_map () =
+  let text =
+    String.concat "\n"
+      [ "hostname r1";
+        "router bgp 65000";
+        " neighbor 10.0.0.2 remote-as 65001";
+        " neighbor 10.0.0.2 route-map MISSING in" ]
+  in
+  let cfg, _ = Parse.parse_config text in
+  let refs = Parse.undefined_references cfg in
+  check Alcotest.bool "missing route-map flagged" true
+    (List.exists (fun (ty, name, _) -> ty = "route-map" && name = "MISSING") refs)
+
+let community_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"community string roundtrip"
+       (QCheck.pair (QCheck.int_bound 65535) (QCheck.int_bound 65535))
+       (fun (a, v) ->
+         Vi.community_of_string (Vi.community_to_string (Vi.community a v))
+         = Some (Vi.community a v)))
+
+let suites =
+  [ ( "config.ios",
+      [ Alcotest.test_case "basics" `Quick ios_basics;
+        Alcotest.test_case "interfaces" `Quick ios_interfaces;
+        Alcotest.test_case "acl" `Quick ios_acl;
+        Alcotest.test_case "policy" `Quick ios_policy;
+        Alcotest.test_case "routing" `Quick ios_routing;
+        Alcotest.test_case "nat+zones" `Quick ios_nat_zones ] );
+    ( "config.juniper",
+      [ Alcotest.test_case "basics" `Quick juniper_basics;
+        Alcotest.test_case "interfaces" `Quick juniper_interfaces;
+        Alcotest.test_case "policy" `Quick juniper_policy;
+        Alcotest.test_case "bgp" `Quick juniper_bgp;
+        Alcotest.test_case "firewall" `Quick juniper_firewall ] );
+    ( "config.refs",
+      [ Alcotest.test_case "vendor detection" `Quick vendor_detection;
+        Alcotest.test_case "undefined refs" `Quick undefined_refs;
+        Alcotest.test_case "undefined route-map" `Quick undefined_route_map;
+        community_roundtrip ] ) ]

@@ -1,0 +1,461 @@
+(* Edge-case coverage: parser robustness, vendor-semantics divergence,
+   session corner cases, OSPF areas and redistribution, FIB resolution
+   corners, and question-engine corners. *)
+
+let check = Alcotest.check
+
+let cfg lines = fst (Parse.parse_config (String.concat "\n" lines))
+
+let compute ?options ?env texts =
+  Dataplane.compute ?options ?env (List.map cfg texts)
+
+let routes_to node (dp : Dataplane.t) pfx =
+  Rib.best (Dataplane.node dp node).Dataplane.nr_main (Prefix.of_string pfx)
+
+(* --- parser robustness --- *)
+
+let empty_config () =
+  let c, warnings = Parse.parse_config "" in
+  check Alcotest.string "unknown hostname" "unknown" c.Vi.hostname;
+  check Alcotest.int "no warnings" 0 (List.length warnings)
+
+let malformed_everywhere () =
+  (* garbage in every block must warn, never raise *)
+  let text =
+    String.concat "\n"
+      [ "hostname broken";
+        "interface e1";
+        " ip address 500.1.2.3 255.255.255.0";
+        " ip address 10.0.0.1 255.255.0.255";
+        "ip access-list extended X";
+        " 10 permit tcp frobnicate";
+        " banana";
+        "router bgp notanumber";
+        "router bgp 100";
+        " neighbor 1.2.3.4 remote-as mango";
+        " neighbor not-an-ip remote-as 3";
+        "ip route 10.0.0.0 255.255.0.0";
+        "route-map M permit NaN";
+        "ip prefix-list P seq 5 permit 10.0.0.0/99" ]
+  in
+  let c, warnings = Parse.parse_config text in
+  check Alcotest.string "hostname parsed" "broken" c.Vi.hostname;
+  check Alcotest.bool "many warnings" true (List.length warnings >= 8);
+  (* the broken interface has no address *)
+  let e1 = Option.get (Vi.find_interface c "e1") in
+  check Alcotest.bool "no address" true (e1.Vi.if_address = None)
+
+let juniper_malformed () =
+  let text =
+    String.concat "\n"
+      [ "set system host-name j1";
+        "set interfaces ge-0/0/0 unit 0 family inet address banana";
+        "set protocols ospf area NaN interface ge-0/0/0";
+        "set routing-options static route 10.0.0.0/8 next-hop nowhere";
+        "delete interfaces ge-0/0/0";
+        "set utter nonsense here" ]
+  in
+  let c, warnings = Parse.parse_config text in
+  check Alcotest.string "vendor" "juniper" c.Vi.vendor;
+  check Alcotest.bool "warned" true (List.length warnings >= 4)
+
+let wildcard_masks () =
+  (* non-contiguous wildcard is rejected with a warning *)
+  let c, warnings =
+    Parse.parse_config
+      "hostname w\nip access-list extended A\n 10 permit ip 10.0.0.0 0.0.255.0 any\n 20 permit ip any any\n"
+  in
+  let acl = Option.get (Vi.find_acl c "A") in
+  check Alcotest.int "bad line skipped" 1 (List.length acl.Vi.acl_lines);
+  check Alcotest.bool "warned" true (warnings <> [])
+
+let acl_port_operators () =
+  let c, _ =
+    Parse.parse_config
+      (String.concat "\n"
+         [ "hostname p"; "ip access-list extended A";
+           " 10 permit tcp any any gt 1023";
+           " 20 permit tcp any any lt 10";
+           " 30 permit udp any range 100 200 any" ])
+  in
+  let acl = Option.get (Vi.find_acl c "A") in
+  let l1 = List.nth acl.Vi.acl_lines 0 in
+  check Alcotest.(list (pair int int)) "gt" [ (1024, 65535) ] l1.Vi.l_dst_ports;
+  let l2 = List.nth acl.Vi.acl_lines 1 in
+  check Alcotest.(list (pair int int)) "lt" [ (0, 9) ] l2.Vi.l_dst_ports;
+  let l3 = List.nth acl.Vi.acl_lines 2 in
+  check Alcotest.(list (pair int int)) "range src" [ (100, 200) ] l3.Vi.l_src_ports
+
+(* --- vendor semantics divergence (Lesson 3) --- *)
+
+let undefined_map_vendor_difference () =
+  (* same topology, same missing route-map; IOS denies, EOS permits *)
+  let net vendor_header =
+    [ vendor_header
+      @ [ "hostname a";
+          "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+          "interface lan"; " ip address 10.1.0.1 255.255.0.0";
+          "router bgp 100";
+          " neighbor 10.0.0.2 remote-as 200";
+          " neighbor 10.0.0.2 route-map NOPE out";
+          " network 10.1.0.0 mask 255.255.0.0" ];
+      [ "hostname b";
+        "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+        "router bgp 200";
+        " neighbor 10.0.0.1 remote-as 100" ] ]
+  in
+  let dp_ios = compute (net []) in
+  check Alcotest.int "ios: undefined map denies export" 0
+    (List.length (routes_to "b" dp_ios "10.1.0.0/16"));
+  let dp_eos = compute (net [ "! Arista vEOS" ]) in
+  check Alcotest.int "eos: undefined map permits" 1
+    (List.length (routes_to "b" dp_eos "10.1.0.0/16"))
+
+(* --- BGP corner cases --- *)
+
+let ebgp_multihop_session () =
+  (* peers over loopbacks with static reachability; requires multihop *)
+  let a multihop =
+    [ "hostname a";
+      "interface Loopback0"; " ip address 1.1.1.1 255.255.255.255";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+      "interface lan"; " ip address 10.1.0.1 255.255.0.0";
+      "ip route 2.2.2.2 255.255.255.255 10.0.0.2";
+      "router bgp 100";
+      " neighbor 2.2.2.2 remote-as 200";
+      " neighbor 2.2.2.2 update-source Loopback0" ]
+    @ (if multihop then [ " neighbor 2.2.2.2 ebgp-multihop 2" ] else [])
+    @ [ " network 10.1.0.0 mask 255.255.0.0" ]
+  and b multihop =
+    [ "hostname b";
+      "interface Loopback0"; " ip address 2.2.2.2 255.255.255.255";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+      "ip route 1.1.1.1 255.255.255.255 10.0.0.1";
+      "router bgp 200";
+      " neighbor 1.1.1.1 remote-as 100" ]
+    @ if multihop then [ " neighbor 1.1.1.1 ebgp-multihop 2" ] else []
+  in
+  let dp_no = compute [ a false; b false ] in
+  check Alcotest.bool "without multihop: down" true
+    (List.exists (fun s -> not s.Dataplane.sr_established) dp_no.Dataplane.sessions);
+  let dp_yes = compute [ a true; b true ] in
+  check Alcotest.bool "with multihop: up" true
+    (List.for_all (fun s -> s.Dataplane.sr_established) dp_yes.Dataplane.sessions);
+  check Alcotest.int "route delivered over multihop" 1
+    (List.length (routes_to "b" dp_yes "10.1.0.0/16"))
+
+let allowas_in () =
+  (* b re-receives a path containing its own AS; rejected unless allowas-in *)
+  let hub allow =
+    [ "hostname hub";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+      "router bgp 100";
+      " neighbor 10.0.0.2 remote-as 200" ]
+    @ (if allow then [ " neighbor 10.0.0.2 allowas-in 2" ] else [])
+  and spoke =
+    [ "hostname spoke";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+      "interface lan"; " ip address 10.9.0.1 255.255.0.0";
+      "route-map PREPEND permit 10";
+      " set as-path prepend 100 100";
+      "router bgp 200";
+      " neighbor 10.0.0.1 remote-as 100";
+      " neighbor 10.0.0.1 route-map PREPEND out";
+      " network 10.9.0.0 mask 255.255.0.0" ]
+  in
+  let dp_no = compute [ hub false; spoke ] in
+  check Alcotest.int "loop check rejects" 0 (List.length (routes_to "hub" dp_no "10.9.0.0/16"));
+  let dp_yes = compute [ hub true; spoke ] in
+  check Alcotest.int "allowas-in accepts" 1 (List.length (routes_to "hub" dp_yes "10.9.0.0/16"))
+
+let bgp_weight_local_only () =
+  (* weight set at import wins locally but is not exported *)
+  let a =
+    [ "hostname a";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+      "interface e2"; " ip address 10.0.1.1 255.255.255.252";
+      "route-map W permit 10"; " set weight 1000";
+      "router bgp 100";
+      " neighbor 10.0.0.2 remote-as 200";
+      " neighbor 10.0.0.2 route-map W in";
+      " neighbor 10.0.1.2 remote-as 300" ]
+  and b =
+    [ "hostname b";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+      "interface lan"; " ip address 10.9.0.1 255.255.0.0";
+      "route-map LONG permit 10"; " set as-path prepend 200 200 200";
+      "router bgp 200";
+      " neighbor 10.0.0.1 remote-as 100";
+      " neighbor 10.0.0.1 route-map LONG out";
+      " network 10.9.0.0 mask 255.255.0.0" ]
+  and c =
+    [ "hostname c";
+      "interface e2"; " ip address 10.0.1.2 255.255.255.252";
+      "interface lan"; " ip address 10.9.0.1 255.255.0.0";
+      "router bgp 300";
+      " neighbor 10.0.1.1 remote-as 100";
+      " network 10.9.0.0 mask 255.255.0.0" ]
+  in
+  let dp = compute [ a; b; c ] in
+  (match routes_to "a" dp "10.9.0.0/16" with
+   | [ r ] ->
+     (* weight 1000 beats the shorter path via c *)
+     check Alcotest.bool "weighted path wins" true
+       (r.Route.from_peer = Ipv4.of_string "10.0.0.2")
+   | l -> Alcotest.failf "expected one route, got %d" (List.length l))
+
+(* --- OSPF corners --- *)
+
+let ospf_inter_area () =
+  let r1 =
+    [ "hostname r1";
+      "interface lan"; " ip address 172.20.1.1 255.255.255.0"; " ip ospf area 1"; " ip ospf cost 10";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 10";
+      "router ospf 1"; " passive-interface lan" ]
+  and r2 =
+    [ "hostname r2";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 10";
+      "interface e2"; " ip address 10.0.1.1 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 10";
+      "router ospf 1" ]
+  and r3 =
+    [ "hostname r3";
+      "interface e2"; " ip address 10.0.1.2 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 10";
+      "interface lan"; " ip address 172.20.3.1 255.255.255.0"; " ip ospf area 3"; " ip ospf cost 10";
+      "router ospf 1"; " passive-interface lan" ]
+  in
+  let dp = compute [ r1; r2; r3 ] in
+  (* r3 reaches area-1 prefix as inter-area *)
+  (match routes_to "r3" dp "172.20.1.0/24" with
+   | [ r ] ->
+     check Alcotest.bool "inter-area" true (r.Route.protocol = Route_proto.Ospf_ia);
+     check Alcotest.int "accumulated cost" 30 r.Route.metric
+   | l -> Alcotest.failf "expected route, got %d" (List.length l));
+  (* r2 (pure area 0) also sees both *)
+  check Alcotest.int "r2 sees area 3 lan" 1 (List.length (routes_to "r2" dp "172.20.3.0/24"))
+
+let ospf_e1_vs_e2 () =
+  let r1 =
+    [ "hostname r1";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 100";
+      "ip route 172.30.0.0 255.255.0.0 Null0";
+      "router ospf 1"; " redistribute static metric 50 metric-type 1 subnets" ]
+  and r2 =
+    [ "hostname r2";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 100";
+      "router ospf 1" ]
+  in
+  let dp = compute [ r1; r2 ] in
+  (match routes_to "r2" dp "172.30.0.0/16" with
+   | [ r ] ->
+     check Alcotest.bool "E1" true (r.Route.protocol = Route_proto.Ospf_e1);
+     (* E1 accumulates internal cost *)
+     check Alcotest.int "metric 50+100" 150 r.Route.metric
+   | l -> Alcotest.failf "expected E1 route, got %d" (List.length l))
+
+let ospf_network_statements () =
+  (* classic style: no per-interface area commands *)
+  let r1 =
+    [ "hostname r1";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+      "interface lan"; " ip address 172.21.0.1 255.255.255.0";
+      "router ospf 1";
+      " network 10.0.0.0 0.0.0.255 area 0";
+      " network 172.21.0.0 0.0.0.255 area 0";
+      " passive-interface lan" ]
+  and r2 =
+    [ "hostname r2";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+      "router ospf 1"; " network 0.0.0.0 255.255.255.255 area 0" ]
+  in
+  let dp = compute [ r1; r2 ] in
+  check Alcotest.int "lan advertised" 1 (List.length (routes_to "r2" dp "172.21.0.0/24"))
+
+(* --- FIB corners --- *)
+
+let fib_longest_prefix_tie () =
+  (* static and ospf for the same prefix: admin distance decides the FIB *)
+  let r1 =
+    [ "hostname r1";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 10";
+      "ip route 172.22.0.0 255.255.0.0 Null0";
+      "router ospf 1" ]
+  and r2 =
+    [ "hostname r2";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252"; " ip ospf area 0"; " ip ospf cost 10";
+      "interface lan"; " ip address 172.22.0.1 255.255.0.0"; " ip ospf area 0"; " ip ospf cost 10";
+      "router ospf 1"; " passive-interface lan" ]
+  in
+  let dp = compute [ r1; r2 ] in
+  (* static (ad 1) shadows the OSPF route (ad 110) *)
+  check Alcotest.bool "null wins by admin" true
+    (Fib.lookup (Dataplane.node dp "r1").Dataplane.nr_fib (Ipv4.of_string "172.22.5.5")
+     = [ Fib.Drop_null ])
+
+let secondary_addresses () =
+  let c, _ =
+    Parse.parse_config
+      "hostname s\ninterface e1\n ip address 10.0.0.1 255.255.255.0\n ip address 10.0.1.1 255.255.255.0 secondary\n"
+  in
+  check Alcotest.int "two prefixes" 2 (List.length (Vi.interface_prefixes c));
+  let dp = Dataplane.compute [ c ] in
+  check Alcotest.int "connected for secondary" 1
+    (List.length (routes_to "s" dp "10.0.1.0/24"))
+
+(* --- question corners --- *)
+
+let search_filters_unmatchable () =
+  let c, _ =
+    Parse.parse_config
+      (String.concat "\n"
+         [ "hostname u"; "ip access-list extended A";
+           " 10 deny tcp any any";
+           " 20 permit tcp any any eq 80";  (* shadowed: unmatchable *)
+           " 30 permit ip any any" ])
+  in
+  let env = Pktset.create () in
+  let a = Questions.search_filters env c ~acl:"A" ~action:Vi.Permit in
+  check Alcotest.bool "shadowed line reported" true
+    (List.exists (fun r -> List.exists (( = ) "UNMATCHABLE") r) a.Questions.a_rows)
+
+let routes_question_filters () =
+  let net = Netgen.clos ~name:"rqf" ~spines:2 ~leaves:2 () in
+  let bf = Batfish.init ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts net.Netgen.n_configs) in
+  let all = Batfish.answer_routes bf in
+  let bgp_only = Batfish.answer_routes ~protocol:"bgp" bf in
+  check Alcotest.bool "filter reduces rows" true
+    (List.length bgp_only.Questions.a_rows < List.length all.Questions.a_rows
+    && List.length bgp_only.Questions.a_rows > 0);
+  check Alcotest.bool "only bgp rows" true
+    (List.for_all (fun r -> List.nth r 2 = "bgp") bgp_only.Questions.a_rows)
+
+(* --- traceroute corners --- *)
+
+let traceroute_multipath_count () =
+  let net = Netgen.clos ~name:"tmc" ~spines:4 ~leaves:2 () in
+  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+  let bf = Batfish.init ~env:net.Netgen.n_env snap in
+  let pkt =
+    Packet.tcp ~src:(Ipv4.of_string "172.16.0.10") ~dst:(Ipv4.of_string "172.16.1.10") 80
+  in
+  let traces = Batfish.traceroute bf ~start:"tmc-leaf1" ~ingress:"Vlan100" pkt in
+  (* ECMP over 4 spines *)
+  check Alcotest.int "four paths" 4 (List.length traces);
+  check Alcotest.bool "all delivered" true
+    (List.for_all (fun tr -> Traceroute.is_delivered tr.Traceroute.disposition) traces)
+
+let suites =
+  [ ( "extra.parser",
+      [ Alcotest.test_case "empty config" `Quick empty_config;
+        Alcotest.test_case "malformed everywhere" `Quick malformed_everywhere;
+        Alcotest.test_case "juniper malformed" `Quick juniper_malformed;
+        Alcotest.test_case "non-contiguous wildcard" `Quick wildcard_masks;
+        Alcotest.test_case "port operators" `Quick acl_port_operators ] );
+    ( "extra.semantics",
+      [ Alcotest.test_case "undefined map per vendor" `Quick undefined_map_vendor_difference ] );
+    ( "extra.bgp",
+      [ Alcotest.test_case "ebgp multihop" `Quick ebgp_multihop_session;
+        Alcotest.test_case "allowas-in" `Quick allowas_in;
+        Alcotest.test_case "weight" `Quick bgp_weight_local_only ] );
+    ( "extra.ospf",
+      [ Alcotest.test_case "inter-area" `Quick ospf_inter_area;
+        Alcotest.test_case "E1 vs E2" `Quick ospf_e1_vs_e2;
+        Alcotest.test_case "network statements" `Quick ospf_network_statements ] );
+    ( "extra.fib",
+      [ Alcotest.test_case "admin shadows" `Quick fib_longest_prefix_tie;
+        Alcotest.test_case "secondary addresses" `Quick secondary_addresses ] );
+    ( "extra.questions",
+      [ Alcotest.test_case "unmatchable lines" `Quick search_filters_unmatchable;
+        Alcotest.test_case "routes filters" `Quick routes_question_filters ] );
+    ( "extra.traceroute",
+      [ Alcotest.test_case "ecmp traces" `Quick traceroute_multipath_count ] ) ]
+
+(* --- new features: labs, well-known communities, testRoutePolicies --- *)
+
+let labs_all_pass () =
+  List.iter
+    (fun (lab : Labs.lab) ->
+      let outcomes = Labs.run lab in
+      List.iter
+        (fun (o : Labs.outcome) ->
+          if not o.ok_pass then
+            Alcotest.failf "lab %s: %s — %s" lab.lab_name o.ok_expectation o.ok_detail)
+        outcomes)
+    Labs.builtin
+
+let well_known_communities () =
+  check Alcotest.bool "no-export parses" true
+    (Vi.community_of_string "no-export" = Some Vi.no_export);
+  check Alcotest.string "roundtrip" "no-advertise" (Vi.community_to_string Vi.no_advertise);
+  (* no-advertise: not exported even over iBGP *)
+  let a =
+    [ "hostname a";
+      "interface lan"; " ip address 10.7.0.1 255.255.0.0";
+      "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+      "route-map TAG permit 10"; " set community no-advertise";
+      "router bgp 100";
+      " neighbor 10.0.0.2 remote-as 100";
+      " neighbor 10.0.0.2 send-community";
+      " network 10.7.0.0 mask 255.255.0.0 route-map TAG" ]
+  and b =
+    [ "hostname b";
+      "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+      "router bgp 100";
+      " neighbor 10.0.0.1 remote-as 100" ]
+  in
+  let dp = compute [ a; b ] in
+  check Alcotest.int "no-advertise withheld" 0
+    (List.length (routes_to "b" dp "10.7.0.0/16"))
+
+let test_route_policy_question () =
+  let c =
+    cfg
+      [ "hostname q";
+        "ip prefix-list TENS seq 5 permit 10.0.0.0/8 le 24";
+        "route-map POL permit 10";
+        " match ip address prefix-list TENS";
+        " set local-preference 250";
+        " set community 65000:42 additive" ]
+  in
+  let r =
+    Route.bgp ~proto:Route_proto.Ebgp ~net:(Prefix.of_string "10.3.0.0/16")
+      ~nh:(Route.Nh_ip (Ipv4.of_string "1.2.3.4"))
+      ~attrs:(Attrs.make ()) ~arrival:0 ~from_peer:0 ~from_rid:0
+  in
+  let a = Questions.test_route_policy c ~policy:"POL" r in
+  check Alcotest.bool "permit with changes" true
+    (List.exists
+       (fun row ->
+         List.exists (( = ) "PERMIT") row
+         && List.exists (fun s -> Re.execp (Re.compile (Re.str "localPref 100->250")) s) row)
+       a.Questions.a_rows);
+  let denied =
+    Questions.test_route_policy c ~policy:"POL"
+      { r with Route.net = Prefix.of_string "192.168.0.0/16" }
+  in
+  check Alcotest.bool "deny" true
+    (List.exists (fun row -> List.exists (( = ) "DENY") row) denied.Questions.a_rows)
+
+let numbered_standard_acl () =
+  let c =
+    cfg
+      [ "hostname n";
+        "access-list 10 permit 10.0.0.0 0.0.0.255";
+        "access-list 10 deny 10.0.0.0 0.255.255.255";
+        "access-list 10 permit 192.168.0.0 0.0.255.255" ]
+  in
+  let acl = Option.get (Vi.find_acl c "10") in
+  check Alcotest.int "three lines" 3 (List.length acl.Vi.acl_lines);
+  let p src = Acl_eval.permits acl (Packet.tcp ~src:(Ipv4.of_string src) ~dst:(Ipv4.of_string "1.1.1.1") 80) in
+  check Alcotest.bool "first line" true (p "10.0.0.5");
+  check Alcotest.bool "second line" false (p "10.9.9.9");
+  check Alcotest.bool "third line" true (p "192.168.3.3");
+  check Alcotest.bool "implicit deny" false (p "172.16.0.1")
+
+let extra2_suites =
+  [ ( "extra.features",
+      [ Alcotest.test_case "labs all pass" `Quick labs_all_pass;
+        Alcotest.test_case "well-known communities" `Quick well_known_communities;
+        Alcotest.test_case "testRoutePolicies" `Quick test_route_policy_question;
+        Alcotest.test_case "numbered standard acl" `Quick numbered_standard_acl ] ) ]
+
+let suites = suites @ extra2_suites

@@ -1,0 +1,180 @@
+(* System-level tests: the synthetic network profiles through the whole
+   pipeline, the question engine, snapshot differentials, and the §4.3.2
+   cross-validation harness on generated networks. *)
+
+let check = Alcotest.check
+
+let profile name = List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = name) Netgen.profiles
+
+let load ?options (net : Netgen.network) =
+  Batfish.init ?options ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts net.Netgen.n_configs)
+
+(* every profile parses cleanly, converges, and establishes all sessions *)
+let profiles_clean () =
+  List.iter
+    (fun (p : Netgen.profile) ->
+      let net = p.p_make 0.3 in
+      let bf = load net in
+      let unrecognized =
+        List.concat_map
+          (fun (_, ws) ->
+            List.filter (fun w -> w.Warning.w_kind = Warning.Unrecognized_syntax) ws)
+          (Batfish.Snapshot.parse_warnings (Batfish.snapshot bf))
+      in
+      check Alcotest.int (p.p_name ^ " no unrecognized syntax") 0 (List.length unrecognized);
+      let dp = Batfish.dataplane bf in
+      check Alcotest.bool (p.p_name ^ " converged") true dp.Dataplane.converged;
+      check Alcotest.bool (p.p_name ^ " sessions up") true
+        (List.for_all (fun s -> s.Dataplane.sr_established) dp.Dataplane.sessions);
+      check Alcotest.bool (p.p_name ^ " has routes") true (Dataplane.total_routes dp > 0))
+    Netgen.profiles
+
+let generation_deterministic () =
+  let p = profile "NET5" in
+  let a = (p.p_make 0.5).Netgen.n_configs in
+  let b = (p.p_make 0.5).Netgen.n_configs in
+  check Alcotest.bool "same text" true (a = b)
+
+(* the §4.3.2 harness on generated networks *)
+let engine_cross_validation () =
+  List.iter
+    (fun name ->
+      let p = profile name in
+      let bf = load (p.p_make 0.3) in
+      let flows = Batfish.differential_engine_test bf in
+      check Alcotest.bool (name ^ " flows checked") true (flows > 0))
+    [ "NET1"; "NET3"; "NET5"; "NET7" ]
+
+(* clean fabric: all leaf subnets reach each other *)
+let clos_reachability () =
+  let net = Netgen.clos ~name:"sys" ~spines:2 ~leaves:4 () in
+  let bf = load net in
+  let q = Batfish.forwarding bf in
+  let e = Fquery.env q in
+  let man = Pktset.man e in
+  let hdr =
+    Bdd.band man
+      (Pktset.src_prefix e (Prefix.of_string "172.16.0.0/24"))
+      (Pktset.value e Field.Protocol Packet.Proto.tcp)
+  in
+  let delivered =
+    Fquery.reachable q ~src:("sys-leaf1", Some "Vlan100") ~hdr
+      ~dst_ip:(Prefix.of_string "172.16.3.0/24") ()
+  in
+  check Alcotest.bool "leaf1 hosts reach leaf4 subnet" false (Bdd.is_bot delivered);
+  (* anti-spoofing edge ACL: sources outside the subnet are dropped *)
+  let spoofed =
+    Fquery.reachable q ~src:("sys-leaf1", Some "Vlan100")
+      ~hdr:(Pktset.src_prefix e (Prefix.of_string "192.168.0.0/16"))
+      ~dst_ip:(Prefix.of_string "172.16.3.0/24") ()
+  in
+  check Alcotest.bool "spoofed sources dropped" true (Bdd.is_bot spoofed)
+
+(* the question engine on a network with deliberate issues *)
+let broken_network () =
+  [ String.concat "\n"
+      [ "hostname r1";
+        "interface e1"; " ip address 10.0.0.1 255.255.255.252";
+        "interface e2"; " ip address 10.0.1.1 255.255.255.252";
+        "ntp server 1.1.1.1";
+        "ip access-list extended UNUSED_ACL";
+        " 10 permit ip any any";
+        "router bgp 100";
+        " neighbor 10.0.0.2 remote-as 999";
+        " neighbor 10.0.0.2 route-map MISSING_MAP in" ];
+    String.concat "\n"
+      [ "hostname r2";
+        "interface e1"; " ip address 10.0.0.2 255.255.255.252";
+        "interface dup"; " ip address 10.0.1.1 255.255.255.252";
+        "ntp server 2.2.2.2";
+        "router bgp 200";
+        " neighbor 10.0.0.1 remote-as 100" ];
+    String.concat "\n"
+      [ "hostname r3";
+        "interface e9"; " ip address 10.0.9.1 255.255.255.252";
+        "ntp server 1.1.1.1" ] ]
+
+let questions_find_issues () =
+  let bf =
+    Batfish.init
+      (Batfish.Snapshot.of_texts
+         (List.mapi (fun i t -> (Printf.sprintf "r%d.cfg" (i + 1), t)) (broken_network ())))
+  in
+  let rows a = a.Questions.a_rows in
+  let undef = rows (Batfish.answer_undefined_references bf) in
+  check Alcotest.bool "undefined route-map" true
+    (List.exists (fun r -> List.nth r 2 = "MISSING_MAP") undef);
+  let unused = rows (Batfish.answer_unused_structures bf) in
+  check Alcotest.bool "unused acl" true
+    (List.exists (fun r -> List.nth r 2 = "UNUSED_ACL") unused);
+  let dups = rows (Batfish.answer_duplicate_ips bf) in
+  check Alcotest.bool "duplicate 10.0.1.1" true
+    (List.exists (fun r -> List.hd r = "10.0.1.1") dups);
+  let compat = rows (Batfish.answer_bgp_compatibility bf) in
+  check Alcotest.bool "as mismatch flagged" true (List.length compat >= 1);
+  let ntp = rows (Batfish.answer_property_consistency bf) in
+  check Alcotest.bool "ntp outlier found" true
+    (List.exists (fun r -> List.hd r = "r2" && List.nth r 1 = "ntp-servers") ntp);
+  let status = rows (Batfish.answer_bgp_status bf) in
+  check Alcotest.bool "session down in status" true
+    (List.exists (fun r -> List.exists (fun c -> c = "DOWN") r) status)
+
+let questions_routes_and_filters () =
+  let net = Netgen.clos ~name:"qrf" ~spines:2 ~leaves:2 () in
+  let bf = load net in
+  let routes = Batfish.answer_routes ~node:"qrf-leaf1" bf in
+  check Alcotest.bool "routes listed" true (List.length routes.Questions.a_rows > 3);
+  let cfg = Option.get (Batfish.Snapshot.find (Batfish.snapshot bf) "qrf-leaf1") in
+  let pkt =
+    Packet.tcp ~src:(Ipv4.of_string "172.16.0.10") ~dst:(Ipv4.of_string "172.16.1.10") 80
+  in
+  let tf = Questions.test_filters cfg ~acl:"EDGE_IN" pkt in
+  check Alcotest.bool "edge acl permits subnet sources" true
+    (List.exists (fun r -> List.exists (( = ) "PERMIT") r) tf.Questions.a_rows);
+  let spoof = Questions.test_filters cfg ~acl:"EDGE_IN" { pkt with Packet.src_ip = Ipv4.of_string "9.9.9.9" } in
+  check Alcotest.bool "edge acl denies spoofed" true
+    (List.exists (fun r -> List.exists (( = ) "DENY") r) spoof.Questions.a_rows);
+  let e = Fquery.env (Batfish.forwarding bf) in
+  let sf = Questions.search_filters e cfg ~acl:"EDGE_IN" ~action:Vi.Permit in
+  check Alcotest.bool "searchFilters yields example" true
+    (List.exists (fun r -> List.exists (( = ) "example") r) sf.Questions.a_rows)
+
+(* differential reachability across a change (the §5.1 CI workflow) *)
+let snapshot_differential () =
+  let base_cfgs = Netgen.clos ~name:"dif" ~spines:2 ~leaves:2 () in
+  let bf_base = load base_cfgs in
+  (* candidate change: leaf2's edge ACL now denies TCP/80 into the fabric *)
+  let candidate =
+    List.map
+      (fun (name, text) ->
+        if name = "dif-leaf2.cfg" then
+          ( name,
+            Re.replace_string
+              (Re.compile (Re.str "ip access-list extended EDGE_IN"))
+              ~by:"ip access-list extended EDGE_IN\n 5 deny tcp any any eq 80" text )
+        else (name, text))
+      base_cfgs.Netgen.n_configs
+  in
+  let bf_cand = Batfish.init (Batfish.Snapshot.of_texts candidate) in
+  let answer = Batfish.differential ~base:bf_base ~candidate:bf_cand () in
+  check Alcotest.bool "lost flows reported" true
+    (List.exists (fun r -> List.exists (( = ) "LOST") r) answer.Questions.a_rows);
+  (* the lost flow is web traffic *)
+  check Alcotest.bool "lost flow is port 80" true
+    (List.exists
+       (fun r ->
+         List.exists (( = ) "LOST") r
+         && List.exists (fun c -> Re.execp (Re.compile (Re.str "dport=80")) c) r)
+       answer.Questions.a_rows)
+
+let suites =
+  [ ( "system.netgen",
+      [ Alcotest.test_case "profiles clean" `Slow profiles_clean;
+        Alcotest.test_case "deterministic" `Quick generation_deterministic;
+        Alcotest.test_case "clos reachability" `Quick clos_reachability ] );
+    ( "system.questions",
+      [ Alcotest.test_case "issues found" `Quick questions_find_issues;
+        Alcotest.test_case "routes+filters" `Quick questions_routes_and_filters;
+        Alcotest.test_case "differential" `Quick snapshot_differential ] );
+    ( "system.crossvalidation",
+      [ Alcotest.test_case "engines agree on profiles" `Slow engine_cross_validation ] ) ]
