@@ -1,12 +1,46 @@
 (* Command-line front end: the manual proactive-validation workflow (§5.1.2)
-   over a directory of configuration files. *)
+   over a directory of configuration files.
+
+   Failure semantics: operator mistakes (unknown node names, bad addresses,
+   unknown profiles) get a friendly message and a nonzero exit, never a raw
+   exception; pipeline trouble surfaces as structured diagnostics
+   (`diagnostics` command), and `--strict` turns Error/Fatal diagnostics into
+   a nonzero exit for CI use. *)
 
 open Cmdliner
 
 let dir_arg =
   Arg.(required & pos 0 (some dir) None & info [] ~docv:"CONFIG_DIR" ~doc:"Directory of configuration files")
 
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit with a nonzero status if any Error or Fatal diagnostic was produced")
+
 let load dir = Batfish.init (Batfish.Snapshot.of_dir dir)
+
+(* Operator-input errors: a friendly message and exit 1, never a raw
+   exception at the user. *)
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("error: " ^ msg); exit 1) fmt
+
+let shortlist names =
+  let shown = List.filteri (fun i _ -> i < 8) names in
+  String.concat ", " shown ^ if List.length names > 8 then ", ..." else ""
+
+let check_node bf name =
+  let known = Batfish.Snapshot.node_names (Batfish.snapshot bf) in
+  if not (List.mem name known) then
+    die "unknown node '%s' (known nodes: %s)" name (shortlist known)
+
+let known_protocols =
+  [ "connected"; "local"; "static"; "ospf"; "ospfIA"; "ospfE1"; "ospfE2"; "bgp"; "ibgp" ]
+
+let finish ~strict bf =
+  if strict && Batfish.strict_failure bf then begin
+    prerr_endline
+      "strict: Error/Fatal diagnostics were produced (run the diagnostics command for details)";
+    exit 1
+  end
 
 let print_answers answers =
   List.iter
@@ -18,50 +52,86 @@ let print_answers answers =
 (* --- parse --- *)
 
 let parse_cmd =
-  let run dir =
+  let run dir strict =
     let bf = load dir in
     print_answers
       [ Questions.node_properties (Batfish.Snapshot.configs (Batfish.snapshot bf));
-        Batfish.answer_init_issues bf ]
+        Batfish.answer_init_issues bf ];
+    finish ~strict bf
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse configurations and report issues")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ strict_arg)
+
+(* --- diagnostics --- *)
+
+let diagnostics_cmd =
+  let dataplane =
+    Arg.(value & flag
+         & info [ "dataplane" ] ~doc:"Also compute the data plane and include its diagnostics")
+  in
+  let run dir dataplane strict =
+    let bf = load dir in
+    if dataplane then ignore (Batfish.dataplane bf);
+    print_answers [ Batfish.answer_diagnostics bf ];
+    finish ~strict bf
+  in
+  Cmd.v
+    (Cmd.info "diagnostics"
+       ~doc:"Show structured pipeline diagnostics (skipped files, quarantined nodes, budgets)")
+    Term.(const run $ dir_arg $ dataplane $ strict_arg)
 
 (* --- dataplane --- *)
 
 let dataplane_cmd =
-  let run dir =
+  let run dir strict =
     let bf = load dir in
     let t0 = Unix.gettimeofday () in
     let dp = Batfish.dataplane bf in
-    Printf.printf "data plane: %d nodes, %d routes, converged=%b, %d BGP rounds (%.2fs)\n\n"
+    Printf.printf "data plane: %d nodes, %d routes, converged=%b, %d BGP rounds (%.2fs)\n"
       (List.length dp.Dataplane.node_order)
       (Dataplane.total_routes dp) dp.Dataplane.converged dp.Dataplane.rounds
       (Unix.gettimeofday () -. t0);
-    print_answers [ Batfish.answer_bgp_status bf ]
+    List.iter
+      (fun (node, reason) -> Printf.printf "quarantined: %s (%s)\n" node reason)
+      dp.Dataplane.quarantined;
+    print_newline ();
+    print_answers [ Batfish.answer_bgp_status bf ];
+    finish ~strict bf
   in
   Cmd.v (Cmd.info "dataplane" ~doc:"Generate the data plane and show session status")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ strict_arg)
 
 (* --- routes --- *)
 
 let routes_cmd =
   let node = Arg.(value & opt (some string) None & info [ "node" ] ~doc:"Limit to one node") in
   let proto = Arg.(value & opt (some string) None & info [ "protocol" ] ~doc:"Limit to a protocol") in
-  let run dir node protocol =
-    print_answers [ Batfish.answer_routes ?node ?protocol (load dir) ]
+  let run dir node protocol strict =
+    let bf = load dir in
+    Option.iter (check_node bf) node;
+    Option.iter
+      (fun p ->
+        if not (List.mem p known_protocols) then
+          die "unknown protocol '%s' (one of: %s)" p (String.concat ", " known_protocols))
+      protocol;
+    print_answers [ Batfish.answer_routes ?node ?protocol bf ];
+    finish ~strict bf
   in
   Cmd.v (Cmd.info "routes" ~doc:"Show main-RIB routes")
-    Term.(const run $ dir_arg $ node $ proto)
+    Term.(const run $ dir_arg $ node $ proto $ strict_arg)
 
 (* --- checks --- *)
 
 let check_cmd =
-  let run dir = print_answers (Batfish.check_all (load dir)) in
+  let run dir strict =
+    let bf = load dir in
+    print_answers (Batfish.check_all bf);
+    finish ~strict bf
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the configuration-hygiene battery (references, duplicate IPs, BGP compatibility, consistency)")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ strict_arg)
 
 (* --- trace --- *)
 
@@ -74,12 +144,19 @@ let trace_cmd =
   let proto = Arg.(value & opt string "tcp" & info [ "proto" ] ~doc:"tcp | udp | icmp") in
   let run dir start ingress src dst dport proto =
     let bf = load dir in
-    let src = Ipv4.of_string src and dst = Ipv4.of_string dst in
+    check_node bf start;
+    let ip what s =
+      match Ipv4.of_string_opt s with
+      | Some ip -> ip
+      | None -> die "bad %s address '%s'" what s
+    in
+    let src = ip "source" src and dst = ip "destination" dst in
     let pkt =
       match proto with
       | "udp" -> Packet.udp ~src ~dst dport
       | "icmp" -> Packet.icmp ~src ~dst ()
-      | _ -> Packet.tcp ~src ~dst dport
+      | "tcp" -> Packet.tcp ~src ~dst dport
+      | p -> die "unknown protocol '%s' (tcp | udp | icmp)" p
     in
     Printf.printf "traceroute %s from %s:\n" (Packet.to_string pkt) start;
     List.iter
@@ -102,8 +179,13 @@ let reach_cmd =
         (String.sub src 0 i, Some (String.sub src (i + 1) (String.length src - i - 1)))
       | None -> (src, None)
     in
-    print_answers
-      [ Batfish.answer_reachability bf ~src ~dst_ip:(Prefix.of_string dst) () ]
+    check_node bf (fst src);
+    let dst_ip =
+      match Prefix.of_string_opt dst with
+      | Some p -> p
+      | None -> die "bad destination prefix '%s'" dst
+    in
+    print_answers [ Batfish.answer_reachability bf ~src ~dst_ip () ]
   in
   Cmd.v (Cmd.info "reach" ~doc:"Symbolic reachability with examples")
     Term.(const run $ dir_arg $ src $ dst)
@@ -137,7 +219,8 @@ let netgen_cmd =
         | "enterprise" -> Netgen.enterprise ~name:"ent" ~sites:(int_of_float (8.0 *. scale)) ()
         | "wan" -> Netgen.wan ~name:"wan" ~pops:(int_of_float (16.0 *. scale)) ()
         | "campus" -> Netgen.campus ~name:"campus" ~buildings:(int_of_float (8.0 *. scale)) ()
-        | p -> failwith ("unknown profile " ^ p))
+        | p ->
+          die "unknown profile '%s' (NET1..NET11, clos, enterprise, wan, campus)" p)
     in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     List.iter
@@ -159,5 +242,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "batfish_cli" ~version:"1.0"
              ~doc:"Configuration analysis: parse, simulate, verify")
-          [ parse_cmd; dataplane_cmd; routes_cmd; check_cmd; trace_cmd; reach_cmd;
-            verify_cmd; netgen_cmd ]))
+          [ parse_cmd; diagnostics_cmd; dataplane_cmd; routes_cmd; check_cmd; trace_cmd;
+            reach_cmd; verify_cmd; netgen_cmd ]))

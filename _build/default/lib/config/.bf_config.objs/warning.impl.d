@@ -1,1 +1,1 @@
-lib/config/warning.ml: Printf
+lib/config/warning.ml: Diag Printf

@@ -1,6 +1,10 @@
 (* Parse and conversion warnings. Batfish surfaces unrecognized syntax and
    undefined references rather than failing; the questions library turns
-   these into user-facing answers. *)
+   these into user-facing answers.
+
+   This type predates the pipeline-wide Diag subsystem and is kept as a thin
+   compatibility layer for the parsers; [to_diag] lifts a warning into the
+   structured diagnostic stream. *)
 
 type kind =
   | Unrecognized_syntax
@@ -20,3 +24,13 @@ let kind_to_string = function
 
 let to_string w =
   Printf.sprintf "%s:%d: %s: %s" w.w_node w.w_line (kind_to_string w.w_kind) w.w_text
+
+let to_diag ?file w =
+  let severity =
+    match w.w_kind with
+    | Unrecognized_syntax | Unsupported_feature -> Diag.Warn
+    | Undefined_reference _ | Bad_value -> Diag.Error
+  in
+  Diag.make ~node:w.w_node ?file ~line:w.w_line ~severity ~phase:Diag.Parse
+    ~code:Diag.code_parse_warning
+    (Printf.sprintf "%s: %s" (kind_to_string w.w_kind) w.w_text)

@@ -1,1 +1,1 @@
-lib/core/batfish.ml: Array Bdd Dataplane Dp_env Fgraph Field Filename Fquery Hashtbl List Netgen Packet Parse Pktset Printf Questions Sys Traceroute Vi Warning
+lib/core/batfish.ml: Array Bdd Dataplane Diag Dp_env Fgraph Field Filename Fquery Hashtbl List Netgen Packet Parse Pktset Printexc Printf Questions String Sys Traceroute Vi Warning

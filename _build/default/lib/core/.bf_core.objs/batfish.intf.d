@@ -1,1 +1,1 @@
-lib/core/batfish.mli: Bdd Dataplane Dp_env Fquery Netgen Packet Prefix Questions Traceroute Vi Warning
+lib/core/batfish.mli: Bdd Dataplane Diag Dp_env Fquery Netgen Packet Prefix Questions Traceroute Vi Warning

@@ -3,35 +3,90 @@ module Snapshot = struct
     files : (string * string) list;
     parsed : (Vi.t * Warning.t list) list;
     by_name : (string, Vi.t) Hashtbl.t;
+    diags : Diag.t list;
   }
 
-  let of_texts files =
-    let parsed = List.map (fun (_, text) -> Parse.parse_config text) files in
+  let of_texts ?(diags = []) files =
+    let c = Diag.collector () in
+    Diag.add_all c diags;
+    (* Per-file isolation: a parser crash on one file (truncated, binary
+       garbage) becomes a Fatal diag; the rest of the snapshot still loads. *)
+    let parsed =
+      List.filter_map
+        (fun (fname, text) ->
+          match Parse.parse_config text with
+          | cfg, warns ->
+            List.iter (fun w -> Diag.add c (Warning.to_diag ~file:fname w)) warns;
+            Some (fname, (cfg, warns))
+          | exception exn ->
+            Diag.add c
+              (Diag.fatal ~file:fname ~phase:Diag.Parse ~code:Diag.code_parse_crash
+                 (Printf.sprintf "parser raised: %s" (Printexc.to_string exn)));
+            None)
+        files
+    in
+    (* Duplicate hostnames are deterministic first-wins, with an Error diag
+       for every shadowed config. *)
     let by_name = Hashtbl.create 64 in
-    List.iter (fun ((cfg : Vi.t), _) -> Hashtbl.replace by_name cfg.hostname cfg) parsed;
-    { files; parsed; by_name }
+    let parsed =
+      List.filter_map
+        (fun (fname, ((cfg : Vi.t), warns)) ->
+          if Hashtbl.mem by_name cfg.hostname then begin
+            Diag.add c
+              (Diag.error ~node:cfg.hostname ~file:fname ~phase:Diag.Convert
+                 ~code:Diag.code_duplicate_hostname
+                 (Printf.sprintf
+                    "hostname '%s' defined by more than one file; keeping the first"
+                    cfg.hostname));
+            None
+          end
+          else begin
+            Hashtbl.add by_name cfg.hostname cfg;
+            Some (cfg, warns)
+          end)
+        parsed
+    in
+    { files; parsed; by_name; diags = Diag.to_list c }
 
   let of_dir dir =
+    let c = Diag.collector () in
     let entries = Sys.readdir dir in
     Array.sort compare entries;
     let files =
       Array.to_list entries
       |> List.filter_map (fun name ->
              let path = Filename.concat dir name in
-             if Sys.is_directory path then None
-             else begin
-               let ic = open_in_bin path in
-               let len = in_channel_length ic in
-               let text = really_input_string ic len in
-               close_in ic;
-               Some (name, text)
-             end)
+             if String.length name > 0 && name.[0] = '.' then begin
+               Diag.add c
+                 (Diag.info ~file:name ~phase:Diag.Parse ~code:Diag.code_skipped_file
+                    "skipped dotfile");
+               None
+             end
+             else
+               match
+                 if Sys.is_directory path then None
+                 else begin
+                   let ic = open_in_bin path in
+                   let len = in_channel_length ic in
+                   let text = really_input_string ic len in
+                   close_in ic;
+                   Some (name, text)
+                 end
+               with
+               | v -> v
+               | exception exn ->
+                 Diag.add c
+                   (Diag.error ~file:name ~phase:Diag.Parse
+                      ~code:Diag.code_unreadable_file
+                      (Printf.sprintf "unreadable file: %s" (Printexc.to_string exn)));
+                 None)
     in
-    of_texts files
+    of_texts ~diags:(Diag.to_list c) files
 
   let of_network (n : Netgen.network) = of_texts n.n_configs
   let configs t = List.map fst t.parsed
   let parse_warnings t = t.parsed
+  let diags t = t.diags
   let find t name = Hashtbl.find_opt t.by_name name
   let node_names t = List.map (fun (c : Vi.t) -> c.Vi.hostname) (configs t)
 end
@@ -42,10 +97,11 @@ type t = {
   options : Dataplane.options;
   mutable dp : Dataplane.t option;
   mutable fq : Fquery.t option;
+  mutable extra_diags : Diag.t list;  (* newest first *)
 }
 
 let init ?(options = Dataplane.default_options) ?(env = Dp_env.empty) snap =
-  { snap; env; options; dp = None; fq = None }
+  { snap; env; options; dp = None; fq = None; extra_diags = [] }
 
 let snapshot t = t.snap
 
@@ -57,18 +113,40 @@ let dataplane t =
     t.dp <- Some dp;
     dp
 
-let forwarding t =
+let try_forwarding t =
   match t.fq with
-  | Some fq -> fq
-  | None ->
-    let fq = Fquery.make ~configs:(Snapshot.find t.snap) ~dp:(dataplane t) () in
-    t.fq <- Some fq;
-    fq
+  | Some fq -> Ok fq
+  | None -> (
+    match Fquery.make_checked ~configs:(Snapshot.find t.snap) ~dp:(dataplane t) () with
+    | Ok fq ->
+      t.fq <- Some fq;
+      Ok fq
+    | Error d ->
+      t.extra_diags <- d :: t.extra_diags;
+      Error d)
+
+let forwarding t =
+  match try_forwarding t with
+  | Ok fq -> fq
+  | Error d -> failwith (Diag.to_string d)
+
+(* Every diagnostic the pipeline has produced so far. The data plane's are
+   included only once it has been computed; nothing here forces it. *)
+let diags t =
+  Snapshot.diags t.snap
+  @ (match t.dp with
+    | Some dp -> dp.Dataplane.diags
+    | None -> [])
+  @ List.rev t.extra_diags
+
+let strict_failure t =
+  Diag.severity_rank (Diag.max_severity (diags t)) >= Diag.severity_rank Diag.Error
 
 let traceroute t ~start ?ingress pkt =
   Traceroute.run ~configs:(Snapshot.find t.snap) ~dp:(dataplane t) ~start ?ingress pkt
 
 let answer_init_issues t = Questions.init_issues (Snapshot.parse_warnings t.snap)
+let answer_diagnostics t = Questions.diagnostics (diags t)
 let answer_undefined_references t = Questions.undefined_references (Snapshot.configs t.snap)
 let answer_unused_structures t = Questions.unused_structures (Snapshot.configs t.snap)
 let answer_duplicate_ips t = Questions.duplicate_ips (Snapshot.configs t.snap)

@@ -11,15 +11,25 @@
 module Snapshot : sig
   type t
 
-  (** [(filename, config text)] pairs; vendors are auto-detected. *)
-  val of_texts : (string * string) list -> t
+  (** [(filename, config text)] pairs; vendors are auto-detected. A file
+      whose parse raises is skipped with a [Fatal] diag; duplicate hostnames
+      keep the first definition and emit an [Error] diag. [?diags] prepends
+      diagnostics gathered before parsing (used by {!of_dir}). *)
+  val of_texts : ?diags:Diag.t list -> (string * string) list -> t
 
-  (** Reads every regular file in a directory as a configuration. *)
+  (** Reads every regular file in a directory as a configuration. Dotfiles
+      and unreadable files are skipped with a diag instead of raising;
+      handling order is deterministic (sorted by name). *)
   val of_dir : string -> t
 
   val of_network : Netgen.network -> t
   val configs : t -> Vi.t list
   val parse_warnings : t -> (Vi.t * Warning.t list) list
+
+  (** Parse/convert diagnostics, including every parse warning lifted via
+      [Warning.to_diag]. *)
+  val diags : t -> Diag.t list
+
   val find : t -> string -> Vi.t option
   val node_names : t -> string list
 end
@@ -32,8 +42,21 @@ val snapshot : t -> Snapshot.t
 (** Stage 2, computed once and cached. *)
 val dataplane : t -> Dataplane.t
 
-(** Stage 3 engine (forwarding graph), computed once and cached. *)
+(** Stage 3 engine (forwarding graph), computed once and cached.
+    @raise Failure if graph construction fails (see {!try_forwarding}). *)
 val forwarding : t -> Fquery.t
+
+(** Like {!forwarding} but fault-isolated: a crash during graph construction
+    is returned (and recorded) as a [Fatal] forwarding diag. *)
+val try_forwarding : t -> (Fquery.t, Diag.t) result
+
+(** All diagnostics produced so far: snapshot parse/convert diags, data-plane
+    diags (once computed), and forwarding diags. Never forces computation. *)
+val diags : t -> Diag.t list
+
+(** True when any [Error] or [Fatal] diagnostic was produced (the CLI's
+    [--strict] gate). *)
+val strict_failure : t -> bool
 
 (** Concrete traceroute through the computed data plane. *)
 val traceroute : t -> start:string -> ?ingress:string -> Packet.t -> Traceroute.trace list
@@ -41,6 +64,9 @@ val traceroute : t -> start:string -> ?ingress:string -> Packet.t -> Traceroute.
 (** {2 Question shortcuts} *)
 
 val answer_init_issues : t -> Questions.answer
+
+(** The structured diagnostics table (see {!diags}). *)
+val answer_diagnostics : t -> Questions.answer
 val answer_undefined_references : t -> Questions.answer
 val answer_unused_structures : t -> Questions.answer
 val answer_duplicate_ips : t -> Questions.answer

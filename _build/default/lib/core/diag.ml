@@ -1,0 +1,127 @@
+(* Structured pipeline diagnostics. The paper's operational lesson is to
+   "parse as much as possible" and degrade gracefully on everything else;
+   this module is how every stage reports what it skipped, quarantined, or
+   gave up on, instead of raising at the operator. *)
+
+type severity = Info | Warn | Error | Fatal
+
+type phase = Parse | Convert | Dataplane | Forwarding | Question
+
+type location = {
+  loc_node : string option;
+  loc_file : string option;
+  loc_line : int option;
+}
+
+type t = {
+  d_severity : severity;
+  d_phase : phase;
+  d_code : string;
+  d_loc : location;
+  d_message : string;
+}
+
+let no_location = { loc_node = None; loc_file = None; loc_line = None }
+
+let make ?node ?file ?line ~severity ~phase ~code message =
+  { d_severity = severity; d_phase = phase; d_code = code;
+    d_loc = { loc_node = node; loc_file = file; loc_line = line };
+    d_message = message }
+
+let info ?node ?file ?line ~phase ~code msg =
+  make ?node ?file ?line ~severity:Info ~phase ~code msg
+
+let warn ?node ?file ?line ~phase ~code msg =
+  make ?node ?file ?line ~severity:Warn ~phase ~code msg
+
+let error ?node ?file ?line ~phase ~code msg =
+  make ?node ?file ?line ~severity:Error ~phase ~code msg
+
+let fatal ?node ?file ?line ~phase ~code msg =
+  make ?node ?file ?line ~severity:Fatal ~phase ~code msg
+
+(* --- stable error codes --- *)
+
+let code_parse_crash = "PARSE_CRASH"
+let code_parse_warning = "PARSE_WARNING"
+let code_unreadable_file = "FILE_UNREADABLE"
+let code_skipped_file = "FILE_SKIPPED"
+let code_duplicate_hostname = "DUPLICATE_HOSTNAME"
+let code_node_quarantined = "NODE_QUARANTINED"
+let code_topology_failed = "TOPOLOGY_FAILED"
+let code_ospf_failed = "OSPF_FAILED"
+let code_bgp_fuel_exhausted = "BGP_FUEL_EXHAUSTED"
+let code_outer_fuel_exhausted = "OUTER_FUEL_EXHAUSTED"
+let code_oscillation = "BGP_OSCILLATION"
+let code_fib_failed = "FIB_FAILED"
+let code_forwarding_failed = "FORWARDING_FAILED"
+let code_unknown_node = "UNKNOWN_NODE"
+let code_unknown_protocol = "UNKNOWN_PROTOCOL"
+
+(* --- rendering --- *)
+
+let severity_to_string = function
+  | Info -> "INFO"
+  | Warn -> "WARN"
+  | Error -> "ERROR"
+  | Fatal -> "FATAL"
+
+let phase_to_string = function
+  | Parse -> "parse"
+  | Convert -> "convert"
+  | Dataplane -> "dataplane"
+  | Forwarding -> "forwarding"
+  | Question -> "question"
+
+let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2 | Fatal -> 3
+
+let at_least threshold d = severity_rank d.d_severity >= severity_rank threshold
+
+let max_severity diags =
+  List.fold_left
+    (fun acc d -> if severity_rank d.d_severity > severity_rank acc then d.d_severity else acc)
+    Info diags
+
+let location_to_string loc =
+  let parts =
+    List.filter_map Fun.id
+      [ loc.loc_node; loc.loc_file; Option.map string_of_int loc.loc_line ]
+  in
+  match parts with
+  | [] -> "-"
+  | ps -> String.concat ":" ps
+
+let to_string d =
+  Printf.sprintf "[%s] %s %s %s: %s"
+    (severity_to_string d.d_severity) (phase_to_string d.d_phase) d.d_code
+    (location_to_string d.d_loc) d.d_message
+
+(* A diagnostic is well-formed when its code is a stable SCREAMING_SNAKE
+   identifier and it carries a human-readable message. The chaos harness
+   asserts this for every diag the pipeline emits. *)
+let well_formed d =
+  let code_ok =
+    String.length d.d_code > 0
+    && String.for_all
+         (fun c -> (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_')
+         d.d_code
+  in
+  let line_ok = match d.d_loc.loc_line with Some l -> l >= 0 | None -> true in
+  code_ok && line_ok && String.length d.d_message > 0
+
+(* --- collectors --- *)
+
+type collector = { mutable items : t list (* newest first *) }
+
+let collector () = { items = [] }
+let add c d = c.items <- d :: c.items
+let add_all c ds = List.iter (add c) ds
+let to_list c = List.rev c.items
+
+(* Wrap one unit of work: any escaping exception becomes a diagnostic
+   instead of aborting the pipeline. *)
+let isolate ?node ?file ~phase ~code c f =
+  try Some (f ())
+  with exn ->
+    add c (fatal ?node ?file ~phase ~code (Printexc.to_string exn));
+    None

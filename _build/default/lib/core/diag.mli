@@ -1,0 +1,95 @@
+(** Structured pipeline diagnostics.
+
+    Every stage of the pipeline — parsing, VI conversion, data-plane
+    simulation, forwarding analysis, questions — reports skipped input,
+    quarantined nodes, and exhausted budgets as diagnostics instead of
+    raising. [Warning.t] (parse-time warnings) remains as a thin
+    compatibility layer; [Warning.to_diag] lifts it into this type. *)
+
+type severity = Info | Warn | Error | Fatal
+
+(** The pipeline stage that emitted the diagnostic. *)
+type phase = Parse | Convert | Dataplane | Forwarding | Question
+
+type location = {
+  loc_node : string option;  (** device hostname *)
+  loc_file : string option;  (** input file name *)
+  loc_line : int option;  (** 1-based line in [loc_file] *)
+}
+
+type t = {
+  d_severity : severity;
+  d_phase : phase;
+  d_code : string;  (** stable machine-readable code, e.g. ["NODE_QUARANTINED"] *)
+  d_loc : location;
+  d_message : string;
+}
+
+val no_location : location
+
+val make :
+  ?node:string -> ?file:string -> ?line:int ->
+  severity:severity -> phase:phase -> code:string -> string -> t
+
+val info : ?node:string -> ?file:string -> ?line:int -> phase:phase -> code:string -> string -> t
+val warn : ?node:string -> ?file:string -> ?line:int -> phase:phase -> code:string -> string -> t
+val error : ?node:string -> ?file:string -> ?line:int -> phase:phase -> code:string -> string -> t
+val fatal : ?node:string -> ?file:string -> ?line:int -> phase:phase -> code:string -> string -> t
+
+(** {2 Stable codes used across the pipeline} *)
+
+val code_parse_crash : string
+val code_parse_warning : string
+val code_unreadable_file : string
+val code_skipped_file : string
+val code_duplicate_hostname : string
+val code_node_quarantined : string
+val code_topology_failed : string
+val code_ospf_failed : string
+val code_bgp_fuel_exhausted : string
+val code_outer_fuel_exhausted : string
+val code_oscillation : string
+val code_fib_failed : string
+val code_forwarding_failed : string
+val code_unknown_node : string
+val code_unknown_protocol : string
+
+(** {2 Inspection and rendering} *)
+
+val severity_to_string : severity -> string
+val phase_to_string : phase -> string
+
+(** Info < Warn < Error < Fatal. *)
+val severity_rank : severity -> int
+
+(** [at_least threshold d] is true when [d] is as severe as [threshold]. *)
+val at_least : severity -> t -> bool
+
+(** The highest severity present ([Info] for an empty list). *)
+val max_severity : t list -> severity
+
+val location_to_string : location -> string
+val to_string : t -> string
+
+(** Structural validity: non-empty SCREAMING_SNAKE code, non-empty message,
+    non-negative line. The chaos harness asserts this for every emitted
+    diagnostic. *)
+val well_formed : t -> bool
+
+(** {2 Collectors} *)
+
+type collector
+
+val collector : unit -> collector
+val add : collector -> t -> unit
+val add_all : collector -> t list -> unit
+
+(** In emission order. *)
+val to_list : collector -> t list
+
+(** [isolate ~phase ~code c f] runs [f ()]; an escaping exception is
+    recorded in [c] as a [Fatal] diagnostic and [None] is returned. The unit
+    of fault isolation for the whole pipeline. *)
+val isolate :
+  ?node:string -> ?file:string ->
+  phase:phase -> code:string -> collector -> (unit -> 'a) -> 'a option

@@ -1,1 +1,1 @@
-lib/dataplane/dataplane.mli: Dp_env Fib Hashtbl Ipv4 L3 Rib Vi
+lib/dataplane/dataplane.mli: Diag Dp_env Fib Hashtbl Ipv4 L3 Rib Vi

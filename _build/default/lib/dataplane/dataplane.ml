@@ -5,12 +5,13 @@ type options = {
   use_logical_clocks : bool;
   domains : int;
   max_rounds : int;
+  outer_fuel : int;
   full_rib_compare : bool;
 }
 
 let default_options =
   { schedule = Colored; use_logical_clocks = true; domains = 1; max_rounds = 500;
-    full_rib_compare = false }
+    outer_fuel = 5; full_rib_compare = false }
 
 type session_report = {
   sr_node : string;
@@ -38,6 +39,8 @@ type t = {
   rounds : int;
   outer_iterations : int;
   sessions : session_report list;
+  quarantined : (string * string) list;
+  diags : Diag.t list;
 }
 
 (* --- internal simulation state --- *)
@@ -282,7 +285,7 @@ let tcp_blocked_by_acls topo node (remote_node : node option) local_ip peer_ip =
   in
   connection_blocked local_ip peer_ip && connection_blocked peer_ip local_ip
 
-let establish_sessions env topo nodes node_index node =
+let establish_sessions ?(peer_quarantined = fun _ -> false) env topo nodes node_index node =
   match node.cfg.Vi.bgp with
   | None ->
     node.sessions <- [];
@@ -302,6 +305,7 @@ let establish_sessions env topo nodes node_index node =
             | Some ep -> (
               match Hashtbl.find_opt node_index ep.L3.ep_node with
               | None -> fail "peer node unknown"
+              | Some ridx when peer_quarantined ridx -> fail "peer node quarantined"
               | Some ridx -> (
                 let rnode = nodes.(ridx) in
                 match rnode.cfg.Vi.bgp with
@@ -720,9 +724,15 @@ let snapshot_ribs nodes =
     nodes
 
 (* Run the BGP exchange to a fixed point. Returns (rounds, converged,
-   oscillated). *)
-let run_bgp options nodes node_index =
-  ignore node_index;
+   oscillated, fuel_exhausted). [skip] excludes quarantined nodes;
+   [on_fault] quarantines a node whose processing raises — the run keeps
+   going for everyone else. [options.max_rounds] is the fuel budget: when it
+   runs out the result is a well-formed non-converged state, not a hang. *)
+let run_bgp options nodes ~skip ~on_fault =
+  let safe ~round node f =
+    if not (skip node) then
+      try f () with exn -> on_fault ~round node (Printexc.to_string exn)
+  in
   let n = Array.length nodes in
   (* Schedule: color the internal-session graph so that no two adjacent nodes
      are in the same class (Colored), or put everyone in one class
@@ -744,9 +754,9 @@ let run_bgp options nodes node_index =
   in
   (* Initial state: local originations + external announcements, then a first
      publication from everyone. *)
-  Array.iter (fun node -> refresh_local_bgp node) nodes;
-  Array.iter (fun node -> inject_external options node) nodes;
-  Array.iter (fun node -> publish options node ~round:0) nodes;
+  Array.iter (fun node -> safe ~round:0 node (fun () -> refresh_local_bgp node)) nodes;
+  Array.iter (fun node -> safe ~round:0 node (fun () -> inject_external options node)) nodes;
+  Array.iter (fun node -> safe ~round:0 node (fun () -> publish options node ~round:0)) nodes;
   let seen_states = Hashtbl.create 64 in
   let rounds = ref 0 and converged = ref false and oscillated = ref false in
   while (not !converged) && (not !oscillated) && !rounds < options.max_rounds do
@@ -763,13 +773,25 @@ let run_bgp options nodes node_index =
         let members = Array.of_list cls in
         (* Same-color nodes share no session, so they can proceed in
            parallel; results are deterministic because each node only
-           mutates its own state. *)
-        ignore
-          (Par.map ~domains:options.domains
-             (fun i ->
-               process_node options nodes ~round ~visible nodes.(i);
-               0)
-             members))
+           mutates its own state. Faults are collected and applied
+           sequentially after the class so quarantine bookkeeping never
+           races across domains. *)
+        let faults =
+          Par.map ~domains:options.domains
+            (fun i ->
+              let nd = nodes.(i) in
+              if skip nd then None
+              else
+                match process_node options nodes ~round ~visible nd with
+                | () -> None
+                | exception exn -> Some (i, Printexc.to_string exn))
+            members
+        in
+        Array.iter
+          (function
+            | None -> ()
+            | Some (i, msg) -> on_fault ~round nodes.(i) msg)
+          faults)
       classes;
     let any_published =
       Array.exists (fun node -> node.published_this_round) nodes
@@ -792,59 +814,166 @@ let run_bgp options nodes node_index =
       if count >= 3 && round > 8 then oscillated := true
     end
   done;
-  if !rounds >= options.max_rounds && not !converged then oscillated := true;
-  (!rounds, !converged, !oscillated)
+  let fuel_exhausted =
+    !rounds >= options.max_rounds && (not !converged) && not !oscillated
+  in
+  if fuel_exhausted then oscillated := true;
+  (!rounds, !converged, !oscillated, fuel_exhausted)
 
 (* --- orchestration --- *)
 
 let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
-  let topo = L3.infer configs in
-  let nodes = Array.of_list (List.mapi make_node configs) in
+  let dc = Diag.collector () in
+  let quarantine_tbl : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let quarantine ~node reason =
+    if not (Hashtbl.mem quarantine_tbl node) then begin
+      Hashtbl.replace quarantine_tbl node reason;
+      Diag.add dc
+        (Diag.error ~node ~phase:Diag.Dataplane ~code:Diag.code_node_quarantined
+           reason)
+    end
+  in
+  let is_quarantined name = Hashtbl.mem quarantine_tbl name in
+  (* Pre-flight: probe each config's topology and protocol initialization in
+     isolation. A config that cannot even initialize is quarantined up front
+     instead of poisoning the rest of the snapshot. *)
+  List.iter
+    (fun (cfg : Vi.t) ->
+      let probe what f =
+        if not (is_quarantined cfg.Vi.hostname) then
+          try ignore (f ())
+          with exn ->
+            quarantine ~node:cfg.Vi.hostname
+              (Printf.sprintf "%s raised: %s" what (Printexc.to_string exn))
+      in
+      probe "topology inference" (fun () -> L3.infer [ cfg ]);
+      probe "ospf initialization" (fun () -> Ospf_engine.interface_settings env cfg);
+      probe "node initialization" (fun () -> make_node 0 cfg))
+    configs;
+  let live =
+    List.filter (fun (c : Vi.t) -> not (is_quarantined c.Vi.hostname)) configs
+  in
+  let topo =
+    try L3.infer live
+    with exn ->
+      Diag.add dc
+        (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_topology_failed
+           (Printf.sprintf "topology inference raised; continuing without links: %s"
+              (Printexc.to_string exn)));
+      L3.infer []
+  in
+  let nodes =
+    let acc = ref [] in
+    List.iter
+      (fun (cfg : Vi.t) ->
+        match make_node (List.length !acc) cfg with
+        | node -> acc := node :: !acc
+        | exception exn ->
+          quarantine ~node:cfg.Vi.hostname
+            (Printf.sprintf "node initialization raised: %s" (Printexc.to_string exn)))
+      live;
+    Array.of_list (List.rev !acc)
+  in
   let node_index = Hashtbl.create 64 in
   Array.iter (fun node -> Hashtbl.replace node_index node.cfg.Vi.hostname node.idx) nodes;
+  (* Quarantining a node mid-simulation withdraws everything it holds and
+     publishes the withdrawals, so peers drop state learned from it; its
+     sessions are reported down with the reason. *)
+  let quarantine_node ~round node reason =
+    quarantine ~node:node.cfg.Vi.hostname reason;
+    (try Rib.withdraw_where node.bgp_rib (fun _ -> true) with _ -> ());
+    (try Rib.withdraw_where node.main_rib (fun _ -> true) with _ -> ());
+    (try Rib.withdraw_where node.static_rib (fun _ -> true) with _ -> ());
+    node.ospf_rib <- None;
+    node.local_bgp <- [];
+    (try publish options node ~round with _ -> ());
+    node.down_sessions <-
+      node.down_sessions
+      @ List.map (fun s -> (s.ss_neighbor, "node quarantined")) node.sessions;
+    node.sessions <- []
+  in
+  let skip node = is_quarantined node.cfg.Vi.hostname in
+  let on_fault ~round node msg =
+    quarantine_node ~round node (Printf.sprintf "quarantined: %s" msg)
+  in
+  let isolate node what f =
+    if not (skip node) then
+      try f ()
+      with exn ->
+        on_fault ~round:0 node
+          (Printf.sprintf "%s raised: %s" what (Printexc.to_string exn))
+  in
   (* Phase 1: connected and local routes. *)
   Array.iter
     (fun node ->
-      List.iter (fun r -> Rib.merge node.main_rib r) (connected_routes env node.cfg))
+      isolate node "connected-route computation" (fun () ->
+          List.iter (fun r -> Rib.merge node.main_rib r) (connected_routes env node.cfg)))
     nodes;
   (* Phase 2: static routes (recursive resolution to a fixed point). *)
   let rec statics_fixpoint guard =
-    let changed = Array.exists (fun node -> activate_statics env node) nodes in
-    if changed && guard > 0 then statics_fixpoint (guard - 1)
+    let changed = ref false in
+    Array.iter
+      (fun node ->
+        isolate node "static-route activation" (fun () ->
+            if activate_statics env node then changed := true))
+      nodes;
+    if !changed && guard > 0 then statics_fixpoint (guard - 1)
   in
   statics_fixpoint 16;
-  (* Phase 3: OSPF converges before BGP begins (the IGP-first ordering). *)
+  (* Phase 3: OSPF converges before BGP begins (the IGP-first ordering). A
+     crash in the global SPF computation degrades to "no OSPF routes" with an
+     Error diag rather than aborting the snapshot. *)
   let run_ospf () =
     let redistributable name =
       match Hashtbl.find_opt node_index name with
       | None -> []
       | Some i ->
         let node = nodes.(i) in
-        Rib.best_routes node.static_rib @ connected_routes env node.cfg
+        if skip node then []
+        else Rib.best_routes node.static_rib @ connected_routes env node.cfg
     in
-    let ribs =
-      Ospf_engine.compute ~env ~topo ~configs ~redistributable ~domains:options.domains
+    let ospf_configs =
+      List.filter (fun (c : Vi.t) -> not (is_quarantined c.Vi.hostname)) live
     in
-    Array.iter
-      (fun node ->
-        match Hashtbl.find_opt ribs node.cfg.Vi.hostname with
-        | None -> ()
-        | Some rib ->
-          Rib.withdraw_where node.main_rib (fun r ->
-              Route_proto.is_ospf r.Route.protocol);
-          node.ospf_rib <- Some rib;
-          List.iter (fun r -> Rib.merge node.main_rib r) (Rib.best_routes rib))
-      nodes
+    match
+      Ospf_engine.compute ~env ~topo ~configs:ospf_configs ~redistributable
+        ~domains:options.domains
+    with
+    | ribs ->
+      Array.iter
+        (fun node ->
+          isolate node "ospf route application" (fun () ->
+              match Hashtbl.find_opt ribs node.cfg.Vi.hostname with
+              | None -> ()
+              | Some rib ->
+                Rib.withdraw_where node.main_rib (fun r ->
+                    Route_proto.is_ospf r.Route.protocol);
+                node.ospf_rib <- Some rib;
+                List.iter (fun r -> Rib.merge node.main_rib r) (Rib.best_routes rib)))
+        nodes
+    | exception exn ->
+      Diag.add dc
+        (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_ospf_failed
+           (Printf.sprintf "OSPF computation raised; continuing without OSPF routes: %s"
+              (Printexc.to_string exn)))
   in
   run_ospf ();
   (* Statics may resolve through OSPF; if that changes the redistributable
      set, recompute OSPF once more. *)
-  let statics_changed = Array.exists (fun node -> activate_statics env node) nodes in
-  if statics_changed then begin
+  let statics_changed = ref false in
+  Array.iter
+    (fun node ->
+      isolate node "static-route activation" (fun () ->
+          if activate_statics env node then statics_changed := true))
+    nodes;
+  if !statics_changed then begin
     statics_fixpoint 16;
     run_ospf ()
   end;
-  (* Phase 4: BGP, with session re-evaluation at key points (§4.1.1). *)
+  (* Phase 4: BGP, with session re-evaluation at key points (§4.1.1). The
+     outer loop carries an explicit fuel budget: exhausting it yields a
+     well-formed converged=false result with a diag instead of spinning. *)
+  let peer_quarantined ridx = is_quarantined nodes.(ridx).cfg.Vi.hostname in
   let session_signature () =
     Array.to_list nodes
     |> List.concat_map (fun node ->
@@ -853,41 +982,99 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
   let rounds_total = ref 0 and converged = ref true and oscillated = ref false in
   let outer = ref 0 in
   let continue_outer = ref true in
-  while !continue_outer && !outer < 5 do
+  while !continue_outer && !outer < options.outer_fuel do
     incr outer;
     let before = if !outer = 1 then [] else session_signature () in
-    Array.iter (fun node -> establish_sessions env topo nodes node_index node) nodes;
+    Array.iter
+      (fun node ->
+        if skip node then begin
+          node.down_sessions <-
+            (match node.cfg.Vi.bgp with
+             | Some b ->
+               List.map (fun (nbr : Vi.bgp_neighbor) -> (nbr, "node quarantined"))
+                 b.bp_neighbors
+             | None -> []);
+          node.sessions <- []
+        end
+        else
+          try establish_sessions ~peer_quarantined env topo nodes node_index node
+          with exn ->
+            on_fault ~round:0 node
+              (Printf.sprintf "session establishment raised: %s"
+                 (Printexc.to_string exn)))
+      nodes;
     let after = session_signature () in
     if !outer > 1 && before = after then continue_outer := false
     else begin
       (* Drop state learned over sessions that no longer exist. *)
       Array.iter
         (fun node ->
-          let live = List.map (fun s -> s.ss_peer_ip) node.sessions in
-          Rib.withdraw_where node.bgp_rib (fun r ->
-              r.Route.from_peer <> 0 && not (List.mem r.Route.from_peer live));
-          Rib.withdraw_where node.main_rib (fun r ->
-              Route_proto.is_bgp r.Route.protocol
-              && r.Route.from_peer <> 0
-              && not (List.mem r.Route.from_peer live));
-          ignore (Rib.take_delta node.bgp_rib))
+          isolate node "stale-session withdrawal" (fun () ->
+              let live = List.map (fun s -> s.ss_peer_ip) node.sessions in
+              Rib.withdraw_where node.bgp_rib (fun r ->
+                  r.Route.from_peer <> 0 && not (List.mem r.Route.from_peer live));
+              Rib.withdraw_where node.main_rib (fun r ->
+                  Route_proto.is_bgp r.Route.protocol
+                  && r.Route.from_peer <> 0
+                  && not (List.mem r.Route.from_peer live));
+              ignore (Rib.take_delta node.bgp_rib)))
         nodes;
-      let rounds, conv, osc = run_bgp options nodes node_index in
+      let rounds, conv, osc, fuel = run_bgp options nodes ~skip ~on_fault in
       rounds_total := !rounds_total + rounds;
       converged := conv;
       oscillated := osc;
+      if fuel then
+        Diag.add dc
+          (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_bgp_fuel_exhausted
+             (Printf.sprintf "BGP did not converge within the %d-round fuel budget"
+                options.max_rounds))
+      else if osc then
+        Diag.add dc
+          (Diag.warn ~phase:Diag.Dataplane ~code:Diag.code_oscillation
+             (Printf.sprintf "BGP oscillation detected after %d rounds" rounds));
       if osc then continue_outer := false
     end
   done;
-  (* Phase 5: FIBs. *)
+  if !continue_outer && !outer >= options.outer_fuel then begin
+    converged := false;
+    Diag.add dc
+      (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_outer_fuel_exhausted
+         (Printf.sprintf
+            "session re-evaluation did not stabilize within the %d-pass fuel budget"
+            options.outer_fuel))
+  end;
+  (* Phase 5: FIBs. Quarantined nodes (including those quarantined before the
+     simulation started) appear with empty tables so lookups stay total. *)
+  let empty_rib () =
+    Rib.create ~prefer:Cmp.main_prefer ~multipath_equal:Cmp.main_multipath_equal
+      ~max_paths:1 ()
+  in
   let results = Hashtbl.create 64 in
   Array.iter
     (fun node ->
-      let fib = Fib.of_rib ~node:node.cfg.Vi.hostname ~topo node.main_rib in
-      Hashtbl.replace results node.cfg.Vi.hostname
-        { nr_node = node.cfg.Vi.hostname; nr_main = node.main_rib;
+      let name = node.cfg.Vi.hostname in
+      let fib =
+        try Fib.of_rib ~node:name ~topo node.main_rib
+        with exn ->
+          Diag.add dc
+            (Diag.error ~node:name ~phase:Diag.Dataplane ~code:Diag.code_fib_failed
+               (Printf.sprintf "FIB resolution raised: %s" (Printexc.to_string exn)));
+          Fib.of_rib ~node:name ~topo (empty_rib ())
+      in
+      Hashtbl.replace results name
+        { nr_node = name; nr_main = node.main_rib;
           nr_bgp = node.bgp_rib; nr_ospf = node.ospf_rib; nr_fib = fib })
     nodes;
+  List.iter
+    (fun (cfg : Vi.t) ->
+      let name = cfg.Vi.hostname in
+      if is_quarantined name && not (Hashtbl.mem results name) then begin
+        let main = empty_rib () in
+        Hashtbl.replace results name
+          { nr_node = name; nr_main = main; nr_bgp = empty_rib (); nr_ospf = None;
+            nr_fib = Fib.of_rib ~node:name ~topo main }
+      end)
+    configs;
   let sessions =
     Array.to_list nodes
     |> List.concat_map (fun node ->
@@ -915,10 +1102,16 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
     oscillated = !oscillated;
     rounds = !rounds_total;
     outer_iterations = !outer;
-    sessions }
+    sessions;
+    quarantined =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) quarantine_tbl []);
+    diags = Diag.to_list dc }
+
+let node_opt t name = Hashtbl.find_opt t.nodes name
 
 let node t name =
-  match Hashtbl.find_opt t.nodes name with
+  match node_opt t name with
   | Some nr -> nr
   | None -> invalid_arg (Printf.sprintf "Dataplane.node: unknown node %s" name)
 

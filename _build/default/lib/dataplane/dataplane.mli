@@ -19,6 +19,11 @@ type options = {
   use_logical_clocks : bool;
   domains : int;  (** worker domains for parallel phases *)
   max_rounds : int;
+      (** fuel budget for BGP rounds within one outer pass; exhausting it
+          yields [converged = false] plus a [BGP_FUEL_EXHAUSTED] diag *)
+  outer_fuel : int;
+      (** fuel budget for session re-evaluation passes (§4.1.1); exhausting
+          it yields [converged = false] plus an [OUTER_FUEL_EXHAUSTED] diag *)
   full_rib_compare : bool;
       (** ablation: also detect convergence by snapshotting and comparing
           full RIBs each round (the classic, memory-hungry method) *)
@@ -52,10 +57,24 @@ type t = {
   rounds : int;  (** BGP rounds until convergence (or cutoff) *)
   outer_iterations : int;  (** session re-evaluation passes (§4.1.1) *)
   sessions : session_report list;
+  quarantined : (string * string) list;
+      (** nodes excluded from the simulation, with the reason; their results
+          are present but empty, their sessions reported down *)
+  diags : Diag.t list;  (** everything skipped, quarantined, or budget-cut *)
 }
 
+(** Fault-isolated data-plane generation: a node whose topology, OSPF, or
+    BGP initialization raises is quarantined (routes withdrawn, sessions
+    down with a reason) instead of aborting the snapshot, and both the BGP
+    round loop and the outer session re-evaluation loop run on explicit fuel
+    budgets ({!options.max_rounds}, {!options.outer_fuel}). Never raises on
+    operator input. *)
 val compute : ?options:options -> ?env:Dp_env.t -> Vi.t list -> t
+
+(** @raise Invalid_argument on an unknown node name; prefer {!node_opt}. *)
 val node : t -> string -> node_result
+
+val node_opt : t -> string -> node_result option
 
 (** Total best routes in main RIBs across nodes (the paper's Table 1
     "routes" column). *)

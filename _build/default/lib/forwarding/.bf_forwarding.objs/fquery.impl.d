@@ -1,1 +1,1 @@
-lib/forwarding/fquery.ml: Array Bdd Dataplane Fgraph Field Freach List Option Packet Pktset Scc Vi
+lib/forwarding/fquery.ml: Array Bdd Dataplane Diag Fgraph Field Freach List Option Packet Pktset Printexc Printf Scc Vi

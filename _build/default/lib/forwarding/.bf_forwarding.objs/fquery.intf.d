@@ -1,1 +1,1 @@
-lib/forwarding/fquery.mli: Bdd Dataplane Fgraph Packet Pktset Prefix Vi
+lib/forwarding/fquery.mli: Bdd Dataplane Diag Fgraph Packet Pktset Prefix Vi

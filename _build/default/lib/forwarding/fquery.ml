@@ -9,6 +9,16 @@ type start = string * string option
 let make ?env ?compress ~configs ~dp () =
   { g = Fgraph.build ?env ?compress ~configs ~dp (); dp; configs }
 
+(* Fault-isolated construction: graph building walks every FIB and compiles
+   every referenced ACL, any of which may be garbage on a hostile snapshot. *)
+let make_checked ?env ?compress ~configs ~dp () =
+  try Ok (make ?env ?compress ~configs ~dp ())
+  with exn ->
+    Error
+      (Diag.fatal ~phase:Diag.Forwarding ~code:Diag.code_forwarding_failed
+         (Printf.sprintf "forwarding graph construction raised: %s"
+            (Printexc.to_string exn)))
+
 let env t = t.g.Fgraph.env
 
 let clean t =

@@ -20,6 +20,16 @@ val make :
   unit ->
   t
 
+(** Fault-isolated {!make}: an exception during graph construction is
+    returned as a [Fatal] forwarding diagnostic instead of escaping. *)
+val make_checked :
+  ?env:Pktset.t ->
+  ?compress:bool ->
+  configs:(string -> Vi.t option) ->
+  dp:Dataplane.t ->
+  unit ->
+  (t, Diag.t) result
+
 val env : t -> Pktset.t
 
 (** The set with all query-local extra bits zero (seeds must use it). *)

@@ -1,0 +1,1 @@
+lib/netgen/chaos.ml: Array Char List Netgen Printf Rng String

@@ -1,0 +1,1 @@
+lib/netgen/chaos.mli: Netgen Rng

@@ -1,0 +1,1 @@
+lib/netgen/netgen.ml: Array Dp_env Filename Fun Ipv4 List Prefix Printf String

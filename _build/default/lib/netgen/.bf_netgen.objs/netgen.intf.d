@@ -1,0 +1,1 @@
+lib/netgen/netgen.mli: Dp_env

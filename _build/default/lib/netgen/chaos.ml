@@ -1,0 +1,90 @@
+(* Deterministic fault injection for generated networks. Every mutator is
+   driven by the seeded splitmix stream (Rng), so a failing seed reproduces
+   exactly; the chaos property test feeds hundreds of mutated snapshots
+   through the full pipeline and asserts "diagnostics, never exceptions". *)
+
+type mutation = {
+  mut_kind : string;
+  mut_files : string list;  (* every file whose content the mutation touched *)
+  mut_detail : string;
+}
+
+let kinds =
+  [ "truncate"; "corrupt-line"; "delete-line"; "duplicate-line"; "garbage-bytes";
+    "empty-file"; "binary-blob"; "duplicate-hostname" ]
+
+let garbage_char rng = Char.chr (Rng.int rng 256)
+
+let lines text = String.split_on_char '\n' text
+let unlines ls = String.concat "\n" ls
+
+let splice text pos insert = String.sub text 0 pos ^ insert ^ String.sub text pos (String.length text - pos)
+
+(* Apply one line-level edit at a random line; None when the text has no
+   usable line (so the driver can pick another mutation). *)
+let edit_line rng text f =
+  let ls = Array.of_list (lines text) in
+  if Array.length ls = 0 then None
+  else begin
+    let i = Rng.int rng (Array.length ls) in
+    f ls i;
+    Some (unlines (Array.to_list ls))
+  end
+
+let mutate_text ~rng ~kind text =
+  match kind with
+  | "truncate" ->
+    if String.length text = 0 then None
+    else Some (String.sub text 0 (Rng.int rng (String.length text)))
+  | "corrupt-line" ->
+    edit_line rng text (fun ls i ->
+        let l = ls.(i) in
+        ls.(i) <-
+          (if String.length l = 0 then
+             String.init (1 + Rng.int rng 8) (fun _ -> garbage_char rng)
+           else
+             String.map (fun c -> if Rng.int rng 3 = 0 then garbage_char rng else c) l))
+  | "delete-line" ->
+    edit_line rng text (fun ls i -> ls.(i) <- "")
+  | "duplicate-line" ->
+    edit_line rng text (fun ls i -> ls.(i) <- ls.(i) ^ "\n" ^ ls.(i))
+  | "garbage-bytes" ->
+    let blob = String.init (1 + Rng.int rng 64) (fun _ -> garbage_char rng) in
+    Some (splice text (Rng.int rng (String.length text + 1)) blob)
+  | "empty-file" -> Some ""
+  | "binary-blob" ->
+    Some (String.init (16 + Rng.int rng 256) (fun _ -> garbage_char rng))
+  | kind -> invalid_arg ("Chaos.mutate_text: unknown mutation kind " ^ kind)
+
+let mutate_network ~rng ?(mutations = 1) (net : Netgen.network) =
+  let files = Array.of_list net.Netgen.n_configs in
+  let applied = ref [] in
+  if Array.length files > 0 then
+    for _ = 1 to mutations do
+      let kind = Rng.pick_list rng kinds in
+      let i = Rng.int rng (Array.length files) in
+      let name, text = files.(i) in
+      match kind with
+      | "duplicate-hostname" ->
+        if Array.length files >= 2 then begin
+          let j = (i + 1 + Rng.int rng (Array.length files - 1)) mod Array.length files in
+          let other_name, other_text = files.(j) in
+          files.(i) <- (name, other_text);
+          applied :=
+            { mut_kind = kind; mut_files = [ name; other_name ];
+              mut_detail = Printf.sprintf "%s now holds a copy of %s" name other_name }
+            :: !applied
+        end
+      | kind -> (
+        match mutate_text ~rng ~kind text with
+        | Some text' ->
+          files.(i) <- (name, text');
+          applied :=
+            { mut_kind = kind; mut_files = [ name ];
+              mut_detail = Printf.sprintf "%s: %s" kind name }
+            :: !applied
+        | None -> ())
+    done;
+  ({ net with Netgen.n_configs = Array.to_list files }, List.rev !applied)
+
+let affected_files muts = List.sort_uniq compare (List.concat_map (fun m -> m.mut_files) muts)

@@ -1,0 +1,34 @@
+(** Deterministic chaos harness: seeded fault injection for generated
+    networks.
+
+    Mutators corrupt a {!Netgen.network}'s configuration text the way real
+    operator input breaks — truncated transfers, corrupted or duplicated
+    lines, binary garbage, duplicated hostnames — while the {!Rng} seed keeps
+    every run reproducible. The chaos property test asserts that the pipeline
+    turns all of it into structured diagnostics, never exceptions. *)
+
+type mutation = {
+  mut_kind : string;  (** one of {!kinds} *)
+  mut_files : string list;  (** every file whose content the mutation touched *)
+  mut_detail : string;
+}
+
+(** ["truncate"], ["corrupt-line"], ["delete-line"], ["duplicate-line"],
+    ["garbage-bytes"], ["empty-file"], ["binary-blob"],
+    ["duplicate-hostname"]. *)
+val kinds : string list
+
+(** [mutate_text ~rng ~kind text] applies one file-level mutation; [None]
+    when the mutation does not apply (e.g. truncating an empty file).
+    @raise Invalid_argument on an unknown [kind] (["duplicate-hostname"] is
+    network-level only). *)
+val mutate_text : rng:Rng.t -> kind:string -> string -> string option
+
+(** [mutate_network ~rng ~mutations net] applies [mutations] (default 1)
+    randomly chosen mutations to randomly chosen files, returning the mutated
+    network and what was done to it. *)
+val mutate_network :
+  rng:Rng.t -> ?mutations:int -> Netgen.network -> Netgen.network * mutation list
+
+(** All files touched by a list of mutations, deduplicated. *)
+val affected_files : mutation list -> string list

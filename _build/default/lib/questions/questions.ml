@@ -25,6 +25,18 @@ let init_issues parsed =
   in
   { a_title = "initIssues"; a_header = [ "node"; "line"; "issue"; "text" ]; a_rows = rows }
 
+let diagnostics diags =
+  let rows =
+    List.map
+      (fun (d : Diag.t) ->
+        [ Diag.severity_to_string d.d_severity; Diag.phase_to_string d.d_phase;
+          d.d_code; Diag.location_to_string d.d_loc; d.d_message ])
+      diags
+  in
+  { a_title = "diagnostics";
+    a_header = [ "severity"; "phase"; "code"; "location"; "message" ];
+    a_rows = rows }
+
 let undefined_references configs =
   let rows =
     List.concat_map
@@ -288,7 +300,9 @@ let routes ?node ?protocol (dp : Dataplane.t) =
       (fun name ->
         if node <> None && node <> Some name then []
         else
-          let nr = Dataplane.node dp name in
+          match Dataplane.node_opt dp name with
+          | None -> [] (* quarantined or otherwise missing *)
+          | Some nr ->
           Rib.fold_best
             (fun _ best acc ->
               List.filter_map

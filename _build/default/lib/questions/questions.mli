@@ -19,6 +19,9 @@ val print_answer : answer -> unit
 (** Parse warnings collected during stage 1. *)
 val init_issues : (Vi.t * Warning.t list) list -> answer
 
+(** Structured pipeline diagnostics as a uniform table. *)
+val diagnostics : Diag.t list -> answer
+
 (** Structures referenced but never defined. *)
 val undefined_references : Vi.t list -> answer
 

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Batfish Chaos Char Dataplane Diag Filename Ipv4 List Netgen Parse Printexc Printf Questions Rib Rng String Sys Unix Vi

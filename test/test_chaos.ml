@@ -1,0 +1,240 @@
+(* Fault-injection tests: the pipeline's "never crash on operator input,
+   always report what was skipped" invariant. Fixtures cover each malformed
+   input class per parser; the seeded chaos property drives hundreds of
+   mutated snapshots through the full pipeline and asserts diagnostics,
+   never exceptions. *)
+
+let check = Alcotest.check
+
+let truncated_ios =
+  "hostname broken-ios\n\
+   interface Ethernet1\n\
+   \ ip address 10.255.0.1 255.255.\n\
+   router bgp 65001\n\
+   \ neighbor 10.255.0.2 remote-as 650"
+
+let truncated_juniper =
+  "set system host-name broken-jun\n\
+   set interfaces ge-0/0/0 unit 0 family inet address 10.25\n\
+   set protocols bgp group peers neighbor 10.254."
+
+let binary_blob = String.init 256 (fun i -> Char.chr ((i * 37 + 11) land 0xff))
+
+let well_formed_diags bf =
+  List.iter
+    (fun d ->
+      if not (Diag.well_formed d) then
+        Alcotest.failf "ill-formed diag: %s" (Diag.to_string d))
+    (Batfish.diags bf)
+
+let has_code code diags = List.exists (fun (d : Diag.t) -> d.d_code = code) diags
+
+(* Malformed input per parser class: truncated IOS and Juniper, empty file,
+   binary garbage — all alongside a well-formed fabric that must still
+   produce a data plane with its sessions up. *)
+let malformed_fixtures () =
+  let net = Netgen.clos ~name:"fx" ~spines:2 ~leaves:2 () in
+  let files =
+    net.Netgen.n_configs
+    @ [ ("broken-ios.cfg", truncated_ios); ("broken-jun.cfg", truncated_juniper);
+        ("empty.cfg", ""); ("blob.cfg", binary_blob) ]
+  in
+  let snap = Batfish.Snapshot.of_texts files in
+  let bf = Batfish.init ~env:net.Netgen.n_env snap in
+  ignore (Batfish.check_all bf);
+  let dp = Batfish.dataplane bf in
+  well_formed_diags bf;
+  let fabric =
+    List.map
+      (fun (_, text) -> (fst (Parse.parse_config text)).Vi.hostname)
+      net.Netgen.n_configs
+  in
+  List.iter
+    (fun host ->
+      check Alcotest.bool (host ^ " not quarantined") false
+        (List.mem_assoc host dp.Dataplane.quarantined);
+      match Dataplane.node_opt dp host with
+      | None -> Alcotest.failf "%s missing from data plane" host
+      | Some nr ->
+        check Alcotest.bool (host ^ " has routes") true
+          (Rib.best_count nr.Dataplane.nr_main > 0))
+    fabric;
+  let fabric_sessions =
+    List.filter
+      (fun (s : Dataplane.session_report) -> List.mem s.sr_node fabric)
+      dp.Dataplane.sessions
+  in
+  check Alcotest.bool "fabric sessions up" true
+    (fabric_sessions <> []
+    && List.for_all (fun (s : Dataplane.session_report) -> s.sr_established) fabric_sessions);
+  check Alcotest.bool "fabric converged" true dp.Dataplane.converged
+
+let duplicate_hostname_first_wins () =
+  let first = "hostname twin\ninterface Ethernet1\n ip address 10.1.0.1 255.255.255.0\n" in
+  let second = "hostname twin\ninterface Ethernet1\n ip address 10.2.0.1 255.255.255.0\n" in
+  let snap = Batfish.Snapshot.of_texts [ ("a.cfg", first); ("b.cfg", second) ] in
+  check Alcotest.int "one config survives" 1
+    (List.length (Batfish.Snapshot.configs snap));
+  check Alcotest.bool "duplicate diag emitted" true
+    (has_code Diag.code_duplicate_hostname (Batfish.Snapshot.diags snap));
+  match Batfish.Snapshot.find snap "twin" with
+  | None -> Alcotest.fail "hostname lost"
+  | Some cfg -> (
+    match (List.hd cfg.Vi.interfaces).Vi.if_address with
+    | Some (ip, _) -> check Alcotest.string "first wins" "10.1.0.1" (Ipv4.to_string ip)
+    | None -> Alcotest.fail "interface lost")
+
+let of_dir_skips_unreadable () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "bf_chaos_dir_test" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name text =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc text;
+    close_out oc
+  in
+  write "good.cfg" "hostname good\ninterface Ethernet1\n ip address 10.3.0.1 255.255.255.0\n";
+  write ".dotfile" "not a config";
+  let dangling = Filename.concat dir "dangling.cfg" in
+  if Sys.file_exists dangling then Sys.remove dangling;
+  (try Unix.symlink (Filename.concat dir "does-not-exist") dangling
+   with Unix.Unix_error _ -> ());
+  let snap = Batfish.Snapshot.of_dir dir in
+  let diags = Batfish.Snapshot.diags snap in
+  check Alcotest.bool "good config parsed" true
+    (Batfish.Snapshot.find snap "good" <> None);
+  check Alcotest.bool "dotfile skipped with diag" true (has_code Diag.code_skipped_file diags);
+  check Alcotest.bool "unreadable file diag" true (has_code Diag.code_unreadable_file diags)
+
+(* A node whose initialization raises (here: an interface with an impossible
+   prefix length, which makes Prefix.make blow up) is quarantined; the rest
+   of the snapshot still produces a data plane. *)
+let quarantine_poisoned_node () =
+  let good =
+    fst
+      (Parse.parse_config
+         "hostname survivor\ninterface Ethernet1\n ip address 10.4.0.1 255.255.255.0\n")
+  in
+  let poisoned =
+    { (Vi.empty "poison" "cisco-ios") with
+      Vi.interfaces =
+        [ { (Vi.interface_default "Ethernet1") with
+            Vi.if_address = Some (Ipv4.of_string "10.4.1.1", 64) } ] }
+  in
+  let dp = Dataplane.compute [ good; poisoned ] in
+  check Alcotest.bool "poisoned node quarantined" true
+    (List.mem_assoc "poison" dp.Dataplane.quarantined);
+  check Alcotest.bool "quarantine diag" true
+    (has_code Diag.code_node_quarantined dp.Dataplane.diags);
+  (match Dataplane.node_opt dp "survivor" with
+   | None -> Alcotest.fail "survivor missing"
+   | Some nr ->
+     check Alcotest.bool "survivor has routes" true
+       (Rib.best_count nr.Dataplane.nr_main > 0));
+  match Dataplane.node_opt dp "poison" with
+  | None -> Alcotest.fail "quarantined node should still have an (empty) result"
+  | Some nr ->
+    check Alcotest.int "quarantined node has no routes" 0
+      (Rib.best_count nr.Dataplane.nr_main)
+
+(* Exhausting the BGP round fuel yields a well-formed converged=false result
+   with a diag, not a hang or an exception. *)
+let fuel_budget () =
+  let net = Netgen.fig1b () in
+  let configs =
+    List.map (fun (_, text) -> fst (Parse.parse_config text)) net.Netgen.n_configs
+  in
+  let options =
+    { Dataplane.default_options with schedule = Dataplane.Lockstep; max_rounds = 5 }
+  in
+  let dp = Dataplane.compute ~options ~env:net.Netgen.n_env configs in
+  check Alcotest.bool "not converged" false dp.Dataplane.converged;
+  check Alcotest.bool "fuel diag emitted" true
+    (has_code Diag.code_bgp_fuel_exhausted dp.Dataplane.diags
+    || has_code Diag.code_oscillation dp.Dataplane.diags)
+
+let unknown_names_graceful () =
+  let net = Netgen.clos ~name:"uk" ~spines:2 ~leaves:2 () in
+  let bf =
+    Batfish.init ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts net.Netgen.n_configs)
+  in
+  let dp = Batfish.dataplane bf in
+  check Alcotest.bool "node_opt None" true (Dataplane.node_opt dp "no-such-node" = None);
+  (match Dataplane.node dp "no-such-node" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "Dataplane.node should reject unknown names");
+  let ans = Questions.routes ~node:"no-such-node" dp in
+  check Alcotest.int "routes for unknown node: empty, no raise" 0
+    (List.length ans.Questions.a_rows)
+
+(* The chaos property (acceptance criterion): across >= 200 seeded mutations
+   of generated networks, check_all and dataplane never raise, every diag is
+   well-formed, and un-mutated nodes are never quarantined. *)
+let seeds_per_profile = 50
+
+let chaos_profiles =
+  [ ("clos", fun () -> Netgen.clos ~name:"cx" ~spines:2 ~leaves:3 ());
+    ("enterprise", fun () -> Netgen.enterprise ~name:"ce" ~sites:3 ());
+    ("campus", fun () -> Netgen.campus ~name:"cc" ~buildings:3 ());
+    ("wan", fun () -> Netgen.wan ~name:"cw" ~pops:4 ()) ]
+
+let chaos_property () =
+  let total = ref 0 in
+  List.iteri
+    (fun bi (pname, make) ->
+      let base = make () in
+      let hostname_of_file =
+        List.map
+          (fun (fname, text) -> (fname, (fst (Parse.parse_config text)).Vi.hostname))
+          base.Netgen.n_configs
+      in
+      for seed = 0 to seeds_per_profile - 1 do
+        incr total;
+        let where = Printf.sprintf "%s seed %d" pname seed in
+        let rng = Rng.create ((1000 * bi) + seed) in
+        let mutated, applied =
+          Chaos.mutate_network ~rng ~mutations:(1 + Rng.int rng 3) (make ())
+        in
+        let bf =
+          Batfish.init ~env:mutated.Netgen.n_env
+            (Batfish.Snapshot.of_texts mutated.Netgen.n_configs)
+        in
+        (try ignore (Batfish.check_all bf)
+         with exn ->
+           Alcotest.failf "%s: check_all raised %s" where (Printexc.to_string exn));
+        let dp =
+          try Batfish.dataplane bf
+          with exn ->
+            Alcotest.failf "%s: dataplane raised %s" where (Printexc.to_string exn)
+        in
+        well_formed_diags bf;
+        (* A non-converged result must say why. *)
+        if not dp.Dataplane.converged then
+          check Alcotest.bool (where ^ ": non-convergence explained") true
+            (has_code Diag.code_bgp_fuel_exhausted dp.Dataplane.diags
+            || has_code Diag.code_oscillation dp.Dataplane.diags
+            || has_code Diag.code_outer_fuel_exhausted dp.Dataplane.diags);
+        (* Un-mutated nodes stay in the simulation with results. *)
+        let affected = Chaos.affected_files applied in
+        List.iter
+          (fun (fname, host) ->
+            if not (List.mem fname affected) then begin
+              if List.mem_assoc host dp.Dataplane.quarantined then
+                Alcotest.failf "%s: un-mutated node %s was quarantined (%s)" where host
+                  (List.assoc host dp.Dataplane.quarantined);
+              if Dataplane.node_opt dp host = None then
+                Alcotest.failf "%s: un-mutated node %s missing" where host
+            end)
+          hostname_of_file
+      done)
+    chaos_profiles;
+  check Alcotest.bool "ran >= 200 mutations" true (!total >= 200)
+
+let suites =
+  [ ( "chaos",
+      [ Alcotest.test_case "malformed fixtures" `Quick malformed_fixtures;
+        Alcotest.test_case "duplicate hostname first-wins" `Quick duplicate_hostname_first_wins;
+        Alcotest.test_case "of_dir skips unreadable" `Quick of_dir_skips_unreadable;
+        Alcotest.test_case "quarantine poisoned node" `Quick quarantine_poisoned_node;
+        Alcotest.test_case "fuel budget" `Quick fuel_budget;
+        Alcotest.test_case "unknown names graceful" `Quick unknown_names_graceful;
+        Alcotest.test_case "chaos property (seeded mutations)" `Slow chaos_property ] ) ]
