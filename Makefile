@@ -1,0 +1,22 @@
+.PHONY: all build test lint check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Lint the shipped example fixtures with every registered pass.
+lint: build
+	dune exec bin/batfish_cli.exe -- lint --strict examples/configs/clean_small
+
+# The full gate: everything compiles, every test passes (which includes
+# linting the example fixtures via the runtest alias).
+check:
+	dune build
+	dune runtest
+
+clean:
+	dune clean

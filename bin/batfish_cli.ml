@@ -120,6 +120,75 @@ let routes_cmd =
   Cmd.v (Cmd.info "routes" ~doc:"Show main-RIB routes")
     Term.(const run $ dir_arg $ node $ proto $ strict_arg)
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let dir =
+    Arg.(value & pos 0 (some dir) None
+         & info [] ~docv:"CONFIG_DIR" ~doc:"Directory of configuration files")
+  in
+  let select =
+    Arg.(value & opt (some string) None
+         & info [ "select" ] ~docv:"PASSES"
+             ~doc:"Comma-separated lint passes to run (by name or LINT0xx code)")
+  in
+  let ignore_ =
+    Arg.(value & opt (some string) None
+         & info [ "ignore" ] ~docv:"PASSES"
+             ~doc:"Comma-separated lint passes to skip (by name or LINT0xx code)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable JSON report")
+  in
+  let fail_on =
+    Arg.(value & opt (some string) None
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:"Exit 2 if any finding is at or above SEVERITY (info|warn|error|fatal)")
+  in
+  let list_passes =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the registered passes and exit")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"CI gate: shorthand for --fail-on warn (any finding fails the run)")
+  in
+  let run dir select ignore_ json fail_on strict list_passes =
+    if list_passes then begin
+      List.iter
+        (fun (p : Lint.pass) -> Printf.printf "%s  %-22s %s\n" p.p_code p.p_name p.p_doc)
+        Lint.passes;
+      exit 0
+    end;
+    let dir =
+      match dir with
+      | Some d -> d
+      | None -> die "CONFIG_DIR required (or use --list to show the passes)"
+    in
+    let bf = load dir in
+    let split = Option.map (String.split_on_char ',') in
+    match Batfish.lint ?select:(split select) ?ignore_passes:(split ignore_) bf with
+    | Error msg -> die "%s (passes: %s)" msg (String.concat ", " Lint.pass_names)
+    | Ok report ->
+      print_string
+        (if json then Lint.report_to_json report ^ "\n" else Lint.report_to_text report);
+      let threshold =
+        match fail_on with
+        | Some s -> (
+          match Diag.severity_of_string s with
+          | Some sv -> Some sv
+          | None -> die "unknown severity '%s' (info|warn|error|fatal)" s)
+        | None -> if strict then Some Diag.Warn else None
+      in
+      (match threshold with
+       | Some sv when Lint.count_at_least sv report > 0 -> exit 2
+       | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static-analysis lint passes over a snapshot (no data plane computed)")
+    Term.(const run $ dir $ select $ ignore_ $ json $ fail_on $ strict $ list_passes)
+
 (* --- checks --- *)
 
 let check_cmd =
@@ -242,5 +311,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "batfish_cli" ~version:"1.0"
              ~doc:"Configuration analysis: parse, simulate, verify")
-          [ parse_cmd; diagnostics_cmd; dataplane_cmd; routes_cmd; check_cmd; trace_cmd;
+          [ parse_cmd; diagnostics_cmd; dataplane_cmd; routes_cmd; lint_cmd; check_cmd; trace_cmd;
             reach_cmd; verify_cmd; netgen_cmd ]))

@@ -31,12 +31,19 @@ type state = {
   mutable dns : string list;
   mutable logging : string list;
   mutable snmp : string option;
-  mutable warnings : Warning.t list;
+  mutable warnings : Diag.t list;
 }
 
-let warn st (line : line) kind =
+let warn st (line : line) code =
   st.warnings <-
-    Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw) kind
+    Diag.parse_warn ~node:st.hostname ~line:line.num ~code (String.trim line.raw)
+    :: st.warnings
+
+let warn_undef st (line : line) ty name =
+  st.warnings <-
+    Diag.parse_warn ~node:st.hostname ~line:line.num
+      ~code:Diag.code_undefined_reference
+      (Printf.sprintf "undefined %s '%s': %s" ty name (String.trim line.raw))
     :: st.warnings
 
 let mask_to_len mask =
@@ -102,7 +109,7 @@ let parse_acl_line st (line : line) seq_counter =
   in
   seq_counter := seq + 10;
   let fail () =
-    warn st line Warning.Unrecognized_syntax;
+    warn st line Diag.code_unrecognized_syntax;
     None
   in
   match tokens with
@@ -152,7 +159,7 @@ let parse_acl_line st (line : line) seq_counter =
                                   | None -> "") ])))
                   rest
               in
-              if leftover <> [] then warn st line Warning.Unrecognized_syntax;
+              if leftover <> [] then warn st line Diag.code_unrecognized_syntax;
               Some
                 { Vi.l_seq = seq; l_action = action; l_proto = proto; l_src = src;
                   l_dst = dst; l_src_ports = src_ports; l_dst_ports = dst_ports;
@@ -171,14 +178,14 @@ let parse_interface_block st name children =
         match addr_mask_prefix a m with
         | Some p ->
           i := { !i with if_address = Some (Ipv4.of_string a, Prefix.length p) }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "ip"; "address"; a; m; "secondary" ] -> (
         match addr_mask_prefix a m with
         | Some p ->
           i :=
             { !i with
               if_secondary = (Ipv4.of_string a, Prefix.length p) :: !i.if_secondary }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "ip"; "access-group"; acl; "in" ] -> i := { !i with if_in_acl = Some acl }
       | [ "ip"; "access-group"; acl; "out" ] -> i := { !i with if_out_acl = Some acl }
       | [ "ip"; "ospf"; "cost"; c ] -> (
@@ -190,7 +197,7 @@ let parse_interface_block st name children =
             | None -> { Vi.oi_area = 0; oi_cost = None; oi_passive = false }
           in
           i := { !i with if_ospf = Some { oi with oi_cost = Some c } }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "ip"; "ospf"; _; "area"; a ] | [ "ip"; "ospf"; "area"; a ] -> (
         match int_of_string_opt a with
         | Some a ->
@@ -200,11 +207,11 @@ let parse_interface_block st name children =
             | None -> { Vi.oi_area = 0; oi_cost = None; oi_passive = false }
           in
           i := { !i with if_ospf = Some { oi with oi_area = a } }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "bandwidth"; b ] -> (
         match int_of_string_opt b with
         | Some kbps -> i := { !i with if_bandwidth = max 1 (kbps / 1000) }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "shutdown" ] -> i := { !i with if_enabled = false }
       | [ "no"; "shutdown" ] -> i := { !i with if_enabled = true }
       | [ "zone-member"; "security"; z ] ->
@@ -216,7 +223,7 @@ let parse_interface_block st name children =
       | "mtu" :: _ | "speed" :: _ | "duplex" :: _ | "negotiation" :: _
       | "ip" :: "nat" :: _ | "cdp" :: _ | "spanning-tree" :: _ ->
         () (* accepted but irrelevant to the model *)
-      | _ -> warn st line Warning.Unrecognized_syntax)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     children;
   st.interfaces <- !i :: st.interfaces
 
@@ -232,20 +239,20 @@ let parse_route_map_block st name action seq children =
       | [ "match"; "metric"; m ] -> (
         match int_of_string_opt m with
         | Some m -> matches := Vi.Match_metric m :: !matches
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "match"; "tag"; t ] -> (
         match int_of_string_opt t with
         | Some t -> matches := Vi.Match_tag t :: !matches
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "match"; "source-protocol"; p ] -> matches := Vi.Match_protocol p :: !matches
       | [ "set"; "local-preference"; v ] -> (
         match int_of_string_opt v with
         | Some v -> sets := Vi.Set_local_pref v :: !sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "set"; "metric"; v ] -> (
         match int_of_string_opt v with
         | Some v -> sets := Vi.Set_metric v :: !sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | "set" :: "community" :: rest ->
         let additive = List.mem "additive" rest in
         let comms =
@@ -256,24 +263,24 @@ let parse_route_map_block st name action seq children =
       | [ "set"; "ip"; "next-hop"; ip ] -> (
         match Ipv4.of_string_opt ip with
         | Some ip -> sets := Vi.Set_next_hop ip :: !sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | "set" :: "as-path" :: "prepend" :: asns ->
         sets := Vi.Set_as_path_prepend (List.filter_map int_of_string_opt asns) :: !sets
       | [ "set"; "weight"; w ] -> (
         match int_of_string_opt w with
         | Some w -> sets := Vi.Set_weight w :: !sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "set"; "tag"; t ] -> (
         match int_of_string_opt t with
         | Some t -> sets := Vi.Set_tag t :: !sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "set"; "origin"; o ] -> (
         match o with
         | "igp" -> sets := Vi.Set_origin Vi.Origin_igp :: !sets
         | "egp" -> sets := Vi.Set_origin Vi.Origin_egp :: !sets
         | "incomplete" -> sets := Vi.Set_origin Vi.Origin_incomplete :: !sets
-        | _ -> warn st line Warning.Bad_value)
-      | _ -> warn st line Warning.Unrecognized_syntax)
+        | _ -> warn st line Diag.code_bad_value)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     children;
   let clause =
     { Vi.rc_seq = seq; rc_action = action; rc_matches = List.rev !matches;
@@ -318,15 +325,15 @@ let parse_ospf_block st children =
       | [ "router-id"; ip ] -> (
         match Ipv4.of_string_opt ip with
         | Some ip -> p := { !p with op_router_id = Some ip }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "network"; a; w; "area"; area ] -> (
         match (Ipv4.of_string_opt a, Ipv4.of_string_opt w, int_of_string_opt area) with
         | Some a, Some w, Some area -> (
           match wildcard_to_len w with
           | Some len ->
             p := { !p with op_networks = (Prefix.make a len, area) :: !p.op_networks }
-          | None -> warn st line Warning.Bad_value)
-        | _ -> warn st line Warning.Bad_value)
+          | None -> warn st line Diag.code_bad_value)
+        | _ -> warn st line Diag.code_bad_value)
       | [ "passive-interface"; "default" ] -> p := { !p with op_default_passive = true }
       | [ "passive-interface"; i ] ->
         p := { !p with op_passive_interfaces = i :: !p.op_passive_interfaces }
@@ -335,17 +342,17 @@ let parse_ospf_block st children =
       | "redistribute" :: rest -> (
         match parse_redistribute rest with
         | Some rd -> p := { !p with op_redistribute = rd :: !p.op_redistribute }
-        | None -> warn st line Warning.Unrecognized_syntax)
+        | None -> warn st line Diag.code_unrecognized_syntax)
       | [ "maximum-paths"; n ] -> (
         match int_of_string_opt n with
         | Some n -> p := { !p with op_max_paths = n }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "auto-cost"; "reference-bandwidth"; n ] -> (
         match int_of_string_opt n with
         | Some n -> p := { !p with op_reference_bandwidth = n }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | "log-adjacency-changes" :: _ | "area" :: _ -> ()
-      | _ -> warn st line Warning.Unrecognized_syntax)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     children;
   st.ospf <-
     Some
@@ -373,7 +380,7 @@ let parse_bgp_block st asn children =
          bp_redistribute = List.rev !p.bp_redistribute };
   let with_neighbor st line ip f =
     match Ipv4.of_string_opt ip with
-    | None -> warn st line Warning.Bad_value
+    | None -> warn st line Diag.code_bad_value
     | Some peer -> (
       match Hashtbl.find_opt neighbors peer with
       | Some n -> Hashtbl.replace neighbors peer (f n)
@@ -389,16 +396,16 @@ let parse_bgp_block st asn children =
       | [ "bgp"; "router-id"; ip ] -> (
         match Ipv4.of_string_opt ip with
         | Some ip -> p := { !p with bp_router_id = Some ip }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "bgp"; "cluster-id"; ip ] -> (
         match Ipv4.of_string_opt ip with
         | Some ip -> p := { !p with bp_cluster_id = Some ip }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | "bgp" :: "log-neighbor-changes" :: _ -> ()
       | [ "neighbor"; ip; "remote-as"; ras ] -> (
         match int_of_string_opt ras with
         | Some ras -> with_neighbor st line ip (fun n -> { n with bn_remote_as = ras })
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | "neighbor" :: ip :: "description" :: rest ->
         with_neighbor st line ip (fun n ->
             { n with bn_description = Some (String.concat " " rest) })
@@ -425,36 +432,36 @@ let parse_bgp_block st asn children =
       | [ "neighbor"; ip; "allowas-in"; k ] -> (
         match int_of_string_opt k with
         | Some k -> with_neighbor st line ip (fun n -> { n with bn_allowas_in = k })
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "neighbor"; ip; "local-as"; las ] -> (
         match int_of_string_opt las with
         | Some las -> with_neighbor st line ip (fun n -> { n with bn_local_as = Some las })
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "neighbor"; ip; "shutdown" ] ->
         with_neighbor st line ip (fun n -> { n with bn_shutdown = true })
       | [ "network"; a; "mask"; m ] -> (
         match addr_mask_prefix a m with
         | Some pre -> p := { !p with bp_networks = (pre, None) :: !p.bp_networks }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "network"; a; "mask"; m; "route-map"; rm ] -> (
         match addr_mask_prefix a m with
         | Some pre -> p := { !p with bp_networks = (pre, Some rm) :: !p.bp_networks }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | "redistribute" :: rest -> (
         match parse_redistribute rest with
         | Some rd -> p := { !p with bp_redistribute = rd :: !p.bp_redistribute }
-        | None -> warn st line Warning.Unrecognized_syntax)
+        | None -> warn st line Diag.code_unrecognized_syntax)
       | [ "maximum-paths"; n ] -> (
         match int_of_string_opt n with
         | Some n -> p := { !p with bp_max_paths = n }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "maximum-paths"; "ibgp"; n ] -> (
         match int_of_string_opt n with
         | Some n -> p := { !p with bp_max_paths_ibgp = n }
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "address-family"; "ipv4" ] | [ "exit-address-family" ]
       | [ "address-family"; "ipv4"; "unicast" ] -> ()
-      | _ -> warn st line Warning.Unrecognized_syntax)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     children;
   let bn =
     List.rev_map (fun peer -> Hashtbl.find neighbors peer) !order
@@ -471,7 +478,7 @@ let parse_static_route st (line : line) tokens =
   match tokens with
   | a :: m :: rest -> (
     match addr_mask_prefix a m with
-    | None -> warn st line Warning.Bad_value
+    | None -> warn st line Diag.code_bad_value
     | Some prefix -> (
       let nh, rest =
         match rest with
@@ -485,7 +492,7 @@ let parse_static_route st (line : line) tokens =
         | [] -> (None, [])
       in
       match nh with
-      | None -> warn st line Warning.Bad_value
+      | None -> warn st line Diag.code_bad_value
       | Some nh ->
         let ad, rest =
           match rest with
@@ -497,20 +504,20 @@ let parse_static_route st (line : line) tokens =
           | [ "tag"; t ] -> Option.value ~default:0 (int_of_string_opt t)
           | [] -> 0
           | _ ->
-            warn st line Warning.Unrecognized_syntax;
+            warn st line Diag.code_unrecognized_syntax;
             0
         in
         st.static_routes <-
           { Vi.sr_prefix = prefix; sr_next_hop = nh; sr_ad = ad; sr_tag = tag }
           :: st.static_routes))
-  | _ -> warn st line Warning.Bad_value
+  | _ -> warn st line Diag.code_bad_value
 
 let parse_nat st (line : line) tokens =
   match tokens with
   | [ "pool"; name; start_ip; _end_ip; "prefix-length"; len ] -> (
     match (Ipv4.of_string_opt start_ip, int_of_string_opt len) with
     | Some ip, Some len -> st.nat_pools <- (name, Prefix.make ip len) :: st.nat_pools
-    | _ -> warn st line Warning.Bad_value)
+    | _ -> warn st line Diag.code_bad_value)
   | "inside" :: "source" :: "list" :: acl :: "pool" :: pool :: _ -> (
     match List.assoc_opt pool st.nat_pools with
     | Some p ->
@@ -518,11 +525,7 @@ let parse_nat st (line : line) tokens =
         { Vi.nr_kind = `Source; nr_match_acl = Some acl; nr_match_src = None;
           nr_match_dst = None; nr_pool = Vi.Nat_prefix p }
         :: st.nat_rules
-    | None ->
-      st.warnings <-
-        Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
-          (Warning.Undefined_reference ("nat pool", pool))
-        :: st.warnings)
+    | None -> warn_undef st line "nat pool" pool)
   | "inside" :: "source" :: "list" :: acl :: "interface" :: _ ->
     st.nat_rules <-
       { Vi.nr_kind = `Source; nr_match_acl = Some acl; nr_match_src = None;
@@ -542,8 +545,8 @@ let parse_nat st (line : line) tokens =
         { Vi.nr_kind = `Destination; nr_match_acl = None; nr_match_src = None;
           nr_match_dst = Some (Prefix.host g); nr_pool = Vi.Nat_ip l }
         :: st.nat_rules
-    | _ -> warn st line Warning.Bad_value)
-  | _ -> warn st line Warning.Unrecognized_syntax
+    | _ -> warn st line Diag.code_bad_value)
+  | _ -> warn st line Diag.code_unrecognized_syntax
 
 let parse ?(vendor = "cisco-ios") text =
   let lines = Array.of_list (lines_of_string text) in
@@ -630,7 +633,7 @@ let parse ?(vendor = "cisco-ios") text =
            else parse_acl_line st { line with tokens = rest } seq_counter
          in
          match parsed with
-         | None -> warn st line Warning.Unrecognized_syntax
+         | None -> warn st line Diag.code_unrecognized_syntax
          | Some acl_line ->
            st.acls <-
              (match List.partition (fun (a : Vi.acl) -> a.acl_name = num) st.acls with
@@ -671,7 +674,7 @@ let parse ?(vendor = "cisco-ios") text =
                | _ -> (ge, le, false)
              in
              let ge, le, ok = mods None None modifiers in
-             if not ok then warn st line Warning.Unrecognized_syntax;
+             if not ok then warn st line Diag.code_unrecognized_syntax;
              let entry =
                { Vi.ple_seq = seq; ple_action = action; ple_prefix = prefix;
                  ple_ge = ge; ple_le = le }
@@ -681,8 +684,8 @@ let parse ?(vendor = "cisco-ios") text =
               | None ->
                 Hashtbl.add st.prefix_lists name [ entry ];
                 st.pl_order <- name :: st.pl_order)
-           | _ -> warn st line Warning.Bad_value)
-         | _ -> warn st line Warning.Unrecognized_syntax)
+           | _ -> warn st line Diag.code_bad_value)
+         | _ -> warn st line Diag.code_unrecognized_syntax)
        | "ip" :: "community-list" :: rest -> (
          let rest =
            match rest with
@@ -699,7 +702,7 @@ let parse ?(vendor = "cisco-ios") text =
             | None ->
               Hashtbl.add st.community_lists name (List.rev entries);
               st.cl_order <- name :: st.cl_order)
-         | _ -> warn st line Warning.Unrecognized_syntax)
+         | _ -> warn st line Diag.code_unrecognized_syntax)
        | "ip" :: "as-path" :: "access-list" :: name :: action :: regex -> (
          let action = if action = "deny" then Vi.Deny else Vi.Permit in
          let entry = (action, String.concat " " regex) in
@@ -720,7 +723,7 @@ let parse ?(vendor = "cisco-ios") text =
            let children, j = block i in
            parse_route_map_block st name action seq children;
            next := j
-         | _ -> warn st line Warning.Unrecognized_syntax)
+         | _ -> warn st line Diag.code_unrecognized_syntax)
        | "router" :: "ospf" :: _ ->
          let children, j = block i in
          parse_ospf_block st children;
@@ -731,7 +734,7 @@ let parse ?(vendor = "cisco-ios") text =
            let children, j = block i in
            parse_bgp_block st asn children;
            next := j
-         | None -> warn st line Warning.Bad_value)
+         | None -> warn st line Diag.code_bad_value)
        | "ip" :: "route" :: rest -> parse_static_route st line rest
        | "ip" :: "nat" :: rest -> parse_nat st line rest
        | [ "zone"; "security"; name ] ->
@@ -740,7 +743,7 @@ let parse ?(vendor = "cisco-ios") text =
        | [ "zone-pair"; "security"; _; "source"; src; "destination"; dst; "acl"; acl ]
        | [ "zone-pair"; "security"; "source"; src; "destination"; dst; "acl"; acl ] ->
          st.zone_policies <- { Vi.zp_from = src; zp_to = dst; zp_acl = acl } :: st.zone_policies
-       | _ -> warn st line Warning.Unrecognized_syntax);
+       | _ -> warn st line Diag.code_unrecognized_syntax);
       top !next
   in
   top 0;

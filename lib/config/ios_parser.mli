@@ -5,5 +5,5 @@
     Batfish's tolerance of the configuration long tail (Lesson 3). *)
 
 (** [parse ~vendor text] returns the vendor-independent model and parse
-    warnings. [vendor] should be ["cisco-ios"] or ["arista-eos"]. *)
-val parse : ?vendor:string -> string -> Vi.t * Warning.t list
+    diagnostics. [vendor] should be ["cisco-ios"] or ["arista-eos"]. *)
+val parse : ?vendor:string -> string -> Vi.t * Diag.t list

@@ -34,7 +34,7 @@ type bgp_group = {
 
 type st = {
   mutable hostname : string;
-  mutable warnings : Warning.t list;
+  mutable warnings : Diag.t list;
   mutable interfaces : (string, Vi.interface) Hashtbl.t;
   mutable if_order : string list;
   filters : (string, (string, fw_term) Hashtbl.t * string list ref) Hashtbl.t;
@@ -65,9 +65,16 @@ type st = {
   mutable snmp : string option;
 }
 
-let warn st (line : line) kind =
+let warn st (line : line) code =
   st.warnings <-
-    Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw) kind
+    Diag.parse_warn ~node:st.hostname ~line:line.num ~code (String.trim line.raw)
+    :: st.warnings
+
+let warn_undef st (line : line) ty name =
+  st.warnings <-
+    Diag.parse_warn ~node:st.hostname ~line:line.num
+      ~code:Diag.code_undefined_reference
+      (Printf.sprintf "undefined %s '%s': %s" ty name (String.trim line.raw))
     :: st.warnings
 
 let get_interface st name =
@@ -173,8 +180,8 @@ let handle st (line : line) =
             set_interface st ifname { i with if_address = Some (ip, len) }
           else
             set_interface st ifname { i with if_secondary = (ip, len) :: i.if_secondary }
-        | None -> warn st line Warning.Bad_value)
-      | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "interfaces"; ifname; "disable" ] ->
       set_interface st ifname { (get_interface st ifname) with if_enabled = false }
     | "interfaces" :: ifname :: "description" :: d ->
@@ -189,48 +196,48 @@ let handle st (line : line) =
     | [ "routing-options"; "autonomous-system"; a ] -> (
       match int_of_string_opt a with
       | Some a -> st.asn <- Some a
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "routing-options"; "router-id"; r ] -> (
       match Ipv4.of_string_opt r with
       | Some r -> st.router_id <- Some r
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "routing-options"; "static"; "route"; p; "next-hop"; nh ] -> (
       match (Prefix.of_string_opt p, Ipv4.of_string_opt nh) with
       | Some p, Some nh ->
         st.statics <-
           { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_ip nh; sr_ad = 5; sr_tag = 0 }
           :: st.statics
-      | _ -> warn st line Warning.Bad_value)
+      | _ -> warn st line Diag.code_bad_value)
     | [ "routing-options"; "static"; "route"; p; "discard" ] -> (
       match Prefix.of_string_opt p with
       | Some p ->
         st.statics <-
           { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_discard; sr_ad = 5; sr_tag = 0 }
           :: st.statics
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "reference-bandwidth"; b ] -> (
       match int_of_string_opt b with
       | Some b -> st.ospf_ref_bw <- b
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "area"; a; "interface"; i ] -> (
       match int_of_string_opt a with
       | Some a -> st.ospf_ifaces <- (i, a, None, false) :: st.ospf_ifaces
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "area"; a; "interface"; i; "metric"; m ] -> (
       match (int_of_string_opt a, int_of_string_opt m) with
       | Some a, Some m -> st.ospf_ifaces <- (i, a, Some m, false) :: st.ospf_ifaces
-      | _ -> warn st line Warning.Bad_value)
+      | _ -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "area"; a; "interface"; i; "passive" ] -> (
       match int_of_string_opt a with
       | Some a -> st.ospf_ifaces <- (i, a, None, true) :: st.ospf_ifaces
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "export"; p ] -> st.ospf_exports <- p :: st.ospf_exports
     | [ "protocols"; "bgp"; "group"; g; "type"; ty ] ->
       (get_bgp_group st g).bg_internal <- ty = "internal"
     | [ "protocols"; "bgp"; "group"; g; "peer-as"; pas ] -> (
       match int_of_string_opt pas with
       | Some pas -> (get_bgp_group st g).bg_peer_as <- Some pas
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "bgp"; "group"; g; "import"; p ] ->
       (get_bgp_group st g).bg_import <- Some p
     | [ "protocols"; "bgp"; "group"; g; "export"; p ] ->
@@ -238,7 +245,7 @@ let handle st (line : line) =
     | [ "protocols"; "bgp"; "group"; g; "cluster"; c ] -> (
       match Ipv4.of_string_opt c with
       | Some c -> (get_bgp_group st g).bg_cluster <- Some c
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "bgp"; "group"; g; "multipath" ]
     | [ "protocols"; "bgp"; "group"; g; "multipath"; "multiple-as" ] ->
       (get_bgp_group st g).bg_multipath <- true
@@ -247,19 +254,19 @@ let handle st (line : line) =
       | Some p ->
         let grp = get_bgp_group st g in
         grp.bg_neighbors <- (p, None, None) :: grp.bg_neighbors
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "bgp"; "group"; g; "neighbor"; p; "peer-as"; pas ] -> (
       match (Ipv4.of_string_opt p, int_of_string_opt pas) with
       | Some p, Some pas ->
         let grp = get_bgp_group st g in
         grp.bg_neighbors <- (p, Some pas, None) :: grp.bg_neighbors
-      | _ -> warn st line Warning.Bad_value)
+      | _ -> warn st line Diag.code_bad_value)
     | "protocols" :: "bgp" :: "group" :: g :: "neighbor" :: p :: "description" :: d -> (
       match Ipv4.of_string_opt p with
       | Some p ->
         let grp = get_bgp_group st g in
         grp.bg_neighbors <- (p, None, Some (String.concat " " d)) :: grp.bg_neighbors
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "policy-options"; "prefix-list"; name; p ] -> (
       match Prefix.of_string_opt p with
       | Some p -> (
@@ -268,7 +275,7 @@ let handle st (line : line) =
         | None ->
           Hashtbl.add st.prefix_lists name [ p ];
           st.pl_order <- name :: st.pl_order)
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "policy-options"; "community"; name; "members"; c ] -> (
       match Vi.community_of_string c with
       | Some c -> (
@@ -277,7 +284,7 @@ let handle st (line : line) =
         | None ->
           Hashtbl.add st.communities name [ c ];
           st.comm_order <- name :: st.comm_order)
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | "policy-options" :: "as-path" :: name :: regex ->
       if not (Hashtbl.mem st.as_paths name) then begin
         Hashtbl.add st.as_paths name
@@ -296,11 +303,11 @@ let handle st (line : line) =
       | [ "from"; "metric"; m ] -> (
         match int_of_string_opt m with
         | Some m -> t.pt_matches <- Vi.Match_metric m :: t.pt_matches
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "tag"; tag ] -> (
         match int_of_string_opt tag with
         | Some tag -> t.pt_matches <- Vi.Match_tag tag :: t.pt_matches
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "route-filter"; p; modifier ] -> (
         match Prefix.of_string_opt p with
         | Some p ->
@@ -319,8 +326,8 @@ let handle st (line : line) =
           in
           (match entry with
            | Some e -> t.pt_route_filters <- e :: t.pt_route_filters
-           | None -> warn st line Warning.Unrecognized_syntax)
-        | None -> warn st line Warning.Bad_value)
+           | None -> warn st line Diag.code_unrecognized_syntax)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "route-filter"; p; "upto"; upto ] -> (
         match (Prefix.of_string_opt p, int_of_string_opt (String.map (fun c -> if c = '/' then ' ' else c) upto |> String.trim)) with
         | Some p, Some le ->
@@ -329,31 +336,23 @@ let handle st (line : line) =
             { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
               ple_ge = None; ple_le = Some le }
             :: t.pt_route_filters
-        | _ -> warn st line Warning.Bad_value)
+        | _ -> warn st line Diag.code_bad_value)
       | [ "then"; "local-preference"; v ] -> (
         match int_of_string_opt v with
         | Some v -> t.pt_sets <- Vi.Set_local_pref v :: t.pt_sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "then"; "metric"; v ] -> (
         match int_of_string_opt v with
         | Some v -> t.pt_sets <- Vi.Set_metric v :: t.pt_sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "then"; "community"; "add"; c ] -> (
         match Hashtbl.find_opt st.communities c with
         | Some cs -> t.pt_sets <- Vi.Set_communities (cs, true) :: t.pt_sets
-        | None ->
-          st.warnings <-
-            Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
-              (Warning.Undefined_reference ("community", c))
-            :: st.warnings)
+        | None -> warn_undef st line "community" c)
       | [ "then"; "community"; "set"; c ] -> (
         match Hashtbl.find_opt st.communities c with
         | Some cs -> t.pt_sets <- Vi.Set_communities (cs, false) :: t.pt_sets
-        | None ->
-          st.warnings <-
-            Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
-              (Warning.Undefined_reference ("community", c))
-            :: st.warnings)
+        | None -> warn_undef st line "community" c)
       | "then" :: "as-path-prepend" :: asns ->
         let asns =
           List.filter_map
@@ -365,46 +364,46 @@ let handle st (line : line) =
       | [ "then"; "next-hop"; nh ] -> (
         match Ipv4.of_string_opt nh with
         | Some nh -> t.pt_sets <- Vi.Set_next_hop nh :: t.pt_sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "then"; "tag"; tag ] -> (
         match int_of_string_opt tag with
         | Some tag -> t.pt_sets <- Vi.Set_tag tag :: t.pt_sets
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "then"; "accept" ] -> t.pt_action <- Some Vi.Permit
       | [ "then"; "reject" ] -> t.pt_action <- Some Vi.Deny
-      | _ -> warn st line Warning.Unrecognized_syntax)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     | "firewall" :: "family" :: "inet" :: "filter" :: fname :: "term" :: tname :: rest -> (
       let t = get_fw_term st fname tname in
       match rest with
       | [ "from"; "source-address"; p ] -> (
         match Prefix.of_string_opt p with
         | Some p -> t.ft_srcs <- p :: t.ft_srcs
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "destination-address"; p ] -> (
         match Prefix.of_string_opt p with
         | Some p -> t.ft_dsts <- p :: t.ft_dsts
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "protocol"; p ] -> (
         match proto_num p with
         | Some p -> t.ft_proto <- Some p
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "destination-port"; p ] -> (
         match port_range p with
         | Some r -> t.ft_dst_ports <- r :: t.ft_dst_ports
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "source-port"; p ] -> (
         match port_range p with
         | Some r -> t.ft_src_ports <- r :: t.ft_src_ports
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "from"; "tcp-established" ] -> t.ft_established <- true
       | [ "from"; "icmp-type"; it ] -> (
         match int_of_string_opt it with
         | Some it -> t.ft_icmp_type <- Some it
-        | None -> warn st line Warning.Bad_value)
+        | None -> warn st line Diag.code_bad_value)
       | [ "then"; "accept" ] -> t.ft_action <- Some Vi.Permit
       | [ "then"; "discard" ] | [ "then"; "reject" ] -> t.ft_action <- Some Vi.Deny
       | [ "then"; "count"; _ ] | [ "then"; "log" ] -> ()
-      | _ -> warn st line Warning.Unrecognized_syntax)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     | [ "security"; "zones"; "security-zone"; z; "interfaces"; i ] -> (
       match List.assoc_opt z st.zones with
       | Some ifs -> ifs := i :: !ifs
@@ -414,7 +413,7 @@ let handle st (line : line) =
     | [ "security"; "nat"; "source"; "pool"; p; "address"; addr ] -> (
       match Prefix.of_string_opt addr with
       | Some pre -> Hashtbl.replace st.nat_pools p pre
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "security"; "nat"; "source"; "rule-set"; _; "rule"; _; "match"; "source-address"; p ] -> (
       match Prefix.of_string_opt p with
       | Some pre ->
@@ -422,18 +421,14 @@ let handle st (line : line) =
           { Vi.nr_kind = `Source; nr_match_acl = None; nr_match_src = Some pre;
             nr_match_dst = None; nr_pool = Vi.Nat_interface }
           :: st.nat_rules
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "security"; "nat"; "source"; "rule-set"; _; "rule"; _; "then"; "source-nat"; "pool"; p ] -> (
       (* Attach the pool to the most recent source rule. *)
       match (st.nat_rules, Hashtbl.find_opt st.nat_pools p) with
       | r :: rest, Some pre when r.Vi.nr_kind = `Source ->
         st.nat_rules <- { r with Vi.nr_pool = Vi.Nat_prefix pre } :: rest
-      | _, None ->
-        st.warnings <-
-          Warning.make ~node:st.hostname ~line:line.num ~text:(String.trim line.raw)
-            (Warning.Undefined_reference ("nat pool", p))
-          :: st.warnings
-      | _ -> warn st line Warning.Unrecognized_syntax)
+      | _, None -> warn_undef st line "nat pool" p
+      | _ -> warn st line Diag.code_unrecognized_syntax)
     | [ "security"; "nat"; "source"; "rule-set"; _; "rule"; _; "then"; "source-nat"; "interface" ] ->
       ()
     | [ "security"; "nat"; "static"; "rule-set"; _; "rule"; _; "match"; "destination-address"; g ] -> (
@@ -443,16 +438,16 @@ let handle st (line : line) =
           { Vi.nr_kind = `Destination; nr_match_acl = None; nr_match_src = None;
             nr_match_dst = Some g; nr_pool = Vi.Nat_interface }
           :: st.nat_rules
-      | None -> warn st line Warning.Bad_value)
+      | None -> warn st line Diag.code_bad_value)
     | [ "security"; "nat"; "static"; "rule-set"; _; "rule"; _; "then"; "static-nat"; "prefix"; l ] -> (
       match (st.nat_rules, Prefix.of_string_opt l) with
       | r :: rest, Some pre when r.Vi.nr_kind = `Destination ->
         st.nat_rules <- { r with Vi.nr_pool = Vi.Nat_prefix pre } :: rest
-      | _ -> warn st line Warning.Unrecognized_syntax)
-    | _ -> warn st line Warning.Unrecognized_syntax)
+      | _ -> warn st line Diag.code_unrecognized_syntax)
+    | _ -> warn st line Diag.code_unrecognized_syntax)
   | "delete" :: _ | "deactivate" :: _ ->
-    warn st line Warning.Unsupported_feature
-  | _ -> warn st line Warning.Unrecognized_syntax
+    warn st line Diag.code_unsupported_feature
+  | _ -> warn st line Diag.code_unrecognized_syntax
 
 (* Convert accumulated firewall terms into VI ACL lines. Multiple addresses
    within a term are OR'd in Junos, so a term expands to the cross product of
@@ -501,9 +496,9 @@ let route_map_of_policy st name (terms : (string, ps_term) Hashtbl.t) order extr
           | Some a -> a
           | None ->
             st.warnings <-
-              Warning.make ~node:st.hostname ~line:0
-                ~text:(Printf.sprintf "policy-statement %s term %s has no terminal action" name tname)
-                Warning.Unsupported_feature
+              Diag.parse_warn ~node:st.hostname ~line:0
+                ~code:Diag.code_unsupported_feature
+                (Printf.sprintf "policy-statement %s term %s has no terminal action" name tname)
               :: st.warnings;
             Vi.Permit
         in
@@ -558,8 +553,9 @@ let parse text =
         match List.find_opt (fun (rm : Vi.route_map) -> rm.rm_name = pol) route_maps with
         | None ->
           st.warnings <-
-            Warning.make ~node:st.hostname ~line:0 ~text:("ospf export " ^ pol)
-              (Warning.Undefined_reference ("policy-statement", pol))
+            Diag.parse_warn ~node:st.hostname ~line:0
+              ~code:Diag.code_undefined_reference
+              (Printf.sprintf "undefined policy-statement '%s': ospf export %s" pol pol)
             :: st.warnings;
           []
         | Some rm ->
@@ -590,9 +586,8 @@ let parse text =
       match st.asn with
       | None ->
         st.warnings <-
-          Warning.make ~node:st.hostname ~line:0
-            ~text:"bgp configured without routing-options autonomous-system"
-            Warning.Bad_value
+          Diag.parse_warn ~node:st.hostname ~line:0 ~code:Diag.code_bad_value
+            "bgp configured without routing-options autonomous-system"
           :: st.warnings;
         None
       | Some asn ->

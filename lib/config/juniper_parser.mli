@@ -5,4 +5,4 @@
     decomposed into per-protocol redistributions, mirroring how Batfish
     normalizes Junos into its vendor-independent model. *)
 
-val parse : string -> Vi.t * Warning.t list
+val parse : string -> Vi.t * Diag.t list

@@ -97,4 +97,6 @@ let undefined_references (cfg : Vi.t) =
       need "zone" zp.zp_to where
         (List.exists (fun (z : Vi.zone) -> z.z_name = zp.zp_to) cfg.zones))
     cfg.zone_policies;
-  List.rev !refs
+  (* Sorted and deduplicated: the same dangling name referenced from several
+     sites (or twice from one) must report identically on every run. *)
+  List.sort_uniq compare !refs

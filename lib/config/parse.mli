@@ -3,11 +3,13 @@
 (** Best-effort vendor identification from the configuration text. *)
 val detect_vendor : string -> string
 
-(** [parse_config text] detects the vendor and parses to the VI model. *)
-val parse_config : string -> Vi.t * Warning.t list
+(** [parse_config text] detects the vendor and parses to the VI model, plus
+    parse diagnostics ([Diag.code_unrecognized_syntax] and friends). *)
+val parse_config : string -> Vi.t * Diag.t list
 
 (** Post-parse reference checking: undefined route maps, ACLs, prefix lists,
     etc. referenced from the configuration (the Lesson 5 "are all referenced
     structures defined" analysis feeds on this). *)
 val undefined_references : Vi.t -> (string * string * string) list
-(** Returns (structure type, name, referenced from). *)
+(** Returns (structure type, name, referenced from), sorted and deduplicated
+    so report output is stable across runs. *)

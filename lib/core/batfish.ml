@@ -1,7 +1,8 @@
 module Snapshot = struct
   type t = {
     files : (string * string) list;
-    parsed : (Vi.t * Warning.t list) list;
+    all_parsed : (string * Vi.t) list;  (* every parsed file, pre-dedup *)
+    parsed : (Vi.t * Diag.t list) list;
     by_name : (string, Vi.t) Hashtbl.t;
     diags : Diag.t list;
   }
@@ -16,7 +17,8 @@ module Snapshot = struct
         (fun (fname, text) ->
           match Parse.parse_config text with
           | cfg, warns ->
-            List.iter (fun w -> Diag.add c (Warning.to_diag ~file:fname w)) warns;
+            let warns = List.map (fun w -> Diag.set_file w fname) warns in
+            List.iter (Diag.add c) warns;
             Some (fname, (cfg, warns))
           | exception exn ->
             Diag.add c
@@ -25,6 +27,7 @@ module Snapshot = struct
             None)
         files
     in
+    let all_parsed = List.map (fun (fname, (cfg, _)) -> (fname, cfg)) parsed in
     (* Duplicate hostnames are deterministic first-wins, with an Error diag
        for every shadowed config. *)
     let by_name = Hashtbl.create 64 in
@@ -46,7 +49,7 @@ module Snapshot = struct
           end)
         parsed
     in
-    { files; parsed; by_name; diags = Diag.to_list c }
+    { files; all_parsed; parsed; by_name; diags = Diag.to_list c }
 
   let of_dir dir =
     let c = Diag.collector () in
@@ -85,6 +88,7 @@ module Snapshot = struct
 
   let of_network (n : Netgen.network) = of_texts n.n_configs
   let configs t = List.map fst t.parsed
+  let parsed_files t = t.all_parsed
   let parse_warnings t = t.parsed
   let diags t = t.diags
   let find t name = Hashtbl.find_opt t.by_name name
@@ -160,10 +164,19 @@ let answer_loops t = Questions.detect_loops (forwarding t)
 let answer_reachability t ~src ~dst_ip ?hdr () =
   Questions.reachability (forwarding t) ~src ~dst_ip ?hdr ()
 
+(* --- the lint registry over this snapshot --- *)
+
+let lint_ctx t =
+  Lint.make_ctx ~files:(Snapshot.parsed_files t.snap) (Snapshot.configs t.snap)
+
+let lint ?select ?ignore_passes t = Lint.run ?select ?ignore_passes (lint_ctx t)
+let lint_all t = Lint.run_passes (lint_ctx t) Lint.passes
+let answer_lint t = Questions.lint (lint_all t)
+
 let check_all t =
   [ answer_init_issues t; answer_undefined_references t; answer_unused_structures t;
     answer_duplicate_ips t; answer_bgp_compatibility t; answer_property_consistency t;
-    answer_bgp_status t ]
+    answer_lint t; answer_bgp_status t ]
 
 let differential ~base ~candidate ?srcs () =
   let env = Pktset.create () in

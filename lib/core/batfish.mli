@@ -24,10 +24,15 @@ module Snapshot : sig
 
   val of_network : Netgen.network -> t
   val configs : t -> Vi.t list
-  val parse_warnings : t -> (Vi.t * Warning.t list) list
 
-  (** Parse/convert diagnostics, including every parse warning lifted via
-      [Warning.to_diag]. *)
+  (** Every successfully parsed file, {e before} duplicate-hostname
+      first-wins dedup — the view the duplicate-identity lint needs. *)
+  val parsed_files : t -> (string * Vi.t) list
+
+  (** Per-config parse diagnostics (post-dedup configs only). *)
+  val parse_warnings : t -> (Vi.t * Diag.t list) list
+
+  (** Parse/convert diagnostics, including every parse warning. *)
   val diags : t -> Diag.t list
 
   val find : t -> string -> Vi.t option
@@ -80,8 +85,27 @@ val answer_loops : t -> Questions.answer
 val answer_reachability :
   t -> src:Fquery.start -> dst_ip:Prefix.t -> ?hdr:Bdd.t -> unit -> Questions.answer
 
+(** {2 Lint}
+
+    The static-analysis registry ({!Lint}) over this snapshot: no data plane
+    is computed or required. *)
+
+(** The lint context for this snapshot (pre-dedup files included, so the
+    duplicate-identity pass sees shadowed hostnames). *)
+val lint_ctx : t -> Lint.ctx
+
+(** Run selected lint passes; [Error msg] on an unknown pass name. *)
+val lint :
+  ?select:string list -> ?ignore_passes:string list -> t -> (Lint.report, string) result
+
+(** Run every registered pass. *)
+val lint_all : t -> Lint.report
+
+(** {!lint_all} as a printable table. *)
+val answer_lint : t -> Questions.answer
+
 (** Every configuration-hygiene check at once (the continuous-validation
-    bundle of §5.2). *)
+    bundle of §5.2), lint included. *)
 val check_all : t -> Questions.answer list
 
 (** Differential reachability between two snapshots (proactive validation of

@@ -5,7 +5,7 @@
 
 type severity = Info | Warn | Error | Fatal
 
-type phase = Parse | Convert | Dataplane | Forwarding | Question
+type phase = Parse | Convert | Dataplane | Forwarding | Question | Lint
 
 type location = {
   loc_node : string option;
@@ -58,6 +58,22 @@ let code_forwarding_failed = "FORWARDING_FAILED"
 let code_unknown_node = "UNKNOWN_NODE"
 let code_unknown_protocol = "UNKNOWN_PROTOCOL"
 
+(* Parse-warning codes (the old [Warning.kind] constructors). *)
+let code_unrecognized_syntax = "PARSE_UNRECOGNIZED_SYNTAX"
+let code_bad_value = "PARSE_BAD_VALUE"
+let code_unsupported_feature = "PARSE_UNSUPPORTED_FEATURE"
+let code_undefined_reference = "PARSE_UNDEFINED_REFERENCE"
+
+(* Unrecognized or unsupported input degrades gracefully (Warn); a value the
+   parser understood but could not accept, or a dangling reference, is an
+   operator error (Error). *)
+let parse_warn ?node ?file ~line ~code msg =
+  let severity =
+    if code = code_bad_value || code = code_undefined_reference then Error
+    else Warn
+  in
+  make ?node ?file ~line ~severity ~phase:Parse ~code msg
+
 (* --- rendering --- *)
 
 let severity_to_string = function
@@ -72,8 +88,17 @@ let phase_to_string = function
   | Dataplane -> "dataplane"
   | Forwarding -> "forwarding"
   | Question -> "question"
+  | Lint -> "lint"
 
 let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2 | Fatal -> 3
+
+let severity_of_string s =
+  match String.lowercase_ascii s with
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | "fatal" -> Some Fatal
+  | _ -> None
 
 let at_least threshold d = severity_rank d.d_severity >= severity_rank threshold
 
@@ -90,6 +115,18 @@ let location_to_string loc =
   match parts with
   | [] -> "-"
   | ps -> String.concat ":" ps
+
+let set_file d file = { d with d_loc = { d.d_loc with loc_file = Some file } }
+
+(* Deterministic report order: by location, then code, then message. *)
+let compare_for_report a b =
+  let key d =
+    ( Option.value d.d_loc.loc_node ~default:"",
+      Option.value d.d_loc.loc_file ~default:"",
+      Option.value d.d_loc.loc_line ~default:0,
+      d.d_code, d.d_message, severity_rank d.d_severity )
+  in
+  compare (key a) (key b)
 
 let to_string d =
   Printf.sprintf "[%s] %s %s %s: %s"

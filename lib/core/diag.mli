@@ -1,15 +1,15 @@
 (** Structured pipeline diagnostics.
 
     Every stage of the pipeline — parsing, VI conversion, data-plane
-    simulation, forwarding analysis, questions — reports skipped input,
-    quarantined nodes, and exhausted budgets as diagnostics instead of
-    raising. [Warning.t] (parse-time warnings) remains as a thin
-    compatibility layer; [Warning.to_diag] lifts it into this type. *)
+    simulation, forwarding analysis, questions, the lint passes — reports
+    skipped input, quarantined nodes, exhausted budgets, and findings as
+    diagnostics instead of raising. Parsers emit this type directly; lint
+    findings carry [LINT0xx] codes (see {!Lint}). *)
 
 type severity = Info | Warn | Error | Fatal
 
 (** The pipeline stage that emitted the diagnostic. *)
-type phase = Parse | Convert | Dataplane | Forwarding | Question
+type phase = Parse | Convert | Dataplane | Forwarding | Question | Lint
 
 type location = {
   loc_node : string option;  (** device hostname *)
@@ -54,6 +54,18 @@ val code_forwarding_failed : string
 val code_unknown_node : string
 val code_unknown_protocol : string
 
+(** {2 Parse-warning codes} *)
+
+val code_unrecognized_syntax : string
+val code_bad_value : string
+val code_unsupported_feature : string
+val code_undefined_reference : string
+
+(** A parse warning at a source line; severity is derived from the code
+    ([code_bad_value] and [code_undefined_reference] are [Error], the rest
+    [Warn]). *)
+val parse_warn : ?node:string -> ?file:string -> line:int -> code:string -> string -> t
+
 (** {2 Inspection and rendering} *)
 
 val severity_to_string : severity -> string
@@ -61,6 +73,9 @@ val phase_to_string : phase -> string
 
 (** Info < Warn < Error < Fatal. *)
 val severity_rank : severity -> int
+
+(** Case-insensitive parse of a severity name ("warn"/"warning" both work). *)
+val severity_of_string : string -> severity option
 
 (** [at_least threshold d] is true when [d] is as severe as [threshold]. *)
 val at_least : severity -> t -> bool
@@ -70,6 +85,14 @@ val max_severity : t list -> severity
 
 val location_to_string : location -> string
 val to_string : t -> string
+
+(** Attach (or replace) the source file of a diagnostic — used by the
+    snapshot loader, which knows the filename the parser did not. *)
+val set_file : t -> string -> t
+
+(** Total deterministic order for reports: location, then code, then
+    message. *)
+val compare_for_report : t -> t -> int
 
 (** Structural validity: non-empty SCREAMING_SNAKE code, non-empty message,
     non-negative line. The chaos harness asserts this for every emitted

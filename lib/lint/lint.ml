@@ -1,0 +1,602 @@
+(* Semantic configuration linter (paper §4.4: specialized queries that catch
+   misconfigurations before any data plane exists).
+
+   A lint pass runs over the parsed VI model — never the data plane — and
+   emits Diag.t findings with stable LINT0xx codes. Syntactic passes walk the
+   model directly; the semantic passes (shadowed ACL rules, dead route-map
+   clauses) decide reachability with BDDs, so a rule is reported dead exactly
+   when no packet can reach it, not merely when its text duplicates an
+   earlier rule. *)
+
+type ctx = {
+  lc_files : (string * Vi.t) list;
+  lc_configs : Vi.t list;
+  lc_env : Pktset.t Lazy.t;
+}
+
+let make_ctx ?(files = []) configs =
+  { lc_files = files; lc_configs = configs;
+    lc_env = lazy (Pktset.create ()) }
+
+type pass = {
+  p_code : string;
+  p_name : string;
+  p_doc : string;
+  p_run : ctx -> Diag.t list;
+}
+
+let code_crash = "LINT_CRASH"
+
+let finding ~severity ?node ?file ?line ~code msg =
+  Diag.make ?node ?file ?line ~severity ~phase:Diag.Lint ~code msg
+
+(* --- LINT001: undefined references --- *)
+
+let undefined_reference_pass ctx =
+  List.concat_map
+    (fun (cfg : Vi.t) ->
+      List.map
+        (fun (ty, name, where) ->
+          finding ~severity:Diag.Error ~node:cfg.hostname ~code:"LINT001"
+            (Printf.sprintf "undefined %s '%s' referenced from %s" ty name where))
+        (Parse.undefined_references cfg))
+    ctx.lc_configs
+
+(* --- LINT002: unused structures --- *)
+
+(* (structure type, name) pairs defined by [cfg] but referenced nowhere in
+   it. Anonymous route-filter prefix lists ("__rf...") are internal. *)
+let unused_structures (cfg : Vi.t) =
+  let used_acls =
+    List.concat_map
+      (fun (i : Vi.interface) ->
+        Option.to_list i.if_in_acl @ Option.to_list i.if_out_acl)
+      cfg.interfaces
+    @ List.filter_map (fun (r : Vi.nat_rule) -> r.nr_match_acl) cfg.nat_rules
+    @ List.map (fun (zp : Vi.zone_policy) -> zp.zp_acl) cfg.zone_policies
+  in
+  let neighbor_policies =
+    match cfg.bgp with
+    | Some b ->
+      List.concat_map
+        (fun (n : Vi.bgp_neighbor) ->
+          Option.to_list n.bn_import_policy @ Option.to_list n.bn_export_policy)
+        b.bp_neighbors
+      @ List.filter_map snd b.bp_networks
+      @ List.filter_map (fun (r : Vi.redistribution) -> r.rd_route_map) b.bp_redistribute
+    | None -> []
+  in
+  let ospf_policies =
+    match cfg.ospf with
+    | Some o ->
+      List.filter_map (fun (r : Vi.redistribution) -> r.rd_route_map) o.op_redistribute
+    | None -> []
+  in
+  let used_rms = neighbor_policies @ ospf_policies in
+  let used_pls =
+    List.concat_map
+      (fun (rm : Vi.route_map) ->
+        List.concat_map
+          (fun (c : Vi.rm_clause) ->
+            List.filter_map
+              (function
+                | Vi.Match_prefix_list p -> Some p
+                | _ -> None)
+              c.rc_matches)
+          rm.rm_clauses)
+      cfg.route_maps
+    @ (match cfg.bgp with
+       | Some b ->
+         List.concat_map
+           (fun (n : Vi.bgp_neighbor) ->
+             Option.to_list n.bn_prefix_list_in @ Option.to_list n.bn_prefix_list_out)
+           b.bp_neighbors
+       | None -> [])
+  in
+  let unused kind names used =
+    List.filter_map
+      (fun name -> if List.mem name used then None else Some (kind, name))
+      names
+  in
+  unused "acl" (List.map (fun (a : Vi.acl) -> a.acl_name) cfg.acls) used_acls
+  @ unused "route-map" (List.map (fun (r : Vi.route_map) -> r.rm_name) cfg.route_maps) used_rms
+  @ unused "prefix-list"
+      (List.filter_map
+         (fun (p : Vi.prefix_list) ->
+           if String.length p.pl_name >= 4 && String.sub p.pl_name 0 4 = "__rf" then None
+           else Some p.pl_name)
+         cfg.prefix_lists)
+      used_pls
+
+let unused_structure_pass ctx =
+  List.concat_map
+    (fun (cfg : Vi.t) ->
+      List.map
+        (fun (ty, name) ->
+          finding ~severity:Diag.Warn ~node:cfg.hostname ~code:"LINT002"
+            (Printf.sprintf "%s '%s' is defined but never used" ty name))
+        (unused_structures cfg))
+    ctx.lc_configs
+
+(* --- LINT003: shadowed / unreachable ACL rules (BDD subsumption) --- *)
+
+(* A line is dead when its match set is covered by the union of the match
+   sets of all earlier lines — no packet can reach it. This is a semantic
+   property: "permit tcp host 10.1.2.3 any eq 80" is dead under an earlier
+   "permit ip 10.0.0.0/8 any" even though the texts share nothing. If a
+   covering earlier line carries the opposite action the rule's intent is
+   inverted, which we report at Error severity; a same-action shadow is
+   redundancy (Warn), as is a line whose own match set is empty. *)
+let acl_shadow_pass ctx =
+  let env = Lazy.force ctx.lc_env in
+  let man = Pktset.man env in
+  List.concat_map
+    (fun (cfg : Vi.t) ->
+      List.concat_map
+        (fun (acl : Vi.acl) ->
+          let _, _, out =
+            List.fold_left
+              (fun (earlier, seen, out) (l : Vi.acl_line) ->
+                let m = Acl_bdd.line env l in
+                let f =
+                  if Bdd.is_bot m then
+                    Some
+                      (finding ~severity:Diag.Warn ~node:cfg.hostname ~code:"LINT003"
+                         (Printf.sprintf "acl %s line %d can match no packet: %s"
+                            acl.acl_name l.l_seq l.l_text))
+                  else if Bdd.is_bot (Bdd.bdiff man m earlier) then begin
+                    let blockers =
+                      List.filter
+                        (fun ((_ : Vi.acl_line), m') ->
+                          not (Bdd.is_bot (Bdd.band man m m')))
+                        (List.rev seen)
+                    in
+                    let masked =
+                      List.exists
+                        (fun ((b : Vi.acl_line), _) -> b.l_action <> l.l_action)
+                        blockers
+                    in
+                    let by =
+                      String.concat ", "
+                        (List.map
+                           (fun ((b : Vi.acl_line), _) -> string_of_int b.l_seq)
+                           blockers)
+                    in
+                    Some
+                      (finding
+                         ~severity:(if masked then Diag.Error else Diag.Warn)
+                         ~node:cfg.hostname ~code:"LINT003"
+                         (Printf.sprintf
+                            "acl %s line %d is unreachable (shadowed by line%s %s%s): %s"
+                            acl.acl_name l.l_seq
+                            (if List.length blockers = 1 then "" else "s")
+                            by
+                            (if masked then ", with conflicting action" else "")
+                            l.l_text))
+                  end
+                  else None
+                in
+                (Bdd.bor man earlier m, (l, m) :: seen,
+                 match f with Some f -> f :: out | None -> out))
+              (Bdd.bot, [], []) acl.acl_lines
+          in
+          List.rev out)
+        cfg.acls)
+    ctx.lc_configs
+
+(* --- LINT004: dead route-map clauses --- *)
+
+(* Route-map matches are conjunctive, so clause E subsumes a later clause C
+   when every condition of E is implied by some condition of C: any route
+   that satisfies all of C's conditions satisfies all of E's, and E fires
+   first. In particular a clause with no match conditions subsumes every
+   later clause. Condition implication is structural equality — sound, if
+   incomplete. *)
+let cond_implies c e = c = e
+
+let clause_subsumes (e : Vi.rm_clause) (c : Vi.rm_clause) =
+  List.for_all
+    (fun ec -> List.exists (fun cc -> cond_implies cc ec) c.Vi.rc_matches)
+    e.Vi.rc_matches
+
+let routemap_dead_clause_pass ctx =
+  List.concat_map
+    (fun (cfg : Vi.t) ->
+      List.concat_map
+        (fun (rm : Vi.route_map) ->
+          let _, out =
+            List.fold_left
+              (fun (earlier, out) (c : Vi.rm_clause) ->
+                let blocker =
+                  List.find_opt (fun e -> clause_subsumes e c) (List.rev earlier)
+                in
+                let f =
+                  match blocker with
+                  | None -> None
+                  | Some (e : Vi.rm_clause) ->
+                    let masked = e.rc_action <> c.rc_action in
+                    Some
+                      (finding
+                         ~severity:(if masked then Diag.Error else Diag.Warn)
+                         ~node:cfg.hostname ~code:"LINT004"
+                         (Printf.sprintf
+                            "route-map %s clause %d is dead: clause %d matches every route it would%s"
+                            rm.rm_name c.rc_seq e.rc_seq
+                            (if masked then " and has the opposite action" else "")))
+                in
+                (c :: earlier, match f with Some f -> f :: out | None -> out))
+              ([], []) rm.rm_clauses
+          in
+          List.rev out)
+        cfg.route_maps)
+    ctx.lc_configs
+
+(* --- LINT005: BGP session compatibility --- *)
+
+(* Purely configuration-based pairwise session check: both ends of each
+   declared session must exist and agree on AS numbers. Peers whose address
+   no device in the snapshot owns are external and not judged here. *)
+let bgp_session_issues configs =
+  let by_ip : (Ipv4.t, string * Vi.bgp_proc) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      Option.iter
+        (fun bgp ->
+          List.iter
+            (fun (_, ip, _) -> Hashtbl.replace by_ip ip (cfg.Vi.hostname, bgp))
+            (Vi.interface_prefixes cfg))
+        cfg.bgp)
+    configs;
+  let issues = ref [] in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      Option.iter
+        (fun (bgp : Vi.bgp_proc) ->
+          List.iter
+            (fun (n : Vi.bgp_neighbor) ->
+              let issue severity text =
+                issues := (cfg.Vi.hostname, n.bn_peer, text, severity) :: !issues
+              in
+              match Hashtbl.find_opt by_ip n.bn_peer with
+              | None -> () (* external or unknown: covered by session status *)
+              | Some (peer_node, peer_bgp) ->
+                let local_as = Option.value n.bn_local_as ~default:bgp.bp_as in
+                if n.bn_remote_as <> peer_bgp.bp_as then
+                  issue Diag.Error
+                    (Printf.sprintf "remote-as %d but %s is AS %d" n.bn_remote_as
+                       peer_node peer_bgp.bp_as)
+                else begin
+                  let our_ips =
+                    List.map (fun (_, ip, _) -> ip) (Vi.interface_prefixes cfg)
+                  in
+                  match
+                    List.find_opt
+                      (fun (rn : Vi.bgp_neighbor) -> List.mem rn.bn_peer our_ips)
+                      peer_bgp.bp_neighbors
+                  with
+                  | None ->
+                    issue Diag.Warn
+                      (Printf.sprintf "%s has no neighbor statement back" peer_node)
+                  | Some rn ->
+                    if rn.bn_remote_as <> local_as then
+                      issue Diag.Error
+                        (Printf.sprintf "%s expects AS %d but we are AS %d" peer_node
+                           rn.bn_remote_as local_as)
+                end)
+            bgp.bp_neighbors)
+        cfg.bgp)
+    configs;
+  List.rev !issues
+
+let bgp_session_pass ctx =
+  List.map
+    (fun (node, peer, text, severity) ->
+      finding ~severity ~node ~code:"LINT005"
+        (Printf.sprintf "bgp neighbor %s: %s" (Ipv4.to_string peer) text))
+    (bgp_session_issues ctx.lc_configs)
+
+(* --- LINT006: interface addressing sanity --- *)
+
+(* Interface addresses claimed by more than one interface in the snapshot,
+   as [(ip, owners)] with owners in first-seen order. *)
+let duplicate_ips configs =
+  let owners : (Ipv4.t, (string * string) list) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun (cfg : Vi.t) ->
+      List.iter
+        (fun (iface, ip, _) ->
+          (match Hashtbl.find_opt owners ip with
+           | None -> order := ip :: !order
+           | Some _ -> ());
+          Hashtbl.replace owners ip
+            ((cfg.Vi.hostname, iface)
+            :: Option.value (Hashtbl.find_opt owners ip) ~default:[]))
+        (Vi.interface_prefixes cfg))
+    configs;
+  List.rev !order
+  |> List.filter_map (fun ip ->
+         match Hashtbl.find_opt owners ip with
+         | Some users when List.length users > 1 -> Some (ip, List.rev users)
+         | _ -> None)
+
+let interface_addressing_pass ctx =
+  let dups =
+    List.map
+      (fun (ip, users) ->
+        finding ~severity:Diag.Error ~code:"LINT006"
+          (Printf.sprintf "address %s assigned to more than one interface: %s"
+             (Ipv4.to_string ip)
+             (String.concat ", "
+                (List.map (fun (n, i) -> Printf.sprintf "%s[%s]" n i) users))))
+      (duplicate_ips ctx.lc_configs)
+  in
+  (* Link-endpoint subnet sanity: two interfaces on different nodes whose
+     subnets overlap without being equal will never be inferred as adjacent
+     (L3 inference wants equal subnets) — almost always a mistyped mask. *)
+  let endpoints =
+    List.concat_map
+      (fun (cfg : Vi.t) ->
+        List.map (fun (iface, ip, p) -> (cfg.Vi.hostname, iface, ip, p))
+          (Vi.interface_prefixes cfg))
+      ctx.lc_configs
+  in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | (n1, i1, _, p1) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (n2, i2, _, p2) ->
+            if n1 <> n2 && not (Prefix.equal p1 p2)
+               && (Prefix.contains_prefix p1 p2 || Prefix.contains_prefix p2 p1)
+            then
+              finding ~severity:Diag.Warn ~node:n1 ~code:"LINT006"
+                (Printf.sprintf
+                   "%s[%s] %s and %s[%s] %s overlap but are not the same subnet (mask mismatch?)"
+                   n1 i1 (Prefix.to_string p1) n2 i2 (Prefix.to_string p2))
+              :: acc
+            else acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  dups @ pairs [] endpoints
+
+(* --- LINT007: duplicate identities --- *)
+
+let duplicate_identity_pass ctx =
+  (* Hostnames defined by more than one file: visible only pre-dedup, so the
+     snapshot loader hands us every parsed file. *)
+  let hostname_findings =
+    let by_host : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (fname, (cfg : Vi.t)) ->
+        (match Hashtbl.find_opt by_host cfg.hostname with
+         | None -> order := cfg.hostname :: !order
+         | Some _ -> ());
+        Hashtbl.replace by_host cfg.hostname
+          (fname :: Option.value (Hashtbl.find_opt by_host cfg.hostname) ~default:[]))
+      ctx.lc_files;
+    List.rev !order
+    |> List.filter_map (fun host ->
+           match Hashtbl.find_opt by_host host with
+           | Some files when List.length files > 1 ->
+             Some
+               (finding ~severity:Diag.Error ~node:host ~code:"LINT007"
+                  (Printf.sprintf "hostname '%s' defined by %d files: %s" host
+                     (List.length files)
+                     (String.concat ", " (List.rev files))))
+           | _ -> None)
+  in
+  (* Explicit router-ids shared across distinct nodes break OSPF and BGP
+     peerings in ways that are miserable to debug from the data plane. *)
+  let rid_findings =
+    let claims =
+      List.concat_map
+        (fun (cfg : Vi.t) ->
+          (match cfg.ospf with
+           | Some { op_router_id = Some rid; _ } -> [ (rid, cfg.hostname, "ospf") ]
+           | _ -> [])
+          @
+          (match cfg.bgp with
+           | Some { bp_router_id = Some rid; _ } -> [ (rid, cfg.hostname, "bgp") ]
+           | _ -> []))
+        ctx.lc_configs
+    in
+    let by_rid : (Ipv4.t, (string * string) list) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (rid, node, proto) ->
+        (match Hashtbl.find_opt by_rid rid with
+         | None -> order := rid :: !order
+         | Some _ -> ());
+        Hashtbl.replace by_rid rid
+          ((node, proto) :: Option.value (Hashtbl.find_opt by_rid rid) ~default:[]))
+      claims;
+    List.rev !order
+    |> List.filter_map (fun rid ->
+           match Hashtbl.find_opt by_rid rid with
+           | Some users ->
+             let nodes = List.sort_uniq compare (List.map fst users) in
+             if List.length nodes > 1 then
+               Some
+                 (finding ~severity:Diag.Error ~code:"LINT007"
+                    (Printf.sprintf "router-id %s used by more than one node: %s"
+                       (Ipv4.to_string rid)
+                       (String.concat ", "
+                          (List.map
+                             (fun (n, p) -> Printf.sprintf "%s(%s)" n p)
+                             (List.rev users)))))
+             else None
+           | None -> None)
+  in
+  hostname_findings @ rid_findings
+
+(* --- the registry --- *)
+
+let passes =
+  [ { p_code = "LINT001"; p_name = "undefined-reference";
+      p_doc = "structure referenced but never defined";
+      p_run = undefined_reference_pass };
+    { p_code = "LINT002"; p_name = "unused-structure";
+      p_doc = "structure defined but never referenced";
+      p_run = unused_structure_pass };
+    { p_code = "LINT003"; p_name = "acl-shadowed-rule";
+      p_doc = "ACL line no packet can reach (BDD subsumption by earlier lines)";
+      p_run = acl_shadow_pass };
+    { p_code = "LINT004"; p_name = "routemap-dead-clause";
+      p_doc = "route-map clause subsumed by an earlier clause";
+      p_run = routemap_dead_clause_pass };
+    { p_code = "LINT005"; p_name = "bgp-session";
+      p_doc = "declared BGP sessions whose two ends disagree";
+      p_run = bgp_session_pass };
+    { p_code = "LINT006"; p_name = "interface-addressing";
+      p_doc = "duplicate interface addresses and mismatched link subnets";
+      p_run = interface_addressing_pass };
+    { p_code = "LINT007"; p_name = "duplicate-identity";
+      p_doc = "hostname or router-id claimed by more than one device";
+      p_run = duplicate_identity_pass } ]
+
+let find_pass key =
+  let k = String.lowercase_ascii key in
+  List.find_opt
+    (fun p -> String.lowercase_ascii p.p_code = k || p.p_name = k)
+    passes
+
+let pass_names = List.map (fun p -> p.p_name) passes
+
+(* [select]/[ignore] entries name passes by p_name or p_code; an unknown
+   name is an operator error returned, not raised. *)
+let resolve_selection ?select ?ignore_passes () =
+  let resolve keys =
+    List.fold_left
+      (fun acc key ->
+        match acc with
+        | Error _ -> acc
+        | Ok ps -> (
+          match find_pass key with
+          | Some p -> Ok (p :: ps)
+          | None -> Error key))
+      (Ok []) keys
+  in
+  let wanted =
+    match select with
+    | None | Some [] -> Ok passes
+    | Some keys -> Result.map (fun ps -> List.rev ps) (resolve keys)
+  in
+  match (wanted, ignore_passes) with
+  | Error k, _ -> Error (Printf.sprintf "unknown lint pass '%s'" k)
+  | Ok ps, (None | Some []) -> Ok ps
+  | Ok ps, Some keys -> (
+    match resolve keys with
+    | Error k -> Error (Printf.sprintf "unknown lint pass '%s'" k)
+    | Ok ignored ->
+      Ok
+        (List.filter
+           (fun p -> not (List.exists (fun i -> i.p_code = p.p_code) ignored))
+           ps))
+
+(* --- running --- *)
+
+type report = { r_results : (pass * Diag.t list) list }
+
+(* Each pass is fault-isolated: a crashing pass yields a single Fatal
+   LINT_CRASH finding instead of taking the lint run down. Findings are
+   deterministically ordered per pass. *)
+let run_passes ctx ps =
+  let results =
+    List.map
+      (fun p ->
+        let findings =
+          try List.sort Diag.compare_for_report (p.p_run ctx)
+          with exn ->
+            [ finding ~severity:Diag.Fatal ~code:code_crash
+                (Printf.sprintf "pass %s crashed: %s" p.p_name
+                   (Printexc.to_string exn)) ]
+        in
+        (p, findings))
+      ps
+  in
+  { r_results = results }
+
+let run ?select ?ignore_passes ctx =
+  Result.map (run_passes ctx) (resolve_selection ?select ?ignore_passes ())
+
+let findings report = List.concat_map snd report.r_results
+
+let max_severity report = Diag.max_severity (findings report)
+
+let count_at_least severity report =
+  List.length (List.filter (Diag.at_least severity) (findings report))
+
+(* --- rendering --- *)
+
+let report_to_text report =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (p, findings) ->
+      List.iter
+        (fun d -> Buffer.add_string buf (Printf.sprintf "%s  (%s)\n" (Diag.to_string d) p.p_name))
+        findings)
+    report.r_results;
+  let total = List.length (findings report) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d finding%s from %d pass%s\n" total
+       (if total = 1 then "" else "s")
+       (List.length report.r_results)
+       (if List.length report.r_results = 1 then "" else "es"));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json pass (d : Diag.t) =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let opt k = function Some v -> [ field k (str v) ] | None -> [] in
+  let parts =
+    [ field "pass" (str pass.p_name); field "code" (str d.d_code);
+      field "severity" (str (Diag.severity_to_string d.d_severity)) ]
+    @ opt "node" d.d_loc.loc_node
+    @ opt "file" d.d_loc.loc_file
+    @ (match d.d_loc.loc_line with
+      | Some l -> [ field "line" (string_of_int l) ]
+      | None -> [])
+    @ [ field "message" (str d.d_message) ]
+  in
+  "{" ^ String.concat "," parts ^ "}"
+
+let report_to_json report =
+  let all =
+    List.concat_map
+      (fun (p, findings) -> List.map (finding_to_json p) findings)
+      report.r_results
+  in
+  let by_pass =
+    List.map
+      (fun (p, findings) ->
+        Printf.sprintf "\"%s\":%d" (json_escape p.p_name) (List.length findings))
+      report.r_results
+  in
+  let max_sev = max_severity report in
+  Printf.sprintf
+    "{\"findings\":[%s],\"summary\":{\"passes_run\":%d,\"findings\":%d,\"max_severity\":\"%s\",\"by_pass\":{%s}}}"
+    (String.concat "," all)
+    (List.length report.r_results)
+    (List.length (findings report))
+    (Diag.severity_to_string max_sev)
+    (String.concat "," by_pass)

@@ -1,0 +1,94 @@
+(** Semantic configuration linter: named, individually-enableable static
+    analysis passes over the VI model (paper §4.4's specialized queries,
+    run before — and without — any data plane).
+
+    Each pass emits {!Diag.t} findings with a stable [LINT0xx] code and
+    [phase = Lint]. The semantic passes decide rule reachability with BDDs
+    ({!Acl_bdd}): a rule is dead exactly when the union of earlier rules
+    covers its match set, not merely when its text repeats an earlier rule.
+
+    Pass catalog:
+    - [LINT001] [undefined-reference]: structure referenced but never defined
+    - [LINT002] [unused-structure]: structure defined but never referenced
+    - [LINT003] [acl-shadowed-rule]: ACL line no packet can reach
+    - [LINT004] [routemap-dead-clause]: route-map clause subsumed by an
+      earlier clause
+    - [LINT005] [bgp-session]: declared sessions whose two ends disagree
+    - [LINT006] [interface-addressing]: duplicate addresses, mismatched link
+      subnets
+    - [LINT007] [duplicate-identity]: hostname/router-id claimed twice *)
+
+type ctx = {
+  lc_files : (string * Vi.t) list;
+      (** every successfully parsed file (filename, config), {e before}
+          duplicate-hostname dedup — only this view can see duplicates *)
+  lc_configs : Vi.t list;  (** deduplicated configs, first definition wins *)
+  lc_env : Pktset.t Lazy.t;  (** BDD environment for the semantic passes *)
+}
+
+(** [make_ctx ?files configs] builds a context; [files] defaults to empty,
+    which disables the duplicate-hostname check (everything else works). *)
+val make_ctx : ?files:(string * Vi.t) list -> Vi.t list -> ctx
+
+type pass = {
+  p_code : string;  (** stable code, e.g. ["LINT003"] *)
+  p_name : string;  (** CLI-facing name, e.g. ["acl-shadowed-rule"] *)
+  p_doc : string;
+  p_run : ctx -> Diag.t list;
+}
+
+(** All registered passes, in code order. *)
+val passes : pass list
+
+val pass_names : string list
+
+(** Look up by [p_name] or (case-insensitive) [p_code]. *)
+val find_pass : string -> pass option
+
+(** Resolve [--select]/[--ignore] lists into the passes to run; [Error msg]
+    names the first unknown pass. No selection means every pass. *)
+val resolve_selection :
+  ?select:string list -> ?ignore_passes:string list -> unit -> (pass list, string) result
+
+type report = { r_results : (pass * Diag.t list) list }
+
+(** Run the given passes. Each pass is fault-isolated: one that raises
+    contributes a single [Fatal] [LINT_CRASH] finding instead of aborting
+    the run. Per-pass findings are sorted deterministically. *)
+val run_passes : ctx -> pass list -> report
+
+(** [resolve_selection] + [run_passes]. *)
+val run :
+  ?select:string list -> ?ignore_passes:string list -> ctx -> (report, string) result
+
+(** All findings, in pass order. *)
+val findings : report -> Diag.t list
+
+(** Highest severity of any finding ([Info] when clean). *)
+val max_severity : report -> Diag.severity
+
+(** Number of findings at or above a severity. *)
+val count_at_least : Diag.severity -> report -> int
+
+(** One line per finding (suffixed with the pass name) plus a summary. *)
+val report_to_text : report -> string
+
+(** Machine-readable report:
+    [{"findings": [...], "summary": {...}}]. *)
+val report_to_json : report -> string
+
+(** {2 Shared analyses (also used by {!Questions})} *)
+
+(** (structure type, name) pairs defined but unreferenced in one config. *)
+val unused_structures : Vi.t -> (string * string) list
+
+(** Pairwise session check over the snapshot:
+    (node, peer address, issue text, severity). *)
+val bgp_session_issues : Vi.t list -> (string * Ipv4.t * string * Diag.severity) list
+
+(** Addresses claimed by more than one interface: [(ip, owners)] in
+    first-seen order. *)
+val duplicate_ips : Vi.t list -> (Ipv4.t * (string * string) list) list
+
+(** The code carried by a crashing pass's [Fatal] finding. *)
+val code_crash : string

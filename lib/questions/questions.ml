@@ -15,12 +15,13 @@ let print_answer a = print_string (answer_to_string a)
 let init_issues parsed =
   let rows =
     List.concat_map
-      (fun ((cfg : Vi.t), warnings) ->
+      (fun ((cfg : Vi.t), diags) ->
         List.map
-          (fun (w : Warning.t) ->
-            [ cfg.hostname; string_of_int w.w_line; Warning.kind_to_string w.w_kind;
-              w.w_text ])
-          warnings)
+          (fun (d : Diag.t) ->
+            [ cfg.hostname;
+              (match d.d_loc.loc_line with Some l -> string_of_int l | None -> "-");
+              d.d_code; d.d_message ])
+          diags)
       parsed
   in
   { a_title = "initIssues"; a_header = [ "node"; "line"; "issue"; "text" ]; a_rows = rows }
@@ -49,157 +50,56 @@ let undefined_references configs =
   { a_title = "undefinedReferences"; a_header = [ "node"; "type"; "name"; "context" ];
     a_rows = rows }
 
-(* A structure is unused if nothing in the config mentions it. *)
+(* A structure is unused if nothing in the config mentions it. The analysis
+   itself lives in the lint registry (LINT002); this is the tabular view. *)
 let unused_structures configs =
   let rows =
     List.concat_map
       (fun (cfg : Vi.t) ->
-        let used_acls =
-          List.concat_map
-            (fun (i : Vi.interface) ->
-              Option.to_list i.if_in_acl @ Option.to_list i.if_out_acl)
-            cfg.interfaces
-          @ List.filter_map (fun (r : Vi.nat_rule) -> r.nr_match_acl) cfg.nat_rules
-          @ List.map (fun (zp : Vi.zone_policy) -> zp.zp_acl) cfg.zone_policies
-        in
-        let neighbor_policies =
-          match cfg.bgp with
-          | Some b ->
-            List.concat_map
-              (fun (n : Vi.bgp_neighbor) ->
-                Option.to_list n.bn_import_policy @ Option.to_list n.bn_export_policy)
-              b.bp_neighbors
-            @ List.filter_map snd b.bp_networks
-            @ List.filter_map (fun (r : Vi.redistribution) -> r.rd_route_map) b.bp_redistribute
-          | None -> []
-        in
-        let ospf_policies =
-          match cfg.ospf with
-          | Some o ->
-            List.filter_map (fun (r : Vi.redistribution) -> r.rd_route_map) o.op_redistribute
-          | None -> []
-        in
-        let used_rms = neighbor_policies @ ospf_policies in
-        let used_pls =
-          List.concat_map
-            (fun (rm : Vi.route_map) ->
-              List.concat_map
-                (fun (c : Vi.rm_clause) ->
-                  List.filter_map
-                    (function
-                      | Vi.Match_prefix_list p -> Some p
-                      | _ -> None)
-                    c.rc_matches)
-                rm.rm_clauses)
-            cfg.route_maps
-          @ (match cfg.bgp with
-             | Some b ->
-               List.concat_map
-                 (fun (n : Vi.bgp_neighbor) ->
-                   Option.to_list n.bn_prefix_list_in @ Option.to_list n.bn_prefix_list_out)
-                 b.bp_neighbors
-             | None -> [])
-        in
-        let unused kind names used =
-          List.filter_map
-            (fun name -> if List.mem name used then None else Some [ cfg.hostname; kind; name ])
-            names
-        in
-        unused "acl" (List.map (fun (a : Vi.acl) -> a.acl_name) cfg.acls) used_acls
-        @ unused "route-map" (List.map (fun (r : Vi.route_map) -> r.rm_name) cfg.route_maps) used_rms
-        @ unused "prefix-list"
-            (List.filter_map
-               (fun (p : Vi.prefix_list) ->
-                 (* anonymous route-filter lists are internal *)
-                 if String.length p.pl_name >= 4 && String.sub p.pl_name 0 4 = "__rf" then None
-                 else Some p.pl_name)
-               cfg.prefix_lists)
-            used_pls)
+        List.map
+          (fun (ty, name) -> [ cfg.hostname; ty; name ])
+          (Lint.unused_structures cfg))
       configs
   in
   { a_title = "unusedStructures"; a_header = [ "node"; "type"; "name" ]; a_rows = rows }
 
 let duplicate_ips configs =
-  let owners : (Ipv4.t, (string * string) list) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun (cfg : Vi.t) ->
-      List.iter
-        (fun (iface, ip, _) ->
-          Hashtbl.replace owners ip
-            ((cfg.hostname, iface)
-            :: Option.value (Hashtbl.find_opt owners ip) ~default:[]))
-        (Vi.interface_prefixes cfg))
-    configs;
   let rows =
-    Hashtbl.fold
-      (fun ip users acc ->
-        if List.length users > 1 then
-          [ Ipv4.to_string ip;
-            String.concat ", "
-              (List.map (fun (n, i) -> Printf.sprintf "%s[%s]" n i) (List.rev users)) ]
-          :: acc
-        else acc)
-      owners []
+    List.map
+      (fun (ip, users) ->
+        [ Ipv4.to_string ip;
+          String.concat ", "
+            (List.map (fun (n, i) -> Printf.sprintf "%s[%s]" n i) users) ])
+      (Lint.duplicate_ips configs)
   in
   { a_title = "duplicateIps"; a_header = [ "ip"; "owners" ];
     a_rows = List.sort compare rows }
 
 let bgp_session_compatibility configs =
-  let by_ip : (Ipv4.t, string * Vi.bgp_proc) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun (cfg : Vi.t) ->
-      Option.iter
-        (fun bgp ->
-          List.iter
-            (fun (iface, ip, _) ->
-              ignore iface;
-              Hashtbl.replace by_ip ip (cfg.hostname, bgp))
-            (Vi.interface_prefixes cfg))
-        cfg.bgp)
-    configs;
-  let rows = ref [] in
-  List.iter
-    (fun (cfg : Vi.t) ->
-      Option.iter
-        (fun (bgp : Vi.bgp_proc) ->
-          List.iter
-            (fun (n : Vi.bgp_neighbor) ->
-              let issue text =
-                rows :=
-                  [ cfg.hostname; Ipv4.to_string n.bn_peer; text ] :: !rows
-              in
-              match Hashtbl.find_opt by_ip n.bn_peer with
-              | None -> () (* external or unknown: covered by session status *)
-              | Some (peer_node, peer_bgp) ->
-                let local_as =
-                  Option.value n.bn_local_as ~default:bgp.bp_as
-                in
-                if n.bn_remote_as <> peer_bgp.bp_as then
-                  issue
-                    (Printf.sprintf "remote-as %d but %s is AS %d" n.bn_remote_as
-                       peer_node peer_bgp.bp_as)
-                else begin
-                  (* does the peer point back at any of our addresses? *)
-                  let our_ips =
-                    List.map (fun (_, ip, _) -> ip) (Vi.interface_prefixes cfg)
-                  in
-                  match
-                    List.find_opt
-                      (fun (rn : Vi.bgp_neighbor) -> List.mem rn.bn_peer our_ips)
-                      peer_bgp.bp_neighbors
-                  with
-                  | None -> issue (Printf.sprintf "%s has no neighbor statement back" peer_node)
-                  | Some rn ->
-                    if rn.bn_remote_as <> local_as then
-                      issue
-                        (Printf.sprintf "%s expects AS %d but we are AS %d" peer_node
-                           rn.bn_remote_as local_as)
-                end)
-            bgp.bp_neighbors)
-        cfg.bgp)
-    configs;
+  let rows =
+    List.map
+      (fun (node, peer, text, _severity) -> [ node; Ipv4.to_string peer; text ])
+      (Lint.bgp_session_issues configs)
+  in
   { a_title = "bgpSessionCompatibility"; a_header = [ "node"; "peer"; "issue" ];
-    a_rows = List.rev !rows }
+    a_rows = rows }
+
+(* The full lint report as a table (same findings as the lint CLI). *)
+let lint (report : Lint.report) =
+  let rows =
+    List.concat_map
+      (fun ((p : Lint.pass), findings) ->
+        List.map
+          (fun (d : Diag.t) ->
+            [ d.Diag.d_code; p.Lint.p_name;
+              Diag.severity_to_string d.d_severity;
+              Diag.location_to_string d.d_loc; d.d_message ])
+          findings)
+      report.Lint.r_results
+  in
+  { a_title = "lint";
+    a_header = [ "code"; "pass"; "severity"; "location"; "message" ];
+    a_rows = rows }
 
 let property_consistency configs =
   let properties =

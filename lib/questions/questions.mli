@@ -16,8 +16,8 @@ val print_answer : answer -> unit
 
 (** {2 Configuration questions (no data plane needed)} *)
 
-(** Parse warnings collected during stage 1. *)
-val init_issues : (Vi.t * Warning.t list) list -> answer
+(** Parse diagnostics collected during stage 1. *)
+val init_issues : (Vi.t * Diag.t list) list -> answer
 
 (** Structured pipeline diagnostics as a uniform table. *)
 val diagnostics : Diag.t list -> answer
@@ -38,6 +38,10 @@ val bgp_session_compatibility : Vi.t list -> answer
 (** Per-node management-plane settings with majority/outlier analysis:
     NTP servers, DNS servers, logging hosts, SNMP communities. *)
 val property_consistency : Vi.t list -> answer
+
+(** A lint {!Lint.report} as a uniform table (code, pass, severity,
+    location, message). *)
+val lint : Lint.report -> answer
 
 val interface_properties : Vi.t list -> answer
 val node_properties : Vi.t list -> answer

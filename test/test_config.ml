@@ -107,7 +107,7 @@ let ios_basics () =
   (* exactly the gibberish line should be an unrecognized-syntax warning,
      plus the undefined NATACL is not checked at parse time *)
   let unrecognized =
-    List.filter (fun w -> w.Warning.w_kind = Warning.Unrecognized_syntax) warnings
+    List.filter (fun (w : Diag.t) -> w.d_code = Diag.code_unrecognized_syntax) warnings
   in
   check Alcotest.int "one unrecognized line" 1 (List.length unrecognized)
 
@@ -262,7 +262,7 @@ let juniper_basics () =
   check Alcotest.string "vendor" "juniper" cfg.Vi.vendor;
   check Alcotest.int "interfaces" 4 (List.length cfg.Vi.interfaces);
   let unrecognized =
-    List.filter (fun w -> w.Warning.w_kind = Warning.Unrecognized_syntax) warnings
+    List.filter (fun (w : Diag.t) -> w.d_code = Diag.code_unrecognized_syntax) warnings
   in
   check Alcotest.int "one unrecognized" 1 (List.length unrecognized)
 

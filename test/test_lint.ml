@@ -1,0 +1,400 @@
+(* The lint registry: fixture configs exercising every pass, selection
+   filters, determinism, and the chaos property that lint never raises on
+   any generated (and mutated) network. *)
+
+let check = Alcotest.check
+
+let parse text = fst (Parse.parse_config text)
+
+let ctx_of texts = Lint.make_ctx (List.map parse texts)
+
+let run_pass key ctx =
+  match Lint.run ~select:[ key ] ctx with
+  | Ok report -> Lint.findings report
+  | Error msg -> Alcotest.failf "selection failed: %s" msg
+
+let codes findings = List.map (fun (d : Diag.t) -> d.Diag.d_code) findings
+
+let severities findings = List.map (fun (d : Diag.t) -> d.Diag.d_severity) findings
+
+(* --- LINT003: BDD subsumption, not syntactic equality --- *)
+
+(* The shadowed line shares no text with the shadowing line: only the
+   symbolic engine can see that permit-tcp-host-80 ⊆ permit-ip-10/8. *)
+let acl_shadow_semantic () =
+  let cfg =
+    "hostname edge1\n\
+     interface Ethernet1\n\
+     \ ip address 10.0.12.1 255.255.255.252\n\
+     \ ip access-group EDGE_IN in\n\
+     ip access-list extended EDGE_IN\n\
+     \ permit ip 10.0.0.0 0.255.255.255 any\n\
+     \ permit tcp host 10.1.2.3 any eq 80\n\
+     \ deny udp any any eq 53\n"
+  in
+  let fs = run_pass "acl-shadowed-rule" (ctx_of [ cfg ]) in
+  check Alcotest.int "one shadowed line" 1 (List.length fs);
+  let d = List.hd fs in
+  check Alcotest.string "stable code" "LINT003" d.Diag.d_code;
+  check Alcotest.bool "same action is Warn" true (d.Diag.d_severity = Diag.Warn);
+  check Alcotest.bool "names the dead line" true
+    (Re.execp (Re.compile (Re.str "line 20")) d.Diag.d_message)
+
+(* A covering line with the opposite action inverts the rule's intent:
+   severity escalates to Error. *)
+let acl_shadow_masked () =
+  let cfg =
+    "hostname edge2\n\
+     ip access-list extended EDGE_IN\n\
+     \ deny ip 10.0.0.0 0.255.255.255 any\n\
+     \ permit tcp host 10.1.2.3 any eq 80\n"
+  in
+  let fs = run_pass "LINT003" (ctx_of [ cfg ]) in
+  check Alcotest.int "one masked line" 1 (List.length fs);
+  check Alcotest.bool "conflicting action is Error" true
+    (severities fs = [ Diag.Error ])
+
+(* Distinct, non-overlapping lines are all reachable: no findings. *)
+let acl_no_false_positive () =
+  let cfg =
+    "hostname edge3\n\
+     ip access-list extended EDGE_IN\n\
+     \ permit tcp 10.1.0.0 0.0.255.255 any eq 443\n\
+     \ permit tcp 10.2.0.0 0.0.255.255 any eq 443\n\
+     \ deny ip any any\n"
+  in
+  check Alcotest.int "no findings" 0
+    (List.length (run_pass "LINT003" (ctx_of [ cfg ])))
+
+(* The union of earlier lines covers a line no single line covers: only
+   subsumption against the accumulated union finds it. *)
+let acl_shadow_by_union () =
+  let cfg =
+    "hostname edge4\n\
+     ip access-list extended SPLIT\n\
+     \ permit tcp 10.5.0.0 0.0.255.255 any eq 22\n\
+     \ permit udp 10.5.0.0 0.0.255.255 any\n\
+     \ permit tcp 10.5.1.0 0.0.0.255 any eq 22\n"
+  in
+  let fs = run_pass "LINT003" (ctx_of [ cfg ]) in
+  check Alcotest.int "third line dead" 1 (List.length fs);
+  check Alcotest.bool "blames line 10" true
+    (Re.execp (Re.compile (Re.str "line 30")) (List.hd fs).Diag.d_message)
+
+(* --- LINT004: dead route-map clauses --- *)
+
+let routemap_dead_clause () =
+  let cfg =
+    "hostname rr1\n\
+     route-map RM permit 10\n\
+     route-map RM permit 20\n\
+     \ match metric 5\n"
+  in
+  let fs = run_pass "routemap-dead-clause" (ctx_of [ cfg ]) in
+  check Alcotest.int "clause 20 dead" 1 (List.length fs);
+  let d = List.hd fs in
+  check Alcotest.string "code" "LINT004" d.Diag.d_code;
+  check Alcotest.bool "warn for same action" true (d.Diag.d_severity = Diag.Warn)
+
+let routemap_dead_clause_masked () =
+  let cfg =
+    "hostname rr2\n\
+     route-map RM deny 10\n\
+     \ match tag 7\n\
+     route-map RM permit 20\n\
+     \ match tag 7\n\
+     \ match metric 5\n"
+  in
+  let fs = run_pass "LINT004" (ctx_of [ cfg ]) in
+  check Alcotest.int "clause 20 dead" 1 (List.length fs);
+  check Alcotest.bool "opposite action is Error" true
+    (severities fs = [ Diag.Error ])
+
+let routemap_live_clauses () =
+  let cfg =
+    "hostname rr3\n\
+     route-map RM permit 10\n\
+     \ match metric 5\n\
+     route-map RM permit 20\n\
+     \ match tag 7\n"
+  in
+  check Alcotest.int "no findings" 0
+    (List.length (run_pass "LINT004" (ctx_of [ cfg ])))
+
+(* --- LINT005: BGP session compatibility --- *)
+
+let session_pair local_as remote_decl =
+  [ Printf.sprintf
+      "hostname left\n\
+       interface Ethernet1\n\
+       \ ip address 10.7.0.1 255.255.255.252\n\
+       router bgp %d\n\
+       \ neighbor 10.7.0.2 remote-as %d\n"
+      local_as remote_decl;
+    "hostname right\n\
+     interface Ethernet1\n\
+     \ ip address 10.7.0.2 255.255.255.252\n\
+     router bgp 65002\n\
+     \ neighbor 10.7.0.1 remote-as 65001\n" ]
+
+let bgp_as_mismatch () =
+  (* left declares the peer as AS 65999; right is really AS 65002 *)
+  let fs = run_pass "bgp-session" (ctx_of (session_pair 65001 65999)) in
+  check Alcotest.bool "mismatch found" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.d_code = "LINT005" && d.Diag.d_severity = Diag.Error
+         && Re.execp (Re.compile (Re.str "AS 65002")) d.Diag.d_message)
+       fs)
+
+let bgp_no_reciprocal () =
+  let solo =
+    [ "hostname left\n\
+       interface Ethernet1\n\
+       \ ip address 10.7.0.1 255.255.255.252\n\
+       router bgp 65001\n\
+       \ neighbor 10.7.0.2 remote-as 65002\n";
+      "hostname right\n\
+       interface Ethernet1\n\
+       \ ip address 10.7.0.2 255.255.255.252\n\
+       router bgp 65002\n" ]
+  in
+  let fs = run_pass "LINT005" (ctx_of solo) in
+  check Alcotest.bool "one-sided session found" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         Re.execp (Re.compile (Re.str "no neighbor statement back")) d.Diag.d_message)
+       fs)
+
+let bgp_compatible_quiet () =
+  check Alcotest.int "clean pair" 0
+    (List.length (run_pass "LINT005" (ctx_of (session_pair 65001 65002))))
+
+(* --- LINT006: interface addressing --- *)
+
+let duplicate_ip () =
+  let texts =
+    [ "hostname a\ninterface Ethernet1\n ip address 10.9.1.1 255.255.255.0\n";
+      "hostname b\ninterface Ethernet1\n ip address 10.9.1.1 255.255.255.0\n" ]
+  in
+  let fs = run_pass "interface-addressing" (ctx_of texts) in
+  check Alcotest.bool "duplicate reported as error" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.d_severity = Diag.Error
+         && Re.execp (Re.compile (Re.str "10.9.1.1")) d.Diag.d_message)
+       fs)
+
+let subnet_mismatch () =
+  let texts =
+    [ "hostname a\ninterface Ethernet1\n ip address 10.9.2.1 255.255.255.0\n";
+      "hostname b\ninterface Ethernet1\n ip address 10.9.2.2 255.255.255.252\n" ]
+  in
+  let fs = run_pass "LINT006" (ctx_of texts) in
+  check Alcotest.bool "mask mismatch reported" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         Re.execp (Re.compile (Re.str "not the same subnet")) d.Diag.d_message)
+       fs)
+
+(* --- LINT007: duplicate identities --- *)
+
+let duplicate_router_id () =
+  let texts =
+    [ "hostname a\nrouter ospf 1\n router-id 1.1.1.1\n";
+      "hostname b\nrouter ospf 1\n router-id 1.1.1.1\n" ]
+  in
+  let fs = run_pass "duplicate-identity" (ctx_of texts) in
+  check Alcotest.bool "router-id collision" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.d_code = "LINT007"
+         && Re.execp (Re.compile (Re.str "router-id 1.1.1.1")) d.Diag.d_message)
+       fs)
+
+let duplicate_hostname () =
+  let files =
+    [ ("a.cfg", parse "hostname twin\n"); ("b.cfg", parse "hostname twin\n") ]
+  in
+  let ctx = Lint.make_ctx ~files (List.map snd files) in
+  let fs = run_pass "LINT007" ctx in
+  check Alcotest.bool "hostname collision names both files" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         Re.execp (Re.compile (Re.str "a.cfg, b.cfg")) d.Diag.d_message)
+       fs)
+
+(* --- LINT001 / LINT002: the migrated reference passes --- *)
+
+let undefined_and_unused () =
+  let cfg =
+    "hostname refs\n\
+     interface Ethernet1\n\
+     \ ip address 10.8.0.1 255.255.255.0\n\
+     \ ip access-group MISSING in\n\
+     ip access-list extended ORPHAN\n\
+     \ permit ip any any\n"
+  in
+  let ctx = ctx_of [ cfg ] in
+  let undef = run_pass "undefined-reference" ctx in
+  check Alcotest.bool "undefined acl" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.d_code = "LINT001"
+         && Re.execp (Re.compile (Re.str "'MISSING'")) d.Diag.d_message)
+       undef);
+  let unused = run_pass "unused-structure" ctx in
+  check Alcotest.bool "unused acl" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.d_code = "LINT002"
+         && Re.execp (Re.compile (Re.str "'ORPHAN'")) d.Diag.d_message)
+       unused)
+
+(* The same dangling name referenced twice from one site dedups to a single
+   entry, and the result is sorted — stable across runs. *)
+let undefined_references_deterministic () =
+  let cfg =
+    parse
+      "hostname det\n\
+       interface Ethernet1\n\
+       \ ip address 10.8.1.1 255.255.255.0\n\
+       \ ip access-group SAME in\n\
+       \ ip access-group SAME out\n\
+       interface Ethernet2\n\
+       \ ip address 10.8.2.1 255.255.255.0\n\
+       \ ip access-group OTHER in\n"
+  in
+  let refs = Parse.undefined_references cfg in
+  check Alcotest.int "deduplicated" 2 (List.length refs);
+  check Alcotest.bool "sorted" true (refs = List.sort compare refs);
+  check Alcotest.bool "stable" true (refs = Parse.undefined_references cfg)
+
+(* --- clean config: zero findings --- *)
+
+let clean_config_quiet () =
+  let fs =
+    Lint.findings
+      (Lint.run_passes (ctx_of (session_pair 65001 65002)) Lint.passes)
+  in
+  if fs <> [] then
+    Alcotest.failf "expected no findings, got: %s"
+      (String.concat "; " (List.map Diag.to_string fs))
+
+(* --- registry mechanics --- *)
+
+let selection () =
+  (match Lint.resolve_selection ~select:[ "LINT003"; "bgp-session" ] () with
+   | Ok ps -> check Alcotest.int "two selected" 2 (List.length ps)
+   | Error m -> Alcotest.fail m);
+  (match Lint.resolve_selection ~ignore_passes:[ "unused-structure" ] () with
+   | Ok ps ->
+     check Alcotest.int "one ignored" (List.length Lint.passes - 1) (List.length ps)
+   | Error m -> Alcotest.fail m);
+  match Lint.resolve_selection ~select:[ "nope" ] () with
+  | Ok _ -> Alcotest.fail "unknown pass accepted"
+  | Error m -> check Alcotest.bool "names the bad pass" true
+                 (Re.execp (Re.compile (Re.str "nope")) m)
+
+let report_shape () =
+  let ctx =
+    ctx_of
+      [ "hostname edge1\n\
+         interface Ethernet1\n\
+         \ ip address 10.0.12.1 255.255.255.252\n\
+         \ ip access-group A in\n\
+         ip access-list extended A\n\
+         \ permit ip 10.0.0.0 0.255.255.255 any\n\
+         \ permit tcp host 10.1.2.3 any eq 80\n" ]
+  in
+  let report = Lint.run_passes ctx Lint.passes in
+  check Alcotest.bool "max severity" true (Lint.max_severity report = Diag.Warn);
+  check Alcotest.int "count at warn" 1 (Lint.count_at_least Diag.Warn report);
+  check Alcotest.int "count at error" 0 (Lint.count_at_least Diag.Error report);
+  let json = Lint.report_to_json report in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("json has " ^ needle) true
+        (Re.execp (Re.compile (Re.str needle)) json))
+    [ "\"code\":\"LINT003\""; "\"severity\":\"WARN\""; "\"max_severity\":\"WARN\"";
+      "\"passes_run\":7" ];
+  let text = Lint.report_to_text report in
+  check Alcotest.bool "text has summary" true
+    (Re.execp (Re.compile (Re.str "1 finding from 7 passes")) text);
+  (* every finding is a well-formed diagnostic in the Lint phase *)
+  List.iter
+    (fun (d : Diag.t) ->
+      check Alcotest.bool "well-formed" true (Diag.well_formed d);
+      check Alcotest.bool "lint phase" true (d.Diag.d_phase = Diag.Lint))
+    (Lint.findings report)
+
+let deterministic_runs () =
+  let texts =
+    session_pair 65001 65999
+    @ [ "hostname extra\n\
+         interface Ethernet1\n\
+         \ ip address 10.7.0.1 255.255.255.0\n\
+         ip access-list extended A\n\
+         \ permit ip any any\n\
+         \ permit tcp any any\n" ]
+  in
+  let run () =
+    List.map Diag.to_string (Lint.findings (Lint.run_passes (ctx_of texts) Lint.passes))
+  in
+  check Alcotest.(list string) "same findings twice" (run ()) (run ())
+
+(* --- the chaos property: lint never raises, on anything --- *)
+
+let lint_chaos () =
+  let profiles =
+    [ ("clos", fun () -> Netgen.clos ~name:"lc" ~spines:2 ~leaves:3 ());
+      ("enterprise", fun () -> Netgen.enterprise ~name:"le" ~sites:3 ());
+      ("campus", fun () -> Netgen.campus ~name:"lk" ~buildings:3 ());
+      ("wan", fun () -> Netgen.wan ~name:"lw" ~pops:4 ()) ]
+  in
+  List.iteri
+    (fun bi (pname, make) ->
+      for seed = 0 to 24 do
+        let where = Printf.sprintf "%s seed %d" pname seed in
+        let rng = Rng.create ((7000 * bi) + seed) in
+        let mutated, _ =
+          Chaos.mutate_network ~rng ~mutations:(1 + Rng.int rng 3) (make ())
+        in
+        let bf = Batfish.init (Batfish.Snapshot.of_texts mutated.Netgen.n_configs) in
+        let report =
+          try Batfish.lint_all bf
+          with exn -> Alcotest.failf "%s: lint raised %s" where (Printexc.to_string exn)
+        in
+        List.iter
+          (fun (d : Diag.t) ->
+            if not (Diag.well_formed d) then
+              Alcotest.failf "%s: ill-formed finding %s" where (Diag.to_string d);
+            if d.Diag.d_code = Lint.code_crash then
+              Alcotest.failf "%s: pass crashed: %s" where d.Diag.d_message)
+          (Lint.findings report)
+      done)
+    profiles
+
+let suites =
+  [ ( "lint",
+      [ Alcotest.test_case "acl shadow (semantic)" `Quick acl_shadow_semantic;
+        Alcotest.test_case "acl shadow (masked action)" `Quick acl_shadow_masked;
+        Alcotest.test_case "acl no false positive" `Quick acl_no_false_positive;
+        Alcotest.test_case "acl shadow by union" `Quick acl_shadow_by_union;
+        Alcotest.test_case "route-map dead clause" `Quick routemap_dead_clause;
+        Alcotest.test_case "route-map dead clause (masked)" `Quick routemap_dead_clause_masked;
+        Alcotest.test_case "route-map live clauses" `Quick routemap_live_clauses;
+        Alcotest.test_case "bgp as mismatch" `Quick bgp_as_mismatch;
+        Alcotest.test_case "bgp no reciprocal" `Quick bgp_no_reciprocal;
+        Alcotest.test_case "bgp compatible quiet" `Quick bgp_compatible_quiet;
+        Alcotest.test_case "duplicate ip" `Quick duplicate_ip;
+        Alcotest.test_case "subnet mismatch" `Quick subnet_mismatch;
+        Alcotest.test_case "duplicate router-id" `Quick duplicate_router_id;
+        Alcotest.test_case "duplicate hostname" `Quick duplicate_hostname;
+        Alcotest.test_case "undefined + unused" `Quick undefined_and_unused;
+        Alcotest.test_case "undefined refs deterministic" `Quick undefined_references_deterministic;
+        Alcotest.test_case "clean config quiet" `Quick clean_config_quiet;
+        Alcotest.test_case "selection" `Quick selection;
+        Alcotest.test_case "report shape" `Quick report_shape;
+        Alcotest.test_case "deterministic runs" `Quick deterministic_runs;
+        Alcotest.test_case "lint chaos (never raises)" `Slow lint_chaos ] ) ]

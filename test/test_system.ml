@@ -18,7 +18,7 @@ let profiles_clean () =
       let unrecognized =
         List.concat_map
           (fun (_, ws) ->
-            List.filter (fun w -> w.Warning.w_kind = Warning.Unrecognized_syntax) ws)
+            List.filter (fun (w : Diag.t) -> w.d_code = Diag.code_unrecognized_syntax) ws)
           (Batfish.Snapshot.parse_warnings (Batfish.snapshot bf))
       in
       check Alcotest.int (p.p_name ^ " no unrecognized syntax") 0 (List.length unrecognized);
