@@ -1,4 +1,4 @@
-.PHONY: all build test lint check clean
+.PHONY: all build test lint bench-smoke check clean
 
 all: build
 
@@ -12,11 +12,19 @@ test:
 lint: build
 	dune exec bin/batfish_cli.exe -- lint --strict examples/configs/clean_small
 
+# Fast benchmark subset: exercises the sharded parallel verification engine
+# (and fails if parallel results ever diverge from the sequential engine) and
+# writes machine-readable BENCH_results.json for the perf trajectory.
+bench-smoke: build
+	dune exec bench/main.exe -- smoke --scale 1
+
 # The full gate: everything compiles, every test passes (which includes
-# linting the example fixtures via the runtest alias).
+# linting the example fixtures via the runtest alias), and the bench smoke
+# subset runs to completion.
 check:
 	dune build
 	dune runtest
+	$(MAKE) bench-smoke
 
 clean:
 	dune clean

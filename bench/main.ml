@@ -15,6 +15,39 @@ let time f =
 
 let fmt_s t = if t < 0.001 then Printf.sprintf "%.2fms" (t *. 1000.0) else Printf.sprintf "%.3fs" t
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every benchmark also records its numbers  *)
+(* here, and the harness writes BENCH_results.json on exit so the perf *)
+(* trajectory can be tracked across PRs.                               *)
+(* ------------------------------------------------------------------ *)
+
+let records : (string * (string * string) list) list ref = ref []
+let record name metrics = records := (name, metrics) :: !records
+let m_f k v = (k, Printf.sprintf "%.6f" v)
+let m_i k v = (k, string_of_int v)
+let m_b k v = (k, if v then "true" else "false")
+
+(* BDD-manager counters as metrics: nodes, op-cache hits/misses, current
+   op-cache capacity. *)
+let m_bdd man =
+  let nodes, hits, misses = Bdd.stats man in
+  [ m_i "bdd_nodes" nodes; m_i "cache_hits" hits; m_i "cache_misses" misses;
+    m_i "cache_entries" (Bdd.cache_size man) ]
+
+let write_results ~scale ~domains () =
+  let oc = open_out "BENCH_results.json" in
+  let entry (name, metrics) =
+    Printf.sprintf "    {\"name\": \"%s\"%s}" name
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": 1,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    scale domains
+    (String.concat ",\n" (List.map entry (List.rev !records)));
+  close_out oc;
+  Printf.printf "wrote BENCH_results.json (%d results)\n" (List.length !records)
+
 let load_profile ~scale (p : Netgen.profile) =
   let net = p.p_make scale in
   let texts = net.Netgen.n_configs in
@@ -67,6 +100,12 @@ let table2 ~scale () =
         in
         let _, mpc_t = time (fun () -> Fquery.multipath_consistency q ()) in
         ignore dp;
+        record
+          (Printf.sprintf "table2.%s" p.p_name)
+          ([ m_i "devices" (Netgen.device_count net); m_f "parse_s" parse_t;
+             m_f "dataplane_s" dp_t; m_f "graph_s" graph_t; m_f "dest_reach_s" dest_t;
+             m_f "multipath_s" mpc_t ]
+          @ m_bdd (Pktset.man e));
         [ p.p_name; string_of_int (Netgen.device_count net); fmt_s parse_t; fmt_s dp_t;
           fmt_s graph_t; fmt_s dest_t; fmt_s mpc_t ])
       Netgen.profiles
@@ -280,8 +319,9 @@ let ablations ~scale () =
     let env = Pktset.create () in
     let (q : Fquery.t), build_t =
       time (fun () ->
-          { Fquery.g = Fgraph.build ~env ~compress ~configs:find5 ~dp:dp5 ();
-            dp = dp5; configs = find5 })
+          Fquery.of_graph
+            (Fgraph.build ~env ~compress ~configs:find5 ~dp:dp5 ())
+            ~dp:dp5 ~configs:find5)
     in
     let _, t = time (fun () -> Fquery.to_delivered q ()) in
     [ label; string_of_int (Fgraph.n_edges q.Fquery.g); fmt_s build_t; fmt_s t ]
@@ -334,22 +374,95 @@ let ablations ~scale () =
   let dp5 = Dataplane.compute ~env:net6n.Netgen.n_env (Batfish.Snapshot.configs snap6) in
   let find5 = Batfish.Snapshot.find snap6 in
   let env6 = Pktset.create () in
-  let q6 =
-    { Fquery.g = Fgraph.build ~env:env6 ~configs:find5 ~dp:dp5 (); dp = dp5;
-      configs = find5 }
-  in
+  let g6 = Fgraph.build ~env:env6 ~configs:find5 ~dp:dp5 () in
+  let q6 = Fquery.of_graph g6 ~dp:dp5 ~configs:find5 in
   let dst = Pktset.dst_prefix env6 (Prefix.make (Ipv4.of_octets 172 16 0 0) 24) in
-  let _, t_back = time (fun () -> Fquery.to_delivered q6 ~hdr:dst ()) in
-  let back_apps = Freach.last_edge_applications () in
-  let starts =
-    List.map (fun (n, i) -> (n, Some i)) (Fgraph.edge_interfaces q6.Fquery.g ~dp:dp5)
+  let delivered_sinks =
+    List.map
+      (fun id -> (id, dst))
+      (Fgraph.locs_where g6 (function
+        | Fgraph.Dst _ | Fgraph.Accept _ -> true
+        | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dropped _ -> false))
   in
-  let _, t_fwd = time (fun () -> Fquery.forward_from q6 ~hdr:dst starts) in
-  let fwd_apps = Freach.last_edge_applications () in
+  let (_, back_apps), t_back =
+    time (fun () -> Freach.backward_counted g6 delivered_sinks)
+  in
+  let starts =
+    List.map (fun (n, i) -> (n, Some i)) (Fgraph.edge_interfaces g6 ~dp:dp5)
+  in
+  let man6 = Pktset.man env6 in
+  let fwd_seed = Bdd.band man6 dst (Fquery.clean q6) in
+  let fwd_seeds =
+    List.filter_map
+      (fun (n, i) ->
+        Option.map
+          (fun id -> (id, fwd_seed))
+          (Fgraph.loc_id g6 (Fgraph.Src (n, Option.get i))))
+      starts
+  in
+  let (_, fwd_apps), t_fwd = time (fun () -> Freach.forward_counted g6 fwd_seeds) in
   Table.print
     ~header:[ "direction"; "time"; "edge applications" ]
     [ [ "backward from destination"; fmt_s t_back; string_of_int back_apps ];
       [ "forward from all sources"; fmt_s t_fwd; string_of_int fwd_apps ] ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel verification                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parallel ~scale ~domains () =
+  Printf.printf "== Sharded parallel verification (%d worker domains, private BDD managers) ==\n"
+    domains;
+  let leaves = max 4 (int_of_float (12.0 *. scale)) in
+  let net = Netgen.clos ~name:"par" ~spines:4 ~leaves () in
+  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+  let dp = Dataplane.compute ~env:net.Netgen.n_env (Batfish.Snapshot.configs snap) in
+  let find = Batfish.Snapshot.find snap in
+  let q = Fquery.make ~configs:find ~dp () in
+  Printf.printf "   network: %d devices, %d start locations\n"
+    (Netgen.device_count net)
+    (List.length (Fquery.default_starts q));
+  (* all-pairs reachability: per-source forward passes *)
+  let rows_seq, ap_t1 = time (fun () -> Fpar.all_pairs ~domains:1 q) in
+  let rows_par, ap_tn = time (fun () -> Fpar.all_pairs ~domains q) in
+  let ap_same = rows_seq = rows_par in
+  (* multipath consistency: per-destination-shard backward passes *)
+  let v_seq, mpc_t1 = time (fun () -> Fquery.multipath_consistency q ()) in
+  let v_par, mpc_tn = time (fun () -> Fpar.multipath_consistency ~domains q) in
+  let mpc_same =
+    List.length v_seq = List.length v_par
+    && List.for_all2
+         (fun (s1, b1) (s2, b2) -> s1 = s2 && Bdd.equal b1 b2)
+         v_seq v_par
+  in
+  (* memoized repeat of the multipath query (same graph + same header set) *)
+  let _, memo_t = time (fun () -> Fquery.multipath_consistency q ()) in
+  let memo_hits, memo_misses = Fquery.memo_stats q in
+  Table.print
+    ~header:[ "query"; "1 domain"; Printf.sprintf "%d domains" domains; "speedup"; "identical" ]
+    [ [ "all-pairs reachability"; fmt_s ap_t1; fmt_s ap_tn;
+        Printf.sprintf "%.2fx" (ap_t1 /. ap_tn); string_of_bool ap_same ];
+      [ "multipath consistency"; fmt_s mpc_t1; fmt_s mpc_tn;
+        Printf.sprintf "%.2fx" (mpc_t1 /. mpc_tn); string_of_bool mpc_same ];
+      [ "multipath (memoized rerun)"; fmt_s mpc_t1; fmt_s memo_t;
+        Printf.sprintf "%.2fx" (mpc_t1 /. Float.max 1e-9 memo_t); "true" ] ];
+  record "parallel.all_pairs"
+    [ m_i "devices" (Netgen.device_count net); m_i "rows" (List.length rows_seq);
+      m_f "t_domains1_s" ap_t1; m_f "t_domainsN_s" ap_tn;
+      m_f "speedup" (ap_t1 /. ap_tn); m_b "identical" ap_same ];
+  record "parallel.multipath"
+    [ m_i "violations" (List.length v_seq); m_f "t_domains1_s" mpc_t1;
+      m_f "t_domainsN_s" mpc_tn; m_f "speedup" (mpc_t1 /. mpc_tn);
+      m_b "identical" mpc_same ];
+  record "parallel.memo"
+    ([ m_f "t_first_s" mpc_t1; m_f "t_memoized_s" memo_t; m_i "memo_hits" memo_hits;
+       m_i "memo_misses" memo_misses ]
+    @ m_bdd (Pktset.man (Fquery.env q)));
+  if not (ap_same && mpc_same) then begin
+    print_endline "ERROR: parallel results differ from the sequential engine";
+    exit 1
+  end;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -428,6 +541,14 @@ let () =
     in
     find args
   in
+  let domains =
+    let rec find = function
+      | "--domains" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> 4
+    in
+    find args
+  in
   let selected =
     List.filter
       (fun a ->
@@ -436,11 +557,18 @@ let () =
   in
   let all = selected = [] in
   let want name = all || List.mem name selected in
-  Printf.printf "batfish-caml benchmark harness (scale %.2g)\n\n" scale;
-  if want "table1" then table1 ~scale ();
-  if want "table2" then table2 ~scale ();
-  if want "fig1" then fig1 ();
-  if want "fig3" then fig3 ~scale ();
-  if want "apt" then apt ~scale:(min scale 1.0) ();
-  if want "ablations" then ablations ~scale ();
-  if want "micro" then micro ()
+  Printf.printf "batfish-caml benchmark harness (scale %.2g, domains %d)\n\n" scale domains;
+  (* smoke: the fast CI subset (make bench-smoke) — exercises the parallel
+     machinery and the convergence harness, writes BENCH_results.json, and
+     exits nonzero on crash or on a parallel-vs-sequential mismatch. *)
+  let smoke = List.mem "smoke" selected in
+  if want "table1" && not smoke then table1 ~scale ();
+  if want "table2" && not smoke then table2 ~scale ();
+  if want "fig1" || smoke then fig1 ();
+  if want "fig3" && not smoke then fig3 ~scale ();
+  if want "apt" && not smoke then apt ~scale:(min scale 1.0) ();
+  if want "ablations" && not smoke then ablations ~scale ();
+  if want "parallel" || smoke then
+    parallel ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
+  if want "micro" && not smoke then micro ();
+  write_results ~scale ~domains ()

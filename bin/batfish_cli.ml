@@ -17,7 +17,18 @@ let strict_arg =
        & info [ "strict" ]
            ~doc:"Exit with a nonzero status if any Error or Fatal diagnostic was produced")
 
-let load dir = Batfish.init (Batfish.Snapshot.of_dir dir)
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for parallel computation (route exchange and \
+                 sharded symbolic verification). Results are identical at any \
+                 value; 0 picks a machine-appropriate count.")
+
+let load ?(domains = 1) dir =
+  let domains = if domains <= 0 then Par.default_domains () else domains in
+  Batfish.init
+    ~options:{ Dataplane.default_options with domains }
+    (Batfish.Snapshot.of_dir dir)
 
 (* Operator-input errors: a friendly message and exit 1, never a raw
    exception at the user. *)
@@ -83,8 +94,8 @@ let diagnostics_cmd =
 (* --- dataplane --- *)
 
 let dataplane_cmd =
-  let run dir strict =
-    let bf = load dir in
+  let run dir domains strict =
+    let bf = load ~domains dir in
     let t0 = Unix.gettimeofday () in
     let dp = Batfish.dataplane bf in
     Printf.printf "data plane: %d nodes, %d routes, converged=%b, %d BGP rounds (%.2fs)\n"
@@ -99,7 +110,7 @@ let dataplane_cmd =
     finish ~strict bf
   in
   Cmd.v (Cmd.info "dataplane" ~doc:"Generate the data plane and show session status")
-    Term.(const run $ dir_arg $ strict_arg)
+    Term.(const run $ dir_arg $ domains_arg $ strict_arg)
 
 (* --- routes --- *)
 
@@ -153,7 +164,7 @@ let lint_cmd =
          & info [ "strict" ]
              ~doc:"CI gate: shorthand for --fail-on warn (any finding fails the run)")
   in
-  let run dir select ignore_ json fail_on strict list_passes =
+  let run dir select ignore_ json fail_on strict list_passes domains =
     if list_passes then begin
       List.iter
         (fun (p : Lint.pass) -> Printf.printf "%s  %-22s %s\n" p.p_code p.p_name p.p_doc)
@@ -165,7 +176,7 @@ let lint_cmd =
       | Some d -> d
       | None -> die "CONFIG_DIR required (or use --list to show the passes)"
     in
-    let bf = load dir in
+    let bf = load ~domains dir in
     let split = Option.map (String.split_on_char ',') in
     match Batfish.lint ?select:(split select) ?ignore_passes:(split ignore_) bf with
     | Error msg -> die "%s (passes: %s)" msg (String.concat ", " Lint.pass_names)
@@ -187,20 +198,20 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static-analysis lint passes over a snapshot (no data plane computed)")
-    Term.(const run $ dir $ select $ ignore_ $ json $ fail_on $ strict $ list_passes)
+    Term.(const run $ dir $ select $ ignore_ $ json $ fail_on $ strict $ list_passes $ domains_arg)
 
 (* --- checks --- *)
 
 let check_cmd =
-  let run dir strict =
-    let bf = load dir in
+  let run dir domains strict =
+    let bf = load ~domains dir in
     print_answers (Batfish.check_all bf);
     finish ~strict bf
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the configuration-hygiene battery (references, duplicate IPs, BGP compatibility, consistency)")
-    Term.(const run $ dir_arg $ strict_arg)
+    Term.(const run $ dir_arg $ domains_arg $ strict_arg)
 
 (* --- trace --- *)
 
@@ -262,12 +273,20 @@ let reach_cmd =
 (* --- verify (multipath + loops) --- *)
 
 let verify_cmd =
-  let run dir =
-    let bf = load dir in
-    print_answers [ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
+  let all_pairs =
+    Arg.(value & flag
+         & info [ "all-pairs" ]
+             ~doc:"Also run all-pairs reachability (one forward pass per edge \
+                   interface, fanned across --domains workers)")
+  in
+  let run dir domains all_pairs =
+    let bf = load ~domains dir in
+    print_answers
+      ([ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
+      @ (if all_pairs then [ Batfish.answer_all_pairs bf ] else []))
   in
   Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ domains_arg $ all_pairs)
 
 (* --- netgen --- *)
 

@@ -17,13 +17,16 @@ type man = {
   mutable buckets : int array;
   mutable bmask : int;
   nvars : int;
-  ck_op : int array;
-  ck_a : int array;
-  ck_b : int array;
-  cv : int array;
-  cmask : int;
+  mutable ck_op : int array;
+  mutable ck_a : int array;
+  mutable ck_b : int array;
+  mutable cv : int array;
+  mutable cmask : int;
+  cmask_max : int;
   mutable hits : int;
   mutable misses : int;
+  mutable win_hits : int;
+  mutable win_misses : int;
   mutable next_aux : int;
   mutable identity : perm option;
 }
@@ -36,9 +39,11 @@ let is_top a = a = 1
 let nvars m = m.nvars
 let node_count m = m.n
 let stats m = (m.n, m.hits, m.misses)
+let cache_size m = m.cmask + 1
 
-let create ?(cache_bits = 18) ~nvars () =
+let create ?(cache_bits = 18) ?(max_cache_bits = 22) ~nvars () =
   let cap = 1024 in
+  let max_cache_bits = max cache_bits max_cache_bits in
   let m =
     { var = Array.make cap 0; lo = Array.make cap 0; hi = Array.make cap 0;
       n = 2;
@@ -49,7 +54,9 @@ let create ?(cache_bits = 18) ~nvars () =
       ck_b = Array.make (1 lsl cache_bits) 0;
       cv = Array.make (1 lsl cache_bits) 0;
       cmask = (1 lsl cache_bits) - 1;
-      hits = 0; misses = 0; next_aux = 0; identity = None }
+      cmask_max = (1 lsl max_cache_bits) - 1;
+      hits = 0; misses = 0; win_hits = 0; win_misses = 0;
+      next_aux = 0; identity = None }
   in
   (* Terminals sit below every real variable. *)
   m.var.(0) <- nvars;
@@ -135,14 +142,53 @@ let op_transform = 8
 let op_restrict = 9
 let op_compose = 10
 
+(* When the direct-mapped cache thrashes (a full capacity's worth of lookups
+   with a poor hit rate), double it up to [cmask_max], rehashing the warm
+   entries into the new table. Growth only changes what is recomputed, never
+   what is computed: results are canonical node ids either way. *)
+let cache_grow m =
+  let nmask = (m.cmask * 2) + 1 in
+  let ck_op = Array.make (nmask + 1) (-1) in
+  let ck_a = Array.make (nmask + 1) 0 in
+  let ck_b = Array.make (nmask + 1) 0 in
+  let cv = Array.make (nmask + 1) 0 in
+  for i = 0 to m.cmask do
+    let op = m.ck_op.(i) in
+    if op >= 0 then begin
+      let j = uhash op m.ck_a.(i) m.ck_b.(i) nmask in
+      ck_op.(j) <- op;
+      ck_a.(j) <- m.ck_a.(i);
+      ck_b.(j) <- m.ck_b.(i);
+      cv.(j) <- m.cv.(i)
+    end
+  done;
+  m.ck_op <- ck_op;
+  m.ck_a <- ck_a;
+  m.ck_b <- ck_b;
+  m.cv <- cv;
+  m.cmask <- nmask
+
+let cache_pressure_check m =
+  let window = m.win_hits + m.win_misses in
+  if window > m.cmask then begin
+    (* miss rate over the window above ~60% means the working set no longer
+       fits: entries are evicted before they can be re-used *)
+    if m.cmask < m.cmask_max && m.win_misses * 5 > window * 3 then cache_grow m;
+    m.win_hits <- 0;
+    m.win_misses <- 0
+  end
+
 let cache_find m op a b =
   let i = uhash op a b m.cmask in
   if m.ck_op.(i) = op && m.ck_a.(i) = a && m.ck_b.(i) = b then begin
     m.hits <- m.hits + 1;
+    m.win_hits <- m.win_hits + 1;
     m.cv.(i)
   end
   else begin
     m.misses <- m.misses + 1;
+    m.win_misses <- m.win_misses + 1;
+    if m.win_misses land 0xFFF = 0 then cache_pressure_check m;
     -1
   end
 
@@ -211,8 +257,56 @@ let rec apply m op a b =
     end
   end
 
-let band m a b = apply m op_and a b
-let bor m a b = apply m op_or a b
+(* Conjunction and disjunction dominate the verification hot path (filters,
+   FIB cells, fixed-point unions), so they get dedicated recursions: the
+   bot/top short-circuits sit first and no per-call operation dispatch runs.
+   They share cache codes with [apply], so mixed use stays coherent. *)
+let rec band_rec m a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else if a = b then a
+  else begin
+    let a, b = if a > b then (b, a) else (a, b) in
+    let r = cache_find m op_and a b in
+    if r >= 0 then r
+    else begin
+      let va = m.var.(a) and vb = m.var.(b) in
+      let v = if va < vb then va else vb in
+      let a0, a1 = if va = v then (m.lo.(a), m.hi.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.lo.(b), m.hi.(b)) else (b, b) in
+      let r0 = band_rec m a0 b0 in
+      let r1 = band_rec m a1 b1 in
+      let res = mk m v r0 r1 in
+      cache_store m op_and a b res;
+      res
+    end
+  end
+
+let rec bor_rec m a b =
+  if a = 1 || b = 1 then 1
+  else if a = 0 then b
+  else if b = 0 then a
+  else if a = b then a
+  else begin
+    let a, b = if a > b then (b, a) else (a, b) in
+    let r = cache_find m op_or a b in
+    if r >= 0 then r
+    else begin
+      let va = m.var.(a) and vb = m.var.(b) in
+      let v = if va < vb then va else vb in
+      let a0, a1 = if va = v then (m.lo.(a), m.hi.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.lo.(b), m.hi.(b)) else (b, b) in
+      let r0 = bor_rec m a0 b0 in
+      let r1 = bor_rec m a1 b1 in
+      let res = mk m v r0 r1 in
+      cache_store m op_or a b res;
+      res
+    end
+  end
+
+let band m a b = band_rec m a b
+let bor m a b = bor_rec m a b
 let bxor m a b = apply m op_xor a b
 let bdiff m a b = apply m op_diff a b
 let bimplies m a b = bor m (bnot m a) b
@@ -430,3 +524,54 @@ let pick_preferred m a prefs =
       let refined = band m acc p in
       if refined = 0 then acc else refined)
     a prefs
+
+(* --- manager-independent export/import --------------------------------- *)
+
+(* An exported BDD set is a compact node table in child-before-parent order:
+   references 0 and 1 are the terminals, reference k+2 is table row k. Node
+   ids in a manager are allocated children-first (mk requires both cofactors
+   to exist), so sorting reachable ids ascending yields a valid row order.
+   Importing into any manager over at least as many variables rebuilds the
+   same canonical structure, so the imported roots denote exactly the same
+   boolean functions — the basis for re-materializing a forwarding graph
+   into a private per-domain manager. *)
+type exported = {
+  ex_var : int array;
+  ex_lo : int array;
+  ex_hi : int array;
+  ex_roots : int array;
+}
+
+let export m roots =
+  let seen = Hashtbl.create 256 in
+  let ids = ref [] in
+  let rec go a =
+    if a > 1 && not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      ids := a :: !ids;
+      go m.lo.(a);
+      go m.hi.(a)
+    end
+  in
+  List.iter go roots;
+  let arr = Array.of_list (List.sort Int.compare !ids) in
+  let index = Hashtbl.create (max 16 (Array.length arr)) in
+  Array.iteri (fun i id -> Hashtbl.add index id i) arr;
+  let ref_of a = if a <= 1 then a else Hashtbl.find index a + 2 in
+  { ex_var = Array.map (fun id -> m.var.(id)) arr;
+    ex_lo = Array.map (fun id -> ref_of m.lo.(id)) arr;
+    ex_hi = Array.map (fun id -> ref_of m.hi.(id)) arr;
+    ex_roots = Array.of_list (List.map ref_of roots) }
+
+let import m ex =
+  let n = Array.length ex.ex_var in
+  let ids = Array.make (n + 2) 0 in
+  ids.(1) <- 1;
+  for i = 0 to n - 1 do
+    let v = ex.ex_var.(i) in
+    if v < 0 || v >= m.nvars then invalid_arg "Bdd.import: variable out of range";
+    ids.(i + 2) <- mk m v ids.(ex.ex_lo.(i)) ids.(ex.ex_hi.(i))
+  done;
+  List.map (fun r -> ids.(r)) (Array.to_list ex.ex_roots)
+
+let exported_nodes ex = Array.length ex.ex_var

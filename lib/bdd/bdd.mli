@@ -14,8 +14,12 @@ type man
 type t = int
 
 (** [create ~nvars ()] makes a manager for variables [0 .. nvars-1].
-    [cache_bits] sizes the operation caches at [2^cache_bits] entries. *)
-val create : ?cache_bits:int -> nvars:int -> unit -> man
+    [cache_bits] sizes the operation caches at [2^cache_bits] entries
+    initially; the cache grows automatically (doubling, rehashing warm
+    entries) up to [2^max_cache_bits] entries when the observed miss rate
+    degrades. Growth affects performance only — results are canonical and
+    unchanged. *)
+val create : ?cache_bits:int -> ?max_cache_bits:int -> nvars:int -> unit -> man
 
 val nvars : man -> int
 
@@ -117,3 +121,29 @@ val pick_preferred : man -> t -> t list -> t
 (** Cache/unique-table statistics for benchmarks: (nodes, cache_hits,
     cache_misses). *)
 val stats : man -> int * int * int
+
+(** Current operation-cache capacity in entries (grows adaptively). *)
+val cache_size : man -> int
+
+(** {2 Manager-independent export/import}
+
+    A forwarding graph's edge programs can be compiled out of one manager and
+    re-materialized into a private manager per worker domain. [export] packs
+    the BDDs reachable from [roots] into a compact child-before-parent node
+    table; [import] rebuilds them in another manager (over at least as many
+    variables), yielding BDDs denoting exactly the same boolean functions.
+    Since BDDs are canonical, every derived observation (satisfiability,
+    witnesses, evaluation) is identical across managers. *)
+type exported
+
+(** [export man roots] packs the listed BDDs into a manager-independent
+    table. *)
+val export : man -> t list -> exported
+
+(** [import man ex] rebuilds the exported BDDs in [man], returning the new
+    roots in the same order as the [roots] given to {!export}. Raises
+    [Invalid_argument] if a variable is out of range for [man]. *)
+val import : man -> exported -> t list
+
+(** Number of distinct internal nodes in the exported table. *)
+val exported_nodes : exported -> int

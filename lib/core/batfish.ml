@@ -158,7 +158,15 @@ let answer_bgp_compatibility t = Questions.bgp_session_compatibility (Snapshot.c
 let answer_bgp_status t = Questions.bgp_session_status (dataplane t)
 let answer_property_consistency t = Questions.property_consistency (Snapshot.configs t.snap)
 let answer_routes ?node ?protocol t = Questions.routes ?node ?protocol (dataplane t)
-let answer_multipath_consistency t = Questions.multipath_consistency (forwarding t)
+
+(* Symbolic queries inherit the session's [options.domains]: the same knob
+   that parallelizes route exchange shards the verification engine. *)
+let answer_multipath_consistency t =
+  Questions.multipath_consistency ~domains:t.options.Dataplane.domains (forwarding t)
+
+let answer_all_pairs t =
+  Questions.all_pairs_reachability ~domains:t.options.Dataplane.domains (forwarding t)
+
 let answer_loops t = Questions.detect_loops (forwarding t)
 
 let answer_reachability t ~src ~dst_ip ?hdr () =
@@ -167,7 +175,8 @@ let answer_reachability t ~src ~dst_ip ?hdr () =
 (* --- the lint registry over this snapshot --- *)
 
 let lint_ctx t =
-  Lint.make_ctx ~files:(Snapshot.parsed_files t.snap) (Snapshot.configs t.snap)
+  Lint.make_ctx ~files:(Snapshot.parsed_files t.snap)
+    ~domains:t.options.Dataplane.domains (Snapshot.configs t.snap)
 
 let lint ?select ?ignore_passes t = Lint.run ?select ?ignore_passes (lint_ctx t)
 let lint_all t = Lint.run_passes (lint_ctx t) Lint.passes

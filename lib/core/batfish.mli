@@ -80,6 +80,11 @@ val answer_bgp_status : t -> Questions.answer
 val answer_property_consistency : t -> Questions.answer
 val answer_routes : ?node:string -> ?protocol:string -> t -> Questions.answer
 val answer_multipath_consistency : t -> Questions.answer
+
+(** All-pairs reachability, sharded over [options.domains] worker domains
+    (identical rows at any domain count). *)
+val answer_all_pairs : t -> Questions.answer
+
 val answer_loops : t -> Questions.answer
 
 val answer_reachability :

@@ -467,6 +467,92 @@ let build ?env ?(compress = true) ?sessions ~configs ~dp () =
   end;
   t
 
+(* --- manager-independent graph specs ----------------------------------- *)
+
+(* A spec captures the whole graph — locations, edges, and the edge
+   programs' BDDs — without reference to any BDD manager, so a worker domain
+   can re-materialize the graph into its own private manager. Edge functions
+   are mirrored structurally with BDD roots replaced by indices into one
+   shared export table (deduplicated node-wise by {!Bdd.export}). *)
+type func_spec =
+  | Sf_filter of int
+  | Sf_transform of int
+  | Sf_set_extra of (int * bool) list
+  | Sf_erase_extra of int list
+  | Sf_seq of func_spec list
+
+type spec = {
+  sp_order : Pktset.order;
+  sp_extra_bits : int;
+  sp_locs : loc array;
+  sp_edges : (int * int * func_spec) array;  (* (from, to, fn) *)
+  sp_bdds : Bdd.exported;
+}
+
+let to_spec t =
+  let roots_rev = ref [] in
+  let n_roots = ref 0 in
+  let root_index bdd =
+    let i = !n_roots in
+    roots_rev := bdd :: !roots_rev;
+    n_roots := i + 1;
+    i
+  in
+  let rec spec_fn = function
+    | Filter f -> Sf_filter (root_index f)
+    | Transform rel -> Sf_transform (root_index rel)
+    | Set_extra bits -> Sf_set_extra bits
+    | Erase_extra bits -> Sf_erase_extra bits
+    | Seq fns -> Sf_seq (List.map spec_fn fns)
+  in
+  let edges = ref [] in
+  (* Flatten out_edges in node-index order; within a node, keep list order.
+     Reconstruction rebuilds both adjacency arrays from this sequence. *)
+  Array.iter
+    (fun es ->
+      List.iter (fun e -> edges := (e.e_from, e.e_to, spec_fn e.e_fn) :: !edges) es)
+    t.out_edges;
+  let sp_edges = Array.of_list (List.rev !edges) in
+  let roots = List.rev !roots_rev in
+  { sp_order = Pktset.order t.env;
+    sp_extra_bits = Pktset.extra_count t.env;
+    sp_locs = Array.copy t.locs;
+    sp_edges;
+    sp_bdds = Bdd.export (Pktset.man t.env) roots }
+
+let of_spec ?env spec =
+  let env =
+    match env with
+    | Some e ->
+      if Pktset.order e <> spec.sp_order || Pktset.extra_count e <> spec.sp_extra_bits
+      then invalid_arg "Fgraph.of_spec: incompatible environment layout";
+      e
+    | None -> Pktset.create ~order:spec.sp_order ~extra_bits:spec.sp_extra_bits ()
+  in
+  let roots = Array.of_list (Bdd.import (Pktset.man env) spec.sp_bdds) in
+  let rec fn_of = function
+    | Sf_filter i -> Filter roots.(i)
+    | Sf_transform i -> Transform roots.(i)
+    | Sf_set_extra bits -> Set_extra bits
+    | Sf_erase_extra bits -> Erase_extra bits
+    | Sf_seq fns -> Seq (List.map fn_of fns)
+  in
+  let locs = Array.copy spec.sp_locs in
+  let n = Array.length locs in
+  let loc_index = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i l -> Hashtbl.add loc_index l i) locs;
+  let out_edges = Array.make n [] and in_edges = Array.make n [] in
+  (* Cons in reverse so each adjacency list comes out in spec order. *)
+  for i = Array.length spec.sp_edges - 1 downto 0 do
+    let from_, to_, fns = spec.sp_edges.(i) in
+    let e = { e_from = from_; e_to = to_; e_fn = fn_of fns } in
+    out_edges.(from_) <- e :: out_edges.(from_);
+    in_edges.(to_) <- e :: in_edges.(to_)
+  done;
+  { env; locs; loc_index; out_edges; in_edges; varsets = Hashtbl.create 8 }
+
+let env t = t.env
+
 let edge_interfaces t ~dp =
   let topo = dp.Dataplane.topo in
   ignore t;

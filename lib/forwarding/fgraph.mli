@@ -72,6 +72,27 @@ val apply_reverse : t -> func -> Bdd.t -> Bdd.t
 (** All locations satisfying a predicate. *)
 val locs_where : t -> (loc -> bool) -> int list
 
+val env : t -> Pktset.t
+
+(** {2 Manager-independent graph specs}
+
+    A spec is the whole graph compiled out of its BDD manager: locations,
+    edges, and edge-program BDDs packed into one {!Bdd.exported} table.
+    Worker domains use [of_spec] to re-materialize the graph into a private
+    manager, so parallel queries share no mutable BDD state. Because BDDs are
+    canonical, propagation over the re-materialized graph computes exactly
+    the same packet sets (same witnesses, same verdicts). *)
+type spec
+
+(** Compile the graph into a manager-independent description. *)
+val to_spec : t -> spec
+
+(** [of_spec ?env spec] rebuilds the graph. With no [env], a fresh private
+    environment (own BDD manager) is created with the spec's variable layout;
+    an explicit [env] must have the same layout (order and extra-bit count)
+    or [Invalid_argument] is raised. *)
+val of_spec : ?env:Pktset.t -> spec -> t
+
 (** Host-facing source locations: enabled, addressed interfaces that face no
     modeled device (heuristic default scoping, §4.4.2). *)
 val edge_interfaces : t -> dp:Dataplane.t -> (string * string) list

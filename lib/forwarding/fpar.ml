@@ -1,0 +1,135 @@
+(* Sharded parallel verification.
+
+   Each worker domain re-materializes the forwarding graph from a
+   manager-independent spec into its own private BDD manager, so workers
+   share no mutable state at all — no concurrent unique table, no locking
+   on the hot path. Independent queries (per-source forward passes,
+   per-destination-shard backward passes) fan out over domains via the
+   work-stealing scheduler; results come back either as plain data
+   (reachability rows) or as exported BDDs that are imported and unioned in
+   the caller's manager. Both merge paths are bit-identical to the
+   sequential engine: BDDs are canonical, and every edge function
+   distributes over union, so a fixpoint seeded with a union of sinks
+   equals the pointwise union of per-shard fixpoints. *)
+
+let all_pairs ?(domains = 1) ?hdr ?starts q =
+  let starts =
+    match starts with
+    | Some s -> s
+    | None -> Fquery.default_starts q
+  in
+  if domains <= 1 || List.length starts < 2 then Fquery.all_pairs q ?hdr ~starts ()
+  else begin
+    let g = Fquery.graph q in
+    let spec = Fgraph.to_spec g in
+    let hdr_ex =
+      Option.map (fun h -> Bdd.export (Pktset.man (Fgraph.env g)) [ h ]) hdr
+    in
+    let dp = q.Fquery.dp and configs = q.Fquery.configs in
+    let rows =
+      Par.map_dynamic_init ~domains
+        ~init:(fun () ->
+          let gw = Fgraph.of_spec spec in
+          let hdr_w =
+            Option.map
+              (fun ex -> List.hd (Bdd.import (Pktset.man (Fgraph.env gw)) ex))
+              hdr_ex
+          in
+          (Fquery.of_graph gw ~dp ~configs, hdr_w))
+        (fun (qw, hdr_w) s -> Fquery.pairs_for_start qw ?hdr:hdr_w s)
+        (Array.of_list starts)
+    in
+    List.concat (Array.to_list rows)
+  end
+
+(* Round-robin split into at most [k] non-empty groups. *)
+let shard k lst =
+  let k = max 1 (min k (List.length lst)) in
+  let buckets = Array.make k [] in
+  List.iteri (fun i x -> buckets.(i mod k) <- x :: buckets.(i mod k)) lst;
+  List.filter (fun l -> l <> []) (Array.to_list (Array.map List.rev buckets))
+
+let multipath_consistency ?(domains = 1) ?starts q =
+  let starts =
+    match starts with
+    | Some s -> s
+    | None -> Fquery.default_starts q
+  in
+  if domains <= 1 then Fquery.multipath_consistency q ~starts ()
+  else begin
+    let g = Fquery.graph q in
+    let man = Pktset.man (Fgraph.env g) in
+    let start_ids =
+      (* location indices are preserved by of_spec, so ids computed on the
+         main graph address the same locations in every worker's graph *)
+      List.map
+        (fun (node, iface) ->
+          match iface with
+          | Some i -> Fgraph.loc_id g (Fgraph.Src (node, i))
+          | None -> Fgraph.loc_id g (Fgraph.Fwd node))
+        starts
+    in
+    let wanted = List.filter_map Fun.id start_ids in
+    let delivered_sinks =
+      Fgraph.locs_where g (function
+        | Fgraph.Dst _ | Fgraph.Accept _ -> true
+        | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dropped _ -> false)
+    in
+    let dropped_sinks =
+      Fgraph.locs_where g (function
+        | Fgraph.Dropped _ -> true
+        | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dst _
+        | Fgraph.Accept _ -> false)
+    in
+    let tasks =
+      List.map (fun s -> (`Deliver, s)) (shard domains delivered_sinks)
+      @ List.map (fun s -> (`Drop, s)) (shard domains dropped_sinks)
+    in
+    let spec = Fgraph.to_spec g in
+    let shards =
+      Par.map_dynamic_init ~domains
+        ~init:(fun () -> Fgraph.of_spec spec)
+        (fun gw (kind, sinks) ->
+          let sets = Freach.backward gw (List.map (fun id -> (id, Bdd.top)) sinks) in
+          let at_starts = List.map (fun id -> sets.(id)) wanted in
+          (kind, Bdd.export (Pktset.man (Fgraph.env gw)) at_starts))
+        (Array.of_list tasks)
+    in
+    (* Import each shard's per-start sets into the caller's manager and union
+       per kind: union-distributivity makes this equal (canonically, so
+       bit-identical) to one backward pass from all sinks. *)
+    let n = List.length wanted in
+    let deliver = Array.make n Bdd.bot and drop = Array.make n Bdd.bot in
+    Array.iter
+      (fun (kind, ex) ->
+        let sets = Bdd.import man ex in
+        let acc =
+          match kind with
+          | `Deliver -> deliver
+          | `Drop -> drop
+        in
+        List.iteri (fun i s -> acc.(i) <- Bdd.bor man acc.(i) s) sets)
+      shards;
+    let by_id = Hashtbl.create 16 in
+    List.iteri
+      (fun i id ->
+        if not (Hashtbl.mem by_id id) then Hashtbl.add by_id id (deliver.(i), drop.(i)))
+      wanted;
+    let clean =
+      let e = Fgraph.env g in
+      let acc = ref Bdd.top in
+      for b = 0 to Pktset.extra_count e - 1 do
+        acc := Bdd.band man !acc (Bdd.nvar man (Pktset.extra_level e b))
+      done;
+      !acc
+    in
+    List.filter_map
+      (fun (s, id) ->
+        match id with
+        | None -> None
+        | Some id ->
+          let d, r = Hashtbl.find by_id id in
+          let v = Bdd.band man (Bdd.band man d r) clean in
+          if Bdd.is_bot v then None else Some (s, v))
+      (List.combine starts start_ids)
+  end

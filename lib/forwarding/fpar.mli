@@ -1,0 +1,31 @@
+(** Sharded parallel verification over per-domain BDD managers.
+
+    Workers re-materialize the forwarding graph from a
+    manager-independent {!Fgraph.spec} into private managers (no shared
+    mutable BDD state) and pull independent queries off a work-stealing
+    scheduler ({!Par.map_dynamic_init}). Results merge deterministically:
+    reachability rows are plain data, and multipath verdicts come back as
+    exported BDDs unioned in the caller's manager. Every edge function
+    distributes over union, so per-shard backward fixpoints union to
+    exactly the sequential fixpoint; BDD canonicity then makes the merged
+    results bit-identical to the sequential engine ([domains = 1]). *)
+
+(** Parallel {!Fquery.all_pairs}: one forward pass per start location,
+    fanned across [domains] worker domains. Identical row list to the
+    sequential engine. *)
+val all_pairs :
+  ?domains:int ->
+  ?hdr:Bdd.t ->
+  ?starts:Fquery.start list ->
+  Fquery.t ->
+  Fquery.reach_row list
+
+(** Parallel {!Fquery.multipath_consistency}: the delivered-sink and
+    dropped-sink backward passes are sharded per destination
+    (round-robin into [domains] groups per pass). Returned verdict sets
+    live in the caller's manager and equal the sequential ones. *)
+val multipath_consistency :
+  ?domains:int ->
+  ?starts:Fquery.start list ->
+  Fquery.t ->
+  (Fquery.start * Bdd.t) list

@@ -1,13 +1,41 @@
+(* Memo keys for whole-graph backward passes. A [t] wraps one graph of one
+   snapshot, so "same graph" is implicit in the table identity; the key is
+   the query kind plus its parameters. Header sets are BDDs in the graph's
+   manager, so they compare by canonical node id. *)
+type memo_key =
+  | Mk_delivered of string option * Bdd.t  (* at, hdr *)
+  | Mk_dropped of Bdd.t  (* hdr *)
+
 type t = {
   g : Fgraph.t;
   dp : Dataplane.t;
   configs : string -> Vi.t option;
+  memo : (memo_key, Bdd.t array) Hashtbl.t;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 type start = string * string option
 
+let of_graph g ~dp ~configs =
+  { g; dp; configs; memo = Hashtbl.create 16; memo_hits = 0; memo_misses = 0 }
+
 let make ?env ?compress ~configs ~dp () =
-  { g = Fgraph.build ?env ?compress ~configs ~dp (); dp; configs }
+  of_graph (Fgraph.build ?env ?compress ~configs ~dp ()) ~dp ~configs
+
+let graph t = t.g
+let memo_stats t = (t.memo_hits, t.memo_misses)
+
+let memo_find t key compute =
+  match Hashtbl.find_opt t.memo key with
+  | Some r ->
+    t.memo_hits <- t.memo_hits + 1;
+    r
+  | None ->
+    t.memo_misses <- t.memo_misses + 1;
+    let r = compute () in
+    Hashtbl.add t.memo key r;
+    r
 
 (* Fault-isolated construction: graph building walks every FIB and compiles
    every referenced ACL, any of which may be garbage on a hostile snapshot. *)
@@ -56,7 +84,10 @@ let sink_seeds t pred ?hdr () =
   let hdr = Option.value hdr ~default:Bdd.top in
   List.map (fun id -> (id, hdr)) (Fgraph.locs_where t.g pred)
 
-let to_delivered t ?at ?hdr () = Freach.backward t.g (sink_seeds t (delivered_pred ?at) ?hdr ())
+let to_delivered t ?at ?hdr () =
+  let hdr_b = Option.value hdr ~default:Bdd.top in
+  memo_find t (Mk_delivered (at, hdr_b)) (fun () ->
+      Freach.backward t.g (sink_seeds t (delivered_pred ?at) ?hdr ()))
 
 let to_dropped t ?hdr () =
   let pred = function
@@ -64,7 +95,9 @@ let to_dropped t ?hdr () =
     | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dst _ | Fgraph.Accept _ ->
       false
   in
-  Freach.backward t.g (sink_seeds t pred ?hdr ())
+  let hdr_b = Option.value hdr ~default:Bdd.top in
+  memo_find t (Mk_dropped hdr_b) (fun () ->
+      Freach.backward t.g (sink_seeds t pred ?hdr ()))
 
 let delivered_union t ?at sets =
   let man = Pktset.man (env t) in
@@ -174,7 +207,9 @@ let bidirectional t ~src ~dst ?hdr () =
     | None -> Bdd.bot
   in
   let g' = Fgraph.build ~env:e ~sessions ~configs:t.configs ~dp:t.dp () in
-  let t' = { t with g = g' } in
+  (* fresh wrapper: the memo table is keyed per-graph, so the instrumented
+     graph must not share the original's cache *)
+  let t' = of_graph g' ~dp:t.dp ~configs:t.configs in
   (* return direction: swapped delivered flows, re-entering at dst *)
   let return_seed = Bdd.band man (Pktset.swap_src_dst e delivered) (clean t') in
   let seeds =
@@ -261,6 +296,53 @@ let find_loops t =
       end)
     groups;
   List.rev !results
+
+(* --- all-pairs reachability -------------------------------------------- *)
+
+(* Rows are plain data (strings + concrete packets), not BDDs: a worker
+   domain computing them against a re-materialized graph in a private
+   manager produces byte-identical rows, so parallel all-pairs needs no
+   cross-manager BDD transfer when merging. *)
+type reach_row = { rr_src : start; rr_dst : string; rr_example : Packet.t option }
+
+let pairs_for_start t ?hdr s =
+  let e = env t in
+  let man = Pktset.man e in
+  match start_loc t s with
+  | None -> []
+  | Some id ->
+    let hdr = Option.value hdr ~default:Bdd.top in
+    let sets = Freach.forward t.g [ (id, Bdd.band man hdr (clean t)) ] in
+    (* Union delivered sets per destination node, in location-index order
+       (deterministic: index order is fixed by graph construction). *)
+    let order = ref [] in
+    let by_node = Hashtbl.create 16 in
+    Array.iteri
+      (fun i l ->
+        match l with
+        | Fgraph.Accept n | Fgraph.Dst (n, _) ->
+          (match Hashtbl.find_opt by_node n with
+           | Some r -> r := Bdd.bor man !r sets.(i)
+           | None ->
+             order := n :: !order;
+             Hashtbl.add by_node n (ref sets.(i)))
+        | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dropped _ -> ())
+      t.g.Fgraph.locs;
+    let prefs = Pktset.standard_prefs e () in
+    List.filter_map
+      (fun n ->
+        let set = !(Hashtbl.find by_node n) in
+        if Bdd.is_bot set then None
+        else Some { rr_src = s; rr_dst = n; rr_example = Pktset.to_packet e ~prefs set })
+      (List.rev !order)
+
+let all_pairs t ?hdr ?starts () =
+  let starts =
+    match starts with
+    | Some s -> s
+    | None -> default_starts t
+  in
+  List.concat_map (fun s -> pairs_for_start t ?hdr s) starts
 
 let pick_examples t ?src_prefix ?dst_prefix ~violating ~holding () =
   let e = env t in

@@ -2,15 +2,30 @@
     usability machinery of §4.4: scoped defaults and positive/negative
     example selection. *)
 
+(** Memo key for whole-graph backward passes; see {!memo_stats}. *)
+type memo_key =
+  | Mk_delivered of string option * Bdd.t
+  | Mk_dropped of Bdd.t
+
 type t = {
   g : Fgraph.t;
   dp : Dataplane.t;
   configs : string -> Vi.t option;
+  memo : (memo_key, Bdd.t array) Hashtbl.t;
+      (** snapshot-keyed query memo: a [t] wraps one graph of one snapshot,
+          so (same graph, same header set) ⇒ the cached propagation result.
+          Callers must treat cached arrays as read-only. *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 (** A flow start location: [(node, Some iface)] for packets entering at an
     interface, [(node, None)] for packets originated by the device. *)
 type start = string * string option
+
+(** Wrap an already-built graph (fresh, empty memo). *)
+val of_graph :
+  Fgraph.t -> dp:Dataplane.t -> configs:(string -> Vi.t option) -> t
 
 val make :
   ?env:Pktset.t ->
@@ -19,6 +34,11 @@ val make :
   dp:Dataplane.t ->
   unit ->
   t
+
+val graph : t -> Fgraph.t
+
+(** (hits, misses) of the query memo. *)
+val memo_stats : t -> int * int
 
 (** Fault-isolated {!make}: an exception during graph construction is
     returned as a [Fatal] forwarding diagnostic instead of escaping. *)
@@ -52,11 +72,35 @@ val delivered_union : t -> ?at:string -> Bdd.t array -> Bdd.t
     that are delivered somewhere, constrained to destination [dst_ip]. *)
 val reachable : t -> src:start -> ?hdr:Bdd.t -> ?dst_ip:Prefix.t -> unit -> Bdd.t
 
+(** Default start scoping (§4.4.2): edge-facing interfaces. *)
+val default_starts : t -> start list
+
 (** Multipath consistency (the Figure 3 benchmark query): for every start
     location, flows that are delivered along some paths and dropped along
     others. Uses two backward passes. *)
 val multipath_consistency :
   t -> ?starts:start list -> unit -> (start * Bdd.t) list
+
+(** {2 All-pairs reachability}
+
+    One row per (start, destination node) pair with a non-empty delivered
+    set. Rows are plain data — strings and a concrete example packet — so
+    per-start passes computed on different BDD managers (worker domains)
+    merge without any cross-manager transfer, and the merged list is
+    byte-identical to the sequential one. *)
+type reach_row = {
+  rr_src : start;
+  rr_dst : string;
+  rr_example : Packet.t option;
+}
+
+(** One forward pass: every destination node reachable from [s]. Rows come
+    out in location-index order (deterministic). *)
+val pairs_for_start : t -> ?hdr:Bdd.t -> start -> reach_row list
+
+(** [all_pairs t ()] concatenates {!pairs_for_start} over [starts]
+    (default {!default_starts}), in start order. *)
+val all_pairs : t -> ?hdr:Bdd.t -> ?starts:start list -> unit -> reach_row list
 
 (** Waypoint query (§4.2.3): packets from [src] delivered at [dst_node]
     whose paths traversed ([`Through]) or avoided ([`Avoid]) [waypoint].

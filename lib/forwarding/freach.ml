@@ -1,8 +1,8 @@
-let edge_apps = ref 0
-let last_edge_applications () = !edge_apps
-
+(* The edge-application counter is per-propagation and returned with the
+   result: a global mutable counter would race once passes run concurrently
+   on multiple domains. *)
 let propagate g seeds ~edges_of ~endpoint ~apply_fn =
-  edge_apps := 0;
+  let edge_apps = ref 0 in
   let man = Pktset.man g.Fgraph.env in
   let n = Fgraph.n_locs g in
   let sets = Array.make n Bdd.bot in
@@ -34,16 +34,19 @@ let propagate g seeds ~edges_of ~endpoint ~apply_fn =
         end)
       (edges_of v)
   done;
-  sets
+  (sets, !edge_apps)
 
-let forward g seeds =
+let forward_counted g seeds =
   propagate g seeds
     ~edges_of:(fun v -> g.Fgraph.out_edges.(v))
     ~endpoint:(fun e -> e.Fgraph.e_to)
     ~apply_fn:(fun e s -> Fgraph.apply g e.Fgraph.e_fn s)
 
-let backward g seeds =
+let backward_counted g seeds =
   propagate g seeds
     ~edges_of:(fun v -> g.Fgraph.in_edges.(v))
     ~endpoint:(fun e -> e.Fgraph.e_from)
     ~apply_fn:(fun e s -> Fgraph.apply_reverse g e.Fgraph.e_fn s)
+
+let forward g seeds = fst (forward_counted g seeds)
+let backward g seeds = fst (backward_counted g seeds)

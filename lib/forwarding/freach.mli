@@ -4,7 +4,10 @@
     sources"; backward propagation answers "what, at each location, can
     still reach these targets" — the §4.2.3 optimization for
     single-destination queries that avoids walking edges off the
-    destination's forwarding tree. *)
+    destination's forwarding tree.
+
+    All state is local to one propagation, so concurrent passes on different
+    graphs (each with its own manager) are safe. *)
 
 (** [forward g seeds] seeds each location with the given set and iterates to
     a fixed point. Returns the set reaching each location. *)
@@ -15,5 +18,8 @@ val forward : Fgraph.t -> (int * Bdd.t) list -> Bdd.t array
     seeded location. *)
 val backward : Fgraph.t -> (int * Bdd.t) list -> Bdd.t array
 
-(** Statistics of the last call: number of edge applications. *)
-val last_edge_applications : unit -> int
+(** Like {!forward}/{!backward}, additionally returning the number of edge
+    applications performed by this propagation (benchmark metric). *)
+val forward_counted : Fgraph.t -> (int * Bdd.t) list -> Bdd.t array * int
+
+val backward_counted : Fgraph.t -> (int * Bdd.t) list -> Bdd.t array * int

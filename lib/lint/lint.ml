@@ -12,11 +12,12 @@ type ctx = {
   lc_files : (string * Vi.t) list;
   lc_configs : Vi.t list;
   lc_env : Pktset.t Lazy.t;
+  lc_domains : int;
 }
 
-let make_ctx ?(files = []) configs =
+let make_ctx ?(files = []) ?(domains = 1) configs =
   { lc_files = files; lc_configs = configs;
-    lc_env = lazy (Pktset.create ()) }
+    lc_env = lazy (Pktset.create ()); lc_domains = domains }
 
 type pass = {
   p_code : string;
@@ -127,12 +128,9 @@ let unused_structure_pass ctx =
    covering earlier line carries the opposite action the rule's intent is
    inverted, which we report at Error severity; a same-action shadow is
    redundancy (Warn), as is a line whose own match set is empty. *)
-let acl_shadow_pass ctx =
-  let env = Lazy.force ctx.lc_env in
+let acl_shadow_config env (cfg : Vi.t) =
   let man = Pktset.man env in
   List.concat_map
-    (fun (cfg : Vi.t) ->
-      List.concat_map
         (fun (acl : Vi.acl) ->
           let _, _, out =
             List.fold_left
@@ -181,8 +179,24 @@ let acl_shadow_pass ctx =
               (Bdd.bot, [], []) acl.acl_lines
           in
           List.rev out)
-        cfg.acls)
-    ctx.lc_configs
+        cfg.acls
+
+(* Findings are plain data and each config is judged against its own ACLs
+   only, so the per-node checks are independent: with [lc_domains > 1] they
+   fan out over worker domains, each with a private BDD manager. Results
+   come back in config order either way. *)
+let acl_shadow_pass ctx =
+  if ctx.lc_domains <= 1 || List.length ctx.lc_configs < 2 then
+    let env = Lazy.force ctx.lc_env in
+    List.concat_map (acl_shadow_config env) ctx.lc_configs
+  else
+    let results =
+      Par.map_dynamic_init ~domains:ctx.lc_domains
+        ~init:(fun () -> Pktset.create ())
+        acl_shadow_config
+        (Array.of_list ctx.lc_configs)
+    in
+    List.concat (Array.to_list results)
 
 (* --- LINT004: dead route-map clauses --- *)
 

@@ -24,11 +24,16 @@ type ctx = {
           duplicate-hostname dedup — only this view can see duplicates *)
   lc_configs : Vi.t list;  (** deduplicated configs, first definition wins *)
   lc_env : Pktset.t Lazy.t;  (** BDD environment for the semantic passes *)
+  lc_domains : int;
+      (** worker domains for the per-node BDD passes; findings are
+          identical at any value *)
 }
 
 (** [make_ctx ?files configs] builds a context; [files] defaults to empty,
-    which disables the duplicate-hostname check (everything else works). *)
-val make_ctx : ?files:(string * Vi.t) list -> Vi.t list -> ctx
+    which disables the duplicate-hostname check (everything else works).
+    [domains] (default 1) fans the per-node BDD subsumption checks across
+    worker domains, each with a private manager. *)
+val make_ctx : ?files:(string * Vi.t) list -> ?domains:int -> Vi.t list -> ctx
 
 type pass = {
   p_code : string;  (** stable code, e.g. ["LINT003"] *)

@@ -1,21 +1,44 @@
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
-let map ~domains f arr =
+let map_dynamic_init ~domains ~init f arr =
   let n = Array.length arr in
-  if domains <= 1 || n < 2 then Array.map f arr
+  if domains <= 1 || n < 2 then begin
+    if n = 0 then [||]
+    else begin
+      let st = init () in
+      Array.map (fun x -> f st x) arr
+    end
+  end
   else begin
     let out = Array.make n None in
+    let next = Atomic.make 0 in
     let workers = min domains n in
-    let chunk = (n + workers - 1) / workers in
-    let run w =
-      let lo = w * chunk and hi = min n ((w + 1) * chunk) in
-      (* Disjoint index ranges: no two domains write the same cell. *)
-      for i = lo to hi - 1 do
-        out.(i) <- Some (f arr.(i))
-      done
+    let run () =
+      (* Claim an index before paying for worker-local state, so a worker
+         that never wins a task never initializes (state setup — e.g.
+         materializing a private BDD manager — can dwarf small task lists). *)
+      let st = ref None in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let s =
+            match !st with
+            | Some s -> s
+            | None ->
+                let s = init () in
+                st := Some s;
+                s
+          in
+          (* Each index is claimed exactly once: no two domains write the
+             same cell, and results land at their input index. *)
+          out.(i) <- Some (f s arr.(i));
+          loop ()
+        end
+      in
+      loop ()
     in
-    let spawned = List.init (workers - 1) (fun w -> Domain.spawn (fun () -> run (w + 1))) in
-    run 0;
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn run) in
+    run ();
     List.iter Domain.join spawned;
     Array.map
       (function
@@ -23,3 +46,8 @@ let map ~domains f arr =
         | None -> assert false)
       out
   end
+
+let map_dynamic ~domains f arr =
+  map_dynamic_init ~domains ~init:(fun () -> ()) (fun () x -> f x) arr
+
+let map ~domains f arr = map_dynamic ~domains f arr

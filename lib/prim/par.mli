@@ -1,13 +1,31 @@
 (** Deterministic parallel map over domains.
 
     Used to parallelize route exchange within a color class (§4.1.1: "we can
-    also speed up the computation by introducing high levels of parallelism").
-    Results are assembled in index order, so output is identical to the
-    sequential map. *)
+    also speed up the computation by introducing high levels of parallelism")
+    and to fan independent symbolic queries across worker domains. Work is
+    distributed dynamically: workers claim the next unclaimed index from a
+    shared atomic counter, so skewed per-item cost (e.g. per-source SPF) does
+    not idle fast workers the way static chunking does. Results are assembled
+    in index order, so output is identical to the sequential map. *)
 
 (** [map ~domains f arr] applies [f] to every element, using up to [domains]
     worker domains ([domains <= 1] runs sequentially). *)
 val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_dynamic] is {!map}: work-stealing distribution, index-ordered
+    results. Exposed under its own name for call sites that want to insist on
+    the dynamic scheduler. *)
+val map_dynamic : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_dynamic_init ~domains ~init f arr] is {!map_dynamic} where each
+    worker domain lazily builds private state with [init] before its first
+    task and threads it through every task it claims ([f state x]). Use this
+    to give each worker an expensive private resource (e.g. its own BDD
+    manager) amortized across the tasks it wins. [init] runs at most once per
+    worker and never runs in workers that claim no task. With [domains <= 1]
+    everything runs in the calling domain with a single [init]. *)
+val map_dynamic_init :
+  domains:int -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
 
 (** Recommended worker count for this machine. *)
 val default_domains : unit -> int

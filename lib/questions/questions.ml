@@ -350,9 +350,9 @@ let reachability q ~src ~dst_ip ?hdr () =
         (Prefix.to_string dst_ip);
     a_header = [ "field"; "value" ]; a_rows = rows }
 
-let multipath_consistency q =
+let multipath_consistency ?(domains = 1) q =
   let env = Fquery.env q in
-  let violations = Fquery.multipath_consistency q () in
+  let violations = Fpar.multipath_consistency ~domains q in
   let rows =
     List.map
       (fun (((node, iface) : Fquery.start), v) ->
@@ -364,6 +364,21 @@ let multipath_consistency q =
   in
   { a_title = "multipathConsistency";
     a_header = [ "node"; "interface"; "exampleFlow" ]; a_rows = rows }
+
+let all_pairs_reachability ?(domains = 1) q =
+  let rows =
+    List.map
+      (fun (r : Fquery.reach_row) ->
+        let node, iface = r.rr_src in
+        [ node; Option.value iface ~default:"-"; r.rr_dst;
+          (match r.rr_example with
+           | Some p -> Packet.to_string p
+           | None -> "-") ])
+      (Fpar.all_pairs ~domains q)
+  in
+  { a_title = "allPairsReachability";
+    a_header = [ "srcNode"; "srcInterface"; "dstNode"; "exampleFlow" ];
+    a_rows = rows }
 
 let detect_loops q =
   let env = Fquery.env q in

@@ -85,8 +85,15 @@ val reachability :
   unit ->
   answer
 
-(** Multipath consistency over default-scoped start locations. *)
-val multipath_consistency : Fquery.t -> answer
+(** Multipath consistency over default-scoped start locations. [domains]
+    shards the backward passes over worker domains ({!Fpar}); the answer is
+    identical at any value. *)
+val multipath_consistency : ?domains:int -> Fquery.t -> answer
+
+(** All-pairs reachability: one row per (source location, destination node)
+    pair with delivered flows, with an example flow each. [domains] fans the
+    per-source forward passes across worker domains. *)
+val all_pairs_reachability : ?domains:int -> Fquery.t -> answer
 
 (** Forwarding loops. *)
 val detect_loops : Fquery.t -> answer

@@ -80,9 +80,16 @@ let create ?(order = Paper_order) ?(extra_bits = 8) () =
     identity_cache = Hashtbl.create 8; swap_perm = None }
 
 let man env = env.man
+let order env = env.order
 let levels env f = Hashtbl.find env.flevels f
 let primed env f = Hashtbl.find env.fprimed f
 let extra_count env = env.extra_count
+
+(* A fresh environment with its own private manager but the same variable
+   layout (order + extra bits). Since the layout is a pure function of those
+   two parameters, BDD levels mean the same thing in both environments, so
+   BDDs exported from one manager can be imported into the other. *)
+let clone_empty env = create ~order:env.order ~extra_bits:env.extra_count ()
 
 let extra_level env i =
   if i < 0 || i >= env.extra_count then invalid_arg "Pktset.extra_level";

@@ -16,6 +16,14 @@ type order =
 
 val create : ?order:order -> ?extra_bits:int -> unit -> t
 val man : t -> Bdd.man
+val order : t -> order
+
+(** [clone_empty env] is a fresh environment with a private BDD manager and
+    the same variable layout ([order], [extra_bits]) as [env]. BDDs exported
+    ({!Bdd.export}) from one can be imported into the other because levels
+    carry the same meaning. Used to give each worker domain its own
+    manager. *)
+val clone_empty : t -> t
 
 (** Levels of the field's unprimed bits, most significant bit first. *)
 val levels : t -> Field.t -> int array

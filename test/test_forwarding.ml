@@ -432,10 +432,16 @@ let compression_equivalence () =
   let net = fig2 () in
   let e = Pktset.create () in
   let (_, dp, find) = net in
-  let q1 = { Fquery.g = Fgraph.build ~env:e ~compress:true ~configs:find ~dp ();
-             dp; configs = find } in
-  let q2 = { Fquery.g = Fgraph.build ~env:e ~compress:false ~configs:find ~dp ();
-             dp; configs = find } in
+  let q1 =
+    Fquery.of_graph
+      (Fgraph.build ~env:e ~compress:true ~configs:find ~dp ())
+      ~dp ~configs:find
+  in
+  let q2 =
+    Fquery.of_graph
+      (Fgraph.build ~env:e ~compress:false ~configs:find ~dp ())
+      ~dp ~configs:find
+  in
   check Alcotest.bool "compression shrinks the graph" true
     (Fgraph.n_edges q1.Fquery.g <= Fgraph.n_edges q2.Fquery.g);
   let r1 = Fquery.reachable q1 ~src:("r1", Some "i0") ~dst_ip:(pfx "10.0.3.0/24") () in

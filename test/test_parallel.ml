@@ -1,0 +1,240 @@
+(* Sharded parallel verification: the engine's one non-negotiable property
+   is that parallel results are bit-identical to the sequential engine
+   (determinism is the paper's core lesson, §4.1.2). These tests pin it
+   down: scheduler equivalence, manager-independent export/import and graph
+   spec round-trips, domains=1 vs domains=4 equivalence for all-pairs
+   reachability / multipath verdicts / lint findings on every Netgen
+   profile, and a chaos-seeded repetition property. *)
+
+let check = Alcotest.check
+
+(* --- work-stealing scheduler ------------------------------------------- *)
+
+let par_map_equivalence () =
+  let arr = Array.init 100 (fun i -> i) in
+  (* skewed per-item cost: the dynamic scheduler must still return results
+     at their input index *)
+  let f x =
+    let acc = ref 0 in
+    for i = 0 to (x mod 7) * 1000 do
+      acc := !acc + i
+    done;
+    (x * 2) + (!acc mod 1)
+  in
+  let seq = Array.map f arr in
+  List.iter
+    (fun domains ->
+      check (Alcotest.array Alcotest.int)
+        (Printf.sprintf "map domains=%d" domains)
+        seq
+        (Par.map ~domains f arr);
+      check (Alcotest.array Alcotest.int)
+        (Printf.sprintf "map_dynamic domains=%d" domains)
+        seq
+        (Par.map_dynamic ~domains f arr))
+    [ 1; 2; 4; 7 ];
+  check (Alcotest.array Alcotest.int) "empty" [||] (Par.map ~domains:4 f [||]);
+  check (Alcotest.array Alcotest.int) "singleton" [| 84 |] (Par.map ~domains:4 f [| 42 |])
+
+let par_map_init_state () =
+  (* worker state is built per domain and threaded through every task the
+     worker claims; with domains=1 a single state serves all items *)
+  let arr = Array.init 20 (fun i -> i) in
+  let out =
+    Par.map_dynamic_init ~domains:1
+      ~init:(fun () -> ref 0)
+      (fun st x ->
+        incr st;
+        x + (if !st > 0 then 0 else 1))
+      arr
+  in
+  check (Alcotest.array Alcotest.int) "state-threaded results" arr out;
+  let out4 =
+    Par.map_dynamic_init ~domains:4
+      ~init:(fun () -> Buffer.create 8)
+      (fun _ x -> x * x)
+      arr
+  in
+  check (Alcotest.array Alcotest.int) "domains=4 with state"
+    (Array.map (fun x -> x * x) arr)
+    out4
+
+(* --- export / import across managers ----------------------------------- *)
+
+let export_import_roundtrip () =
+  let env = Pktset.create () in
+  let man = Pktset.man env in
+  let p s = Option.get (Prefix.of_string_opt s) in
+  let a = Pktset.dst_prefix env (p "10.0.0.0/8") in
+  let b = Pktset.src_prefix env (p "172.16.0.0/12") in
+  let c = Bdd.band man a (Bdd.bnot man b) in
+  let d = Pktset.range env Field.Dst_port 1024 60000 in
+  let roots = [ a; b; c; d; Bdd.bot; Bdd.top ] in
+  let ex = Bdd.export man roots in
+  let env2 = Pktset.clone_empty env in
+  let man2 = Pktset.man env2 in
+  let imported = Bdd.import man2 ex in
+  List.iter2
+    (fun orig imp ->
+      check (Alcotest.float 0.0) "same sat count"
+        (Bdd.sat_count man orig) (Bdd.sat_count man2 imp))
+    roots imported;
+  (* round-trip back into the original manager: canonicity makes the result
+     physically equal to where it started *)
+  let back = Bdd.import man (Bdd.export man2 imported) in
+  List.iter2
+    (fun orig b -> check Alcotest.bool "round-trip equal" true (Bdd.equal orig b))
+    roots back;
+  (* witnesses are canonical too: same example packet from either manager *)
+  check
+    (Alcotest.option (Alcotest.testable (fun fmt p ->
+         Format.pp_print_string fmt (Packet.to_string p)) ( = )))
+    "same witness" (Pktset.to_packet env c)
+    (Pktset.to_packet env2 (List.nth imported 2))
+
+let cache_growth_identical () =
+  (* the auto-growing op cache affects performance only: a manager squeezed
+     into a tiny cache (forcing growth) computes the same functions *)
+  let mk cache_bits max_cache_bits =
+    let m = Bdd.create ~cache_bits ~max_cache_bits ~nvars:32 () in
+    let vs = List.init 32 (fun i -> Bdd.var m i) in
+    let acc = ref Bdd.top in
+    List.iteri
+      (fun i v ->
+        let w = List.nth vs ((i * 7 + 3) mod 32) in
+        acc :=
+          if i mod 3 = 0 then Bdd.band m !acc (Bdd.bor m v w)
+          else if i mod 3 = 1 then Bdd.bor m !acc (Bdd.band m v (Bdd.bnot m w))
+          else Bdd.bxor m !acc (Bdd.band m v w))
+      vs;
+    (m, !acc)
+  in
+  let m_small, r_small = mk 2 6 in
+  let m_big, r_big = mk 16 16 in
+  check (Alcotest.float 0.0) "same function despite cache growth"
+    (Bdd.sat_count m_big r_big) (Bdd.sat_count m_small r_small);
+  check Alcotest.bool "tiny cache grew" true (Bdd.cache_size m_small > 4)
+
+(* --- graph spec round-trip --------------------------------------------- *)
+
+let net_query ?(scale = 0.25) (profile : Netgen.profile) =
+  let net = profile.p_make scale in
+  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+  let dp = Dataplane.compute ~env:net.Netgen.n_env (Batfish.Snapshot.configs snap) in
+  let find = Batfish.Snapshot.find snap in
+  Fquery.make ~configs:find ~dp ()
+
+let profile name =
+  List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = name) Netgen.profiles
+
+let spec_roundtrip () =
+  let q = net_query (profile "NET1") in
+  let g = Fquery.graph q in
+  let spec = Fgraph.to_spec g in
+  let g2 = Fgraph.of_spec spec in
+  check Alcotest.int "same locations" (Fgraph.n_locs g) (Fgraph.n_locs g2);
+  check Alcotest.int "same edges" (Fgraph.n_edges g) (Fgraph.n_edges g2);
+  let q2 = Fquery.of_graph g2 ~dp:q.Fquery.dp ~configs:q.Fquery.configs in
+  (* rows are plain data, so equality across managers is structural *)
+  let rows = Fquery.all_pairs q () in
+  let rows2 = Fquery.all_pairs q2 () in
+  check Alcotest.bool "identical all-pairs rows" true (rows = rows2);
+  check Alcotest.bool "rows are non-trivial" true (List.length rows > 0);
+  (* importing into an explicit same-layout environment also works *)
+  let g3 = Fgraph.of_spec ~env:(Pktset.clone_empty (Fgraph.env g)) spec in
+  check Alcotest.int "same edges (explicit env)" (Fgraph.n_edges g) (Fgraph.n_edges g3)
+
+(* --- parallel vs sequential on every profile --------------------------- *)
+
+let domains_equivalence () =
+  List.iter
+    (fun (p : Netgen.profile) ->
+      let q = net_query p in
+      let rows1 = Fpar.all_pairs ~domains:1 q in
+      let rows4 = Fpar.all_pairs ~domains:4 q in
+      if rows1 <> rows4 then
+        Alcotest.failf "%s: all-pairs rows differ between domains=1 and domains=4"
+          p.Netgen.p_name;
+      let v1 = Fpar.multipath_consistency ~domains:1 q in
+      let v4 = Fpar.multipath_consistency ~domains:4 q in
+      if List.length v1 <> List.length v4
+         || not
+              (List.for_all2
+                 (fun (s1, b1) (s4, b4) -> s1 = s4 && Bdd.equal b1 b4)
+                 v1 v4)
+      then
+        Alcotest.failf "%s: multipath verdicts differ between domains=1 and domains=4"
+          p.Netgen.p_name;
+      let net = p.p_make 0.25 in
+      let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+      let configs = Batfish.Snapshot.configs snap in
+      let findings domains =
+        Lint.findings
+          (Lint.run_passes (Lint.make_ctx ~domains configs) Lint.passes)
+      in
+      if findings 1 <> findings 4 then
+        Alcotest.failf "%s: lint findings differ between domains=1 and domains=4"
+          p.Netgen.p_name)
+    Netgen.profiles
+
+(* --- chaos-seeded determinism ------------------------------------------ *)
+
+let chaos_parallel_determinism () =
+  (* mutated snapshots still give deterministic parallel results: repeated
+     runs at domains=3 agree with each other and with domains=1 *)
+  for seed = 1 to 8 do
+    let rng = Rng.create (1000 + seed) in
+    let net = Netgen.clos ~name:"cpd" ~spines:2 ~leaves:3 () in
+    let mutated, _ = Chaos.mutate_network ~rng ~mutations:2 net in
+    match
+      Fquery.make_checked
+        ~configs:
+          (let snap = Batfish.Snapshot.of_texts mutated.Netgen.n_configs in
+           Batfish.Snapshot.find snap)
+        ~dp:
+          (let snap = Batfish.Snapshot.of_texts mutated.Netgen.n_configs in
+           Dataplane.compute ~env:mutated.Netgen.n_env (Batfish.Snapshot.configs snap))
+        ()
+    with
+    | Error _ -> () (* graph construction refused the snapshot: fine *)
+    | Ok q ->
+      let r1 = Fpar.all_pairs ~domains:1 q in
+      let ra = Fpar.all_pairs ~domains:3 q in
+      let rb = Fpar.all_pairs ~domains:3 q in
+      if not (r1 = ra && ra = rb) then
+        Alcotest.failf "seed %d: parallel all-pairs nondeterministic" seed
+  done
+
+(* --- query memo --------------------------------------------------------- *)
+
+let memo_caching () =
+  let q = net_query (profile "NET1") in
+  let a = Fquery.to_delivered q () in
+  let b = Fquery.to_delivered q () in
+  check Alcotest.bool "memo returns the cached array" true (a == b);
+  let hits, misses = Fquery.memo_stats q in
+  check Alcotest.int "one hit" 1 hits;
+  check Alcotest.int "one miss" 1 misses;
+  (* a different header set is a different key *)
+  let e = Fquery.env q in
+  let hdr = Pktset.dst_prefix e (Option.get (Prefix.of_string_opt "172.16.0.0/24")) in
+  let c = Fquery.to_delivered q ~hdr () in
+  check Alcotest.bool "different key recomputes" true (not (c == a));
+  let _, misses2 = Fquery.memo_stats q in
+  check Alcotest.int "two misses" 2 misses2;
+  (* same header BDD again: canonical ids make the key hit *)
+  let hdr' = Pktset.dst_prefix e (Option.get (Prefix.of_string_opt "172.16.0.0/24")) in
+  let d = Fquery.to_delivered q ~hdr:hdr' () in
+  check Alcotest.bool "canonical key hits" true (c == d)
+
+let suites =
+  [ ( "parallel",
+      [ Alcotest.test_case "Par.map equivalence" `Quick par_map_equivalence;
+        Alcotest.test_case "Par.map_dynamic_init state" `Quick par_map_init_state;
+        Alcotest.test_case "BDD export/import round-trip" `Quick export_import_roundtrip;
+        Alcotest.test_case "op-cache growth is invisible" `Quick cache_growth_identical;
+        Alcotest.test_case "graph spec round-trip" `Quick spec_roundtrip;
+        Alcotest.test_case "query memo" `Quick memo_caching;
+        Alcotest.test_case "domains=1 vs 4 on every profile" `Slow domains_equivalence;
+        Alcotest.test_case "chaos-seeded parallel determinism" `Slow
+          chaos_parallel_determinism ] ) ]
