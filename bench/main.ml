@@ -42,7 +42,7 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 1,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 2,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
@@ -466,6 +466,106 @@ let parallel ~scale ~domains () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Incremental update: scratch vs warm (ISSUE 4)                      *)
+(* ------------------------------------------------------------------ *)
+
+let incremental ~scale () =
+  print_endline "== Incremental update: from-scratch recompute vs Batfish.update ==";
+  let all_identical = ref true in
+  let rows =
+    List.filter_map
+      (fun name ->
+        let p =
+          List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = name) Netgen.profiles
+        in
+        let net = p.p_make scale in
+        let rng = Rng.create (Hashtbl.hash name) in
+        match Chaos.semantic_edit_network ~rng net with
+        | None -> None
+        | Some (net', mut) ->
+          let file = List.hd mut.Chaos.mut_files in
+          let changed = (file, List.assoc file net'.Netgen.n_configs) in
+          (* base analysis, fully forced (the state a CI daemon would hold) *)
+          let bf = Batfish.init ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts net.Netgen.n_configs) in
+          ignore (Batfish.dataplane bf);
+          ignore (Batfish.forwarding bf);
+          (* warm path: re-parse changed files, re-simulate dirty components,
+             rebuild the graph in the warm BDD environment *)
+          let (bf', rep), warm_t = time (fun () -> Batfish.update ~files:[ changed ] bf) in
+          (* scratch path: everything from the file texts *)
+          let scratch, scratch_t =
+            time (fun () ->
+                let s =
+                  Batfish.init ~env:net.Netgen.n_env
+                    (Batfish.Snapshot.of_texts net'.Netgen.n_configs)
+                in
+                ignore (Batfish.dataplane s);
+                ignore (Batfish.forwarding s);
+                s)
+          in
+          (* the contract: bit-identical state on both paths *)
+          let routing dp =
+            List.map
+              (fun n ->
+                let r = Dataplane.node dp n in
+                (n, Rib.best_routes r.Dataplane.nr_main, Fib.entries r.Dataplane.nr_fib))
+              dp.Dataplane.node_order
+          in
+          let q' = Batfish.forwarding bf' and qs = Batfish.forwarding scratch in
+          let identical =
+            routing (Batfish.dataplane bf') = routing (Batfish.dataplane scratch)
+            && Fgraph.to_spec (Fquery.graph q') = Fgraph.to_spec (Fquery.graph qs)
+            && Fquery.all_pairs q' () = Fquery.all_pairs qs ()
+          in
+          if not identical then all_identical := false;
+          (* a cosmetic edit keeps the engine, memo included: the repeated
+             query must answer from cache *)
+          let noop_file = (file, snd changed ^ "\n! bench cosmetic edit") in
+          let bf'', noop_rep =
+            let q0 = Batfish.forwarding bf' in
+            ignore (Fquery.to_delivered q0 ());
+            Batfish.update ~files:[ noop_file ] bf'
+          in
+          let q'' = Batfish.forwarding bf'' in
+          let hits0, _ = Fquery.memo_stats q'' in
+          let _, noop_t = time (fun () -> Fquery.to_delivered q'' ()) in
+          let hits1, misses1 = Fquery.memo_stats q'' in
+          let memo_rate =
+            float_of_int hits1 /. float_of_int (max 1 (hits1 + misses1))
+          in
+          record
+            (Printf.sprintf "incremental.%s" p.p_name)
+            [ m_i "devices" (Netgen.device_count net); m_f "scratch_s" scratch_t;
+              m_f "warm_s" warm_t; m_f "speedup" (scratch_t /. Float.max 1e-9 warm_t);
+              m_i "files_reparsed" rep.Batfish.up_files_reparsed;
+              m_i "nodes_changed" (List.length rep.Batfish.up_nodes_changed);
+              m_i "dirty_components" rep.Batfish.up_dirty_components;
+              m_i "nodes_simulated" rep.Batfish.up_nodes_simulated;
+              m_i "nodes_reused" rep.Batfish.up_nodes_reused;
+              m_i "memo_invalidated" rep.Batfish.up_memo_invalidated;
+              m_f "noop_update_memo_rate" memo_rate;
+              m_b "noop_memo_hit" (hits1 > hits0);
+              m_b "identical" identical ];
+          ignore noop_t;
+          ignore noop_rep;
+          Some
+            [ p.p_name; string_of_int (Netgen.device_count net); fmt_s scratch_t;
+              fmt_s warm_t; Printf.sprintf "%.2fx" (scratch_t /. Float.max 1e-9 warm_t);
+              string_of_int rep.Batfish.up_nodes_simulated;
+              string_of_int rep.Batfish.up_nodes_reused; string_of_bool identical ])
+      [ "NET1"; "NET3"; "NET5"; "NET7" ]
+  in
+  Table.print
+    ~header:[ "network"; "devices"; "scratch"; "warm"; "speedup"; "dirty nodes";
+              "reused"; "identical" ]
+    rows;
+  if not !all_identical then begin
+    print_endline "ERROR: incremental update differs from the from-scratch engine";
+    exit 1
+  end;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -570,5 +670,7 @@ let () =
   if want "ablations" && not smoke then ablations ~scale ();
   if want "parallel" || smoke then
     parallel ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
+  if want "incremental" || smoke then
+    incremental ~scale:(if smoke then min scale 1.0 else scale) ();
   if want "micro" && not smoke then micro ();
   write_results ~scale ~domains ()

@@ -30,6 +30,51 @@ let load ?(domains = 1) dir =
     ~options:{ Dataplane.default_options with domains }
     (Batfish.Snapshot.of_dir dir)
 
+(* --- incremental mode (--base): CONFIG_DIR is a revision of BASE_DIR --- *)
+
+let base_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "base" ] ~docv:"BASE_DIR"
+           ~doc:"Incremental mode (CI): treat $(docv) as the previously analyzed \
+                 snapshot and CONFIG_DIR as its updated revision. Files whose \
+                 content fingerprint is unchanged are not re-parsed, and \
+                 data-plane commands re-simulate only the dirty dependency \
+                 components; results are identical to a from-scratch run.")
+
+(* Snapshot-level reuse (parse stage only): enough for commands that never
+   compute a data plane. *)
+let load_snapshot_incremental ?(domains = 1) ~base dir =
+  let domains = if domains <= 0 then Par.default_domains () else domains in
+  let base_snap = Batfish.Snapshot.of_dir base in
+  let files, diags = Batfish.Snapshot.read_dir dir in
+  let snap = Batfish.Snapshot.of_texts ~diags ~base:base_snap files in
+  Printf.printf "incremental: re-parsed %d of %d files, %d node(s) changed\n\n"
+    (Batfish.Snapshot.reparsed snap) (List.length files)
+    (List.length (Batfish.Snapshot.changed_nodes ~base:base_snap snap));
+  Batfish.init ~options:{ Dataplane.default_options with domains } snap
+
+(* Full engine reuse: analyze BASE_DIR (data plane + forwarding graph), apply
+   the revision via Batfish.update, and print the engine counters. *)
+let load_update_incremental ?(domains = 1) ~base dir =
+  let domains = if domains <= 0 then Par.default_domains () else domains in
+  let bf0 =
+    Batfish.init
+      ~options:{ Dataplane.default_options with domains }
+      (Batfish.Snapshot.of_dir base)
+  in
+  ignore (Batfish.dataplane bf0);
+  ignore (Batfish.try_forwarding bf0);
+  let files, diags = Batfish.Snapshot.read_dir dir in
+  let removed =
+    List.filter_map
+      (fun (n, _) -> if List.mem_assoc n files then None else Some n)
+      (Batfish.Snapshot.files (Batfish.snapshot bf0))
+  in
+  let bf, report = Batfish.update ~removed ~diags ~files bf0 in
+  Questions.print_answer (Batfish.answer_update_report report);
+  print_newline ();
+  bf
+
 (* Operator-input errors: a friendly message and exit 1, never a raw
    exception at the user. *)
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("error: " ^ msg); exit 1) fmt
@@ -164,7 +209,7 @@ let lint_cmd =
          & info [ "strict" ]
              ~doc:"CI gate: shorthand for --fail-on warn (any finding fails the run)")
   in
-  let run dir select ignore_ json fail_on strict list_passes domains =
+  let run dir base select ignore_ json fail_on strict list_passes domains =
     if list_passes then begin
       List.iter
         (fun (p : Lint.pass) -> Printf.printf "%s  %-22s %s\n" p.p_code p.p_name p.p_doc)
@@ -176,7 +221,11 @@ let lint_cmd =
       | Some d -> d
       | None -> die "CONFIG_DIR required (or use --list to show the passes)"
     in
-    let bf = load ~domains dir in
+    let bf =
+      match base with
+      | Some b -> load_snapshot_incremental ~domains ~base:b dir
+      | None -> load ~domains dir
+    in
     let split = Option.map (String.split_on_char ',') in
     match Batfish.lint ?select:(split select) ?ignore_passes:(split ignore_) bf with
     | Error msg -> die "%s (passes: %s)" msg (String.concat ", " Lint.pass_names)
@@ -198,20 +247,24 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static-analysis lint passes over a snapshot (no data plane computed)")
-    Term.(const run $ dir $ select $ ignore_ $ json $ fail_on $ strict $ list_passes $ domains_arg)
+    Term.(const run $ dir $ base_arg $ select $ ignore_ $ json $ fail_on $ strict $ list_passes $ domains_arg)
 
 (* --- checks --- *)
 
 let check_cmd =
-  let run dir domains strict =
-    let bf = load ~domains dir in
+  let run dir base domains strict =
+    let bf =
+      match base with
+      | Some b -> load_snapshot_incremental ~domains ~base:b dir
+      | None -> load ~domains dir
+    in
     print_answers (Batfish.check_all bf);
     finish ~strict bf
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the configuration-hygiene battery (references, duplicate IPs, BGP compatibility, consistency)")
-    Term.(const run $ dir_arg $ domains_arg $ strict_arg)
+    Term.(const run $ dir_arg $ base_arg $ domains_arg $ strict_arg)
 
 (* --- trace --- *)
 
@@ -279,14 +332,18 @@ let verify_cmd =
              ~doc:"Also run all-pairs reachability (one forward pass per edge \
                    interface, fanned across --domains workers)")
   in
-  let run dir domains all_pairs =
-    let bf = load ~domains dir in
+  let run dir base domains all_pairs =
+    let bf =
+      match base with
+      | Some b -> load_update_incremental ~domains ~base:b dir
+      | None -> load ~domains dir
+    in
     print_answers
       ([ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
       @ (if all_pairs then [ Batfish.answer_all_pairs bf ] else []))
   in
   Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
-    Term.(const run $ dir_arg $ domains_arg $ all_pairs)
+    Term.(const run $ dir_arg $ base_arg $ domains_arg $ all_pairs)
 
 (* --- netgen --- *)
 

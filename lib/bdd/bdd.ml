@@ -543,18 +543,22 @@ type exported = {
 }
 
 let export m roots =
+  (* Post-order DFS numbering: children precede parents (what {!import}
+     needs) and the table is a pure function of the BDD structure and root
+     order — two managers holding the same functions export byte-identical
+     tables regardless of allocation history. *)
   let seen = Hashtbl.create 256 in
-  let ids = ref [] in
+  let rev_post = ref [] in
   let rec go a =
     if a > 1 && not (Hashtbl.mem seen a) then begin
       Hashtbl.add seen a ();
-      ids := a :: !ids;
       go m.lo.(a);
-      go m.hi.(a)
+      go m.hi.(a);
+      rev_post := a :: !rev_post
     end
   in
   List.iter go roots;
-  let arr = Array.of_list (List.sort Int.compare !ids) in
+  let arr = Array.of_list (List.rev !rev_post) in
   let index = Hashtbl.create (max 16 (Array.length arr)) in
   Array.iteri (fun i id -> Hashtbl.add index id i) arr;
   let ref_of a = if a <= 1 then a else Hashtbl.find index a + 2 in

@@ -1,31 +1,77 @@
 module Snapshot = struct
+  (* One input file with its content fingerprint and (possibly reused) parse
+     outcome. Parsing is deterministic in the file text, so (name, digest)
+     fully keys the result: an unchanged file re-uses the base snapshot's
+     parsed model without touching the parser (ISSUE 4). *)
+  type parsed_file = {
+    pf_name : string;
+    pf_digest : string;  (* content fingerprint (MD5 hex of the raw text) *)
+    pf_result : (Vi.t * Diag.t list, Diag.t) result;
+  }
+
   type t = {
     files : (string * string) list;
+    entries : parsed_file list;  (* one per input file, in file order *)
     all_parsed : (string * Vi.t) list;  (* every parsed file, pre-dedup *)
     parsed : (Vi.t * Diag.t list) list;
     by_name : (string, Vi.t) Hashtbl.t;
     diags : Diag.t list;
+    reparsed : int;  (* files actually run through the parser *)
   }
 
-  let of_texts ?(diags = []) files =
+  let fingerprint text = Digest.to_hex (Digest.string text)
+
+  (* Per-file isolation: a parser crash on one file (truncated, binary
+     garbage) becomes a Fatal diag; the rest of the snapshot still loads. *)
+  let parse_one fname text =
+    match Parse.parse_config text with
+    | cfg, warns -> Ok (cfg, List.map (fun w -> Diag.set_file w fname) warns)
+    | exception exn ->
+      Error
+        (Diag.fatal ~file:fname ~phase:Diag.Parse ~code:Diag.code_parse_crash
+           (Printf.sprintf "parser raised: %s" (Printexc.to_string exn)))
+
+  let of_texts ?(diags = []) ?base files =
+    let reuse =
+      match base with
+      | None -> fun _ _ -> None
+      | Some b ->
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun pf -> Hashtbl.replace tbl (pf.pf_name, pf.pf_digest) pf.pf_result)
+          b.entries;
+        fun name digest -> Hashtbl.find_opt tbl (name, digest)
+    in
+    let reparsed = ref 0 in
+    let entries =
+      List.map
+        (fun (fname, text) ->
+          let digest = fingerprint text in
+          let result =
+            match reuse fname digest with
+            | Some r -> r
+            | None ->
+              incr reparsed;
+              parse_one fname text
+          in
+          { pf_name = fname; pf_digest = digest; pf_result = result })
+        files
+    in
+    (* Replay diagnostics in file order, exactly as a base-less parse would
+       produce them (reused results carry their original diags). *)
     let c = Diag.collector () in
     Diag.add_all c diags;
-    (* Per-file isolation: a parser crash on one file (truncated, binary
-       garbage) becomes a Fatal diag; the rest of the snapshot still loads. *)
     let parsed =
       List.filter_map
-        (fun (fname, text) ->
-          match Parse.parse_config text with
-          | cfg, warns ->
-            let warns = List.map (fun w -> Diag.set_file w fname) warns in
+        (fun pf ->
+          match pf.pf_result with
+          | Ok (cfg, warns) ->
             List.iter (Diag.add c) warns;
-            Some (fname, (cfg, warns))
-          | exception exn ->
-            Diag.add c
-              (Diag.fatal ~file:fname ~phase:Diag.Parse ~code:Diag.code_parse_crash
-                 (Printf.sprintf "parser raised: %s" (Printexc.to_string exn)));
+            Some (pf.pf_name, (cfg, warns))
+          | Error d ->
+            Diag.add c d;
             None)
-        files
+        entries
     in
     let all_parsed = List.map (fun (fname, (cfg, _)) -> (fname, cfg)) parsed in
     (* Duplicate hostnames are deterministic first-wins, with an Error diag
@@ -49,9 +95,12 @@ module Snapshot = struct
           end)
         parsed
     in
-    { files; all_parsed; parsed; by_name; diags = Diag.to_list c }
+    { files; entries; all_parsed; parsed; by_name; diags = Diag.to_list c;
+      reparsed = !reparsed }
 
-  let of_dir dir =
+  (* Read every regular file of a directory; returns the texts plus the
+     diagnostics of everything skipped or unreadable. *)
+  let read_dir dir =
     let c = Diag.collector () in
     let entries = Sys.readdir dir in
     Array.sort compare entries;
@@ -84,7 +133,11 @@ module Snapshot = struct
                       (Printf.sprintf "unreadable file: %s" (Printexc.to_string exn)));
                  None)
     in
-    of_texts ~diags:(Diag.to_list c) files
+    (files, Diag.to_list c)
+
+  let of_dir dir =
+    let files, diags = read_dir dir in
+    of_texts ~diags files
 
   let of_network (n : Netgen.network) = of_texts n.n_configs
   let configs t = List.map fst t.parsed
@@ -93,6 +146,28 @@ module Snapshot = struct
   let diags t = t.diags
   let find t name = Hashtbl.find_opt t.by_name name
   let node_names t = List.map (fun (c : Vi.t) -> c.Vi.hostname) (configs t)
+  let files t = t.files
+  let fingerprints t = List.map (fun pf -> (pf.pf_name, pf.pf_digest)) t.entries
+  let reparsed t = t.reparsed
+
+  (* Hostnames whose vendor-independent model differs between [base] and [t]
+     (added or removed hostnames included). The comparison is structural on
+     the derived [Vi.t] — a cosmetic edit (comments, whitespace) that parses
+     to the same model reports no change — with a physical-equality fast
+     path for fingerprint-reused parses. *)
+  let changed_nodes ~base t =
+    let changed = ref [] in
+    Hashtbl.iter
+      (fun name cfg ->
+        match Hashtbl.find_opt base.by_name name with
+        | Some bcfg when bcfg == cfg || bcfg = cfg -> ()
+        | Some _ | None -> changed := name :: !changed)
+      t.by_name;
+    Hashtbl.iter
+      (fun name _ ->
+        if not (Hashtbl.mem t.by_name name) then changed := name :: !changed)
+      base.by_name;
+    List.sort_uniq compare !changed
 end
 
 type t = {
@@ -187,6 +262,116 @@ let check_all t =
     answer_duplicate_ips t; answer_bgp_compatibility t; answer_property_consistency t;
     answer_lint t; answer_bgp_status t ]
 
+(* --- incremental snapshot analysis (ISSUE 4 tentpole) --- *)
+
+type update_report = {
+  up_files_changed : int;  (* added + removed + content-changed files *)
+  up_files_reparsed : int;  (* files actually run through the parser *)
+  up_nodes_changed : string list;  (* hosts whose VI model differs *)
+  up_components : int;
+  up_dirty_components : int;
+  up_nodes_simulated : int;
+  up_nodes_reused : int;
+  up_forwarding_rebuilt : bool;
+  up_memo_invalidated : int;
+}
+
+let update ?(removed = []) ?(diags = []) ~files t =
+  (* New file list: base order for retained names (edits replace in place),
+     genuinely new files appended in the order given. *)
+  let replace = Hashtbl.create 16 in
+  List.iter (fun (n, txt) -> Hashtbl.replace replace n txt) files;
+  let kept =
+    List.filter_map
+      (fun (n, txt) ->
+        if List.mem n removed then None
+        else
+          match Hashtbl.find_opt replace n with
+          | Some txt' ->
+            Hashtbl.remove replace n;
+            Some (n, txt')
+          | None -> Some (n, txt))
+      (Snapshot.files t.snap)
+  in
+  let fresh = List.filter (fun (n, _) -> Hashtbl.mem replace n) files in
+  let new_files = kept @ fresh in
+  let snap' = Snapshot.of_texts ~diags ~base:t.snap new_files in
+  let files_changed =
+    let base_fp = Hashtbl.create 64 in
+    List.iter
+      (fun (n, d) -> Hashtbl.replace base_fp n d)
+      (Snapshot.fingerprints t.snap);
+    let changed = ref 0 in
+    List.iter
+      (fun (n, d) ->
+        (match Hashtbl.find_opt base_fp n with
+         | Some bd when bd = d -> ()
+         | Some _ | None -> incr changed);
+        Hashtbl.remove base_fp n)
+      (Snapshot.fingerprints snap');
+    !changed + Hashtbl.length base_fp
+  in
+  let changed = Snapshot.changed_nodes ~base:t.snap snap' in
+  if changed = [] && Snapshot.node_names snap' = Snapshot.node_names t.snap then
+    (* Cosmetic change only: every derived artifact — data plane, forwarding
+       graph, query memo — carries over untouched. *)
+    let reused =
+      match t.dp with
+      | Some dp -> List.length dp.Dataplane.node_order
+      | None -> 0
+    in
+    ( { snap = snap'; env = t.env; options = t.options; dp = t.dp; fq = t.fq;
+        extra_diags = t.extra_diags },
+      { up_files_changed = files_changed;
+        up_files_reparsed = Snapshot.reparsed snap';
+        up_nodes_changed = [];
+        up_components =
+          (match t.dp with
+           | Some dp -> dp.Dataplane.stats.Dataplane.st_components
+           | None -> 0);
+        up_dirty_components = 0;
+        up_nodes_simulated = 0;
+        up_nodes_reused = reused;
+        up_forwarding_rebuilt = false;
+        up_memo_invalidated = 0 } )
+  else begin
+    let base_dp = dataplane t in
+    let dp' =
+      Dataplane.update ~options:t.options ~env:t.env ~base:base_dp ~changed
+        (Snapshot.configs snap')
+    in
+    let stats = dp'.Dataplane.stats in
+    let fq', rebuilt, invalidated =
+      match t.fq with
+      | None -> (None, false, 0)
+      | Some q ->
+        let q', inval =
+          Fquery.update ~base:q ~dirty:changed ~configs:(Snapshot.find snap')
+            ~dp:dp' ()
+        in
+        (Some q', true, inval)
+    in
+    ( { snap = snap'; env = t.env; options = t.options; dp = Some dp'; fq = fq';
+        extra_diags = [] },
+      { up_files_changed = files_changed;
+        up_files_reparsed = Snapshot.reparsed snap';
+        up_nodes_changed = changed;
+        up_components = stats.Dataplane.st_components;
+        up_dirty_components = stats.Dataplane.st_dirty_components;
+        up_nodes_simulated = stats.Dataplane.st_simulated_nodes;
+        up_nodes_reused = stats.Dataplane.st_reused_nodes;
+        up_forwarding_rebuilt = rebuilt;
+        up_memo_invalidated = invalidated } )
+  end
+
+let answer_update_report (r : update_report) =
+  Questions.incremental_update ~files_changed:r.up_files_changed
+    ~files_reparsed:r.up_files_reparsed ~nodes_changed:r.up_nodes_changed
+    ~components:r.up_components ~dirty_components:r.up_dirty_components
+    ~nodes_simulated:r.up_nodes_simulated ~nodes_reused:r.up_nodes_reused
+    ~forwarding_rebuilt:r.up_forwarding_rebuilt
+    ~memo_invalidated:r.up_memo_invalidated
+
 let differential ~base ~candidate ?srcs () =
   let env = Pktset.create () in
   let qb =
@@ -245,7 +430,50 @@ let differential_engine_test ?(flows_per_location = 4) t =
                    "engine disagreement at %s[%s] for %s: symbolic=%s traceroute=%s" node
                    iface (Packet.to_string pkt)
                    (if expect_delivered then "delivered" else "dropped")
-                   (if delivered then "delivered" else "dropped"))
+                   (if delivered then "delivered" else "dropped"));
+            (* The final packet must be the last hop's post-NAT packet (the
+               ISSUE 4 traceroute bugfix), and on delivered paths it must lie
+               in the symbolic engine's post-transformation delivered image. *)
+            List.iter
+              (fun (tr : Traceroute.trace) ->
+                match List.rev tr.Traceroute.hops with
+                | [] -> ()
+                | last :: _ ->
+                  if tr.final_packet <> last.Traceroute.h_packet then
+                    failwith
+                      (Printf.sprintf
+                         "traceroute final_packet disagrees with last hop at %s[%s]: %s vs %s"
+                         node iface
+                         (Packet.to_string tr.final_packet)
+                         (Packet.to_string last.Traceroute.h_packet)))
+              traces;
+            if delivered then begin
+              let fwd =
+                Fquery.forward_from q ~hdr:(Pktset.of_packet e pkt) [ (node, Some iface) ]
+              in
+              (* Delivered sets carry the query-local extra bits (zone /
+                 session marks set along the path); strip them before the
+                 concrete membership test, which evaluates extras as zero. *)
+              let strip_extra s =
+                let levels = List.init (Pktset.extra_count e) (Pktset.extra_level e) in
+                Bdd.exists man (Bdd.varset man levels) s
+              in
+              let image = strip_extra (Fquery.delivered_union q fwd) in
+              List.iter
+                (fun (tr : Traceroute.trace) ->
+                  if
+                    Traceroute.is_delivered tr.disposition
+                    && not (Pktset.mem e image tr.final_packet)
+                  then
+                    failwith
+                      (Printf.sprintf
+                         "engine disagreement at %s[%s]: traceroute final packet %s \
+                          is outside the symbolic delivered image for %s"
+                         node iface
+                         (Packet.to_string tr.final_packet)
+                         (Packet.to_string pkt)))
+                traces
+            end
         in
         let rec take k = function
           | [] -> ()

@@ -14,13 +14,21 @@ module Snapshot : sig
   (** [(filename, config text)] pairs; vendors are auto-detected. A file
       whose parse raises is skipped with a [Fatal] diag; duplicate hostnames
       keep the first definition and emit an [Error] diag. [?diags] prepends
-      diagnostics gathered before parsing (used by {!of_dir}). *)
-  val of_texts : ?diags:Diag.t list -> (string * string) list -> t
+      diagnostics gathered before parsing (used by {!of_dir}). [?base]
+      enables fingerprint-keyed parse reuse: a file whose name and content
+      digest match one in [base] takes that snapshot's parse result (model
+      and diags) without re-parsing — the result is indistinguishable from a
+      base-less parse because parsing is deterministic in the text. *)
+  val of_texts : ?diags:Diag.t list -> ?base:t -> (string * string) list -> t
 
   (** Reads every regular file in a directory as a configuration. Dotfiles
       and unreadable files are skipped with a diag instead of raising;
       handling order is deterministic (sorted by name). *)
   val of_dir : string -> t
+
+  (** The raw directory read behind {!of_dir}: [(name, text)] pairs plus the
+      skipped/unreadable diagnostics, without parsing anything. *)
+  val read_dir : string -> (string * string) list * Diag.t list
 
   val of_network : Netgen.network -> t
   val configs : t -> Vi.t list
@@ -37,6 +45,21 @@ module Snapshot : sig
 
   val find : t -> string -> Vi.t option
   val node_names : t -> string list
+
+  (** The input [(filename, text)] pairs, in file order. *)
+  val files : t -> (string * string) list
+
+  (** Per-file content fingerprints (MD5 hex), in file order. *)
+  val fingerprints : t -> (string * string) list
+
+  (** How many files this construction actually parsed (the rest were
+      fingerprint-reused from the base snapshot). *)
+  val reparsed : t -> int
+
+  (** Hostnames whose derived vendor-independent model differs between the
+      two snapshots, sorted; includes added and removed hosts. Structural
+      comparison: cosmetic edits (comments, spacing) report no change. *)
+  val changed_nodes : base:t -> t -> string list
 end
 
 type t
@@ -112,6 +135,43 @@ val answer_lint : t -> Questions.answer
 (** Every configuration-hygiene check at once (the continuous-validation
     bundle of §5.2), lint included. *)
 val check_all : t -> Questions.answer list
+
+(** {2 Incremental analysis (CI-style repeated snapshots)}
+
+    Engine counters for one {!update}: how much was re-parsed, which hosts
+    changed, and how much of the data plane / forwarding state was reused. *)
+type update_report = {
+  up_files_changed : int;  (** added + removed + content-changed files *)
+  up_files_reparsed : int;
+  up_nodes_changed : string list;
+  up_components : int;
+  up_dirty_components : int;
+  up_nodes_simulated : int;
+  up_nodes_reused : int;
+  up_forwarding_rebuilt : bool;
+  up_memo_invalidated : int;
+}
+
+(** [update ~files t] re-analyzes the session after a change: [files] are
+    the added/modified [(name, text)] pairs, [?removed] names deleted files.
+    Only changed files are re-parsed (content fingerprints), the dirty node
+    set is derived from the explicit dependency map (L3 adjacency + BGP
+    sessions), the data-plane fixed point re-runs only on dirty dependency
+    components (clean components' RIBs/FIBs carry over from the base), and
+    the forwarding graph is rebuilt in the warm BDD environment — or kept,
+    memo included, when no model changed. The result is bit-identical to a
+    from-scratch analysis of the new file set. Forces the base data plane if
+    not yet computed; the forwarding engine is only rebuilt if the base had
+    built it. *)
+val update :
+  ?removed:string list ->
+  ?diags:Diag.t list ->
+  files:(string * string) list ->
+  t ->
+  t * update_report
+
+(** The report as a printable metric table. *)
+val answer_update_report : update_report -> Questions.answer
 
 (** Differential reachability between two snapshots (proactive validation of
     a change, §5.1). Builds both forwarding graphs over one shared variable

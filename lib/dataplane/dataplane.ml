@@ -30,6 +30,28 @@ type node_result = {
   nr_fib : Fib.t;
 }
 
+(* Result of simulating one dependency component (see [component_partition]).
+   Retained inside [t] so that [update] can splice unchanged components'
+   results into a new snapshot without re-running them. *)
+type comp_result = {
+  cr_members : string list;  (* hostnames, in config order *)
+  cr_results : (string * node_result) list;
+  cr_sessions : session_report list;
+  cr_converged : bool;
+  cr_oscillated : bool;
+  cr_rounds : int;
+  cr_outer : int;
+  cr_quarantined : (string * string) list;
+  cr_diags : Diag.t list;
+}
+
+type stats = {
+  st_components : int;
+  st_dirty_components : int;
+  st_simulated_nodes : int;
+  st_reused_nodes : int;
+}
+
 type t = {
   topo : L3.t;
   nodes : (string, node_result) Hashtbl.t;
@@ -41,6 +63,9 @@ type t = {
   sessions : session_report list;
   quarantined : (string * string) list;
   diags : Diag.t list;
+  components : string list list;
+  comp_results : comp_result list;
+  stats : stats;
 }
 
 (* --- internal simulation state --- *)
@@ -820,9 +845,84 @@ let run_bgp options nodes ~skip ~on_fault =
   if fuel_exhausted then oscillated := true;
   (!rounds, !converged, !oscillated, fuel_exhausted)
 
-(* --- orchestration --- *)
+(* --- dependency map and component partition --- *)
 
-let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
+(* The explicit dependency map (ISSUE 4): a route computed on one device can
+   influence another device only along (a) an L3 adjacency (connected
+   subnets, OSPF adjacency, FIB next-hop resolution) or (b) a BGP session,
+   whose peer is resolved exactly the way session establishment resolves it
+   ([L3.owner_of_ip], which also covers multihop/iBGP peerings).
+   Redistribution is node-local — one protocol feeding another on the same
+   device — so it adds no cross-node edge beyond (a)/(b). The relation is
+   symmetric (sessions and adjacencies are bidirectional), so influence
+   closure = connected components of this graph. *)
+let dependency_edges ~topo (live : Vi.t list) =
+  let bgp =
+    List.concat_map
+      (fun (cfg : Vi.t) ->
+        match cfg.Vi.bgp with
+        | None -> []
+        | Some b ->
+          List.filter_map
+            (fun (nbr : Vi.bgp_neighbor) ->
+              match L3.owner_of_ip topo nbr.Vi.bn_peer with
+              | Some ep when ep.L3.ep_node <> cfg.Vi.hostname ->
+                Some (cfg.Vi.hostname, ep.L3.ep_node)
+              | Some _ | None -> None)
+            b.bp_neighbors)
+      live
+  in
+  L3.node_edges topo @ bgp
+
+(* Partition [live] into dependency components: deterministic — components
+   ordered by first appearance in [live], members in [live] order. *)
+let component_partition ~topo (live : Vi.t list) =
+  let arr = Array.of_list live in
+  let n = Array.length arr in
+  let idx = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i (cfg : Vi.t) ->
+      if not (Hashtbl.mem idx cfg.Vi.hostname) then
+        Hashtbl.add idx cfg.Vi.hostname i)
+    arr;
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  List.iter
+    (fun (a, b) ->
+      match (Hashtbl.find_opt idx a, Hashtbl.find_opt idx b) with
+      | Some ia, Some ib -> union ia ib
+      | _ -> ())
+    (dependency_edges ~topo live);
+  let buckets = Hashtbl.create 16 and roots = ref [] in
+  Array.iteri
+    (fun i cfg ->
+      let r = find i in
+      match Hashtbl.find_opt buckets r with
+      | None ->
+        Hashtbl.add buckets r (ref [ cfg ]);
+        roots := r :: !roots
+      | Some members -> members := cfg :: !members)
+    arr;
+  List.rev_map (fun r -> List.rev !(Hashtbl.find buckets r)) !roots
+
+let empty_rib () =
+  Rib.create ~prefer:Cmp.main_prefer ~multipath_equal:Cmp.main_multipath_equal
+    ~max_paths:1 ()
+
+let empty_result ~topo name =
+  let main = empty_rib () in
+  { nr_node = name; nr_main = main; nr_bgp = empty_rib (); nr_ospf = None;
+    nr_fib = Fib.of_rib ~node:name ~topo main }
+
+(* Pre-flight: probe each config's topology and protocol initialization in
+   isolation. A config that cannot even initialize is quarantined up front
+   instead of poisoning the rest of the snapshot. Deterministic per config,
+   so an unchanged config always gets the same verdict across snapshots. *)
+let preflight ~env configs =
   let dc = Diag.collector () in
   let quarantine_tbl : (string, string) Hashtbl.t = Hashtbl.create 8 in
   let quarantine ~node reason =
@@ -833,14 +933,10 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
            reason)
     end
   in
-  let is_quarantined name = Hashtbl.mem quarantine_tbl name in
-  (* Pre-flight: probe each config's topology and protocol initialization in
-     isolation. A config that cannot even initialize is quarantined up front
-     instead of poisoning the rest of the snapshot. *)
   List.iter
     (fun (cfg : Vi.t) ->
       let probe what f =
-        if not (is_quarantined cfg.Vi.hostname) then
+        if not (Hashtbl.mem quarantine_tbl cfg.Vi.hostname) then
           try ignore (f ())
           with exn ->
             quarantine ~node:cfg.Vi.hostname
@@ -851,17 +947,44 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
       probe "node initialization" (fun () -> make_node 0 cfg))
     configs;
   let live =
-    List.filter (fun (c : Vi.t) -> not (is_quarantined c.Vi.hostname)) configs
+    List.filter
+      (fun (c : Vi.t) -> not (Hashtbl.mem quarantine_tbl c.Vi.hostname))
+      configs
   in
-  let topo =
-    try L3.infer live
-    with exn ->
+  let quarantined =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) quarantine_tbl []
+  in
+  (live, quarantined, Diag.to_list dc)
+
+let infer_topology dc live =
+  try L3.infer live
+  with exn ->
+    Diag.add dc
+      (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_topology_failed
+         (Printf.sprintf "topology inference raised; continuing without links: %s"
+            (Printexc.to_string exn)));
+    L3.infer []
+
+(* --- per-component simulation --- *)
+
+(* Simulate one dependency component to its fixed point. [topo] is the
+   global topology; by construction every topology- or session-relevant
+   query made here resolves inside the component (or to the external
+   environment), so per-component execution reaches the same fixed point the
+   former whole-snapshot simulation did. *)
+let compute_component ~options ~env ~topo (comp : Vi.t list) =
+  let dc = Diag.collector () in
+  let quarantine_tbl : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  let quarantine ~node reason =
+    if not (Hashtbl.mem quarantine_tbl node) then begin
+      Hashtbl.replace quarantine_tbl node reason;
       Diag.add dc
-        (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_topology_failed
-           (Printf.sprintf "topology inference raised; continuing without links: %s"
-              (Printexc.to_string exn)));
-      L3.infer []
+        (Diag.error ~node ~phase:Diag.Dataplane ~code:Diag.code_node_quarantined
+           reason)
+    end
   in
+  let is_quarantined name = Hashtbl.mem quarantine_tbl name in
+  let live = comp in
   let nodes =
     let acc = ref [] in
     List.iter
@@ -1043,13 +1166,9 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
             "session re-evaluation did not stabilize within the %d-pass fuel budget"
             options.outer_fuel))
   end;
-  (* Phase 5: FIBs. Quarantined nodes (including those quarantined before the
-     simulation started) appear with empty tables so lookups stay total. *)
-  let empty_rib () =
-    Rib.create ~prefer:Cmp.main_prefer ~multipath_equal:Cmp.main_multipath_equal
-      ~max_paths:1 ()
-  in
-  let results = Hashtbl.create 64 in
+  (* Phase 5: FIBs. Nodes quarantined during this component's simulation
+     appear with empty tables so lookups stay total. *)
+  let results = ref [] in
   Array.iter
     (fun node ->
       let name = node.cfg.Vi.hostname in
@@ -1061,20 +1180,18 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
                (Printf.sprintf "FIB resolution raised: %s" (Printexc.to_string exn)));
           Fib.of_rib ~node:name ~topo (empty_rib ())
       in
-      Hashtbl.replace results name
-        { nr_node = name; nr_main = node.main_rib;
-          nr_bgp = node.bgp_rib; nr_ospf = node.ospf_rib; nr_fib = fib })
+      results :=
+        (name,
+         { nr_node = name; nr_main = node.main_rib;
+           nr_bgp = node.bgp_rib; nr_ospf = node.ospf_rib; nr_fib = fib })
+        :: !results)
     nodes;
   List.iter
     (fun (cfg : Vi.t) ->
       let name = cfg.Vi.hostname in
-      if is_quarantined name && not (Hashtbl.mem results name) then begin
-        let main = empty_rib () in
-        Hashtbl.replace results name
-          { nr_node = name; nr_main = main; nr_bgp = empty_rib (); nr_ospf = None;
-            nr_fib = Fib.of_rib ~node:name ~topo main }
-      end)
-    configs;
+      if is_quarantined name && not (List.mem_assoc name !results) then
+        results := (name, empty_result ~topo name) :: !results)
+    comp;
   let sessions =
     Array.to_list nodes
     |> List.concat_map (fun node ->
@@ -1095,18 +1212,127 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
                    sr_established = false; sr_reason = Some reason })
                node.down_sessions)
   in
+  { cr_members = List.map (fun (c : Vi.t) -> c.Vi.hostname) comp;
+    cr_results = List.rev !results;
+    cr_sessions = sessions;
+    cr_converged = !converged;
+    cr_oscillated = !oscillated;
+    cr_rounds = !rounds_total;
+    cr_outer = !outer;
+    cr_quarantined =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) quarantine_tbl [];
+    cr_diags = Diag.to_list dc }
+
+(* --- orchestration --- *)
+
+(* Stitch per-component results back into a whole-snapshot [t]. Session
+   reports are re-ordered by [node_order] so the output is independent of the
+   component partition. *)
+let assemble ~configs ~topo ~pre_quarantined ~pre_diags ~stats comp_results =
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun cr ->
+      List.iter (fun (name, nr) -> Hashtbl.replace results name nr) cr.cr_results)
+    comp_results;
+  (* Pre-flight-quarantined configs appear with empty tables so lookups stay
+     total. *)
+  List.iter
+    (fun (cfg : Vi.t) ->
+      let name = cfg.Vi.hostname in
+      if List.mem_assoc name pre_quarantined && not (Hashtbl.mem results name) then
+        Hashtbl.replace results name (empty_result ~topo name))
+    configs;
+  let node_order = List.map (fun (c : Vi.t) -> c.Vi.hostname) configs in
+  let order_index = Hashtbl.create 64 in
+  List.iteri (fun i n -> if not (Hashtbl.mem order_index n) then Hashtbl.add order_index n i)
+    node_order;
+  let sessions =
+    List.concat_map (fun cr -> cr.cr_sessions) comp_results
+    |> List.stable_sort (fun a b ->
+           compare
+             (Hashtbl.find_opt order_index a.sr_node)
+             (Hashtbl.find_opt order_index b.sr_node))
+  in
   { topo;
     nodes = results;
-    node_order = List.map (fun (c : Vi.t) -> c.hostname) configs;
-    converged = !converged;
-    oscillated = !oscillated;
-    rounds = !rounds_total;
-    outer_iterations = !outer;
+    node_order;
+    converged = List.for_all (fun cr -> cr.cr_converged) comp_results;
+    oscillated = List.exists (fun cr -> cr.cr_oscillated) comp_results;
+    rounds = List.fold_left (fun acc cr -> acc + cr.cr_rounds) 0 comp_results;
+    outer_iterations = List.fold_left (fun acc cr -> max acc cr.cr_outer) 0 comp_results;
     sessions;
     quarantined =
       List.sort compare
-        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) quarantine_tbl []);
-    diags = Diag.to_list dc }
+        (pre_quarantined @ List.concat_map (fun cr -> cr.cr_quarantined) comp_results);
+    diags = pre_diags @ List.concat_map (fun cr -> cr.cr_diags) comp_results;
+    components = List.map (fun cr -> cr.cr_members) comp_results;
+    comp_results;
+    stats }
+
+let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
+  let live, pre_quarantined, pre_diags0 = preflight ~env configs in
+  let dc = Diag.collector () in
+  let topo = infer_topology dc live in
+  let pre_diags = pre_diags0 @ Diag.to_list dc in
+  let comps = component_partition ~topo live in
+  let comp_results = List.map (compute_component ~options ~env ~topo) comps in
+  let stats =
+    { st_components = List.length comp_results;
+      st_dirty_components = List.length comp_results;
+      st_simulated_nodes = List.length live;
+      st_reused_nodes = 0 }
+  in
+  assemble ~configs ~topo ~pre_quarantined ~pre_diags ~stats comp_results
+
+(* Incremental recompute (ISSUE 4 tentpole). [changed] lists the hostnames
+   whose vendor-independent model differs from [base] (including added
+   nodes; removed nodes are simply absent from [configs]). A component of the
+   new snapshot is reused from [base] — results, sessions, diags and all —
+   exactly when none of its members changed AND its member set equals a base
+   component's member set; the membership check catches every cross-component
+   influence shift (an edit elsewhere that acquires or loses ownership of a
+   peer address, adds an adjacency, etc.) because any such shift changes the
+   partition. Dirty components run the identical [compute_component] path
+   from scratch, which is what makes the result bit-identical to a full
+   [compute] of the new configs. [options] and [env] must equal the ones
+   [base] was computed with. *)
+let update ?(options = default_options) ?(env = Dp_env.empty) ~base ~changed configs =
+  let live, pre_quarantined, pre_diags0 = preflight ~env configs in
+  let dc = Diag.collector () in
+  let topo = infer_topology dc live in
+  let pre_diags = pre_diags0 @ Diag.to_list dc in
+  let comps = component_partition ~topo live in
+  let changed_tbl = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace changed_tbl n ()) changed;
+  let base_by_members =
+    List.map (fun cr -> (cr.cr_members, cr)) base.comp_results
+  in
+  let reused_nodes = ref 0 and dirty = ref 0 in
+  let comp_results =
+    List.map
+      (fun comp ->
+        let members = List.map (fun (c : Vi.t) -> c.Vi.hostname) comp in
+        let clean =
+          (not (List.exists (Hashtbl.mem changed_tbl) members))
+          && List.mem_assoc members base_by_members
+        in
+        if clean then begin
+          reused_nodes := !reused_nodes + List.length members;
+          List.assoc members base_by_members
+        end
+        else begin
+          incr dirty;
+          compute_component ~options ~env ~topo comp
+        end)
+      comps
+  in
+  let stats =
+    { st_components = List.length comp_results;
+      st_dirty_components = !dirty;
+      st_simulated_nodes = List.length live - !reused_nodes;
+      st_reused_nodes = !reused_nodes }
+  in
+  assemble ~configs ~topo ~pre_quarantined ~pre_diags ~stats comp_results
 
 let node_opt t name = Hashtbl.find_opt t.nodes name
 

@@ -48,19 +48,38 @@ type node_result = {
   nr_fib : Fib.t;
 }
 
+(** Opaque result of one dependency component's simulation, retained so
+    {!update} can reuse unchanged components. *)
+type comp_result
+
+(** Engine counters: how much of the snapshot was actually simulated.
+    A full {!compute} reports every node simulated; {!update} reports the
+    dirty/reused split. *)
+type stats = {
+  st_components : int;
+  st_dirty_components : int;
+  st_simulated_nodes : int;
+  st_reused_nodes : int;
+}
+
 type t = {
   topo : L3.t;
   nodes : (string, node_result) Hashtbl.t;
   node_order : string list;
   converged : bool;
   oscillated : bool;
-  rounds : int;  (** BGP rounds until convergence (or cutoff) *)
-  outer_iterations : int;  (** session re-evaluation passes (§4.1.1) *)
+  rounds : int;  (** total BGP rounds across components (or cutoff) *)
+  outer_iterations : int;  (** max session re-evaluation passes (§4.1.1) *)
   sessions : session_report list;
   quarantined : (string * string) list;
       (** nodes excluded from the simulation, with the reason; their results
           are present but empty, their sessions reported down *)
   diags : Diag.t list;  (** everything skipped, quarantined, or budget-cut *)
+  components : string list list;
+      (** the dependency partition (L3 adjacency + BGP sessions;
+          redistribution is node-local): hostname groups in config order *)
+  comp_results : comp_result list;
+  stats : stats;
 }
 
 (** Fault-isolated data-plane generation: a node whose topology, OSPF, or
@@ -70,6 +89,24 @@ type t = {
     budgets ({!options.max_rounds}, {!options.outer_fuel}). Never raises on
     operator input. *)
 val compute : ?options:options -> ?env:Dp_env.t -> Vi.t list -> t
+
+(** [update ~base ~changed configs] recomputes the data plane for [configs]
+    (the complete new snapshot) reusing [base] wherever possible. [changed]
+    must name every host whose vendor-independent model differs from [base]
+    (added hosts included; removed hosts are simply absent from [configs]).
+    A dependency component is reused wholesale when none of its members
+    changed and its member set equals a base component's member set;
+    everything else re-runs the exact per-component path [compute] uses, so
+    the result is bit-identical to [compute configs]. [options] and [env]
+    must equal those used to build [base]. Engine counters land in
+    {!t.stats}. *)
+val update :
+  ?options:options -> ?env:Dp_env.t -> base:t -> changed:string list -> Vi.t list -> t
+
+(** The explicit dependency map backing the component partition: undirected
+    (node, node) influence edges — L3 adjacencies plus resolved BGP
+    sessions. *)
+val dependency_edges : topo:L3.t -> Vi.t list -> (string * string) list
 
 (** @raise Invalid_argument on an unknown node name; prefer {!node_opt}. *)
 val node : t -> string -> node_result

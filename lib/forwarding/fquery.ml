@@ -37,6 +37,22 @@ let memo_find t key compute =
     Hashtbl.add t.memo key r;
     r
 
+(* Incremental rebuild (ISSUE 4). With an empty dirty set the base query —
+   graph, manager, memo, counters — is returned as-is, so every cached
+   propagation result survives the update. Otherwise the new graph is built
+   inside the base's warm BDD environment, where hash-consing turns every
+   unchanged node's edge functions into cache hits; the memo is keyed to the
+   old graph's propagations, so it starts fresh and the count of dropped
+   entries is reported. Canonicity makes the warm-env rebuild's exported
+   spec and query rows bit-identical to a from-scratch build. *)
+let update ~base ~dirty ~configs ~dp () =
+  if dirty = [] then (base, 0)
+  else begin
+    let invalidated = Hashtbl.length base.memo in
+    let g = Fgraph.build ~env:(base.g.Fgraph.env) ~configs ~dp () in
+    (of_graph g ~dp ~configs, invalidated)
+  end
+
 (* Fault-isolated construction: graph building walks every FIB and compiles
    every referenced ACL, any of which may be garbage on a hostile snapshot. *)
 let make_checked ?env ?compress ~configs ~dp () =

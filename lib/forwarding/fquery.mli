@@ -40,6 +40,20 @@ val graph : t -> Fgraph.t
 (** (hits, misses) of the query memo. *)
 val memo_stats : t -> int * int
 
+(** Incremental rebuild against a base query. [dirty] lists the hostnames
+    whose data-plane results changed: when empty, [base] itself is returned
+    (graph, manager and memo intact); otherwise the graph is rebuilt for the
+    new [configs]/[dp] inside [base]'s warm BDD environment and a fresh memo,
+    returning the number of invalidated memo entries. Canonicity makes the
+    rebuilt query's spec and rows bit-identical to a from-scratch {!make}. *)
+val update :
+  base:t ->
+  dirty:string list ->
+  configs:(string -> Vi.t option) ->
+  dp:Dataplane.t ->
+  unit ->
+  t * int
+
 (** Fault-isolated {!make}: an exception during graph construction is
     returned as a [Fatal] forwarding diagnostic instead of escaping. *)
 val make_checked :

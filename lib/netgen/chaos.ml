@@ -88,3 +88,140 @@ let mutate_network ~rng ?(mutations = 1) (net : Netgen.network) =
   ({ net with Netgen.n_configs = Array.to_list files }, List.rev !applied)
 
 let affected_files muts = List.sort_uniq compare (List.concat_map (fun m -> m.mut_files) muts)
+
+(* --- Semantic single-file edits (ISSUE 4) -------------------------------
+
+   Unlike the fault mutators above, these keep the file parseable: each edit
+   is the kind of change an operator lands in CI — dropping a BGP session,
+   shutting an interface, touching an ACL — so the incremental engine's
+   dirty-set computation has something real to chew on. "comment-edit" is
+   deliberately cosmetic: the text changes but the derived model does not. *)
+
+let semantic_kinds =
+  [ "drop-bgp-neighbor"; "toggle-shutdown"; "add-acl-line"; "remove-acl-line";
+    "add-loopback"; "comment-edit" ]
+
+let starts_with prefix s = String.starts_with ~prefix s
+
+(* indices of lines satisfying [p] *)
+let find_lines p ls =
+  let acc = ref [] in
+  List.iteri (fun i l -> if p l then acc := i :: !acc) ls;
+  List.rev !acc
+
+let remove_line_at idx ls = List.filteri (fun i _ -> i <> idx) ls
+
+let semantic_edit ~rng ~kind text =
+  let ls = lines text in
+  match kind with
+  | "drop-bgp-neighbor" -> (
+    (* remove every " neighbor <ip> ..." line of one randomly chosen peer *)
+    let peers =
+      List.filter_map
+        (fun l ->
+          if starts_with " neighbor " l then
+            match String.split_on_char ' ' (String.trim l) with
+            | "neighbor" :: ip :: "remote-as" :: _ -> Some ip
+            | _ -> None
+          else None)
+        ls
+      |> List.sort_uniq compare
+    in
+    match peers with
+    | [] -> None
+    | _ ->
+      let ip = Rng.pick_list rng peers in
+      let keep l = not (starts_with (" neighbor " ^ ip ^ " ") l) in
+      Some (unlines (List.filter keep ls), "removed bgp neighbor " ^ ip))
+  | "toggle-shutdown" -> (
+    (* prefer shutting a non-loopback interface down; re-enable otherwise *)
+    let arr = Array.of_list ls in
+    let in_loopback = Array.make (Array.length arr) false in
+    let cur = ref false in
+    Array.iteri
+      (fun i l ->
+        if starts_with "interface " l then cur := starts_with "interface Loopback" l;
+        in_loopback.(i) <- !cur)
+      arr;
+    let down = find_lines (fun l -> String.trim l = "no shutdown") ls in
+    let down = List.filter (fun i -> not in_loopback.(i)) down in
+    let up = find_lines (fun l -> String.trim l = "shutdown") ls in
+    match (down, up) with
+    | [], [] -> None
+    | _ ->
+      if down <> [] then begin
+        let i = List.nth down (Rng.int rng (List.length down)) in
+        arr.(i) <- " shutdown";
+        Some (unlines (Array.to_list arr), "shut down an interface")
+      end
+      else begin
+        let i = List.nth up (Rng.int rng (List.length up)) in
+        arr.(i) <- " no shutdown";
+        Some (unlines (Array.to_list arr), "re-enabled an interface")
+      end)
+  | "add-acl-line" -> (
+    (* insert a deny line right after a random ACL header *)
+    let headers = find_lines (fun l -> starts_with "ip access-list extended " l) ls in
+    match headers with
+    | [] -> None
+    | _ ->
+      let h = List.nth headers (Rng.int rng (List.length headers)) in
+      let host = Printf.sprintf "203.0.113.%d" (1 + Rng.int rng 250) in
+      let line = Printf.sprintf " deny udp any host %s" host in
+      let out =
+        List.concat (List.mapi (fun i l -> if i = h then [ l; line ] else [ l ]) ls)
+      in
+      Some (unlines out, "added acl deny for " ^ host))
+  | "remove-acl-line" -> (
+    (* delete one permit/deny line inside an ACL block *)
+    let arr = Array.of_list ls in
+    let in_acl = Array.make (Array.length arr) false in
+    let cur = ref false in
+    Array.iteri
+      (fun i l ->
+        if starts_with "ip access-list" l then cur := true
+        else if not (starts_with " " l) then cur := false;
+        in_acl.(i) <- !cur && (starts_with " permit" l || starts_with " deny" l))
+      arr;
+    let idxs = ref [] in
+    Array.iteri (fun i v -> if v then idxs := i :: !idxs) in_acl;
+    match !idxs with
+    | [] -> None
+    | idxs ->
+      let i = List.nth idxs (Rng.int rng (List.length idxs)) in
+      Some (unlines (remove_line_at i ls), "removed an acl line"))
+  | "add-loopback" ->
+    let ip = Printf.sprintf "198.51.100.%d" (1 + Rng.int rng 250) in
+    let stanza =
+      String.concat "\n"
+        [ "!"; "interface Loopback99"; Printf.sprintf " ip address %s 255.255.255.255" ip;
+          " no shutdown" ]
+    in
+    Some (text ^ "\n" ^ stanza, "added Loopback99 " ^ ip)
+  | "comment-edit" ->
+    let n = Rng.int rng 1_000_000 in
+    Some (text ^ Printf.sprintf "\n! chaos edit %d" n, "appended a comment (cosmetic)")
+  | kind -> invalid_arg ("Chaos.semantic_edit: unknown edit kind " ^ kind)
+
+(* One random applicable semantic edit on one random file. Tries kinds in a
+   seeded random order so a file without ACLs still gets edited. *)
+let semantic_edit_network ~rng (net : Netgen.network) =
+  let files = Array.of_list net.Netgen.n_configs in
+  if Array.length files = 0 then None
+  else begin
+    let i = Rng.int rng (Array.length files) in
+    let name, text = files.(i) in
+    let rec try_kinds = function
+      | [] -> None
+      | ks ->
+        let k = List.nth ks (Rng.int rng (List.length ks)) in
+        (match semantic_edit ~rng ~kind:k text with
+         | Some (text', detail) ->
+           files.(i) <- (name, text');
+           Some
+             ( { net with Netgen.n_configs = Array.to_list files },
+               { mut_kind = k; mut_files = [ name ]; mut_detail = name ^ ": " ^ detail } )
+         | None -> try_kinds (List.filter (fun k' -> k' <> k) ks))
+    in
+    try_kinds semantic_kinds
+  end

@@ -32,3 +32,25 @@ val mutate_network :
 
 (** All files touched by a list of mutations, deduplicated. *)
 val affected_files : mutation list -> string list
+
+(** {2 Semantic single-file edits}
+
+    Seeded edits that keep the file parseable — the CI-style changes the
+    incremental engine ({!Batfish.update}) is exercised against. *)
+
+(** ["drop-bgp-neighbor"], ["toggle-shutdown"], ["add-acl-line"],
+    ["remove-acl-line"], ["add-loopback"], ["comment-edit"] (cosmetic: text
+    changes, derived model does not). *)
+val semantic_kinds : string list
+
+(** [semantic_edit ~rng ~kind text] applies one semantic edit; [None] when
+    the edit does not apply (e.g. no ACL to touch).
+    Returns [(new_text, human detail)].
+    @raise Invalid_argument on an unknown [kind]. *)
+val semantic_edit : rng:Rng.t -> kind:string -> string -> (string * string) option
+
+(** One random applicable semantic edit on one random file; [None] only if no
+    kind applies to the chosen file (practically never for generated
+    configs). *)
+val semantic_edit_network :
+  rng:Rng.t -> Netgen.network -> (Netgen.network * mutation) option

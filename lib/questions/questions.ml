@@ -85,6 +85,24 @@ let bgp_session_compatibility configs =
     a_rows = rows }
 
 (* The full lint report as a table (same findings as the lint CLI). *)
+(* The incremental-update summary (ISSUE 4): how much work the engine
+   actually redid after a change, as a uniform metric table. *)
+let incremental_update ~files_changed ~files_reparsed ~nodes_changed ~components
+    ~dirty_components ~nodes_simulated ~nodes_reused ~forwarding_rebuilt
+    ~memo_invalidated =
+  let rows =
+    [ [ "filesChanged"; string_of_int files_changed ];
+      [ "filesReparsed"; string_of_int files_reparsed ];
+      [ "nodesChanged"; String.concat " " nodes_changed ];
+      [ "dependencyComponents"; string_of_int components ];
+      [ "dirtyComponents"; string_of_int dirty_components ];
+      [ "nodesSimulated"; string_of_int nodes_simulated ];
+      [ "nodesReused"; string_of_int nodes_reused ];
+      [ "forwardingRebuilt"; string_of_bool forwarding_rebuilt ];
+      [ "memoEntriesInvalidated"; string_of_int memo_invalidated ] ]
+  in
+  { a_title = "incrementalUpdate"; a_header = [ "metric"; "value" ]; a_rows = rows }
+
 let lint (report : Lint.report) =
   let rows =
     List.concat_map

@@ -43,6 +43,20 @@ val property_consistency : Vi.t list -> answer
     location, message). *)
 val lint : Lint.report -> answer
 
+(** Engine-counter summary of an incremental update (ISSUE 4): what changed,
+    what was re-simulated, and what was reused. *)
+val incremental_update :
+  files_changed:int ->
+  files_reparsed:int ->
+  nodes_changed:string list ->
+  components:int ->
+  dirty_components:int ->
+  nodes_simulated:int ->
+  nodes_reused:int ->
+  forwarding_rebuilt:bool ->
+  memo_invalidated:int ->
+  answer
+
 val interface_properties : Vi.t list -> answer
 val node_properties : Vi.t list -> answer
 

@@ -8,6 +8,7 @@ type disposition =
   | No_route of string
   | Null_routed of string
   | Loop of string
+  | Hop_limit_exceeded of string
 
 type hop = {
   h_node : string;
@@ -30,10 +31,12 @@ let disposition_to_string = function
   | No_route n -> Printf.sprintf "NO_ROUTE at %s" n
   | Null_routed n -> Printf.sprintf "NULL_ROUTED at %s" n
   | Loop n -> Printf.sprintf "LOOP detected at %s" n
+  | Hop_limit_exceeded n -> Printf.sprintf "HOP_LIMIT_EXCEEDED at %s" n
 
 let is_delivered = function
   | Accepted _ | Delivered_to_subnet _ | Exits_network _ -> true
-  | Denied_in _ | Denied_out _ | Denied_zone _ | No_route _ | Null_routed _ | Loop _ ->
+  | Denied_in _ | Denied_out _ | Denied_zone _ | No_route _ | Null_routed _ | Loop _
+  | Hop_limit_exceeded _ ->
     false
 
 let trace_to_string t =
@@ -101,18 +104,28 @@ let run ~configs ~dp ?(max_hops = 32) ~start ?ingress pkt =
     | Some acl -> Acl_eval.permits acl pkt
     | None -> (Semantics.for_vendor cfg.vendor).Semantics.undefined_acl_permits
   in
-  let rec visit node ingress pkt hops visited depth =
-    if depth > max_hops then [ { hops = List.rev hops; disposition = Loop node; final_packet = pkt } ]
-    else if List.mem (node, pkt) visited then
+  (* Loop detection over the current DFS path only: entries are added on the
+     way down and removed on the way back up, so multipath siblings don't see
+     each other's (node, packet) states. *)
+  let visited : (string * Packet.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec visit node ingress pkt hops depth =
+    if depth > max_hops then
+      [ { hops = List.rev hops; disposition = Hop_limit_exceeded node; final_packet = pkt } ]
+    else if Hashtbl.mem visited (node, pkt) then
       [ { hops = List.rev hops; disposition = Loop node; final_packet = pkt } ]
-    else
-      let visited = (node, pkt) :: visited in
+    else begin
+      Hashtbl.add visited (node, pkt) ();
+      let traces = visit_fresh node ingress pkt hops depth in
+      Hashtbl.remove visited (node, pkt);
+      traces
+    end
+  and visit_fresh node ingress pkt hops depth =
       match configs node with
       | None ->
         [ { hops = List.rev hops; disposition = Exits_network (node, "?"); final_packet = pkt } ]
       | Some cfg -> (
         let stop disposition hop =
-          [ { hops = List.rev (hop :: hops); disposition; final_packet = pkt } ]
+          [ { hops = List.rev (hop :: hops); disposition; final_packet = hop.h_packet } ]
         in
         let base_hop =
           { h_node = node; h_in_iface = ingress; h_route = None; h_out_iface = None;
@@ -187,11 +200,7 @@ let run ~configs ~dp ?(max_hops = 32) ~start ?ingress pkt =
                       in
                       match next with
                       | Some ep ->
-                        let sub =
-                          visit ep.ep_node (Some ep.ep_iface) pkt' (hop :: hops) visited
-                            (depth + 1)
-                        in
-                        sub
+                        visit ep.ep_node (Some ep.ep_iface) pkt' (hop :: hops) (depth + 1)
                       | None -> (
                         match gateway with
                         | None -> (
@@ -213,4 +222,4 @@ let run ~configs ~dp ?(max_hops = 32) ~start ?ingress pkt =
                               final_packet = pkt' } ]))))
               entry.Fib.fe_actions))
   in
-  visit start ingress pkt [] [] 0
+  visit start ingress pkt [] 0

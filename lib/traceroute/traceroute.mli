@@ -15,6 +15,11 @@ type disposition =
   | No_route of string
   | Null_routed of string
   | Loop of string
+      (** the same (node, packet) state was reached twice on one path: a real
+          forwarding loop *)
+  | Hop_limit_exceeded of string
+      (** the walk ran out of hop budget without revisiting a state — a long
+          path or a loop whose packet is rewritten (e.g. NAT) every cycle *)
 
 type hop = {
   h_node : string;

@@ -114,7 +114,7 @@ let differential_network name texts starts prefixes =
           List.exists
             (fun tr ->
               match tr.Traceroute.disposition with
-              | Traceroute.Loop _ -> false
+              | Traceroute.Loop _ | Traceroute.Hop_limit_exceeded _ -> false
               | d -> not (Traceroute.is_delivered d))
             traces
         in

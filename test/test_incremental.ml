@@ -1,0 +1,278 @@
+(* ISSUE 4: the incremental analysis engine. The contract under test is
+   bit-identity — [Batfish.update] after an edit must produce exactly the
+   RIBs, FIBs, forwarding-graph spec, and query rows that a from-scratch
+   analysis of the new file set produces — while the engine counters prove
+   that only the dirty dependency components were actually re-simulated. *)
+
+let check = Alcotest.check
+
+let profile name = List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = name) Netgen.profiles
+
+let load ?options (net : Netgen.network) =
+  Batfish.init ?options ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts net.Netgen.n_configs)
+
+(* one seeded semantic edit; returns (mutated network, the edited file) *)
+let edit ~seed (net : Netgen.network) =
+  let rng = Rng.create seed in
+  match Chaos.semantic_edit_network ~rng net with
+  | None -> Alcotest.fail "semantic edit applied to no file"
+  | Some (net', mut) ->
+    let name = List.hd mut.Chaos.mut_files in
+    (net', (name, List.assoc name net'.Netgen.n_configs))
+
+(* the complete routing state of a data plane, as plain comparable data *)
+let routing_state (dp : Dataplane.t) =
+  List.map
+    (fun n ->
+      let r = Dataplane.node dp n in
+      (n, Rib.best_routes r.Dataplane.nr_main, Fib.entries r.Dataplane.nr_fib))
+    dp.Dataplane.node_order
+
+let counters_consistent name (dp : Dataplane.t) (rep : Batfish.update_report) =
+  if rep.Batfish.up_nodes_changed = [] then begin
+    (* cosmetic path: the base data plane (whose own stats say "everything
+       simulated") is carried over wholesale *)
+    check Alcotest.int (name ^ " nothing simulated") 0 rep.Batfish.up_nodes_simulated;
+    check Alcotest.int (name ^ " no dirty component") 0 rep.Batfish.up_dirty_components
+  end
+  else begin
+    let st = dp.Dataplane.stats in
+    check Alcotest.int (name ^ " simulated counter") st.Dataplane.st_simulated_nodes
+      rep.Batfish.up_nodes_simulated;
+    check Alcotest.int (name ^ " reused counter") st.Dataplane.st_reused_nodes
+      rep.Batfish.up_nodes_reused;
+    check Alcotest.int (name ^ " dirty components") st.Dataplane.st_dirty_components
+      rep.Batfish.up_dirty_components;
+    (* every live node is either re-simulated or reused, never both/neither *)
+    let live =
+      List.length dp.Dataplane.node_order - List.length dp.Dataplane.quarantined
+    in
+    check Alcotest.int (name ^ " simulated+reused=live") live
+      (st.Dataplane.st_simulated_nodes + st.Dataplane.st_reused_nodes)
+  end
+
+(* --- full bit-identity on every generated profile ----------------------- *)
+
+let profile_identity () =
+  List.iter
+    (fun (p : Netgen.profile) ->
+      let name = p.Netgen.p_name in
+      let net = p.p_make 0.25 in
+      let net', changed_file = edit ~seed:(Hashtbl.hash name) net in
+      let bf = load net in
+      ignore (Batfish.forwarding bf);
+      let bf', rep = Batfish.update ~files:[ changed_file ] bf in
+      let scratch = load net' in
+      (* RIBs and FIBs *)
+      let dp' = Batfish.dataplane bf' in
+      let dps = Batfish.dataplane scratch in
+      check Alcotest.bool (name ^ " routing state identical") true
+        (routing_state dp' = routing_state dps);
+      check Alcotest.bool (name ^ " sessions identical") true
+        (dp'.Dataplane.sessions = dps.Dataplane.sessions);
+      (* forwarding-graph spec and query rows *)
+      let q' = Batfish.forwarding bf' and qs = Batfish.forwarding scratch in
+      check Alcotest.bool (name ^ " graph spec identical") true
+        (Fgraph.to_spec (Fquery.graph q') = Fgraph.to_spec (Fquery.graph qs));
+      check Alcotest.bool (name ^ " all-pairs rows identical") true
+        (Fquery.all_pairs q' () = Fquery.all_pairs qs ());
+      (* the engine only re-simulated the dirty component(s) *)
+      counters_consistent name dp' rep;
+      if rep.Batfish.up_nodes_changed <> [] then begin
+        check Alcotest.bool (name ^ " some component dirty") true
+          (rep.Batfish.up_dirty_components >= 1);
+        check Alcotest.bool (name ^ " forwarding rebuilt") true
+          rep.Batfish.up_forwarding_rebuilt;
+        (* dirty components are exactly the ones holding a changed node *)
+        let dirty_members =
+          List.filter
+            (fun comp ->
+              List.exists (fun n -> List.mem n rep.Batfish.up_nodes_changed) comp)
+            dp'.Dataplane.components
+          |> List.concat
+        in
+        check Alcotest.int
+          (name ^ " simulated = members of changed components")
+          (List.length dirty_members)
+          rep.Batfish.up_nodes_simulated
+      end)
+    Netgen.profiles
+
+(* --- many seeded single-file edits -------------------------------------- *)
+
+let seeded_edits () =
+  let nets = [ profile "NET1"; profile "NET3"; profile "NET5"; profile "NET7" ] in
+  let identical = ref 0 in
+  for seed = 1 to 100 do
+    let p = List.nth nets (seed mod List.length nets) in
+    let net = p.Netgen.p_make 0.25 in
+    let net', changed_file = edit ~seed net in
+    let bf = load net in
+    let bf', rep = Batfish.update ~files:[ changed_file ] bf in
+    let scratch = load net' in
+    let dp' = Batfish.dataplane bf' in
+    if routing_state dp' <> routing_state (Batfish.dataplane scratch) then
+      Alcotest.failf "seed %d (%s): incremental and scratch routing state differ" seed
+        p.Netgen.p_name;
+    counters_consistent (Printf.sprintf "seed %d" seed) dp' rep;
+    incr identical
+  done;
+  check Alcotest.int "100 edits, 100 identical" 100 !identical
+
+(* --- multi-component reuse ---------------------------------------------- *)
+
+let component_reuse () =
+  (* two address-disjoint estates in one snapshot: an edit inside one must
+     leave every node of the other reused, not re-simulated *)
+  let estate prefix subnet =
+    [ ( prefix ^ "1.cfg",
+        String.concat "\n"
+          [ "hostname " ^ prefix ^ "1";
+            "interface e1"; Printf.sprintf " ip address %s.1.1 255.255.255.252" subnet;
+            "interface lan"; Printf.sprintf " ip address %s.10.1 255.255.255.0" subnet;
+            Printf.sprintf "ip route %s.20.0 255.255.255.0 %s.1.2" subnet subnet ] );
+      ( prefix ^ "2.cfg",
+        String.concat "\n"
+          [ "hostname " ^ prefix ^ "2";
+            "interface e1"; Printf.sprintf " ip address %s.1.2 255.255.255.252" subnet;
+            "interface lan"; Printf.sprintf " ip address %s.20.1 255.255.255.0" subnet;
+            Printf.sprintf "ip route %s.10.0 255.255.255.0 %s.1.1" subnet subnet ] ) ]
+  in
+  let a = estate "alpha" "10.1" and b = estate "beta" "192.168" in
+  let bf = Batfish.init (Batfish.Snapshot.of_texts (a @ b)) in
+  let dp = Batfish.dataplane bf in
+  check Alcotest.int "estates are separate components" 2
+    (List.length dp.Dataplane.components);
+  (* reroute alpha1's static route straight to the LAN next hop *)
+  let edited =
+    ( "alpha1.cfg",
+      String.concat "\n"
+        [ "hostname alpha1";
+          "interface e1"; " ip address 10.1.1.1 255.255.255.252";
+          "interface lan"; " ip address 10.1.10.1 255.255.255.0";
+          "ip route 10.1.20.0 255.255.255.0 10.1.1.2";
+          "ip route 10.1.30.0 255.255.255.0 10.1.1.2" ] )
+  in
+  let bf', rep = Batfish.update ~files:[ edited ] bf in
+  let dp' = Batfish.dataplane bf' in
+  check (Alcotest.list Alcotest.string) "only alpha nodes changed" [ "alpha1" ]
+    rep.Batfish.up_nodes_changed;
+  check Alcotest.int "alpha component re-simulated" 2 rep.Batfish.up_nodes_simulated;
+  check Alcotest.int "beta component reused" 2 rep.Batfish.up_nodes_reused;
+  check Alcotest.int "one dirty component of two" 1 rep.Batfish.up_dirty_components;
+  check Alcotest.int "two components" 2 rep.Batfish.up_components;
+  (* and the merged result still matches scratch *)
+  let scratch = Batfish.init (Batfish.Snapshot.of_texts (edited :: List.tl a @ b)) in
+  check Alcotest.bool "combined routing state identical" true
+    (routing_state dp' = routing_state (Batfish.dataplane scratch))
+
+(* --- cosmetic edits keep everything, memo included ---------------------- *)
+
+let cosmetic_edit () =
+  let net = (profile "NET5").p_make 0.25 in
+  let bf = load net in
+  let q = Batfish.forwarding bf in
+  ignore (Fquery.to_delivered q ());
+  let _, misses_before = Fquery.memo_stats q in
+  check Alcotest.bool "memo primed" true (misses_before > 0);
+  let name, text = List.hd net.Netgen.n_configs in
+  let bf', rep = Batfish.update ~files:[ (name, text ^ "\n! only a comment") ] bf in
+  check Alcotest.int "file changed" 1 rep.Batfish.up_files_changed;
+  check Alcotest.int "file reparsed" 1 rep.Batfish.up_files_reparsed;
+  check (Alcotest.list Alcotest.string) "no node changed" [] rep.Batfish.up_nodes_changed;
+  check Alcotest.int "nothing simulated" 0 rep.Batfish.up_nodes_simulated;
+  check Alcotest.bool "forwarding not rebuilt" false rep.Batfish.up_forwarding_rebuilt;
+  check Alcotest.int "memo kept" 0 rep.Batfish.up_memo_invalidated;
+  (* the exact engine objects carry over: a primed memo answers from cache *)
+  let q' = Batfish.forwarding bf' in
+  check Alcotest.bool "same engine object" true (q == q');
+  ignore (Fquery.to_delivered q' ());
+  let hits_after, misses_after = Fquery.memo_stats q' in
+  check Alcotest.int "no new miss" misses_before misses_after;
+  check Alcotest.bool "memo hit" true (hits_after > 0);
+  (* fingerprint-keyed parse reuse: only the edited file was re-read *)
+  check Alcotest.int "reparsed one file"
+    1 (Batfish.Snapshot.reparsed (Batfish.snapshot bf'))
+
+(* --- dispositions: hop-limit exhaustion vs a genuine loop ---------------- *)
+
+let hop_limit_vs_loop () =
+  let parse ls = fst (Parse.parse_config (String.concat "\n" ls)) in
+  (* a genuine routing loop: the same (node, packet) state repeats *)
+  let looped =
+    [ parse
+        [ "hostname a"; "interface e1"; " ip address 10.0.1.1 255.255.255.252";
+          "ip route 10.9.0.0 255.255.0.0 10.0.1.2" ];
+      parse
+        [ "hostname b"; "interface e1"; " ip address 10.0.1.2 255.255.255.252";
+          "ip route 10.9.0.0 255.255.0.0 10.0.1.1" ] ]
+  in
+  let dp = Dataplane.compute looped in
+  let find name = List.find_opt (fun (c : Vi.t) -> c.Vi.hostname = name) looped in
+  let pkt = Packet.tcp ~src:(Ipv4.of_string "10.0.1.1") ~dst:(Ipv4.of_string "10.9.0.1") 80 in
+  let traces = Traceroute.run ~configs:find ~dp ~start:"a" pkt in
+  check Alcotest.bool "repeating state reported as LOOP" true
+    (List.exists
+       (fun tr ->
+         match tr.Traceroute.disposition with Traceroute.Loop _ -> true | _ -> false)
+       traces);
+  (* the same loop under a tiny hop budget is a hop-limit exhaustion of a
+     path whose states never repeat exactly... build a long linear chain and
+     walk it with max_hops smaller than its length *)
+  let chain_node i =
+    parse
+      ([ Printf.sprintf "hostname c%d" i;
+         "interface w"; Printf.sprintf " ip address 10.1.%d.2 255.255.255.252" (i - 1);
+         "interface e"; Printf.sprintf " ip address 10.1.%d.1 255.255.255.252" i ]
+      @
+      if i < 6 then
+        [ Printf.sprintf "ip route 10.99.0.0 255.255.0.0 10.1.%d.2" i ]
+      else [ "interface lan"; " ip address 10.99.0.1 255.255.0.0" ])
+  in
+  let chain = List.init 6 (fun i -> chain_node (i + 1)) in
+  let dp2 = Dataplane.compute chain in
+  let find2 name = List.find_opt (fun (c : Vi.t) -> c.Vi.hostname = name) chain in
+  let pkt2 = Packet.tcp ~src:(Ipv4.of_string "10.1.0.1") ~dst:(Ipv4.of_string "10.99.0.9") 80 in
+  let full = Traceroute.run ~configs:find2 ~dp:dp2 ~start:"c1" pkt2 in
+  check Alcotest.bool "full budget delivers" true
+    (List.exists (fun tr -> Traceroute.is_delivered tr.Traceroute.disposition) full);
+  let cut = Traceroute.run ~configs:find2 ~dp:dp2 ~max_hops:3 ~start:"c1" pkt2 in
+  check Alcotest.bool "tiny budget reports HOP_LIMIT_EXCEEDED, not LOOP" true
+    (List.exists
+       (fun tr ->
+         match tr.Traceroute.disposition with
+         | Traceroute.Hop_limit_exceeded _ -> true
+         | _ -> false)
+       cut);
+  check Alcotest.bool "tiny budget is not a LOOP" true
+    (List.for_all
+       (fun tr ->
+         match tr.Traceroute.disposition with Traceroute.Loop _ -> false | _ -> true)
+       cut);
+  check Alcotest.bool "hop-limit not delivered" true
+    (not (Traceroute.is_delivered (Traceroute.Hop_limit_exceeded "c4")))
+
+(* --- NAT topologies: both engines agree on the final packet -------------- *)
+
+let nat_differential () =
+  (* the §4.3.2 harness now also checks, flow by flow, that the traceroute
+     final packet (post-NAT) lies inside the symbolic delivered image and
+     that every trace's final packet is its last hop's packet; run it over
+     seeded semantic edits of the NAT-bearing profiles *)
+  List.iter
+    (fun (name, seed) ->
+      let p = profile name in
+      let net, _ = edit ~seed (p.Netgen.p_make 0.25) in
+      let bf = load net in
+      let flows = Batfish.differential_engine_test bf in
+      check Alcotest.bool (name ^ " flows checked") true (flows > 0))
+    [ ("NET1", 7); ("NET7", 11) ]
+
+let suites =
+  [ ( "incremental",
+      [ Alcotest.test_case "per-profile bit-identity" `Quick profile_identity;
+        Alcotest.test_case "100 seeded edits identical" `Slow seeded_edits;
+        Alcotest.test_case "multi-component reuse" `Quick component_reuse;
+        Alcotest.test_case "cosmetic edit keeps memo" `Quick cosmetic_edit;
+        Alcotest.test_case "hop limit vs loop" `Quick hop_limit_vs_loop;
+        Alcotest.test_case "NAT differential harness" `Quick nat_differential ] ) ]
