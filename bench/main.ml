@@ -28,11 +28,13 @@ let m_i k v = (k, string_of_int v)
 let m_b k v = (k, if v then "true" else "false")
 
 (* BDD-manager counters as metrics: nodes, op-cache hits/misses, current
-   op-cache capacity. *)
+   op-cache capacity and occupancy. *)
 let m_bdd man =
-  let nodes, hits, misses = Bdd.stats man in
-  [ m_i "bdd_nodes" nodes; m_i "cache_hits" hits; m_i "cache_misses" misses;
-    m_i "cache_entries" (Bdd.cache_size man) ]
+  let nodes, _, _ = Bdd.stats man in
+  let cs = Bdd.cache_stats man in
+  [ m_i "bdd_nodes" nodes; m_i "cache_hits" cs.Bdd.cs_hits;
+    m_i "cache_misses" cs.Bdd.cs_misses; m_i "cache_entries" cs.Bdd.cs_entries;
+    m_i "cache_filled" cs.Bdd.cs_filled ]
 
 let write_results ~scale ~domains () =
   let oc = open_out "BENCH_results.json" in
@@ -42,11 +44,28 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 2,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 3,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
   Printf.printf "wrote BENCH_results.json (%d results)\n" (List.length !records)
+
+(* CI gate: any record carrying identical=false means a parallel or
+   incremental path diverged from the sequential engine — fail the run even
+   if the section that produced it did not exit itself. *)
+let check_identical () =
+  let bad =
+    List.filter
+      (fun (_, metrics) -> List.mem ("identical", "false") metrics)
+      !records
+  in
+  if bad <> [] then begin
+    List.iter
+      (fun (name, _) ->
+        Printf.printf "ERROR: %s: results not identical to the sequential engine\n" name)
+      bad;
+    exit 1
+  end
 
 let load_profile ~scale (p : Netgen.profile) =
   let net = p.p_make scale in
@@ -412,57 +431,113 @@ let ablations ~scale () =
 (* ------------------------------------------------------------------ *)
 
 let parallel ~scale ~domains () =
-  Printf.printf "== Sharded parallel verification (%d worker domains, private BDD managers) ==\n"
+  Printf.printf
+    "== Sharded parallel verification (%d resident pool workers, private BDD managers) ==\n"
     domains;
-  let leaves = max 4 (int_of_float (12.0 *. scale)) in
-  let net = Netgen.clos ~name:"par" ~spines:4 ~leaves () in
-  let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
-  let dp = Dataplane.compute ~env:net.Netgen.n_env (Batfish.Snapshot.configs snap) in
-  let find = Batfish.Snapshot.find snap in
-  let q = Fquery.make ~configs:find ~dp () in
-  Printf.printf "   network: %d devices, %d start locations\n"
-    (Netgen.device_count net)
-    (List.length (Fquery.default_starts q));
-  (* all-pairs reachability: per-source forward passes *)
-  let rows_seq, ap_t1 = time (fun () -> Fpar.all_pairs ~domains:1 q) in
-  let rows_par, ap_tn = time (fun () -> Fpar.all_pairs ~domains q) in
-  let ap_same = rows_seq = rows_par in
-  (* multipath consistency: per-destination-shard backward passes *)
-  let v_seq, mpc_t1 = time (fun () -> Fquery.multipath_consistency q ()) in
-  let v_par, mpc_tn = time (fun () -> Fpar.multipath_consistency ~domains q) in
-  let mpc_same =
-    List.length v_seq = List.length v_par
-    && List.for_all2
-         (fun (s1, b1) (s2, b2) -> s1 = s2 && Bdd.equal b1 b2)
-         v_seq v_par
-  in
-  (* memoized repeat of the multipath query (same graph + same header set) *)
-  let _, memo_t = time (fun () -> Fquery.multipath_consistency q ()) in
-  let memo_hits, memo_misses = Fquery.memo_stats q in
+  (* One persistent pool serves the whole sweep, so the second (and warm)
+     calls at each scale run on workers whose imported graph and BDD caches
+     survived the previous call — the session shape the engine optimizes. *)
+  let pool = Par.Pool.create ~domains () in
+  let scales = [ scale; scale *. 2.0 ] in
+  let table_rows = ref [] in
+  List.iteri
+    (fun si sc ->
+      let leaves = max 4 (int_of_float (12.0 *. sc)) in
+      let net = Netgen.clos ~name:"par" ~spines:4 ~leaves () in
+      let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+      let dp = Dataplane.compute ~env:net.Netgen.n_env (Batfish.Snapshot.configs snap) in
+      let find = Batfish.Snapshot.find snap in
+      let q = Fquery.make ~configs:find ~dp () in
+      let devices = Netgen.device_count net in
+      let starts = List.length (Fquery.default_starts q) in
+      Printf.printf "   scale %.2g: %d devices, %d start locations\n" sc devices starts;
+      let scaled_up = si = List.length scales - 1 in
+      let suffix = if scaled_up then "" else Printf.sprintf ".scale%g" sc in
+      (* all-pairs reachability: per-source forward passes. Serial runs
+         first on the equally cold main manager; the first pooled call pays
+         the per-worker graph import (the cost that inverted the PR 3
+         speedup); the repeat runs warm on the resident workers. *)
+      let rows_seq, ap_ts = time (fun () -> Fpar.all_pairs ~domains:1 q) in
+      let rows_cold, ap_tc = time (fun () -> Fpar.all_pairs ~pool q) in
+      let rows_warm, ap_tw = time (fun () -> Fpar.all_pairs ~pool q) in
+      let ap_same = rows_seq = rows_cold && rows_seq = rows_warm in
+      (* multipath consistency: per-destination-shard backward passes *)
+      let v_seq, mpc_ts = time (fun () -> Fquery.multipath_consistency q ()) in
+      let v_par, mpc_tp = time (fun () -> Fpar.multipath_consistency ~pool q) in
+      let mpc_same =
+        List.length v_seq = List.length v_par
+        && List.for_all2
+             (fun (s1, b1) (s2, b2) -> s1 = s2 && Bdd.equal b1 b2)
+             v_seq v_par
+      in
+      (* memoized repeat of the multipath query (same graph + header set) *)
+      let _, memo_t = time (fun () -> Fquery.multipath_consistency q ()) in
+      let memo_hits, memo_misses = Fquery.memo_stats q in
+      let label l = Printf.sprintf "%s (scale %.2g)" l sc in
+      table_rows :=
+        !table_rows
+        @ [ [ label "all-pairs reachability"; fmt_s ap_ts; fmt_s ap_tc; fmt_s ap_tw;
+              Printf.sprintf "%.2fx" (ap_ts /. Float.max 1e-9 ap_tw);
+              string_of_bool ap_same ];
+            [ label "multipath consistency"; fmt_s mpc_ts; fmt_s mpc_tp; "-";
+              Printf.sprintf "%.2fx" (mpc_ts /. Float.max 1e-9 mpc_tp);
+              string_of_bool mpc_same ];
+            [ label "multipath (memoized)"; fmt_s mpc_ts; "-"; fmt_s memo_t;
+              Printf.sprintf "%.2fx" (mpc_ts /. Float.max 1e-9 memo_t); "true" ] ];
+      record
+        ("parallel.all_pairs" ^ suffix)
+        [ m_i "devices" devices; m_i "rows" (List.length rows_seq);
+          m_f "t_serial_s" ap_ts; m_f "t_cold_s" ap_tc; m_f "t_warm_s" ap_tw;
+          m_f "speedup" (ap_ts /. Float.max 1e-9 ap_tw);
+          m_f "speedup_cold" (ap_ts /. Float.max 1e-9 ap_tc);
+          m_b "identical" ap_same ];
+      record
+        ("parallel.multipath" ^ suffix)
+        [ m_i "violations" (List.length v_seq); m_f "t_serial_s" mpc_ts;
+          m_f "t_pool_s" mpc_tp; m_f "speedup" (mpc_ts /. Float.max 1e-9 mpc_tp);
+          m_b "identical" mpc_same ];
+      if scaled_up then
+        record "parallel.memo"
+          ([ m_f "t_first_s" mpc_ts; m_f "t_memoized_s" memo_t;
+             m_i "memo_hits" memo_hits; m_i "memo_misses" memo_misses ]
+          @ m_bdd (Pktset.man (Fquery.env q)));
+      (* adaptive cutoff at the base scale: --domains auto must never lose
+         to plain serial on a query this small *)
+      if si = 0 then begin
+        let rows_auto, ap_ta = time (fun () -> Fpar.all_pairs ~pool ~auto:true q) in
+        let auto_same = rows_auto = rows_seq in
+        record "parallel.auto"
+          [ m_i "devices" devices; m_f "t_serial_s" ap_ts; m_f "t_auto_s" ap_ta;
+            m_f "ratio" (ap_ts /. Float.max 1e-9 ap_ta); m_b "identical" auto_same ];
+        Printf.printf "   --domains auto at scale %.2g: %s vs serial %s (ratio %.2fx)\n"
+          sc (fmt_s ap_ta) (fmt_s ap_ts) (ap_ts /. Float.max 1e-9 ap_ta)
+      end)
+    scales;
   Table.print
-    ~header:[ "query"; "1 domain"; Printf.sprintf "%d domains" domains; "speedup"; "identical" ]
-    [ [ "all-pairs reachability"; fmt_s ap_t1; fmt_s ap_tn;
-        Printf.sprintf "%.2fx" (ap_t1 /. ap_tn); string_of_bool ap_same ];
-      [ "multipath consistency"; fmt_s mpc_t1; fmt_s mpc_tn;
-        Printf.sprintf "%.2fx" (mpc_t1 /. mpc_tn); string_of_bool mpc_same ];
-      [ "multipath (memoized rerun)"; fmt_s mpc_t1; fmt_s memo_t;
-        Printf.sprintf "%.2fx" (mpc_t1 /. Float.max 1e-9 memo_t); "true" ] ];
-  record "parallel.all_pairs"
-    [ m_i "devices" (Netgen.device_count net); m_i "rows" (List.length rows_seq);
-      m_f "t_domains1_s" ap_t1; m_f "t_domainsN_s" ap_tn;
-      m_f "speedup" (ap_t1 /. ap_tn); m_b "identical" ap_same ];
-  record "parallel.multipath"
-    [ m_i "violations" (List.length v_seq); m_f "t_domains1_s" mpc_t1;
-      m_f "t_domainsN_s" mpc_tn; m_f "speedup" (mpc_t1 /. mpc_tn);
-      m_b "identical" mpc_same ];
-  record "parallel.memo"
-    ([ m_f "t_first_s" mpc_t1; m_f "t_memoized_s" memo_t; m_i "memo_hits" memo_hits;
-       m_i "memo_misses" memo_misses ]
-    @ m_bdd (Pktset.man (Fquery.env q)));
-  if not (ap_same && mpc_same) then begin
-    print_endline "ERROR: parallel results differ from the sequential engine";
-    exit 1
-  end;
+    ~header:[ "query"; "serial"; "pool cold"; "pool warm"; "speedup"; "identical" ]
+    !table_rows;
+  (* pool + worker-resident cache counters (schema 3) *)
+  let imports, reuses = Fpar.worker_stats () in
+  let wr = Fpar.worker_cache_stats pool in
+  let lookups = wr.Fpar.wr_hits + wr.Fpar.wr_misses in
+  Printf.printf
+    "   pool: %d workers, %d jobs; graphs imported %d, reused warm %d; worker op-cache hit rate %.1f%%\n"
+    (Par.Pool.size pool) (Par.Pool.jobs_run pool) imports reuses
+    (if lookups = 0 then 0.0
+     else 100.0 *. float_of_int wr.Fpar.wr_hits /. float_of_int lookups);
+  record "parallel.pool"
+    [ m_i "workers" (Par.Pool.size pool); m_i "jobs" (Par.Pool.jobs_run pool);
+      m_i "graph_imports" imports; m_i "graph_reuses" reuses;
+      m_i "worker_cached_graphs" wr.Fpar.wr_cached;
+      m_i "worker_cache_hits" wr.Fpar.wr_hits;
+      m_i "worker_cache_misses" wr.Fpar.wr_misses;
+      m_f "worker_cache_hit_rate"
+        (if lookups = 0 then 0.0
+         else float_of_int wr.Fpar.wr_hits /. float_of_int lookups);
+      m_f "worker_cache_occupancy"
+        (if wr.Fpar.wr_entries = 0 then 0.0
+         else float_of_int wr.Fpar.wr_filled /. float_of_int wr.Fpar.wr_entries) ];
+  Par.Pool.shutdown pool;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -673,4 +748,5 @@ let () =
   if want "incremental" || smoke then
     incremental ~scale:(if smoke then min scale 1.0 else scale) ();
   if want "micro" && not smoke then micro ();
-  write_results ~scale ~domains ()
+  write_results ~scale ~domains ();
+  check_identical ()

@@ -17,17 +17,43 @@ let strict_arg =
        & info [ "strict" ]
            ~doc:"Exit with a nonzero status if any Error or Fatal diagnostic was produced")
 
+(* --domains accepts a worker count or "auto": auto picks a
+   machine-appropriate count and turns on the adaptive cutoff, so small
+   queries fall back to serial instead of paying fan-out overhead. *)
+let domains_conv =
+  let parse s =
+    if s = "auto" then Ok `Auto
+    else
+      match int_of_string_opt s with
+      | Some n -> Ok (`Fixed n)
+      | None ->
+        Error
+          (`Msg (Printf.sprintf "invalid DOMAINS '%s' (an integer or 'auto')" s))
+  in
+  let print ppf = function
+    | `Auto -> Format.pp_print_string ppf "auto"
+    | `Fixed n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 let domains_arg =
-  Arg.(value & opt int 1
-       & info [ "domains" ] ~docv:"N"
+  Arg.(value & opt domains_conv (`Fixed 1)
+       & info [ "domains" ] ~docv:"DOMAINS"
            ~doc:"Worker domains for parallel computation (route exchange and \
                  sharded symbolic verification). Results are identical at any \
-                 value; 0 picks a machine-appropriate count.")
+                 value; 0 picks a machine-appropriate count, and 'auto' \
+                 additionally falls back to serial execution for queries too \
+                 small to amortize the parallel fan-out.")
 
-let load ?(domains = 1) dir =
-  let domains = if domains <= 0 then Par.default_domains () else domains in
+let resolve_domains = function
+  | `Auto -> (Par.default_domains (), true)
+  | `Fixed n -> ((if n <= 0 then Par.default_domains () else n), false)
+
+let load ?(domains = `Fixed 1) dir =
+  let domains, auto_domains = resolve_domains domains in
   Batfish.init
     ~options:{ Dataplane.default_options with domains }
+    ~auto_domains
     (Batfish.Snapshot.of_dir dir)
 
 (* --- incremental mode (--base): CONFIG_DIR is a revision of BASE_DIR --- *)
@@ -43,23 +69,25 @@ let base_arg =
 
 (* Snapshot-level reuse (parse stage only): enough for commands that never
    compute a data plane. *)
-let load_snapshot_incremental ?(domains = 1) ~base dir =
-  let domains = if domains <= 0 then Par.default_domains () else domains in
+let load_snapshot_incremental ?(domains = `Fixed 1) ~base dir =
+  let domains, auto_domains = resolve_domains domains in
   let base_snap = Batfish.Snapshot.of_dir base in
   let files, diags = Batfish.Snapshot.read_dir dir in
   let snap = Batfish.Snapshot.of_texts ~diags ~base:base_snap files in
   Printf.printf "incremental: re-parsed %d of %d files, %d node(s) changed\n\n"
     (Batfish.Snapshot.reparsed snap) (List.length files)
     (List.length (Batfish.Snapshot.changed_nodes ~base:base_snap snap));
-  Batfish.init ~options:{ Dataplane.default_options with domains } snap
+  Batfish.init ~options:{ Dataplane.default_options with domains } ~auto_domains
+    snap
 
 (* Full engine reuse: analyze BASE_DIR (data plane + forwarding graph), apply
    the revision via Batfish.update, and print the engine counters. *)
-let load_update_incremental ?(domains = 1) ~base dir =
-  let domains = if domains <= 0 then Par.default_domains () else domains in
+let load_update_incremental ?(domains = `Fixed 1) ~base dir =
+  let domains, auto_domains = resolve_domains domains in
   let bf0 =
     Batfish.init
       ~options:{ Dataplane.default_options with domains }
+      ~auto_domains
       (Batfish.Snapshot.of_dir base)
   in
   ignore (Batfish.dataplane bf0);
@@ -340,7 +368,32 @@ let verify_cmd =
     in
     print_answers
       ([ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
-      @ (if all_pairs then [ Batfish.answer_all_pairs bf ] else []))
+      @ (if all_pairs then [ Batfish.answer_all_pairs bf ] else []));
+    (* Engine counters for CI logs: op-cache health of the main manager,
+       session-pool usage, and worker-resident graph reuse. *)
+    (match Batfish.try_forwarding bf with
+     | Error _ -> ()
+     | Ok fq ->
+       let cs = Bdd.cache_stats (Pktset.man (Fquery.env fq)) in
+       let lookups = cs.Bdd.cs_hits + cs.Bdd.cs_misses in
+       Printf.printf
+         "bdd op-cache: %d/%d lookups hit (%.1f%%), %d/%d entries filled (%.1f%%)\n"
+         cs.Bdd.cs_hits lookups
+         (if lookups = 0 then 0.0
+          else 100.0 *. float_of_int cs.Bdd.cs_hits /. float_of_int lookups)
+         cs.Bdd.cs_filled cs.Bdd.cs_entries
+         (if cs.Bdd.cs_entries = 0 then 0.0
+          else
+            100.0 *. float_of_int cs.Bdd.cs_filled
+            /. float_of_int cs.Bdd.cs_entries));
+    (match Batfish.pool_stats bf with
+     | None -> ()
+     | Some (workers, jobs) ->
+       let imports, reuses = Fpar.worker_stats () in
+       Printf.printf
+         "worker pool: %d workers, %d jobs; graphs imported %d, reused warm %d\n"
+         workers jobs imports reuses);
+    Batfish.shutdown bf
   in
   Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
     Term.(const run $ dir_arg $ base_arg $ domains_arg $ all_pairs)

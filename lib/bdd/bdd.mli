@@ -4,8 +4,10 @@
     (paper §4.2). Nodes are hash-consed into a manager, so BDDs are canonical:
     two BDDs over the same manager represent the same boolean function iff
     they are physically equal ({!equal} is [==] on node ids). The manager owns
-    a unique table and direct-mapped operation caches; identity-based cache
-    hits short-circuit full traversals, as the paper notes.
+    a unique table and a 2-way set-associative operation cache (an MRU way
+    plus a victim way per set, so two hot keys that hash together coexist);
+    identity-based cache hits short-circuit full traversals, as the paper
+    notes.
 
     Variables are identified by their level in the (fixed) variable order:
     level 0 is tested first. *)
@@ -124,6 +126,19 @@ val stats : man -> int * int * int
 
 (** Current operation-cache capacity in entries (grows adaptively). *)
 val cache_size : man -> int
+
+(** Operation-cache health counters: lifetime hits/misses, current capacity
+    in entries, and how many entries are occupied. Hit rate is
+    [cs_hits /. (cs_hits + cs_misses)]; occupancy is
+    [cs_filled /. cs_entries]. *)
+type cache_stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_entries : int;
+  cs_filled : int;
+}
+
+val cache_stats : man -> cache_stats
 
 (** {2 Manager-independent export/import}
 

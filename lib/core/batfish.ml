@@ -174,21 +174,57 @@ type t = {
   snap : Snapshot.t;
   env : Dp_env.t;
   options : Dataplane.options;
+  auto_domains : bool;
+  mutable pool : Par.Pool.t option;
   mutable dp : Dataplane.t option;
   mutable fq : Fquery.t option;
   mutable extra_diags : Diag.t list;  (* newest first *)
 }
 
-let init ?(options = Dataplane.default_options) ?(env = Dp_env.empty) snap =
-  { snap; env; options; dp = None; fq = None; extra_diags = [] }
+let init ?(options = Dataplane.default_options) ?(env = Dp_env.empty)
+    ?(auto_domains = false) snap =
+  { snap; env; options; auto_domains; pool = options.Dataplane.pool;
+    dp = None; fq = None; extra_diags = [] }
 
 let snapshot t = t.snap
+
+(* One persistent worker pool per session, created lazily the first time a
+   parallel phase runs and reused by every later one (dataplane rounds,
+   query fan-out, lint), so worker-resident BDD state stays warm across the
+   whole session. Sessions derived by [update] share their base's pool. *)
+let session_pool t =
+  match t.pool with
+  | Some p when not (Par.Pool.closed p) -> Some p
+  | _ ->
+    if t.options.Dataplane.domains > 1 then begin
+      let p = Par.Pool.create ~domains:t.options.Dataplane.domains () in
+      t.pool <- Some p;
+      Some p
+    end
+    else None
+
+let shutdown t =
+  match t.pool with
+  | Some p -> Par.Pool.shutdown p
+  | None -> ()
+
+let pool_stats t =
+  match t.pool with
+  | Some p when not (Par.Pool.closed p) ->
+    Some (Par.Pool.size p, Par.Pool.jobs_run p)
+  | _ -> None
+
+let effective_options t =
+  { t.options with Dataplane.pool = session_pool t }
 
 let dataplane t =
   match t.dp with
   | Some dp -> dp
   | None ->
-    let dp = Dataplane.compute ~options:t.options ~env:t.env (Snapshot.configs t.snap) in
+    let dp =
+      Dataplane.compute ~options:(effective_options t) ~env:t.env
+        (Snapshot.configs t.snap)
+    in
     t.dp <- Some dp;
     dp
 
@@ -235,12 +271,16 @@ let answer_property_consistency t = Questions.property_consistency (Snapshot.con
 let answer_routes ?node ?protocol t = Questions.routes ?node ?protocol (dataplane t)
 
 (* Symbolic queries inherit the session's [options.domains]: the same knob
-   that parallelizes route exchange shards the verification engine. *)
+   that parallelizes route exchange shards the verification engine. They run
+   on the session pool (warm worker-resident graphs) and honor [auto_domains]
+   (adaptive serial fallback for small queries). *)
 let answer_multipath_consistency t =
-  Questions.multipath_consistency ~domains:t.options.Dataplane.domains (forwarding t)
+  Questions.multipath_consistency ?pool:(session_pool t)
+    ~domains:t.options.Dataplane.domains ~auto:t.auto_domains (forwarding t)
 
 let answer_all_pairs t =
-  Questions.all_pairs_reachability ~domains:t.options.Dataplane.domains (forwarding t)
+  Questions.all_pairs_reachability ?pool:(session_pool t)
+    ~domains:t.options.Dataplane.domains ~auto:t.auto_domains (forwarding t)
 
 let answer_loops t = Questions.detect_loops (forwarding t)
 
@@ -251,7 +291,8 @@ let answer_reachability t ~src ~dst_ip ?hdr () =
 
 let lint_ctx t =
   Lint.make_ctx ~files:(Snapshot.parsed_files t.snap)
-    ~domains:t.options.Dataplane.domains (Snapshot.configs t.snap)
+    ~domains:t.options.Dataplane.domains ?pool:(session_pool t)
+    (Snapshot.configs t.snap)
 
 let lint ?select ?ignore_passes t = Lint.run ?select ?ignore_passes (lint_ctx t)
 let lint_all t = Lint.run_passes (lint_ctx t) Lint.passes
@@ -320,7 +361,8 @@ let update ?(removed = []) ?(diags = []) ~files t =
       | Some dp -> List.length dp.Dataplane.node_order
       | None -> 0
     in
-    ( { snap = snap'; env = t.env; options = t.options; dp = t.dp; fq = t.fq;
+    ( { snap = snap'; env = t.env; options = t.options;
+        auto_domains = t.auto_domains; pool = t.pool; dp = t.dp; fq = t.fq;
         extra_diags = t.extra_diags },
       { up_files_changed = files_changed;
         up_files_reparsed = Snapshot.reparsed snap';
@@ -337,8 +379,8 @@ let update ?(removed = []) ?(diags = []) ~files t =
   else begin
     let base_dp = dataplane t in
     let dp' =
-      Dataplane.update ~options:t.options ~env:t.env ~base:base_dp ~changed
-        (Snapshot.configs snap')
+      Dataplane.update ~options:(effective_options t) ~env:t.env ~base:base_dp
+        ~changed (Snapshot.configs snap')
     in
     let stats = dp'.Dataplane.stats in
     let fq', rebuilt, invalidated =
@@ -351,7 +393,8 @@ let update ?(removed = []) ?(diags = []) ~files t =
         in
         (Some q', true, inval)
     in
-    ( { snap = snap'; env = t.env; options = t.options; dp = Some dp'; fq = fq';
+    ( { snap = snap'; env = t.env; options = t.options;
+        auto_domains = t.auto_domains; pool = t.pool; dp = Some dp'; fq = fq';
         extra_diags = [] },
       { up_files_changed = files_changed;
         up_files_reparsed = Snapshot.reparsed snap';

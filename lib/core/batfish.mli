@@ -64,8 +64,33 @@ end
 
 type t
 
-val init : ?options:Dataplane.options -> ?env:Dp_env.t -> Snapshot.t -> t
+(** [init snap] opens an analysis session. With [options.domains > 1] the
+    session lazily creates one persistent {!Par.Pool} the first time a
+    parallel phase runs and reuses it for every later phase (dataplane
+    rounds, query fan-out, lint), keeping worker-resident BDD state warm.
+    [auto_domains] (default false) enables the adaptive cutoff: symbolic
+    queries whose estimated cost is too small to amortize the fan-out run
+    serially. *)
+val init :
+  ?options:Dataplane.options ->
+  ?env:Dp_env.t ->
+  ?auto_domains:bool ->
+  Snapshot.t ->
+  t
+
 val snapshot : t -> Snapshot.t
+
+(** The session's persistent worker pool, created on first use; [None] when
+    the session is single-domain. *)
+val session_pool : t -> Par.Pool.t option
+
+(** [(workers, jobs_run)] of the live session pool, if any. *)
+val pool_stats : t -> (int * int) option
+
+(** Shut down the session pool (idempotent; safe when no pool exists).
+    Sessions derived via {!update} share their base's pool, so shut down
+    only when done with the whole lineage. *)
+val shutdown : t -> unit
 
 (** Stage 2, computed once and cached. *)
 val dataplane : t -> Dataplane.t

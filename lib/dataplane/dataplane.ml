@@ -4,14 +4,15 @@ type options = {
   schedule : schedule;
   use_logical_clocks : bool;
   domains : int;
+  pool : Par.Pool.t option;
   max_rounds : int;
   outer_fuel : int;
   full_rib_compare : bool;
 }
 
 let default_options =
-  { schedule = Colored; use_logical_clocks = true; domains = 1; max_rounds = 500;
-    outer_fuel = 5; full_rib_compare = false }
+  { schedule = Colored; use_logical_clocks = true; domains = 1; pool = None;
+    max_rounds = 500; outer_fuel = 5; full_rib_compare = false }
 
 type session_report = {
   sr_node : string;
@@ -802,7 +803,7 @@ let run_bgp options nodes ~skip ~on_fault =
            sequentially after the class so quarantine bookkeeping never
            races across domains. *)
         let faults =
-          Par.map ~domains:options.domains
+          Par.map ?pool:options.pool ~domains:options.domains
             (fun i ->
               let nd = nodes.(i) in
               if skip nd then None
@@ -1059,8 +1060,8 @@ let compute_component ~options ~env ~topo (comp : Vi.t list) =
       List.filter (fun (c : Vi.t) -> not (is_quarantined c.Vi.hostname)) live
     in
     match
-      Ospf_engine.compute ~env ~topo ~configs:ospf_configs ~redistributable
-        ~domains:options.domains
+      Ospf_engine.compute ?pool:options.pool ~env ~topo ~configs:ospf_configs
+        ~redistributable ~domains:options.domains ()
     with
     | ribs ->
       Array.iter

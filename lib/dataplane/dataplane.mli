@@ -18,6 +18,9 @@ type options = {
   schedule : schedule;
   use_logical_clocks : bool;
   domains : int;  (** worker domains for parallel phases *)
+  pool : Par.Pool.t option;
+      (** persistent worker pool for parallel phases; when set, [domains]
+          is ignored and jobs run on the pool's resident workers *)
   max_rounds : int;
       (** fuel budget for BGP rounds within one outer pass; exhausting it
           yields [converged = false] plus a [BGP_FUEL_EXHAUSTED] diag *)

@@ -152,7 +152,7 @@ let spf g src =
   done;
   (dist, first_hops)
 
-let compute ~env ~topo ~configs ~redistributable ~domains =
+let compute ?pool ~env ~topo ~configs ~redistributable ~domains () =
   let g = build_graph env topo configs in
   let n = Array.length g.names in
   let result = Hashtbl.create (max 16 n) in
@@ -238,7 +238,7 @@ let compute ~env ~topo ~configs ~redistributable ~domains =
       ignore (Rib.take_delta rib);
       rib
     in
-    let ribs = Par.map ~domains compute_node (Array.init n (fun i -> i)) in
+    let ribs = Par.map ?pool ~domains compute_node (Array.init n (fun i -> i)) in
     Array.iteri (fun i rib -> Hashtbl.add result g.names.(i) rib) ribs;
     result
   end

@@ -24,11 +24,13 @@ val interface_settings : Dp_env.t -> Vi.t -> iface_settings list
     per-node OSPF RIB. [redistributable node] supplies the active
     static/connected routes available for redistribution at [node]. *)
 val compute :
+  ?pool:Par.Pool.t ->
   env:Dp_env.t ->
   topo:L3.t ->
   configs:Vi.t list ->
   redistributable:(string -> Route.t list) ->
   domains:int ->
+  unit ->
   (string, Rib.t) Hashtbl.t
 
 (** Adjacent node pairs (for convergence scheduling diagnostics/tests). *)

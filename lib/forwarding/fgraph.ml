@@ -520,6 +520,12 @@ let to_spec t =
     sp_edges;
     sp_bdds = Bdd.export (Pktset.man t.env) roots }
 
+(* [export] emits a pure function of the BDD structure (post-order table), so
+   two graphs with the same semantics fingerprint identically regardless of
+   which manager built them — exactly what a worker-resident cache key
+   needs. *)
+let spec_fingerprint spec = Digest.to_hex (Digest.string (Marshal.to_string spec []))
+
 let of_spec ?env spec =
   let env =
     match env with

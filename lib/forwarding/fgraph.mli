@@ -87,6 +87,14 @@ type spec
 (** Compile the graph into a manager-independent description. *)
 val to_spec : t -> spec
 
+(** Content fingerprint (MD5 hex) of a spec. Two graphs denoting the same
+    locations, edges and packet functions fingerprint identically no matter
+    which manager built them, so the fingerprint keys worker-resident graph
+    caches: same fingerprint ⇒ the already-imported graph can be reused;
+    an incremental update produces a new fingerprint and naturally
+    invalidates stale entries. *)
+val spec_fingerprint : spec -> string
+
 (** [of_spec ?env spec] rebuilds the graph. With no [env], a fresh private
     environment (own BDD manager) is created with the spec's variable layout;
     an explicit [env] must have the same layout (order and extra-bit count)

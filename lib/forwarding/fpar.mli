@@ -8,13 +8,22 @@
     exported BDDs unioned in the caller's manager. Every edge function
     distributes over union, so per-shard backward fixpoints union to
     exactly the sequential fixpoint; BDD canonicity then makes the merged
-    results bit-identical to the sequential engine ([domains = 1]). *)
+    results bit-identical to the sequential engine ([domains = 1]).
+
+    Each worker domain keeps its imported graph (and warm BDD caches) in
+    domain-local storage keyed by the spec fingerprint, so on a persistent
+    {!Par.Pool} repeated queries against the same snapshot import nothing.
+    Entry points route through an adaptive plan: with [~auto:true] an
+    estimated cost below {!auto_cutoff} falls back to the sequential
+    engine, so small queries never pay the fan-out overhead. *)
 
 (** Parallel {!Fquery.all_pairs}: one forward pass per start location,
-    fanned across [domains] worker domains. Identical row list to the
-    sequential engine. *)
+    fanned across [domains] worker domains (or the [pool]'s resident
+    workers). Identical row list to the sequential engine. *)
 val all_pairs :
+  ?pool:Par.Pool.t ->
   ?domains:int ->
+  ?auto:bool ->
   ?hdr:Bdd.t ->
   ?starts:Fquery.start list ->
   Fquery.t ->
@@ -25,7 +34,58 @@ val all_pairs :
     (round-robin into [domains] groups per pass). Returned verdict sets
     live in the caller's manager and equal the sequential ones. *)
 val multipath_consistency :
+  ?pool:Par.Pool.t ->
   ?domains:int ->
+  ?auto:bool ->
   ?starts:Fquery.start list ->
   Fquery.t ->
   (Fquery.start * Bdd.t) list
+
+(** {2 Adaptive scheduling} *)
+
+(** Execution plan chosen by {!plan}. *)
+type plan = Serial | Parallel of int
+
+(** [plan ?pool ?domains ?auto ~tasks ~cost ()] decides how an entry point
+    runs: [Serial] when there are fewer than two tasks or one worker, or
+    when [auto] is set and [cost] (in tasks × graph edges) is below
+    {!auto_cutoff}; otherwise [Parallel n] with the pool size or [domains]
+    workers. Both entry points route through this single decision, so their
+    serial fallbacks are uniform. *)
+val plan :
+  ?pool:Par.Pool.t ->
+  ?domains:int ->
+  ?auto:bool ->
+  tasks:int ->
+  cost:int ->
+  unit ->
+  plan
+
+(** Cost threshold for [auto] mode, in units of tasks × graph edges.
+    Exposed for calibration and for tests to force either branch. *)
+val auto_cutoff : int ref
+
+(** {2 Worker-resident cache introspection} *)
+
+(** Process-wide counters [(imports, reuses)]: how many times a worker
+    domain materialized a graph from a spec versus served it from its
+    domain-local cache. Reuses only accrue on persistent pools (spawned
+    domains die with their cache). *)
+val worker_stats : unit -> int * int
+
+(** Number of graphs cached in the calling domain's own worker cache. *)
+val worker_cached_graphs : unit -> int
+
+(** Aggregate over a pool's resident workers: how many responded, total
+    cached graphs, and the summed {!Bdd.cache_stats} of their private
+    managers. *)
+type worker_cache_report = {
+  wr_workers : int;
+  wr_cached : int;
+  wr_hits : int;
+  wr_misses : int;
+  wr_entries : int;
+  wr_filled : int;
+}
+
+val worker_cache_stats : Par.Pool.t -> worker_cache_report

@@ -13,12 +13,28 @@ type t = {
   memo : (memo_key, Bdd.t array) Hashtbl.t;
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable spec_cache : (Fgraph.spec * string) option;
 }
 
 type start = string * string option
 
 let of_graph g ~dp ~configs =
-  { g; dp; configs; memo = Hashtbl.create 16; memo_hits = 0; memo_misses = 0 }
+  { g; dp; configs; memo = Hashtbl.create 16; memo_hits = 0; memo_misses = 0;
+    spec_cache = None }
+
+(* The spec (and its fingerprint) is a function of the graph alone, and the
+   graph inside a [t] never mutates (incremental update builds a new [t]),
+   so computing both once per query object is sound. The cache lives here
+   rather than in [Fgraph.t] because query combinators build [{ g with ... }]
+   copies that would carry a stale cached spec. *)
+let spec_with_fingerprint t =
+  match t.spec_cache with
+  | Some (spec, fp) -> (spec, fp)
+  | None ->
+    let spec = Fgraph.to_spec t.g in
+    let fp = Fgraph.spec_fingerprint spec in
+    t.spec_cache <- Some (spec, fp);
+    (spec, fp)
 
 let make ?env ?compress ~configs ~dp () =
   of_graph (Fgraph.build ?env ?compress ~configs ~dp ()) ~dp ~configs

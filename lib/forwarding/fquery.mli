@@ -17,6 +17,9 @@ type t = {
           Callers must treat cached arrays as read-only. *)
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable spec_cache : (Fgraph.spec * string) option;
+      (** lazily computed manager-independent spec + fingerprint; managed by
+          {!spec_with_fingerprint}, do not write. *)
 }
 
 (** A flow start location: [(node, Some iface)] for packets entering at an
@@ -36,6 +39,13 @@ val make :
   t
 
 val graph : t -> Fgraph.t
+
+(** The graph compiled to a manager-independent spec, plus that spec's
+    content fingerprint — computed once per query object and cached (the
+    wrapped graph is immutable). Parallel entry points ship the spec to
+    worker domains and use the fingerprint to key each worker's resident
+    imported-graph cache. *)
+val spec_with_fingerprint : t -> Fgraph.spec * string
 
 (** (hits, misses) of the query memo. *)
 val memo_stats : t -> int * int

@@ -13,11 +13,12 @@ type ctx = {
   lc_configs : Vi.t list;
   lc_env : Pktset.t Lazy.t;
   lc_domains : int;
+  lc_pool : Par.Pool.t option;
 }
 
-let make_ctx ?(files = []) ?(domains = 1) configs =
+let make_ctx ?(files = []) ?(domains = 1) ?pool configs =
   { lc_files = files; lc_configs = configs;
-    lc_env = lazy (Pktset.create ()); lc_domains = domains }
+    lc_env = lazy (Pktset.create ()); lc_domains = domains; lc_pool = pool }
 
 type pass = {
   p_code : string;
@@ -186,12 +187,14 @@ let acl_shadow_config env (cfg : Vi.t) =
    fan out over worker domains, each with a private BDD manager. Results
    come back in config order either way. *)
 let acl_shadow_pass ctx =
-  if ctx.lc_domains <= 1 || List.length ctx.lc_configs < 2 then
+  if (ctx.lc_domains <= 1 && Option.is_none ctx.lc_pool)
+     || List.length ctx.lc_configs < 2
+  then
     let env = Lazy.force ctx.lc_env in
     List.concat_map (acl_shadow_config env) ctx.lc_configs
   else
     let results =
-      Par.map_dynamic_init ~domains:ctx.lc_domains
+      Par.map_dynamic_init ?pool:ctx.lc_pool ~domains:ctx.lc_domains
         ~init:(fun () -> Pktset.create ())
         acl_shadow_config
         (Array.of_list ctx.lc_configs)

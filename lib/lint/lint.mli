@@ -27,13 +27,20 @@ type ctx = {
   lc_domains : int;
       (** worker domains for the per-node BDD passes; findings are
           identical at any value *)
+  lc_pool : Par.Pool.t option;
+      (** persistent worker pool for those passes; overrides [lc_domains] *)
 }
 
 (** [make_ctx ?files configs] builds a context; [files] defaults to empty,
     which disables the duplicate-hostname check (everything else works).
     [domains] (default 1) fans the per-node BDD subsumption checks across
     worker domains, each with a private manager. *)
-val make_ctx : ?files:(string * Vi.t) list -> ?domains:int -> Vi.t list -> ctx
+val make_ctx :
+  ?files:(string * Vi.t) list ->
+  ?domains:int ->
+  ?pool:Par.Pool.t ->
+  Vi.t list ->
+  ctx
 
 type pass = {
   p_code : string;  (** stable code, e.g. ["LINT003"] *)

@@ -1,53 +1,264 @@
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
-let map_dynamic_init ~domains ~init f arr =
-  let n = Array.length arr in
-  if domains <= 1 || n < 2 then begin
+(* --- persistent worker-domain pool ------------------------------------- *)
+
+(* A long-lived set of worker domains that serve a sequence of jobs, so the
+   per-call cost of [Domain.spawn] (and, more importantly, of rebuilding
+   worker-resident state such as private BDD managers — cached across jobs in
+   each worker's domain-local storage) is amortized over a whole session.
+
+   Protocol: [submit] publishes a closure under the pool mutex, bumps the
+   epoch and wakes every worker; each worker runs the closure once (the
+   closure itself contains the work-stealing claim loop over a shared atomic
+   counter) and decrements [pending]; the submitting caller blocks on
+   [done_cv] until [pending] reaches zero. Only one job runs at a time, and
+   [submit] must not be called from two threads at once or from inside a
+   running job (both would interleave epochs). Task exceptions never escape
+   into a worker's loop — they are recorded per index and re-raised in the
+   caller — so a failed job can never wedge the pool. *)
+module Pool = struct
+  type t = {
+    p_size : int;
+    mutable p_workers : unit Domain.t list;
+    p_mutex : Mutex.t;
+    p_work_cv : Condition.t;
+    p_done_cv : Condition.t;
+    mutable p_job : (int -> unit) option;
+    mutable p_epoch : int;
+    mutable p_pending : int;
+    mutable p_closed : bool;
+    mutable p_jobs : int;
+  }
+
+  let size t = t.p_size
+  let jobs_run t = t.p_jobs
+
+  let worker_loop t idx =
+    let rec wait epoch =
+      Mutex.lock t.p_mutex;
+      while (not t.p_closed) && t.p_epoch = epoch do
+        Condition.wait t.p_work_cv t.p_mutex
+      done;
+      if t.p_closed then Mutex.unlock t.p_mutex
+      else begin
+        let epoch = t.p_epoch in
+        let job =
+          match t.p_job with
+          | Some j -> j
+          | None -> assert false
+        in
+        Mutex.unlock t.p_mutex;
+        (* belt and braces: [run]'s claim loop already catches task
+           exceptions, so nothing should escape here — but a worker must
+           survive anything. *)
+        (try job idx with _ -> ());
+        Mutex.lock t.p_mutex;
+        t.p_pending <- t.p_pending - 1;
+        if t.p_pending = 0 then Condition.broadcast t.p_done_cv;
+        Mutex.unlock t.p_mutex;
+        wait epoch
+      end
+    in
+    wait 0
+
+  (* Pools created anywhere are joined at process exit: an idle worker
+     blocked on [p_work_cv] must not keep the runtime alive (or leak) when
+     the main domain finishes. [shutdown] is idempotent, so an explicit
+     shutdown followed by the at_exit sweep is fine. *)
+  let all_pools : t list ref = ref []
+  let all_mutex = Mutex.create ()
+
+  let shutdown t =
+    Mutex.lock t.p_mutex;
+    let workers = t.p_workers in
+    t.p_closed <- true;
+    t.p_workers <- [];
+    Condition.broadcast t.p_work_cv;
+    Mutex.unlock t.p_mutex;
+    List.iter Domain.join workers
+
+  let () = at_exit (fun () -> List.iter shutdown !all_pools)
+
+  let create ?domains () =
+    let size =
+      max 1
+        (match domains with
+        | Some d -> d
+        | None -> default_domains ())
+    in
+    let t =
+      { p_size = size; p_workers = []; p_mutex = Mutex.create ();
+        p_work_cv = Condition.create (); p_done_cv = Condition.create ();
+        p_job = None; p_epoch = 0; p_pending = 0; p_closed = false; p_jobs = 0 }
+    in
+    t.p_workers <- List.init size (fun i -> Domain.spawn (fun () -> worker_loop t i));
+    Mutex.lock all_mutex;
+    all_pools := t :: !all_pools;
+    Mutex.unlock all_mutex;
+    t
+
+  let closed t =
+    Mutex.lock t.p_mutex;
+    let c = t.p_closed in
+    Mutex.unlock t.p_mutex;
+    c
+
+  let submit t job =
+    Mutex.lock t.p_mutex;
+    if t.p_closed then begin
+      Mutex.unlock t.p_mutex;
+      invalid_arg "Par.Pool: pool is shut down"
+    end;
+    t.p_job <- Some job;
+    t.p_epoch <- t.p_epoch + 1;
+    t.p_pending <- t.p_size;
+    t.p_jobs <- t.p_jobs + 1;
+    Condition.broadcast t.p_work_cv;
+    while t.p_pending > 0 do
+      Condition.wait t.p_done_cv t.p_mutex
+    done;
+    t.p_job <- None;
+    Mutex.unlock t.p_mutex
+
+  let run t ~init f arr =
+    let n = Array.length arr in
     if n = 0 then [||]
     else begin
-      let st = init () in
-      Array.map (fun x -> f st x) arr
+      let out = Array.make n None in
+      let k = t.p_size in
+      (* Stripe-affinity scheduling: worker [w] drains indices congruent to
+         [w] (mod [k]) before stealing from other stripes. Repeat calls over
+         the same array therefore route each index to the same worker, so
+         worker-resident state built for a task (imported graphs, memo
+         tables, hot BDD caches) is found again on the next call — dynamic
+         claiming off a single shared counter would scatter tasks across
+         workers and defeat that reuse. Stealing keeps skewed costs balanced:
+         an idle worker takes over a slow worker's remaining stripe. *)
+      let cursors = Array.init k (fun _ -> Atomic.make 0) in
+      let claim w =
+        let rec try_stripe d =
+          if d >= k then None
+          else begin
+            let s = (w + d) mod k in
+            let step = Atomic.fetch_and_add cursors.(s) 1 in
+            let i = s + (step * k) in
+            if i < n then Some i else try_stripe (d + 1)
+          end
+        in
+        try_stripe 0
+      in
+      let failed = Atomic.make false in
+      let err_mutex = Mutex.create () in
+      let errors = ref [] in
+      let job w =
+        (* Claim an index before building worker-local state, so workers
+           that never win a task never pay for [init]. *)
+        let st = ref None in
+        let rec loop () =
+          if not (Atomic.get failed) then begin
+            match claim w with
+            | None -> ()
+            | Some i ->
+              (match
+                 let s =
+                   match !st with
+                   | Some s -> s
+                   | None ->
+                     let s = init () in
+                     st := Some s;
+                     s
+                 in
+                 out.(i) <- Some (f s arr.(i))
+               with
+              | () -> ()
+              | exception exn ->
+                Mutex.lock err_mutex;
+                errors := (i, exn) :: !errors;
+                Mutex.unlock err_mutex;
+                Atomic.set failed true);
+              loop ()
+          end
+        in
+        loop ()
+      in
+      submit t job;
+      match !errors with
+      | [] ->
+        Array.map
+          (function
+            | Some v -> v
+            | None -> assert false)
+          out
+      | (i0, e0) :: rest ->
+        (* deterministic choice under races: the lowest-index failure wins *)
+        let _, exn =
+          List.fold_left
+            (fun (bi, be) (i, e) -> if i < bi then (i, e) else (bi, be))
+            (i0, e0) rest
+        in
+        raise exn
     end
-  end
-  else begin
-    let out = Array.make n None in
-    let next = Atomic.make 0 in
-    let workers = min domains n in
-    let run () =
-      (* Claim an index before paying for worker-local state, so a worker
-         that never wins a task never initializes (state setup — e.g.
-         materializing a private BDD manager — can dwarf small task lists). *)
-      let st = ref None in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let s =
-            match !st with
-            | Some s -> s
-            | None ->
+
+  let broadcast t f =
+    let out = Array.make t.p_size None in
+    submit t (fun idx ->
+        match f idx with
+        | v -> out.(idx) <- Some v
+        | exception _ -> ());
+    out
+end
+
+let map_dynamic_init ?pool ~domains ~init f arr =
+  match pool with
+  | Some p when not (Pool.closed p) -> Pool.run p ~init f arr
+  | Some _ | None ->
+    let n = Array.length arr in
+    if domains <= 1 || n < 2 then begin
+      if n = 0 then [||]
+      else begin
+        let st = init () in
+        Array.map (fun x -> f st x) arr
+      end
+    end
+    else begin
+      let out = Array.make n None in
+      let next = Atomic.make 0 in
+      let workers = min domains n in
+      let run () =
+        (* Claim an index before paying for worker-local state, so a worker
+           that never wins a task never initializes (state setup — e.g.
+           materializing a private BDD manager — can dwarf small task lists). *)
+        let st = ref None in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let s =
+              match !st with
+              | Some s -> s
+              | None ->
                 let s = init () in
                 st := Some s;
                 s
-          in
-          (* Each index is claimed exactly once: no two domains write the
-             same cell, and results land at their input index. *)
-          out.(i) <- Some (f s arr.(i));
-          loop ()
-        end
+            in
+            (* Each index is claimed exactly once: no two domains write the
+               same cell, and results land at their input index. *)
+            out.(i) <- Some (f s arr.(i));
+            loop ()
+          end
+        in
+        loop ()
       in
-      loop ()
-    in
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn run) in
-    run ();
-    List.iter Domain.join spawned;
-    Array.map
-      (function
-        | Some v -> v
-        | None -> assert false)
-      out
-  end
+      let spawned = List.init (workers - 1) (fun _ -> Domain.spawn run) in
+      run ();
+      List.iter Domain.join spawned;
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false)
+        out
+    end
 
-let map_dynamic ~domains f arr =
-  map_dynamic_init ~domains ~init:(fun () -> ()) (fun () x -> f x) arr
+let map_dynamic ?pool ~domains f arr =
+  map_dynamic_init ?pool ~domains ~init:(fun () -> ()) (fun () x -> f x) arr
 
-let map ~domains f arr = map_dynamic ~domains f arr
+let map ?pool ~domains f arr = map_dynamic ?pool ~domains f arr

@@ -368,9 +368,9 @@ let reachability q ~src ~dst_ip ?hdr () =
         (Prefix.to_string dst_ip);
     a_header = [ "field"; "value" ]; a_rows = rows }
 
-let multipath_consistency ?(domains = 1) q =
+let multipath_consistency ?pool ?(domains = 1) ?(auto = false) q =
   let env = Fquery.env q in
-  let violations = Fpar.multipath_consistency ~domains q in
+  let violations = Fpar.multipath_consistency ?pool ~domains ~auto q in
   let rows =
     List.map
       (fun (((node, iface) : Fquery.start), v) ->
@@ -383,7 +383,7 @@ let multipath_consistency ?(domains = 1) q =
   { a_title = "multipathConsistency";
     a_header = [ "node"; "interface"; "exampleFlow" ]; a_rows = rows }
 
-let all_pairs_reachability ?(domains = 1) q =
+let all_pairs_reachability ?pool ?(domains = 1) ?(auto = false) q =
   let rows =
     List.map
       (fun (r : Fquery.reach_row) ->
@@ -392,7 +392,7 @@ let all_pairs_reachability ?(domains = 1) q =
           (match r.rr_example with
            | Some p -> Packet.to_string p
            | None -> "-") ])
-      (Fpar.all_pairs ~domains q)
+      (Fpar.all_pairs ?pool ~domains ~auto q)
   in
   { a_title = "allPairsReachability";
     a_header = [ "srcNode"; "srcInterface"; "dstNode"; "exampleFlow" ];

@@ -102,12 +102,14 @@ val reachability :
 (** Multipath consistency over default-scoped start locations. [domains]
     shards the backward passes over worker domains ({!Fpar}); the answer is
     identical at any value. *)
-val multipath_consistency : ?domains:int -> Fquery.t -> answer
+val multipath_consistency :
+  ?pool:Par.Pool.t -> ?domains:int -> ?auto:bool -> Fquery.t -> answer
 
 (** All-pairs reachability: one row per (source location, destination node)
     pair with delivered flows, with an example flow each. [domains] fans the
     per-source forward passes across worker domains. *)
-val all_pairs_reachability : ?domains:int -> Fquery.t -> answer
+val all_pairs_reachability :
+  ?pool:Par.Pool.t -> ?domains:int -> ?auto:bool -> Fquery.t -> answer
 
 (** Forwarding loops. *)
 val detect_loops : Fquery.t -> answer

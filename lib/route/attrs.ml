@@ -25,15 +25,24 @@ module List_pool = Intern.Make (struct
   let hash = Hashtbl.hash
 end)
 
-let pool = Pool.create ()
-let list_pool = List_pool.create ()
+(* Interning tables are domain-local: BGP route exchange runs node-local
+   work under [Par.map ~domains], and [Intern.Make] is a plain (not
+   thread-safe) hashtable — one global pool racing across worker domains
+   could corrupt the table or hand out torn reads. Per-domain pools keep
+   every [intern] single-threaded. The price is that canonical
+   representatives differ across domains, which is why {!equal} falls back
+   to structural equality when physical equality fails. *)
+let pools : (Pool.t * List_pool.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Pool.create (), List_pool.create ()))
 
 let intern_attrs a =
-  if !interning_enabled then
+  if !interning_enabled then begin
+    let pool, list_pool = Domain.DLS.get pools in
     Pool.intern pool
       { a with
         as_path = List_pool.intern list_pool a.as_path;
         communities = List_pool.intern list_pool a.communities }
+  end
   else a
 
 let default =
@@ -63,16 +72,24 @@ let update ?as_path ?communities ?local_pref ?med ?origin ?originator_id
       cluster_list = v cluster_list a.cluster_list;
       weight = v weight a.weight }
 
-let equal a b = if !interning_enabled then a == b else a = b
+(* Physical equality is only a fast path: attrs interned in different
+   domains (or before/after [clear_pools]) are structurally equal without
+   being the same object. *)
+let equal a b = a == b || a = b
 
 let origin_rank = function
   | Vi.Origin_igp -> 0
   | Vi.Origin_egp -> 1
   | Vi.Origin_incomplete -> 2
 
-let pool_stats () = (Pool.distinct pool, Pool.requests pool)
+(* Stats and clearing address the calling domain's own pools; the ablation
+   benchmark runs single-domain, where this is the whole picture. *)
+let pool_stats () =
+  let pool, _ = Domain.DLS.get pools in
+  (Pool.distinct pool, Pool.requests pool)
 
 let clear_pools () =
+  let pool, list_pool = Domain.DLS.get pools in
   Pool.clear pool;
   List_pool.clear list_pool
 

@@ -3,7 +3,12 @@
     The paper moves 13 properties of a BGP route into a single interned
     object; here the attribute record is the interned unit, and AS paths and
     community sets are additionally interned on their own. Interning can be
-    disabled globally for the memory ablation benchmark. *)
+    disabled globally for the memory ablation benchmark.
+
+    Pools are domain-local (route exchange parallelizes across domains and
+    the tables are not thread-safe), so {!equal} treats physical equality as
+    a fast path with a structural fallback: attrs interned in different
+    domains compare equal even though they are distinct objects. *)
 
 type t = private {
   as_path : int list;
@@ -48,9 +53,11 @@ val default : t
 val equal : t -> t -> bool
 val origin_rank : Vi.origin -> int
 
-(** (distinct values, total requests) for the attribute pool — the sharing
-    factor reported by the interning ablation. *)
+(** (distinct values, total requests) for the calling domain's attribute
+    pool — the sharing factor reported by the interning ablation (which runs
+    single-domain, where this covers all interning). *)
 val pool_stats : unit -> int * int
 
+(** Clear the calling domain's pools. *)
 val clear_pools : unit -> unit
 val as_path_to_string : int list -> string

@@ -227,6 +227,147 @@ let memo_caching () =
   let d = Fquery.to_delivered q ~hdr:hdr' () in
   check Alcotest.bool "canonical key hits" true (c == d)
 
+(* --- persistent pool properties ----------------------------------------- *)
+
+let pool_map_equivalence () =
+  let f () x = (x * x) + 1 in
+  List.iter
+    (fun k ->
+      let pool = Par.Pool.create ~domains:k () in
+      Fun.protect
+        ~finally:(fun () -> Par.Pool.shutdown pool)
+        (fun () ->
+          let arr = Array.init 37 (fun i -> i) in
+          let expect = Array.map (f ()) arr in
+          let got = Par.Pool.run pool ~init:(fun () -> ()) f arr in
+          check (Alcotest.array Alcotest.int)
+            (Printf.sprintf "pool size %d = sequential" k)
+            expect got;
+          (* skewed costs: late tasks are much heavier, results stay in
+             index order regardless of which worker ran what *)
+          let skewed () x =
+            let acc = ref 0 in
+            for _ = 1 to x * x * 50 do
+              incr acc
+            done;
+            x + (!acc * 0)
+          in
+          let got2 = Par.Pool.run pool ~init:(fun () -> ()) skewed arr in
+          check (Alcotest.array Alcotest.int) "skewed costs keep index order" arr got2;
+          check (Alcotest.array Alcotest.int) "empty" [||]
+            (Par.Pool.run pool ~init:(fun () -> ()) f [||]);
+          check (Alcotest.array Alcotest.int) "singleton" [| f () 6 |]
+            (Par.Pool.run pool ~init:(fun () -> ()) f [| 6 |])))
+    [ 1; 2; 4 ]
+
+let pool_exceptions_and_shutdown () =
+  let pool = Par.Pool.create ~domains:3 () in
+  let boom () x = if x = 13 then failwith "boom13" else x * 2 in
+  (match Par.Pool.run pool ~init:(fun () -> ()) boom (Array.init 20 Fun.id) with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg -> check Alcotest.string "propagated message" "boom13" msg);
+  (* a failed job must not wedge the workers: the pool stays usable *)
+  let ok = Par.Pool.run pool ~init:(fun () -> ()) (fun () x -> x + 1) [| 1; 2; 3 |] in
+  check (Alcotest.array Alcotest.int) "usable after a failed job" [| 2; 3; 4 |] ok;
+  Par.Pool.shutdown pool;
+  check Alcotest.bool "closed after shutdown" true (Par.Pool.closed pool);
+  Par.Pool.shutdown pool;
+  (* idempotent *)
+  check Alcotest.bool "still closed" true (Par.Pool.closed pool);
+  match Par.Pool.run pool ~init:(fun () -> ()) (fun () x -> x) [| 1 |] with
+  | _ -> Alcotest.fail "run on a shut-down pool must raise"
+  | exception Invalid_argument _ -> ()
+
+let pool_warm_reuse_identical () =
+  let q = net_query (profile "NET3") in
+  let pool = Par.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let _, reuses0 = Fpar.worker_stats () in
+      let serial = Fpar.all_pairs ~domains:1 q in
+      let cold = Fpar.all_pairs ~pool q in
+      let warm = Fpar.all_pairs ~pool q in
+      check Alcotest.bool "cold pool call identical to serial" true (serial = cold);
+      check Alcotest.bool "warm pool call identical to serial" true (serial = warm);
+      let v1 = Fpar.multipath_consistency ~domains:1 q in
+      let vp = Fpar.multipath_consistency ~pool q in
+      check Alcotest.bool "warm multipath identical" true
+        (List.length v1 = List.length vp
+        && List.for_all2
+             (fun (s1, b1) (s2, b2) -> s1 = s2 && Bdd.equal b1 b2)
+             v1 vp);
+      let _, reuses1 = Fpar.worker_stats () in
+      check Alcotest.bool "resident workers reused their imported graph" true
+        (reuses1 > reuses0))
+
+let adaptive_cutoff_both_ways () =
+  let q = net_query (profile "NET1") in
+  let serial = Fpar.all_pairs ~domains:1 q in
+  let saved = !Fpar.auto_cutoff in
+  Fun.protect
+    ~finally:(fun () -> Fpar.auto_cutoff := saved)
+    (fun () ->
+      let pool = Par.Pool.create ~domains:2 () in
+      Fun.protect
+        ~finally:(fun () -> Par.Pool.shutdown pool)
+        (fun () ->
+          Fpar.auto_cutoff := max_int;
+          check Alcotest.bool "below cutoff plans serial" true
+            (Fpar.plan ~pool ~auto:true ~tasks:100 ~cost:1_000 () = Fpar.Serial);
+          let a = Fpar.all_pairs ~pool ~auto:true q in
+          Fpar.auto_cutoff := 0;
+          (match Fpar.plan ~pool ~auto:true ~tasks:100 ~cost:1_000 () with
+          | Fpar.Parallel _ -> ()
+          | Fpar.Serial -> Alcotest.fail "above cutoff must plan parallel");
+          let b = Fpar.all_pairs ~pool ~auto:true q in
+          check Alcotest.bool "forced-serial auto identical" true (a = serial);
+          check Alcotest.bool "forced-parallel auto identical" true (b = serial)));
+  (* without auto, plan never falls back on cost *)
+  check Alcotest.bool "no auto: cost is ignored" true
+    (Fpar.plan ~domains:2 ~auto:false ~tasks:100 ~cost:0 () = Fpar.Parallel 2)
+
+(* --- interning under parallel data-plane simulation --------------------- *)
+
+let parallel_dataplane_identical () =
+  (* BGP-heavy profile: the colored route-exchange phase fans per-node work
+     across domains, each of which interns BGP attributes in its own
+     domain-local pool. The resulting RIBs must be bit-identical to a
+     serial simulation. *)
+  let net = Netgen.wan ~name:"race" ~pops:5 () in
+  let configs =
+    Batfish.Snapshot.configs (Batfish.Snapshot.of_texts net.Netgen.n_configs)
+  in
+  let dp_at domains =
+    Dataplane.compute
+      ~options:{ Dataplane.default_options with Dataplane.domains }
+      ~env:net.Netgen.n_env configs
+  in
+  let signature dp =
+    List.map
+      (fun n ->
+        let nr = Dataplane.node dp n in
+        ( n,
+          List.map Route.to_string (Rib.best_routes nr.Dataplane.nr_main),
+          List.map Route.to_string (Rib.candidates nr.Dataplane.nr_bgp) ))
+      dp.Dataplane.node_order
+  in
+  let d1 = dp_at 1 in
+  let d4 = dp_at 4 in
+  check Alcotest.bool "routes survived" true (Dataplane.total_routes d1 > 0);
+  check Alcotest.bool "parallel RIBs bit-identical to serial" true
+    (signature d1 = signature d4);
+  check Alcotest.bool "session reports identical" true
+    (d1.Dataplane.sessions = d4.Dataplane.sessions);
+  (* interned attributes from different domains still compare equal *)
+  let mk () =
+    Attrs.make ~origin:Vi.Origin_igp ~as_path:[ 65000; 65001 ] ~local_pref:120
+      ~med:10 ~communities:[ 70007 ] ()
+  in
+  let cross = Par.map ~domains:2 (fun () -> mk ()) [| (); () |] in
+  check Alcotest.bool "cross-domain attrs equal" true
+    (Attrs.equal cross.(0) cross.(1) && Attrs.equal cross.(0) (mk ()))
+
 let suites =
   [ ( "parallel",
       [ Alcotest.test_case "Par.map equivalence" `Quick par_map_equivalence;
@@ -237,4 +378,12 @@ let suites =
         Alcotest.test_case "query memo" `Quick memo_caching;
         Alcotest.test_case "domains=1 vs 4 on every profile" `Slow domains_equivalence;
         Alcotest.test_case "chaos-seeded parallel determinism" `Slow
-          chaos_parallel_determinism ] ) ]
+          chaos_parallel_determinism;
+        Alcotest.test_case "pool map = sequential map" `Quick pool_map_equivalence;
+        Alcotest.test_case "pool exceptions and shutdown" `Quick
+          pool_exceptions_and_shutdown;
+        Alcotest.test_case "pool warm reuse is bit-identical" `Quick
+          pool_warm_reuse_identical;
+        Alcotest.test_case "adaptive cutoff both ways" `Quick adaptive_cutoff_both_ways;
+        Alcotest.test_case "parallel dataplane interning" `Slow
+          parallel_dataplane_identical ] ) ]
