@@ -21,11 +21,42 @@ let fmt_s t = if t < 0.001 then Printf.sprintf "%.2fms" (t *. 1000.0) else Print
 (* trajectory can be tracked across PRs.                               *)
 (* ------------------------------------------------------------------ *)
 
-let records : (string * (string * string) list) list ref = ref []
-let record name metrics = records := (name, metrics) :: !records
 let m_f k v = (k, Printf.sprintf "%.6f" v)
 let m_i k v = (k, string_of_int v)
 let m_b k v = (k, if v then "true" else "false")
+
+(* Peak resident set size (VmHWM) in kB from /proc/self/status; 0 when the
+   proc filesystem is unavailable (non-Linux). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0
+  | ic ->
+    let rec scan acc =
+      match input_line ic with
+      | line ->
+        (match Scanf.sscanf_opt line "VmHWM: %d kB" (fun v -> v) with
+        | Some v -> scan v
+        | None -> scan acc)
+      | exception End_of_file -> acc
+    in
+    let v = scan 0 in
+    close_in ic;
+    v
+
+let records : (string * (string * string) list) list ref = ref []
+
+(* Every record carries the process footprint at the moment it was taken:
+   peak RSS plus the node total across every live BDD manager (schema 4) —
+   worker-resident managers included, which per-section [m_bdd] cannot see. *)
+let record name metrics =
+  let live_managers, global_nodes = Bdd.global_stats () in
+  records :=
+    (name,
+     metrics
+     @ [ m_i "peak_rss_kb" (peak_rss_kb ());
+         m_i "bdd_live_managers" live_managers;
+         m_i "bdd_global_nodes" global_nodes ])
+    :: !records
 
 (* BDD-manager counters as metrics: nodes, op-cache hits/misses, current
    op-cache capacity and occupancy. *)
@@ -44,7 +75,7 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 3,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 4,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
@@ -510,13 +541,29 @@ let parallel ~scale ~domains () =
           [ m_i "devices" devices; m_f "t_serial_s" ap_ts; m_f "t_auto_s" ap_ta;
             m_f "ratio" (ap_ts /. Float.max 1e-9 ap_ta); m_b "identical" auto_same ];
         Printf.printf "   --domains auto at scale %.2g: %s vs serial %s (ratio %.2fx)\n"
-          sc (fmt_s ap_ta) (fmt_s ap_ts) (ap_ts /. Float.max 1e-9 ap_ta)
+          sc (fmt_s ap_ta) (fmt_s ap_ts) (ap_ts /. Float.max 1e-9 ap_ta);
+        (* the same guarantee for the sharded-pass workload: a multipath job
+           this small must plan serial under the measured cutoff (the
+           schema-3 0.38-0.46x regression was exactly this job fanning out) *)
+        let v_auto, mpc_ta =
+          time (fun () -> Fpar.multipath_consistency ~pool ~auto:true q)
+        in
+        let mpc_auto_same =
+          List.length v_seq = List.length v_auto
+          && List.for_all2
+               (fun (s1, b1) (s2, b2) -> s1 = s2 && Bdd.equal b1 b2)
+               v_seq v_auto
+        in
+        record "parallel.multipath_auto"
+          [ m_i "devices" devices; m_f "t_serial_s" mpc_ts; m_f "t_auto_s" mpc_ta;
+            m_f "ratio" (mpc_ts /. Float.max 1e-9 mpc_ta);
+            m_b "identical" mpc_auto_same ]
       end)
     scales;
   Table.print
     ~header:[ "query"; "serial"; "pool cold"; "pool warm"; "speedup"; "identical" ]
     !table_rows;
-  (* pool + worker-resident cache counters (schema 3) *)
+  (* pool + worker-resident cache counters *)
   let imports, reuses = Fpar.worker_stats () in
   let wr = Fpar.worker_cache_stats pool in
   let lookups = wr.Fpar.wr_hits + wr.Fpar.wr_misses in
@@ -641,6 +688,89 @@ let incremental ~scale () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Failure scenarios: pruning leverage + warm re-simulation (ISSUE 6)  *)
+(* ------------------------------------------------------------------ *)
+
+let failures ~scale ~domains () =
+  print_endline
+    "== Failure scenarios: atom pruning + warm fault-injected re-simulation ==";
+  let rows =
+    List.map
+      (fun (name, k, sc) ->
+        let p =
+          List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = name) Netgen.profiles
+        in
+        let net = p.p_make sc in
+        let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+        let options = { Dataplane.default_options with domains } in
+        let bf = Batfish.init ~options ~env:net.Netgen.n_env snap in
+        ignore (Batfish.dataplane bf);
+        ignore (Batfish.forwarding bf);
+        let report, warm_t = time (fun () -> Batfish.failure_report ~k bf) in
+        (* cold reference: every representative recomputed from scratch in a
+           fresh manager — the warm path's bit-identity contract, and the
+           speedup baseline. Honestly cold: a fresh context (base fixed
+           point included) per representative, so no manager or fixed-point
+           state is shared between scenario recomputes. *)
+        let reps =
+          List.filter
+            (fun r -> r.Failures.r_rep = r.Failures.r_scenario.Failures.sc_id)
+            report.Failures.rp_results
+        in
+        let n_same, cold_t =
+          time (fun () ->
+              List.fold_left
+                (fun acc r ->
+                  let cold =
+                    Failures.cold_context ~options ~env:net.Netgen.n_env
+                      ~configs_list:(Batfish.Snapshot.configs snap)
+                      ~find:(Batfish.Snapshot.find snap) ()
+                  in
+                  let co =
+                    Failures.cold_outcome cold
+                      ~properties:report.Failures.rp_properties
+                      r.Failures.r_scenario
+                  in
+                  if co = r.Failures.r_outcome then acc + 1 else acc)
+                0 reps)
+        in
+        let identical = n_same = List.length reps in
+        let rate =
+          float_of_int report.Failures.rp_simulated /. Float.max 1e-9 warm_t
+        in
+        Batfish.shutdown bf;
+        record
+          (Printf.sprintf "failures.%s.k%d" p.p_name k)
+          [ m_i "devices" (Netgen.device_count net); m_i "k" k;
+            m_i "properties" (List.length report.Failures.rp_properties);
+            m_i "enumerated" report.Failures.rp_enumerated;
+            m_i "simulated" report.Failures.rp_simulated;
+            m_i "pruned" report.Failures.rp_pruned;
+            m_b "pruning" report.Failures.rp_pruning;
+            m_i "atoms" report.Failures.rp_atoms;
+            m_i "failing" (List.length report.Failures.rp_failing);
+            m_i "inconclusive" (List.length report.Failures.rp_inconclusive);
+            m_f "warm_s" warm_t; m_f "cold_s" cold_t;
+            m_f "scenarios_per_s" rate;
+            m_f "speedup" (cold_t /. Float.max 1e-9 warm_t);
+            m_b "identical" identical ];
+        [ Printf.sprintf "%s k=%d" p.p_name k;
+          string_of_int (Netgen.device_count net);
+          string_of_int report.Failures.rp_enumerated;
+          string_of_int report.Failures.rp_simulated;
+          Printf.sprintf "%.1f/s" rate; fmt_s warm_t; fmt_s cold_t;
+          Printf.sprintf "%.2fx" (cold_t /. Float.max 1e-9 warm_t);
+          string_of_bool identical ])
+      [ ("NET3", 1, scale *. 0.5); ("NET1", 1, scale); ("NET3", 2, scale *. 0.25) ]
+  in
+  Table.print
+    ~header:
+      [ "sweep"; "devices"; "enumerated"; "simulated"; "scen/s"; "warm"; "cold";
+        "speedup"; "identical" ]
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,6 +877,8 @@ let () =
     parallel ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
   if want "incremental" || smoke then
     incremental ~scale:(if smoke then min scale 1.0 else scale) ();
+  if want "failures" || smoke then
+    failures ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
   if want "micro" && not smoke then micro ();
   write_results ~scale ~domains ();
   check_identical ()

@@ -360,7 +360,18 @@ let verify_cmd =
              ~doc:"Also run all-pairs reachability (one forward pass per edge \
                    interface, fanned across --domains workers)")
   in
-  let run dir base domains all_pairs =
+  let failures =
+    Arg.(value & opt int 0
+         & info [ "failures" ] ~docv:"K"
+             ~doc:"Also verify reachability under every failure scenario of \
+                   up to $(docv) (1 or 2) simultaneous link/node failures: \
+                   symmetric scenarios are pruned by forwarding-atom \
+                   equivalence and the rest re-simulated warm from the base \
+                   fixed point")
+  in
+  let run dir base domains all_pairs failures =
+    if failures < 0 || failures > 2 then
+      die "--failures supports k = 1 (single failures) or k = 2 (double failures)";
     let bf =
       match base with
       | Some b -> load_update_incremental ~domains ~base:b dir
@@ -369,6 +380,14 @@ let verify_cmd =
     print_answers
       ([ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
       @ (if all_pairs then [ Batfish.answer_all_pairs bf ] else []));
+    if failures > 0 then begin
+      let report, answers = Batfish.answer_failures ~k:failures bf in
+      print_answers answers;
+      List.iter
+        (fun (sc, why) ->
+          Printf.printf "inconclusive: %s: %s\n" (Failures.scenario_to_string sc) why)
+        report.Failures.rp_inconclusive
+    end;
     (* Engine counters for CI logs: op-cache health of the main manager,
        session-pool usage, and worker-resident graph reuse. *)
     (match Batfish.try_forwarding bf with
@@ -396,7 +415,7 @@ let verify_cmd =
     Batfish.shutdown bf
   in
   Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
-    Term.(const run $ dir_arg $ base_arg $ domains_arg $ all_pairs)
+    Term.(const run $ dir_arg $ base_arg $ domains_arg $ all_pairs $ failures)
 
 (* --- netgen --- *)
 

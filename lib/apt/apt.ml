@@ -37,7 +37,9 @@ let bitset_inter a b =
 
 let bitset_equal = Bytes.equal
 
-let build g =
+exception Too_many_atoms
+
+let build_capped ~max_atoms g =
   let env = g.Fgraph.env in
   let man = Pktset.man env in
   (* all distinct predicates *)
@@ -52,14 +54,18 @@ let build g =
   let atoms = ref [ Bdd.top ] in
   Hashtbl.iter
     (fun p () ->
-      if not (Bdd.is_top p || Bdd.is_bot p) then
+      if not (Bdd.is_top p || Bdd.is_bot p) then begin
         atoms :=
           List.concat_map
             (fun a ->
               let inside = Bdd.band man a p in
               let outside = Bdd.bdiff man a p in
               List.filter (fun x -> not (Bdd.is_bot x)) [ inside; outside ])
-            !atoms)
+            !atoms;
+        (* refinement at worst doubles per predicate; bail out before the
+           partition becomes more expensive than what it is meant to save *)
+        if List.length !atoms > max_atoms then raise Too_many_atoms
+      end)
     predicates;
   let atoms = Array.of_list !atoms in
   let n = Array.length atoms in
@@ -83,7 +89,17 @@ let build g =
     g.Fgraph.out_edges;
   { env; atoms; edge_atoms }
 
+let build g = build_capped ~max_atoms:max_int g
+
+let try_build ?(max_atoms = 4096) g =
+  match build_capped ~max_atoms g with
+  | t -> Some t
+  | exception _ -> None
+
 let atom_count t = Array.length t.atoms
+
+let fold_edge_atoms t f init =
+  Hashtbl.fold (fun key bits acc -> f key bits acc) t.edge_atoms init
 
 let atoms_to_bdd t b =
   let man = Pktset.man t.env in

@@ -13,7 +13,18 @@ type t
     @raise Failure if the graph contains transformation edges. *)
 val build : Fgraph.t -> t
 
+(** Total {!build}: [None] when the graph contains transformation edges or
+    refinement exceeds [max_atoms] (default 4096) — callers that use atoms
+    only as an optimization (the failure-scenario symmetry pruner) degrade
+    gracefully instead of aborting. *)
+val try_build : ?max_atoms:int -> Fgraph.t -> t option
+
 val atom_count : t -> int
+
+(** Fold over every graph edge's atom bitset, keyed by
+    [(from_loc, to_loc, index in the source's out-edge list)]. Iteration
+    order is unspecified; fold into an order-insensitive structure. *)
+val fold_edge_atoms : t -> (int * int * int -> Bytes.t -> 'a -> 'a) -> 'a -> 'a
 
 (** The set of packets (as a BDD over the graph's environment) that can
     reach any location in [targets] from [src], computed by propagating atom

@@ -57,6 +57,37 @@ let cache_stats m =
   { cs_hits = m.hits; cs_misses = m.misses; cs_entries = m.cmask + 1;
     cs_filled = m.filled }
 
+(* Process-wide registry of live managers, weakly held so per-domain worker
+   managers can still be collected when their domain dies. Lets the bench
+   harness report total resident BDD nodes across every manager (main +
+   worker-resident), not just the one it can see. *)
+let registry = ref (Weak.create 16)
+let registry_used = ref 0
+let registry_mutex = Mutex.create ()
+
+let register_manager m =
+  Mutex.lock registry_mutex;
+  let r = !registry in
+  let slot =
+    let rec find i =
+      if i >= Weak.length r then None
+      else if Weak.check r i then find (i + 1)
+      else Some i
+    in
+    find 0
+  in
+  (match slot with
+  | Some i ->
+    Weak.set r i (Some m);
+    registry_used := max !registry_used (i + 1)
+  | None ->
+    let bigger = Weak.create (2 * Weak.length r) in
+    Weak.blit r 0 bigger 0 (Weak.length r);
+    Weak.set bigger (Weak.length r) (Some m);
+    registry_used := Weak.length r + 1;
+    registry := bigger);
+  Mutex.unlock registry_mutex
+
 let create ?(cache_bits = 18) ?(max_cache_bits = 22) ~nvars () =
   let cap = 1024 in
   (* the 2-way layout needs at least one full set (two entries) *)
@@ -80,7 +111,22 @@ let create ?(cache_bits = 18) ?(max_cache_bits = 22) ~nvars () =
   (* Terminals sit below every real variable. *)
   m.var.(0) <- nvars;
   m.var.(1) <- nvars;
+  register_manager m;
   m
+
+let global_stats () =
+  Mutex.lock registry_mutex;
+  let r = !registry in
+  let managers = ref 0 and nodes = ref 0 in
+  for i = 0 to !registry_used - 1 do
+    match Weak.get r i with
+    | Some m ->
+      incr managers;
+      nodes := !nodes + m.n
+    | None -> ()
+  done;
+  Mutex.unlock registry_mutex;
+  (!managers, !nodes)
 
 let uhash v l h mask =
   let x = (v * 0x9E3779B1) lxor (l * 0x85EBCA77) lxor (h * 0xC2B2AE3F) in

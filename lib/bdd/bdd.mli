@@ -124,6 +124,13 @@ val pick_preferred : man -> t -> t list -> t
     cache_misses). *)
 val stats : man -> int * int * int
 
+(** [(live_managers, total_nodes)] across every manager still alive in the
+    process, worker-domain managers included. Managers are tracked weakly
+    from {!create}, so collected managers drop out; node counts of managers
+    owned by other domains are sampled without synchronization (fine for
+    benchmark reporting, not a precise barrier). *)
+val global_stats : unit -> int * int
+
 (** Current operation-cache capacity in entries (grows adaptively). *)
 val cache_size : man -> int
 

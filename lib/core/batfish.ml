@@ -284,6 +284,23 @@ let answer_all_pairs t =
 
 let answer_loops t = Questions.detect_loops (forwarding t)
 
+(* Failure-scenario sweep (ISSUE 6). The report's sweep diags (inconclusive
+   scenarios, disabled pruning) are folded into the session's diagnostics so
+   [diags]/[strict_failure] and the CLI see them. *)
+let failure_report ?(k = 1) ?max_properties ?prune t =
+  let report =
+    Failures.run ?pool:(session_pool t) ~domains:t.options.Dataplane.domains
+      ?max_properties ?prune ~k ~options:(effective_options t) ~env:t.env
+      ~configs_list:(Snapshot.configs t.snap) ~find:(Snapshot.find t.snap)
+      ~base_dp:(dataplane t) ~base_fq:(forwarding t) ()
+  in
+  t.extra_diags <- List.rev_append report.Failures.rp_diags t.extra_diags;
+  report
+
+let answer_failures ?k ?max_properties ?prune t =
+  let report = failure_report ?k ?max_properties ?prune t in
+  (report, [ Questions.failure_summary report; Questions.failure_verification report ])
+
 let answer_reachability t ~src ~dst_ip ?hdr () =
   Questions.reachability (forwarding t) ~src ~dst_ip ?hdr ()
 

@@ -135,6 +135,22 @@ val answer_all_pairs : t -> Questions.answer
 
 val answer_loops : t -> Questions.answer
 
+(** Failure-scenario sweep ({!Failures.run}) over this session: every single
+    ([k = 1], the default) or single-and-double ([k = 2]) link/node failure,
+    atom-pruned and re-checked warm on the session pool. Sweep diagnostics
+    (inconclusive scenarios, disabled pruning) are folded into {!diags}. *)
+val failure_report :
+  ?k:int -> ?max_properties:int -> ?prune:bool -> t -> Failures.report
+
+(** {!failure_report} rendered as answers: the sweep summary followed by the
+    per-property verdict table (minimal failing scenario + counterexample). *)
+val answer_failures :
+  ?k:int ->
+  ?max_properties:int ->
+  ?prune:bool ->
+  t ->
+  Failures.report * Questions.answer list
+
 val answer_reachability :
   t -> src:Fquery.start -> dst_ip:Prefix.t -> ?hdr:Bdd.t -> unit -> Questions.answer
 

@@ -57,6 +57,8 @@ let code_fib_failed = "FIB_FAILED"
 let code_forwarding_failed = "FORWARDING_FAILED"
 let code_unknown_node = "UNKNOWN_NODE"
 let code_unknown_protocol = "UNKNOWN_PROTOCOL"
+let code_scenario_inconclusive = "FAILURE_SCENARIO_INCONCLUSIVE"
+let code_pruning_disabled = "FAILURE_PRUNING_DISABLED"
 
 (* Parse-warning codes (the old [Warning.kind] constructors). *)
 let code_unrecognized_syntax = "PARSE_UNRECOGNIZED_SYNTAX"

@@ -54,6 +54,15 @@ val code_forwarding_failed : string
 val code_unknown_node : string
 val code_unknown_protocol : string
 
+(** A fault-injection scenario whose re-simulation exhausted fuel, left new
+    quarantined nodes, or raised: quarantined from the sweep and reported
+    [inconclusive] instead of aborting it. *)
+val code_scenario_inconclusive : string
+
+(** Atom-equivalence pruning of failure scenarios was disabled (graph has
+    transformation edges, or the atom partition exceeded its cap). *)
+val code_pruning_disabled : string
+
 (** {2 Parse-warning codes} *)
 
 val code_unrecognized_syntax : string

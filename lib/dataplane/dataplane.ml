@@ -355,11 +355,28 @@ let establish_sessions ?(peer_quarantined = fun _ -> false) env topo nodes node_
                       fail "peer's remote-as does not match our AS"
                     else begin
                       let is_ibgp = my_as = their_as in
-                      let directly_connected =
-                        interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer <> None
+                      let local_ep =
+                        interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer
+                      in
+                      let directly_connected = local_ep <> None in
+                      (* the TCP connection needs the link itself: a session
+                         over an administratively/failure-downed interface
+                         (either end) has no direct path and must fall back
+                         to multihop reachability, if configured *)
+                      let link_up =
+                        match local_ep with
+                        | None -> false
+                        | Some ep ->
+                          iface_up env node.cfg ep.L3.ep_iface
+                          && (match
+                                interface_ip_on_subnet topo
+                                  rnode.cfg.Vi.hostname local_ip
+                              with
+                             | Some rep -> iface_up env rnode.cfg rep.L3.ep_iface
+                             | None -> true)
                       in
                       let reachable =
-                        if directly_connected then true
+                        if directly_connected && link_up then true
                         else if is_ibgp || nbr.bn_ebgp_multihop then
                           Rib.lookup node.main_rib nbr.bn_peer <> None
                           && Rib.lookup rnode.main_rib local_ip <> None
@@ -367,7 +384,10 @@ let establish_sessions ?(peer_quarantined = fun _ -> false) env topo nodes node_
                       in
                       if not reachable then
                         fail
-                          (if is_ibgp || nbr.bn_ebgp_multihop then "peer unreachable"
+                          (if directly_connected && not link_up then
+                             "session interface down"
+                           else if is_ibgp || nbr.bn_ebgp_multihop then
+                             "peer unreachable"
                            else "eBGP peer not directly connected (no ebgp-multihop)")
                       else if
                         directly_connected
@@ -391,7 +411,9 @@ let establish_sessions ?(peer_quarantined = fun _ -> false) env topo nodes node_
                        nbr.bn_remote_as xp.Dp_env.xp_as)
                 else
                   let directly_connected =
-                    interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer <> None
+                    match interface_ip_on_subnet topo node.cfg.Vi.hostname nbr.bn_peer with
+                    | Some ep -> iface_up env node.cfg ep.L3.ep_iface
+                    | None -> false
                   in
                   if not (directly_connected || nbr.bn_ebgp_multihop) then
                     fail "external peer not on a connected subnet"

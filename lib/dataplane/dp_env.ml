@@ -30,5 +30,9 @@ let peer ~ip ~asn announcements =
   { xp_ip = ip; xp_as = asn; xp_announcements = announcements }
 
 let make ?(down_links = []) external_peers = { external_peers; down_links }
+
+let with_down_links t more =
+  let extra = List.filter (fun l -> not (List.mem l t.down_links)) more in
+  { t with down_links = t.down_links @ List.sort_uniq compare extra }
 let find_peer t ip = List.find_opt (fun p -> p.xp_ip = ip) t.external_peers
 let link_down t ~node ~iface = List.mem (node, iface) t.down_links

@@ -29,5 +29,10 @@ val announce :
 
 val peer : ip:Ipv4.t -> asn:int -> external_announcement list -> external_peer
 val make : ?down_links:(string * string) list -> external_peer list -> t
+
+(** [with_down_links t more] is [t] with the (node, interface) pairs of
+    [more] additionally forced down (duplicates ignored). Fault-injection
+    scenarios derive their environment from the base one this way. *)
+val with_down_links : t -> (string * string) list -> t
 val find_peer : t -> Ipv4.t -> external_peer option
 val link_down : t -> node:string -> iface:string -> bool

@@ -37,6 +37,45 @@ let graph_reuses = Atomic.make 0
 
 let worker_stats () = (Atomic.get graph_imports, Atomic.get graph_reuses)
 
+(* --- measured calibration ----------------------------------------------- *)
+
+(* Wall-clock samples feeding the [auto] plan: the cost of materializing a
+   graph in a worker (the dominant cold fan-out overhead) and the serial
+   engine's throughput in cost units (tasks × graph edges) per nanosecond.
+   Both are measured on this machine at the current snapshot scale, so the
+   derived cutoff tracks the real break-even instead of a hardcoded guess. *)
+let import_ns_total = Atomic.make 0
+let import_samples = Atomic.make 0
+let serial_ns_total = Atomic.make 0
+let serial_units_total = Atomic.make 0
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let note_import ns =
+  if ns > 0 then begin
+    ignore (Atomic.fetch_and_add import_ns_total ns);
+    Atomic.incr import_samples
+  end
+
+let note_serial ~cost ns =
+  if cost > 0 && ns > 0 then begin
+    ignore (Atomic.fetch_and_add serial_ns_total ns);
+    ignore (Atomic.fetch_and_add serial_units_total cost)
+  end
+
+let measured_cutoff () =
+  let samples = Atomic.get import_samples in
+  let s_units = Atomic.get serial_units_total in
+  let s_ns = Atomic.get serial_ns_total in
+  if samples = 0 || s_units = 0 || s_ns = 0 then None
+  else begin
+    let import_ns = Atomic.get import_ns_total / samples in
+    (* serial nanoseconds per cost unit, floored so the division below
+       cannot blow up on very fast serial runs *)
+    let unit_ns = max 1 (s_ns / s_units) in
+    Some (import_ns / unit_ns)
+  end
+
 (* Runs inside a worker domain: fetch (or build) this domain's private query
    object for the snapshot identified by [fp]. MRU order; capacity bounds
    total managers per worker. *)
@@ -48,11 +87,18 @@ let worker_query ~fp ~spec ~dp ~configs =
     cache := c :: List.filter (fun c' -> c'.c_fp <> fp) !cache;
     c.c_q
   | None ->
-    Atomic.incr graph_imports;
+    let t0 = now_ns () in
     let qw = Fquery.of_graph (Fgraph.of_spec spec) ~dp ~configs in
+    (* Count (and time) the import only after it succeeds and before the
+       cache insert below: a raising import must leave the counters
+       consistent with what the MRU cache actually holds. *)
+    Atomic.incr graph_imports;
+    note_import (now_ns () - t0);
     let keep = List.filteri (fun i _ -> i < cache_capacity - 1) !cache in
     cache := { c_fp = fp; c_q = qw } :: keep;
     qw
+
+let worker_import = worker_query
 
 let worker_cached_graphs () = List.length !(Domain.DLS.get worker_cache)
 
@@ -95,20 +141,49 @@ let worker_cache_stats pool =
 
 type plan = Serial | Parallel of int
 
-(* Cost cutoff for [auto] in units of tasks × graph edges: below this, the
-   fan-out overhead (job dispatch, spec shipping, result import) exceeds the
-   win and serial execution is chosen. Calibrated against the bench clos
-   profiles; tunable so tests can force both branches. *)
+(* How the parallelizable work scales when sharded across workers. *)
+type workload =
+  | Uniform  (** independent per-task passes: fan-out divides total work *)
+  | Sharded_pass
+      (** per-shard whole-graph passes (multipath): every shard re-propagates
+          the full graph, so fan-out multiplies total work by roughly the
+          worker count and only much larger jobs amortize it (the
+          schema-3 bench measured 0.38–0.46× at smoke scale) *)
+
+(* Static floor for the [auto] cutoff in units of tasks × graph edges:
+   below this, the fan-out overhead (job dispatch, spec shipping, result
+   import) exceeds the win and serial execution is chosen. [0] is an escape
+   hatch meaning "never fall back to serial" (used by tests to force the
+   parallel branch); otherwise the floor is raised by the measured
+   per-worker graph-import cost once samples exist. *)
 let auto_cutoff = ref 60_000
 
-let plan ?pool ?(domains = 1) ?(auto = false) ~tasks ~cost () =
+(* Multiply [cutoff] by [factor], saturating instead of overflowing (the
+   test escape hatch sets the cutoff to [max_int]). *)
+let scale_cutoff cutoff factor =
+  if cutoff > max_int / factor then max_int else cutoff * factor
+
+let effective_cutoff ~workload ~workers =
+  if !auto_cutoff = 0 then 0
+  else begin
+    let base =
+      match measured_cutoff () with
+      | Some m -> max !auto_cutoff m
+      | None -> !auto_cutoff
+    in
+    match workload with
+    | Uniform -> base
+    | Sharded_pass -> scale_cutoff base (max 2 workers)
+  end
+
+let plan ?pool ?(domains = 1) ?(auto = false) ?(workload = Uniform) ~tasks ~cost () =
   let workers =
     match pool with
     | Some p when not (Par.Pool.closed p) -> Par.Pool.size p
     | Some _ | None -> domains
   in
   if tasks < 2 || workers <= 1 then Serial
-  else if auto && cost < !auto_cutoff then Serial
+  else if auto && cost < effective_cutoff ~workload ~workers then Serial
   else Parallel workers
 
 (* --- entry points ------------------------------------------------------- *)
@@ -122,7 +197,11 @@ let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
   let g = Fquery.graph q in
   let cost = List.length starts * Fgraph.n_edges g in
   match plan ?pool ~domains ~auto ~tasks:(List.length starts) ~cost () with
-  | Serial -> Fquery.all_pairs q ?hdr ~starts ()
+  | Serial ->
+    let t0 = now_ns () in
+    let rows = Fquery.all_pairs q ?hdr ~starts () in
+    note_serial ~cost (now_ns () - t0);
+    rows
   | Parallel domains ->
     let spec, fp = Fquery.spec_with_fingerprint q in
     let hdr_ex =
@@ -176,8 +255,12 @@ let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
     (List.length delivered_sinks + List.length dropped_sinks) * Fgraph.n_edges g
   in
   let n_sinks = List.length delivered_sinks + List.length dropped_sinks in
-  match plan ?pool ~domains ~auto ~tasks:n_sinks ~cost () with
-  | Serial -> Fquery.multipath_consistency q ~starts ()
+  match plan ?pool ~domains ~auto ~workload:Sharded_pass ~tasks:n_sinks ~cost () with
+  | Serial ->
+    let t0 = now_ns () in
+    let verdicts = Fquery.multipath_consistency q ~starts () in
+    note_serial ~cost (now_ns () - t0);
+    verdicts
   | Parallel domains ->
     let man = Pktset.man (Fgraph.env g) in
     let start_ids =

@@ -46,24 +46,44 @@ val multipath_consistency :
 (** Execution plan chosen by {!plan}. *)
 type plan = Serial | Parallel of int
 
-(** [plan ?pool ?domains ?auto ~tasks ~cost ()] decides how an entry point
-    runs: [Serial] when there are fewer than two tasks or one worker, or
-    when [auto] is set and [cost] (in tasks × graph edges) is below
-    {!auto_cutoff}; otherwise [Parallel n] with the pool size or [domains]
-    workers. Both entry points route through this single decision, so their
-    serial fallbacks are uniform. *)
+(** How parallelizable work scales when sharded: [Uniform] tasks (per-start
+    forward passes) divide total work across workers; a [Sharded_pass] job
+    (multipath's per-shard backward passes) re-propagates the whole graph in
+    every shard, so fan-out multiplies total work by roughly the worker
+    count and needs a correspondingly larger job to amortize. *)
+type workload = Uniform | Sharded_pass
+
+(** [plan ?pool ?domains ?auto ?workload ~tasks ~cost ()] decides how an
+    entry point runs: [Serial] when there are fewer than two tasks or one
+    worker, or when [auto] is set and [cost] (in tasks × graph edges) is
+    below the effective cutoff; otherwise [Parallel n] with the pool size or
+    [domains] workers. The effective cutoff is the {!auto_cutoff} floor
+    raised by {!measured_cutoff} once samples exist, and multiplied by the
+    worker count for [Sharded_pass] workloads. Both entry points route
+    through this single decision, so their serial fallbacks are uniform. *)
 val plan :
   ?pool:Par.Pool.t ->
   ?domains:int ->
   ?auto:bool ->
+  ?workload:workload ->
   tasks:int ->
   cost:int ->
   unit ->
   plan
 
-(** Cost threshold for [auto] mode, in units of tasks × graph edges.
-    Exposed for calibration and for tests to force either branch. *)
+(** Static floor of the [auto] cost threshold, in units of tasks × graph
+    edges. Setting it to [0] disables the serial fallback entirely (the test
+    escape hatch); setting it to [max_int] forces serial. *)
 val auto_cutoff : int ref
+
+(** The measured break-even cost: average worker graph-import time divided
+    by the serial engine's measured time per cost unit — a job cheaper than
+    one graph import cannot win from a cold fan-out. [None] until both an
+    import and a serial run have been sampled. *)
+val measured_cutoff : unit -> int option
+
+(** The cutoff {!plan} actually compares against in [auto] mode. *)
+val effective_cutoff : workload:workload -> workers:int -> int
 
 (** {2 Worker-resident cache introspection} *)
 
@@ -72,6 +92,20 @@ val auto_cutoff : int ref
     domain-local cache. Reuses only accrue on persistent pools (spawned
     domains die with their cache). *)
 val worker_stats : unit -> int * int
+
+(** Worker-side entry: fetch (or materialize) the calling domain's private
+    query object for the snapshot identified by [fp], from its
+    manager-independent [spec]. Must run inside the worker that will use the
+    result (the MRU cache is domain-local). [spec]/[fp] should come from
+    {!Fquery.spec_with_fingerprint} computed on the caller before fan-out.
+    Exposed so other subsystems (the failure-scenario sweep) can share the
+    per-worker resident graph cache. *)
+val worker_import :
+  fp:string ->
+  spec:Fgraph.spec ->
+  dp:Dataplane.t ->
+  configs:(string -> Vi.t option) ->
+  Fquery.t
 
 (** Number of graphs cached in the calling domain's own worker cache. *)
 val worker_cached_graphs : unit -> int

@@ -17,6 +17,18 @@ let default_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
    into a worker's loop — they are recorded per index and re-raised in the
    caller — so a failed job can never wedge the pool. *)
 module Pool = struct
+  (* Set (permanently) in every pool worker domain. [submit] blocks until
+     the whole job drains, so a task that re-enters [run] on its own pool —
+     e.g. a per-scenario re-simulation whose options still carry the session
+     pool — would deadlock: the outer job can never finish while the worker
+     waits for an epoch bump that only the outer job's completion allows.
+     [run] therefore degrades to inline serial execution when called from
+     inside a worker; worker-local state ([init]) still lands in this
+     worker's domain-local storage, so nested queries reuse its caches. *)
+  let in_worker_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+  let in_worker () = !(Domain.DLS.get in_worker_key)
+
   type t = {
     p_size : int;
     mutable p_workers : unit Domain.t list;
@@ -34,6 +46,7 @@ module Pool = struct
   let jobs_run t = t.p_jobs
 
   let worker_loop t idx =
+    Domain.DLS.get in_worker_key := true;
     let rec wait epoch =
       Mutex.lock t.p_mutex;
       while (not t.p_closed) && t.p_epoch = epoch do
@@ -120,9 +133,17 @@ module Pool = struct
     t.p_job <- None;
     Mutex.unlock t.p_mutex
 
+  let run_inline ~init f arr =
+    if Array.length arr = 0 then [||]
+    else begin
+      let st = init () in
+      Array.map (fun x -> f st x) arr
+    end
+
   let run t ~init f arr =
     let n = Array.length arr in
     if n = 0 then [||]
+    else if in_worker () then run_inline ~init f arr
     else begin
       let out = Array.make n None in
       let k = t.p_size in
@@ -200,6 +221,10 @@ module Pool = struct
     end
 
   let broadcast t f =
+    (* A broadcast needs every worker, including this one — blocking here
+       would deadlock, and there is no meaningful inline fallback. *)
+    if in_worker () then
+      invalid_arg "Par.Pool.broadcast: called from inside a pool worker";
     let out = Array.make t.p_size None in
     submit t (fun idx ->
         match f idx with
@@ -213,7 +238,8 @@ let map_dynamic_init ?pool ~domains ~init f arr =
   | Some p when not (Pool.closed p) -> Pool.run p ~init f arr
   | Some _ | None ->
     let n = Array.length arr in
-    if domains <= 1 || n < 2 then begin
+    (* From inside a pool worker, never spawn a second tier of domains. *)
+    if domains <= 1 || n < 2 || Pool.in_worker () then begin
       if n = 0 then [||]
       else begin
         let st = init () in

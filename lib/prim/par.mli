@@ -36,14 +36,23 @@ module Pool : sig
       worker's resident state (imported graphs, memo tables, hot BDD caches)
       warm, while stealing still balances skewed per-task costs. If any task
       raises, the whole job still drains (workers stop claiming new tasks),
-      the pool stays usable, and the exception of the lowest failing
-      recorded index is re-raised in the caller. *)
+      the pool stays usable — stripe cursors are per-call, so nothing leaks
+      into the next job — and the exception of the lowest failing recorded
+      index is re-raised in the caller. Called from inside a pool worker
+      (a task that re-enters its own pool), [run] executes inline and
+      serially in that worker instead of deadlocking on [submit]. *)
   val run : t -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+
+  (** True when the calling domain is a pool worker (any pool). Nested
+      parallel entry points use this to degrade to serial execution. *)
+  val in_worker : unit -> bool
 
   (** [broadcast t f] runs [f worker_index] exactly once on each resident
       worker and returns the results indexed by worker. A worker whose call
       raises yields [None]. Used to collect per-worker (domain-local) stats
-      such as cached-graph BDD cache occupancy. *)
+      such as cached-graph BDD cache occupancy. Raises [Invalid_argument]
+      when called from inside a pool worker (it would deadlock waiting for
+      itself). *)
   val broadcast : t -> (int -> 'a) -> 'a option array
 
   (** [shutdown t] stops and joins all workers. Idempotent; [run] and

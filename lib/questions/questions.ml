@@ -447,3 +447,45 @@ let differential_reachability q_base q_new ~srcs =
   in
   { a_title = "differentialReachability";
     a_header = [ "node"; "interface"; "change"; "exampleFlow" ]; a_rows = rows }
+
+(* --- failure verification (ISSUE 6) --- *)
+
+let failure_verification (r : Failures.report) =
+  let rows =
+    List.map
+      (fun p ->
+        match List.find_opt (fun (p', _, _) -> p' = p) r.Failures.rp_failing with
+        | Some (_, sc, pkt) ->
+          [ Failures.property_to_string p; "fails";
+            Failures.scenario_to_string sc;
+            (match pkt with
+             | Some pk -> Packet.to_string pk
+             | None -> "-") ]
+        | None -> [ Failures.property_to_string p; "survives"; "-"; "-" ])
+      r.Failures.rp_properties
+  in
+  { a_title = Printf.sprintf "failureVerification(k=%d)" r.Failures.rp_k;
+    a_header = [ "property"; "verdict"; "minFailingScenario"; "counterexample" ];
+    a_rows = rows }
+
+let failure_summary (r : Failures.report) =
+  let metric name v = [ name; v ] in
+  { a_title = Printf.sprintf "failureVerification(k=%d): sweep" r.Failures.rp_k;
+    a_header = [ "metric"; "value" ];
+    a_rows =
+      [ metric "scenariosEnumerated" (string_of_int r.Failures.rp_enumerated);
+        metric "scenariosSimulated" (string_of_int r.Failures.rp_simulated);
+        metric "scenariosPruned" (string_of_int r.Failures.rp_pruned);
+        metric "atomPruning"
+          (if r.Failures.rp_pruning then
+             Printf.sprintf "on (%d atoms)" r.Failures.rp_atoms
+           else "off");
+        metric "properties"
+          (let n = List.length r.Failures.rp_properties in
+           if r.Failures.rp_dropped_properties > 0 then
+             Printf.sprintf "%d (+%d beyond cap)" n r.Failures.rp_dropped_properties
+           else string_of_int n);
+        metric "surviving" (string_of_int (List.length r.Failures.rp_surviving));
+        metric "failing" (string_of_int (List.length r.Failures.rp_failing));
+        metric "inconclusive"
+          (string_of_int (List.length r.Failures.rp_inconclusive)) ] }

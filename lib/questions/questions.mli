@@ -118,3 +118,12 @@ val detect_loops : Fquery.t -> answer
     reachability between a base and a candidate change). *)
 val differential_reachability :
   Fquery.t -> Fquery.t -> srcs:Fquery.start list -> answer
+
+(** Per-property failure-verification table from a {!Failures.report}: the
+    verdict, the minimal failing scenario, and a counterexample packet from
+    the residual reachability set for every failing property. *)
+val failure_verification : Failures.report -> answer
+
+(** Sweep-level counters of a {!Failures.report}: scenarios enumerated vs.
+    pruned vs. simulated, pruning state, and verdict totals. *)
+val failure_summary : Failures.report -> answer

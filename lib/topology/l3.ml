@@ -85,4 +85,35 @@ let node_edges t =
       pairs acc eps)
     t.by_subnet []
 
+let links t =
+  let seen = Hashtbl.create 64 in
+  let key ep = (ep.ep_node, ep.ep_iface) in
+  let acc =
+    Hashtbl.fold
+      (fun _ eps acc ->
+        let rec pairs acc = function
+          | [] -> acc
+          | ep :: rest ->
+            let acc =
+              List.fold_left
+                (fun acc other ->
+                  if ep.ep_node = other.ep_node then acc
+                  else
+                    let a, b =
+                      if key ep <= key other then (ep, other) else (other, ep)
+                    in
+                    if Hashtbl.mem seen (key a, key b) then acc
+                    else begin
+                      Hashtbl.add seen (key a, key b) ();
+                      (a, b) :: acc
+                    end)
+                acc rest
+            in
+            pairs acc rest
+        in
+        pairs acc eps)
+      t.by_subnet []
+  in
+  List.sort (fun (a1, b1) (a2, b2) -> compare (key a1, key b1) (key a2, key b2)) acc
+
 let owner_of_ip t ip = Hashtbl.find_opt t.by_ip ip

@@ -25,6 +25,13 @@ val neighbors : t -> node:string -> iface:string -> endpoint list
 (** All adjacent node pairs (unordered, deduplicated). *)
 val node_edges : t -> (string * string) list
 
+(** All links as endpoint pairs: one entry per adjacent
+    (interface, interface) pair across distinct nodes, endpoint-canonical
+    (lower (node, iface) first) and sorted — a deterministic enumeration
+    basis for failure scenarios. A shared subnet with [n] endpoints yields
+    all cross-node pairs. *)
+val links : t -> (endpoint * endpoint) list
+
 (** The endpoint owning the address, if any. *)
 val owner_of_ip : t -> Ipv4.t -> endpoint option
 

@@ -278,6 +278,75 @@ let pool_exceptions_and_shutdown () =
   | _ -> Alcotest.fail "run on a shut-down pool must raise"
   | exception Invalid_argument _ -> ()
 
+let nested_pool_run_inline () =
+  (* a task that re-enters its own pool must complete inline instead of
+     deadlocking on the submission lock (the failure-sweep fan-out calls
+     library code that may itself ask for parallelism) *)
+  let pool = Par.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      check Alcotest.bool "caller is not a worker" false (Par.Pool.in_worker ());
+      let out =
+        Par.Pool.run pool
+          ~init:(fun () -> ())
+          (fun () x ->
+            check Alcotest.bool "worker knows it is a worker" true
+              (Par.Pool.in_worker ());
+            let inner =
+              Par.Pool.run pool ~init:(fun () -> ()) (fun () y -> y * y)
+                [| x; x + 1 |]
+            in
+            (* broadcast from a worker is refused loudly, never a hang *)
+            (match Par.Pool.broadcast pool (fun w -> w) with
+            | _ -> Alcotest.fail "broadcast from a worker must raise"
+            | exception Invalid_argument _ -> ());
+            inner.(0) + inner.(1))
+          (Array.init 8 Fun.id)
+      in
+      check (Alcotest.array Alcotest.int) "nested results correct"
+        (Array.init 8 (fun x -> (x * x) + ((x + 1) * (x + 1))))
+        out;
+      (* map_dynamic_init from inside a worker must not spawn a second tier *)
+      let out2 =
+        Par.Pool.run pool
+          ~init:(fun () -> ())
+          (fun () x ->
+            (Par.map_dynamic_init ~domains:4
+               ~init:(fun () -> ())
+               (fun () y -> y + 1)
+               [| x |]).(0))
+          [| 1; 2; 3 |]
+      in
+      check (Alcotest.array Alcotest.int) "nested map_dynamic_init inline"
+        [| 2; 3; 4 |] out2)
+
+let failed_job_leaves_workers_consistent () =
+  (* satellite of ISSUE 6: a worker exception mid-job must not corrupt the
+     stripe counters or the worker-resident MRU caches — follow-up jobs on
+     the same pool keep their warm graphs and stay bit-identical *)
+  let q = net_query (profile "NET1") in
+  let pool = Par.Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let serial = Fpar.all_pairs ~domains:1 q in
+      let warmup = Fpar.all_pairs ~pool q in
+      check Alcotest.bool "warmup identical" true (serial = warmup);
+      let imports0, _ = Fpar.worker_stats () in
+      (match
+         Par.Pool.run pool
+           ~init:(fun () -> ())
+           (fun () x -> if x = 7 then failwith "mid-scenario crash" else x)
+           (Array.init 16 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the exception to propagate"
+      | exception Failure _ -> ());
+      let after = Fpar.all_pairs ~pool q in
+      let imports1, _ = Fpar.worker_stats () in
+      check Alcotest.bool "post-failure results identical" true (serial = after);
+      check Alcotest.int "no spurious graph imports counted" imports0 imports1)
+
 let pool_warm_reuse_identical () =
   let q = net_query (profile "NET3") in
   let pool = Par.Pool.create ~domains:3 () in
@@ -326,6 +395,33 @@ let adaptive_cutoff_both_ways () =
   (* without auto, plan never falls back on cost *)
   check Alcotest.bool "no auto: cost is ignored" true
     (Fpar.plan ~domains:2 ~auto:false ~tasks:100 ~cost:0 () = Fpar.Parallel 2)
+
+let measured_cutoff_scaling () =
+  let saved = !Fpar.auto_cutoff in
+  Fun.protect
+    ~finally:(fun () -> Fpar.auto_cutoff := saved)
+    (fun () ->
+      (* make sure at least the serial side of the calibration has samples *)
+      let q = net_query (profile "NET1") in
+      ignore (Fpar.all_pairs ~domains:1 q);
+      Fpar.auto_cutoff := 0;
+      check Alcotest.int "0 disables the serial fallback" 0
+        (Fpar.effective_cutoff ~workload:Fpar.Uniform ~workers:4);
+      check Alcotest.int "0 disables it for sharded passes too" 0
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:4);
+      Fpar.auto_cutoff := 1_000;
+      let u = Fpar.effective_cutoff ~workload:Fpar.Uniform ~workers:4 in
+      check Alcotest.bool "configured floor is respected" true (u >= 1_000);
+      (match Fpar.measured_cutoff () with
+      | Some m -> check Alcotest.int "measured cost raises the floor" (max 1_000 m) u
+      | None -> check Alcotest.int "no samples: the floor stands" 1_000 u);
+      (* a sharded pass re-propagates the whole graph per shard, so its
+         cutoff grows with the worker count (the multipath regression fix) *)
+      check Alcotest.int "sharded cutoff scales with workers" (u * 4)
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:4);
+      Fpar.auto_cutoff := max_int;
+      check Alcotest.int "scaling saturates instead of overflowing" max_int
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:8))
 
 (* --- interning under parallel data-plane simulation --------------------- *)
 
@@ -382,8 +478,13 @@ let suites =
         Alcotest.test_case "pool map = sequential map" `Quick pool_map_equivalence;
         Alcotest.test_case "pool exceptions and shutdown" `Quick
           pool_exceptions_and_shutdown;
+        Alcotest.test_case "nested pool entry runs inline" `Quick
+          nested_pool_run_inline;
+        Alcotest.test_case "failed job leaves workers consistent" `Quick
+          failed_job_leaves_workers_consistent;
         Alcotest.test_case "pool warm reuse is bit-identical" `Quick
           pool_warm_reuse_identical;
         Alcotest.test_case "adaptive cutoff both ways" `Quick adaptive_cutoff_both_ways;
+        Alcotest.test_case "measured cutoff scaling" `Quick measured_cutoff_scaling;
         Alcotest.test_case "parallel dataplane interning" `Slow
           parallel_dataplane_identical ] ) ]
