@@ -75,7 +75,7 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 4,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 5,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
@@ -771,6 +771,50 @@ let failures ~scale ~domains () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Coverage: line attribution, cold vs session-warm                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold = first coverage call on a fresh session (data plane + forwarding
+   graph built on demand); warm = second call on the same session, reusing
+   the memoized query engine. The identical gate checks the two reports
+   render byte-identically. *)
+let coverage_bench ~scale ~domains () =
+  print_endline "== Coverage: line attribution, cold vs memo-warm ==";
+  List.iter
+    (fun name ->
+      let p =
+        List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = name) Netgen.profiles
+      in
+      let net = p.p_make scale in
+      let snap = Batfish.Snapshot.of_texts net.Netgen.n_configs in
+      let options = { Dataplane.default_options with domains } in
+      let bf = Batfish.init ~options ~env:net.Netgen.n_env snap in
+      let r_cold, cold_t = time (fun () -> Batfish.coverage bf) in
+      let r_warm, warm_t = time (fun () -> Batfish.coverage bf) in
+      let identical =
+        Coverage.report_to_json r_cold = Coverage.report_to_json r_warm
+      in
+      Printf.printf
+        "  %-6s %3d devices: %5d units (%d covered, %d dead), cold %.2fs warm %.2fs%s\n"
+        p.p_name (Netgen.device_count net) r_cold.Coverage.cov_total
+        r_cold.Coverage.cov_covered r_cold.Coverage.cov_dead cold_t warm_t
+        (if identical then "" else "  MISMATCH");
+      Batfish.shutdown bf;
+      record
+        (Printf.sprintf "coverage.%s" p.p_name)
+        [ m_i "devices" (Netgen.device_count net);
+          m_i "units" r_cold.Coverage.cov_total;
+          m_i "attributed" r_cold.Coverage.cov_attributed;
+          m_i "covered" r_cold.Coverage.cov_covered;
+          m_i "uncovered" r_cold.Coverage.cov_uncovered;
+          m_i "dead" r_cold.Coverage.cov_dead;
+          m_i "shards" r_cold.Coverage.cov_shards;
+          m_f "cold_s" cold_t; m_f "warm_s" warm_t;
+          m_b "identical" identical ])
+    [ "NET1"; "NET3" ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -879,6 +923,8 @@ let () =
     incremental ~scale:(if smoke then min scale 1.0 else scale) ();
   if want "failures" || smoke then
     failures ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
+  if want "coverage" || smoke then
+    coverage_bench ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
   if want "micro" && not smoke then micro ();
   write_results ~scale ~domains ();
   check_identical ()

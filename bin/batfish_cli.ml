@@ -240,7 +240,13 @@ let lint_cmd =
   let run dir base select ignore_ json fail_on strict list_passes domains =
     if list_passes then begin
       List.iter
-        (fun (p : Lint.pass) -> Printf.printf "%s  %-22s %s\n" p.p_code p.p_name p.p_doc)
+        (fun (p : Lint.pass) ->
+          let dc =
+            if List.mem p.Lint.p_code Lint.dead_config_passes then
+              "  [dead-config report]"
+            else ""
+          in
+          Printf.printf "%s  %-22s %s%s\n" p.p_code p.p_name p.p_doc dc)
         Lint.passes;
       exit 0
     end;
@@ -276,6 +282,33 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Run the static-analysis lint passes over a snapshot (no data plane computed)")
     Term.(const run $ dir $ base_arg $ select $ ignore_ $ json $ fail_on $ strict $ list_passes $ domains_arg)
+
+(* --- coverage --- *)
+
+let coverage_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the machine-readable JSON report")
+  in
+  let run dir base domains json strict =
+    let bf =
+      match base with
+      | Some b -> load_update_incremental ~domains ~base:b dir
+      | None -> load ~domains dir
+    in
+    let report = Batfish.coverage bf in
+    print_string
+      (if json then Coverage.report_to_json report
+       else Coverage.report_to_text report);
+    finish ~strict bf
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Report which config source lines the query set exercises: \
+             per-file covered/uncovered/dead lines plus the unified \
+             dead-config report (lint dead lines and never-exercised lines \
+             in one ranked view)")
+    Term.(const run $ dir_arg $ base_arg $ domains_arg $ json $ strict_arg)
 
 (* --- checks --- *)
 
@@ -459,5 +492,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "batfish_cli" ~version:"1.0"
              ~doc:"Configuration analysis: parse, simulate, verify")
-          [ parse_cmd; diagnostics_cmd; dataplane_cmd; routes_cmd; lint_cmd; check_cmd; trace_cmd;
-            reach_cmd; verify_cmd; netgen_cmd ]))
+          [ parse_cmd; diagnostics_cmd; dataplane_cmd; routes_cmd; lint_cmd; coverage_cmd;
+            check_cmd; trace_cmd; reach_cmd; verify_cmd; netgen_cmd ]))

@@ -164,12 +164,12 @@ let parse_acl_line st (line : line) seq_counter =
                 { Vi.l_seq = seq; l_action = action; l_proto = proto; l_src = src;
                   l_dst = dst; l_src_ports = src_ports; l_dst_ports = dst_ports;
                   l_established = established; l_icmp_type = icmp_type;
-                  l_text = String.trim line.raw }))))
+                  l_text = String.trim line.raw; l_line = line.num }))))
     | _ -> fail ())
   | _ -> fail ()
 
-let parse_interface_block st name children =
-  let i = ref (Vi.interface_default name) in
+let parse_interface_block st name hline children =
+  let i = ref { (Vi.interface_default name) with Vi.if_line = hline } in
   List.iter
     (fun (line : line) ->
       match line.tokens with
@@ -227,7 +227,7 @@ let parse_interface_block st name children =
     children;
   st.interfaces <- !i :: st.interfaces
 
-let parse_route_map_block st name action seq children =
+let parse_route_map_block st name action seq hline children =
   let matches = ref [] and sets = ref [] in
   List.iter
     (fun (line : line) ->
@@ -284,7 +284,7 @@ let parse_route_map_block st name action seq children =
     children;
   let clause =
     { Vi.rc_seq = seq; rc_action = action; rc_matches = List.rev !matches;
-      rc_sets = List.rev !sets }
+      rc_sets = List.rev !sets; rc_line = hline }
   in
   (match Hashtbl.find_opt st.route_maps name with
    | Some clauses -> Hashtbl.replace st.route_maps name (clause :: clauses)
@@ -387,7 +387,8 @@ let parse_bgp_block st asn children =
       | None ->
         (* IOS requires remote-as first; tolerate other orders with AS 0,
            flagged later by the session-compatibility question. *)
-        Hashtbl.add neighbors peer (f (Vi.bgp_neighbor_default peer 0));
+        Hashtbl.add neighbors peer
+          (f { (Vi.bgp_neighbor_default peer 0) with Vi.bn_line = line.num });
         order := peer :: !order)
   in
   List.iter
@@ -508,7 +509,8 @@ let parse_static_route st (line : line) tokens =
             0
         in
         st.static_routes <-
-          { Vi.sr_prefix = prefix; sr_next_hop = nh; sr_ad = ad; sr_tag = tag }
+          { Vi.sr_prefix = prefix; sr_next_hop = nh; sr_ad = ad; sr_tag = tag;
+            sr_line = line.num }
           :: st.static_routes))
   | _ -> warn st line Diag.code_bad_value
 
@@ -589,7 +591,7 @@ let parse ?(vendor = "cisco-ios") text =
        | "interface" :: rest ->
          let name = String.concat "" rest in
          let children, j = block i in
-         parse_interface_block st name children;
+         parse_interface_block st name line.num children;
          next := j
        | [ "ip"; "access-list"; "extended"; name ] | [ "ip"; "access-list"; name ] ->
          let children, j = block i in
@@ -627,7 +629,7 @@ let parse ?(vendor = "cisco-ios") text =
                     { Vi.l_seq = !seq_counter; l_action = action; l_proto = None;
                       l_src = src; l_dst = Prefix.everything; l_src_ports = [];
                       l_dst_ports = []; l_established = false; l_icmp_type = None;
-                      l_text = String.trim line.raw }
+                      l_text = String.trim line.raw; l_line = line.num }
                 | _ -> None)
              | [] -> None
            else parse_acl_line st { line with tokens = rest } seq_counter
@@ -677,7 +679,7 @@ let parse ?(vendor = "cisco-ios") text =
              if not ok then warn st line Diag.code_unrecognized_syntax;
              let entry =
                { Vi.ple_seq = seq; ple_action = action; ple_prefix = prefix;
-                 ple_ge = ge; ple_le = le }
+                 ple_ge = ge; ple_le = le; ple_line = line.num }
              in
              (match Hashtbl.find_opt st.prefix_lists name with
               | Some es -> Hashtbl.replace st.prefix_lists name (entry :: es)
@@ -721,7 +723,7 @@ let parse ?(vendor = "cisco-ios") text =
          with
          | Some action, Some seq ->
            let children, j = block i in
-           parse_route_map_block st name action seq children;
+           parse_route_map_block st name action seq line.num children;
            next := j
          | _ -> warn st line Diag.code_unrecognized_syntax)
        | "router" :: "ospf" :: _ ->

@@ -12,6 +12,7 @@ type fw_term = {
   mutable ft_established : bool;
   mutable ft_icmp_type : int option;
   mutable ft_action : Vi.action option;
+  mutable ft_line : int;  (* first line mentioning the term *)
 }
 
 type ps_term = {
@@ -19,6 +20,7 @@ type ps_term = {
   mutable pt_route_filters : Vi.prefix_list_entry list;  (* reversed *)
   mutable pt_sets : Vi.set_action list;  (* reversed *)
   mutable pt_action : Vi.action option;
+  mutable pt_line : int;  (* first line mentioning the term *)
 }
 
 type bgp_group = {
@@ -28,8 +30,8 @@ type bgp_group = {
   mutable bg_export : string option;
   mutable bg_cluster : Ipv4.t option;
   mutable bg_multipath : bool;
-  mutable bg_neighbors : (Ipv4.t * int option * string option) list;
-  (* peer, per-neighbor peer-as, description; reversed *)
+  mutable bg_neighbors : (Ipv4.t * int option * string option * int) list;
+  (* peer, per-neighbor peer-as, description, source line; reversed *)
 }
 
 type st = {
@@ -41,7 +43,7 @@ type st = {
   mutable filter_order : string list;
   policies : (string, (string, ps_term) Hashtbl.t * string list ref) Hashtbl.t;
   mutable policy_order : string list;
-  mutable prefix_lists : (string, Prefix.t list) Hashtbl.t;
+  mutable prefix_lists : (string, (Prefix.t * int) list) Hashtbl.t;
   mutable pl_order : string list;
   mutable communities : (string, int list) Hashtbl.t;
   mutable comm_order : string list;
@@ -51,7 +53,8 @@ type st = {
   mutable asn : int option;
   mutable router_id : Ipv4.t option;
   mutable ospf_ref_bw : int;
-  mutable ospf_ifaces : (string * int * int option * bool) list;  (* if, area, metric, passive *)
+  mutable ospf_ifaces : (string * int * int option * bool * int) list;
+  (* if, area, metric, passive, source line *)
   mutable ospf_exports : string list;
   bgp_groups : (string, bgp_group) Hashtbl.t;
   mutable bg_order : string list;
@@ -77,11 +80,18 @@ let warn_undef st (line : line) ty name =
       (Printf.sprintf "undefined %s '%s': %s" ty name (String.trim line.raw))
     :: st.warnings
 
-let get_interface st name =
+let get_interface st ?(line = 0) name =
   match Hashtbl.find_opt st.interfaces name with
-  | Some i -> i
+  | Some i ->
+    (* keep the earliest known source line as the interface's provenance *)
+    if i.Vi.if_line = 0 && line > 0 then begin
+      let i = { i with Vi.if_line = line } in
+      Hashtbl.replace st.interfaces name i;
+      i
+    end
+    else i
   | None ->
-    let i = Vi.interface_default name in
+    let i = { (Vi.interface_default name) with Vi.if_line = line } in
     Hashtbl.add st.interfaces name i;
     st.if_order <- name :: st.if_order;
     i
@@ -97,7 +107,7 @@ let get_named tbl order name make =
     order := name :: !order;
     v
 
-let get_fw_term st fname tname =
+let get_fw_term st fname tname tline =
   let order_ref = ref st.filter_order in
   let terms, torder =
     get_named st.filters order_ref fname (fun () -> (Hashtbl.create 8, ref []))
@@ -109,13 +119,13 @@ let get_fw_term st fname tname =
     let t =
       { ft_srcs = []; ft_dsts = []; ft_proto = None; ft_src_ports = [];
         ft_dst_ports = []; ft_established = false; ft_icmp_type = None;
-        ft_action = None }
+        ft_action = None; ft_line = tline }
     in
     Hashtbl.add terms tname t;
     torder := tname :: !torder;
     t
 
-let get_ps_term st pname tname =
+let get_ps_term st pname tname tline =
   let order_ref = ref st.policy_order in
   let terms, torder =
     get_named st.policies order_ref pname (fun () -> (Hashtbl.create 8, ref []))
@@ -124,7 +134,10 @@ let get_ps_term st pname tname =
   match Hashtbl.find_opt terms tname with
   | Some t -> t
   | None ->
-    let t = { pt_matches = []; pt_route_filters = []; pt_sets = []; pt_action = None } in
+    let t =
+      { pt_matches = []; pt_route_filters = []; pt_sets = []; pt_action = None;
+        pt_line = tline }
+    in
     Hashtbl.add terms tname t;
     torder := tname :: !torder;
     t
@@ -175,7 +188,7 @@ let handle st (line : line) =
         | Some k ->
           let ip = Ipv4.of_string (String.sub addr 0 k) in
           let len = int_of_string (String.sub addr (k + 1) (String.length addr - k - 1)) in
-          let i = get_interface st ifname in
+          let i = get_interface st ~line:line.num ifname in
           if i.if_address = None then
             set_interface st ifname { i with if_address = Some (ip, len) }
           else
@@ -183,14 +196,18 @@ let handle st (line : line) =
         | None -> warn st line Diag.code_bad_value)
       | None -> warn st line Diag.code_bad_value)
     | [ "interfaces"; ifname; "disable" ] ->
-      set_interface st ifname { (get_interface st ifname) with if_enabled = false }
+      set_interface st ifname
+        { (get_interface st ~line:line.num ifname) with if_enabled = false }
     | "interfaces" :: ifname :: "description" :: d ->
       set_interface st ifname
-        { (get_interface st ifname) with if_description = Some (String.concat " " d) }
+        { (get_interface st ~line:line.num ifname) with
+          if_description = Some (String.concat " " d) }
     | [ "interfaces"; ifname; "unit"; "0"; "family"; "inet"; "filter"; "input"; f ] ->
-      set_interface st ifname { (get_interface st ifname) with if_in_acl = Some f }
+      set_interface st ifname
+        { (get_interface st ~line:line.num ifname) with if_in_acl = Some f }
     | [ "interfaces"; ifname; "unit"; "0"; "family"; "inet"; "filter"; "output"; f ] ->
-      set_interface st ifname { (get_interface st ifname) with if_out_acl = Some f }
+      set_interface st ifname
+        { (get_interface st ~line:line.num ifname) with if_out_acl = Some f }
     | [ "interfaces"; ifname; "speed"; _ ] | [ "interfaces"; ifname; "mtu"; _ ] ->
       ignore ifname
     | [ "routing-options"; "autonomous-system"; a ] -> (
@@ -205,14 +222,16 @@ let handle st (line : line) =
       match (Prefix.of_string_opt p, Ipv4.of_string_opt nh) with
       | Some p, Some nh ->
         st.statics <-
-          { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_ip nh; sr_ad = 5; sr_tag = 0 }
+          { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_ip nh; sr_ad = 5; sr_tag = 0;
+            sr_line = line.num }
           :: st.statics
       | _ -> warn st line Diag.code_bad_value)
     | [ "routing-options"; "static"; "route"; p; "discard" ] -> (
       match Prefix.of_string_opt p with
       | Some p ->
         st.statics <-
-          { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_discard; sr_ad = 5; sr_tag = 0 }
+          { Vi.sr_prefix = p; sr_next_hop = Vi.Nh_discard; sr_ad = 5; sr_tag = 0;
+            sr_line = line.num }
           :: st.statics
       | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "reference-bandwidth"; b ] -> (
@@ -221,15 +240,16 @@ let handle st (line : line) =
       | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "area"; a; "interface"; i ] -> (
       match int_of_string_opt a with
-      | Some a -> st.ospf_ifaces <- (i, a, None, false) :: st.ospf_ifaces
+      | Some a -> st.ospf_ifaces <- (i, a, None, false, line.num) :: st.ospf_ifaces
       | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "area"; a; "interface"; i; "metric"; m ] -> (
       match (int_of_string_opt a, int_of_string_opt m) with
-      | Some a, Some m -> st.ospf_ifaces <- (i, a, Some m, false) :: st.ospf_ifaces
+      | Some a, Some m ->
+        st.ospf_ifaces <- (i, a, Some m, false, line.num) :: st.ospf_ifaces
       | _ -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "area"; a; "interface"; i; "passive" ] -> (
       match int_of_string_opt a with
-      | Some a -> st.ospf_ifaces <- (i, a, None, true) :: st.ospf_ifaces
+      | Some a -> st.ospf_ifaces <- (i, a, None, true, line.num) :: st.ospf_ifaces
       | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "ospf"; "export"; p ] -> st.ospf_exports <- p :: st.ospf_exports
     | [ "protocols"; "bgp"; "group"; g; "type"; ty ] ->
@@ -253,27 +273,28 @@ let handle st (line : line) =
       match Ipv4.of_string_opt p with
       | Some p ->
         let grp = get_bgp_group st g in
-        grp.bg_neighbors <- (p, None, None) :: grp.bg_neighbors
+        grp.bg_neighbors <- (p, None, None, line.num) :: grp.bg_neighbors
       | None -> warn st line Diag.code_bad_value)
     | [ "protocols"; "bgp"; "group"; g; "neighbor"; p; "peer-as"; pas ] -> (
       match (Ipv4.of_string_opt p, int_of_string_opt pas) with
       | Some p, Some pas ->
         let grp = get_bgp_group st g in
-        grp.bg_neighbors <- (p, Some pas, None) :: grp.bg_neighbors
+        grp.bg_neighbors <- (p, Some pas, None, line.num) :: grp.bg_neighbors
       | _ -> warn st line Diag.code_bad_value)
     | "protocols" :: "bgp" :: "group" :: g :: "neighbor" :: p :: "description" :: d -> (
       match Ipv4.of_string_opt p with
       | Some p ->
         let grp = get_bgp_group st g in
-        grp.bg_neighbors <- (p, None, Some (String.concat " " d)) :: grp.bg_neighbors
+        grp.bg_neighbors <-
+          (p, None, Some (String.concat " " d), line.num) :: grp.bg_neighbors
       | None -> warn st line Diag.code_bad_value)
     | [ "policy-options"; "prefix-list"; name; p ] -> (
       match Prefix.of_string_opt p with
       | Some p -> (
         match Hashtbl.find_opt st.prefix_lists name with
-        | Some ps -> Hashtbl.replace st.prefix_lists name (p :: ps)
+        | Some ps -> Hashtbl.replace st.prefix_lists name ((p, line.num) :: ps)
         | None ->
-          Hashtbl.add st.prefix_lists name [ p ];
+          Hashtbl.add st.prefix_lists name [ (p, line.num) ];
           st.pl_order <- name :: st.pl_order)
       | None -> warn st line Diag.code_bad_value)
     | [ "policy-options"; "community"; name; "members"; c ] -> (
@@ -292,7 +313,7 @@ let handle st (line : line) =
         st.apl_order <- name :: st.apl_order
       end
     | "policy-options" :: "policy-statement" :: pname :: "term" :: tname :: rest -> (
-      let t = get_ps_term st pname tname in
+      let t = get_ps_term st pname tname line.num in
       match rest with
       | [ "from"; "prefix-list"; pl ] -> t.pt_matches <- Vi.Match_prefix_list pl :: t.pt_matches
       | [ "from"; "protocol"; p ] ->
@@ -317,11 +338,12 @@ let handle st (line : line) =
             | "exact" ->
               Some
                 { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
-                  ple_ge = None; ple_le = None }
+                  ple_ge = None; ple_le = None; ple_line = line.num }
             | "orlonger" ->
               Some
                 { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
-                  ple_ge = Some (Prefix.length p); ple_le = Some 32 }
+                  ple_ge = Some (Prefix.length p); ple_le = Some 32;
+                  ple_line = line.num }
             | _ -> None
           in
           (match entry with
@@ -334,7 +356,7 @@ let handle st (line : line) =
           let seq = (List.length t.pt_route_filters + 1) * 10 in
           t.pt_route_filters <-
             { Vi.ple_seq = seq; ple_action = Vi.Permit; ple_prefix = p;
-              ple_ge = None; ple_le = Some le }
+              ple_ge = None; ple_le = Some le; ple_line = line.num }
             :: t.pt_route_filters
         | _ -> warn st line Diag.code_bad_value)
       | [ "then"; "local-preference"; v ] -> (
@@ -373,7 +395,7 @@ let handle st (line : line) =
       | [ "then"; "reject" ] -> t.pt_action <- Some Vi.Deny
       | _ -> warn st line Diag.code_unrecognized_syntax)
     | "firewall" :: "family" :: "inet" :: "filter" :: fname :: "term" :: tname :: rest -> (
-      let t = get_fw_term st fname tname in
+      let t = get_fw_term st fname tname line.num in
       match rest with
       | [ "from"; "source-address"; p ] -> (
         match Prefix.of_string_opt p with
@@ -470,7 +492,8 @@ let acl_of_filter name (terms : (string, fw_term) Hashtbl.t) order =
                   l_src = s; l_dst = d; l_src_ports = List.rev t.ft_src_ports;
                   l_dst_ports = List.rev t.ft_dst_ports;
                   l_established = t.ft_established; l_icmp_type = t.ft_icmp_type;
-                  l_text = Printf.sprintf "filter %s term %s" name tname })
+                  l_text = Printf.sprintf "filter %s term %s" name tname;
+                  l_line = t.ft_line })
               dsts)
           srcs)
       (List.rev !order)
@@ -503,7 +526,7 @@ let route_map_of_policy st name (terms : (string, ps_term) Hashtbl.t) order extr
             Vi.Permit
         in
         { Vi.rc_seq = (idx + 1) * 10; rc_action = action; rc_matches = matches;
-          rc_sets = List.rev t.pt_sets })
+          rc_sets = List.rev t.pt_sets; rc_line = t.pt_line })
       (List.rev !order)
   in
   { Vi.rm_name = name; rm_clauses = clauses }
@@ -525,8 +548,8 @@ let parse text =
   List.iter (fun l -> handle st l) lines;
   (* Interfaces with OSPF settings. *)
   List.iter
-    (fun (ifname, area, metric, passive) ->
-      let i = get_interface st ifname in
+    (fun (ifname, area, metric, passive, oline) ->
+      let i = get_interface st ~line:oline ifname in
       let merged =
         match i.if_ospf with
         | Some prev ->
@@ -598,18 +621,24 @@ let parse text =
               (* Deduplicate per-peer statements, preserving first-seen order. *)
               let peers = ref [] in
               List.iter
-                (fun (p, _, _) -> if not (List.mem p !peers) then peers := p :: !peers)
+                (fun (p, _, _, _) -> if not (List.mem p !peers) then peers := p :: !peers)
                 (List.rev g.bg_neighbors);
               List.rev_map
                 (fun p ->
                   let per_peer_as =
                     List.fold_left
-                      (fun acc (q, pas, _) -> if q = p && pas <> None then pas else acc)
+                      (fun acc (q, pas, _, _) -> if q = p && pas <> None then pas else acc)
                       None g.bg_neighbors
                   and descr =
                     List.fold_left
-                      (fun acc (q, _, d) -> if q = p && d <> None then d else acc)
+                      (fun acc (q, _, d, _) -> if q = p && d <> None then d else acc)
                       None g.bg_neighbors
+                  and first_line =
+                    (* bg_neighbors is reversed; the fold ends on the earliest
+                       statement mentioning this peer *)
+                    List.fold_left
+                      (fun acc (q, _, _, ln) -> if q = p then ln else acc)
+                      0 g.bg_neighbors
                   in
                   let remote_as =
                     if g.bg_internal then asn
@@ -624,7 +653,8 @@ let parse text =
                     bn_import_policy = g.bg_import;
                     bn_export_policy = g.bg_export;
                     bn_route_reflector_client = g.bg_cluster <> None;
-                    bn_send_community = true (* Junos sends communities by default *) })
+                    bn_send_community = true (* Junos sends communities by default *);
+                    bn_line = first_line })
                 !peers)
             (List.rev st.bg_order)
         in
@@ -660,9 +690,10 @@ let parse text =
             { Vi.pl_name = name;
               pl_entries =
                 List.mapi
-                  (fun i p ->
+                  (fun i (p, ln) ->
                     { Vi.ple_seq = (i + 1) * 10; ple_action = Vi.Permit;
-                      ple_prefix = p; ple_ge = None; ple_le = None })
+                      ple_prefix = p; ple_ge = None; ple_le = None;
+                      ple_line = ln })
                   ps })
           st.pl_order
         @ List.rev !extra_pls;

@@ -23,6 +23,7 @@ type acl_line = {
   l_established : bool;  (* TCP established: ACK or RST set *)
   l_icmp_type : int option;
   l_text : string;  (* original text, for annotating flow traces *)
+  l_line : int;  (* 1-based source line; 0 = unknown provenance *)
 }
 
 type acl = { acl_name : string; acl_lines : acl_line list }
@@ -31,7 +32,7 @@ let acl_line_default =
   { l_seq = 0; l_action = Permit; l_proto = None;
     l_src = Prefix.everything; l_dst = Prefix.everything;
     l_src_ports = []; l_dst_ports = []; l_established = false;
-    l_icmp_type = None; l_text = "" }
+    l_icmp_type = None; l_text = ""; l_line = 0 }
 
 (* --- Routing policy structures --- *)
 
@@ -41,6 +42,7 @@ type prefix_list_entry = {
   ple_prefix : Prefix.t;
   ple_ge : int option;
   ple_le : int option;
+  ple_line : int;  (* 1-based source line; 0 = unknown provenance *)
 }
 
 type prefix_list = { pl_name : string; pl_entries : prefix_list_entry list }
@@ -82,6 +84,7 @@ type rm_clause = {
   rc_action : action;
   rc_matches : match_cond list;
   rc_sets : set_action list;
+  rc_line : int;  (* 1-based source line; 0 = unknown provenance *)
 }
 
 type route_map = { rm_name : string; rm_clauses : rm_clause list }
@@ -138,6 +141,7 @@ type bgp_neighbor = {
   bn_allowas_in : int;
   bn_local_as : int option;
   bn_shutdown : bool;
+  bn_line : int;  (* 1-based source line; 0 = unknown provenance *)
 }
 
 let bgp_neighbor_default peer remote_as =
@@ -146,7 +150,7 @@ let bgp_neighbor_default peer remote_as =
     bn_route_reflector_client = false; bn_send_community = false;
     bn_import_policy = None; bn_export_policy = None; bn_prefix_list_in = None;
     bn_prefix_list_out = None; bn_ebgp_multihop = false;
-    bn_allowas_in = 0; bn_local_as = None; bn_shutdown = false }
+    bn_allowas_in = 0; bn_local_as = None; bn_shutdown = false; bn_line = 0 }
 
 type bgp_proc = {
   bp_as : int;
@@ -201,12 +205,13 @@ type interface = {
   if_out_acl : string option;
   if_ospf : ospf_interface option;
   if_description : string option;
+  if_line : int;  (* 1-based source line; 0 = unknown provenance *)
 }
 
 let interface_default name =
   { if_name = name; if_address = None; if_secondary = []; if_enabled = true;
     if_bandwidth = 1000; if_in_acl = None; if_out_acl = None; if_ospf = None;
-    if_description = None }
+    if_description = None; if_line = 0 }
 
 (* --- Static routes --- *)
 
@@ -217,6 +222,7 @@ type static_route = {
   sr_next_hop : static_next_hop;
   sr_ad : int;
   sr_tag : int;
+  sr_line : int;  (* 1-based source line; 0 = unknown provenance *)
 }
 
 (* --- Whole-device configuration --- *)
@@ -294,6 +300,38 @@ let community_to_string c =
   else if c = no_advertise then "no-advertise"
   else if c = local_as_comm then "local-AS"
   else Printf.sprintf "%d:%d" (c lsr 16) (c land 0xFFFF)
+
+(* Zero every source-line provenance field. Used to compare configurations
+   for semantic equality: a cosmetic edit that only shifts line numbers must
+   not count as a model change (e.g. for incremental reuse). *)
+let strip_provenance cfg =
+  { cfg with
+    interfaces = List.map (fun i -> { i with if_line = 0 }) cfg.interfaces;
+    acls =
+      List.map
+        (fun a ->
+          { a with acl_lines = List.map (fun l -> { l with l_line = 0 }) a.acl_lines })
+        cfg.acls;
+    prefix_lists =
+      List.map
+        (fun p ->
+          { p with
+            pl_entries = List.map (fun e -> { e with ple_line = 0 }) p.pl_entries })
+        cfg.prefix_lists;
+    route_maps =
+      List.map
+        (fun r ->
+          { r with
+            rm_clauses = List.map (fun c -> { c with rc_line = 0 }) r.rm_clauses })
+        cfg.route_maps;
+    static_routes = List.map (fun s -> { s with sr_line = 0 }) cfg.static_routes;
+    bgp =
+      Option.map
+        (fun bp ->
+          { bp with
+            bp_neighbors =
+              List.map (fun n -> { n with bn_line = 0 }) bp.bp_neighbors })
+        cfg.bgp }
 
 let community_of_string s =
   match s with

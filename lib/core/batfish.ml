@@ -152,15 +152,18 @@ module Snapshot = struct
 
   (* Hostnames whose vendor-independent model differs between [base] and [t]
      (added or removed hostnames included). The comparison is structural on
-     the derived [Vi.t] — a cosmetic edit (comments, whitespace) that parses
-     to the same model reports no change — with a physical-equality fast
-     path for fingerprint-reused parses. *)
+     the derived [Vi.t] with source-line provenance stripped — a cosmetic
+     edit (comments, whitespace, line shifts) that parses to the same
+     semantic model reports no change — with a physical-equality fast path
+     for fingerprint-reused parses. *)
   let changed_nodes ~base t =
     let changed = ref [] in
     Hashtbl.iter
       (fun name cfg ->
         match Hashtbl.find_opt base.by_name name with
-        | Some bcfg when bcfg == cfg || bcfg = cfg -> ()
+        | Some bcfg
+          when bcfg == cfg
+               || Vi.strip_provenance bcfg = Vi.strip_provenance cfg -> ()
         | Some _ | None -> changed := name :: !changed)
       t.by_name;
     Hashtbl.iter
@@ -303,6 +306,46 @@ let answer_failures ?k ?max_properties ?prune t =
 
 let answer_reachability t ~src ~dst_ip ?hdr () =
   Questions.reachability (forwarding t) ~src ~dst_ip ?hdr ()
+
+(* --- configuration coverage over this snapshot --- *)
+
+(* Coverage degrades gracefully: a snapshot whose data plane or forwarding
+   graph cannot be built still gets the purely static report (dead lines
+   from the shared lint analyses; everything live marked uncovered) instead
+   of an exception — the chaos harness relies on this. *)
+let coverage t =
+  let dp = try Some (dataplane t) with _ -> None in
+  let q =
+    match dp with
+    | None -> None
+    | Some _ -> (
+      try match try_forwarding t with Ok q -> Some q | Error _ -> None
+      with _ -> None)
+  in
+  Coverage.analyze ~domains:t.options.Dataplane.domains
+    ?pool:(session_pool t) ?dp ?q
+    ~files:(Snapshot.parsed_files t.snap)
+    (Snapshot.configs t.snap)
+
+let answer_coverage t =
+  let r = coverage t in
+  let total_row =
+    [ "TOTAL"; string_of_int r.Coverage.cov_covered;
+      string_of_int r.Coverage.cov_uncovered;
+      string_of_int r.Coverage.cov_dead;
+      Printf.sprintf "%d/%d" r.Coverage.cov_attributed r.Coverage.cov_total ]
+  in
+  { Questions.a_title = "coverage";
+    a_header = [ "File"; "Covered"; "Uncovered"; "Dead"; "Attributed" ];
+    a_rows =
+      List.map
+        (fun (fc : Coverage.file_cov) ->
+          [ fc.fc_file;
+            string_of_int (List.length fc.fc_covered);
+            string_of_int (List.length fc.fc_uncovered);
+            string_of_int (List.length fc.fc_dead); "" ])
+        r.Coverage.cov_files
+      @ [ total_row ] }
 
 (* --- the lint registry over this snapshot --- *)
 

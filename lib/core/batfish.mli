@@ -154,6 +154,18 @@ val answer_failures :
 val answer_reachability :
   t -> src:Fquery.start -> dst_ip:Prefix.t -> ?hdr:Bdd.t -> unit -> Questions.answer
 
+(** {2 Coverage}
+
+    Which config source lines influence the forwarding behavior exercised
+    by the query set ({!Coverage}). Uses the session's data plane and
+    memoized query engine when they can be built, and degrades to the
+    purely static report (never raising) when they cannot. *)
+
+val coverage : t -> Coverage.report
+
+(** Per-file covered/uncovered/dead counts as a printable table. *)
+val answer_coverage : t -> Questions.answer
+
 (** {2 Lint}
 
     The static-analysis registry ({!Lint}) over this snapshot: no data plane

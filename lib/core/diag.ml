@@ -109,14 +109,23 @@ let max_severity diags =
     (fun acc d -> if severity_rank d.d_severity > severity_rank acc then d.d_severity else acc)
     Info diags
 
+(* Rendered consistently as [node] [file:line]: the file/line pair always
+   joins with ":" so every surface (text reports, lint output, coverage)
+   shows the same clickable "file:line" form. A line without a file renders
+   as "line N" to avoid masquerading as a filename. *)
 let location_to_string loc =
-  let parts =
-    List.filter_map Fun.id
-      [ loc.loc_node; loc.loc_file; Option.map string_of_int loc.loc_line ]
+  let fl =
+    match (loc.loc_file, loc.loc_line) with
+    | Some f, Some l -> Some (Printf.sprintf "%s:%d" f l)
+    | Some f, None -> Some f
+    | None, Some l -> Some (Printf.sprintf "line %d" l)
+    | None, None -> None
   in
-  match parts with
-  | [] -> "-"
-  | ps -> String.concat ":" ps
+  match (loc.loc_node, fl) with
+  | None, None -> "-"
+  | Some n, None -> n
+  | None, Some fl -> fl
+  | Some n, Some fl -> n ^ " " ^ fl
 
 let set_file d file = { d with d_loc = { d.d_loc with loc_file = Some file } }
 

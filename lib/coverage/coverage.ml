@@ -1,0 +1,593 @@
+(* Configuration coverage (paper §4.4 taken one step further): instead of
+   only asking "is the network correct", ask which configuration lines the
+   query set actually exercises. Static dead verdicts reuse the linter's
+   shared analyses, so a line LINT003/LINT004/LINT008 calls dead is dead
+   here by construction; liveness on top of that comes from intersecting
+   the symbolic query traffic with each unit's effective match set. *)
+
+type status = Covered | Uncovered | Dead
+
+let status_to_string = function
+  | Covered -> "covered"
+  | Uncovered -> "uncovered"
+  | Dead -> "dead"
+
+(* Higher wins when several units share a source line. *)
+let status_rank = function Covered -> 2 | Uncovered -> 1 | Dead -> 0
+
+type item = {
+  it_node : string;
+  it_file : string;
+  it_line : int;
+  it_kind : string;
+  it_what : string;
+  it_status : status;
+  it_reason : string;
+}
+
+type file_cov = {
+  fc_file : string;
+  fc_covered : int list;
+  fc_uncovered : int list;
+  fc_dead : int list;
+}
+
+type report = {
+  cov_items : item list;
+  cov_files : file_cov list;
+  cov_total : int;
+  cov_covered : int;
+  cov_uncovered : int;
+  cov_dead : int;
+  cov_attributed : int;
+  cov_shards : int;
+}
+
+(* --- static dead analysis (sharded) --- *)
+
+let acl_dead_reason_string = function
+  | Lint.Dead_empty -> "can match no packet"
+  | Lint.Dead_shadowed (blockers, masked) ->
+    Printf.sprintf "shadowed by rule%s %s%s"
+      (if List.length blockers = 1 then "" else "s")
+      (String.concat ", "
+         (List.map (fun (b : Vi.acl_line) -> string_of_int b.l_seq) blockers))
+      (if masked then ", with conflicting action" else "")
+
+(* Per-config ACL dead verdicts as plain data, so worker shards (each with
+   a private BDD manager) can compute them and merge results trivially.
+   Route-map and prefix-list dead verdicts are structural (no BDDs) and
+   stay in the main pass. *)
+let acl_dead_config env (cfg : Vi.t) =
+  List.concat_map
+    (fun (acl : Vi.acl) ->
+      List.filter_map
+        (fun (s : Lint.acl_line_status) ->
+          match s.als_dead with
+          | None -> None
+          | Some r ->
+            Some (acl.acl_name, s.als_line.Vi.l_seq, acl_dead_reason_string r))
+        (Lint.acl_line_statuses env acl))
+    cfg.Vi.acls
+
+(* Mirrors the lint ACL pass: independent per-node work fans out over
+   worker domains; results come back in config order either way. *)
+let static_dead_pass ~domains ~pool configs =
+  let serial =
+    (domains <= 1 && Option.is_none pool) || List.length configs < 2
+  in
+  let per_node =
+    if serial then
+      let env = Pktset.create () in
+      List.map (fun c -> (c.Vi.hostname, acl_dead_config env c)) configs
+    else
+      Array.to_list
+        (Par.map_dynamic_init ?pool ~domains
+           ~init:(fun () -> Pktset.create ())
+           (fun env c -> (c.Vi.hostname, acl_dead_config env c))
+           (Array.of_list configs))
+  in
+  let shards =
+    if serial then 1
+    else match pool with Some p -> Par.Pool.size p | None -> domains
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (node, deads) ->
+      List.iter
+        (fun (acl, seq, reason) -> Hashtbl.replace tbl (node, acl, seq) reason)
+        deads)
+    per_node;
+  (tbl, shards)
+
+(* --- query traffic --- *)
+
+(* Everything the coverage engine needs from the forwarding side, with
+   total (never-raising) lookups so hostile snapshots degrade to "no
+   traffic" rather than aborting. *)
+type traffic = {
+  tr_env : Pktset.t;
+  tr_union : (Fgraph.loc -> bool) -> Bdd.t;  (* reach union over locations *)
+}
+
+let no_traffic env = { tr_env = env; tr_union = (fun _ -> Bdd.bot) }
+
+let traffic_of_query q =
+  let g = Fquery.graph q in
+  let env = Fquery.env q in
+  let man = Pktset.man env in
+  let reach = Fquery.forward_from q (Fquery.default_starts q) in
+  let union pred =
+    List.fold_left
+      (fun acc id -> Bdd.bor man acc reach.(id))
+      Bdd.bot (Fgraph.locs_where g pred)
+  in
+  { tr_env = env; tr_union = union }
+
+(* Traffic entering node [n] on interface [i]: what an inbound ACL sees. *)
+let in_traffic tr n i =
+  tr.tr_union (function Fgraph.Src (n', i') -> n' = n && i' = i | _ -> false)
+
+(* Traffic leaving node [n] on interface [i]: what an outbound ACL sees. *)
+let out_traffic tr n i =
+  tr.tr_union (function
+    | Fgraph.Pre_out (n', i', _) -> n' = n && i' = i
+    | _ -> false)
+
+(* Any traffic entering node [n]: the conservative context for ACLs
+   referenced outside interface filters (NAT rules, zone policies). *)
+let node_traffic tr n =
+  tr.tr_union (function Fgraph.Src (n', _) -> n' = n | _ -> false)
+
+let iface_traffic tr n i =
+  tr.tr_union (function
+    | Fgraph.Src (n', i') | Fgraph.Dst (n', i') -> n' = n && i' = i
+    | Fgraph.Pre_out (n', i', _) -> n' = n && i' = i
+    | _ -> false)
+
+(* --- installed routes --- *)
+
+let all_best_routes (dp : Dataplane.t) =
+  List.concat_map
+    (fun n ->
+      match Hashtbl.find_opt dp.Dataplane.nodes n with
+      | None -> []
+      | Some nr -> Rib.best_routes nr.Dataplane.nr_main)
+    dp.Dataplane.node_order
+
+let node_best_routes dp n =
+  match dp with
+  | None -> []
+  | Some (dp : Dataplane.t) -> (
+    match Hashtbl.find_opt dp.Dataplane.nodes n with
+    | None -> []
+    | Some nr -> Rib.best_routes nr.Dataplane.nr_main)
+
+(* --- route-map / prefix-list matching against installed routes --- *)
+
+(* Structural route matching for coverage attribution. Community and
+   AS-path conditions are conservatively unmatched (attrs are not tracked
+   per installed route here), so a clause gated only on them reports
+   Uncovered rather than falsely Covered. *)
+let cond_matches (cfg : Vi.t) (r : Route.t) = function
+  | Vi.Match_prefix_list name -> (
+    match Vi.find_prefix_list cfg name with
+    | Some pl -> Policy_eval.prefix_list_permits pl r.Route.net
+    | None -> false)
+  | Vi.Match_prefix p -> p = r.Route.net
+  | Vi.Match_metric m -> r.Route.metric = m
+  | Vi.Match_tag t -> r.Route.tag = t
+  | Vi.Match_protocol s -> Route_proto.matches_source r.Route.protocol s
+  | Vi.Match_community _ | Vi.Match_as_path _ -> false
+
+let clause_matches cfg c r =
+  List.for_all (fun m -> cond_matches cfg r m) c.Vi.rc_matches
+
+(* First-match attribution: each route exercises exactly the first clause
+   (entry) it satisfies, as the policy engine evaluates them. *)
+let routemap_hits cfg (rm : Vi.route_map) routes =
+  let n = List.length rm.Vi.rm_clauses in
+  let hit = Array.make (max n 1) false in
+  List.iter
+    (fun r ->
+      let rec walk idx = function
+        | [] -> ()
+        | c :: rest ->
+          if clause_matches cfg c r then hit.(idx) <- true
+          else walk (idx + 1) rest
+      in
+      walk 0 rm.Vi.rm_clauses)
+    routes;
+  hit
+
+let prefix_list_hits (pl : Vi.prefix_list) routes =
+  let n = List.length pl.Vi.pl_entries in
+  let hit = Array.make (max n 1) false in
+  List.iter
+    (fun (r : Route.t) ->
+      let rec walk idx = function
+        | [] -> ()
+        | e :: rest ->
+          if Policy_eval.entry_matches e r.Route.net then hit.(idx) <- true
+          else walk (idx + 1) rest
+      in
+      walk 0 pl.Vi.pl_entries)
+    routes;
+  hit
+
+(* --- per-config items --- *)
+
+let item ~node ~line ~kind ~what ~status ~reason =
+  { it_node = node; it_file = ""; it_line = line; it_kind = kind;
+    it_what = what; it_status = status; it_reason = reason }
+
+let acl_items tr deadmap (cfg : Vi.t) used_acls (acl : Vi.acl) =
+  let node = cfg.Vi.hostname in
+  let name = acl.Vi.acl_name in
+  let in_ifs, out_ifs =
+    List.fold_left
+      (fun (ins, outs) (i : Vi.interface) ->
+        ( (if i.if_in_acl = Some name then i.if_name :: ins else ins),
+          if i.if_out_acl = Some name then i.if_name :: outs else outs ))
+      ([], []) cfg.Vi.interfaces
+  in
+  let referenced = List.mem name used_acls in
+  let man = Pktset.man tr.tr_env in
+  let traffic =
+    let t =
+      List.fold_left
+        (fun acc i -> Bdd.bor man acc (in_traffic tr node i))
+        Bdd.bot in_ifs
+    in
+    let t =
+      List.fold_left
+        (fun acc i -> Bdd.bor man acc (out_traffic tr node i))
+        Bdd.bot out_ifs
+      |> Bdd.bor man t
+    in
+    if referenced && in_ifs = [] && out_ifs = [] then
+      Bdd.bor man t (node_traffic tr node)
+    else t
+  in
+  let mk (l : Vi.acl_line) status reason =
+    item ~node ~line:l.Vi.l_line ~kind:"acl-line"
+      ~what:(Printf.sprintf "acl %s rule %d" name l.Vi.l_seq)
+      ~status ~reason
+  in
+  let uncovered_reason =
+    if not referenced then "acl is never applied"
+    else "no query traffic reaches this rule"
+  in
+  if Bdd.is_bot traffic then
+    (* No traffic context: the sharded dead verdicts suffice; everything
+       else is live-but-unexercised. *)
+    List.map
+      (fun (l : Vi.acl_line) ->
+        match Hashtbl.find_opt deadmap (node, name, l.Vi.l_seq) with
+        | Some reason -> mk l Dead reason
+        | None -> mk l Uncovered uncovered_reason)
+      acl.Vi.acl_lines
+  else
+    (* Recompute the per-line analysis in the query manager so effective
+       match sets and traffic live in the same BDD space. Dead verdicts
+       are identical to the sharded ones (same pure analysis). *)
+    List.map
+      (fun (s : Lint.acl_line_status) ->
+        match s.als_dead with
+        | Some r -> mk s.als_line Dead (acl_dead_reason_string r)
+        | None ->
+          if not (Bdd.is_bot (Bdd.band man traffic s.als_effective)) then
+            mk s.als_line Covered "exercised by query traffic"
+          else mk s.als_line Uncovered uncovered_reason)
+      (Lint.acl_line_statuses tr.tr_env acl)
+
+let routemap_items routes (cfg : Vi.t) used_rms (rm : Vi.route_map) =
+  let node = cfg.Vi.hostname in
+  let referenced = List.mem rm.Vi.rm_name used_rms in
+  let hit = routemap_hits cfg rm routes in
+  let uncovered_reason =
+    if not referenced then "route-map is never applied"
+    else "no installed route reaches this clause"
+  in
+  List.mapi
+    (fun idx (c, blocker) ->
+      let mk status reason =
+        item ~node ~line:c.Vi.rc_line ~kind:"route-map-clause"
+          ~what:
+            (Printf.sprintf "route-map %s clause %d" rm.Vi.rm_name c.Vi.rc_seq)
+          ~status ~reason
+      in
+      match blocker with
+      | Some (b : Vi.rm_clause) ->
+        mk Dead (Printf.sprintf "subsumed by clause %d" b.rc_seq)
+      | None ->
+        if idx < Array.length hit && hit.(idx) then
+          mk Covered "matched by an installed route"
+        else mk Uncovered uncovered_reason)
+    (Lint.routemap_clause_statuses rm)
+
+let prefix_list_items routes (cfg : Vi.t) used_pls (pl : Vi.prefix_list) =
+  let node = cfg.Vi.hostname in
+  let referenced = List.mem pl.Vi.pl_name used_pls in
+  let hit = prefix_list_hits pl routes in
+  let uncovered_reason =
+    if not referenced then "prefix-list is never applied"
+    else "no installed route reaches this entry"
+  in
+  List.mapi
+    (fun idx (e : Vi.prefix_list_entry) ->
+      let mk status reason =
+        item ~node ~line:e.Vi.ple_line ~kind:"prefix-list-entry"
+          ~what:
+            (Printf.sprintf "prefix-list %s seq %d" pl.Vi.pl_name e.Vi.ple_seq)
+          ~status ~reason
+      in
+      if not (Lint.prefix_list_entry_satisfiable e) then
+        mk Dead "ge/le window admits no prefix length"
+      else if idx < Array.length hit && hit.(idx) then
+        mk Covered "matched by an installed route"
+      else mk Uncovered uncovered_reason)
+    pl.Vi.pl_entries
+
+let interface_items tr (cfg : Vi.t) =
+  let node = cfg.Vi.hostname in
+  List.map
+    (fun (i : Vi.interface) ->
+      let mk status reason =
+        item ~node ~line:i.Vi.if_line ~kind:"interface"
+          ~what:(Printf.sprintf "interface %s" i.Vi.if_name)
+          ~status ~reason
+      in
+      if not i.Vi.if_enabled then mk Dead "administratively down"
+      else if not (Bdd.is_bot (iface_traffic tr node i.Vi.if_name)) then
+        mk Covered "carries query traffic"
+      else mk Uncovered "no query traffic traverses this interface")
+    cfg.Vi.interfaces
+
+let bgp_items sessions (cfg : Vi.t) =
+  let node = cfg.Vi.hostname in
+  match cfg.Vi.bgp with
+  | None -> []
+  | Some bp ->
+    List.map
+      (fun (n : Vi.bgp_neighbor) ->
+        let mk status reason =
+          item ~node ~line:n.Vi.bn_line ~kind:"bgp-neighbor"
+            ~what:
+              (Printf.sprintf "bgp neighbor %s" (Ipv4.to_string n.Vi.bn_peer))
+            ~status ~reason
+        in
+        if n.Vi.bn_shutdown then mk Dead "neighbor is shut down"
+        else if
+          List.exists
+            (fun (s : Dataplane.session_report) ->
+              s.sr_node = node && s.sr_peer = n.Vi.bn_peer && s.sr_established)
+            sessions
+        then mk Covered "session established"
+        else mk Uncovered "session not established")
+      bp.Vi.bp_neighbors
+
+let static_route_items node_routes (cfg : Vi.t) =
+  let node = cfg.Vi.hostname in
+  let static_nets =
+    List.filter_map
+      (fun (r : Route.t) ->
+        if r.Route.protocol = Route_proto.Static then Some r.Route.net
+        else None)
+      node_routes
+  in
+  List.map
+    (fun (sr : Vi.static_route) ->
+      let mk status reason =
+        item ~node ~line:sr.Vi.sr_line ~kind:"static-route"
+          ~what:
+            (Printf.sprintf "static route %s" (Prefix.to_string sr.Vi.sr_prefix))
+          ~status ~reason
+      in
+      if List.mem sr.Vi.sr_prefix static_nets then mk Covered "installed in RIB"
+      else mk Uncovered "not installed in RIB")
+    cfg.Vi.static_routes
+
+(* --- assembly --- *)
+
+let compare_items a b =
+  compare
+    (a.it_file, a.it_line, a.it_node, a.it_kind, a.it_what)
+    (b.it_file, b.it_line, b.it_node, b.it_kind, b.it_what)
+
+let file_rollup items =
+  let per_file = Hashtbl.create 16 in
+  List.iter
+    (fun it ->
+      if it.it_file <> "" && it.it_line > 0 then begin
+        let lines =
+          match Hashtbl.find_opt per_file it.it_file with
+          | Some t -> t
+          | None ->
+            let t = Hashtbl.create 32 in
+            Hashtbl.add per_file it.it_file t;
+            t
+        in
+        let best =
+          match Hashtbl.find_opt lines it.it_line with
+          | Some s when status_rank s >= status_rank it.it_status -> s
+          | _ -> it.it_status
+        in
+        Hashtbl.replace lines it.it_line best
+      end)
+    items;
+  Hashtbl.fold
+    (fun file lines acc ->
+      let by st =
+        List.sort compare
+          (Hashtbl.fold
+             (fun l s acc -> if s = st then l :: acc else acc)
+             lines [])
+      in
+      { fc_file = file; fc_covered = by Covered; fc_uncovered = by Uncovered;
+        fc_dead = by Dead }
+      :: acc)
+    per_file []
+  |> List.sort (fun a b -> compare a.fc_file b.fc_file)
+
+let analyze ?(domains = 1) ?pool ?dp ?q ?(files = []) configs =
+  let deadmap, shards = static_dead_pass ~domains ~pool configs in
+  let tr =
+    match q with
+    | Some q -> traffic_of_query q
+    | None -> no_traffic (Pktset.create ())
+  in
+  let routes = match dp with Some dp -> all_best_routes dp | None -> [] in
+  let sessions = match dp with Some dp -> dp.Dataplane.sessions | None -> [] in
+  let file_of_node = Hashtbl.create 16 in
+  List.iter
+    (fun (fname, (cfg : Vi.t)) ->
+      if not (Hashtbl.mem file_of_node cfg.hostname) then
+        Hashtbl.add file_of_node cfg.hostname fname)
+    files;
+  let items =
+    List.concat_map
+      (fun (cfg : Vi.t) ->
+        let used_acls, used_rms, used_pls = Lint.referenced_structures cfg in
+        List.concat
+          [ List.concat_map (acl_items tr deadmap cfg used_acls) cfg.acls;
+            List.concat_map (routemap_items routes cfg used_rms) cfg.route_maps;
+            List.concat_map
+              (prefix_list_items routes cfg used_pls)
+              cfg.prefix_lists;
+            interface_items tr cfg;
+            bgp_items sessions cfg;
+            static_route_items (node_best_routes dp cfg.hostname) cfg ])
+      configs
+  in
+  let items =
+    List.map
+      (fun it ->
+        match Hashtbl.find_opt file_of_node it.it_node with
+        | Some f -> { it with it_file = f }
+        | None -> it)
+      items
+  in
+  let items = List.sort compare_items items in
+  let count st = List.length (List.filter (fun i -> i.it_status = st) items) in
+  { cov_items = items;
+    cov_files = file_rollup items;
+    cov_total = List.length items;
+    cov_covered = count Covered;
+    cov_uncovered = count Uncovered;
+    cov_dead = count Dead;
+    cov_attributed =
+      List.length
+        (List.filter (fun i -> i.it_file <> "" && i.it_line > 0) items);
+    cov_shards = shards }
+
+(* Dead units first (they are certainly removable), then live-but-never-
+   exercised units; both groups in (file, line) order so the report reads
+   top-to-bottom per file. *)
+let dead_config r =
+  List.filter (fun i -> i.it_status = Dead) r.cov_items
+  @ List.filter (fun i -> i.it_status = Uncovered) r.cov_items
+
+(* --- rendering --- *)
+
+let location_string it =
+  if it.it_file <> "" && it.it_line > 0 then
+    Printf.sprintf "%s:%d" it.it_file it.it_line
+  else if it.it_file <> "" then it.it_file
+  else if it.it_line > 0 then Printf.sprintf "line %d" it.it_line
+  else "-"
+
+let report_to_text r =
+  let buf = Buffer.create 1024 in
+  let pct n = if r.cov_total = 0 then 100 else 100 * n / r.cov_total in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "coverage: %d units, %d covered (%d%%), %d uncovered, %d dead; %d/%d attributed to source lines\n"
+       r.cov_total r.cov_covered (pct r.cov_covered) r.cov_uncovered
+       r.cov_dead r.cov_attributed r.cov_total);
+  List.iter
+    (fun fc ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %d covered, %d uncovered, %d dead\n" fc.fc_file
+           (List.length fc.fc_covered)
+           (List.length fc.fc_uncovered)
+           (List.length fc.fc_dead)))
+    r.cov_files;
+  let dc = dead_config r in
+  if dc <> [] then begin
+    Buffer.add_string buf "dead config (dead first, then uncovered):\n";
+    List.iter
+      (fun it ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%-9s] %s %s %s: %s\n"
+             (status_to_string it.it_status)
+             (location_string it) it.it_node it.it_what it.it_reason))
+      dc
+  end;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_to_json r =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let ints ls = "[" ^ String.concat "," (List.map string_of_int ls) ^ "]" in
+  let file_json fc =
+    "{"
+    ^ String.concat ","
+        [ field "file" (str fc.fc_file);
+          field "covered" (ints fc.fc_covered);
+          field "uncovered" (ints fc.fc_uncovered);
+          field "dead" (ints fc.fc_dead);
+          field "covered_count" (string_of_int (List.length fc.fc_covered));
+          field "uncovered_count" (string_of_int (List.length fc.fc_uncovered));
+          field "dead_count" (string_of_int (List.length fc.fc_dead)) ]
+    ^ "}"
+  in
+  let item_json it =
+    "{"
+    ^ String.concat ","
+        ([ field "status" (str (status_to_string it.it_status)) ]
+        @ (if it.it_file <> "" then [ field "file" (str it.it_file) ] else [])
+        @ (if it.it_line > 0 then
+             [ field "line" (string_of_int it.it_line) ]
+           else [])
+        @ [ field "node" (str it.it_node);
+            field "kind" (str it.it_kind);
+            field "what" (str it.it_what);
+            field "reason" (str it.it_reason) ])
+    ^ "}"
+  in
+  "{"
+  ^ String.concat ","
+      [ field "schema" "1";
+        field "files"
+          ("[" ^ String.concat "," (List.map file_json r.cov_files) ^ "]");
+        field "summary"
+          ("{"
+          ^ String.concat ","
+              [ field "units" (string_of_int r.cov_total);
+                field "covered" (string_of_int r.cov_covered);
+                field "uncovered" (string_of_int r.cov_uncovered);
+                field "dead" (string_of_int r.cov_dead);
+                field "attributed" (string_of_int r.cov_attributed) ]
+          ^ "}");
+        field "dead_config"
+          ("["
+          ^ String.concat "," (List.map item_json (dead_config r))
+          ^ "]") ]
+  ^ "}\n"

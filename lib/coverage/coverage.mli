@@ -1,0 +1,84 @@
+(** Configuration coverage: which config source lines influence the
+    forwarding behavior exercised by a query set.
+
+    Every behavior-bearing configuration unit (ACL line, route-map clause,
+    prefix-list entry, interface stanza, BGP neighbor, static route) is
+    classified as one of three statuses:
+
+    - [Dead]: statically unreachable — no packet or route can ever exercise
+      it, regardless of traffic. Decided by the same shared analyses the
+      linter uses (LINT003 shadowing, LINT004 clause subsumption,
+      LINT008 satisfiability), so lint-dead and coverage-dead agree by
+      construction.
+    - [Covered]: exercised by the query set — for packet filters, the query
+      traffic BDD at the unit's location intersects its effective match
+      set; for routing units, an installed route or established session
+      attributes to it.
+    - [Uncovered]: live but never exercised by the query set.
+
+    The query set is the symbolic all-sources forward sweep
+    ({!Fquery.forward_from} from {!Fquery.default_starts}); per-node static
+    analysis shards across worker domains like the lint ACL pass. *)
+
+type status = Covered | Uncovered | Dead
+
+val status_to_string : status -> string
+
+(** One behavior-bearing configuration unit and its verdict. *)
+type item = {
+  it_node : string;
+  it_file : string;  (** "" when the node maps to no parsed file *)
+  it_line : int;  (** 1-based source line; 0 = unknown provenance *)
+  it_kind : string;
+      (** ["acl-line"] | ["route-map-clause"] | ["prefix-list-entry"]
+          | ["interface"] | ["bgp-neighbor"] | ["static-route"] *)
+  it_what : string;  (** human description, e.g. ["acl EDGE_IN rule 20"] *)
+  it_status : status;
+  it_reason : string;  (** why it got that status *)
+}
+
+(** Per-file line rollup. A line carrying several units takes the best
+    status among them ([Covered] > [Uncovered] > [Dead]); only units with
+    known provenance contribute. Line lists are sorted and duplicate-free. *)
+type file_cov = {
+  fc_file : string;
+  fc_covered : int list;
+  fc_uncovered : int list;
+  fc_dead : int list;
+}
+
+type report = {
+  cov_items : item list;  (** deterministic order *)
+  cov_files : file_cov list;  (** sorted by filename *)
+  cov_total : int;  (** all units *)
+  cov_covered : int;
+  cov_uncovered : int;
+  cov_dead : int;
+  cov_attributed : int;  (** units with both a file and a line *)
+  cov_shards : int;  (** worker shards used by the static dead pass *)
+}
+
+(** [analyze configs] classifies every unit. [dp] and [q] supply the
+    query traffic and installed routes; without them everything live is
+    [Uncovered] (purely static coverage). [files] maps hostnames to
+    filenames (first definition wins, as in {!Lint.make_ctx}).
+    [domains]/[pool] shard the per-node static dead analysis; results are
+    identical at any worker count. Never raises on hostile input. *)
+val analyze :
+  ?domains:int ->
+  ?pool:Par.Pool.t ->
+  ?dp:Dataplane.t ->
+  ?q:Fquery.t ->
+  ?files:(string * Vi.t) list ->
+  Vi.t list ->
+  report
+
+(** The unified dead-config view: every [Dead] unit first, then every
+    [Uncovered] unit, each group sorted by (file, line, node, what). *)
+val dead_config : report -> item list
+
+val report_to_text : report -> string
+
+(** Deterministic machine-readable report:
+    [{"schema":1,"files":[...],"summary":{...},"dead_config":[...]}]. *)
+val report_to_json : report -> string

@@ -46,9 +46,11 @@ let undefined_reference_pass ctx =
 
 (* --- LINT002: unused structures --- *)
 
-(* (structure type, name) pairs defined by [cfg] but referenced nowhere in
-   it. Anonymous route-filter prefix lists ("__rf...") are internal. *)
-let unused_structures (cfg : Vi.t) =
+(* Names of ACLs / route-maps / prefix-lists referenced anywhere in [cfg]
+   (interfaces, NAT, zone policies, BGP, OSPF, route-map match clauses).
+   Shared by LINT002 (defined but unused) and LINT008 (referenced but
+   uncoverable). *)
+let referenced_structures (cfg : Vi.t) =
   let used_acls =
     List.concat_map
       (fun (i : Vi.interface) ->
@@ -95,6 +97,12 @@ let unused_structures (cfg : Vi.t) =
            b.bp_neighbors
        | None -> [])
   in
+  (used_acls, used_rms, used_pls)
+
+(* (structure type, name) pairs defined by [cfg] but referenced nowhere in
+   it. Anonymous route-filter prefix lists ("__rf...") are internal. *)
+let unused_structures (cfg : Vi.t) =
+  let used_acls, used_rms, used_pls = referenced_structures cfg in
   let unused kind names used =
     List.filter_map
       (fun name -> if List.mem name used then None else Some (kind, name))
@@ -128,59 +136,92 @@ let unused_structure_pass ctx =
    "permit ip 10.0.0.0/8 any" even though the texts share nothing. If a
    covering earlier line carries the opposite action the rule's intent is
    inverted, which we report at Error severity; a same-action shadow is
-   redundancy (Warn), as is a line whose own match set is empty. *)
-let acl_shadow_config env (cfg : Vi.t) =
+   redundancy (Warn), as is a line whose own match set is empty.
+
+   The per-line analysis is exposed as [acl_line_statuses] so the coverage
+   engine consumes the same effective-match BDDs and dead verdicts as the
+   LINT003 findings: lint and coverage agree by construction. *)
+
+type acl_dead_reason =
+  | Dead_empty  (* the line's own match set is the empty BDD *)
+  | Dead_shadowed of Vi.acl_line list * bool  (* blockers, conflicting action *)
+
+type acl_line_status = {
+  als_line : Vi.acl_line;
+  als_match : Bdd.t;  (* the line's own match set *)
+  als_effective : Bdd.t;  (* match minus the union of all earlier lines *)
+  als_dead : acl_dead_reason option;
+}
+
+let acl_line_statuses env (acl : Vi.acl) =
   let man = Pktset.man env in
+  let _, _, out =
+    List.fold_left
+      (fun (earlier, seen, out) (l : Vi.acl_line) ->
+        let m = Acl_bdd.line env l in
+        let eff = Bdd.bdiff man m earlier in
+        let dead =
+          if Bdd.is_bot m then Some Dead_empty
+          else if Bdd.is_bot eff then begin
+            let blockers =
+              List.filter
+                (fun ((_ : Vi.acl_line), m') ->
+                  not (Bdd.is_bot (Bdd.band man m m')))
+                (List.rev seen)
+            in
+            let masked =
+              List.exists
+                (fun ((b : Vi.acl_line), _) -> b.l_action <> l.l_action)
+                blockers
+            in
+            Some (Dead_shadowed (List.map fst blockers, masked))
+          end
+          else None
+        in
+        ( Bdd.bor man earlier m,
+          (l, m) :: seen,
+          { als_line = l; als_match = m; als_effective = eff; als_dead = dead }
+          :: out ))
+      (Bdd.bot, [], []) acl.acl_lines
+  in
+  List.rev out
+
+let opt_line l = if l > 0 then Some l else None
+
+let acl_shadow_config env (cfg : Vi.t) =
   List.concat_map
-        (fun (acl : Vi.acl) ->
-          let _, _, out =
-            List.fold_left
-              (fun (earlier, seen, out) (l : Vi.acl_line) ->
-                let m = Acl_bdd.line env l in
-                let f =
-                  if Bdd.is_bot m then
-                    Some
-                      (finding ~severity:Diag.Warn ~node:cfg.hostname ~code:"LINT003"
-                         (Printf.sprintf "acl %s line %d can match no packet: %s"
-                            acl.acl_name l.l_seq l.l_text))
-                  else if Bdd.is_bot (Bdd.bdiff man m earlier) then begin
-                    let blockers =
-                      List.filter
-                        (fun ((_ : Vi.acl_line), m') ->
-                          not (Bdd.is_bot (Bdd.band man m m')))
-                        (List.rev seen)
-                    in
-                    let masked =
-                      List.exists
-                        (fun ((b : Vi.acl_line), _) -> b.l_action <> l.l_action)
-                        blockers
-                    in
-                    let by =
-                      String.concat ", "
-                        (List.map
-                           (fun ((b : Vi.acl_line), _) -> string_of_int b.l_seq)
-                           blockers)
-                    in
-                    Some
-                      (finding
-                         ~severity:(if masked then Diag.Error else Diag.Warn)
-                         ~node:cfg.hostname ~code:"LINT003"
-                         (Printf.sprintf
-                            "acl %s line %d is unreachable (shadowed by line%s %s%s): %s"
-                            acl.acl_name l.l_seq
-                            (if List.length blockers = 1 then "" else "s")
-                            by
-                            (if masked then ", with conflicting action" else "")
-                            l.l_text))
-                  end
-                  else None
-                in
-                (Bdd.bor man earlier m, (l, m) :: seen,
-                 match f with Some f -> f :: out | None -> out))
-              (Bdd.bot, [], []) acl.acl_lines
-          in
-          List.rev out)
-        cfg.acls
+    (fun (acl : Vi.acl) ->
+      List.filter_map
+        (fun s ->
+          let l = s.als_line in
+          match s.als_dead with
+          | None -> None
+          | Some Dead_empty ->
+            Some
+              (finding ~severity:Diag.Warn ~node:cfg.hostname
+                 ?line:(opt_line l.l_line) ~code:"LINT003"
+                 (Printf.sprintf "acl %s line %d can match no packet: %s"
+                    acl.acl_name l.l_seq l.l_text))
+          | Some (Dead_shadowed (blockers, masked)) ->
+            let by =
+              String.concat ", "
+                (List.map
+                   (fun (b : Vi.acl_line) -> string_of_int b.l_seq)
+                   blockers)
+            in
+            Some
+              (finding
+                 ~severity:(if masked then Diag.Error else Diag.Warn)
+                 ~node:cfg.hostname ?line:(opt_line l.l_line) ~code:"LINT003"
+                 (Printf.sprintf
+                    "acl %s line %d is unreachable (shadowed by line%s %s%s): %s"
+                    acl.acl_name l.l_seq
+                    (if List.length blockers = 1 then "" else "s")
+                    by
+                    (if masked then ", with conflicting action" else "")
+                    l.l_text)))
+        (acl_line_statuses env acl))
+    cfg.acls
 
 (* Findings are plain data and each config is judged against its own ACLs
    only, so the per-node checks are independent: with [lc_domains > 1] they
@@ -216,36 +257,132 @@ let clause_subsumes (e : Vi.rm_clause) (c : Vi.rm_clause) =
     (fun ec -> List.exists (fun cc -> cond_implies cc ec) c.Vi.rc_matches)
     e.Vi.rc_matches
 
+(* Per-clause dead verdicts, shared with the coverage engine (same
+   contract as [acl_line_statuses]): a clause paired with the earliest
+   earlier clause that subsumes it, or [None] when reachable. *)
+let routemap_clause_statuses (rm : Vi.route_map) =
+  let _, out =
+    List.fold_left
+      (fun (earlier, out) (c : Vi.rm_clause) ->
+        let blocker =
+          List.find_opt (fun e -> clause_subsumes e c) (List.rev earlier)
+        in
+        (c :: earlier, (c, blocker) :: out))
+      ([], []) rm.Vi.rm_clauses
+  in
+  List.rev out
+
 let routemap_dead_clause_pass ctx =
   List.concat_map
     (fun (cfg : Vi.t) ->
       List.concat_map
         (fun (rm : Vi.route_map) ->
-          let _, out =
-            List.fold_left
-              (fun (earlier, out) (c : Vi.rm_clause) ->
-                let blocker =
-                  List.find_opt (fun e -> clause_subsumes e c) (List.rev earlier)
-                in
-                let f =
-                  match blocker with
-                  | None -> None
-                  | Some (e : Vi.rm_clause) ->
-                    let masked = e.rc_action <> c.rc_action in
-                    Some
-                      (finding
-                         ~severity:(if masked then Diag.Error else Diag.Warn)
-                         ~node:cfg.hostname ~code:"LINT004"
-                         (Printf.sprintf
-                            "route-map %s clause %d is dead: clause %d matches every route it would%s"
-                            rm.rm_name c.rc_seq e.rc_seq
-                            (if masked then " and has the opposite action" else "")))
-                in
-                (c :: earlier, match f with Some f -> f :: out | None -> out))
-              ([], []) rm.rm_clauses
-          in
-          List.rev out)
+          List.filter_map
+            (fun ((c : Vi.rm_clause), blocker) ->
+              match blocker with
+              | None -> None
+              | Some (e : Vi.rm_clause) ->
+                let masked = e.rc_action <> c.rc_action in
+                Some
+                  (finding
+                     ~severity:(if masked then Diag.Error else Diag.Warn)
+                     ~node:cfg.hostname ?line:(opt_line c.rc_line) ~code:"LINT004"
+                     (Printf.sprintf
+                        "route-map %s clause %d is dead: clause %d matches every route it would%s"
+                        rm.rm_name c.rc_seq e.rc_seq
+                        (if masked then " and has the opposite action" else ""))))
+            (routemap_clause_statuses rm))
         cfg.route_maps)
+    ctx.lc_configs
+
+(* --- LINT008: uncoverable structures --- *)
+
+(* A prefix-list entry is satisfiable when some prefix length in [elen..32]
+   meets its ge/le window (Policy_eval semantics: no modifier means exact
+   length, which is always achievable). *)
+let prefix_list_entry_satisfiable (e : Vi.prefix_list_entry) =
+  let elen = Prefix.length e.Vi.ple_prefix in
+  let lo = max elen (Option.value e.Vi.ple_ge ~default:elen) in
+  let hi = Option.value e.Vi.ple_le ~default:32 in
+  lo <= hi && lo <= 32
+
+(* A structure that is referenced but whose overall match predicate is
+   empty: an ACL that permits no packet, a route-map with no reachable
+   permit clause, a prefix-list with no satisfiable permit entry. Distinct
+   from LINT003/LINT004, which flag individual dead lines inside otherwise
+   functional structures — here the whole structure can never pass
+   anything, so every reference to it is a drop-everything filter. *)
+let uncoverable_structure_pass ctx =
+  List.concat_map
+    (fun (cfg : Vi.t) ->
+      let used_acls, used_rms, used_pls = referenced_structures cfg in
+      let acl_findings =
+        List.filter_map
+          (fun (acl : Vi.acl) ->
+            if
+              List.mem acl.acl_name used_acls
+              && Bdd.is_bot (Acl_bdd.permits (Lazy.force ctx.lc_env) acl)
+            then
+              let line =
+                match acl.acl_lines with l :: _ -> l.Vi.l_line | [] -> 0
+              in
+              Some
+                (finding ~severity:Diag.Warn ~node:cfg.hostname
+                   ?line:(opt_line line) ~code:"LINT008"
+                   (Printf.sprintf
+                      "acl %s is referenced but permits no packet" acl.acl_name))
+            else None)
+          cfg.acls
+      in
+      let rm_findings =
+        List.filter_map
+          (fun (rm : Vi.route_map) ->
+            if not (List.mem rm.rm_name used_rms) then None
+            else
+              let can_accept =
+                List.exists
+                  (fun ((c : Vi.rm_clause), blocker) ->
+                    blocker = None && c.rc_action = Vi.Permit)
+                  (routemap_clause_statuses rm)
+              in
+              if can_accept then None
+              else
+                let line =
+                  match rm.rm_clauses with c :: _ -> c.Vi.rc_line | [] -> 0
+                in
+                Some
+                  (finding ~severity:Diag.Warn ~node:cfg.hostname
+                     ?line:(opt_line line) ~code:"LINT008"
+                     (Printf.sprintf
+                        "route-map %s is referenced but can accept no route"
+                        rm.rm_name)))
+          cfg.route_maps
+      in
+      let pl_findings =
+        List.filter_map
+          (fun (pl : Vi.prefix_list) ->
+            if not (List.mem pl.pl_name used_pls) then None
+            else
+              let can_permit =
+                List.exists
+                  (fun (e : Vi.prefix_list_entry) ->
+                    e.ple_action = Vi.Permit && prefix_list_entry_satisfiable e)
+                  pl.pl_entries
+              in
+              if can_permit then None
+              else
+                let line =
+                  match pl.pl_entries with e :: _ -> e.Vi.ple_line | [] -> 0
+                in
+                Some
+                  (finding ~severity:Diag.Warn ~node:cfg.hostname
+                     ?line:(opt_line line) ~code:"LINT008"
+                     (Printf.sprintf
+                        "prefix-list %s is referenced but can match no prefix"
+                        pl.pl_name)))
+          cfg.prefix_lists
+      in
+      acl_findings @ rm_findings @ pl_findings)
     ctx.lc_configs
 
 (* --- LINT005: BGP session compatibility --- *)
@@ -473,7 +610,15 @@ let passes =
       p_run = interface_addressing_pass };
     { p_code = "LINT007"; p_name = "duplicate-identity";
       p_doc = "hostname or router-id claimed by more than one device";
-      p_run = duplicate_identity_pass } ]
+      p_run = duplicate_identity_pass };
+    { p_code = "LINT008"; p_name = "uncoverable-structure";
+      p_doc = "referenced structure whose match predicate is the empty BDD";
+      p_run = uncoverable_structure_pass } ]
+
+(* Passes whose findings feed the coverage dead-config report: these mark
+   config lines statically dead, which coverage unifies with query-driven
+   "never exercised" lines. *)
+let dead_config_passes = [ "LINT003"; "LINT004"; "LINT008" ]
 
 let find_pass key =
   let k = String.lowercase_ascii key in
@@ -518,6 +663,29 @@ let resolve_selection ?select ?ignore_passes () =
 
 type report = { r_results : (pass * Diag.t list) list }
 
+(* When the snapshot's file list is known, stamp each finding that names a
+   node with the file that defined it, so every surface renders the same
+   "file:line" location. *)
+let attach_files ctx findings =
+  match ctx.lc_files with
+  | [] -> findings
+  | files ->
+    let by_node = Hashtbl.create 16 in
+    List.iter
+      (fun (fname, (cfg : Vi.t)) ->
+        if not (Hashtbl.mem by_node cfg.Vi.hostname) then
+          Hashtbl.add by_node cfg.Vi.hostname fname)
+      files;
+    List.map
+      (fun (d : Diag.t) ->
+        match (d.Diag.d_loc.Diag.loc_file, d.Diag.d_loc.Diag.loc_node) with
+        | None, Some node -> (
+          match Hashtbl.find_opt by_node node with
+          | Some f -> Diag.set_file d f
+          | None -> d)
+        | _ -> d)
+      findings
+
 (* Each pass is fault-isolated: a crashing pass yields a single Fatal
    LINT_CRASH finding instead of taking the lint run down. Findings are
    deterministically ordered per pass. *)
@@ -526,7 +694,7 @@ let run_passes ctx ps =
     List.map
       (fun p ->
         let findings =
-          try List.sort Diag.compare_for_report (p.p_run ctx)
+          try List.sort Diag.compare_for_report (attach_files ctx (p.p_run ctx))
           with exn ->
             [ finding ~severity:Diag.Fatal ~code:code_crash
                 (Printf.sprintf "pass %s crashed: %s" p.p_name
@@ -593,6 +761,9 @@ let finding_to_json pass (d : Diag.t) =
     @ (match d.d_loc.loc_line with
       | Some l -> [ field "line" (string_of_int l) ]
       | None -> [])
+    @ (match (d.d_loc.loc_file, d.d_loc.loc_line) with
+      | Some f, Some l -> [ field "location" (str (Printf.sprintf "%s:%d" f l)) ]
+      | _ -> [])
     @ [ field "message" (str d.d_message) ]
   in
   "{" ^ String.concat "," parts ^ "}"

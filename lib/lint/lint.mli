@@ -16,7 +16,10 @@
     - [LINT005] [bgp-session]: declared sessions whose two ends disagree
     - [LINT006] [interface-addressing]: duplicate addresses, mismatched link
       subnets
-    - [LINT007] [duplicate-identity]: hostname/router-id claimed twice *)
+    - [LINT007] [duplicate-identity]: hostname/router-id claimed twice
+    - [LINT008] [uncoverable-structure]: referenced structure whose match
+      predicate is the empty BDD (an ACL permitting no packet, a route-map
+      with no reachable permit clause, a prefix-list no prefix satisfies) *)
 
 type ctx = {
   lc_files : (string * Vi.t) list;
@@ -51,6 +54,10 @@ type pass = {
 
 (** All registered passes, in code order. *)
 val passes : pass list
+
+(** Codes of the passes whose findings feed the coverage dead-config
+    report (the statically-dead-line passes). *)
+val dead_config_passes : string list
 
 val pass_names : string list
 
@@ -89,7 +96,39 @@ val report_to_text : report -> string
     [{"findings": [...], "summary": {...}}]. *)
 val report_to_json : report -> string
 
-(** {2 Shared analyses (also used by {!Questions})} *)
+(** {2 Shared analyses (also used by {!Questions} and the coverage engine)} *)
+
+(** Why an ACL line is dead. *)
+type acl_dead_reason =
+  | Dead_empty  (** the line's own match set is the empty BDD *)
+  | Dead_shadowed of Vi.acl_line list * bool
+      (** earlier lines covering it; [true] when one has the opposite action *)
+
+(** Per-line verdict from the LINT003 analysis. [als_effective] is the
+    line's match set minus the union of all earlier lines — the packets
+    that actually reach this line. *)
+type acl_line_status = {
+  als_line : Vi.acl_line;
+  als_match : Bdd.t;
+  als_effective : Bdd.t;
+  als_dead : acl_dead_reason option;
+}
+
+(** The LINT003 per-line analysis, exposed so the coverage engine and the
+    lint pass agree on dead lines by construction. *)
+val acl_line_statuses : Pktset.t -> Vi.acl -> acl_line_status list
+
+(** The LINT004 per-clause analysis: each clause paired with the earliest
+    earlier clause that subsumes it ([None] = reachable). *)
+val routemap_clause_statuses :
+  Vi.route_map -> (Vi.rm_clause * Vi.rm_clause option) list
+
+(** Whether some prefix length can satisfy the entry's ge/le window. *)
+val prefix_list_entry_satisfiable : Vi.prefix_list_entry -> bool
+
+(** Names of (ACLs, route-maps, prefix-lists) referenced anywhere in one
+    config. *)
+val referenced_structures : Vi.t -> string list * string list * string list
 
 (** (structure type, name) pairs defined but unreferenced in one config. *)
 val unused_structures : Vi.t -> (string * string) list

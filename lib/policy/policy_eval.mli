@@ -24,6 +24,11 @@ val run_named : ctx -> string -> Route.t -> result
 (** [None] policy means "no filtering": accept unchanged. *)
 val run_optional : ctx -> string option -> Route.t -> result
 
+(** Does one entry match this prefix (network containment plus the ge/le
+    length window)? Exposed for the coverage engine's per-entry
+    first-match attribution. *)
+val entry_matches : Vi.prefix_list_entry -> Prefix.t -> bool
+
 (** Does the prefix list permit this prefix (first-match, implicit deny)? *)
 val prefix_list_permits : Vi.prefix_list -> Prefix.t -> bool
 

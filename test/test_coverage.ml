@@ -1,0 +1,227 @@
+(* Coverage engine tests: exact line attribution on a hand-built fixture,
+   agreement with the lint dead-line passes, per-profile determinism
+   (byte-identical JSON), 100% attribution on the shipped example snapshot,
+   and the chaos property (coverage never raises, on anything). *)
+
+let check = Alcotest.check
+
+(* --- hand-built fixture with known covered/uncovered/dead lines --- *)
+
+let r1_text =
+  String.concat "\n"
+    [ "hostname r1";  (* 1 *)
+      "!";
+      "interface Loopback0";  (* 3: covered *)
+      " ip address 10.255.0.1 255.255.255.255";
+      "!";
+      "interface Ethernet1";  (* 6: covered *)
+      " ip address 10.0.12.1 255.255.255.252";
+      " ip access-group EDGE in";
+      "!";
+      "interface Ethernet2";  (* 10: dead (shutdown) *)
+      " shutdown";
+      "!";
+      "ip access-list extended EDGE";
+      " permit icmp any any";  (* 14: covered *)
+      " permit icmp any any";  (* 15: dead (shadowed by 14) *)
+      " deny ip any any";  (* 16: covered *)
+      "!";
+      "ip route 10.99.0.0 255.255.0.0 10.0.12.2";  (* 18: covered *)
+      "!";
+      "ip prefix-list PL seq 5 permit 10.0.0.0/8 ge 28 le 24";  (* 20: dead *)
+      "ip prefix-list PL seq 10 permit 10.99.0.0/16";  (* 21: covered *)
+      "!";
+      "route-map RM permit 10";  (* 23: covered *)
+      " match ip address prefix-list PL";
+      "route-map RM permit 20";  (* 25: dead (subsumed by 10) *)
+      " match ip address prefix-list PL";
+      "!";
+      "router bgp 65001";
+      " neighbor 10.0.12.2 remote-as 65002";  (* 29: uncovered (no peer) *)
+      " neighbor 10.0.12.2 route-map RM out"; "" ]
+
+(* r2 needs an edge-facing interface (the loopback): default query starts
+   are edge interfaces, and the return traffic they originate is what
+   exercises r1's inbound ACL. *)
+let r2_text =
+  String.concat "\n"
+    [ "hostname r2";  (* 1 *)
+      "!";
+      "interface Loopback0";  (* 3: covered *)
+      " ip address 10.255.0.2 255.255.255.255";
+      "!";
+      "interface Ethernet1";  (* 6: covered *)
+      " ip address 10.0.12.2 255.255.255.252"; "" ]
+
+let fixture_session () =
+  Batfish.init
+    (Batfish.Snapshot.of_texts [ ("r1.cfg", r1_text); ("r2.cfg", r2_text) ])
+
+let find_file r name =
+  match
+    List.find_opt (fun fc -> fc.Coverage.fc_file = name) r.Coverage.cov_files
+  with
+  | Some fc -> fc
+  | None -> Alcotest.failf "no per-file rollup for %s" name
+
+let fixture_exact () =
+  let r = Batfish.coverage (fixture_session ()) in
+  let r1 = find_file r "r1.cfg" in
+  check Alcotest.(list int) "r1 covered" [ 3; 6; 14; 16; 18; 21; 23 ]
+    r1.Coverage.fc_covered;
+  check Alcotest.(list int) "r1 uncovered" [ 29 ] r1.Coverage.fc_uncovered;
+  check Alcotest.(list int) "r1 dead" [ 10; 15; 20; 25 ] r1.Coverage.fc_dead;
+  let r2 = find_file r "r2.cfg" in
+  check Alcotest.(list int) "r2 covered" [ 3; 6 ] r2.Coverage.fc_covered;
+  check Alcotest.(list int) "r2 uncovered" [] r2.Coverage.fc_uncovered;
+  check Alcotest.(list int) "r2 dead" [] r2.Coverage.fc_dead;
+  check Alcotest.int "all units attributed" r.Coverage.cov_total
+    r.Coverage.cov_attributed;
+  check Alcotest.int "counts partition the units" r.Coverage.cov_total
+    (r.Coverage.cov_covered + r.Coverage.cov_uncovered + r.Coverage.cov_dead)
+
+(* The dead-config report leads with every dead unit, then the uncovered
+   ones, in (file, line) order. *)
+let fixture_dead_config_ranked () =
+  let r = Batfish.coverage (fixture_session ()) in
+  let dc = Coverage.dead_config r in
+  check
+    Alcotest.(list (pair string int))
+    "ranked dead-config lines"
+    [ ("r1.cfg", 10); ("r1.cfg", 15); ("r1.cfg", 20); ("r1.cfg", 25);
+      ("r1.cfg", 29) ]
+    (List.map (fun it -> (it.Coverage.it_file, it.Coverage.it_line)) dc)
+
+(* --- agreement with the lint dead-line passes ---
+
+   Every line LINT003/LINT004 reports dead must be dead in coverage: both
+   sides consume the same shared analyses, and this pins that down. *)
+
+let lint_agreement () =
+  let bf = fixture_session () in
+  let r = Batfish.coverage bf in
+  let dead_lines =
+    List.filter_map
+      (fun it ->
+        if it.Coverage.it_status = Coverage.Dead then
+          Some (it.Coverage.it_node, it.Coverage.it_line)
+        else None)
+      r.Coverage.cov_items
+  in
+  let lint_passes =
+    List.filter
+      (fun (p : Lint.pass) -> List.mem p.p_code Lint.dead_config_passes)
+      Lint.passes
+  in
+  let report = Lint.run_passes (Batfish.lint_ctx bf) lint_passes in
+  let findings =
+    List.filter
+      (fun (d : Diag.t) ->
+        d.d_code = "LINT003" || d.d_code = "LINT004")
+      (Lint.findings report)
+  in
+  if findings = [] then Alcotest.fail "fixture should trip LINT003/LINT004";
+  List.iter
+    (fun (d : Diag.t) ->
+      match (d.d_loc.loc_node, d.d_loc.loc_line) with
+      | Some node, Some line ->
+        if not (List.mem (node, line) dead_lines) then
+          Alcotest.failf "lint dead line %s:%d is not dead in coverage" node
+            line
+      | _ -> Alcotest.failf "lint finding lacks provenance: %s" (Diag.to_string d))
+    findings
+
+(* --- determinism: byte-identical JSON across runs and worker counts --- *)
+
+let coverage_json ?(domains = 1) texts =
+  let bf =
+    Batfish.init
+      ~options:{ Dataplane.default_options with domains }
+      (Batfish.Snapshot.of_texts texts)
+  in
+  Coverage.report_to_json (Batfish.coverage bf)
+
+let determinism () =
+  let profiles =
+    [ ("clos", fun () -> Netgen.clos ~name:"cv" ~spines:2 ~leaves:3 ());
+      ("enterprise", fun () -> Netgen.enterprise ~name:"cw" ~sites:3 ()) ]
+  in
+  List.iter
+    (fun (pname, make) ->
+      let texts = (make ()).Netgen.n_configs in
+      let j1 = coverage_json texts in
+      let j2 = coverage_json texts in
+      check Alcotest.string (pname ^ " same JSON twice") j1 j2;
+      let j3 = coverage_json ~domains:2 texts in
+      check Alcotest.string (pname ^ " JSON invariant under sharding") j1 j3)
+    profiles
+
+(* --- the shipped example snapshot: fully attributed, deterministic --- *)
+
+let example_dir () =
+  let rec up path n =
+    let candidate = Filename.concat path "examples/configs/clean_small" in
+    if Sys.file_exists candidate then Some candidate
+    else if n = 0 then None
+    else up (Filename.concat path "..") (n - 1)
+  in
+  up "." 6
+
+let clean_small_attribution () =
+  match example_dir () with
+  | None -> Alcotest.fail "examples/configs/clean_small not found"
+  | Some dir ->
+    let run () =
+      let bf = Batfish.init (Batfish.Snapshot.of_dir dir) in
+      Batfish.coverage bf
+    in
+    let r = run () in
+    check Alcotest.bool "has units" true (r.Coverage.cov_total > 0);
+    check Alcotest.int "100% attribution" r.Coverage.cov_total
+      r.Coverage.cov_attributed;
+    check Alcotest.int "no dead config" 0 r.Coverage.cov_dead;
+    check Alcotest.string "deterministic JSON"
+      (Coverage.report_to_json r)
+      (Coverage.report_to_json (run ()))
+
+(* --- the chaos property: coverage never raises, on anything --- *)
+
+let coverage_chaos () =
+  let profiles =
+    [ ("clos", fun () -> Netgen.clos ~name:"cc" ~spines:2 ~leaves:3 ());
+      ("enterprise", fun () -> Netgen.enterprise ~name:"ce" ~sites:3 ());
+      ("campus", fun () -> Netgen.campus ~name:"ck" ~buildings:3 ());
+      ("wan", fun () -> Netgen.wan ~name:"cn" ~pops:4 ()) ]
+  in
+  List.iteri
+    (fun bi (pname, make) ->
+      for seed = 0 to 24 do
+        let where = Printf.sprintf "%s seed %d" pname seed in
+        let rng = Rng.create ((9000 * bi) + seed) in
+        let mutated, _ =
+          Chaos.mutate_network ~rng ~mutations:(1 + Rng.int rng 3) (make ())
+        in
+        let bf = Batfish.init (Batfish.Snapshot.of_texts mutated.Netgen.n_configs) in
+        let r =
+          try Batfish.coverage bf
+          with exn ->
+            Alcotest.failf "%s: coverage raised %s" where (Printexc.to_string exn)
+        in
+        if
+          r.Coverage.cov_total
+          <> r.Coverage.cov_covered + r.Coverage.cov_uncovered
+             + r.Coverage.cov_dead
+        then Alcotest.failf "%s: statuses do not partition the units" where;
+        ignore (Coverage.report_to_json r);
+        ignore (Coverage.report_to_text r)
+      done)
+    profiles
+
+let suites =
+  [ ( "coverage",
+      [ Alcotest.test_case "fixture exact line sets" `Quick fixture_exact;
+        Alcotest.test_case "dead-config report ranked" `Quick fixture_dead_config_ranked;
+        Alcotest.test_case "agrees with lint dead lines" `Quick lint_agreement;
+        Alcotest.test_case "deterministic JSON per profile" `Quick determinism;
+        Alcotest.test_case "clean_small fully attributed" `Quick clean_small_attribution;
+        Alcotest.test_case "coverage chaos (never raises)" `Slow coverage_chaos ] ) ]

@@ -317,10 +317,10 @@ let report_shape () =
       check Alcotest.bool ("json has " ^ needle) true
         (Re.execp (Re.compile (Re.str needle)) json))
     [ "\"code\":\"LINT003\""; "\"severity\":\"WARN\""; "\"max_severity\":\"WARN\"";
-      "\"passes_run\":7" ];
+      "\"passes_run\":8" ];
   let text = Lint.report_to_text report in
   check Alcotest.bool "text has summary" true
-    (Re.execp (Re.compile (Re.str "1 finding from 7 passes")) text);
+    (Re.execp (Re.compile (Re.str "1 finding from 8 passes")) text);
   (* every finding is a well-formed diagnostic in the Lint phase *)
   List.iter
     (fun (d : Diag.t) ->
