@@ -15,6 +15,9 @@ lint: build
 # Fast benchmark subset: exercises the sharded parallel verification engine
 # (and fails if parallel results ever diverge from the sequential engine) and
 # writes machine-readable BENCH_results.json for the perf trajectory.
+# Fails (exit 1) when any parallel/incremental record diverges from the
+# sequential engine, or when a single-edit incremental.* record reports
+# nodes_reused = 0 — the per-node route-delta reuse must actually engage.
 bench-smoke: build
 	dune exec bench/main.exe -- smoke --scale 1
 

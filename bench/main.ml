@@ -75,7 +75,7 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 5,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 6,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
@@ -594,6 +594,7 @@ let parallel ~scale ~domains () =
 let incremental ~scale () =
   print_endline "== Incremental update: from-scratch recompute vs Batfish.update ==";
   let all_identical = ref true in
+  let no_reuse = ref [] in
   let rows =
     List.filter_map
       (fun name ->
@@ -640,6 +641,10 @@ let incremental ~scale () =
             && Fquery.all_pairs q' () = Fquery.all_pairs qs ()
           in
           if not identical then all_identical := false;
+          (* single-edit gate: per-node reuse must actually kick in — a
+             dirty component re-simulated wholesale would report 0 reused *)
+          if rep.Batfish.up_nodes_changed <> [] && rep.Batfish.up_nodes_reused = 0
+          then no_reuse := p.p_name :: !no_reuse;
           (* a cosmetic edit keeps the engine, memo included: the repeated
              query must answer from cache *)
           let noop_file = (file, snd changed ^ "\n! bench cosmetic edit") in
@@ -664,6 +669,8 @@ let incremental ~scale () =
               m_i "dirty_components" rep.Batfish.up_dirty_components;
               m_i "nodes_simulated" rep.Batfish.up_nodes_simulated;
               m_i "nodes_reused" rep.Batfish.up_nodes_reused;
+              m_i "frontier_size" rep.Batfish.up_frontier_size;
+              m_i "nodes_converged_early" rep.Batfish.up_nodes_converged_early;
               m_i "memo_invalidated" rep.Batfish.up_memo_invalidated;
               m_f "noop_update_memo_rate" memo_rate;
               m_b "noop_memo_hit" (hits1 > hits0);
@@ -674,15 +681,82 @@ let incremental ~scale () =
             [ p.p_name; string_of_int (Netgen.device_count net); fmt_s scratch_t;
               fmt_s warm_t; Printf.sprintf "%.2fx" (scratch_t /. Float.max 1e-9 warm_t);
               string_of_int rep.Batfish.up_nodes_simulated;
-              string_of_int rep.Batfish.up_nodes_reused; string_of_bool identical ])
+              string_of_int rep.Batfish.up_nodes_reused;
+              string_of_int rep.Batfish.up_nodes_converged_early;
+              string_of_bool identical ])
       [ "NET1"; "NET3"; "NET5"; "NET7" ]
   in
   Table.print
-    ~header:[ "network"; "devices"; "scratch"; "warm"; "speedup"; "dirty nodes";
-              "reused"; "identical" ]
+    ~header:[ "network"; "devices"; "scratch"; "warm"; "speedup"; "frontier";
+              "reused"; "early"; "identical" ]
     rows;
   if not !all_identical then begin
     print_endline "ERROR: incremental update differs from the from-scratch engine";
+    exit 1
+  end;
+  if !no_reuse <> [] then begin
+    Printf.printf
+      "ERROR: no per-node reuse on single-edit profile(s): %s\n"
+      (String.concat ", " (List.rev !no_reuse));
+    exit 1
+  end;
+  (* warm speedup as a curve: the same single edit on NET3 at growing scale
+     (the per-node worklist should pull further ahead of scratch as the
+     network grows, where component-level dirtiness stayed flat) *)
+  let sweep_point ~scale tag =
+    let p =
+      List.find (fun (p : Netgen.profile) -> p.Netgen.p_name = "NET3") Netgen.profiles
+    in
+    let net = p.p_make scale in
+    let rng = Rng.create (Hashtbl.hash ("incremental.sweep", tag)) in
+    match Chaos.semantic_edit_network ~rng net with
+    | None -> []
+    | Some (net', mut) ->
+      let file = List.hd mut.Chaos.mut_files in
+      let changed = (file, List.assoc file net'.Netgen.n_configs) in
+      let bf =
+        Batfish.init ~env:net.Netgen.n_env
+          (Batfish.Snapshot.of_texts net.Netgen.n_configs)
+      in
+      ignore (Batfish.dataplane bf);
+      let (bf', rep), warm_t = time (fun () -> Batfish.update ~files:[ changed ] bf) in
+      let scratch, scratch_t =
+        time (fun () ->
+            let s =
+              Batfish.init ~env:net.Netgen.n_env
+                (Batfish.Snapshot.of_texts net'.Netgen.n_configs)
+            in
+            ignore (Batfish.dataplane s);
+            s)
+      in
+      let routing dp =
+        List.map
+          (fun n ->
+            let r = Dataplane.node dp n in
+            (n, Rib.best_routes r.Dataplane.nr_main, Fib.entries r.Dataplane.nr_fib))
+          dp.Dataplane.node_order
+      in
+      let identical =
+        routing (Batfish.dataplane bf') = routing (Batfish.dataplane scratch)
+      in
+      if not identical then all_identical := false;
+      [ m_i ("devices_x" ^ tag) (Netgen.device_count net);
+        m_f ("scratch_s_x" ^ tag) scratch_t;
+        m_f ("warm_s_x" ^ tag) warm_t;
+        m_f ("speedup_x" ^ tag) (scratch_t /. Float.max 1e-9 warm_t);
+        m_i ("frontier_size_x" ^ tag) rep.Batfish.up_frontier_size;
+        m_i ("nodes_reused_x" ^ tag) rep.Batfish.up_nodes_reused;
+        m_b ("identical_x" ^ tag) identical ]
+  in
+  let sweep_metrics =
+    List.concat_map
+      (fun (s, tag) -> sweep_point ~scale:s tag)
+      [ (0.5, "0p5"); (1.0, "1"); (2.0, "2") ]
+  in
+  record "incremental.sweep"
+    (sweep_metrics @ [ m_b "identical" !all_identical ]);
+  if not !all_identical then begin
+    print_endline "ERROR: incremental sweep differs from the from-scratch engine";
     exit 1
   end;
   print_newline ()

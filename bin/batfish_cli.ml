@@ -316,7 +316,10 @@ let check_cmd =
   let run dir base domains strict =
     let bf =
       match base with
-      | Some b -> load_snapshot_incremental ~domains ~base:b dir
+      | Some b ->
+        (* full engine reuse so the report shows the route-delta counters
+           (frontierSize, nodesConvergedEarly) alongside the hygiene checks *)
+        load_update_incremental ~domains ~base:b dir
       | None -> load ~domains dir
     in
     print_answers (Batfish.check_all bf);

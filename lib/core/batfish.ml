@@ -373,6 +373,8 @@ type update_report = {
   up_dirty_components : int;
   up_nodes_simulated : int;
   up_nodes_reused : int;
+  up_frontier_size : int;  (* nodes the route-delta worklist re-simulated *)
+  up_nodes_converged_early : int;  (* frontier nodes identical to the base *)
   up_forwarding_rebuilt : bool;
   up_memo_invalidated : int;
 }
@@ -434,6 +436,8 @@ let update ?(removed = []) ?(diags = []) ~files t =
         up_dirty_components = 0;
         up_nodes_simulated = 0;
         up_nodes_reused = reused;
+        up_frontier_size = 0;
+        up_nodes_converged_early = 0;
         up_forwarding_rebuilt = false;
         up_memo_invalidated = 0 } )
   else begin
@@ -451,7 +455,10 @@ let update ?(removed = []) ?(diags = []) ~files t =
           Fquery.update ~base:q ~dirty:changed ~configs:(Snapshot.find snap')
             ~dp:dp' ()
         in
-        (Some q', true, inval)
+        (* [Fquery.update] keeps the base graph object exactly when the edit
+           left forwarding untouched — physical graph identity is the
+           "rebuilt" signal. *)
+        (Some q', not (Fquery.graph q' == Fquery.graph q), inval)
     in
     ( { snap = snap'; env = t.env; options = t.options;
         auto_domains = t.auto_domains; pool = t.pool; dp = Some dp'; fq = fq';
@@ -463,6 +470,8 @@ let update ?(removed = []) ?(diags = []) ~files t =
         up_dirty_components = stats.Dataplane.st_dirty_components;
         up_nodes_simulated = stats.Dataplane.st_simulated_nodes;
         up_nodes_reused = stats.Dataplane.st_reused_nodes;
+        up_frontier_size = stats.Dataplane.st_frontier_nodes;
+        up_nodes_converged_early = stats.Dataplane.st_converged_early;
         up_forwarding_rebuilt = rebuilt;
         up_memo_invalidated = invalidated } )
   end
@@ -472,6 +481,8 @@ let answer_update_report (r : update_report) =
     ~files_reparsed:r.up_files_reparsed ~nodes_changed:r.up_nodes_changed
     ~components:r.up_components ~dirty_components:r.up_dirty_components
     ~nodes_simulated:r.up_nodes_simulated ~nodes_reused:r.up_nodes_reused
+    ~frontier_size:r.up_frontier_size
+    ~nodes_converged_early:r.up_nodes_converged_early
     ~forwarding_rebuilt:r.up_forwarding_rebuilt
     ~memo_invalidated:r.up_memo_invalidated
 

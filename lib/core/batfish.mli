@@ -201,6 +201,12 @@ type update_report = {
   up_dirty_components : int;
   up_nodes_simulated : int;
   up_nodes_reused : int;
+  up_frontier_size : int;
+      (** nodes the route-delta worklist re-simulated inside dirty
+          components — where advertisement propagation actually reached *)
+  up_nodes_converged_early : int;
+      (** re-simulated nodes whose fixed point came back identical to the
+          base: the ring where propagation died out *)
   up_forwarding_rebuilt : bool;
   up_memo_invalidated : int;
 }
@@ -209,13 +215,14 @@ type update_report = {
     the added/modified [(name, text)] pairs, [?removed] names deleted files.
     Only changed files are re-parsed (content fingerprints), the dirty node
     set is derived from the explicit dependency map (L3 adjacency + BGP
-    sessions), the data-plane fixed point re-runs only on dirty dependency
-    components (clean components' RIBs/FIBs carry over from the base), and
-    the forwarding graph is rebuilt in the warm BDD environment — or kept,
-    memo included, when no model changed. The result is bit-identical to a
-    from-scratch analysis of the new file set. Forces the base data plane if
-    not yet computed; the forwarding engine is only rebuilt if the base had
-    built it. *)
+    sessions), the data-plane fixed point re-runs only on the nodes the edit
+    actually disturbs (the route-delta worklist; clean nodes and components
+    carry their RIBs/FIBs over from the base), and the forwarding graph is
+    rebuilt in the warm BDD environment — or kept, memo included, when
+    forwarding did not change. The result is bit-identical to a from-scratch
+    analysis of the new file set. Forces the base data plane if not yet
+    computed; the forwarding engine is only rebuilt if the base had built
+    it. *)
 val update :
   ?removed:string list ->
   ?diags:Diag.t list ->

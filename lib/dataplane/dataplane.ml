@@ -31,9 +31,25 @@ type node_result = {
   nr_fib : Fib.t;
 }
 
+(* One receiver-side BGP wire snapshot: the exact (arrival-free, sorted)
+   route set arriving over one established internal session, as produced by
+   the sender's export pipeline. Keyed from the receiver side because
+   sessions can be asymmetric (per-side multihop/update-source). The
+   incremental engine compares these sets to decide whether a neighbor's
+   inputs actually changed. *)
+type export_entry = {
+  ex_receiver : string;
+  ex_peer_ip : Ipv4.t;  (* the sender-side session address (receiver's view) *)
+  ex_local_ip : Ipv4.t;  (* the receiver-side session address *)
+  ex_is_ibgp : bool;
+  ex_sender : string;
+  mutable ex_wire : Route.t list;  (* arrival-zeroed, sorted, deduped *)
+}
+
 (* Result of simulating one dependency component (see [component_partition]).
    Retained inside [t] so that [update] can splice unchanged components'
-   results into a new snapshot without re-running them. *)
+   results into a new snapshot without re-running them, and warm-start
+   route-delta propagation inside dirty ones. *)
 type comp_result = {
   cr_members : string list;  (* hostnames, in config order *)
   cr_results : (string * node_result) list;
@@ -44,6 +60,17 @@ type comp_result = {
   cr_outer : int;
   cr_quarantined : (string * string) list;
   cr_diags : Diag.t list;
+  cr_prebgp : (string * string) list;
+      (* per-member digest of the pre-BGP main RIB (and external BGP inputs):
+         a member whose digest matches the base's needs re-simulation only if
+         its incoming advertisements change *)
+  cr_exports : export_entry list;
+  cr_ospf_digest : string;  (* digest of the last SPF inputs used *)
+  cr_delta_safe : bool;
+      (* false when the fixed point is timing-dependent (an arrival-decided
+         best-set boundary on some node): warm-started propagation could then
+         legitimately land on a different fixed point, so [update] falls back
+         to scratch *)
 }
 
 type stats = {
@@ -51,6 +78,8 @@ type stats = {
   st_dirty_components : int;
   st_simulated_nodes : int;
   st_reused_nodes : int;
+  st_frontier_nodes : int;
+  st_converged_early : int;
 }
 
 type t = {
@@ -643,12 +672,35 @@ let apply_bgp_delta_to_main node (adds, dels) =
     (fun (r : Route.t) -> if r.Route.from_peer <> 0 then Rib.merge node.main_rib r)
     adds
 
+(* The canonical advertisement order: plain structural comparison with the
+   arrival clock zeroed. Every advertisement path — publication deltas, the
+   warm re-import loop, wire snapshots — sorts by this, so the candidate a
+   receiver keeps when one peer advertises several variants of a net (iBGP
+   multipath without next-hop rewrite) is a function of the sender's final
+   best set, not of delivery history. *)
+let canonical_route_order (a : Route.t) (b : Route.t) =
+  compare { a with Route.arrival = 0 } { b with Route.arrival = 0 }
+
 let publish options node ~round =
   if Rib.dirty node.bgp_rib then begin
     ignore options;
     let adds, dels = Rib.take_delta node.bgp_rib in
     if adds <> [] || dels <> [] then begin
       apply_bgp_delta_to_main node (adds, dels);
+      (* Publish the full current variant list for every net the delta
+         touched, canonically ordered. A receiver keeps one candidate per
+         (net, peer), so a raw delta would leave its pick dependent on which
+         variant happened to arrive last — and a withdrawal of one variant
+         would clobber a survivor until that survivor next changed. *)
+      let touched = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Route.t) -> Hashtbl.replace touched r.Route.net ())
+        (adds @ dels);
+      let adds =
+        Rib.best_routes node.bgp_rib
+        |> List.filter (fun (r : Route.t) -> Hashtbl.mem touched r.Route.net)
+        |> List.sort canonical_route_order
+      in
       node.version <- node.version + 1;
       let pub =
         { pub_version = node.version; pub_round = round; pub_adds = adds;
@@ -695,44 +747,62 @@ let process_node options nodes ~round ~visible node =
                 in
                 Rib.withdraw node.bgp_rib dummy)
               pub.pub_dels;
+            (* Per-net resolution: the kept candidate is the last variant in
+               the publication's canonical order that survives both export
+               and import. A net whose every variant was denied is stale —
+               withdraw it. (A denial must not clobber an accepted variant of
+               the same net, or the outcome would depend on variant order.) *)
+            let outcome : (Prefix.t, Route.t option) Hashtbl.t =
+              Hashtbl.create 8
+            in
             List.iter
               (fun (r : Route.t) ->
-                match
-                  export_route sender rev ~sender_ip:s.ss_peer_ip
-                    ~receiver_ip:s.ss_local_ip ~is_ibgp:s.ss_is_ibgp r
-                with
+                let accepted =
+                  match
+                    export_route sender rev ~sender_ip:s.ss_peer_ip
+                      ~receiver_ip:s.ss_local_ip ~is_ibgp:s.ss_is_ibgp r
+                  with
+                  | None -> None
+                  | Some wire ->
+                    import_route options node s ~sender_rid:sender.router_id wire
+                in
+                match accepted with
+                | Some imported -> Hashtbl.replace outcome r.Route.net (Some imported)
                 | None ->
-                  (* Export denied: make sure nothing stale remains. *)
-                  let dummy =
-                    { r with Route.from_peer = s.ss_peer_ip;
-                      protocol =
-                        (if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp) }
-                  in
-                  Rib.withdraw node.bgp_rib dummy
-                | Some wire -> (
-                  match import_route options node s ~sender_rid:sender.router_id wire with
-                  | None ->
-                    let dummy =
-                      { r with Route.from_peer = s.ss_peer_ip;
-                        protocol =
-                          (if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp) }
-                    in
-                    Rib.withdraw node.bgp_rib dummy
-                  | Some imported -> Rib.merge node.bgp_rib imported))
+                  if not (Hashtbl.mem outcome r.Route.net) then
+                    Hashtbl.replace outcome r.Route.net None)
               pub.pub_adds;
+            Hashtbl.iter
+              (fun net kept ->
+                match kept with
+                | Some imported -> Rib.merge node.bgp_rib imported
+                | None ->
+                  (* Export or import denied for every variant: make sure
+                     nothing stale remains. *)
+                  let dummy =
+                    Route.bgp
+                      ~proto:
+                        (if s.ss_is_ibgp then Route_proto.Ibgp else Route_proto.Ebgp)
+                      ~net ~nh:Route.Nh_discard ~attrs:(Attrs.make ()) ~arrival:0
+                      ~from_rid:0 ~from_peer:s.ss_peer_ip
+                  in
+                  Rib.withdraw node.bgp_rib dummy)
+              outcome;
             s.ss_consumed <- pub.pub_version)
           pubs)
     node.sessions;
   publish options node ~round
 
 (* Inject external announcements through the import pipeline. *)
-let inject_external options node =
-  List.iter
+(* External announcements, already through this node's import pipeline, in
+   session/announcement order (the order their arrival clocks are stamped). *)
+let external_imports options node =
+  List.concat_map
     (fun s ->
       match s.ss_remote with
-      | Internal _ -> ()
+      | Internal _ -> []
       | External xp ->
-        List.iter
+        List.filter_map
           (fun (xa : Dp_env.external_announcement) ->
             let wire =
               Route.bgp ~proto:Route_proto.Ebgp ~net:xa.xa_prefix
@@ -742,11 +812,82 @@ let inject_external options node =
                      ~communities:xa.xa_communities ~origin:Vi.Origin_igp ())
                 ~arrival:0 ~from_peer:s.ss_peer_ip ~from_rid:s.ss_peer_ip
             in
-            match import_route options node s ~sender_rid:s.ss_peer_ip wire with
-            | None -> ()
-            | Some imported -> Rib.merge node.bgp_rib imported)
+            import_route options node s ~sender_rid:s.ss_peer_ip wire)
           xp.Dp_env.xp_announcements)
     node.sessions
+
+let inject_external options node =
+  List.iter (Rib.merge node.bgp_rib) (external_imports options node)
+
+(* --- route-delta reuse machinery (incremental per-node warm starts) --- *)
+
+(* The warm path bails out to a scratch [compute_component] whenever any of
+   its preconditions fail mid-flight. *)
+exception Fallback of string
+
+(* A RIB's best sets as plain comparable data, arrival clocks zeroed (the
+   clocks are the one legitimately timing-dependent field). *)
+let rib_state rib =
+  Rib.fold_best
+    (fun p best acc ->
+      List.rev_append
+        (List.map (fun (r : Route.t) -> (p, { r with Route.arrival = 0 })) best)
+        acc)
+    rib []
+  |> List.sort compare
+
+(* Digest of everything that feeds a node's BGP phase from below: its pre-BGP
+   main RIB (connected + static + OSPF) and the external announcements its
+   configured peers would inject. A member whose digest equals the base's
+   can only change through its internal BGP inputs — which the export-set
+   comparison tracks. *)
+let prebgp_digest env node =
+  let externals =
+    match node.cfg.Vi.bgp with
+    | None -> []
+    | Some b ->
+      List.filter_map
+        (fun (nbr : Vi.bgp_neighbor) ->
+          Option.map (fun xp -> (nbr.Vi.bn_peer, xp)) (Dp_env.find_peer env nbr.Vi.bn_peer))
+        b.bp_neighbors
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string (rib_state node.main_rib, externals) []))
+
+(* The wire list one internal session carries: the sender's current BGP best
+   routes, canonically ordered, through its export pipeline, arrival-zeroed.
+   The order is kept (no terminal sort): the receiver imports advertisements
+   in exactly this sequence and keeps the last accepted variant per net, so
+   two equal wire lists mean the receiver's inputs over this session — and
+   hence its kept candidates — are unchanged. *)
+let wire_routes ~sender ~rev ~sender_ip ~receiver_ip ~is_ibgp =
+  Rib.best_routes sender.bgp_rib
+  |> List.sort canonical_route_order
+  |> List.filter_map (fun r ->
+         export_route sender rev ~sender_ip ~receiver_ip ~is_ibgp r)
+  |> List.map (fun (r : Route.t) -> { r with Route.arrival = 0 })
+
+(* An arrival-decided best-set boundary: two eBGP candidates for the same
+   prefix that tie on every decision step before the arrival clock, only one
+   of which made the best set (covers multipath-cap truncation too, since a
+   truncated equal candidate differs in membership from an admitted one).
+   Only eBGP pairs qualify — the oldest-path step skips iBGP ties, which the
+   router-id and peer-address steps then decide deterministically. *)
+let node_ambiguous node =
+  let cost ip = igp_cost node ip in
+  Rib.fold_entries
+    (fun _p cands best acc ->
+      acc
+      || List.exists
+           (fun a ->
+             List.exists
+               (fun b ->
+                 a != b
+                 && a.Route.protocol = Route_proto.Ebgp
+                 && Cmp.bgp_pre_arrival_equal ~igp_cost:cost a b
+                 && List.memq a best <> List.memq b best)
+               cands)
+           cands)
+    node.bgp_rib false
 
 (* A fingerprint of global BGP state (arrival clocks ignored), used to detect
    oscillation: a repeated state with pending changes means a cycle. *)
@@ -990,6 +1131,124 @@ let infer_topology dc live =
 
 (* --- per-component simulation --- *)
 
+(* Phases 1–3, shared verbatim by the scratch and warm paths: connected
+   routes, the recursive static fixed point, OSPF, then the statics/OSPF
+   re-resolution dance (statics may resolve through OSPF and change the
+   redistributable set). [isolate] is the caller's fault policy; [run_spf]
+   maps prepared SPF inputs to per-node RIBs — the scratch path runs SPF,
+   the warm path substitutes the base's RIBs when the input digest matches.
+   Returns the digest of the last SPF inputs used. *)
+let prebgp_phases ~env ~topo ~live ~nodes ~node_index ~isolate ~is_quarantined
+    ~run_spf ~on_ospf_error =
+  (* Phase 1: connected and local routes. *)
+  Array.iter
+    (fun node ->
+      isolate node "connected-route computation" (fun () ->
+          List.iter (fun r -> Rib.merge node.main_rib r) (connected_routes env node.cfg)))
+    nodes;
+  (* Phase 2: static routes (recursive resolution to a fixed point). *)
+  let rec statics_fixpoint guard =
+    let changed = ref false in
+    Array.iter
+      (fun node ->
+        isolate node "static-route activation" (fun () ->
+            if activate_statics env node then changed := true))
+      nodes;
+    if !changed && guard > 0 then statics_fixpoint (guard - 1)
+  in
+  statics_fixpoint 16;
+  (* Phase 3: OSPF converges before BGP begins (the IGP-first ordering). A
+     crash in the global SPF computation degrades to "no OSPF routes" with an
+     Error diag rather than aborting the snapshot. *)
+  let last_digest = ref "" in
+  let run_ospf () =
+    let redistributable name =
+      match Hashtbl.find_opt node_index name with
+      | None -> []
+      | Some i ->
+        let node = nodes.(i) in
+        if is_quarantined node.cfg.Vi.hostname then []
+        else Rib.best_routes node.static_rib @ connected_routes env node.cfg
+    in
+    let ospf_configs =
+      List.filter (fun (c : Vi.t) -> not (is_quarantined c.Vi.hostname)) live
+    in
+    match
+      let inputs =
+        Ospf_engine.prepare ~env ~topo ~configs:ospf_configs ~redistributable ()
+      in
+      last_digest := Ospf_engine.digest inputs;
+      run_spf inputs
+    with
+    | ribs ->
+      Array.iter
+        (fun node ->
+          isolate node "ospf route application" (fun () ->
+              match Hashtbl.find_opt ribs node.cfg.Vi.hostname with
+              | None -> ()
+              | Some rib ->
+                Rib.withdraw_where node.main_rib (fun r ->
+                    Route_proto.is_ospf r.Route.protocol);
+                node.ospf_rib <- Some rib;
+                List.iter (fun r -> Rib.merge node.main_rib r) (Rib.best_routes rib)))
+        nodes
+    | exception exn -> on_ospf_error exn
+  in
+  run_ospf ();
+  (* Statics may resolve through OSPF; if that changes the redistributable
+     set, recompute OSPF once more. *)
+  let statics_changed = ref false in
+  Array.iter
+    (fun node ->
+      isolate node "static-route activation" (fun () ->
+          if activate_statics env node then statics_changed := true))
+    nodes;
+  if !statics_changed then begin
+    statics_fixpoint 16;
+    run_ospf ()
+  end;
+  !last_digest
+
+(* Final-state export snapshots plus the delta-safety verdict (see
+   [comp_result]): every internal session's wire list, receiver-keyed, and
+   whether any node's best-set boundary is arrival-decided. *)
+let export_snapshots nodes =
+  let entries = ref [] and safe = ref true in
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun s ->
+          match s.ss_remote with
+          | External _ -> ()
+          | Internal ridx ->
+            let sender = nodes.(ridx) in
+            let rev =
+              match s.ss_reverse with
+              | Some rn -> rn
+              | None -> Vi.bgp_neighbor_default s.ss_local_ip 0
+            in
+            let wire =
+              wire_routes ~sender ~rev ~sender_ip:s.ss_peer_ip
+                ~receiver_ip:s.ss_local_ip ~is_ibgp:s.ss_is_ibgp
+            in
+            entries :=
+              { ex_receiver = node.cfg.Vi.hostname; ex_peer_ip = s.ss_peer_ip;
+                ex_local_ip = s.ss_local_ip; ex_is_ibgp = s.ss_is_ibgp;
+                ex_sender = sender.cfg.Vi.hostname; ex_wire = wire }
+              :: !entries)
+        node.sessions)
+    nodes;
+  Array.iter
+    (fun node ->
+      if node_ambiguous node then safe := false)
+    nodes;
+  let entries =
+    List.sort
+      (fun a b -> compare (a.ex_receiver, a.ex_peer_ip) (b.ex_receiver, b.ex_peer_ip))
+      !entries
+  in
+  (entries, !safe)
+
 (* Simulate one dependency component to its fixed point. [topo] is the
    global topology; by construction every topology- or session-relevant
    query made here resolves inside the component (or to the external
@@ -1049,73 +1308,25 @@ let compute_component ~options ~env ~topo (comp : Vi.t list) =
         on_fault ~round:0 node
           (Printf.sprintf "%s raised: %s" what (Printexc.to_string exn))
   in
-  (* Phase 1: connected and local routes. *)
-  Array.iter
-    (fun node ->
-      isolate node "connected-route computation" (fun () ->
-          List.iter (fun r -> Rib.merge node.main_rib r) (connected_routes env node.cfg)))
-    nodes;
-  (* Phase 2: static routes (recursive resolution to a fixed point). *)
-  let rec statics_fixpoint guard =
-    let changed = ref false in
-    Array.iter
-      (fun node ->
-        isolate node "static-route activation" (fun () ->
-            if activate_statics env node then changed := true))
-      nodes;
-    if !changed && guard > 0 then statics_fixpoint (guard - 1)
+  let ospf_digest =
+    prebgp_phases ~env ~topo ~live ~nodes ~node_index ~isolate ~is_quarantined
+      ~run_spf:(fun inputs ->
+        Ospf_engine.run ?pool:options.pool ~domains:options.domains inputs)
+      ~on_ospf_error:(fun exn ->
+        Diag.add dc
+          (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_ospf_failed
+             (Printf.sprintf
+                "OSPF computation raised; continuing without OSPF routes: %s"
+                (Printexc.to_string exn))))
   in
-  statics_fixpoint 16;
-  (* Phase 3: OSPF converges before BGP begins (the IGP-first ordering). A
-     crash in the global SPF computation degrades to "no OSPF routes" with an
-     Error diag rather than aborting the snapshot. *)
-  let run_ospf () =
-    let redistributable name =
-      match Hashtbl.find_opt node_index name with
-      | None -> []
-      | Some i ->
-        let node = nodes.(i) in
-        if skip node then []
-        else Rib.best_routes node.static_rib @ connected_routes env node.cfg
-    in
-    let ospf_configs =
-      List.filter (fun (c : Vi.t) -> not (is_quarantined c.Vi.hostname)) live
-    in
-    match
-      Ospf_engine.compute ?pool:options.pool ~env ~topo ~configs:ospf_configs
-        ~redistributable ~domains:options.domains ()
-    with
-    | ribs ->
-      Array.iter
-        (fun node ->
-          isolate node "ospf route application" (fun () ->
-              match Hashtbl.find_opt ribs node.cfg.Vi.hostname with
-              | None -> ()
-              | Some rib ->
-                Rib.withdraw_where node.main_rib (fun r ->
-                    Route_proto.is_ospf r.Route.protocol);
-                node.ospf_rib <- Some rib;
-                List.iter (fun r -> Rib.merge node.main_rib r) (Rib.best_routes rib)))
-        nodes
-    | exception exn ->
-      Diag.add dc
-        (Diag.error ~phase:Diag.Dataplane ~code:Diag.code_ospf_failed
-           (Printf.sprintf "OSPF computation raised; continuing without OSPF routes: %s"
-              (Printexc.to_string exn)))
+  (* The pre-BGP state digest each member enters Phase 4 with — the warm
+     path's seed test (a member whose digest changed must be re-simulated). *)
+  let prebgp =
+    Array.to_list nodes
+    |> List.map (fun node ->
+           ( node.cfg.Vi.hostname,
+             try prebgp_digest env node with _ -> "" ))
   in
-  run_ospf ();
-  (* Statics may resolve through OSPF; if that changes the redistributable
-     set, recompute OSPF once more. *)
-  let statics_changed = ref false in
-  Array.iter
-    (fun node ->
-      isolate node "static-route activation" (fun () ->
-          if activate_statics env node then statics_changed := true))
-    nodes;
-  if !statics_changed then begin
-    statics_fixpoint 16;
-    run_ospf ()
-  end;
   (* Phase 4: BGP, with session re-evaluation at key points (§4.1.1). The
      outer loop carries an explicit fuel budget: exhausting it yields a
      well-formed converged=false result with a diag instead of spinning. *)
@@ -1235,6 +1446,9 @@ let compute_component ~options ~env ~topo (comp : Vi.t list) =
                    sr_established = false; sr_reason = Some reason })
                node.down_sessions)
   in
+  let exports, delta_safe =
+    try export_snapshots nodes with _ -> ([], false)
+  in
   { cr_members = List.map (fun (c : Vi.t) -> c.Vi.hostname) comp;
     cr_results = List.rev !results;
     cr_sessions = sessions;
@@ -1244,7 +1458,457 @@ let compute_component ~options ~env ~topo (comp : Vi.t list) =
     cr_outer = !outer;
     cr_quarantined =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) quarantine_tbl [];
-    cr_diags = Diag.to_list dc }
+    cr_diags = Diag.to_list dc;
+    cr_prebgp = prebgp;
+    cr_exports = exports;
+    cr_ospf_digest = ospf_digest;
+    cr_delta_safe = delta_safe }
+
+(* --- warm per-node re-simulation: the route-delta worklist --- *)
+
+type warm_stats = { ws_simulated : int; ws_converged_early : int }
+
+(* Re-simulate a dirty component starting from [base_cr]'s converged fixed
+   point, touching only the nodes the edit actually disturbs.
+
+   The pre-BGP phases (connected, statics, OSPF — with SPF reused when its
+   input digest matches) run fresh for every member; they are cheap and their
+   digests drive the seed test. The BGP phase then runs as a worklist seeded
+   with the changed nodes, every member whose pre-BGP state changed, and the
+   configured session partners of changed nodes (session viability and TCP
+   ACL checks read the partner's config). Each dequeued node is re-derived
+   from its neighbors' current advertisements — clean neighbors still expose
+   the base fixed point — and a neighbor is enqueued only when the wire set
+   it receives actually changes (or when this node's main RIB changed, since
+   multihop session viability reads it). Propagation therefore dies out at
+   the first ring of undisturbed fixed point.
+
+   Bit-identity with a scratch run holds because (a) the compared surface is
+   arrival-free, (b) advertisement is canonical — publication deltas, the
+   re-import loop here and the wire snapshots all order variants by
+   [canonical_route_order], so a receiver's kept candidate per (net, peer)
+   is a function of the sender's final best set, not of delivery history,
+   (c) the base was delta-safe (no arrival-decided best-set boundary), and
+   (d) that safety condition is re-checked on every re-simulated node, with
+   [Fallback] to the scratch path when it fails. *)
+let warm_component_exn ~options ~env ~topo ~base_cr ~changed_tbl (comp : Vi.t list) =
+  if not base_cr.cr_converged then raise (Fallback "base component not converged");
+  if base_cr.cr_oscillated then raise (Fallback "base component oscillated");
+  if base_cr.cr_quarantined <> [] then raise (Fallback "base component has quarantines");
+  if base_cr.cr_diags <> [] then raise (Fallback "base component has diagnostics");
+  if not base_cr.cr_delta_safe then
+    raise (Fallback "base fixed point is timing-dependent");
+  let nodes = Array.of_list (List.mapi make_node comp) in
+  let n = Array.length nodes in
+  let node_index = Hashtbl.create 64 in
+  Array.iter (fun node -> Hashtbl.replace node_index node.cfg.Vi.hostname node.idx) nodes;
+  let base_nr =
+    Array.map
+      (fun node ->
+        match List.assoc_opt node.cfg.Vi.hostname base_cr.cr_results with
+        | Some nr -> nr
+        | None -> raise (Fallback "member missing from base results"))
+      nodes
+  in
+  let isolate _node what f =
+    try f ()
+    with exn ->
+      raise (Fallback (Printf.sprintf "%s raised: %s" what (Printexc.to_string exn)))
+  in
+  let ospf_digest =
+    prebgp_phases ~env ~topo ~live:comp ~nodes ~node_index ~isolate
+      ~is_quarantined:(fun _ -> false)
+      ~run_spf:(fun inputs ->
+        let d = Ospf_engine.digest inputs in
+        if d = base_cr.cr_ospf_digest then begin
+          (* unchanged SPF inputs: the base per-node OSPF RIBs are exactly
+             what a fresh run would produce *)
+          let tbl = Hashtbl.create (max 16 n) in
+          Array.iteri
+            (fun i node ->
+              match base_nr.(i).nr_ospf with
+              | Some rib -> Hashtbl.replace tbl node.cfg.Vi.hostname rib
+              | None -> ())
+            nodes;
+          tbl
+        end
+        else Ospf_engine.run ?pool:options.pool ~domains:options.domains inputs)
+      ~on_ospf_error:(fun exn -> raise (Fallback (Printexc.to_string exn)))
+  in
+  let prebgp =
+    Array.map (fun node -> (node.cfg.Vi.hostname, prebgp_digest env node)) nodes
+  in
+  (* Configured session partners (both directions), from the new configs. *)
+  let partners = Array.make n [] in
+  Array.iteri
+    (fun i node ->
+      match node.cfg.Vi.bgp with
+      | None -> ()
+      | Some b ->
+        List.iter
+          (fun (nbr : Vi.bgp_neighbor) ->
+            match L3.owner_of_ip topo nbr.Vi.bn_peer with
+            | Some ep -> (
+              match Hashtbl.find_opt node_index ep.L3.ep_node with
+              | Some j when j <> i ->
+                if not (List.mem j partners.(i)) then partners.(i) <- j :: partners.(i);
+                if not (List.mem i partners.(j)) then partners.(j) <- i :: partners.(j)
+              | Some _ | None -> ())
+            | None -> ())
+          b.bp_neighbors)
+    nodes;
+  let queue = Queue.create () in
+  let in_queue = Array.make n false in
+  let materialized = Array.make n false in
+  let early = Array.make n false in
+  let enqueue i =
+    if not in_queue.(i) then begin
+      in_queue.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  (* Seeds: changed nodes, members whose pre-BGP state changed, and the
+     session partners of changed nodes (configured in either snapshot —
+     base sessions cover deleted neighbor stanzas). *)
+  Array.iteri
+    (fun i node ->
+      let name = node.cfg.Vi.hostname in
+      let changed = Hashtbl.mem changed_tbl name in
+      let pre_same =
+        match List.assoc_opt name base_cr.cr_prebgp with
+        | Some d -> d <> "" && d = snd prebgp.(i)
+        | None -> false
+      in
+      if changed || not pre_same then enqueue i;
+      if changed then List.iter enqueue partners.(i))
+    nodes;
+  List.iter
+    (fun sr ->
+      match sr.sr_remote_node with
+      | None -> ()
+      | Some remote -> (
+        let wake a b =
+          if Hashtbl.mem changed_tbl a then
+            Option.iter enqueue (Hashtbl.find_opt node_index b)
+        in
+        wake sr.sr_node remote;
+        wake remote sr.sr_node))
+    base_cr.cr_sessions;
+  (* Every read of a not-yet-materialized node goes to the base fixed point:
+     [view] aliases the base RIBs until the node is first dequeued. *)
+  let view =
+    Array.mapi
+      (fun i node ->
+        { node with main_rib = base_nr.(i).nr_main; bgp_rib = base_nr.(i).nr_bgp })
+      nodes
+  in
+  let base_main_state = Array.map (fun nr -> rib_state nr.nr_main) base_nr in
+  (* Last main-RIB state each node propagated from: partners are woken on a
+     transition, not on every visit while the state differs from base (that
+     would cycle forever in a dense session mesh). *)
+  let last_main_state = Array.copy base_main_state in
+  (* The live wire table, seeded from the base snapshot and refreshed as
+     nodes re-simulate. Entries are private copies: [ex_wire] is mutable and
+     the base's records must stay pristine. *)
+  let exports : (string * Ipv4.t, export_entry) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e -> Hashtbl.replace exports (e.ex_receiver, e.ex_peer_ip) { e with ex_wire = e.ex_wire })
+    base_cr.cr_exports;
+  let reverse_of sender (s : session) =
+    match s.ss_reverse with
+    | Some rn -> rn
+    | None ->
+      ignore sender;
+      Vi.bgp_neighbor_default s.ss_local_ip 0
+  in
+  (* Last BGP best-set state each node's outgoing wires were computed from:
+     a dequeued node re-exports (sender-side policy runs) only when its BGP
+     state actually moved, not on every visit. *)
+  let last_bgp_state = Array.map (fun nr -> rib_state nr.nr_bgp) base_nr in
+  let step_count = ref 0 in
+  (* Keep the wire table's entry set in sync with [i]'s live sessions:
+     entries are created for new sessions (computing their wire once from the
+     sender's current view) and dropped for sessions that disappeared.
+     Surviving entries are already current — every sender rewrites its
+     entries whenever its own BGP state transitions. *)
+  let sync_incoming i =
+    let nd = nodes.(i) in
+    let name = nd.cfg.Vi.hostname in
+    List.iter
+      (fun s ->
+        match s.ss_remote with
+        | External _ -> ()
+        | Internal ridx ->
+          let sender = view.(ridx) in
+          let current e =
+            e.ex_local_ip = s.ss_local_ip
+            && e.ex_is_ibgp = s.ss_is_ibgp
+            && e.ex_sender = sender.cfg.Vi.hostname
+          in
+          (match Hashtbl.find_opt exports (name, s.ss_peer_ip) with
+           | Some e when current e -> ()
+           | Some _ | None ->
+             let rev = reverse_of sender s in
+             Hashtbl.replace exports (name, s.ss_peer_ip)
+               { ex_receiver = name; ex_peer_ip = s.ss_peer_ip;
+                 ex_local_ip = s.ss_local_ip; ex_is_ibgp = s.ss_is_ibgp;
+                 ex_sender = sender.cfg.Vi.hostname;
+                 ex_wire =
+                   wire_routes ~sender ~rev ~sender_ip:s.ss_peer_ip
+                     ~receiver_ip:s.ss_local_ip ~is_ibgp:s.ss_is_ibgp }))
+      nd.sessions;
+    let live =
+      List.filter_map
+        (fun s ->
+          match s.ss_remote with
+          | Internal _ -> Some s.ss_peer_ip
+          | External _ -> None)
+        nd.sessions
+    in
+    let stale =
+      Hashtbl.fold
+        (fun (r, peer) _ acc ->
+          if r = name && not (List.mem peer live) then (r, peer) :: acc else acc)
+        exports []
+    in
+    List.iter (Hashtbl.remove exports) stale
+  in
+  (* One node's re-derivation: wipe its BGP state and rebuild it from its
+     neighbors' cached wire entries (the wires hold exactly what the scratch
+     export pipeline put there, in canonical order, and [import_route]
+     ignores the incoming arrival clock — so importing a cached wire is the
+     import half of the scratch exchange, without re-running the sender-side
+     export policies). Iterates because local originations, import best
+     selection (IGP cost) and session viability read the node's own main.
+     Returns the settled (main, bgp) states. *)
+  (* Receiver-side import results, cached per wire entry. [import_route] is a
+     pure function of (receiver config, session, sender router-id, wire
+     route) apart from the arrival stamp, and a wire list is replaced
+     wholesale whenever it is recomputed — so physical identity of [ex_wire]
+     (plus the sender rid) keys the policy evaluation exactly. Accepted
+     routes are cached arrival-free and restamped at merge time, in the same
+     session/route order the direct import loop would stamp them. *)
+  let import_cache : (string * Ipv4.t, Route.t list * int * Route.t list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let step i =
+    if not materialized.(i) then begin
+      materialized.(i) <- true;
+      view.(i) <- nodes.(i)
+    end;
+    let nd = nodes.(i) in
+    let name = nd.cfg.Vi.hostname in
+    let cur = ref (rib_state nd.main_rib, rib_state nd.bgp_rib) in
+    let stable = ref false and guard = ref 8 in
+    while not !stable do
+      if !guard = 0 then
+        raise (Fallback "node did not stabilize under warm re-simulation");
+      decr guard;
+      incr step_count;
+      establish_sessions env topo view node_index nd;
+      sync_incoming i;
+      (* Gather the node's full BGP candidate list in the order a wipe
+         followed by the scratch merge sequence would produce it — local
+         originations, external announcements, then each session's cached
+         wire through the (cached) import pipeline — and rebuild the rib in
+         one [Rib.reload] pass. *)
+      nd.local_bgp <- compute_local_bgp nd;
+      let acc = ref (List.rev nd.local_bgp) in
+      List.iter
+        (fun r -> acc := r :: !acc)
+        (external_imports options nd);
+      List.iter
+        (fun s ->
+          match s.ss_remote with
+          | External _ -> ()
+          | Internal ridx -> (
+            match Hashtbl.find_opt exports (name, s.ss_peer_ip) with
+            | None -> ()
+            | Some e ->
+              let sender_rid = view.(ridx).router_id in
+              let imported =
+                match Hashtbl.find_opt import_cache (name, s.ss_peer_ip) with
+                | Some (w, rid, imp) when w == e.ex_wire && rid = sender_rid -> imp
+                | _ ->
+                  let imp =
+                    List.filter_map
+                      (fun w ->
+                        Option.map
+                          (fun (r : Route.t) -> { r with Route.arrival = 0 })
+                          (import_route options nd s ~sender_rid w))
+                      e.ex_wire
+                  in
+                  Hashtbl.replace import_cache (name, s.ss_peer_ip)
+                    (e.ex_wire, sender_rid, imp);
+                  imp
+              in
+              List.iter
+                (fun (r : Route.t) ->
+                  acc := { r with Route.arrival = next_arrival options nd } :: !acc)
+                imported))
+        nd.sessions;
+      Rib.reload nd.bgp_rib (List.rev !acc);
+      (* Rebuild the main RIB the same wholesale way: every non-BGP-learned
+         candidate survives as-is, the BGP portion is this rib's fresh best
+         set (arrival-zeroed, locally originated candidates stay out) —
+         exactly what the scratch delta application converges to. *)
+      let retained_rev =
+        Rib.fold_entries
+          (fun _ cands _ acc ->
+            List.fold_left
+              (fun acc (c : Route.t) ->
+                if Route_proto.is_bgp c.Route.protocol && c.Route.from_peer <> 0
+                then acc
+                else c :: acc)
+              acc cands)
+          nd.main_rib []
+      in
+      let bgp_into_main =
+        List.filter_map
+          (fun (r : Route.t) ->
+            if r.Route.from_peer <> 0 then Some { r with Route.arrival = 0 }
+            else None)
+          (Rib.best_routes nd.bgp_rib)
+      in
+      Rib.reload nd.main_rib (retained_rev @ bgp_into_main);
+      let now = (rib_state nd.main_rib, rib_state nd.bgp_rib) in
+      stable := now = !cur;
+      cur := now
+    done;
+    !cur
+  in
+  (* The delta test: when this node's BGP state moved (or its config changed,
+     which can alter exports with the state unchanged), recompute its
+     outgoing wires and enqueue exactly the receivers whose inputs changed; a
+     main-RIB transition additionally wakes the configured partners (their
+     session viability reads it). Returns true when nothing downstream was
+     disturbed and the node landed back on its base fixed point. *)
+  let propagate i (cur_main, cur_bgp) =
+    let nd = nodes.(i) in
+    let name = nd.cfg.Vi.hostname in
+    let quiet = ref true in
+    if cur_bgp <> last_bgp_state.(i) || Hashtbl.mem changed_tbl name then begin
+      last_bgp_state.(i) <- cur_bgp;
+      Hashtbl.iter
+        (fun _ e ->
+          if e.ex_sender = name then
+            match Hashtbl.find_opt node_index e.ex_receiver with
+            | None -> ()
+            | Some j when materialized.(j) && j = i -> ()
+            | Some j ->
+              let rev =
+                match nd.cfg.Vi.bgp with
+                | None -> None
+                | Some b ->
+                  List.find_opt
+                    (fun (rn : Vi.bgp_neighbor) -> rn.Vi.bn_peer = e.ex_local_ip)
+                    b.bp_neighbors
+              in
+              let wire =
+                match rev with
+                | None -> []
+                | Some rev ->
+                  wire_routes ~sender:nd ~rev ~sender_ip:e.ex_peer_ip
+                    ~receiver_ip:e.ex_local_ip ~is_ibgp:e.ex_is_ibgp
+              in
+              if wire <> e.ex_wire then begin
+                e.ex_wire <- wire;
+                quiet := false;
+                enqueue j
+              end)
+        exports
+    end;
+    if cur_main <> last_main_state.(i) then begin
+      last_main_state.(i) <- cur_main;
+      quiet := false;
+      List.iter enqueue partners.(i)
+    end;
+    !quiet && cur_main = base_main_state.(i)
+  in
+  (* Worklist fuel. The runaway backstop is 16 dequeues per member, but the
+     caller's [max_rounds] budget also binds: a crippled fuel option must
+     cripple the warm engine the same way it bounds the scratch engine's BGP
+     rounds (exceeding it falls back to the scratch path, which reports fuel
+     exhaustion precisely). *)
+  let budget = ref (min (max 64 (16 * n)) (max 1 (options.max_rounds * n))) in
+  while not (Queue.is_empty queue) do
+    if !budget = 0 then raise (Fallback "delta worklist exceeded its budget");
+    decr budget;
+    let i = Queue.pop queue in
+    in_queue.(i) <- false;
+    early.(i) <- propagate i (step i)
+  done;
+  (* The warm fixed point must itself be timing-independent, or it cannot be
+     trusted (nor serve as the next update's base). *)
+  Array.iteri
+    (fun i node ->
+      if materialized.(i) && node_ambiguous node then
+        raise (Fallback "warm fixed point is timing-dependent"))
+    nodes;
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i node ->
+           let name = node.cfg.Vi.hostname in
+           if materialized.(i) then
+             ( name,
+               { nr_node = name; nr_main = node.main_rib; nr_bgp = node.bgp_rib;
+                 nr_ospf = node.ospf_rib;
+                 nr_fib = Fib.of_rib ~node:name ~topo node.main_rib } )
+           else (name, base_nr.(i)))
+         nodes)
+  in
+  let sessions =
+    Array.to_list nodes
+    |> List.concat_map (fun node ->
+           let name = node.cfg.Vi.hostname in
+           if materialized.(node.idx) then
+             List.map
+               (fun s ->
+                 { sr_node = name; sr_peer = s.ss_peer_ip;
+                   sr_remote_node =
+                     (match s.ss_remote with
+                      | Internal i -> Some nodes.(i).cfg.Vi.hostname
+                      | External _ -> None);
+                   sr_is_ibgp = s.ss_is_ibgp; sr_established = true;
+                   sr_reason = None })
+               node.sessions
+             @ List.map
+                 (fun ((nbr : Vi.bgp_neighbor), reason) ->
+                   { sr_node = name; sr_peer = nbr.bn_peer; sr_remote_node = None;
+                     sr_is_ibgp = false; sr_established = false;
+                     sr_reason = Some reason })
+                 node.down_sessions
+           else List.filter (fun sr -> sr.sr_node = name) base_cr.cr_sessions)
+  in
+  let exports_list =
+    Hashtbl.fold (fun _ e acc -> e :: acc) exports []
+    |> List.sort (fun a b ->
+           compare (a.ex_receiver, a.ex_peer_ip) (b.ex_receiver, b.ex_peer_ip))
+  in
+  let simulated = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 materialized in
+  let early_count = ref 0 in
+  Array.iteri (fun i m -> if m && early.(i) then incr early_count) materialized;
+  ( { cr_members = List.map (fun (c : Vi.t) -> c.Vi.hostname) comp;
+      cr_results = results;
+      cr_sessions = sessions;
+      cr_converged = true;
+      cr_oscillated = false;
+      cr_rounds = !step_count;
+      cr_outer = 1;
+      cr_quarantined = [];
+      cr_diags = [];
+      cr_prebgp = Array.to_list prebgp;
+      cr_exports = exports_list;
+      cr_ospf_digest = ospf_digest;
+      cr_delta_safe = true },
+    { ws_simulated = simulated; ws_converged_early = !early_count } )
+
+(* Any failed precondition or mid-flight surprise sends the component down
+   the scratch path instead — slower, never wrong. *)
+let warm_component ~options ~env ~topo ~base_cr ~changed_tbl comp =
+  try Some (warm_component_exn ~options ~env ~topo ~base_cr ~changed_tbl comp)
+  with _ -> None
 
 (* --- orchestration --- *)
 
@@ -1303,22 +1967,28 @@ let compute ?(options = default_options) ?(env = Dp_env.empty) configs =
     { st_components = List.length comp_results;
       st_dirty_components = List.length comp_results;
       st_simulated_nodes = List.length live;
-      st_reused_nodes = 0 }
+      st_reused_nodes = 0;
+      st_frontier_nodes = 0;
+      st_converged_early = 0 }
   in
   assemble ~configs ~topo ~pre_quarantined ~pre_diags ~stats comp_results
 
-(* Incremental recompute (ISSUE 4 tentpole). [changed] lists the hostnames
-   whose vendor-independent model differs from [base] (including added
-   nodes; removed nodes are simply absent from [configs]). A component of the
-   new snapshot is reused from [base] — results, sessions, diags and all —
-   exactly when none of its members changed AND its member set equals a base
-   component's member set; the membership check catches every cross-component
-   influence shift (an edit elsewhere that acquires or loses ownership of a
-   peer address, adds an adjacency, etc.) because any such shift changes the
-   partition. Dirty components run the identical [compute_component] path
-   from scratch, which is what makes the result bit-identical to a full
-   [compute] of the new configs. [options] and [env] must equal the ones
-   [base] was computed with. *)
+(* Incremental recompute (ISSUE 4 tentpole; per-node route-delta reuse in
+   ISSUE 8). [changed] lists the hostnames whose vendor-independent model
+   differs from [base] (including added nodes; removed nodes are simply
+   absent from [configs]). A component of the new snapshot is reused from
+   [base] — results, sessions, diags and all — exactly when none of its
+   members changed AND its member set equals a base component's member set;
+   the membership check catches every cross-component influence shift (an
+   edit elsewhere that acquires or loses ownership of a peer address, adds an
+   adjacency, etc.) because any such shift changes the partition. A dirty
+   component whose member set still matches a base component re-simulates
+   only the nodes the edit disturbs ([warm_component]), warm-starting the
+   rest from the base fixed point; if the warm preconditions fail (base not
+   converged, timing-dependent fixed point, mid-flight surprise) it falls
+   back to the identical [compute_component] path from scratch. Either way
+   the result is bit-identical to a full [compute] of the new configs.
+   [options] and [env] must equal the ones [base] was computed with. *)
 let update ?(options = default_options) ?(env = Dp_env.empty) ~base ~changed configs =
   let live, pre_quarantined, pre_diags0 = preflight ~env configs in
   let dc = Diag.collector () in
@@ -1330,30 +2000,46 @@ let update ?(options = default_options) ?(env = Dp_env.empty) ~base ~changed con
   let base_by_members =
     List.map (fun cr -> (cr.cr_members, cr)) base.comp_results
   in
-  let reused_nodes = ref 0 and dirty = ref 0 in
+  let reused_nodes = ref 0 and dirty = ref 0 and simulated = ref 0 in
+  let frontier = ref 0 and early = ref 0 in
   let comp_results =
     List.map
       (fun comp ->
         let members = List.map (fun (c : Vi.t) -> c.Vi.hostname) comp in
-        let clean =
-          (not (List.exists (Hashtbl.mem changed_tbl) members))
-          && List.mem_assoc members base_by_members
-        in
-        if clean then begin
-          reused_nodes := !reused_nodes + List.length members;
-          List.assoc members base_by_members
-        end
-        else begin
+        let n_members = List.length members in
+        let base_cr = List.assoc_opt members base_by_members in
+        let any_changed = List.exists (Hashtbl.mem changed_tbl) members in
+        match (any_changed, base_cr) with
+        | false, Some cr ->
+          reused_nodes := !reused_nodes + n_members;
+          cr
+        | _, Some bcr -> (
           incr dirty;
-          compute_component ~options ~env ~topo comp
-        end)
+          match warm_component ~options ~env ~topo ~base_cr:bcr ~changed_tbl comp with
+          | Some (cr, ws) ->
+            simulated := !simulated + ws.ws_simulated;
+            reused_nodes := !reused_nodes + (n_members - ws.ws_simulated);
+            frontier := !frontier + ws.ws_simulated;
+            early := !early + ws.ws_converged_early;
+            cr
+          | None ->
+            simulated := !simulated + n_members;
+            frontier := !frontier + n_members;
+            compute_component ~options ~env ~topo comp)
+        | _, None ->
+          incr dirty;
+          simulated := !simulated + n_members;
+          frontier := !frontier + n_members;
+          compute_component ~options ~env ~topo comp)
       comps
   in
   let stats =
     { st_components = List.length comp_results;
       st_dirty_components = !dirty;
-      st_simulated_nodes = List.length live - !reused_nodes;
-      st_reused_nodes = !reused_nodes }
+      st_simulated_nodes = !simulated;
+      st_reused_nodes = !reused_nodes;
+      st_frontier_nodes = !frontier;
+      st_converged_early = !early }
   in
   assemble ~configs ~topo ~pre_quarantined ~pre_diags ~stats comp_results
 

@@ -57,12 +57,19 @@ type comp_result
 
 (** Engine counters: how much of the snapshot was actually simulated.
     A full {!compute} reports every node simulated; {!update} reports the
-    dirty/reused split. *)
+    dirty/reused split. [st_frontier_nodes] counts the nodes the route-delta
+    worklist actually re-simulated inside dirty components (equal to
+    [st_simulated_nodes] when every dirty component ran from scratch);
+    [st_converged_early] counts re-simulated nodes whose fixed point came
+    back identical to the base — the frontier ring where propagation died
+    out. *)
 type stats = {
   st_components : int;
   st_dirty_components : int;
   st_simulated_nodes : int;
   st_reused_nodes : int;
+  st_frontier_nodes : int;
+  st_converged_early : int;
 }
 
 type t = {
@@ -98,11 +105,18 @@ val compute : ?options:options -> ?env:Dp_env.t -> Vi.t list -> t
     must name every host whose vendor-independent model differs from [base]
     (added hosts included; removed hosts are simply absent from [configs]).
     A dependency component is reused wholesale when none of its members
-    changed and its member set equals a base component's member set;
-    everything else re-runs the exact per-component path [compute] uses, so
-    the result is bit-identical to [compute configs]. [options] and [env]
-    must equal those used to build [base]. Engine counters land in
-    {!t.stats}. *)
+    changed and its member set equals a base component's member set. A dirty
+    component whose member set still matches runs the route-delta worklist:
+    only the changed nodes (plus their session partners and any member whose
+    pre-BGP state changed) are re-simulated, each neighbor is woken only when
+    the advertisements it receives actually differ from the base, and every
+    untouched node keeps its base RIBs — so propagation stops at the first
+    ring of undisturbed fixed point. The warm path is guarded: it runs only
+    when the base fixed point was converged, diagnostic-free, and provably
+    timing-independent, and any mid-flight surprise falls back to the exact
+    per-component scratch path [compute] uses. Either way the result is
+    bit-identical to [compute configs]. [options] and [env] must equal those
+    used to build [base]. Engine counters land in {!t.stats}. *)
 val update :
   ?options:options -> ?env:Dp_env.t -> base:t -> changed:string list -> Vi.t list -> t
 

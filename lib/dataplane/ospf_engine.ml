@@ -113,10 +113,28 @@ let adjacency ~env ~topo ~configs =
     g.links;
   Hashtbl.fold (fun k () acc -> k :: acc) seen []
 
+(* Everything the SPF phase depends on, as plain marshalable data: the
+   adjacency graph, per-router announcements (interface prefixes and
+   policy-filtered externals, both already evaluated), areas and multipath
+   widths. Two equal input records produce structurally equal RIB tables, so
+   a digest over this record is a sound reuse key for the incremental
+   engine's OSPF warm start. *)
+type inputs = {
+  in_names : string array;
+  in_links : link list array;
+  in_intra : (Prefix.t * int * int) list array;  (* prefix, ifcost, area *)
+  in_externals : (Prefix.t * int * Vi.metric_type * int) list array;
+      (* prefix, metric, type, tag — redistribution policy pre-applied *)
+  in_areas : int list array;
+  in_max_paths : int array;
+}
+
+let digest (inp : inputs) = Digest.to_hex (Digest.string (Marshal.to_string inp []))
+
 (* Multipath Dijkstra from one source. Returns per-node distance and the set
    of first hops (egress interface, next hop ip). *)
-let spf g src =
-  let n = Array.length g.names in
+let spf (inp : inputs) src =
+  let n = Array.length inp.in_names in
   let dist = Array.make n max_int in
   let first_hops : (string * Ipv4.t) list array = Array.make n [] in
   let visited = Array.make n false in
@@ -147,59 +165,64 @@ let spf g src =
           else if nd = dist.(v) && not visited.(v) then
             first_hops.(v) <-
               List.sort_uniq compare (hops @ first_hops.(v)))
-        g.links.(u)
+        inp.in_links.(u)
     end
   done;
   (dist, first_hops)
 
-let compute ?pool ~env ~topo ~configs ~redistributable ~domains () =
+let prepare ~env ~topo ~configs ~redistributable () =
   let g = build_graph env topo configs in
-  let n = Array.length g.names in
+  (* Announcements per router: interface prefixes with their area/cost, and
+     filtered redistributed externals. *)
+  let intra = Array.map (fun ss -> List.map (fun s -> (s.os_prefix, s.os_cost, s.os_area)) ss) g.settings in
+  let externals =
+    Array.mapi
+      (fun i (cfg : Vi.t) ->
+        match cfg.ospf with
+        | None -> []
+        | Some proc ->
+          List.concat_map
+            (fun (rd : Vi.redistribution) ->
+              let ctx = Policy_eval.make_ctx cfg in
+              redistributable g.names.(i)
+              |> List.filter (fun (r : Route.t) ->
+                     Route_proto.matches_source r.protocol rd.rd_protocol)
+              |> List.filter_map (fun (r : Route.t) ->
+                     match Policy_eval.run_optional ctx rd.rd_route_map r with
+                     | Policy_eval.Denied -> None
+                     | Policy_eval.Accepted r' ->
+                       let metric = Option.value rd.rd_metric ~default:20 in
+                       let metric =
+                         (* "set metric" in the filtering map overrides *)
+                         if r'.Route.metric <> r.Route.metric then r'.Route.metric
+                         else metric
+                       in
+                       Some (r'.Route.net, metric, rd.rd_metric_type, r'.Route.tag)))
+            proc.op_redistribute)
+      g.configs
+  in
+  let areas_of = Array.map (fun ss -> List.sort_uniq Int.compare (List.map (fun s -> s.os_area) ss)) g.settings in
+  let max_paths =
+    Array.map
+      (fun (cfg : Vi.t) ->
+        match cfg.Vi.ospf with Some p -> max 1 p.Vi.op_max_paths | None -> 1)
+      g.configs
+  in
+  { in_names = g.names; in_links = g.links; in_intra = intra;
+    in_externals = externals; in_areas = areas_of; in_max_paths = max_paths }
+
+let run ?pool ~domains (inp : inputs) =
+  let n = Array.length inp.in_names in
   let result = Hashtbl.create (max 16 n) in
   if n = 0 then result
   else begin
-    (* Announcements per router: interface prefixes with their area/cost, and
-       filtered redistributed externals. *)
-    let intra = Array.map (fun ss -> List.map (fun s -> (s.os_prefix, s.os_cost, s.os_area)) ss) g.settings in
-    let externals =
-      Array.mapi
-        (fun i (cfg : Vi.t) ->
-          match cfg.ospf with
-          | None -> []
-          | Some proc ->
-            List.concat_map
-              (fun (rd : Vi.redistribution) ->
-                let ctx = Policy_eval.make_ctx cfg in
-                redistributable g.names.(i)
-                |> List.filter (fun (r : Route.t) ->
-                       Route_proto.matches_source r.protocol rd.rd_protocol)
-                |> List.filter_map (fun (r : Route.t) ->
-                       match Policy_eval.run_optional ctx rd.rd_route_map r with
-                       | Policy_eval.Denied -> None
-                       | Policy_eval.Accepted r' ->
-                         let metric = Option.value rd.rd_metric ~default:20 in
-                         let metric =
-                           (* "set metric" in the filtering map overrides *)
-                           if r'.Route.metric <> r.Route.metric then r'.Route.metric
-                           else metric
-                         in
-                         Some (r'.Route.net, metric, rd.rd_metric_type, r'.Route.tag)))
-              proc.op_redistribute)
-        g.configs
-    in
-    let areas_of = Array.map (fun ss -> List.sort_uniq Int.compare (List.map (fun s -> s.os_area) ss)) g.settings in
-    let max_paths i =
-      match g.configs.(i).Vi.ospf with
-      | Some p -> max 1 p.Vi.op_max_paths
-      | None -> 1
-    in
     let compute_node src =
-      let dist, first_hops = spf g src in
+      let dist, first_hops = spf inp src in
       let rib =
         Rib.create ~prefer:Cmp.ospf_prefer ~multipath_equal:Cmp.ospf_multipath_equal
-          ~max_paths:(max_paths src) ()
+          ~max_paths:inp.in_max_paths.(src) ()
       in
-      let my_areas = areas_of.(src) in
+      let my_areas = inp.in_areas.(src) in
       for r = 0 to n - 1 do
         if r <> src && dist.(r) < max_int then begin
           (* Intra/inter-area prefixes advertised by router r. *)
@@ -214,7 +237,7 @@ let compute ?pool ~env ~topo ~configs ~redistributable ~domains () =
                     (Route.ospf ~proto ~net:prefix ~nh:(Route.Nh_ip nh)
                        ~metric:(dist.(r) + ifcost) ~area))
                 first_hops.(r))
-            intra.(r);
+            inp.in_intra.(r);
           (* External routes redistributed at router r. *)
           List.iter
             (fun (prefix, metric, mtype, tag) ->
@@ -231,7 +254,7 @@ let compute ?pool ~env ~topo ~configs ~redistributable ~domains () =
                          ~area:0)
                       with Route.tag })
                 first_hops.(r))
-            externals.(r)
+            inp.in_externals.(r)
         end
       done;
       (* Clear construction deltas: the OSPF RIB is presented as converged. *)
@@ -239,6 +262,9 @@ let compute ?pool ~env ~topo ~configs ~redistributable ~domains () =
       rib
     in
     let ribs = Par.map ?pool ~domains compute_node (Array.init n (fun i -> i)) in
-    Array.iteri (fun i rib -> Hashtbl.add result g.names.(i) rib) ribs;
+    Array.iteri (fun i rib -> Hashtbl.add result inp.in_names.(i) rib) ribs;
     result
   end
+
+let compute ?pool ~env ~topo ~configs ~redistributable ~domains () =
+  run ?pool ~domains (prepare ~env ~topo ~configs ~redistributable ())

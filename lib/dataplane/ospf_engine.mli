@@ -20,9 +20,32 @@ type iface_settings = {
     statements), with effective costs. *)
 val interface_settings : Dp_env.t -> Vi.t -> iface_settings list
 
+(** The fully-evaluated SPF inputs: adjacency graph, per-router announced
+    prefixes and policy-filtered externals, areas and multipath widths.
+    Plain marshalable data — equal inputs produce structurally equal RIB
+    tables, so {!digest} is a sound reuse key for OSPF warm starts. *)
+type inputs
+
+(** Evaluate everything SPF depends on (adjacencies, announcements,
+    redistribution policy) without running SPF. *)
+val prepare :
+  env:Dp_env.t ->
+  topo:L3.t ->
+  configs:Vi.t list ->
+  redistributable:(string -> Route.t list) ->
+  unit ->
+  inputs
+
+(** Content fingerprint of the inputs (hex MD5 of their marshaled form). *)
+val digest : inputs -> string
+
+(** Per-source multipath SPF over prepared inputs: the per-node OSPF RIBs. *)
+val run : ?pool:Par.Pool.t -> domains:int -> inputs -> (string, Rib.t) Hashtbl.t
+
 (** [compute ~env ~topo ~configs ~redistributable ~domains] returns a
-    per-node OSPF RIB. [redistributable node] supplies the active
-    static/connected routes available for redistribution at [node]. *)
+    per-node OSPF RIB ({!prepare} then {!run}). [redistributable node]
+    supplies the active static/connected routes available for redistribution
+    at [node]. *)
 val compute :
   ?pool:Par.Pool.t ->
   env:Dp_env.t ->

@@ -467,6 +467,33 @@ let build ?env ?(compress = true) ?sessions ~configs ~dp () =
   end;
   t
 
+(* Structural equality of two graphs living in the SAME manager. Hash-consing
+   makes semantically equal BDDs physically equal there, so comparing edge
+   programs with {!Bdd.equal} decides exactly the same predicate as comparing
+   canonical spec fingerprints — without exporting, marshalling, or hashing
+   either graph. [Fquery.update] uses this to detect forwarding-neutral edits
+   cheaply (the warm rebuild always happens inside the base's manager). *)
+let same_graph a b =
+  let rec fn_eq f g =
+    match (f, g) with
+    | Filter x, Filter y | Transform x, Transform y -> Bdd.equal x y
+    | Set_extra x, Set_extra y -> x = y
+    | Erase_extra x, Erase_extra y -> x = y
+    | Seq xs, Seq ys -> (
+      try List.for_all2 fn_eq xs ys with Invalid_argument _ -> false)
+    | (Filter _ | Transform _ | Set_extra _ | Erase_extra _ | Seq _), _ -> false
+  in
+  let edge_eq x y = x.e_from = y.e_from && x.e_to = y.e_to && fn_eq x.e_fn y.e_fn in
+  let edges_eq ea eb =
+    try List.for_all2 edge_eq ea eb with Invalid_argument _ -> false
+  in
+  a.env == b.env
+  && a.locs = b.locs
+  && Array.length a.out_edges = Array.length b.out_edges
+  && (let ok = ref true in
+      Array.iteri (fun i ea -> if !ok then ok := edges_eq ea b.out_edges.(i)) a.out_edges;
+      !ok)
+
 (* --- manager-independent graph specs ----------------------------------- *)
 
 (* A spec captures the whole graph — locations, edges, and the edge

@@ -74,6 +74,13 @@ val locs_where : t -> (loc -> bool) -> int list
 
 val env : t -> Pktset.t
 
+(** [same_graph a b] — exact structural equality of two graphs built in the
+    {e same} manager (physical BDD equality per edge program). Decides the
+    same predicate as comparing the two graphs' canonical spec fingerprints,
+    at a fraction of the cost: no export, no marshalling, no hashing. Returns
+    [false] whenever the managers differ. *)
+val same_graph : t -> t -> bool
+
 (** {2 Manager-independent graph specs}
 
     A spec is the whole graph compiled out of its BDD manager: locations,

@@ -145,10 +145,10 @@ type plan = Serial | Parallel of int
 type workload =
   | Uniform  (** independent per-task passes: fan-out divides total work *)
   | Sharded_pass
-      (** per-shard whole-graph passes (multipath): every shard re-propagates
-          the full graph, so fan-out multiplies total work by roughly the
-          worker count and only much larger jobs amortize it (the
-          schema-3 bench measured 0.38–0.46× at smoke scale) *)
+      (** a fixed small number of whole-graph passes (multipath: one per
+          sink kind) run concurrently: total work matches the serial engine
+          but the achievable speedup is bounded by the pass count, so only
+          jobs big enough to amortize the per-worker graph import win *)
 
 (* Static floor for the [auto] cutoff in units of tasks × graph edges:
    below this, the fan-out overhead (job dispatch, spec shipping, result
@@ -164,6 +164,7 @@ let scale_cutoff cutoff factor =
   if cutoff > max_int / factor then max_int else cutoff * factor
 
 let effective_cutoff ~workload ~workers =
+  ignore workers;
   if !auto_cutoff = 0 then 0
   else begin
     let base =
@@ -173,7 +174,10 @@ let effective_cutoff ~workload ~workers =
     in
     match workload with
     | Uniform -> base
-    | Sharded_pass -> scale_cutoff base (max 2 workers)
+    | Sharded_pass ->
+      (* two concurrent passes at best halve the wall clock, so the job must
+         out-earn twice the usual fan-out overhead before the pool pays off *)
+      scale_cutoff base 2
   end
 
 let plan ?pool ?(domains = 1) ?(auto = false) ?(workload = Uniform) ~tasks ~cost () =
@@ -224,13 +228,6 @@ let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
     in
     List.concat (Array.to_list rows)
 
-(* Round-robin split into at most [k] non-empty groups. *)
-let shard k lst =
-  let k = max 1 (min k (List.length lst)) in
-  let buckets = Array.make k [] in
-  List.iteri (fun i x -> buckets.(i mod k) <- x :: buckets.(i mod k)) lst;
-  List.filter (fun l -> l <> []) (Array.to_list (Array.map List.rev buckets))
-
 let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
   let starts =
     match starts with
@@ -249,13 +246,14 @@ let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
       | Fgraph.Src _ | Fgraph.Fwd _ | Fgraph.Pre_out _ | Fgraph.Dst _
       | Fgraph.Accept _ -> false)
   in
-  (* Two whole-graph backward passes get sharded, so the parallelizable work
-     scales with the sink count times the graph size. *)
+  (* The serial engine does two whole-graph backward passes (delivered,
+     dropped); the parallel plan runs exactly those two passes concurrently,
+     each with all its sinks batched into a single job so the per-worker
+     graph import is paid once per pass, not once per sink shard. *)
   let cost =
     (List.length delivered_sinks + List.length dropped_sinks) * Fgraph.n_edges g
   in
-  let n_sinks = List.length delivered_sinks + List.length dropped_sinks in
-  match plan ?pool ~domains ~auto ~workload:Sharded_pass ~tasks:n_sinks ~cost () with
+  match plan ?pool ~domains ~auto ~workload:Sharded_pass ~tasks:2 ~cost () with
   | Serial ->
     let t0 = now_ns () in
     let verdicts = Fquery.multipath_consistency q ~starts () in
@@ -275,8 +273,9 @@ let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
     in
     let wanted = List.filter_map Fun.id start_ids in
     let tasks =
-      List.map (fun s -> (`Deliver, s)) (shard domains delivered_sinks)
-      @ List.map (fun s -> (`Drop, s)) (shard domains dropped_sinks)
+      List.filter
+        (fun (_, sinks) -> sinks <> [])
+        [ (`Deliver, delivered_sinks); (`Drop, dropped_sinks) ]
     in
     let spec, fp = Fquery.spec_with_fingerprint q in
     let dp = q.Fquery.dp and configs = q.Fquery.configs in

@@ -30,9 +30,11 @@ val all_pairs :
   Fquery.reach_row list
 
 (** Parallel {!Fquery.multipath_consistency}: the delivered-sink and
-    dropped-sink backward passes are sharded per destination
-    (round-robin into [domains] groups per pass). Returned verdict sets
-    live in the caller's manager and equal the sequential ones. *)
+    dropped-sink backward passes run as two concurrent jobs, each with all
+    its sinks batched so a worker pays the graph import once per pass (the
+    earlier per-destination sharding re-propagated the whole graph per
+    shard and inverted the speedup). Returned verdict sets live in the
+    caller's manager and equal the sequential ones. *)
 val multipath_consistency :
   ?pool:Par.Pool.t ->
   ?domains:int ->
@@ -47,10 +49,10 @@ val multipath_consistency :
 type plan = Serial | Parallel of int
 
 (** How parallelizable work scales when sharded: [Uniform] tasks (per-start
-    forward passes) divide total work across workers; a [Sharded_pass] job
-    (multipath's per-shard backward passes) re-propagates the whole graph in
-    every shard, so fan-out multiplies total work by roughly the worker
-    count and needs a correspondingly larger job to amortize. *)
+    forward passes) divide total work across workers; a [Sharded_pass]
+    workload (multipath's two batched whole-graph passes) can at best halve
+    the wall clock, so it needs a correspondingly larger job to amortize
+    the fan-out overhead. *)
 type workload = Uniform | Sharded_pass
 
 (** [plan ?pool ?domains ?auto ?workload ~tasks ~cost ()] decides how an
@@ -58,9 +60,10 @@ type workload = Uniform | Sharded_pass
     worker, or when [auto] is set and [cost] (in tasks × graph edges) is
     below the effective cutoff; otherwise [Parallel n] with the pool size or
     [domains] workers. The effective cutoff is the {!auto_cutoff} floor
-    raised by {!measured_cutoff} once samples exist, and multiplied by the
-    worker count for [Sharded_pass] workloads. Both entry points route
-    through this single decision, so their serial fallbacks are uniform. *)
+    raised by {!measured_cutoff} once samples exist, and doubled for
+    [Sharded_pass] workloads (their speedup is bounded by the pass count).
+    Both entry points route through this single decision, so their serial
+    fallbacks are uniform. *)
 val plan :
   ?pool:Par.Pool.t ->
   ?domains:int ->

@@ -53,20 +53,34 @@ let memo_find t key compute =
     Hashtbl.add t.memo key r;
     r
 
-(* Incremental rebuild (ISSUE 4). With an empty dirty set the base query —
-   graph, manager, memo, counters — is returned as-is, so every cached
-   propagation result survives the update. Otherwise the new graph is built
-   inside the base's warm BDD environment, where hash-consing turns every
-   unchanged node's edge functions into cache hits; the memo is keyed to the
-   old graph's propagations, so it starts fresh and the count of dropped
-   entries is reported. Canonicity makes the warm-env rebuild's exported
-   spec and query rows bit-identical to a from-scratch build. *)
+(* Incremental rebuild (ISSUE 4; memo retention in ISSUE 8). With an empty
+   dirty set the base query — graph, manager, memo, counters — is returned
+   as-is, so every cached propagation result survives the update. Otherwise
+   the new graph is built inside the base's warm BDD environment, where
+   hash-consing turns every unchanged node's edge functions into cache hits.
+   If it is structurally identical to the base graph ({!Fgraph.same_graph} —
+   physical BDD equality in the shared manager, the cheap exact equivalent
+   of comparing canonical spec fingerprints), the edit did not touch
+   forwarding at all and the base graph (memo included) is kept; otherwise
+   the memo is keyed to the old graph's propagations, so it starts fresh and
+   the count of dropped entries is reported. Canonicity makes the warm-env
+   rebuild's exported spec and query rows bit-identical to a from-scratch
+   build. *)
 let update ~base ~dirty ~configs ~dp () =
   if dirty = [] then (base, 0)
   else begin
-    let invalidated = Hashtbl.length base.memo in
     let g = Fgraph.build ~env:(base.g.Fgraph.env) ~configs ~dp () in
-    (of_graph g ~dp ~configs, invalidated)
+    if Fgraph.same_graph base.g g then
+      (* The edit left the forwarding graph semantically untouched (same
+         canonical spec): keep the base graph object — and with it every
+         memoized propagation — swapping in the new data plane and configs
+         for scoping defaults. Canonicity makes the kept graph's spec and
+         query rows bit-identical to what the fresh build would answer. *)
+      ({ base with dp; configs }, 0)
+    else begin
+      let invalidated = Hashtbl.length base.memo in
+      (of_graph g ~dp ~configs, invalidated)
+    end
   end
 
 (* Fault-isolated construction: graph building walks every FIB and compiles

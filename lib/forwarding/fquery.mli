@@ -52,10 +52,14 @@ val memo_stats : t -> int * int
 
 (** Incremental rebuild against a base query. [dirty] lists the hostnames
     whose data-plane results changed: when empty, [base] itself is returned
-    (graph, manager and memo intact); otherwise the graph is rebuilt for the
-    new [configs]/[dp] inside [base]'s warm BDD environment and a fresh memo,
-    returning the number of invalidated memo entries. Canonicity makes the
-    rebuilt query's spec and rows bit-identical to a from-scratch {!make}. *)
+    (graph, manager and memo intact). Otherwise the graph is rebuilt for the
+    new [configs]/[dp] inside [base]'s warm BDD environment; if its canonical
+    spec fingerprint equals the base's the edit did not change forwarding and
+    the base graph plus its whole memo are kept (zero entries invalidated),
+    else the memo starts fresh and the number of invalidated entries is
+    returned. Either way {!graph} answers with physically the base graph
+    exactly when forwarding was unchanged. Canonicity makes the rebuilt
+    query's spec and rows bit-identical to a from-scratch {!make}. *)
 val update :
   base:t ->
   dirty:string list ->

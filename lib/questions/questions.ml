@@ -88,8 +88,8 @@ let bgp_session_compatibility configs =
 (* The incremental-update summary (ISSUE 4): how much work the engine
    actually redid after a change, as a uniform metric table. *)
 let incremental_update ~files_changed ~files_reparsed ~nodes_changed ~components
-    ~dirty_components ~nodes_simulated ~nodes_reused ~forwarding_rebuilt
-    ~memo_invalidated =
+    ~dirty_components ~nodes_simulated ~nodes_reused ~frontier_size
+    ~nodes_converged_early ~forwarding_rebuilt ~memo_invalidated =
   let rows =
     [ [ "filesChanged"; string_of_int files_changed ];
       [ "filesReparsed"; string_of_int files_reparsed ];
@@ -98,6 +98,8 @@ let incremental_update ~files_changed ~files_reparsed ~nodes_changed ~components
       [ "dirtyComponents"; string_of_int dirty_components ];
       [ "nodesSimulated"; string_of_int nodes_simulated ];
       [ "nodesReused"; string_of_int nodes_reused ];
+      [ "frontierSize"; string_of_int frontier_size ];
+      [ "nodesConvergedEarly"; string_of_int nodes_converged_early ];
       [ "forwardingRebuilt"; string_of_bool forwarding_rebuilt ];
       [ "memoEntriesInvalidated"; string_of_int memo_invalidated ] ]
   in

@@ -44,7 +44,8 @@ val property_consistency : Vi.t list -> answer
 val lint : Lint.report -> answer
 
 (** Engine-counter summary of an incremental update (ISSUE 4): what changed,
-    what was re-simulated, and what was reused. *)
+    what was re-simulated, what was reused, and how far the route-delta
+    worklist's frontier reached. *)
 val incremental_update :
   files_changed:int ->
   files_reparsed:int ->
@@ -53,6 +54,8 @@ val incremental_update :
   dirty_components:int ->
   nodes_simulated:int ->
   nodes_reused:int ->
+  frontier_size:int ->
+  nodes_converged_early:int ->
   forwarding_rebuilt:bool ->
   memo_invalidated:int ->
   answer

@@ -34,9 +34,37 @@ let bgp_prefer ?(use_arrival = true) ~igp_cost (a : Route.t) (b : Route.t) =
   let proto_rank r = if r.Route.protocol = Route_proto.Ebgp then 0 else 1 in
   chain (Int.compare (proto_rank a) (proto_rank b)) @@ fun () ->
   chain (Int.compare (cost a) (cost b)) @@ fun () ->
-  chain (if use_arrival then Int.compare a.arrival b.arrival else 0) @@ fun () ->
+  (* The oldest-path step applies to eBGP pairs only, as on real routers
+     (Cisco step 9, "prefer the oldest eBGP path"): iBGP ties fall through
+     to the router-id step, keeping internal selection independent of
+     delivery timing. At this point the two protocols are equal, so testing
+     [a] covers both. *)
+  chain
+    (if use_arrival && a.protocol = Route_proto.Ebgp then
+       Int.compare a.arrival b.arrival
+     else 0)
+  @@ fun () ->
   chain (Int.compare a.from_rid b.from_rid) @@ fun () ->
   chain (Int.compare a.from_peer b.from_peer) @@ fun () -> structural_tiebreak a b
+
+let bgp_pre_arrival_equal ~igp_cost (a : Route.t) (b : Route.t) =
+  let aa = Route.get_attrs a and ba = Route.get_attrs b in
+  let cost r =
+    match r.Route.next_hop with
+    | Route.Nh_ip ip -> Option.value (igp_cost ip) ~default:max_int
+    | Route.Nh_iface _ -> 0
+    | Route.Nh_discard -> max_int
+  in
+  let local r = if r.Route.from_peer = 0 then 0 else 1 in
+  let proto_rank r = if r.Route.protocol = Route_proto.Ebgp then 0 else 1 in
+  aa.Attrs.weight = ba.Attrs.weight
+  && aa.Attrs.local_pref = ba.Attrs.local_pref
+  && local a = local b
+  && List.length aa.Attrs.as_path = List.length ba.Attrs.as_path
+  && Attrs.origin_rank aa.Attrs.origin = Attrs.origin_rank ba.Attrs.origin
+  && aa.Attrs.med = ba.Attrs.med
+  && proto_rank a = proto_rank b
+  && cost a = cost b
 
 let bgp_multipath_equal ~igp_cost (a : Route.t) (b : Route.t) =
   let aa = Route.get_attrs a and ba = Route.get_attrs b in

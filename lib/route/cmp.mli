@@ -19,11 +19,21 @@ val ospf_multipath_equal : Route.t -> Route.t -> bool
 
 (** The BGP decision process: weight, local preference, local origination,
     AS-path length, origin, MED, eBGP-over-iBGP, IGP cost to next hop,
-    arrival time (logical clock), originator router id, peer address.
-    [use_arrival:false] disables the logical-clock step (Figure 1
+    arrival time (logical clock, eBGP pairs only — as on real routers, iBGP
+    ties fall through to the router-id step), originator router id, peer
+    address. [use_arrival:false] disables the logical-clock step (Figure 1
     ablation). *)
 val bgp_prefer :
   ?use_arrival:bool -> igp_cost:(Ipv4.t -> int option) -> Route.t -> Route.t -> int
 
 val bgp_multipath_equal :
+  igp_cost:(Ipv4.t -> int option) -> Route.t -> Route.t -> bool
+
+(** True when every {!bgp_prefer} step {e before} the arrival-clock tiebreak
+    compares equal on the two routes — i.e. the decision between them is made
+    by arrival order (or later tiebreaks). The incremental engine uses this
+    to detect best-set boundaries that depend on message timing, where
+    warm-started propagation could legitimately pick a different (but equally
+    preferred) route than the from-scratch run. *)
+val bgp_pre_arrival_equal :
   igp_cost:(Ipv4.t -> int option) -> Route.t -> Route.t -> bool

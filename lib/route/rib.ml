@@ -54,6 +54,31 @@ let merge rib r =
   update_entry rib r.Route.net (fun cands ->
       r :: List.filter (fun c -> Route.candidate_key c <> key) cands)
 
+(* [reload rib routes] replaces the rib's entire contents with the state a
+   full wipe followed by [merge]ing every route in list order would produce —
+   in one pass: per net, candidates are deduplicated by {!Route.candidate_key}
+   (a later route replaces an earlier one with the same key, and lands at the
+   front, exactly like a sequence of merges) and [select] runs once instead of
+   once per merge. The delta table is reset: wholesale rebuilders compare RIB
+   snapshots, they don't consume deltas. *)
+let reload rib routes =
+  let nets : (Prefix.t, Route.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Route.t) ->
+      let key = Route.candidate_key r in
+      match Hashtbl.find_opt nets r.Route.net with
+      | None -> Hashtbl.add nets r.Route.net (ref [ r ])
+      | Some cell -> cell := r :: List.filter (fun c -> Route.candidate_key c <> key) !cell)
+    routes;
+  let trie = ref Prefix_trie.empty in
+  Hashtbl.iter
+    (fun net cell ->
+      let candidates = !cell in
+      trie := Prefix_trie.add net { candidates; best = select rib candidates } !trie)
+    nets;
+  rib.trie <- !trie;
+  Hashtbl.reset rib.delta
+
 let withdraw rib r =
   let key = Route.candidate_key r in
   update_entry rib r.Route.net (fun cands ->
@@ -82,6 +107,9 @@ let lookup rib ip =
     None matches
 
 let fold_best f rib acc = Prefix_trie.fold (fun p e acc -> f p e.best acc) rib.trie acc
+
+let fold_entries f rib acc =
+  Prefix_trie.fold (fun p e acc -> f p e.candidates e.best acc) rib.trie acc
 let best_routes rib = fold_best (fun _ b acc -> b @ acc) rib []
 
 let candidates rib =

@@ -21,6 +21,14 @@ val create :
 (** Insert or replace the candidate with the same {!Route.candidate_key}. *)
 val merge : t -> Route.t -> unit
 
+(** Replace the rib's whole contents in one pass, as if it had been wiped and
+    every route [merge]d in list order — same candidate ordering, same best
+    sets — but with a single selection per net and no per-merge delta
+    bookkeeping. The delta table is reset. Built for wholesale per-node
+    rebuilds (the incremental engine's warm re-step), where deltas are
+    tracked by comparing RIB snapshots instead. *)
+val reload : t -> Route.t list -> unit
+
 (** Remove the candidate with the same key as this route. *)
 val withdraw : t -> Route.t -> unit
 
@@ -40,6 +48,11 @@ val best_routes : t -> Route.t list
 val candidates : t -> Route.t list
 
 val fold_best : (Prefix.t -> Route.t list -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Fold over every prefix with its full candidate list and its best set
+    ([f prefix candidates best acc]) — the view the incremental engine's
+    ambiguity detector needs. *)
+val fold_entries : (Prefix.t -> Route.t list -> Route.t list -> 'a -> 'a) -> t -> 'a -> 'a
 
 (** Net best-set changes since the last call: (added, removed). Clears the
     delta. *)

@@ -43,6 +43,15 @@ let counters_consistent name (dp : Dataplane.t) (rep : Batfish.update_report) =
       rep.Batfish.up_nodes_reused;
     check Alcotest.int (name ^ " dirty components") st.Dataplane.st_dirty_components
       rep.Batfish.up_dirty_components;
+    check Alcotest.int (name ^ " frontier counter") st.Dataplane.st_frontier_nodes
+      rep.Batfish.up_frontier_size;
+    (* the frontier is exactly what got re-simulated inside dirty
+       components, and early convergence can only happen on the frontier *)
+    check Alcotest.int (name ^ " frontier = simulated")
+      rep.Batfish.up_nodes_simulated rep.Batfish.up_frontier_size;
+    check Alcotest.bool (name ^ " early within frontier") true
+      (rep.Batfish.up_nodes_converged_early >= 0
+      && rep.Batfish.up_nodes_converged_early <= rep.Batfish.up_frontier_size);
     (* every live node is either re-simulated or reused, never both/neither *)
     let live =
       List.length dp.Dataplane.node_order - List.length dp.Dataplane.quarantined
@@ -81,9 +90,13 @@ let profile_identity () =
       if rep.Batfish.up_nodes_changed <> [] then begin
         check Alcotest.bool (name ^ " some component dirty") true
           (rep.Batfish.up_dirty_components >= 1);
-        check Alcotest.bool (name ^ " forwarding rebuilt") true
-          rep.Batfish.up_forwarding_rebuilt;
-        (* dirty components are exactly the ones holding a changed node *)
+        (* the forwarding graph is either rebuilt or provably unchanged —
+           and a kept graph keeps its whole memo *)
+        if not rep.Batfish.up_forwarding_rebuilt then
+          check Alcotest.int (name ^ " kept forwarding keeps memo") 0
+            rep.Batfish.up_memo_invalidated;
+        (* the route-delta worklist re-simulates something, but never more
+           than the members of the components holding a changed node *)
         let dirty_members =
           List.filter
             (fun comp ->
@@ -91,10 +104,10 @@ let profile_identity () =
             dp'.Dataplane.components
           |> List.concat
         in
-        check Alcotest.int
-          (name ^ " simulated = members of changed components")
-          (List.length dirty_members)
-          rep.Batfish.up_nodes_simulated
+        check Alcotest.bool
+          (name ^ " simulated bounded by changed components") true
+          (rep.Batfish.up_nodes_simulated >= 1
+          && rep.Batfish.up_nodes_simulated <= List.length dirty_members)
       end)
     Netgen.profiles
 
@@ -157,8 +170,15 @@ let component_reuse () =
   let dp' = Batfish.dataplane bf' in
   check (Alcotest.list Alcotest.string) "only alpha nodes changed" [ "alpha1" ]
     rep.Batfish.up_nodes_changed;
-  check Alcotest.int "alpha component re-simulated" 2 rep.Batfish.up_nodes_simulated;
-  check Alcotest.int "beta component reused" 2 rep.Batfish.up_nodes_reused;
+  (* the delta worklist stops at the edited node: alpha1's new static route
+     never leaves it (no redistribution), so alpha2 — though in the same
+     dirty component — is warm-started straight from its base RIBs *)
+  check Alcotest.int "only the edited node re-simulated" 1
+    rep.Batfish.up_nodes_simulated;
+  check Alcotest.int "everything else reused" 3 rep.Batfish.up_nodes_reused;
+  check Alcotest.int "frontier is the edited node" 1 rep.Batfish.up_frontier_size;
+  check Alcotest.int "edited node really changed" 0
+    rep.Batfish.up_nodes_converged_early;
   check Alcotest.int "one dirty component of two" 1 rep.Batfish.up_dirty_components;
   check Alcotest.int "two components" 2 rep.Batfish.up_components;
   (* and the merged result still matches scratch *)
@@ -193,6 +213,125 @@ let cosmetic_edit () =
   (* fingerprint-keyed parse reuse: only the edited file was re-read *)
   check Alcotest.int "reparsed one file"
     1 (Batfish.Snapshot.reparsed (Batfish.snapshot bf'))
+
+(* --- route-delta frontier on a hand-built eBGP chain --------------------- *)
+
+(* r1 - r2 - r3 - r4 - r5, one eBGP session per adjacent pair, a /24
+   advertised from each end. Every node's fixed point depends on its
+   neighbors, so component-granularity reuse can never skip a member — the
+   per-node worklist can. *)
+let chain_configs ?(r3_extra = []) () =
+  let cfg name body = (name ^ ".cfg", String.concat "\n" body) in
+  [ cfg "r1"
+      [ "hostname r1";
+        "interface east"; " ip address 10.0.1.1 255.255.255.252";
+        "interface lan"; " ip address 10.10.1.1 255.255.255.0";
+        "router bgp 65001";
+        " bgp router-id 1.1.1.1";
+        " neighbor 10.0.1.2 remote-as 65002";
+        " network 10.10.1.0 mask 255.255.255.0" ];
+    cfg "r2"
+      [ "hostname r2";
+        "interface west"; " ip address 10.0.1.2 255.255.255.252";
+        "interface east"; " ip address 10.0.2.1 255.255.255.252";
+        "router bgp 65002";
+        " bgp router-id 2.2.2.2";
+        " neighbor 10.0.1.1 remote-as 65001";
+        " neighbor 10.0.2.2 remote-as 65003" ];
+    cfg "r3"
+      ([ "hostname r3";
+         "interface west"; " ip address 10.0.2.2 255.255.255.252";
+         "interface east"; " ip address 10.0.3.1 255.255.255.252";
+         "interface lan"; " ip address 10.30.1.1 255.255.255.0";
+         "router bgp 65003";
+         " bgp router-id 3.3.3.3";
+         " neighbor 10.0.2.1 remote-as 65002";
+         " neighbor 10.0.3.2 remote-as 65004" ]
+      @ r3_extra);
+    cfg "r4"
+      [ "hostname r4";
+        "interface west"; " ip address 10.0.3.2 255.255.255.252";
+        "interface east"; " ip address 10.0.4.1 255.255.255.252";
+        "router bgp 65004";
+        " bgp router-id 4.4.4.4";
+        " neighbor 10.0.3.1 remote-as 65003";
+        " neighbor 10.0.4.2 remote-as 65005" ];
+    cfg "r5"
+      [ "hostname r5";
+        "interface west"; " ip address 10.0.4.2 255.255.255.252";
+        "interface lan"; " ip address 10.50.1.1 255.255.255.0";
+        "router bgp 65005";
+        " bgp router-id 5.5.5.5";
+        " neighbor 10.0.4.1 remote-as 65004";
+        " network 10.50.1.0 mask 255.255.255.0" ] ]
+
+let chain_update ~r3_extra =
+  let base = chain_configs () in
+  let bf = Batfish.init (Batfish.Snapshot.of_texts base) in
+  let dp = Batfish.dataplane bf in
+  check Alcotest.int "chain is one component" 1
+    (List.length dp.Dataplane.components);
+  (* the chain actually propagates: r5 learns r1's /24 across four hops *)
+  let r5 = Dataplane.node dp "r5" in
+  check Alcotest.bool "r5 learned the far prefix" true
+    (List.exists
+       (fun (r : Route.t) -> r.Route.net = Prefix.of_string "10.10.1.0/24")
+       (Rib.best_routes r5.Dataplane.nr_main));
+  let edited = chain_configs ~r3_extra () in
+  let bf', rep = Batfish.update ~files:[ List.nth edited 2 ] bf in
+  let scratch = Batfish.init (Batfish.Snapshot.of_texts edited) in
+  check Alcotest.bool "chain routing state identical" true
+    (routing_state (Batfish.dataplane bf')
+    = routing_state (Batfish.dataplane scratch));
+  rep
+
+let chain_frontier_stops () =
+  (* a static route on r3 that is never redistributed into BGP: r3's RIB
+     changes, its advertisements don't. The worklist must re-simulate r3
+     plus its immediate session partners (whose viability reads r3's config
+     and RIB) and stop there — r1 and r5, two hops out, keep their base
+     fixed point untouched. *)
+  let rep =
+    chain_update ~r3_extra:[ "ip route 10.99.0.0 255.255.0.0 10.30.1.2" ]
+  in
+  check (Alcotest.list Alcotest.string) "only r3 changed" [ "r3" ]
+    rep.Batfish.up_nodes_changed;
+  check Alcotest.int "frontier stops one hop out" 3 rep.Batfish.up_frontier_size;
+  check Alcotest.int "ends of the chain reused" 2 rep.Batfish.up_nodes_reused;
+  (* r3's own state changed; both partners re-converged to the base *)
+  check Alcotest.int "partners converged early" 2
+    rep.Batfish.up_nodes_converged_early
+
+let noop_advert_edit () =
+  (* semantics-free model change: an unreferenced ACL reordered in place.
+     The VI model differs (so r3 counts as changed and is re-simulated) but
+     no RIB, advertisement, or session can move — the whole frontier must
+     converge early and nothing downstream re-runs. *)
+  let base_acl =
+    [ "ip access-list extended UNUSED";
+      " 10 permit ip 10.1.0.0 0.0.255.255 any";
+      " 20 permit ip 10.2.0.0 0.0.255.255 any" ]
+  in
+  let reordered =
+    [ "ip access-list extended UNUSED";
+      " 10 permit ip 10.2.0.0 0.0.255.255 any";
+      " 20 permit ip 10.1.0.0 0.0.255.255 any" ]
+  in
+  let base = chain_configs ~r3_extra:base_acl () in
+  let bf = Batfish.init (Batfish.Snapshot.of_texts base) in
+  ignore (Batfish.dataplane bf);
+  let edited = chain_configs ~r3_extra:reordered () in
+  let bf', rep = Batfish.update ~files:[ List.nth edited 2 ] bf in
+  check (Alcotest.list Alcotest.string) "only r3 changed" [ "r3" ]
+    rep.Batfish.up_nodes_changed;
+  check Alcotest.int "frontier is r3 plus partners" 3 rep.Batfish.up_frontier_size;
+  check Alcotest.int "zero downstream re-simulation" 2 rep.Batfish.up_nodes_reused;
+  check Alcotest.int "entire frontier converged early" rep.Batfish.up_frontier_size
+    rep.Batfish.up_nodes_converged_early;
+  let scratch = Batfish.init (Batfish.Snapshot.of_texts edited) in
+  check Alcotest.bool "no-op edit routing state identical" true
+    (routing_state (Batfish.dataplane bf')
+    = routing_state (Batfish.dataplane scratch))
 
 (* --- dispositions: hop-limit exhaustion vs a genuine loop ---------------- *)
 
@@ -273,6 +412,8 @@ let suites =
       [ Alcotest.test_case "per-profile bit-identity" `Quick profile_identity;
         Alcotest.test_case "100 seeded edits identical" `Slow seeded_edits;
         Alcotest.test_case "multi-component reuse" `Quick component_reuse;
+        Alcotest.test_case "chain frontier stops" `Quick chain_frontier_stops;
+        Alcotest.test_case "no-op advert edit" `Quick noop_advert_edit;
         Alcotest.test_case "cosmetic edit keeps memo" `Quick cosmetic_edit;
         Alcotest.test_case "hop limit vs loop" `Quick hop_limit_vs_loop;
         Alcotest.test_case "NAT differential harness" `Quick nat_differential ] ) ]
