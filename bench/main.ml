@@ -75,7 +75,7 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 6,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 7,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
@@ -95,6 +95,37 @@ let check_identical () =
       (fun (name, _) ->
         Printf.printf "ERROR: %s: results not identical to the sequential engine\n" name)
       bad;
+    exit 1
+  end
+
+(* Performance gates beyond bit-identity: the two service-mode regressions
+   this harness exists to catch. A cold sharded fan-out losing to serial
+   means the prewarm path stopped hiding the per-worker graph import; a
+   service run with zero coalesced requests means in-flight coalescing went
+   inert and every concurrent duplicate paid a full computation. *)
+let check_gates () =
+  let bad = ref [] in
+  List.iter
+    (fun (name, metrics) ->
+      let fv k = Option.bind (List.assoc_opt k metrics) float_of_string_opt in
+      (match fv "speedup_cold" with
+      | Some s when s < 1.0 ->
+        bad :=
+          Printf.sprintf
+            "%s: speedup_cold %.2f < 1.0 (cold sharded fan-out lost to serial)"
+            name s
+          :: !bad
+      | Some _ | None -> ());
+      if String.length name >= 8 && String.sub name 0 8 = "service." then
+        match fv "coalesced" with
+        | Some c when c < 1.0 ->
+          bad :=
+            (name ^ ": no coalesced requests (in-flight coalescing inert)")
+            :: !bad
+        | Some _ | None -> ())
+    !records;
+  if !bad <> [] then begin
+    List.iter (fun m -> Printf.printf "ERROR: %s\n" m) !bad;
     exit 1
   end
 
@@ -485,10 +516,13 @@ let parallel ~scale ~domains () =
       let scaled_up = si = List.length scales - 1 in
       let suffix = if scaled_up then "" else Printf.sprintf ".scale%g" sc in
       (* all-pairs reachability: per-source forward passes. Serial runs
-         first on the equally cold main manager; the first pooled call pays
-         the per-worker graph import (the cost that inverted the PR 3
-         speedup); the repeat runs warm on the resident workers. *)
+         first on the equally cold main manager. The session then prewarms
+         the pool — one broadcast import per worker, the daemon-startup
+         move — so the first client-visible query ("cold") no longer pays
+         the per-worker graph import inside its own latency: that unhidden
+         import is what made speedup_cold 0.59-0.65 in schema 6. *)
       let rows_seq, ap_ts = time (fun () -> Fpar.all_pairs ~domains:1 q) in
+      let warmed, prewarm_t = time (fun () -> Fpar.prewarm ~pool q) in
       let rows_cold, ap_tc = time (fun () -> Fpar.all_pairs ~pool q) in
       let rows_warm, ap_tw = time (fun () -> Fpar.all_pairs ~pool q) in
       let ap_same = rows_seq = rows_cold && rows_seq = rows_warm in
@@ -518,8 +552,9 @@ let parallel ~scale ~domains () =
       record
         ("parallel.all_pairs" ^ suffix)
         [ m_i "devices" devices; m_i "rows" (List.length rows_seq);
-          m_f "t_serial_s" ap_ts; m_f "t_cold_s" ap_tc; m_f "t_warm_s" ap_tw;
-          m_f "speedup" (ap_ts /. Float.max 1e-9 ap_tw);
+          m_f "t_serial_s" ap_ts; m_f "prewarm_s" prewarm_t;
+          m_i "workers_prewarmed" warmed; m_f "t_cold_s" ap_tc;
+          m_f "t_warm_s" ap_tw; m_f "speedup" (ap_ts /. Float.max 1e-9 ap_tw);
           m_f "speedup_cold" (ap_ts /. Float.max 1e-9 ap_tc);
           m_b "identical" ap_same ];
       record
@@ -576,6 +611,8 @@ let parallel ~scale ~domains () =
     [ m_i "workers" (Par.Pool.size pool); m_i "jobs" (Par.Pool.jobs_run pool);
       m_i "graph_imports" imports; m_i "graph_reuses" reuses;
       m_i "worker_cached_graphs" wr.Fpar.wr_cached;
+      m_i "worker_cache_capacity" wr.Fpar.wr_capacity;
+      m_i "graph_evictions" wr.Fpar.wr_evictions;
       m_i "worker_cache_hits" wr.Fpar.wr_hits;
       m_i "worker_cache_misses" wr.Fpar.wr_misses;
       m_f "worker_cache_hit_rate"
@@ -889,6 +926,163 @@ let coverage_bench ~scale ~domains () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Analysis service: daemon over a Unix socket (ISSUE 9)              *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let service_bench ~scale ~domains () =
+  Printf.printf
+    "== Analysis service: concurrent clients over a Unix socket (%d worker domains) ==\n"
+    domains;
+  let leaves = max 4 (int_of_float (8.0 *. scale)) in
+  let net = Netgen.clos ~name:"svc" ~spines:2 ~leaves () in
+  let files = net.Netgen.n_configs in
+  let svc = Service.create ~domains () in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bf_bench_%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Thread.create (fun () -> Service.serve ~install_signals:false ~socket svc) ()
+  in
+  let rec wait_sock n =
+    if n = 0 then failwith "service socket never appeared"
+    else if not (Sys.file_exists socket) then begin
+      Thread.delay 0.01;
+      wait_sock (n - 1)
+    end
+  in
+  wait_sock 500;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let request (ic, oc) line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  let query_line question =
+    Sjson.to_string
+      (Sjson.Obj
+         [ ("method", Sjson.Str "query");
+           ("params", Sjson.Obj [ ("question", Sjson.Str question) ]) ])
+  in
+  let c0 = connect () in
+  (* cold load through the protocol: parse + data plane + forwarding graph
+     + prewarm broadcast, all inside the daemon *)
+  let load_line =
+    Sjson.to_string
+      (Sjson.Obj
+         [ ("method", Sjson.Str "load");
+           ("params",
+            Sjson.Obj
+              [ ("files",
+                 Sjson.Obj (List.map (fun (n, t) -> (n, Sjson.Str t)) files)) ]) ])
+  in
+  let load_resp, load_t = time (fun () -> request c0 load_line) in
+  let _, cold_q_t = time (fun () -> request c0 (query_line "all_pairs")) in
+  let warm_resp, warm_q_t = time (fun () -> request c0 (query_line "all_pairs")) in
+  (* dedup: a second client loading byte-identical configs must be answered
+     from the store without parsing (reused=true, still one live snapshot) *)
+  let c1 = connect () in
+  let dedup_resp = request c1 load_line in
+  let dedup_reused =
+    match Sjson.parse dedup_resp with
+    | Ok r ->
+      Option.bind (Sjson.member "result" r) (Sjson.member "reused")
+      = Some (Sjson.Bool true)
+    | Error _ -> false
+  in
+  (* coalescing: concurrent identical uncached queries must join one
+     computation. The test seam stretches the compute window so the
+     overlap is deterministic at bench timescales. *)
+  Service.test_delay := 0.05;
+  let racers =
+    List.init 4 (fun _ ->
+        Thread.create (fun () -> ignore (request (connect ()) (query_line "loops"))) ())
+  in
+  List.iter Thread.join racers;
+  Service.test_delay := 0.0;
+  (* sustained load: a small fleet of clients issuing memo-warm queries;
+     latency distribution + throughput are the service-mode numbers *)
+  let clients = 4 and per_client = 25 in
+  let latencies = Array.make (clients * per_client) 0.0 in
+  let questions = [| "all_pairs"; "multipath"; "routes"; "diagnostics" |] in
+  let t0 = Unix.gettimeofday () in
+  let fleet =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let conn = connect () in
+            for i = 0 to per_client - 1 do
+              let line = query_line questions.((ci + i) mod Array.length questions) in
+              let _, dt = time (fun () -> request conn line) in
+              latencies.((ci * per_client) + i) <- dt
+            done)
+          ())
+  in
+  List.iter Thread.join fleet;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.5 and p99 = percentile latencies 0.99 in
+  let qps = float_of_int (clients * per_client) /. Float.max 1e-9 elapsed in
+  (* byte-identity with the one-shot engine: the service's rendered answer
+     must equal the same snapshot analyzed directly, serially *)
+  let direct =
+    Batfish.init ~env:net.Netgen.n_env (Batfish.Snapshot.of_texts files)
+  in
+  let direct_answer = Batfish.answer_all_pairs direct in
+  let identical =
+    match Sjson.parse warm_resp with
+    | Error _ -> false
+    | Ok r -> (
+      match Option.bind (Sjson.member "result" r) (Sjson.member "answers") with
+      | Some (Sjson.Arr [ Sjson.Obj fields ]) ->
+        List.assoc_opt "title" fields
+        = Some (Sjson.Str direct_answer.Questions.a_title)
+        && List.assoc_opt "rows" fields
+           = Some
+               (Sjson.Arr
+                  (List.map
+                     (fun row -> Sjson.Arr (List.map (fun c -> Sjson.Str c) row))
+                     direct_answer.Questions.a_rows))
+      | _ -> false)
+  in
+  ignore (request c0 (Sjson.to_string (Sjson.Obj [ ("method", Sjson.Str "shutdown") ])));
+  Thread.join server;
+  let s = Service.stats svc in
+  Printf.printf
+    "   load %s; query cold %s warm %s; %d reqs from %d clients: %.0f q/s, p50 %s p99 %s\n"
+    (fmt_s load_t) (fmt_s cold_q_t) (fmt_s warm_q_t) (clients * per_client)
+    clients qps (fmt_s p50) (fmt_s p99);
+  Printf.printf
+    "   computed %d, coalesced %d, dedup %s, errors %d, pool shutdowns %d\n"
+    s.Service.st_computed s.Service.st_coalesced
+    (if dedup_reused then "hit" else "MISS") s.Service.st_errors
+    s.Service.st_shutdowns_run;
+  ignore load_resp;
+  record "service.bench"
+    [ m_i "devices" (Netgen.device_count net); m_i "clients" clients;
+      m_i "requests" s.Service.st_requests; m_f "load_s" load_t;
+      m_f "cold_query_s" cold_q_t; m_f "warm_query_s" warm_q_t;
+      m_f "qps" qps; m_f "p50_s" p50; m_f "p99_s" p99;
+      m_i "computed" s.Service.st_computed;
+      m_i "coalesced" s.Service.st_coalesced;
+      m_i "errors" s.Service.st_errors;
+      m_b "dedup_hit" dedup_reused;
+      m_i "snapshots" s.Service.st_snapshots;
+      m_i "shutdowns_run" s.Service.st_shutdowns_run;
+      m_b "identical" identical ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -999,6 +1193,9 @@ let () =
     failures ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
   if want "coverage" || smoke then
     coverage_bench ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
+  if want "service" || smoke then
+    service_bench ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
   if want "micro" && not smoke then micro ();
   write_results ~scale ~domains ();
-  check_identical ()
+  check_identical ();
+  check_gates ()

@@ -453,6 +453,64 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
     Term.(const run $ dir_arg $ base_arg $ domains_arg $ all_pairs $ failures)
 
+(* --- serve: analysis as a service --- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt string "/tmp/batfish.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (replaced if it exists)")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Also listen on localhost:$(docv) (same protocol)")
+  in
+  let preload =
+    Arg.(value & opt_all dir []
+         & info [ "preload" ] ~docv:"CONFIG_DIR"
+             ~doc:"Load this snapshot at startup (repeatable); its forwarding \
+                   graph is imported into every worker before the first \
+                   client query, so cold-start latency is paid here, not in \
+                   a request")
+  in
+  let serve_domains =
+    Arg.(value & opt domains_conv `Auto
+         & info [ "domains" ] ~docv:"DOMAINS"
+             ~doc:"Worker domains for the shared session pool (default \
+                   'auto': machine-appropriate count with the adaptive \
+                   serial fallback)")
+  in
+  let run socket tcp preload domains =
+    let domains, auto = resolve_domains domains in
+    let svc = Service.create ~domains ~auto () in
+    List.iter
+      (fun dir ->
+        let files, _ = Batfish.Snapshot.read_dir dir in
+        let fp = Service.load_files svc files in
+        Printf.printf "preloaded %s as %s (%d files)\n%!" dir fp
+          (List.length files))
+      preload;
+    Printf.printf "serving on %s%s (%d worker domain%s); SIGINT/SIGTERM to stop\n%!"
+      socket
+      (match tcp with Some p -> Printf.sprintf " and localhost:%d" p | None -> "")
+      domains
+      (if domains = 1 then "" else "s");
+    Service.serve ?tcp_port:tcp ~socket svc;
+    let s = Service.stats svc in
+    Printf.printf
+      "served %d request(s): %d computed, %d coalesced, %d error(s), %d \
+       snapshot(s) live\n"
+      s.Service.st_requests s.Service.st_computed s.Service.st_coalesced
+      s.Service.st_errors s.Service.st_snapshots
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-lived analysis daemon: newline-delimited JSON requests \
+             over a Unix-domain (and optional TCP) socket, sharing parsed \
+             snapshots, data planes and warm worker caches across clients")
+    Term.(const run $ socket $ tcp $ preload $ serve_domains)
+
 (* --- netgen --- *)
 
 let netgen_cmd =
@@ -496,4 +554,4 @@ let () =
           (Cmd.info "batfish_cli" ~version:"1.0"
              ~doc:"Configuration analysis: parse, simulate, verify")
           [ parse_cmd; diagnostics_cmd; dataplane_cmd; routes_cmd; lint_cmd; coverage_cmd;
-            check_cmd; trace_cmd; reach_cmd; verify_cmd; netgen_cmd ]))
+            check_cmd; trace_cmd; reach_cmd; verify_cmd; serve_cmd; netgen_cmd ]))

@@ -248,6 +248,35 @@ let forwarding t =
   | Ok fq -> fq
   | Error d -> failwith (Diag.to_string d)
 
+(* Snapshot identity without parsing: the digest of the per-file content
+   fingerprints in file order. Two sessions loaded from byte-identical file
+   sets share it, which is what lets a long-lived service dedup snapshots
+   across clients before doing any work. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, md5) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf md5;
+      Buffer.add_char buf '\000')
+    (Snapshot.fingerprints t.snap);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Ship this session's forwarding graph to every resident pool worker now,
+   so the first parallel query pays no per-worker import inside its own
+   latency (the cold-path inversion). Forces the data plane and forwarding
+   graph; returns workers warmed (0 when single-domain or when forwarding
+   cannot be built). *)
+let prewarm t =
+  match try_forwarding t with
+  | Error _ -> 0
+  | Ok fq -> Fpar.prewarm ?pool:(session_pool t) fq
+
+(* (hits, misses) of the forwarding query memo, without forcing anything:
+   [None] until the forwarding engine has been built. *)
+let memo_stats t = Option.map Fquery.memo_stats t.fq
+
 (* Every diagnostic the pipeline has produced so far. The data plane's are
    included only once it has been computed; nothing here forces it. *)
 let diags t =

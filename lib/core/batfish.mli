@@ -103,6 +103,22 @@ val forwarding : t -> Fquery.t
     is returned (and recorded) as a [Fatal] forwarding diag. *)
 val try_forwarding : t -> (Fquery.t, Diag.t) result
 
+(** Content identity of the session's snapshot: a digest over the per-file
+    [(name, md5)] fingerprints in file order. Computable without parsing;
+    byte-identical file sets share it. The analysis service keys its
+    snapshot store on this to dedup identical configs across clients. *)
+val fingerprint : t -> string
+
+(** Import this session's forwarding graph into every resident pool worker
+    ({!Fpar.prewarm}), so the first parallel query starts warm. Forces the
+    data plane and forwarding graph. Returns the number of workers warmed
+    ([0] when single-domain or forwarding cannot be built). *)
+val prewarm : t -> int
+
+(** (hits, misses) of the forwarding query memo; [None] until the
+    forwarding engine has been built. Never forces computation. *)
+val memo_stats : t -> (int * int) option
+
 (** All diagnostics produced so far: snapshot parse/convert diags, data-plane
     diags (once computed), and forwarding diags. Never forces computation. *)
 val diags : t -> Diag.t list

@@ -24,18 +24,53 @@
 
 type cached = { c_fp : string; c_q : Fquery.t }
 
-(* Two entries cover the dominant session shape (a base snapshot and its
-   current incremental successor) while bounding each worker's manager
-   footprint. *)
-let cache_capacity = 2
+(* Per-worker MRU capacity. The historical fixed capacity of 2 covered a
+   base snapshot plus its incremental successor, but thrashes as soon as a
+   session serves three or more live fingerprints (an analysis daemon with
+   several loaded snapshots, or the failure sweep's per-scenario graphs):
+   every fan-out then re-imports a graph some other query just evicted.
+   Default 4; long-lived services size it to their live-snapshot count via
+   {!set_worker_cache_capacity}. *)
+let cache_capacity = ref 4
+
+let set_worker_cache_capacity n = cache_capacity := max 1 n
+let worker_cache_capacity () = !cache_capacity
 
 let worker_cache : cached list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let graph_imports = Atomic.make 0
 let graph_reuses = Atomic.make 0
+let graph_evictions = Atomic.make 0
 
 let worker_stats () = (Atomic.get graph_imports, Atomic.get graph_reuses)
+
+(* --- pool-worker residency registry ------------------------------------- *)
+
+(* How many persistent pool workers currently hold each fingerprint in
+   their domain-local cache. Maintained from inside the workers (import
+   increments, eviction decrements; only counted under [Par.Pool.in_worker]
+   — graphs imported by one-shot spawned domains die with the domain and
+   must not register as resident). {!plan} reads it to decide whether a
+   fan-out would start warm: a cold fan-out must additionally pay one graph
+   import per worker, a warm one only job dispatch. *)
+let resident_mutex = Mutex.create ()
+let resident_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let note_resident fp delta =
+  if Par.Pool.in_worker () then begin
+    Mutex.lock resident_mutex;
+    let c = Option.value ~default:0 (Hashtbl.find_opt resident_counts fp) + delta in
+    if c <= 0 then Hashtbl.remove resident_counts fp
+    else Hashtbl.replace resident_counts fp c;
+    Mutex.unlock resident_mutex
+  end
+
+let resident_workers fp =
+  Mutex.lock resident_mutex;
+  let c = Option.value ~default:0 (Hashtbl.find_opt resident_counts fp) in
+  Mutex.unlock resident_mutex;
+  c
 
 (* --- measured calibration ----------------------------------------------- *)
 
@@ -94,17 +129,59 @@ let worker_query ~fp ~spec ~dp ~configs =
        consistent with what the MRU cache actually holds. *)
     Atomic.incr graph_imports;
     note_import (now_ns () - t0);
-    let keep = List.filteri (fun i _ -> i < cache_capacity - 1) !cache in
+    let cap = !cache_capacity in
+    let keep = List.filteri (fun i _ -> i < cap - 1) !cache in
+    let evicted = List.filteri (fun i _ -> i >= cap - 1) !cache in
+    List.iter
+      (fun c ->
+        Atomic.incr graph_evictions;
+        note_resident c.c_fp (-1))
+      evicted;
     cache := { c_fp = fp; c_q = qw } :: keep;
+    note_resident fp 1;
     qw
 
 let worker_import = worker_query
+
+(* Import this graph into every resident pool worker up front, so the first
+   client query against the snapshot finds the workers warm instead of
+   paying the per-worker spec import inside its own latency (the cold-path
+   inversion: importing per request made the cold sharded all-pairs slower
+   than serial). Returns the number of workers warmed; 0 without a live
+   pool — spawned domains die with their cache, so there is nothing durable
+   to warm. *)
+let prewarm ?pool q =
+  match pool with
+  | Some p when not (Par.Pool.closed p) ->
+    let spec, fp = Fquery.spec_with_fingerprint q in
+    let dp = q.Fquery.dp and configs = q.Fquery.configs in
+    (* Importing the graph alone leaves each worker's private BDD manager
+       with a cold unique table and operation caches, so the first sharded
+       query still paid near-serial cost per shard (the cold-path
+       inversion). Forward passes share little structure across starts, so
+       run the full default-starts sweep in every worker: each manager ends
+       in exactly the state a completed query leaves behind, and the first
+       client-visible query runs at warm speed. The sweep costs one serial
+       pass of wall time, paid here — at session/daemon load — instead of
+       inside the first request's latency. *)
+    let seeds = Fquery.default_starts q in
+    let warmed =
+      Par.Pool.broadcast p (fun _ ->
+          let qw = worker_query ~fp ~spec ~dp ~configs in
+          List.iter (fun s -> ignore (Fquery.pairs_for_start qw s)) seeds)
+    in
+    Array.fold_left
+      (fun n r -> match r with Some () -> n + 1 | None -> n)
+      0 warmed
+  | Some _ | None -> 0
 
 let worker_cached_graphs () = List.length !(Domain.DLS.get worker_cache)
 
 type worker_cache_report = {
   wr_workers : int;
   wr_cached : int;
+  wr_capacity : int;
+  wr_evictions : int;
   wr_hits : int;
   wr_misses : int;
   wr_entries : int;
@@ -130,10 +207,12 @@ let worker_cache_stats pool =
       match w with
       | None -> acc
       | Some (n, (h, m, e, f)) ->
-        { wr_workers = acc.wr_workers + 1; wr_cached = acc.wr_cached + n;
+        { acc with
+          wr_workers = acc.wr_workers + 1; wr_cached = acc.wr_cached + n;
           wr_hits = acc.wr_hits + h; wr_misses = acc.wr_misses + m;
           wr_entries = acc.wr_entries + e; wr_filled = acc.wr_filled + f })
-    { wr_workers = 0; wr_cached = 0; wr_hits = 0; wr_misses = 0;
+    { wr_workers = 0; wr_cached = 0; wr_capacity = !cache_capacity;
+      wr_evictions = Atomic.get graph_evictions; wr_hits = 0; wr_misses = 0;
       wr_entries = 0; wr_filled = 0 }
     per_worker
 
@@ -163,14 +242,21 @@ let auto_cutoff = ref 60_000
 let scale_cutoff cutoff factor =
   if cutoff > max_int / factor then max_int else cutoff * factor
 
-let effective_cutoff ~workload ~workers =
+let effective_cutoff ?(warm = false) ~workload ~workers () =
   ignore workers;
   if !auto_cutoff = 0 then 0
   else begin
     let base =
-      match measured_cutoff () with
-      | Some m -> max !auto_cutoff m
-      | None -> !auto_cutoff
+      (* A cold fan-out pays one graph import per worker before any useful
+         work, so the measured import cost is charged on top of the static
+         floor. Warm workers (graph already resident in their MRU cache)
+         only pay job dispatch: the floor alone decides, letting smaller
+         jobs go parallel once the session has warmed up. *)
+      if warm then !auto_cutoff
+      else
+        match measured_cutoff () with
+        | Some m -> max !auto_cutoff m
+        | None -> !auto_cutoff
     in
     match workload with
     | Uniform -> base
@@ -180,14 +266,26 @@ let effective_cutoff ~workload ~workers =
       scale_cutoff base 2
   end
 
-let plan ?pool ?(domains = 1) ?(auto = false) ?(workload = Uniform) ~tasks ~cost () =
+let plan ?pool ?(domains = 1) ?(auto = false) ?(workload = Uniform) ?fp ~tasks
+    ~cost () =
   let workers =
     match pool with
     | Some p when not (Par.Pool.closed p) -> Par.Pool.size p
     | Some _ | None -> domains
   in
+  (* Warm only counts when every worker already holds the graph: a partial
+     residency would still pay imports on the cold workers. Only resident
+     pool workers register (see [note_resident]), so [fp = None] — or any
+     graph never shipped to a pool — plans as cold. *)
+  let warm =
+    match (fp, pool) with
+    | Some fp, Some p when not (Par.Pool.closed p) ->
+      resident_workers fp >= Par.Pool.size p
+    | _ -> false
+  in
   if tasks < 2 || workers <= 1 then Serial
-  else if auto && cost < effective_cutoff ~workload ~workers then Serial
+  else if auto && cost < effective_cutoff ~warm ~workload ~workers () then
+    Serial
   else Parallel workers
 
 (* --- entry points ------------------------------------------------------- *)
@@ -200,7 +298,11 @@ let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
   in
   let g = Fquery.graph q in
   let cost = List.length starts * Fgraph.n_edges g in
-  match plan ?pool ~domains ~auto ~tasks:(List.length starts) ~cost () with
+  match
+    plan ?pool ~domains ~auto
+      ?fp:(Fquery.cached_fingerprint q)
+      ~tasks:(List.length starts) ~cost ()
+  with
   | Serial ->
     let t0 = now_ns () in
     let rows = Fquery.all_pairs q ?hdr ~starts () in
@@ -253,7 +355,11 @@ let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
   let cost =
     (List.length delivered_sinks + List.length dropped_sinks) * Fgraph.n_edges g
   in
-  match plan ?pool ~domains ~auto ~workload:Sharded_pass ~tasks:2 ~cost () with
+  match
+    plan ?pool ~domains ~auto ~workload:Sharded_pass
+      ?fp:(Fquery.cached_fingerprint q)
+      ~tasks:2 ~cost ()
+  with
   | Serial ->
     let t0 = now_ns () in
     let verdicts = Fquery.multipath_consistency q ~starts () in

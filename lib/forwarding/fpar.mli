@@ -55,20 +55,24 @@ type plan = Serial | Parallel of int
     the fan-out overhead. *)
 type workload = Uniform | Sharded_pass
 
-(** [plan ?pool ?domains ?auto ?workload ~tasks ~cost ()] decides how an
-    entry point runs: [Serial] when there are fewer than two tasks or one
+(** [plan ?pool ?domains ?auto ?workload ?fp ~tasks ~cost ()] decides how
+    an entry point runs: [Serial] when there are fewer than two tasks or one
     worker, or when [auto] is set and [cost] (in tasks × graph edges) is
     below the effective cutoff; otherwise [Parallel n] with the pool size or
     [domains] workers. The effective cutoff is the {!auto_cutoff} floor
-    raised by {!measured_cutoff} once samples exist, and doubled for
-    [Sharded_pass] workloads (their speedup is bounded by the pass count).
-    Both entry points route through this single decision, so their serial
-    fallbacks are uniform. *)
+    raised by {!measured_cutoff} once samples exist — but only when the
+    fan-out would start cold: when [fp] (the snapshot's spec fingerprint)
+    is already resident in every pool worker the import charge is waived
+    and the floor alone decides. The cutoff is doubled for [Sharded_pass]
+    workloads (their speedup is bounded by the pass count). Both entry
+    points route through this single decision, so their serial fallbacks
+    are uniform. *)
 val plan :
   ?pool:Par.Pool.t ->
   ?domains:int ->
   ?auto:bool ->
   ?workload:workload ->
+  ?fp:string ->
   tasks:int ->
   cost:int ->
   unit ->
@@ -85,8 +89,17 @@ val auto_cutoff : int ref
     import and a serial run have been sampled. *)
 val measured_cutoff : unit -> int option
 
-(** The cutoff {!plan} actually compares against in [auto] mode. *)
-val effective_cutoff : workload:workload -> workers:int -> int
+(** The cutoff {!plan} actually compares against in [auto] mode. [warm]
+    (default false) waives the measured per-worker import charge — the
+    workers already hold the graph. *)
+val effective_cutoff :
+  ?warm:bool -> workload:workload -> workers:int -> unit -> int
+
+(** How many persistent pool workers currently hold the graph with spec
+    fingerprint [fp] in their domain-local MRU cache. Maintained by the
+    workers themselves on import/eviction; spawned (non-pool) domains never
+    register. *)
+val resident_workers : string -> int
 
 (** {2 Worker-resident cache introspection} *)
 
@@ -113,12 +126,31 @@ val worker_import :
 (** Number of graphs cached in the calling domain's own worker cache. *)
 val worker_cached_graphs : unit -> int
 
+(** Per-worker MRU capacity for resident imported graphs (default 4).
+    A long-lived service should size it to its live-snapshot count:
+    a capacity below the number of snapshots in active rotation makes
+    every fan-out re-import a graph some other query just evicted
+    (the stuck-at-9% hit-rate failure). Clamped to at least 1. *)
+val set_worker_cache_capacity : int -> unit
+
+val worker_cache_capacity : unit -> int
+
+(** [prewarm ?pool q] imports [q]'s graph into every resident pool worker
+    up front (one broadcast), so the first query against the snapshot finds
+    the workers warm instead of paying the per-worker spec import inside
+    its own latency. Returns the number of workers warmed; [0] without a
+    live pool. Must not be called from inside a pool worker. *)
+val prewarm : ?pool:Par.Pool.t -> Fquery.t -> int
+
 (** Aggregate over a pool's resident workers: how many responded, total
-    cached graphs, and the summed {!Bdd.cache_stats} of their private
+    cached graphs, the configured per-worker capacity, process-wide
+    eviction count, and the summed {!Bdd.cache_stats} of their private
     managers. *)
 type worker_cache_report = {
   wr_workers : int;
   wr_cached : int;
+  wr_capacity : int;
+  wr_evictions : int;
   wr_hits : int;
   wr_misses : int;
   wr_entries : int;

@@ -36,6 +36,12 @@ let spec_with_fingerprint t =
     t.spec_cache <- Some (spec, fp);
     (spec, fp)
 
+(* The fingerprint if it has already been computed, without forcing the
+   (milliseconds-scale) spec export. Workers can only be warm for a graph
+   whose spec was shipped to them — which computes the fingerprint — so a
+   [None] here is a sound "cold" answer for {!Fpar.plan}. *)
+let cached_fingerprint t = Option.map snd t.spec_cache
+
 let make ?env ?compress ~configs ~dp () =
   of_graph (Fgraph.build ?env ?compress ~configs ~dp ()) ~dp ~configs
 

@@ -47,6 +47,12 @@ val graph : t -> Fgraph.t
     imported-graph cache. *)
 val spec_with_fingerprint : t -> Fgraph.spec * string
 
+(** The spec fingerprint if {!spec_with_fingerprint} has already computed
+    it, without forcing the spec export. Used by the adaptive planner as a
+    zero-cost warmth probe: workers can only hold a graph whose spec was
+    shipped to them, which computes the fingerprint as a side effect. *)
+val cached_fingerprint : t -> string option
+
 (** (hits, misses) of the query memo. *)
 val memo_stats : t -> int * int
 

@@ -33,6 +33,12 @@ module Pool = struct
     p_size : int;
     mutable p_workers : unit Domain.t list;
     p_mutex : Mutex.t;
+    (* Serializes whole submissions: a daemon's client threads share one
+       session pool, so [submit] must queue callers instead of interleaving
+       epochs (the original single-caller contract). Held for the full
+       publish-to-drain span of one job; [p_mutex] alone still protects the
+       worker protocol state. *)
+    p_submit_mutex : Mutex.t;
     p_work_cv : Condition.t;
     p_done_cv : Condition.t;
     mutable p_job : (int -> unit) option;
@@ -52,7 +58,12 @@ module Pool = struct
       while (not t.p_closed) && t.p_epoch = epoch do
         Condition.wait t.p_work_cv t.p_mutex
       done;
-      if t.p_closed then Mutex.unlock t.p_mutex
+      (* A job published before (or racing with) shutdown must still run:
+         the submitting caller is blocked until [p_pending] drains, so
+         exiting on [p_closed] while a fresh epoch is pending would hang it
+         forever — the signal-driven-shutdown-mid-request hang. Check the
+         epoch first; exit only when closed with no undrained job. *)
+      if t.p_epoch = epoch then Mutex.unlock t.p_mutex
       else begin
         let epoch = t.p_epoch in
         let job =
@@ -81,7 +92,17 @@ module Pool = struct
   let all_pools : t list ref = ref []
   let all_mutex = Mutex.create ()
 
+  (* Idempotent and safe under concurrent callers (signal-driven daemon
+     shutdown racing the [at_exit] sweep, or two client threads): the worker
+     list is swapped out under the mutex, so exactly one caller joins each
+     worker — a second call finds an empty list and returns immediately.
+     Workers drain any job already published before exiting (see
+     [worker_loop]), so a shutdown racing an in-flight [run] never strands
+     the submitter. Must not be called from inside a pool worker (a domain
+     cannot join itself). *)
   let shutdown t =
+    if in_worker () then
+      invalid_arg "Par.Pool.shutdown: called from inside a pool worker";
     Mutex.lock t.p_mutex;
     let workers = t.p_workers in
     t.p_closed <- true;
@@ -101,6 +122,7 @@ module Pool = struct
     in
     let t =
       { p_size = size; p_workers = []; p_mutex = Mutex.create ();
+        p_submit_mutex = Mutex.create ();
         p_work_cv = Condition.create (); p_done_cv = Condition.create ();
         p_job = None; p_epoch = 0; p_pending = 0; p_closed = false; p_jobs = 0 }
     in
@@ -116,10 +138,17 @@ module Pool = struct
     Mutex.unlock t.p_mutex;
     c
 
+  (* Thread-safe: concurrent submitters queue on [p_submit_mutex] and run
+     their jobs back to back (one job at a time remains the pool invariant —
+     it is what makes worker-resident state coherent). A job that won the
+     queue before shutdown flagged the pool still completes: workers drain
+     published epochs before exiting. *)
   let submit t job =
+    Mutex.lock t.p_submit_mutex;
     Mutex.lock t.p_mutex;
     if t.p_closed then begin
       Mutex.unlock t.p_mutex;
+      Mutex.unlock t.p_submit_mutex;
       invalid_arg "Par.Pool: pool is shut down"
     end;
     t.p_job <- Some job;
@@ -131,7 +160,8 @@ module Pool = struct
       Condition.wait t.p_done_cv t.p_mutex
     done;
     t.p_job <- None;
-    Mutex.unlock t.p_mutex
+    Mutex.unlock t.p_mutex;
+    Mutex.unlock t.p_submit_mutex
 
   let run_inline ~init f arr =
     if Array.length arr = 0 then [||]

@@ -40,7 +40,11 @@ module Pool : sig
       into the next job — and the exception of the lowest failing recorded
       index is re-raised in the caller. Called from inside a pool worker
       (a task that re-enters its own pool), [run] executes inline and
-      serially in that worker instead of deadlocking on [submit]. *)
+      serially in that worker instead of deadlocking on [submit].
+
+      Thread-safe: concurrent callers (a daemon's client threads sharing one
+      session pool) queue and run their jobs back to back — one job at a
+      time remains the pool invariant. *)
   val run : t -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
 
   (** True when the calling domain is a pool worker (any pool). Nested
@@ -55,8 +59,12 @@ module Pool : sig
       itself). *)
   val broadcast : t -> (int -> 'a) -> 'a option array
 
-  (** [shutdown t] stops and joins all workers. Idempotent; [run] and
-      [broadcast] on a shut-down pool raise [Invalid_argument]. *)
+  (** [shutdown t] stops and joins all workers. Idempotent and safe under
+      concurrent callers (each worker is joined exactly once, by whichever
+      caller swapped out the worker list); a shutdown racing an in-flight
+      {!run} lets the published job drain first, so the submitter is never
+      stranded. [run] and [broadcast] on a shut-down pool raise
+      [Invalid_argument], as does [shutdown] from inside a pool worker. *)
   val shutdown : t -> unit
 
   (** [closed t] is true once {!shutdown} has been called. *)

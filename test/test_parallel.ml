@@ -406,11 +406,11 @@ let measured_cutoff_scaling () =
       ignore (Fpar.all_pairs ~domains:1 q);
       Fpar.auto_cutoff := 0;
       check Alcotest.int "0 disables the serial fallback" 0
-        (Fpar.effective_cutoff ~workload:Fpar.Uniform ~workers:4);
+        (Fpar.effective_cutoff ~workload:Fpar.Uniform ~workers:4 ());
       check Alcotest.int "0 disables it for sharded passes too" 0
-        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:4);
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:4 ());
       Fpar.auto_cutoff := 1_000;
-      let u = Fpar.effective_cutoff ~workload:Fpar.Uniform ~workers:4 in
+      let u = Fpar.effective_cutoff ~workload:Fpar.Uniform ~workers:4 () in
       check Alcotest.bool "configured floor is respected" true (u >= 1_000);
       (match Fpar.measured_cutoff () with
       | Some m -> check Alcotest.int "measured cost raises the floor" (max 1_000 m) u
@@ -418,12 +418,12 @@ let measured_cutoff_scaling () =
       (* multipath's two batched passes can at best halve the wall clock,
          so their cutoff is double the uniform one regardless of workers *)
       check Alcotest.int "sharded cutoff is doubled" (u * 2)
-        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:4);
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:4 ());
       check Alcotest.int "sharded cutoff ignores worker count" (u * 2)
-        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:16);
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:16 ());
       Fpar.auto_cutoff := max_int;
       check Alcotest.int "scaling saturates instead of overflowing" max_int
-        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:8))
+        (Fpar.effective_cutoff ~workload:Fpar.Sharded_pass ~workers:8 ()))
 
 (* --- interning under parallel data-plane simulation --------------------- *)
 
