@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench-smoke check clean
+.PHONY: all build test lint bench-smoke bench-sweep check clean
 
 all: build
 
@@ -20,6 +20,15 @@ lint: build
 # nodes_reused = 0 — the per-node route-delta reuse must actually engage.
 bench-smoke: build
 	dune exec bench/main.exe -- smoke --scale 1
+
+# Quotient-compression scale sweep (schema 8 "sweep" section of
+# BENCH_results.json): compressed vs uncompressed wall time, peak RSS, BDD
+# node counts and compression ratio across several NET12 scale factors.
+# Exits 1 if compressed answers ever differ from uncompressed, or if
+# compression fails to win at the largest factor. --scale 2 adds the
+# ~1k-device point.
+bench-sweep: build
+	dune exec bench/main.exe -- sweep --scale 1
 
 # The full gate: everything compiles, every test passes (which includes
 # linting the example fixtures via the runtest alias), and the bench smoke

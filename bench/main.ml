@@ -75,7 +75,7 @@ let write_results ~scale ~domains () =
          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %s" k v) metrics))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": 7,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": 8,\n  \"scale\": %g,\n  \"domains\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
     scale domains
     (String.concat ",\n" (List.map entry (List.rev !records)));
   close_out oc;
@@ -116,6 +116,28 @@ let check_gates () =
             name s
           :: !bad
       | Some _ | None -> ());
+      (* the sweep's largest scale factor must show compression winning;
+         smaller factors may legitimately hover around 1.0. At >= 500
+         devices the all-pairs sweep itself must win by >= 2x (the ISSUE 10
+         acceptance bar). *)
+      (match (fv "sweep_speedup", List.assoc_opt "sweep_largest" metrics) with
+      | Some s, Some "true" when s < 1.0 ->
+        bad :=
+          Printf.sprintf
+            "%s: compression speedup %.2f < 1.0 at the largest sweep scale"
+            name s
+          :: !bad
+      | _ -> ());
+      (match
+         (fv "all_pairs_speedup", fv "devices",
+          List.assoc_opt "sweep_largest" metrics)
+       with
+      | Some s, Some d, Some "true" when d >= 500.0 && s < 2.0 ->
+        bad :=
+          Printf.sprintf
+            "%s: all-pairs speedup %.2f < 2.0 at %.0f devices" name s d
+          :: !bad
+      | _ -> ());
       if String.length name >= 8 && String.sub name 0 8 = "service." then
         match fv "coalesced" with
         | Some c when c < 1.0 ->
@@ -1146,6 +1168,128 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Scale sweep: quotient compression vs uncompressed on the fat-leaf  *)
+(* NET12 fabric (ISSUE 10), up to ~1k devices at the largest factor   *)
+(* ------------------------------------------------------------------ *)
+
+(* One data plane per scale factor; the same graph spec is materialized
+   into two private managers — compression forced off and on — and both
+   sides answer the same all-pairs, multipath and loop queries from a cold
+   manager, so neither side warms the other's operation cache. All-pairs
+   rows are plain data; multipath/loop verdict sets are exported from the
+   on-side manager and re-imported into the off-side one, where canonicity
+   makes bit-identity a physical-equality check. Serial on purpose: the
+   ratio isolates the quotient, not the parallel fan-out. *)
+let sweep ~factors () =
+  print_endline
+    "== scale sweep: quotient compression vs uncompressed (NET12, serial) ==";
+  let p =
+    List.find
+      (fun (p : Netgen.profile) -> p.Netgen.p_name = "NET12")
+      Netgen.profiles
+  in
+  let largest = List.fold_left max 0.0 factors in
+  let rows =
+    List.map
+      (fun f ->
+        let net, snap, _ = load_profile ~scale:f p in
+        let bf = Batfish.init ~env:net.Netgen.n_env snap in
+        let dp = Batfish.dataplane bf in
+        let configs = Batfish.Snapshot.find snap in
+        let spec = Fgraph.to_spec (Fquery.graph (Batfish.forwarding bf)) in
+        let q_off =
+          Fquery.of_graph ~compress_mode:`Off (Fgraph.of_spec spec) ~dp ~configs
+        in
+        let q_on =
+          Fquery.of_graph ~compress_mode:`On (Fgraph.of_spec spec) ~dp ~configs
+        in
+        (* a start sample bounds the sweep's wall clock; it must be large
+           enough to amortize the compressed side's one-off costs (first
+           cold pass, first-pass verification) the way a full sweep would *)
+        let starts =
+          List.filteri (fun i _ -> i < 96) (Fquery.default_starts q_off)
+        in
+        (* compact before every timed block: the two sides run sequentially
+           in one process, so without this the later side pays the major-GC
+           cost of the earlier side's garbage and the ratio is biased *)
+        let timed f =
+          Gc.compact ();
+          time f
+        in
+        (* whole-sample calls, not per-start: grouped all-pairs shares one
+           pass across a device's interchangeable access ports, which
+           per-start invocations would artificially forbid *)
+        let rows_off, ap_off =
+          timed (fun () -> Fquery.all_pairs q_off ~starts ())
+        in
+        let rows_on, ap_on =
+          timed (fun () -> Fquery.all_pairs q_on ~starts ())
+        in
+        let mpc_off, mp_off =
+          timed (fun () -> Fquery.multipath_consistency q_off ~starts ())
+        in
+        let mpc_on, mp_on =
+          timed (fun () -> Fquery.multipath_consistency q_on ~starts ())
+        in
+        let loops_off = Fquery.find_loops q_off in
+        let loops_on = Fquery.find_loops q_on in
+        let man_off = Pktset.man (Fquery.env q_off) in
+        let man_on = Pktset.man (Fquery.env q_on) in
+        let import_on bs = Bdd.import man_off (Bdd.export man_on bs) in
+        let identical =
+          rows_off = rows_on
+          && List.map fst mpc_off = List.map fst mpc_on
+          && List.for_all2 Bdd.equal
+               (List.map snd mpc_off)
+               (import_on (List.map snd mpc_on))
+          && List.map fst loops_off = List.map fst loops_on
+          && List.for_all2 Bdd.equal
+               (List.map snd loops_off)
+               (import_on (List.map snd loops_on))
+        in
+        let ratio, classes =
+          match Fquery.compression_info q_on with
+          | Some (r, c, _) -> (r, c)
+          | None -> (1.0, Fgraph.n_locs (Fquery.graph q_on))
+        in
+        let passes, fallbacks = Fquery.compress_stats q_on in
+        let wall_off = ap_off +. mp_off and wall_on = ap_on +. mp_on in
+        let speedup = if wall_on > 0.0 then wall_off /. wall_on else 1.0 in
+        let ap_speedup = if ap_on > 0.0 then ap_off /. ap_on else 1.0 in
+        let nodes_off, _, _ = Bdd.stats man_off in
+        let nodes_on, _, _ = Bdd.stats man_on in
+        record
+          (Printf.sprintf "sweep.NET12.x%g" f)
+          [ m_i "devices" (Netgen.device_count net);
+            m_i "locs" (Fgraph.n_locs (Fquery.graph q_off));
+            m_i "edges" (Fgraph.n_edges (Fquery.graph q_off));
+            m_i "starts" (List.length starts);
+            m_f "all_pairs_off_s" ap_off; m_f "all_pairs_on_s" ap_on;
+            m_f "multipath_off_s" mp_off; m_f "multipath_on_s" mp_on;
+            m_f "wall_off_s" wall_off; m_f "wall_on_s" wall_on;
+            m_f "sweep_speedup" speedup; m_f "all_pairs_speedup" ap_speedup;
+            m_b "sweep_largest" (f = largest);
+            m_b "identical" identical; m_f "compress_ratio" ratio;
+            m_i "classes" classes; m_i "compressed_passes" passes;
+            m_i "compress_fallbacks" fallbacks;
+            m_i "bdd_nodes_off" nodes_off; m_i "bdd_nodes_on" nodes_on ];
+        [ Printf.sprintf "x%g" f;
+          string_of_int (Netgen.device_count net);
+          string_of_int (Fgraph.n_locs (Fquery.graph q_off));
+          fmt_s wall_off; fmt_s wall_on; Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.2fx" ap_speedup;
+          Printf.sprintf "%.2f" ratio; string_of_int classes;
+          (if identical then "yes" else "NO") ])
+      factors
+  in
+  Table.print
+    ~header:
+      [ "scale"; "devices"; "locs"; "uncompressed"; "compressed"; "speedup";
+        "all-pairs"; "ratio"; "classes"; "identical" ]
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1196,6 +1340,16 @@ let () =
   if want "service" || smoke then
     service_bench ~scale:(if smoke then min scale 1.0 else scale) ~domains ();
   if want "micro" && not smoke then micro ();
+  (* smoke runs the sweep at one small factor (the bit-identity gate still
+     applies); full runs sweep three factors, plus the ~1k-device point when
+     invoked with --scale >= 2 or --full *)
+  if want "sweep" || smoke then
+    sweep
+      ~factors:
+        (if smoke then [ 0.5 ]
+         else if scale >= 2.0 then [ 1.0; 2.0; 4.0; 8.0 ]
+         else [ 1.0; 2.0; 4.0 ])
+      ();
   write_results ~scale ~domains ();
   check_identical ();
   check_gates ()

@@ -49,11 +49,36 @@ let resolve_domains = function
   | `Auto -> (Par.default_domains (), true)
   | `Fixed n -> ((if n <= 0 then Par.default_domains () else n), false)
 
-let load ?(domains = `Fixed 1) dir =
+(* --compress selects the forwarding-graph quotient mode. Answers are
+   bit-identical at any setting; this only trades partition-refinement
+   time against propagation time. *)
+let compress_conv =
+  let parse = function
+    | "on" -> Ok `On
+    | "off" -> Ok `Off
+    | "auto" -> Ok `Auto
+    | s -> Error (`Msg (Printf.sprintf "invalid MODE '%s' (on, off or auto)" s))
+  in
+  let print ppf (m : Fquery.compress_mode) =
+    Format.pp_print_string ppf
+      (match m with `On -> "on" | `Off -> "off" | `Auto -> "auto")
+  in
+  Arg.conv (parse, print)
+
+let compress_arg =
+  Arg.(value & opt compress_conv `Auto
+       & info [ "compress" ] ~docv:"MODE"
+           ~doc:"Quotient compression of the forwarding graph: 'on' always \
+                 propagates over the behavioral-equivalence quotient, 'off' \
+                 never does, 'auto' (default) enables it when the graph is \
+                 large and compresses well. Results are bit-identical at any \
+                 setting.")
+
+let load ?(domains = `Fixed 1) ?(compress = `Auto) dir =
   let domains, auto_domains = resolve_domains domains in
   Batfish.init
     ~options:{ Dataplane.default_options with domains }
-    ~auto_domains
+    ~auto_domains ~compress
     (Batfish.Snapshot.of_dir dir)
 
 (* --- incremental mode (--base): CONFIG_DIR is a revision of BASE_DIR --- *)
@@ -82,12 +107,12 @@ let load_snapshot_incremental ?(domains = `Fixed 1) ~base dir =
 
 (* Full engine reuse: analyze BASE_DIR (data plane + forwarding graph), apply
    the revision via Batfish.update, and print the engine counters. *)
-let load_update_incremental ?(domains = `Fixed 1) ~base dir =
+let load_update_incremental ?(domains = `Fixed 1) ?(compress = `Auto) ~base dir =
   let domains, auto_domains = resolve_domains domains in
   let bf0 =
     Batfish.init
       ~options:{ Dataplane.default_options with domains }
-      ~auto_domains
+      ~auto_domains ~compress
       (Batfish.Snapshot.of_dir base)
   in
   ignore (Batfish.dataplane bf0);
@@ -368,8 +393,8 @@ let trace_cmd =
 let reach_cmd =
   let src = Arg.(required & opt (some string) None & info [ "src" ] ~doc:"Start as NODE or NODE/IFACE") in
   let dst = Arg.(required & opt (some string) None & info [ "dst-prefix" ] ~doc:"Destination prefix") in
-  let run dir src dst =
-    let bf = load dir in
+  let run dir src dst compress =
+    let bf = load ~compress dir in
     let src =
       match String.index_opt src '/' with
       | Some i ->
@@ -385,7 +410,7 @@ let reach_cmd =
     print_answers [ Batfish.answer_reachability bf ~src ~dst_ip () ]
   in
   Cmd.v (Cmd.info "reach" ~doc:"Symbolic reachability with examples")
-    Term.(const run $ dir_arg $ src $ dst)
+    Term.(const run $ dir_arg $ src $ dst $ compress_arg)
 
 (* --- verify (multipath + loops) --- *)
 
@@ -405,13 +430,13 @@ let verify_cmd =
                    equivalence and the rest re-simulated warm from the base \
                    fixed point")
   in
-  let run dir base domains all_pairs failures =
+  let run dir base domains all_pairs failures compress =
     if failures < 0 || failures > 2 then
       die "--failures supports k = 1 (single failures) or k = 2 (double failures)";
     let bf =
       match base with
-      | Some b -> load_update_incremental ~domains ~base:b dir
-      | None -> load ~domains dir
+      | Some b -> load_update_incremental ~domains ~compress ~base:b dir
+      | None -> load ~domains ~compress dir
     in
     print_answers
       ([ Batfish.answer_multipath_consistency bf; Batfish.answer_loops bf ]
@@ -440,7 +465,17 @@ let verify_cmd =
          (if cs.Bdd.cs_entries = 0 then 0.0
           else
             100.0 *. float_of_int cs.Bdd.cs_filled
-            /. float_of_int cs.Bdd.cs_entries));
+            /. float_of_int cs.Bdd.cs_entries);
+       match Fquery.compression_info fq with
+       | None -> ()
+       | Some (ratio, classes, _) ->
+         let passes, fallbacks = Fquery.compress_stats fq in
+         Printf.printf
+           "quotient compression: %d classes over %d locations (ratio %.2f), \
+            %d compressed pass(es), %d fallback(s)\n"
+           classes
+           (Fgraph.n_locs (Fquery.graph fq))
+           ratio passes fallbacks);
     (match Batfish.pool_stats bf with
      | None -> ()
      | Some (workers, jobs) ->
@@ -451,7 +486,9 @@ let verify_cmd =
     Batfish.shutdown bf
   in
   Cmd.v (Cmd.info "verify" ~doc:"Multipath consistency and loop detection")
-    Term.(const run $ dir_arg $ base_arg $ domains_arg $ all_pairs $ failures)
+    Term.(
+      const run $ dir_arg $ base_arg $ domains_arg $ all_pairs $ failures
+      $ compress_arg)
 
 (* --- serve: analysis as a service --- *)
 
@@ -481,9 +518,17 @@ let serve_cmd =
                    'auto': machine-appropriate count with the adaptive \
                    serial fallback)")
   in
-  let run socket tcp preload domains =
+  let max_snapshots =
+    Arg.(value & opt (some int) None
+         & info [ "max-snapshots" ] ~docv:"N"
+             ~doc:"Keep at most $(docv) snapshots loaded: registering one \
+                   past the bound evicts the least recently queried snapshot \
+                   (eviction counts appear under 'stats'). Unbounded by \
+                   default.")
+  in
+  let run socket tcp preload domains max_snapshots compress =
     let domains, auto = resolve_domains domains in
-    let svc = Service.create ~domains ~auto () in
+    let svc = Service.create ~domains ~auto ?max_snapshots ~compress () in
     List.iter
       (fun dir ->
         let files, _ = Batfish.Snapshot.read_dir dir in
@@ -500,23 +545,25 @@ let serve_cmd =
     let s = Service.stats svc in
     Printf.printf
       "served %d request(s): %d computed, %d coalesced, %d error(s), %d \
-       snapshot(s) live\n"
+       snapshot(s) live, %d evicted\n"
       s.Service.st_requests s.Service.st_computed s.Service.st_coalesced
-      s.Service.st_errors s.Service.st_snapshots
+      s.Service.st_errors s.Service.st_snapshots s.Service.st_evictions
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-lived analysis daemon: newline-delimited JSON requests \
              over a Unix-domain (and optional TCP) socket, sharing parsed \
              snapshots, data planes and warm worker caches across clients")
-    Term.(const run $ socket $ tcp $ preload $ serve_domains)
+    Term.(
+      const run $ socket $ tcp $ preload $ serve_domains $ max_snapshots
+      $ compress_arg)
 
 (* --- netgen --- *)
 
 let netgen_cmd =
   let profile =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE"
-           ~doc:"NET1..NET11, or clos/enterprise/wan/campus")
+           ~doc:"NET1..NET13, or clos/enterprise/wan/campus")
   in
   let out = Arg.(required & opt (some string) None & info [ "out" ] ~doc:"Output directory") in
   let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Size multiplier") in
@@ -531,7 +578,7 @@ let netgen_cmd =
         | "wan" -> Netgen.wan ~name:"wan" ~pops:(int_of_float (16.0 *. scale)) ()
         | "campus" -> Netgen.campus ~name:"campus" ~buildings:(int_of_float (8.0 *. scale)) ()
         | p ->
-          die "unknown profile '%s' (NET1..NET11, clos, enterprise, wan, campus)" p)
+          die "unknown profile '%s' (NET1..NET13, clos, enterprise, wan, campus)" p)
     in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     List.iter

@@ -1,0 +1,508 @@
+(* Behavioral-equivalence compression of the forwarding graph (§4.2).
+
+   Nodes with the same edge-predicate signatures modulo neighbor renaming
+   are merged into classes; propagation runs over the quotient and the
+   per-class values are expanded back to concrete locations. Exactness
+   comes from the refinement invariant: a stable partition guarantees that
+   every member of a class has the same deduplicated signature
+   {(class(neighbor), edge-function)}, with edge functions compared
+   *exactly* (structural equality; BDD roots are canonical node ids, so
+   equal keys apply identically). Under that invariant, with class-uniform
+   seeds, the quotient least fixpoint equals the concrete least fixpoint at
+   every member:
+
+   - [Q(C) <= lfp(w)] for every member [w] of [C], by induction on the
+     worklist: the class seed equals [seed(w)], and for every quotient
+     contribution [(D, fn)] the signature invariant gives [w] a concrete
+     in-edge from some [v] in [D] carrying [fn], so
+     [apply fn (Q D) <= apply fn (lfp v) <= lfp w].
+   - [Q(class u) >= lfp(u)] because the expansion [Y(u) = Q(class u)] is a
+     prefixpoint of the concrete equations: every concrete edge appears in
+     its endpoint's signature, hence in the quotient.
+
+   The quotient pass runs in the graph's own manager, so canonical BDDs
+   make semantically equal results *physically* equal — expanded answers
+   are bit-identical to the uncompressed run. [run ~verify:true]
+   additionally re-checks the concrete fixpoint equations at every
+   location before returning and answers [`Mismatch] on any failure,
+   letting callers fall back to the uncompressed pass automatically. That
+   sweep costs one (cached) BDD application per concrete edge — the same
+   order as the uncompressed pass itself — so callers verify the first
+   pass through a partition and run later passes on the theorem alone.
+   [`Non_uniform] reports seeds that split a class; callers [specialize]
+   and retry (rare: base partitions pre-split the standard seed shapes,
+   see [base]). *)
+
+type dir = [ `Fwd | `Bwd ]
+
+type partition = {
+  p_dir : dir;
+  p_class : int array;  (* loc id -> class id *)
+  p_rep : int array;  (* class id -> lowest-index member *)
+  p_size : int array;  (* class id -> member count *)
+  p_sigs : (int * int) array array;
+      (* loc id -> (neighbor loc, fn id); in-edges for `Fwd, out-edges for
+         `Bwd — the edges whose contributions define the loc's value *)
+  p_fns : Fgraph.func array;  (* fn id -> edge function *)
+  p_members : int list array Lazy.t;
+      (* class id -> members, ascending; forced only by [specialize], so
+         throwaway specialized partitions never pay for it *)
+  mutable p_qgraph : Fgraph.t option;
+      (* materialized quotient graph, built on the first [run] and reused
+         by every later pass over this partition *)
+}
+
+let members_of cls ncls =
+  let ms = Array.make ncls [] in
+  for u = Array.length cls - 1 downto 0 do
+    ms.(cls.(u)) <- u :: ms.(cls.(u))
+  done;
+  ms
+
+let n_locs p = Array.length p.p_class
+let n_classes p = Array.length p.p_rep
+let class_of p = p.p_class
+
+let ratio p =
+  let n = n_locs p in
+  if n = 0 then 1.0 else float_of_int (n_classes p) /. float_of_int n
+
+let fingerprint p =
+  Digest.to_hex (Digest.string (Marshal.to_string (p.p_dir, p.p_class) []))
+
+(* Per-location contribution signatures. Edge functions are interned by
+   structural equality (BDD roots are canonical ids, so two edges with the
+   same fn id apply identically to any set). *)
+let signatures g dirn =
+  let n = Fgraph.n_locs g in
+  let fn_ids : (Fgraph.func, int) Hashtbl.t = Hashtbl.create 256 in
+  let fns_rev = ref [] in
+  let fn_id f =
+    match Hashtbl.find_opt fn_ids f with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length fn_ids in
+      Hashtbl.add fn_ids f i;
+      fns_rev := f :: !fns_rev;
+      i
+  in
+  let sigs =
+    Array.init n (fun u ->
+        let es =
+          match dirn with
+          | `Fwd ->
+            List.map
+              (fun (e : Fgraph.edge) -> (e.Fgraph.e_from, fn_id e.Fgraph.e_fn))
+              g.Fgraph.in_edges.(u)
+          | `Bwd ->
+            List.map
+              (fun (e : Fgraph.edge) -> (e.Fgraph.e_to, fn_id e.Fgraph.e_fn))
+              g.Fgraph.out_edges.(u)
+        in
+        Array.of_list es)
+  in
+  (sigs, Array.of_list (List.rev !fns_rev))
+
+let dedup_sorted l =
+  let rec go = function
+    | a :: (b :: _ as tl) -> if a = b then go tl else a :: go tl
+    | tl -> tl
+  in
+  go l
+
+(* Hopcroft-style refinement to stability. Each round rekeys every location
+   by (current class, sorted deduplicated contribution signature) and stops
+   when no class splits — class counts grow monotonically, so termination
+   is bounded by the location count. Class ids are assigned in first-seen
+   location order, which makes the partition deterministic. *)
+let refine ~sigs ~init n =
+  let assign tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length tbl in
+      Hashtbl.add tbl key i;
+      i
+  in
+  let cls = Array.make n 0 in
+  let ncls = ref 0 in
+  (let tbl = Hashtbl.create 64 in
+   for u = 0 to n - 1 do
+     cls.(u) <- assign tbl (init u)
+   done;
+   ncls := Hashtbl.length tbl);
+  let changed = ref true in
+  while !changed do
+    let tbl = Hashtbl.create (2 * !ncls) in
+    let next = Array.make n 0 in
+    for u = 0 to n - 1 do
+      let s = Array.map (fun (v, f) -> (cls.(v), f)) sigs.(u) in
+      Array.sort compare s;
+      let key = (cls.(u), dedup_sorted (Array.to_list s)) in
+      next.(u) <- assign tbl key
+    done;
+    let n' = Hashtbl.length tbl in
+    (* no split ⟹ every pair of same-class locations shares a full
+       signature key ⟹ the partition is stable *)
+    changed := n' <> !ncls;
+    ncls := n';
+    Array.blit next 0 cls 0 n
+  done;
+  let reps = Array.make !ncls (-1) in
+  let sizes = Array.make !ncls 0 in
+  for u = 0 to n - 1 do
+    let c = cls.(u) in
+    if reps.(c) < 0 then reps.(c) <- u;
+    sizes.(c) <- sizes.(c) + 1
+  done;
+  (cls, reps, sizes)
+
+(* Locations of different kinds are never merged: seeds target one kind at
+   a time (sources forward, sinks backward), so kind-pure classes make the
+   standard seed patterns class-uniform on the *base* partition — no
+   per-pass specialization. *)
+let kind = function
+  | Fgraph.Src _ -> 0
+  | Fgraph.Fwd _ -> 1
+  | Fgraph.Pre_out _ -> 2
+  | Fgraph.Dst _ -> 3
+  | Fgraph.Accept _ -> 4
+  | Fgraph.Dropped _ -> 5
+
+let base g dirn =
+  let sigs, fns = signatures g dirn in
+  (* forward partitions additionally pre-split in-edge-free locations (the
+     potential flow starts) into singletons: a single-location seed is then
+     trivially class-uniform, so per-start passes skip [specialize]
+     entirely. These locations contribute no propagation work of their own
+     — merging them never saved anything. *)
+  let init u =
+    match dirn with
+    | `Fwd when g.Fgraph.in_edges.(u) = [] -> (kind g.Fgraph.locs.(u), u)
+    | `Fwd | `Bwd -> (kind g.Fgraph.locs.(u), -1)
+  in
+  let cls, reps, sizes = refine ~sigs ~init (Fgraph.n_locs g) in
+  { p_dir = dirn; p_class = cls; p_rep = reps; p_size = sizes;
+    p_sigs = sigs; p_fns = fns;
+    p_members = lazy (members_of cls (Array.length reps)); p_qgraph = None }
+
+(* Split a base partition so that seeded locations separate by seed value
+   (class-uniform seeds are required for exactness), then re-stabilize by
+   *localized* refinement: when a class splits, its largest fragment keeps
+   the old id, so only the dependents of locations that actually changed
+   class are ever re-keyed and the cascade is proportional to the
+   diverging region rather than the graph. Both this and the full
+   round-based [refine] compute the coarsest stable refinement of the
+   seed-split partition, so they agree on content; [all_pairs] calls this
+   once per start, which is why the per-call work (beyond one O(n) class
+   array copy) must track the split, not the location count. *)
+let specialize g p ~seeds =
+  let man = Pktset.man (Fgraph.env g) in
+  let n = n_locs p in
+  let cls = Array.copy p.p_class in
+  let next_id = ref (n_classes p) in
+  (* copy-on-write membership: classes a split never touches keep reading
+     the base's (lazily built, shared) lists *)
+  let members_over : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let base_members = Lazy.force p.p_members in
+  let members c =
+    match Hashtbl.find_opt members_over c with
+    | Some ms -> ms
+    | None -> if c < Array.length base_members then base_members.(c) else []
+  in
+  let seed_tbl : (int, Bdd.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (v, s) ->
+      let cur = Option.value ~default:Bdd.bot (Hashtbl.find_opt seed_tbl v) in
+      Hashtbl.replace seed_tbl v (Bdd.bor man cur s))
+    seeds;
+  let seed_of v = Option.value ~default:Bdd.bot (Hashtbl.find_opt seed_tbl v) in
+  let moved = Queue.create () in
+  (* group [c]'s members by [keyf]; the largest group (first-seen wins
+     ties, keeping the outcome deterministic) keeps the id, the rest get
+     fresh ids and their members are queued as moved *)
+  let split_by keyf c =
+    match members c with
+    | [] | [ _ ] -> ()
+    | ms -> (
+      let groups = ref [] in
+      List.iter
+        (fun u ->
+          let k = keyf u in
+          let rec add = function
+            | [] -> [ (k, [ u ]) ]
+            | (k', us) :: tl when k' = k -> (k', u :: us) :: tl
+            | kv :: tl -> kv :: add tl
+          in
+          groups := add !groups)
+        ms;
+      match !groups with
+      | [] | [ _ ] -> ()
+      | gs ->
+        let keep =
+          List.fold_left
+            (fun best (_, us) ->
+              match best with
+              | Some bus when List.length bus >= List.length us -> best
+              | _ -> Some us)
+            None gs
+        in
+        let keep_us = match keep with Some us -> us | None -> [] in
+        List.iter
+          (fun (_, us) ->
+            if us == keep_us then Hashtbl.replace members_over c (List.rev us)
+            else begin
+              let id = !next_id in
+              incr next_id;
+              Hashtbl.replace members_over id (List.rev us);
+              List.iter
+                (fun u ->
+                  cls.(u) <- id;
+                  Queue.add u moved)
+                us
+            end)
+          gs)
+  in
+  (* phase 1: seeded classes split by seed value (class-uniform seeds) *)
+  let seeded_classes = ref [] in
+  Hashtbl.iter
+    (fun v _ ->
+      if not (List.mem cls.(v) !seeded_classes) then
+        seeded_classes := cls.(v) :: !seeded_classes)
+    seed_tbl;
+  List.iter (split_by seed_of) (List.sort compare !seeded_classes);
+  (* phase 2: re-key only the classes holding a dependent of a moved
+     location, until no class splits — stability against the base sigs *)
+  let dirty = Queue.create () in
+  let dirty_mark = Hashtbl.create 16 in
+  let mark c =
+    if not (Hashtbl.mem dirty_mark c) then begin
+      Hashtbl.replace dirty_mark c ();
+      Queue.add c dirty
+    end
+  in
+  let dependents v =
+    match p.p_dir with
+    | `Fwd ->
+      List.iter
+        (fun (e : Fgraph.edge) -> mark cls.(e.Fgraph.e_to))
+        g.Fgraph.out_edges.(v)
+    | `Bwd ->
+      List.iter
+        (fun (e : Fgraph.edge) -> mark cls.(e.Fgraph.e_from))
+        g.Fgraph.in_edges.(v)
+  in
+  let drain_moved () =
+    while not (Queue.is_empty moved) do
+      dependents (Queue.pop moved)
+    done
+  in
+  let sig_key u =
+    (* self-class component omitted: only members of one class are ever
+       compared, and they share it by construction *)
+    let s = Array.map (fun (v, f) -> (cls.(v), f)) p.p_sigs.(u) in
+    Array.sort compare s;
+    dedup_sorted (Array.to_list s)
+  in
+  drain_moved ();
+  while not (Queue.is_empty dirty) do
+    let c = Queue.pop dirty in
+    Hashtbl.remove dirty_mark c;
+    split_by sig_key c;
+    drain_moved ()
+  done;
+  (* renumber densely in first-member order — the same deterministic id
+     convention [refine] uses *)
+  let remap = Array.make !next_id (-1) in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    let c = cls.(u) in
+    if remap.(c) < 0 then begin
+      remap.(c) <- !k;
+      incr k
+    end;
+    cls.(u) <- remap.(c)
+  done;
+  let reps = Array.make !k (-1) in
+  let sizes = Array.make !k 0 in
+  for u = 0 to n - 1 do
+    let c = cls.(u) in
+    if reps.(c) < 0 then reps.(c) <- u;
+    sizes.(c) <- sizes.(c) + 1
+  done;
+  { p with p_class = cls; p_rep = reps; p_size = sizes;
+    p_members = lazy (members_of cls !k); p_qgraph = None }
+
+(* Re-derive a stable partition for a patched graph, reusing the base class
+   map for untouched locations: clean locs keep their base class as the
+   initial key (they are already mutually consistent), while dirty or newly
+   appended locs start as singletons. Refinement then re-verifies stability
+   against the *new* graph's signatures, so any drift splits away. *)
+let refit g dirn ~like ~dirty =
+  let n = Fgraph.n_locs g in
+  let old_n = n_locs like in
+  let sigs, fns = signatures g dirn in
+  let init u =
+    if u < old_n && u < Array.length dirty && not dirty.(u) then like.p_class.(u)
+    else old_n + u + 1
+  in
+  let cls, reps, sizes = refine ~sigs ~init n in
+  { p_dir = dirn; p_class = cls; p_rep = reps; p_size = sizes;
+    p_sigs = sigs; p_fns = fns;
+    p_members = lazy (members_of cls (Array.length reps)); p_qgraph = None }
+
+(* --- quotient propagation ---------------------------------------------- *)
+
+let apply_fn g dirn fn set =
+  match dirn with
+  | `Fwd -> Fgraph.apply g fn set
+  | `Bwd -> Fgraph.apply_reverse g fn set
+
+(* The quotient as a concrete graph over class ids: each representative's
+   deduplicated signature becomes one edge, so the S parallel edges of a
+   merged tier collapse to one — the source of the compression win.
+   Sharing the base graph's manager and varset cache keeps every BDD
+   canonical; built once per partition and cached. *)
+let qgraph g p =
+  match p.p_qgraph with
+  | Some qg -> qg
+  | None ->
+    let ncls = n_classes p in
+    let out_edges = Array.make ncls [] in
+    let in_edges = Array.make ncls [] in
+    Array.iteri
+      (fun c r ->
+        let seen = ref [] in
+        Array.iter
+          (fun (v, f) ->
+            let d = p.p_class.(v) in
+            if not (List.exists (fun (d', f') -> d' = d && f' = f) !seen)
+            then begin
+              seen := (d, f) :: !seen;
+              let e_from, e_to =
+                match p.p_dir with `Fwd -> (d, c) | `Bwd -> (c, d)
+              in
+              let e = { Fgraph.e_from; e_to; e_fn = p.p_fns.(f) } in
+              out_edges.(e_from) <- e :: out_edges.(e_from);
+              in_edges.(e_to) <- e :: in_edges.(e_to)
+            end)
+          p.p_sigs.(r))
+      p.p_rep;
+    let qg =
+      { g with
+        Fgraph.locs = Array.map (fun r -> g.Fgraph.locs.(r)) p.p_rep;
+        loc_index = Hashtbl.create 1;
+        out_edges; in_edges }
+    in
+    p.p_qgraph <- Some qg;
+    qg
+
+let run ?(verify = true) g p ~seeds =
+  let man = Pktset.man (Fgraph.env g) in
+  let n = n_locs p in
+  let ncls = n_classes p in
+  let seed_tbl : (int, Bdd.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (v, s) ->
+      let cur = Option.value ~default:Bdd.bot (Hashtbl.find_opt seed_tbl v) in
+      Hashtbl.replace seed_tbl v (Bdd.bor man cur s))
+    seeds;
+  let seed_of v = Option.value ~default:Bdd.bot (Hashtbl.find_opt seed_tbl v) in
+  let qseed = Array.make ncls Bdd.bot in
+  Array.iteri (fun c r -> qseed.(c) <- seed_of r) p.p_rep;
+  (* class-uniform seeds, checked in O(|seeds| + classes): every seeded
+     location must carry exactly its class's seed, and every class with a
+     nonempty seed must be seeded on all [p_size] members *)
+  let cover = Array.make ncls 0 in
+  let uniform = ref true in
+  Hashtbl.iter
+    (fun v s ->
+      let c = p.p_class.(v) in
+      if Bdd.equal s qseed.(c) then cover.(c) <- cover.(c) + 1
+      else uniform := false)
+    seed_tbl;
+  for c = 0 to ncls - 1 do
+    if (not (Bdd.equal qseed.(c) Bdd.bot)) && cover.(c) <> p.p_size.(c) then
+      uniform := false
+  done;
+  if not !uniform then `Non_uniform
+  else begin
+    (* the propagation itself is the plain worklist engine on the (much
+       smaller) materialized quotient graph *)
+    let qseeds = ref [] in
+    for c = ncls - 1 downto 0 do
+      if not (Bdd.equal qseed.(c) Bdd.bot) then
+        qseeds := (c, qseed.(c)) :: !qseeds
+    done;
+    let qg = qgraph g p in
+    let qv =
+      match p.p_dir with
+      | `Fwd -> Freach.forward qg !qseeds
+      | `Bwd -> Freach.backward qg !qseeds
+    in
+    (* partition check (first pass through a partition only, see header):
+       the expansion must satisfy the concrete fixpoint equations at every
+       location. Every edge function maps the empty set to the empty set,
+       so a location whose own value, seed and neighbor values are all
+       empty satisfies its equation trivially; elsewhere re-applications of
+       a (fn, class value) pair already computed above hit the BDD
+       operation cache. The sweep therefore costs integer work on the
+       unreached region and roughly one cache probe per edge near the
+       reached one. *)
+    let y u = qv.(p.p_class.(u)) in
+    let ok = ref true in
+    if verify then begin
+      let u = ref 0 in
+      while !ok && !u < n do
+        let yu = y !u in
+        let seed = seed_of !u in
+        if
+          not
+            (Bdd.is_bot yu && Bdd.is_bot seed
+            && Array.for_all (fun (v, _) -> Bdd.is_bot (y v)) p.p_sigs.(!u))
+        then begin
+          let rhs = ref seed in
+          Array.iter
+            (fun (v, f) ->
+              rhs := Bdd.bor man !rhs (apply_fn g p.p_dir p.p_fns.(f) (y v)))
+            p.p_sigs.(!u);
+          if not (Bdd.equal !rhs yu) then ok := false
+        end;
+        incr u
+      done
+    end;
+    if !ok then `Sets (Array.init n y) else `Mismatch
+  end
+
+(* --- loop screen -------------------------------------------------------- *)
+
+(* [true] certifies the concrete graph has no strongly connected component
+   with more than one location: quotient SCCs are all trivial and no edge
+   connects two distinct members of one class (such an edge could hide a
+   concrete cycle inside a merged class). Loop detection can then answer
+   the empty list without touching the concrete graph. *)
+let loop_screen g p =
+  let ncls = n_classes p in
+  let adj = Array.make ncls [] in
+  let hidden = ref false in
+  Array.iteri
+    (fun u es ->
+      let c = p.p_class.(u) in
+      List.iter
+        (fun (e : Fgraph.edge) ->
+          let d = p.p_class.(e.Fgraph.e_to) in
+          if c = d then begin
+            if u <> e.Fgraph.e_to then hidden := true
+            (* concrete self-loops are invisible to [Fquery.find_loops]
+               (components of size one are skipped), so ignore them here *)
+          end
+          else adj.(c) <- d :: adj.(c))
+        es)
+    g.Fgraph.out_edges;
+  if !hidden then false
+  else begin
+    let comp = Scc.compute ~n:ncls adj in
+    let sizes = Array.make ncls 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+    Array.for_all (fun s -> s <= 1) sizes
+  end

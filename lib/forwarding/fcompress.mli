@@ -1,0 +1,79 @@
+(** Behavioral-equivalence compression of the forwarding graph (§4.2).
+
+    Locations with identical edge-function signatures modulo neighbor
+    renaming are merged into classes by Hopcroft-style refinement; queries
+    propagate over the quotient and expand per-class values back to
+    concrete locations. Because the quotient runs in the graph's own
+    (canonical) BDD manager and the refinement invariant makes the quotient
+    least fixpoint equal to the concrete one at every member, expanded
+    answers are bit-identical to the uncompressed pass. {!run}
+    [~verify:true] additionally checks the concrete fixpoint equations
+    location by location and returns [`Mismatch] on any failure, so
+    callers always have a sound uncompressed fallback; since that check
+    costs on the order of the uncompressed pass itself, callers verify the
+    first pass through a partition and trust the invariant afterwards. See
+    DESIGN.md §16 for the full argument. *)
+
+(** Propagation direction a partition is built for: [`Fwd] keys locations
+    on their in-edge signatures (forward reachability), [`Bwd] on their
+    out-edge signatures (backward to-delivered / to-dropped passes). *)
+type dir = [ `Fwd | `Bwd ]
+
+type partition
+
+val n_locs : partition -> int
+val n_classes : partition -> int
+
+(** [class_of p] maps each location id to its class id. Read-only. *)
+val class_of : partition -> int array
+
+(** Classes over locations, in [0, 1]; lower is more compression. *)
+val ratio : partition -> float
+
+(** Content fingerprint (MD5 hex) of the class map — keys worker caches and
+    bench records on the quotient actually used. *)
+val fingerprint : partition -> string
+
+(** Coarsest stable partition of the graph for a direction, ignoring seeds.
+    Pure integer refinement: no BDD operations. Classes are kind-pure, and
+    [`Fwd] partitions keep in-edge-free locations (the potential flow
+    starts) as singletons, so the standard seed shapes — one source
+    forward, every same-kind sink backward — are class-uniform on the base
+    partition and need no per-pass {!specialize}. *)
+val base : Fgraph.t -> dir -> partition
+
+(** [specialize g p ~seeds] splits seeded locations apart by seed value
+    (exactness requires class-uniform seeds) and re-stabilizes by
+    localized worklist refinement: only classes reachable from the split
+    are re-keyed, so the per-call cost tracks the diverging region, not
+    the graph. Called once per start by [all_pairs]. *)
+val specialize :
+  Fgraph.t -> partition -> seeds:(int * Bdd.t) list -> partition
+
+(** [refit g dir ~like ~dirty] re-derives a stable partition for a patched
+    graph: locations not flagged dirty keep their class from [like] as the
+    starting key, dirty or newly appended locations start as singletons,
+    and refinement re-verifies stability against the new graph. Used by
+    per-scenario failure analysis to skip untouched classes. *)
+val refit :
+  Fgraph.t -> dir -> like:partition -> dirty:bool array -> partition
+
+(** [run g p ~seeds] executes the propagation pass on the (lazily
+    materialized, cached) quotient graph and expands the result to all
+    concrete locations. [`Non_uniform] means the seeds split a class —
+    {!specialize} and retry. [`Mismatch] means the per-location fixpoint
+    check failed (only possible with [verify], the default) — fall back to
+    the uncompressed pass. [~verify:false] skips that O(edges) sweep; use
+    it only on a partition whose first pass verified. On [`Sets sets],
+    [sets] is bit-identical to {!Freach.forward}/{!Freach.backward} on the
+    same seeds. *)
+val run :
+  ?verify:bool ->
+  Fgraph.t -> partition -> seeds:(int * Bdd.t) list ->
+  [ `Sets of Bdd.t array | `Non_uniform | `Mismatch ]
+
+(** [loop_screen g p] is [true] when the quotient certifies the concrete
+    graph has no multi-location strongly connected component (trivial
+    quotient SCCs and no edge between distinct members of one class), in
+    which case loop detection can answer the empty list directly. *)
+val loop_screen : Fgraph.t -> partition -> bool

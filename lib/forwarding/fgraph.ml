@@ -211,30 +211,16 @@ let simplify_fn env fn =
   | [ f ] -> f
   | fns -> Seq fns
 
-let build ?env ?(compress = true) ?sessions ~configs ~dp () =
-  let env =
-    match env with
-    | Some e -> e
-    | None -> Pktset.create ()
-  in
-  let session_fastpath name =
-    match sessions with
-    | Some f -> f name
-    | None -> Bdd.bot
-  in
+(* Per-node edge construction. Every edge emitted here has its [e_from]
+   location owned by [name] (ingress edges leave Src(name,·), FIB edges
+   leave Fwd(name), egress and wire edges leave Pre_out(name,·,·)) — the
+   ownership invariant {!patch} relies on to splice a node's edges in and
+   out without touching the rest of the graph. *)
+let build_node b ~session_fastpath ~dp name (cfg : Vi.t) =
+  let env = b.b_env in
   let man = Pktset.man env in
   let topo = dp.Dataplane.topo in
-  let b =
-    { b_env = env; b_locs = []; b_index = Hashtbl.create 1024; b_count = 0;
-      b_edges = [] }
-  in
-  let node_names = dp.Dataplane.node_order in
-  List.iter
-    (fun name ->
-      match configs name with
-      | None -> ()
-      | Some (cfg : Vi.t) ->
-        let fwd = bnode b (Fwd name) in
+  let fwd = bnode b (Fwd name) in
         let dropped = bnode b (Dropped name) in
         let accept = bnode b (Accept name) in
         let zoned = cfg.zones <> [] in
@@ -430,8 +416,55 @@ let build ?env ?(compress = true) ?sessions ~configs ~dp () =
                  let tgt = bnode b (Dst (name, out_iface)) in
                  bedge b pre tgt (simplify_fn env (Seq (egress_steps @ [ Filter rest ])))))
             )
-          out_list)
-    node_names;
+          out_list
+
+(* Chain contraction: a Pre_out with exactly one incoming and one outgoing
+   edge is folded into a single edge. Node-local: both edges are owned by
+   the Pre_out's node, so contraction commutes with per-node patching.
+   [select] restricts which Pre_out locations are considered. *)
+let contract_chains t ~select =
+  let env = t.env in
+  Array.iteri
+    (fun v l ->
+      match l with
+      | Pre_out _ when select v -> (
+        match (t.in_edges.(v), t.out_edges.(v)) with
+        | [ ein ], [ eout ] when ein.e_from <> v && eout.e_to <> v ->
+          let merged =
+            { e_from = ein.e_from; e_to = eout.e_to;
+              e_fn = simplify_fn env (Seq [ ein.e_fn; eout.e_fn ]) }
+          in
+          t.out_edges.(ein.e_from) <-
+            merged :: List.filter (fun e -> e != ein) t.out_edges.(ein.e_from);
+          t.in_edges.(eout.e_to) <-
+            merged :: List.filter (fun e -> e != eout) t.in_edges.(eout.e_to);
+          t.in_edges.(v) <- [];
+          t.out_edges.(v) <- []
+        | _ -> ())
+      | Pre_out _ | Src _ | Fwd _ | Dst _ | Accept _ | Dropped _ -> ())
+    t.locs
+
+let build ?env ?(compress = true) ?sessions ~configs ~dp () =
+  let env =
+    match env with
+    | Some e -> e
+    | None -> Pktset.create ()
+  in
+  let session_fastpath name =
+    match sessions with
+    | Some f -> f name
+    | None -> Bdd.bot
+  in
+  let b =
+    { b_env = env; b_locs = []; b_index = Hashtbl.create 1024; b_count = 0;
+      b_edges = [] }
+  in
+  List.iter
+    (fun name ->
+      match configs name with
+      | None -> ()
+      | Some cfg -> build_node b ~session_fastpath ~dp name cfg)
+    dp.Dataplane.node_order;
   let locs = Array.of_list (List.rev b.b_locs) in
   let n = Array.length locs in
   let out_edges = Array.make n [] and in_edges = Array.make n [] in
@@ -442,29 +475,72 @@ let build ?env ?(compress = true) ?sessions ~configs ~dp () =
     b.b_edges;
   let t = { env; locs; loc_index = b.b_index; out_edges; in_edges;
             varsets = Hashtbl.create 8 } in
-  if compress then begin
-    (* Chain contraction: a Pre_out with exactly one incoming and one
-       outgoing edge is folded into a single edge. *)
-    Array.iteri
-      (fun v l ->
-        match l with
-        | Pre_out _ -> (
-          match (t.in_edges.(v), t.out_edges.(v)) with
-          | [ ein ], [ eout ] when ein.e_from <> v && eout.e_to <> v ->
-            let merged =
-              { e_from = ein.e_from; e_to = eout.e_to;
-                e_fn = simplify_fn env (Seq [ ein.e_fn; eout.e_fn ]) }
-            in
-            t.out_edges.(ein.e_from) <-
-              merged :: List.filter (fun e -> e != ein) t.out_edges.(ein.e_from);
-            t.in_edges.(eout.e_to) <-
-              merged :: List.filter (fun e -> e != eout) t.in_edges.(eout.e_to);
-            t.in_edges.(v) <- [];
-            t.out_edges.(v) <- []
-          | _ -> ())
-        | Src _ | Fwd _ | Dst _ | Accept _ | Dropped _ -> ())
-      t.locs
-  end;
+  if compress then contract_chains t ~select:(fun _ -> true);
+  t
+
+(* Which node a location belongs to (the node whose construction emits the
+   location's outgoing edges). *)
+let loc_node = function
+  | Src (n, _) | Fwd n | Pre_out (n, _, _) | Dst (n, _) | Accept n
+  | Dropped n -> n
+
+(* In-place scenario patching (ISSUE 10 satellite; ROADMAP stretch of the
+   failure sweep): rebuild only the edges owned by [dirty] nodes instead of
+   reconstructing the whole graph. The base is never mutated — locations
+   and surviving edges are copied (new locations append past the base's) —
+   so concurrent scenarios can patch one shared base. Callers must list
+   every node whose FIB, config, or *local L3 surroundings* changed (wire
+   edges read neighbor interfaces, so both ends of a failed link and the
+   neighbors of every downed interface are dirty too).
+
+   Stale locations (a Dst or Src the scenario no longer targets) are kept
+   but end up with no incident edges: seeds at such sinks propagate nowhere
+   and forward passes never reach them, so query *values* — and therefore
+   verdicts, rows and witnesses — are unaffected. What patching does not
+   preserve is the base's location numbering semantics for *new* graphs:
+   the patched graph is its own [t] with its own spec/fingerprint. *)
+let patch ~base ~dirty ~configs ~dp () =
+  let env = base.env in
+  let is_dirty =
+    let h = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace h n ()) dirty;
+    fun n -> Hashtbl.mem h n
+  in
+  let b =
+    { b_env = env;
+      b_locs = List.rev (Array.to_list base.locs);
+      b_index = Hashtbl.copy base.loc_index;
+      b_count = Array.length base.locs;
+      b_edges = [] }
+  in
+  (* surviving edges, flattened in node-index order like [to_spec] does;
+     uncontracted copies live in [b_edges] reversed, matching [build] *)
+  Array.iter
+    (List.iter (fun e ->
+         if not (is_dirty (loc_node base.locs.(e.e_from))) then
+           b.b_edges <- e :: b.b_edges))
+    base.out_edges;
+  let session_fastpath _ = Bdd.bot in
+  List.iter
+    (fun name ->
+      if is_dirty name then
+        match configs name with
+        | None -> ()
+        | Some cfg -> build_node b ~session_fastpath ~dp name cfg)
+    dp.Dataplane.node_order;
+  let locs = Array.of_list (List.rev b.b_locs) in
+  let n = Array.length locs in
+  let out_edges = Array.make n [] and in_edges = Array.make n [] in
+  List.iter
+    (fun e ->
+      out_edges.(e.e_from) <- e :: out_edges.(e.e_from);
+      in_edges.(e.e_to) <- e :: in_edges.(e.e_to))
+    b.b_edges;
+  let t = { env; locs; loc_index = b.b_index; out_edges; in_edges;
+            varsets = Hashtbl.create 8 } in
+  (* Only freshly rebuilt Pre_outs need contraction: surviving edges were
+     copied already contracted, and contraction is node-local. *)
+  contract_chains t ~select:(fun v -> is_dirty (loc_node t.locs.(v)));
   t
 
 (* Structural equality of two graphs living in the SAME manager. Hash-consing

@@ -19,6 +19,9 @@ type loc =
 
 val loc_to_string : loc -> string
 
+(** The node owning a location. *)
+val loc_node : loc -> string
+
 (** Edge functions. [Set_extra]/[Erase_extra] manipulate the query-local
     extra bits used for zones and waypoints. *)
 type func =
@@ -58,6 +61,24 @@ val build :
 (** [sessions] supplies, per stateful (zoned) device, the set of return
     packets whose forward sessions were established — those bypass the zone
     policy (the session "fast path" of §4.2.3's bidirectional analysis). *)
+
+(** [patch ~base ~dirty ~configs ~dp ()] rebuilds only the edges owned by
+    the [dirty] nodes against the new [configs]/[dp], keeping every other
+    node's edges (and the base's location numbering) as-is; new locations
+    append past the base's. The base is not mutated. Callers must list
+    every node whose FIB, config, or local L3 surroundings changed — both
+    ends of a failed link and the neighbors of every downed interface
+    included — or the patched graph diverges from a fresh build. Stale
+    locations left without incident edges cannot influence any propagation
+    result, so query values, rows and witnesses match a from-scratch
+    [build] for the same inputs. *)
+val patch :
+  base:t ->
+  dirty:string list ->
+  configs:(string -> Vi.t option) ->
+  dp:Dataplane.t ->
+  unit ->
+  t
 
 val loc_id : t -> loc -> int option
 val n_locs : t -> int

@@ -113,17 +113,24 @@ let measured_cutoff () =
 
 (* Runs inside a worker domain: fetch (or build) this domain's private query
    object for the snapshot identified by [fp]. MRU order; capacity bounds
-   total managers per worker. *)
-let worker_query ~fp ~spec ~dp ~configs =
+   total managers per worker. [cmode] aligns the resident query's quotient-
+   compression mode with the caller's: the cached entry itself stays keyed
+   on the spec fingerprint alone because compressed and uncompressed
+   answers are bit-identical — only the mode flag (and with it the lazily
+   built partitions) needs to follow the request. *)
+let worker_query ?(cmode = `Off) ~fp ~spec ~dp ~configs () =
   let cache = Domain.DLS.get worker_cache in
   match List.find_opt (fun c -> c.c_fp = fp) !cache with
   | Some c ->
     Atomic.incr graph_reuses;
     cache := c :: List.filter (fun c' -> c'.c_fp <> fp) !cache;
+    Fquery.set_compress_mode c.c_q cmode;
     c.c_q
   | None ->
     let t0 = now_ns () in
-    let qw = Fquery.of_graph (Fgraph.of_spec spec) ~dp ~configs in
+    let qw =
+      Fquery.of_graph ~compress_mode:cmode (Fgraph.of_spec spec) ~dp ~configs
+    in
     (* Count (and time) the import only after it succeeds and before the
        cache insert below: a raising import must leave the counters
        consistent with what the MRU cache actually holds. *)
@@ -164,10 +171,11 @@ let prewarm ?pool q =
        client-visible query runs at warm speed. The sweep costs one serial
        pass of wall time, paid here — at session/daemon load — instead of
        inside the first request's latency. *)
+    let cmode = Fquery.compress_mode q in
     let seeds = Fquery.default_starts q in
     let warmed =
       Par.Pool.broadcast p (fun _ ->
-          let qw = worker_query ~fp ~spec ~dp ~configs in
+          let qw = worker_query ~cmode ~fp ~spec ~dp ~configs () in
           List.iter (fun s -> ignore (Fquery.pairs_for_start qw s)) seeds)
     in
     Array.fold_left
@@ -290,6 +298,18 @@ let plan ?pool ?(domains = 1) ?(auto = false) ?(workload = Uniform) ?fp ~tasks
 
 (* --- entry points ------------------------------------------------------- *)
 
+(* Split any fan-out group longer than [max_len] (load balance: one merged
+   class holding most starts must not serialize the whole sweep onto a
+   single worker). *)
+let chunk_group ~max_len group =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+      if n >= max_len then go (List.rev cur :: acc) [ x ] 1 tl
+      else go acc (x :: cur) (n + 1) tl
+  in
+  go [] [] 0 group
+
 let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
   let starts =
     match starts with
@@ -298,10 +318,27 @@ let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
   in
   let g = Fquery.graph q in
   let cost = List.length starts * Fgraph.n_edges g in
+  (* Per-group fan-out (ISSUE 10): interchangeable sources (identical
+     concrete out-edge signatures, see {!Fquery.start_groups}) form one
+     task, and the worker runs a single pass for the whole group, relabeling
+     the representative's rows for the other members. Without compression
+     every group is a singleton and this is exactly the per-source fan-out
+     of PR 3. *)
+  let groups =
+    let n_workers =
+      match pool with
+      | Some p when not (Par.Pool.closed p) -> Par.Pool.size p
+      | Some _ | None -> max 1 domains
+    in
+    let max_len =
+      max 1 ((List.length starts + (4 * n_workers) - 1) / (4 * n_workers))
+    in
+    List.concat_map (chunk_group ~max_len) (Fquery.start_groups q starts)
+  in
   match
     plan ?pool ~domains ~auto
       ?fp:(Fquery.cached_fingerprint q)
-      ~tasks:(List.length starts) ~cost ()
+      ~tasks:(List.length groups) ~cost ()
   with
   | Serial ->
     let t0 = now_ns () in
@@ -310,14 +347,15 @@ let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
     rows
   | Parallel domains ->
     let spec, fp = Fquery.spec_with_fingerprint q in
+    let cmode = Fquery.compress_mode q in
     let hdr_ex =
       Option.map (fun h -> Bdd.export (Pktset.man (Fgraph.env g)) [ h ]) hdr
     in
     let dp = q.Fquery.dp and configs = q.Fquery.configs in
-    let rows =
+    let group_rows =
       Par.map_dynamic_init ?pool ~domains
         ~init:(fun () ->
-          let qw = worker_query ~fp ~spec ~dp ~configs in
+          let qw = worker_query ~cmode ~fp ~spec ~dp ~configs () in
           let hdr_w =
             Option.map
               (fun ex ->
@@ -325,10 +363,28 @@ let all_pairs ?pool ?(domains = 1) ?(auto = false) ?hdr ?starts q =
               hdr_ex
           in
           (qw, hdr_w))
-        (fun (qw, hdr_w) s -> Fquery.pairs_for_start qw ?hdr:hdr_w s)
-        (Array.of_list starts)
+        (fun (qw, hdr_w) group ->
+          match group with
+          | [] -> []
+          | (i0, s0) :: rest ->
+            let rows0 = Fquery.pairs_for_start qw ?hdr:hdr_w s0 in
+            (i0, rows0)
+            :: List.map
+                 (fun (i, s) ->
+                   ( i,
+                     List.map
+                       (fun r -> { r with Fquery.rr_src = s })
+                       rows0 ))
+                 rest)
+        (Array.of_list groups)
     in
-    List.concat (Array.to_list rows)
+    (* Reassemble rows in the original start order: grouping must not be
+       observable in the result (bit-identical to the sequential sweep). *)
+    let indexed = List.concat (Array.to_list group_rows) in
+    let sorted =
+      List.sort (fun (i, _) (j, _) -> Int.compare i j) indexed
+    in
+    List.concat_map snd sorted
 
 let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
   let starts =
@@ -384,13 +440,21 @@ let multipath_consistency ?pool ?(domains = 1) ?(auto = false) ?starts q =
         [ (`Deliver, delivered_sinks); (`Drop, dropped_sinks) ]
     in
     let spec, fp = Fquery.spec_with_fingerprint q in
+    let cmode = Fquery.compress_mode q in
     let dp = q.Fquery.dp and configs = q.Fquery.configs in
     let shards =
       Par.map_dynamic_init ?pool ~domains
-        ~init:(fun () ->
-          Fquery.graph (worker_query ~fp ~spec ~dp ~configs))
-        (fun gw (kind, sinks) ->
-          let sets = Freach.backward gw (List.map (fun id -> (id, Bdd.top)) sinks) in
+        ~init:(fun () -> worker_query ~cmode ~fp ~spec ~dp ~configs ())
+        (fun qw (kind, sinks) ->
+          (* route through the worker query object: the pass lands in its
+             memo and goes through the quotient when compression is on *)
+          ignore sinks;
+          let sets =
+            match kind with
+            | `Deliver -> Fquery.to_delivered qw ()
+            | `Drop -> Fquery.to_dropped qw ()
+          in
+          let gw = Fquery.graph qw in
           let at_starts = List.map (fun id -> sets.(id)) wanted in
           (kind, Bdd.export (Pktset.man (Fgraph.env gw)) at_starts))
         (Array.of_list tasks)

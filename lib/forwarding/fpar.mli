@@ -115,12 +115,17 @@ val worker_stats : unit -> int * int
     result (the MRU cache is domain-local). [spec]/[fp] should come from
     {!Fquery.spec_with_fingerprint} computed on the caller before fan-out.
     Exposed so other subsystems (the failure-scenario sweep) can share the
-    per-worker resident graph cache. *)
+    per-worker resident graph cache.
+    [cmode] (default [`Off]) aligns the resident query's quotient-
+    compression mode with the caller's; the cache entry stays keyed on the
+    spec fingerprint alone because answers are mode-independent. *)
 val worker_import :
+  ?cmode:Fquery.compress_mode ->
   fp:string ->
   spec:Fgraph.spec ->
   dp:Dataplane.t ->
   configs:(string -> Vi.t option) ->
+  unit ->
   Fquery.t
 
 (** Number of graphs cached in the calling domain's own worker cache. *)

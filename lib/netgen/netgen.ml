@@ -743,6 +743,83 @@ let paired_dc ~name ~spines ~leaves () =
     n_configs = patch dev_a extra_a @ patch dev_b extra_b @ [ bra; brb ];
     n_env = Dp_env.empty }
 
+(* ======================= HA ToR fabric ======================= *)
+
+(* A fat leaf tier built from redundancy groups (VRRP/MLAG-style): every
+   slot is one active ToR — it terminates the slot's [ports] access
+   subnets and is emitted first, so deterministic first-owner gateway
+   resolution makes it the forwarder — plus [members - 1] hot standbys
+   whose configs are stamped from the same template, sharing the slot's
+   uplink addressing (same IP on the shared per-(slot, spine) subnet).
+   Standbys are therefore *behaviorally identical*, which is exactly the
+   redundancy the quotient compression of Fcompress collapses into one
+   class per slot; the active's [ports] identically-configured access
+   interfaces (the 48-port ToR picture) are interchangeable sources that
+   all-pairs collapses to one pass per device via {!Fquery.start_groups}.
+   Static routing end to end: spines route each access subnet at the
+   shared uplink IP, ToRs default to every spine. *)
+let clos_ha ?(ports = 1) ~name ~spines ~slots ~members () =
+  let spine_names = List.init spines (fun i -> s "%s-spine%d" name (i + 1)) in
+  (* /29 uplink subnet per (slot, spine): spine at .1, every member at .2 *)
+  let up_base l sp = Ipv4.of_octets 10 64 0 0 + (((l * spines) + sp) * 8) in
+  let host_gw l p = Ipv4.of_octets 172 16 0 0 + (((l * ports) + p) * 256) + 1 in
+  let spine_devices =
+    List.mapi
+      (fun sp sname ->
+        let ifaces =
+          List.concat
+            (List.init slots (fun l ->
+                 ios_iface ~desc:(s "to slot%d" (l + 1))
+                   (s "Ethernet%d" (l + 1))
+                   (up_base l sp + 1) 29))
+        in
+        let routes =
+          List.concat
+            (List.init slots (fun l ->
+                 List.init ports (fun p ->
+                     s "ip route %s 255.255.255.0 %s"
+                       (Ipv4.to_string (Prefix.network (subnet_of (host_gw l p))))
+                       (Ipv4.to_string (up_base l sp + 2)))))
+          @ [ "!" ]
+        in
+        ios_device ~arista:true ~name:sname [ mgmt; ifaces; routes ])
+      spine_names
+  in
+  let tor_devices =
+    List.concat
+      (List.init slots (fun l ->
+           let uplinks =
+             List.concat
+               (List.init spines (fun sp ->
+                    ios_iface
+                      ~desc:(s "to %s" (List.nth spine_names sp))
+                      (s "Ethernet%d" (sp + 1))
+                      (up_base l sp + 2) 29))
+           in
+           let defaults =
+             List.init spines (fun sp ->
+                 s "ip route 0.0.0.0 0.0.0.0 %s"
+                   (Ipv4.to_string (up_base l sp + 1)))
+             @ [ "!" ]
+           in
+           let access =
+             List.concat
+               (List.init ports (fun p ->
+                    ios_iface ~desc:"host subnet"
+                      (s "Vlan%d" (100 + p))
+                      (host_gw l p) 24))
+           in
+           List.init members (fun m ->
+               let dname = s "%s-slot%d-tor%d" name (l + 1) (m + 1) in
+               (* only the active terminates the access segments (host-
+                  facing ports must be neighbor-free to count as edge
+                  interfaces); the standbys are identical to each other *)
+               let host = if m = 0 then access else [] in
+               ios_device ~name:dname [ mgmt; host @ uplinks; defaults ])))
+  in
+  { n_name = name; n_type = "DC (HA ToR groups)";
+    n_configs = spine_devices @ tor_devices; n_env = Dp_env.empty }
+
 (* ======================= Figure 1b ======================= *)
 
 let fig1b () =
@@ -825,4 +902,22 @@ let profiles =
       p_make =
         (fun f ->
           clos3 ~name:"net11" ~pods:(sc f 4) ~pod_spines:2 ~pod_leaves:(sc f 16)
-            ~superspines:(sc f 2) ()) } ]
+            ~superspines:(sc f 2) ()) };
+    (* Scale-sweep profiles (ISSUE 10): fat leaf tiers behind a small fixed
+       spine count — the shape where behavioral-equivalence compression pays
+       most. NET12's leaf tier is 8-way HA ToR groups (one active + seven
+       template-stamped standbys per slot, four access ports each, see
+       [clos_ha]); it reaches ~500 devices at scale 4 and ~1000 at scale 8.
+       NET13 is a 3-tier fabric (fat pods, shared superspines). *)
+    { p_name = "NET12"; p_type = "DC (HA ToR groups)"; p_vendors = "Cisco, Arista";
+      p_protocols = "static";
+      p_make =
+        (fun f ->
+          clos_ha ~ports:8 ~name:"net12" ~spines:4 ~slots:(sc f 16)
+            ~members:8 ()) };
+    { p_name = "NET13"; p_type = "DC (3-tier, fat pods)";
+      p_vendors = "Cisco, Arista"; p_protocols = "BGP";
+      p_make =
+        (fun f ->
+          clos3 ~name:"net13" ~pods:4 ~pod_spines:2 ~pod_leaves:(sc f 30)
+            ~superspines:2 ()) } ]

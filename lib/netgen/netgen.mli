@@ -42,13 +42,29 @@ val campus : name:string -> buildings:int -> unit -> network
 (** Two fabrics providing backup connectivity to each other. *)
 val paired_dc : name:string -> spines:int -> leaves:int -> unit -> network
 
+(** HA ToR-group fabric: [slots] redundancy groups of [members]
+    template-stamped ToRs behind [spines]. Each member carries [ports]
+    identically-configured access interfaces (default 1); the standbys are
+    configuration-identical clones of the active sharing its addressing
+    (VRRP/MLAG style), with deterministic first-owner gateway resolution
+    electing the active, so behavioral-equivalence compression can merge
+    them and all-pairs can share one pass across a device's access ports.
+    Static routing throughout. *)
+val clos_ha :
+  ?ports:int ->
+  name:string -> spines:int -> slots:int -> members:int -> unit -> network
+
 (** The two Figure 1(b) border routers (mutual-export pattern). *)
 val fig1b : unit -> network
 
-(** {2 The 11 benchmark profiles (Table 1 stand-ins)}
+(** {2 The benchmark profiles (Table 1 stand-ins)}
 
-    [scale] multiplies device counts (1.0 = the default laptop-friendly
-    sizes; larger values approach the paper's). *)
+    NET1..NET11 mirror the paper's Table 1; NET12/NET13 are scale-sweep
+    fabrics. NET12 is the HA ToR-group clos ([clos_ha]) reaching ~500
+    devices at scale 4 and ~1000 at scale 8 (the quotient-compression
+    benchmark shape); NET13 is the 3-tier variant. [scale] multiplies
+    device counts (1.0 = the default laptop-friendly sizes; larger values
+    approach the paper's). *)
 
 type profile = {
   p_name : string;

@@ -25,6 +25,9 @@ type session = {
      overlap (each has its own lock), and within one query the shared
      pool provides the actual parallelism. *)
   s_lock : Mutex.t;
+  (* [v_clock] value at the last store lookup that returned this session —
+     the LRU eviction key. Guarded by [v_mutex]. *)
+  mutable s_last_used : int;
 }
 
 type stats = {
@@ -34,6 +37,7 @@ type stats = {
   st_coalesced : int;
   st_snapshots : int;
   st_dedup_hits : int;
+  st_evictions : int;
   st_shutdowns_run : int;
 }
 
@@ -44,11 +48,15 @@ type t = {
   v_pool : Par.Pool.t option;
   v_domains : int;
   v_auto : bool;
+  v_max_snapshots : int option;  (* LRU store capacity; None = unbounded *)
+  v_compress : Fquery.compress_mode;  (* forwarding engines' quotient mode *)
   mutable v_requests : int;
   mutable v_errors : int;
   mutable v_computed : int;
   mutable v_coalesced : int;
   mutable v_dedup_hits : int;
+  mutable v_evictions : int;
+  mutable v_clock : int;  (* monotonic lookup counter driving LRU order *)
   mutable v_shutdowns_run : int;
   v_stopping : bool Atomic.t;
   v_finalized : bool Atomic.t;  (* the pool-shutdown once-guard *)
@@ -58,7 +66,7 @@ type t = {
 
 let test_delay = ref 0.
 
-let create ?domains ?(auto = true) () =
+let create ?domains ?(auto = true) ?max_snapshots ?(compress = `Auto) () =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -67,8 +75,10 @@ let create ?domains ?(auto = true) () =
   let pool = if domains > 1 then Some (Par.Pool.create ~domains ()) else None in
   { v_mutex = Mutex.create (); v_store = Hashtbl.create 8;
     v_inflight = Hashtbl.create 8; v_pool = pool; v_domains = domains;
-    v_auto = auto; v_requests = 0; v_errors = 0; v_computed = 0;
-    v_coalesced = 0; v_dedup_hits = 0; v_shutdowns_run = 0;
+    v_auto = auto; v_max_snapshots = Option.map (max 1) max_snapshots;
+    v_compress = compress; v_requests = 0; v_errors = 0; v_computed = 0;
+    v_coalesced = 0; v_dedup_hits = 0; v_evictions = 0; v_clock = 0;
+    v_shutdowns_run = 0;
     v_stopping = Atomic.make false; v_finalized = Atomic.make false;
     v_wake = None; v_conns = [] }
 
@@ -78,10 +88,16 @@ let stats t =
     { st_requests = t.v_requests; st_errors = t.v_errors;
       st_computed = t.v_computed; st_coalesced = t.v_coalesced;
       st_snapshots = Hashtbl.length t.v_store;
-      st_dedup_hits = t.v_dedup_hits; st_shutdowns_run = t.v_shutdowns_run }
+      st_dedup_hits = t.v_dedup_hits; st_evictions = t.v_evictions;
+      st_shutdowns_run = t.v_shutdowns_run }
   in
   Mutex.unlock t.v_mutex;
   s
+
+(* Stamp a session as just-used. Caller must hold [v_mutex]. *)
+let touch t s =
+  t.v_clock <- t.v_clock + 1;
+  s.s_last_used <- t.v_clock
 
 (* --- snapshot store ----------------------------------------------------- *)
 
@@ -112,6 +128,30 @@ let session_options t =
 let resize_worker_cache t =
   Fpar.set_worker_cache_capacity (max 4 (Hashtbl.length t.v_store + 1))
 
+(* Drop least-recently-used snapshots until the store fits the configured
+   capacity. Caller must hold [v_mutex]. Sessions still referenced by an
+   in-flight request keep working (only the store entry goes away); a
+   client re-loading an evicted snapshot simply pays the parse again. *)
+let evict_over_capacity t =
+  match t.v_max_snapshots with
+  | None -> ()
+  | Some cap ->
+    while Hashtbl.length t.v_store > cap do
+      let victim =
+        Hashtbl.fold
+          (fun fp s acc ->
+            match acc with
+            | Some (_, best) when best.s_last_used <= s.s_last_used -> acc
+            | Some _ | None -> Some (fp, s))
+          t.v_store None
+      in
+      match victim with
+      | None -> assert false (* store length > cap >= 1: non-empty *)
+      | Some (fp, _) ->
+        Hashtbl.remove t.v_store fp;
+        t.v_evictions <- t.v_evictions + 1
+    done
+
 (* Register a session under [fp]; an existing entry wins (two clients
    racing identical loads keep one session). Caller must not hold
    [v_mutex]. Returns (session, freshly_registered). *)
@@ -120,11 +160,14 @@ let register t fp bf =
   match Hashtbl.find_opt t.v_store fp with
   | Some s ->
     t.v_dedup_hits <- t.v_dedup_hits + 1;
+    touch t s;
     Mutex.unlock t.v_mutex;
     (s, false)
   | None ->
-    let s = { s_bf = bf; s_lock = Mutex.create () } in
+    let s = { s_bf = bf; s_lock = Mutex.create (); s_last_used = 0 } in
     Hashtbl.replace t.v_store fp s;
+    touch t s;
+    evict_over_capacity t;
     resize_worker_cache t;
     Mutex.unlock t.v_mutex;
     (s, true)
@@ -140,6 +183,7 @@ let find_session t fp =
       | [ s ] -> Some s
       | _ -> None)
   in
+  Option.iter (touch t) r;
   Mutex.unlock t.v_mutex;
   r
 
@@ -149,7 +193,9 @@ let load_session ?(warm = true) t ?(diags = []) files =
     Mutex.lock t.v_mutex;
     let s = Hashtbl.find_opt t.v_store fp in
     (match s with
-    | Some _ -> t.v_dedup_hits <- t.v_dedup_hits + 1
+    | Some s ->
+      t.v_dedup_hits <- t.v_dedup_hits + 1;
+      touch t s
     | None -> ());
     Mutex.unlock t.v_mutex;
     s
@@ -159,7 +205,8 @@ let load_session ?(warm = true) t ?(diags = []) files =
   | None ->
     let snap = Batfish.Snapshot.of_texts ~diags files in
     let bf =
-      Batfish.init ~options:(session_options t) ~auto_domains:t.v_auto snap
+      Batfish.init ~options:(session_options t) ~auto_domains:t.v_auto
+        ~compress:t.v_compress snap
     in
     let s, fresh = register t fp bf in
     let warmed =
@@ -460,6 +507,9 @@ let dispatch t req =
                 ("coalesced", Sjson.Int s.st_coalesced);
                 ("snapshots", Sjson.Int s.st_snapshots);
                 ("dedup_hits", Sjson.Int s.st_dedup_hits);
+                ("evictions", Sjson.Int s.st_evictions);
+                ("max_snapshots",
+                 Sjson.Int (Option.value ~default:0 t.v_max_snapshots));
                 ("worker_cache_capacity", Sjson.Int (Fpar.worker_cache_capacity ())) ]
              @ pool_fields)),
         None )

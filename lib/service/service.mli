@@ -33,14 +33,27 @@ type stats = {
   st_coalesced : int;  (** queries that joined an in-flight computation *)
   st_snapshots : int;  (** live snapshots in the store *)
   st_dedup_hits : int;  (** loads answered by an existing snapshot *)
+  st_evictions : int;  (** snapshots dropped by the LRU capacity bound *)
   st_shutdowns_run : int;  (** times the shared pool was actually shut down *)
 }
 
 (** [create ?domains ?auto ()] builds a service instance. [domains]
     (default {!Par.default_domains}) sizes the shared worker pool
     ([domains <= 1] runs everything serially, no pool); [auto] (default
-    true) enables the adaptive serial fallback for small queries. *)
-val create : ?domains:int -> ?auto:bool -> unit -> t
+    true) enables the adaptive serial fallback for small queries.
+    [max_snapshots] bounds the snapshot store: registering one past the
+    bound evicts the snapshot whose last store lookup (load, query,
+    update) is oldest — in-flight requests against an evicted session
+    still complete; re-loading it just pays the parse again. Unbounded by
+    default. [compress] (default [`Auto]) is the quotient-compression
+    mode served sessions build their forwarding engine with. *)
+val create :
+  ?domains:int ->
+  ?auto:bool ->
+  ?max_snapshots:int ->
+  ?compress:Fquery.compress_mode ->
+  unit ->
+  t
 
 (** Handle one request line, returning exactly one response line (no
     trailing newline). Never raises: malformed JSON, unknown methods and

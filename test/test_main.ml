@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "batfish-caml"
-    (Test_prim.suites @ Test_bdd.suites @ Test_symbolic.suites @ Test_config.suites @ Test_routing.suites @ Test_dataplane.suites @ Test_forwarding.suites @ Test_baselines.suites @ Test_system.suites @ Test_extra.suites @ Test_lint.suites @ Test_chaos.suites @ Test_parallel.suites @ Test_incremental.suites @ Test_failures.suites @ Test_coverage.suites @ Test_service.suites)
+    (Test_prim.suites @ Test_bdd.suites @ Test_symbolic.suites @ Test_config.suites @ Test_routing.suites @ Test_dataplane.suites @ Test_forwarding.suites @ Test_baselines.suites @ Test_system.suites @ Test_extra.suites @ Test_lint.suites @ Test_chaos.suites @ Test_parallel.suites @ Test_incremental.suites @ Test_failures.suites @ Test_coverage.suites @ Test_compress.suites @ Test_service.suites)

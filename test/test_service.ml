@@ -121,6 +121,45 @@ let service_load_dedup () =
   check Alcotest.int "one live snapshot" 1 s.Service.st_snapshots;
   check Alcotest.int "one dedup hit" 1 s.Service.st_dedup_hits
 
+let service_lru_eviction () =
+  (* capacity 2: loading a third snapshot must evict the least recently
+     used one (the first — the second is touched by a query in between),
+     and the eviction must show up in stats *)
+  let t = Service.create ~domains:1 ~max_snapshots:2 () in
+  let snap i =
+    (Netgen.clos ~name:(Printf.sprintf "lru%d" i) ~spines:2 ~leaves:2 ())
+      .Netgen.n_configs
+  in
+  let fp1 = Service.load_files ~warm:false t (snap 1) in
+  let fp2 = Service.load_files ~warm:false t (snap 2) in
+  (* touch snapshot 1 so snapshot 2 is the LRU victim *)
+  check Alcotest.bool "query on fp1 ok" true
+    (resp_ok
+       (Service.handle_line t
+          (request "query"
+             ~params:
+               [ ("snapshot", Sjson.Str fp1); ("question", Sjson.Str "routes") ])));
+  let fp3 = Service.load_files ~warm:false t (snap 3) in
+  let s = Service.stats t in
+  check Alcotest.int "two snapshots live" 2 s.Service.st_snapshots;
+  check Alcotest.int "one eviction" 1 s.Service.st_evictions;
+  (* fp2 was evicted: addressing it now is an error; fp1 and fp3 answer *)
+  let query fp =
+    resp_ok
+      (Service.handle_line t
+         (request "query"
+            ~params:
+              [ ("snapshot", Sjson.Str fp); ("question", Sjson.Str "routes") ]))
+  in
+  check Alcotest.bool "evicted snapshot unknown" false (query fp2);
+  check Alcotest.bool "kept snapshot answers" true (query fp1);
+  check Alcotest.bool "new snapshot answers" true (query fp3);
+  (* re-loading the evicted snapshot re-registers it (and evicts another) *)
+  let fp2' = Service.load_files ~warm:false t (snap 2) in
+  check Alcotest.string "same content, same fingerprint" fp2 fp2';
+  check Alcotest.int "still at capacity" 2 (Service.stats t).Service.st_snapshots;
+  check Alcotest.int "second eviction" 2 (Service.stats t).Service.st_evictions
+
 let service_answers_identical_serial_vs_pooled () =
   (* byte-identity across admission plans: a pooled service and a serial
      service must render identical answers for the same snapshot *)
@@ -419,6 +458,7 @@ let suites =
     ( "service",
       [ Alcotest.test_case "ping echoes id" `Quick service_ping_envelope;
         Alcotest.test_case "identical configs dedup to one snapshot" `Quick service_load_dedup;
+        Alcotest.test_case "LRU eviction honors --max-snapshots" `Quick service_lru_eviction;
         Alcotest.test_case "answers identical, serial vs pooled" `Quick
           service_answers_identical_serial_vs_pooled;
         Alcotest.test_case "malformed requests never kill the daemon" `Quick
